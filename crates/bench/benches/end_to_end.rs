@@ -1,0 +1,55 @@
+//! End-to-end criterion bench: classic vs batched workflow, single
+//! thread and multi-thread (the continuously-runnable Figure 5).
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mem2_bench::{BenchEnv, EnvConfig};
+use mem2_core::{align_reads_parallel, Aligner, Workflow};
+use mem2_seqio::FastqRecord;
+
+struct Fixtures {
+    classic: Aligner,
+    batched: Aligner,
+    reads: Vec<FastqRecord>,
+}
+
+fn fixtures() -> &'static Fixtures {
+    static FIX: OnceLock<Fixtures> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let env = BenchEnv::build(EnvConfig { genome_mb: 1.0, read_scale: 2000 });
+        let reads = env.reads_n("D1", 250);
+        let classic =
+            Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, Workflow::Classic);
+        let batched =
+            Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, Workflow::Batched);
+        Fixtures { classic, batched, reads }
+    })
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let f = fixtures();
+    let mut group = c.benchmark_group("e2e_single_thread");
+    group.sample_size(10);
+    group.bench_function("classic", |b| b.iter(|| f.classic.align_reads(&f.reads)));
+    group.bench_function("batched", |b| b.iter(|| f.batched.align_reads(&f.reads)));
+    group.finish();
+}
+
+fn bench_multi_thread(c: &mut Criterion) {
+    let f = fixtures();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8);
+    let mut group = c.benchmark_group("e2e_multi_thread");
+    group.sample_size(10);
+    group.bench_function(format!("classic_x{threads}"), |b| {
+        b.iter(|| align_reads_parallel(&f.classic, &f.reads, threads))
+    });
+    group.bench_function(format!("batched_x{threads}"), |b| {
+        b.iter(|| align_reads_parallel(&f.batched, &f.reads, threads))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_multi_thread);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benches for the three paper kernels at reduced size:
+//! SMEM (original / optimized / optimized+prefetch), SAL (sampled LF-walk
+//! vs flat lookup), BSW (scalar vs 8-bit vector with sorting).
+//!
+//! The table binaries (`cargo run -p mem2-bench --release --bin table4_smem`
+//! etc.) regenerate the full paper tables; these benches are the
+//! continuously-runnable versions.
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mem2_bench::{intercept_bsw_jobs, intercept_sal_rows, intercept_smem_queries, BenchEnv, EnvConfig};
+use mem2_bsw::{BswEngine, ExtendJob};
+use mem2_fmindex::{collect_intv, SmemAux};
+use mem2_memsim::NoopSink;
+use mem2_seqio::FastqRecord;
+
+struct Fixtures {
+    env: BenchEnv,
+    queries: Vec<Vec<u8>>,
+    rows: Vec<i64>,
+    jobs: Vec<ExtendJob>,
+}
+
+fn fixtures() -> &'static Fixtures {
+    static FIX: OnceLock<Fixtures> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let env = BenchEnv::build(EnvConfig { genome_mb: 1.0, read_scale: 2000 });
+        let reads: Vec<FastqRecord> = env.reads_n("D2", 250);
+        let queries = intercept_smem_queries(&reads);
+        let rows = intercept_sal_rows(&env.index, &env.opts, &queries);
+        let jobs = intercept_bsw_jobs(&env.index, &env.reference, &env.opts, &reads);
+        Fixtures { env, queries, rows, jobs }
+    })
+}
+
+fn bench_smem(c: &mut Criterion) {
+    let f = fixtures();
+    let mut group = c.benchmark_group("smem");
+    group.sample_size(10);
+    let mut aux = SmemAux::default();
+    let mut out = Vec::new();
+    let mut sink = NoopSink;
+    group.bench_function("original_eta128", |b| {
+        b.iter(|| {
+            for q in &f.queries {
+                collect_intv(f.env.index.orig(), &f.env.opts.smem, q, &mut out, &mut aux, false, &mut sink);
+            }
+        })
+    });
+    group.bench_function("optimized_eta32_noprefetch", |b| {
+        b.iter(|| {
+            for q in &f.queries {
+                collect_intv(f.env.index.opt(), &f.env.opts.smem, q, &mut out, &mut aux, false, &mut sink);
+            }
+        })
+    });
+    group.bench_function("optimized_eta32_prefetch", |b| {
+        b.iter(|| {
+            for q in &f.queries {
+                collect_intv(f.env.index.opt(), &f.env.opts.smem, q, &mut out, &mut aux, true, &mut sink);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_sal(c: &mut Criterion) {
+    let f = fixtures();
+    let mut group = c.benchmark_group("sal");
+    group.sample_size(10);
+    let sampled = f.env.index.sa_sampled.as_ref().expect("sampled SA");
+    let flat = f.env.index.sa_flat.as_ref().expect("flat SA");
+    let occ = f.env.index.orig();
+    let mut sink = NoopSink;
+    group.bench_function("original_sampled_lfwalk", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &r in &f.rows {
+                acc ^= sampled.lookup(occ, r, &mut sink);
+            }
+            acc
+        })
+    });
+    group.bench_function("optimized_flat", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &r in &f.rows {
+                acc ^= flat.lookup(r, &mut sink);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_bsw(c: &mut Criterion) {
+    let f = fixtures();
+    let mut group = c.benchmark_group("bsw");
+    group.sample_size(10);
+    let scalar = BswEngine::original(f.env.opts.score);
+    let vector = BswEngine::optimized(f.env.opts.score);
+    group.bench_function("original_scalar", |b| b.iter(|| scalar.extend_all(&f.jobs)));
+    group.bench_function("optimized_simd_sorted", |b| b.iter(|| vector.extend_all(&f.jobs)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_smem, bench_sal, bench_bsw);
+criterion_main!(benches);

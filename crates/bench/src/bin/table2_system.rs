@@ -1,0 +1,26 @@
+//! Table 2 — system configuration (host introspection standing in for
+//! the paper's SKX/HSW spec sheet).
+
+use mem2_bench::sysinfo::SysInfo;
+use mem2_bench::Table;
+
+fn main() {
+    let s = SysInfo::probe();
+    let mut t = Table::new(&["Property", "This host", "Paper SKX", "Paper HSW"]);
+    t.row(vec!["CPU model".into(), s.model, "Xeon Platinum 8180".into(), "Xeon E5-2699 v3".into()]);
+    t.row(vec![
+        "Logical CPUs".into(),
+        s.logical_cpus.to_string(),
+        "2x28x2".into(),
+        "2x18x2".into(),
+    ]);
+    t.row(vec!["SIMD".into(), s.simd, "AVX-512".into(), "AVX2".into()]);
+    t.row(vec![
+        "Memory (GiB)".into(),
+        format!("{:.1}", s.mem_gib),
+        "192".into(),
+        "128".into(),
+    ]);
+    println!("Table 2: system configuration");
+    println!("{}", t.render());
+}

@@ -1,0 +1,37 @@
+//! Table 3 — read datasets: the paper's real sets and our scaled
+//! synthetic stand-ins (DESIGN.md §5 substitution).
+
+use mem2_bench::{EnvConfig, Table};
+use mem2_seqio::datasets::PAPER_DATASETS;
+use mem2_seqio::DatasetPreset;
+
+fn main() {
+    let cfg = EnvConfig::from_env();
+    let mut t = Table::new(&[
+        "Dataset",
+        "Read len",
+        "Paper #reads",
+        "Paper source",
+        "Our #reads",
+        "Our source",
+    ]);
+    for d in &PAPER_DATASETS {
+        let preset = DatasetPreset::new(d.label, cfg.genome_len(), cfg.read_scale)
+            .expect("preset exists");
+        t.row(vec![
+            d.label.into(),
+            d.read_len.to_string(),
+            d.paper_reads.to_string(),
+            d.source.into(),
+            preset.reads.n_reads.to_string(),
+            format!("wgsim-like sim, seed {:#x}", preset.reads.seed),
+        ]);
+    }
+    println!("Table 3: read datasets (scale divisor {})", cfg.read_scale);
+    println!("{}", t.render());
+    println!(
+        "reference: paper used hg38 first half (1.5 Gbp); ours is a {} Mbp synthetic\n\
+         genome with injected repeat families (see DESIGN.md section 5)",
+        cfg.genome_mb
+    );
+}

@@ -1,0 +1,94 @@
+//! Table 4 — SMEM kernel: Original (η=128) vs Optimized−prefetch vs
+//! Optimized (η=32 + software prefetch).
+//!
+//! Wall time is measured; instructions/loads/stores/LLC-misses/latency
+//! come from the deterministic `memsim` model replayed over the same
+//! kernel (see DESIGN.md §3 and EXPERIMENTS.md — shapes, not absolutes).
+
+use std::time::Instant;
+
+use mem2_bench::{intercept_smem_queries, BenchEnv, EnvConfig};
+use mem2_fmindex::{collect_intv, OccTable, SmemAux};
+use mem2_memsim::{CacheConfig, CounterReport, CountingSink, LatencyModel, NoopSink};
+
+fn time_config<O: OccTable>(occ: &O, env: &BenchEnv, queries: &[Vec<u8>], prefetch: bool) -> f64 {
+    let mut aux = SmemAux::default();
+    let mut out = Vec::new();
+    let mut sink = NoopSink;
+    // warmup
+    for q in queries.iter().take(16) {
+        collect_intv(occ, &env.opts.smem, q, &mut out, &mut aux, prefetch, &mut sink);
+    }
+    // best of three to tame container noise
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for q in queries {
+            collect_intv(occ, &env.opts.smem, q, &mut out, &mut aux, prefetch, &mut sink);
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn count_config<O: OccTable>(
+    occ: &O,
+    env: &BenchEnv,
+    queries: &[Vec<u8>],
+    prefetch: bool,
+    cache: CacheConfig,
+) -> CountingSink {
+    let mut aux = SmemAux::default();
+    let mut out = Vec::new();
+    let mut sink = CountingSink::new(cache);
+    for q in queries {
+        collect_intv(occ, &env.opts.smem, q, &mut out, &mut aux, prefetch, &mut sink);
+    }
+    sink
+}
+
+fn main() {
+    let cfg = EnvConfig::from_env();
+    let env = BenchEnv::build(cfg);
+    let n_reads = (60_000 / cfg.read_scale).max(200);
+    let reads = env.reads_n("D2", n_reads);
+    let queries = intercept_smem_queries(&reads);
+    println!(
+        "Table 4: SMEM kernel, {} reads x {} bp from D2-like data, genome {} Mbp",
+        queries.len(),
+        queries[0].len(),
+        cfg.genome_mb
+    );
+
+    let orig = env.index.orig();
+    let opt = env.index.opt();
+    // one cache model scaled to the larger occurrence table so all three
+    // columns face the same (relative) memory system
+    let cache = CacheConfig::scaled_to(orig.table_bytes().max(opt.table_bytes()));
+
+    let t_orig = time_config(orig, &env, &queries, false);
+    let t_nopf = time_config(opt, &env, &queries, false);
+    let t_opt = time_config(opt, &env, &queries, true);
+
+    let c_orig = count_config(orig, &env, &queries, false, cache);
+    let c_nopf = count_config(opt, &env, &queries, false, cache);
+    let c_opt = count_config(opt, &env, &queries, true, cache);
+
+    let reports = vec![
+        CounterReport { label: "Original".into(), counters: c_orig.counters, seconds: t_orig },
+        CounterReport {
+            label: "Opt - s/w prefetch".into(),
+            counters: c_nopf.counters,
+            seconds: t_nopf,
+        },
+        CounterReport { label: "Optimized".into(), counters: c_opt.counters, seconds: t_opt },
+    ];
+    println!("{}", CounterReport::render_table("", &reports, &LatencyModel::default()));
+    println!("speedup (Original/Optimized): {:.2}x   [paper: 2.0x]", t_orig / t_opt);
+    println!(
+        "LLC-miss shape: orig {} < opt-no-prefetch {} ; prefetch cuts to {}  [paper: 23.9 / 29.7 / 9.5 M]",
+        c_orig.counters.llc_misses(),
+        c_nopf.counters.llc_misses(),
+        c_opt.counters.llc_misses()
+    );
+}

@@ -1,0 +1,59 @@
+//! Host introspection for Table 2 (system configuration).
+
+/// Best-effort system description from /proc and std.
+pub struct SysInfo {
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: usize,
+    /// CPU model string, if /proc/cpuinfo is readable.
+    pub model: String,
+    /// Flags line (to spot avx2/avx512), truncated.
+    pub simd: String,
+    /// Total memory in GiB, if /proc/meminfo is readable.
+    pub mem_gib: f64,
+}
+
+impl SysInfo {
+    /// Probe the host.
+    pub fn probe() -> SysInfo {
+        let logical_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+        let model = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown".into());
+        let flags = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("flags"))
+            .map(|l| l.to_string())
+            .unwrap_or_default();
+        let mut simd: Vec<&str> = Vec::new();
+        for f in ["sse2", "sse4_2", "avx", "avx2", "avx512f", "avx512bw"] {
+            if flags.contains(f) {
+                simd.push(f);
+            }
+        }
+        let meminfo = std::fs::read_to_string("/proc/meminfo").unwrap_or_default();
+        let mem_gib = meminfo
+            .lines()
+            .find(|l| l.starts_with("MemTotal"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|kb| kb / 1024.0 / 1024.0)
+            .unwrap_or(0.0);
+        SysInfo { logical_cpus, model, simd: simd.join(","), mem_gib }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_does_not_panic() {
+        let s = SysInfo::probe();
+        assert!(s.logical_cpus >= 1);
+        assert!(!s.model.is_empty());
+    }
+}

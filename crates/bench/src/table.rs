@@ -1,0 +1,98 @@
+//! Plain-text table rendering for the bench binaries.
+
+use std::time::Duration;
+
+/// A simple aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with right-aligned columns (first column left-aligned).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = widths[i] + 2));
+                } else {
+                    line.push_str(&format!("{:>w$}", c, w = widths[i] + 2));
+                }
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a count with thousands separators.
+pub fn fmt_int(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Format a float with the given precision.
+pub fn fmt_f64(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Format a duration in seconds.
+pub fn fmt_duration(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["metric", "a", "b"]);
+        t.row(vec!["time".into(), "1.0".into(), "2.0".into()]);
+        let s = t.render();
+        assert!(s.contains("metric"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn int_formatting() {
+        assert_eq!(fmt_int(0), "0");
+        assert_eq!(fmt_int(999), "999");
+        assert_eq!(fmt_int(1000), "1,000");
+        assert_eq!(fmt_int(1234567), "1,234,567");
+    }
+}

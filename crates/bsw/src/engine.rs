@@ -1,0 +1,363 @@
+//! Batch dispatch: precision classes, optional length sorting, chunking
+//! into SIMD lanes, result scatter, and Table 8 phase timing.
+
+use std::time::{Duration, Instant};
+
+use crate::scalar::extend_scalar_into;
+use crate::simd16::{extend_chunk_i16, MAX_SCORE_16};
+use crate::simd8::{extend_chunk_u8, MAX_SCORE_8};
+use crate::sort::sort_jobs_by_length;
+use crate::types::{ExtendJob, ExtendResult, ScoreParams};
+
+/// BSW execution phases (paper Table 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Sorting, AoS→SoA conversion, buffer initialization.
+    Preproc,
+    /// Applying the band constraint at the top of each row.
+    BandAdjustI,
+    /// The vectorized cell-computation loop.
+    Cells,
+    /// Zero-trim scans, Z-drop and bookkeeping after each row.
+    BandAdjustII,
+}
+
+/// Phase-timing callbacks; [`NoPhase`] compiles to nothing.
+pub trait PhaseSink {
+    /// Enter a phase.
+    fn begin(&mut self, p: Phase);
+    /// Leave a phase.
+    fn end(&mut self, p: Phase);
+    /// One DP row completed: `lanes` sequence pairs were live and
+    /// `cells` matrix cells were computed for them in total (for the
+    /// vector kernels, `cells` covers the whole union band — the
+    /// "wasteful cells" of §5.3 are included). Default: ignored.
+    #[inline(always)]
+    fn on_row(&mut self, lanes: u64, cells: u64) {
+        let _ = (lanes, cells);
+    }
+}
+
+/// Zero-cost sink for production runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoPhase;
+
+impl PhaseSink for NoPhase {
+    #[inline(always)]
+    fn begin(&mut self, _p: Phase) {}
+    #[inline(always)]
+    fn end(&mut self, _p: Phase) {}
+}
+
+/// Row/cell statistics collector (Table 7's instruction-count proxy).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellStats {
+    /// DP rows processed (vector kernels: union rows).
+    pub rows: u64,
+    /// Lane-rows processed (sum of live lanes over rows).
+    pub lane_rows: u64,
+    /// Cells computed (vector kernels: union-band cells across lanes,
+    /// including wasted ones).
+    pub cells: u64,
+}
+
+impl PhaseSink for CellStats {
+    #[inline(always)]
+    fn begin(&mut self, _p: Phase) {}
+    #[inline(always)]
+    fn end(&mut self, _p: Phase) {}
+    #[inline(always)]
+    fn on_row(&mut self, lanes: u64, cells: u64) {
+        self.rows += 1;
+        self.lane_rows += lanes;
+        self.cells += cells;
+    }
+}
+
+/// Accumulated per-phase wall time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Total time per phase, indexed by `Phase as usize`.
+    pub totals: [Duration; 4],
+    started: Option<(Phase, Instant)>,
+}
+
+impl PhaseBreakdown {
+    /// Percentage share of each phase.
+    pub fn percentages(&self) -> [f64; 4] {
+        let sum: f64 = self.totals.iter().map(|d| d.as_secs_f64()).sum();
+        if sum == 0.0 {
+            return [0.0; 4];
+        }
+        let mut out = [0.0; 4];
+        for (o, d) in out.iter_mut().zip(&self.totals) {
+            *o = 100.0 * d.as_secs_f64() / sum;
+        }
+        out
+    }
+}
+
+impl PhaseSink for PhaseBreakdown {
+    fn begin(&mut self, p: Phase) {
+        self.started = Some((p, Instant::now()));
+    }
+    fn end(&mut self, p: Phase) {
+        if let Some((started_p, t)) = self.started.take() {
+            debug_assert_eq!(started_p, p);
+            self.totals[p as usize] += t.elapsed();
+        }
+    }
+}
+
+/// Which kernel executes the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The original scalar kernel for every job.
+    Scalar,
+    /// Inter-task SIMD with the given number of 8-bit lanes
+    /// (64 = AVX-512-like, 32 = AVX2-like, 16 = SSE-like);
+    /// 16-bit jobs use half as many lanes.
+    Vector {
+        /// 8-bit lane count; must be 16, 32 or 64.
+        width: usize,
+    },
+}
+
+/// Batch BSW engine (paper §5): precision selection per job, optional
+/// length sorting, chunked SIMD execution, original-order results.
+#[derive(Clone, Debug)]
+pub struct BswEngine {
+    /// Scoring parameters.
+    pub params: ScoreParams,
+    /// Kernel selection.
+    pub kind: EngineKind,
+    /// Sort jobs by length before filling lanes (§5.3.1).
+    pub sort_by_length: bool,
+    /// Send 8-bit-eligible jobs to the 16-bit kernel anyway (Table 6's
+    /// 16-bit rows).
+    pub force_16bit: bool,
+}
+
+impl BswEngine {
+    /// AVX-512-like vector engine with sorting — the paper's best config.
+    pub fn optimized(params: ScoreParams) -> Self {
+        BswEngine {
+            params,
+            kind: EngineKind::Vector { width: 64 },
+            sort_by_length: true,
+            force_16bit: false,
+        }
+    }
+
+    /// The original scalar configuration.
+    pub fn original(params: ScoreParams) -> Self {
+        BswEngine { params, kind: EngineKind::Scalar, sort_by_length: false, force_16bit: false }
+    }
+
+    /// Extend every job; results are in job order and bit-identical to
+    /// the scalar kernel regardless of configuration.
+    pub fn extend_all(&self, jobs: &[ExtendJob]) -> Vec<ExtendResult> {
+        let mut out = vec![ExtendResult::default(); jobs.len()];
+        self.extend_into(jobs, &mut out, &mut NoPhase);
+        out
+    }
+
+    /// As [`BswEngine::extend_all`] with Table 8 phase timing.
+    pub fn extend_all_profiled(
+        &self,
+        jobs: &[ExtendJob],
+        breakdown: &mut PhaseBreakdown,
+    ) -> Vec<ExtendResult> {
+        let mut out = vec![ExtendResult::default(); jobs.len()];
+        self.extend_into(jobs, &mut out, breakdown);
+        out
+    }
+
+    /// Core dispatch.
+    pub fn extend_into<PH: PhaseSink>(
+        &self,
+        jobs: &[ExtendJob],
+        out: &mut [ExtendResult],
+        ph: &mut PH,
+    ) {
+        assert_eq!(jobs.len(), out.len());
+        match self.kind {
+            EngineKind::Scalar => {
+                let mut buf = Vec::new();
+                for (job, slot) in jobs.iter().zip(out.iter_mut()) {
+                    *slot = extend_scalar_into(&self.params, job, &mut buf);
+                }
+            }
+            EngineKind::Vector { width } => {
+                assert!(
+                    width == 16 || width == 32 || width == 64,
+                    "vector width must be 16, 32 or 64 lanes"
+                );
+                self.extend_vector(jobs, out, width, ph);
+            }
+        }
+    }
+
+    fn extend_vector<PH: PhaseSink>(
+        &self,
+        jobs: &[ExtendJob],
+        out: &mut [ExtendResult],
+        width: usize,
+        ph: &mut PH,
+    ) {
+        let msc = self.params.max_score();
+        ph.begin(Phase::Preproc);
+        // classify into precision groups; degenerate jobs go scalar
+        let mut idx8: Vec<u32> = Vec::new();
+        let mut idx16: Vec<u32> = Vec::new();
+        let mut idx_scalar: Vec<u32> = Vec::new();
+        for (k, job) in jobs.iter().enumerate() {
+            let ql = job.query.len() as i32;
+            if job.query.is_empty() || job.target.is_empty() {
+                idx_scalar.push(k as u32);
+            } else if !self.force_16bit && job.h0 + ql * msc <= MAX_SCORE_8 {
+                idx8.push(k as u32);
+            } else if job.h0 + ql * msc <= MAX_SCORE_16 {
+                idx16.push(k as u32);
+            } else {
+                idx_scalar.push(k as u32);
+            }
+        }
+        ph.end(Phase::Preproc);
+
+        let mut buf = Vec::new();
+        for &k in &idx_scalar {
+            out[k as usize] = extend_scalar_into(&self.params, &jobs[k as usize], &mut buf);
+        }
+
+        self.run_group(jobs, out, &idx8, width, true, ph);
+        self.run_group(jobs, out, &idx16, width / 2, false, ph);
+    }
+
+    fn run_group<PH: PhaseSink>(
+        &self,
+        jobs: &[ExtendJob],
+        out: &mut [ExtendResult],
+        group: &[u32],
+        lanes: usize,
+        eight_bit: bool,
+        ph: &mut PH,
+    ) {
+        if group.is_empty() {
+            return;
+        }
+        ph.begin(Phase::Preproc);
+        let ordered: Vec<u32> = if self.sort_by_length {
+            let sub: Vec<ExtendJob> = group.iter().map(|&k| jobs[k as usize].clone()).collect();
+            sort_jobs_by_length(&sub).into_iter().map(|r| group[r as usize]).collect()
+        } else {
+            group.to_vec()
+        };
+        ph.end(Phase::Preproc);
+
+        let mut chunk_jobs: Vec<ExtendJob> = Vec::with_capacity(lanes);
+        let mut chunk_out = vec![ExtendResult::default(); lanes];
+        for chunk in ordered.chunks(lanes) {
+            chunk_jobs.clear();
+            chunk_jobs.extend(chunk.iter().map(|&k| jobs[k as usize].clone()));
+            let co = &mut chunk_out[..chunk.len()];
+            if eight_bit {
+                match lanes {
+                    16 => extend_chunk_u8::<16, _>(&self.params, &chunk_jobs, co, ph),
+                    32 => extend_chunk_u8::<32, _>(&self.params, &chunk_jobs, co, ph),
+                    64 => extend_chunk_u8::<64, _>(&self.params, &chunk_jobs, co, ph),
+                    _ => unreachable!("validated widths"),
+                }
+            } else {
+                match lanes {
+                    8 => extend_chunk_i16::<8, _>(&self.params, &chunk_jobs, co, ph),
+                    16 => extend_chunk_i16::<16, _>(&self.params, &chunk_jobs, co, ph),
+                    32 => extend_chunk_i16::<32, _>(&self.params, &chunk_jobs, co, ph),
+                    _ => unreachable!("validated widths"),
+                }
+            }
+            for (&k, res) in chunk.iter().zip(co.iter()) {
+                out[k as usize] = *res;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::extend_scalar;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mixed_jobs(n: usize, seed: u64) -> Vec<ExtendJob> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|k| {
+                if k % 17 == 0 {
+                    // degenerate
+                    return ExtendJob::new(vec![], vec![0, 1], 5, 10);
+                }
+                let big = rng.random_bool(0.3);
+                let maxlen = if big { 400 } else { 100 };
+                let qlen = rng.random_range(1..maxlen);
+                let tlen = rng.random_range(1..maxlen + 15);
+                let query: Vec<u8> = (0..qlen).map(|_| rng.random_range(0..4u8)).collect();
+                let mut target: Vec<u8> = query
+                    .iter()
+                    .map(|&c| if rng.random_bool(0.1) { rng.random_range(0..4u8) } else { c })
+                    .collect();
+                target.resize(tlen, 2);
+                let h0 = if big { rng.random_range(200..500) } else { rng.random_range(1..60) };
+                ExtendJob::new(query, target, h0, rng.random_range(1..101))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_configurations_match_scalar() {
+        let params = ScoreParams::default();
+        let jobs = mixed_jobs(300, 99);
+        let scalar: Vec<ExtendResult> =
+            jobs.iter().map(|j| extend_scalar(&params, j)).collect();
+        for width in [16usize, 32, 64] {
+            for sort in [false, true] {
+                for force16 in [false, true] {
+                    let eng = BswEngine {
+                        params,
+                        kind: EngineKind::Vector { width },
+                        sort_by_length: sort,
+                        force_16bit: force16,
+                    };
+                    assert_eq!(
+                        eng.extend_all(&jobs),
+                        scalar,
+                        "width={width} sort={sort} force16={force16}"
+                    );
+                }
+            }
+        }
+        let eng = BswEngine::original(params);
+        assert_eq!(eng.extend_all(&jobs), scalar);
+    }
+
+    #[test]
+    fn profiled_run_matches_and_reports_phases() {
+        let params = ScoreParams::default();
+        let jobs = mixed_jobs(500, 7);
+        let eng = BswEngine::optimized(params);
+        let mut bd = PhaseBreakdown::default();
+        let got = eng.extend_all_profiled(&jobs, &mut bd);
+        assert_eq!(got, eng.extend_all(&jobs));
+        let pct = bd.percentages();
+        let sum: f64 = pct.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6, "percentages sum to 100, got {sum}");
+        assert!(pct[Phase::Cells as usize] > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let eng = BswEngine::optimized(ScoreParams::default());
+        assert!(eng.extend_all(&[]).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Banded Smith–Waterman (BSW) seed extension — the paper's §5.
+//!
+//! * [`scalar`] is a line-by-line port of bwa's `ksw_extend2`: the banded,
+//!   Z-drop-aborting, adaptive-band extension kernel whose exact semantics
+//!   (including tie-breaking and the H/M separation that forbids adjacent
+//!   insertions/deletions) define BWA-MEM's output.
+//! * [`simd8`] / [`simd16`] are the paper's inter-task vectorized engines:
+//!   `W` different sequence pairs occupy the `W` lanes, cells are computed
+//!   for the union of the active bands, and per-lane masks maintain each
+//!   pair's own band, abort state and best-score bookkeeping. 8-bit
+//!   precision doubles the lane count when `h0 + qlen·match` fits.
+//! * [`sort`] implements the length-sorting of §5.3.1 (radix sort) so that
+//!   lanes processed together have similar lengths.
+//! * [`engine`] dispatches jobs to precision classes and engines and
+//!   restores original order, with optional per-phase timing for Table 8.
+//! * [`global`] is the banded global aligner with traceback used to
+//!   produce CIGARs in the SAM-formatting stage (bwa's `ksw_global2`).
+//!
+//! The crate-level invariant, enforced by property tests: **every engine
+//! returns bit-identical [`ExtendResult`]s to the scalar kernel.**
+
+pub mod engine;
+pub mod global;
+pub mod scalar;
+pub mod simd16;
+pub mod simd8;
+pub mod soa;
+pub mod sort;
+pub mod types;
+
+pub use engine::{BswEngine, CellStats, EngineKind, NoPhase, Phase, PhaseBreakdown, PhaseSink};
+pub use global::{cigar_string, global_align, CigarOp};
+pub use scalar::{extend_scalar, extend_scalar_profiled};
+pub use sort::sort_jobs_by_length;
+pub use types::{ExtendJob, ExtendResult, ScoreParams};

@@ -1,0 +1,331 @@
+//! Inter-task vectorized BSW at 16-bit precision.
+//!
+//! Structure mirrors [`crate::simd8`] (see the detailed comments there);
+//! the differences are the element type and that the arithmetic is plain
+//! signed i16 — an exact transcription of the scalar recurrence, since no
+//! clamping tricks are needed: `h0 + qlen·match` is capped at
+//! [`MAX_SCORE_16`] by the engine, far below `i16::MAX`.
+
+use mem2_simd::VecI16;
+
+use crate::engine::{Phase, PhaseSink};
+use crate::simd8::clamp_band;
+use crate::soa::{pack_queries, pack_targets};
+use crate::types::{ExtendJob, ExtendResult, ScoreParams};
+
+/// Largest `h0 + qlen·match` the 16-bit engine accepts.
+pub const MAX_SCORE_16: i32 = 30_000;
+
+/// Extend ≤ `W` jobs simultaneously at 16-bit precision. Caller
+/// guarantees per job: `qlen ≥ 1`, `tlen ≥ 1`, `h0 ≥ 1`, and
+/// `h0 + qlen·match ≤ MAX_SCORE_16`.
+pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
+    params: &ScoreParams,
+    jobs: &[ExtendJob],
+    out: &mut [ExtendResult],
+    ph: &mut PH,
+) {
+    let n = jobs.len();
+    assert!(n <= W && n == out.len());
+
+    ph.begin(Phase::Preproc);
+    let mut q_soa = Vec::new();
+    let mut t_soa = Vec::new();
+    let qmax = pack_queries::<W>(jobs, &mut q_soa);
+    let tmax = pack_targets::<W>(jobs, &mut t_soa);
+
+    let mut qlen = [0i32; W];
+    let mut tlen = [0i32; W];
+    let mut h0 = [0i32; W];
+    let mut w_lane = [0i32; W];
+    let mut beg = [0i32; W];
+    let mut end = [0i32; W];
+    let mut max = [0i32; W];
+    let mut max_i = [-1i32; W];
+    let mut max_j = [-1i32; W];
+    let mut max_ie = [-1i32; W];
+    let mut gscore = [-1i32; W];
+    let mut max_off = [0i32; W];
+    let mut dead = [true; W];
+    for (lane, job) in jobs.iter().enumerate() {
+        let ql = job.query.len();
+        debug_assert!(ql >= 1 && !job.target.is_empty());
+        debug_assert!(job.h0 >= 1 && job.h0 + ql as i32 * params.max_score() <= MAX_SCORE_16);
+        qlen[lane] = ql as i32;
+        tlen[lane] = job.target.len() as i32;
+        h0[lane] = job.h0;
+        w_lane[lane] = clamp_band(params, ql, job.w);
+        beg[lane] = 0;
+        end[lane] = ql as i32;
+        max[lane] = job.h0;
+        dead[lane] = false;
+    }
+
+    let mut h_buf: Vec<VecI16<W>> = vec![VecI16::zero(); qmax + 2];
+    let mut e_buf: Vec<VecI16<W>> = vec![VecI16::zero(); qmax + 2];
+    let oe_ins = params.o_ins + params.e_ins;
+    let oe_del = params.o_del + params.e_del;
+    for lane in 0..n {
+        h_buf[0].0[lane] = h0[lane] as i16;
+        h_buf[1].0[lane] = if h0[lane] > oe_ins { (h0[lane] - oe_ins) as i16 } else { 0 };
+        let mut j = 2;
+        while j <= qlen[lane] as usize && h_buf[j - 1].0[lane] as i32 > params.e_ins {
+            h_buf[j].0[lane] = h_buf[j - 1].0[lane] - params.e_ins as i16;
+            j += 1;
+        }
+    }
+    ph.end(Phase::Preproc);
+
+    let splat_match = VecI16::<W>::splat(params.a as i16);
+    let splat_mism = VecI16::<W>::splat(-(params.b as i16));
+    let splat_nscore = VecI16::<W>::splat(-1);
+    let splat_three = VecI16::<W>::splat(3);
+    let splat_edel = VecI16::<W>::splat(params.e_del as i16);
+    let splat_eins = VecI16::<W>::splat(params.e_ins as i16);
+    let splat_oedel = VecI16::<W>::splat(oe_del as i16);
+    let splat_oeins = VecI16::<W>::splat(oe_ins as i16);
+    let ones = VecI16::<W>::splat(-1);
+    let zero = VecI16::<W>::zero();
+
+    for i in 0..tmax as i32 {
+        ph.begin(Phase::BandAdjustI);
+        let mut active = [false; W];
+        let mut any_active = false;
+        let mut h1_init = [0i16; W];
+        let mut union_beg = i32::MAX;
+        let mut union_end = 0i32;
+        for lane in 0..n {
+            if dead[lane] || i >= tlen[lane] {
+                continue;
+            }
+            active[lane] = true;
+            any_active = true;
+            if beg[lane] < i - w_lane[lane] {
+                beg[lane] = i - w_lane[lane];
+            }
+            if end[lane] > i + w_lane[lane] + 1 {
+                end[lane] = i + w_lane[lane] + 1;
+            }
+            if end[lane] > qlen[lane] {
+                end[lane] = qlen[lane];
+            }
+            h1_init[lane] = if beg[lane] == 0 {
+                (h0[lane] - (params.o_del + params.e_del * (i + 1))).max(0) as i16
+            } else {
+                0
+            };
+            if beg[lane] <= end[lane] {
+                union_beg = union_beg.min(beg[lane]);
+                union_end = union_end.max(end[lane]);
+            }
+        }
+        ph.end(Phase::BandAdjustI);
+        if !any_active {
+            break;
+        }
+
+        ph.begin(Phase::Cells);
+        let mut act_v = VecI16::<W>::zero();
+        let mut beg_v = VecI16::<W>::zero();
+        let mut end_v = VecI16::<W>::zero();
+        for lane in 0..W {
+            if active[lane] && beg[lane] <= end[lane] {
+                act_v.0[lane] = -1;
+                beg_v.0[lane] = beg[lane] as i16;
+                end_v.0[lane] = end[lane] as i16;
+            } else {
+                beg_v.0[lane] = i16::MAX;
+                end_v.0[lane] = i16::MAX - 1;
+            }
+        }
+        let mut h1_v = VecI16(h1_init);
+        let mut f_v = zero;
+        let mut rowmax_v = zero;
+        let mut mj_v = zero;
+        let mut t_lanes = [0i16; W];
+        for lane in 0..W {
+            t_lanes[lane] = t_soa[(i as usize) * W + lane] as i16;
+        }
+        let t_v = VecI16(t_lanes);
+        let t_ambig = t_v.cmpgt(splat_three);
+
+        let n_live = active.iter().filter(|&&a| a).count() as u64;
+        ph.on_row(n_live, n_live * (union_end - union_beg.min(union_end)).max(0) as u64);
+        for j in union_beg.max(0)..=union_end {
+            let j_v = VecI16::<W>::splat(j as i16);
+            let in_cell = j_v.cmpge(beg_v).and(end_v.cmpgt(j_v)).and(act_v);
+            let at_end = j_v.cmpeq(end_v).and(act_v);
+            let touched = in_cell.or(at_end);
+            if touched.all_zero() {
+                continue;
+            }
+            let ph_v = h_buf[j as usize];
+            let pe_v = e_buf[j as usize];
+            h_buf[j as usize] = h1_v.blend(ph_v, touched);
+
+            let mut q_lanes = [0i16; W];
+            for lane in 0..W {
+                q_lanes[lane] = q_soa[(j as usize) * W + lane] as i16;
+            }
+            let q_v = VecI16(q_lanes);
+            let ambig = q_v.cmpgt(splat_three).or(t_ambig);
+            let eq_ok = ambig.andnot(q_v.cmpeq(t_v));
+            let mism = eq_ok.or(ambig).andnot(ones);
+            // score = +a | -b | -1; exact scalar arithmetic in i16
+            let mut s_v = splat_nscore;
+            s_v = splat_match.blend(s_v, eq_ok);
+            s_v = splat_mism.blend(s_v, mism);
+            let m_raw = ph_v.add(s_v);
+            let m_v = ph_v.cmpeq(zero).andnot(m_raw);
+            let h = m_v.max(pe_v).max(f_v);
+            h1_v = h.blend(h1_v, in_cell);
+            let upd = rowmax_v.cmpgt(h).andnot(in_cell);
+            mj_v = j_v.blend(mj_v, upd);
+            rowmax_v = h.blend(rowmax_v, upd);
+            let t_del = m_v.sub(splat_oedel).max(zero);
+            let e_new = pe_v.sub(splat_edel).max(t_del);
+            let mut e_store = e_new.blend(pe_v, in_cell);
+            e_store = zero.blend(e_store, at_end);
+            e_buf[j as usize] = e_store;
+            let t_ins = m_v.sub(splat_oeins).max(zero);
+            let f_new = f_v.sub(splat_eins).max(t_ins);
+            f_v = f_new.blend(f_v, in_cell);
+        }
+        ph.end(Phase::Cells);
+
+        ph.begin(Phase::BandAdjustII);
+        for lane in 0..n {
+            if !active[lane] {
+                continue;
+            }
+            let h1 = h1_v.0[lane] as i32;
+            if beg[lane].max(end[lane]) == qlen[lane] && gscore[lane] <= h1 {
+                max_ie[lane] = i;
+                gscore[lane] = h1;
+            }
+            let row_max = rowmax_v.0[lane] as i32;
+            let mj = mj_v.0[lane] as i32;
+            if row_max == 0 {
+                dead[lane] = true;
+                continue;
+            }
+            if row_max > max[lane] {
+                max[lane] = row_max;
+                max_i[lane] = i;
+                max_j[lane] = mj;
+                max_off[lane] = max_off[lane].max((mj - i).abs());
+            } else if params.zdrop > 0 {
+                if i - max_i[lane] > mj - max_j[lane] {
+                    if max[lane] - row_max - ((i - max_i[lane]) - (mj - max_j[lane])) * params.e_del
+                        > params.zdrop
+                    {
+                        dead[lane] = true;
+                        continue;
+                    }
+                } else if max[lane] - row_max - ((mj - max_j[lane]) - (i - max_i[lane])) * params.e_ins
+                    > params.zdrop
+                {
+                    dead[lane] = true;
+                    continue;
+                }
+            }
+            let mut j = beg[lane];
+            while j < end[lane]
+                && h_buf[j as usize].0[lane] == 0
+                && e_buf[j as usize].0[lane] == 0
+            {
+                j += 1;
+            }
+            beg[lane] = j;
+            let mut j = end[lane];
+            while j >= beg[lane]
+                && h_buf[j as usize].0[lane] == 0
+                && e_buf[j as usize].0[lane] == 0
+            {
+                j -= 1;
+            }
+            end[lane] = if j + 2 < qlen[lane] { j + 2 } else { qlen[lane] };
+        }
+        ph.end(Phase::BandAdjustII);
+    }
+
+    for lane in 0..n {
+        out[lane] = ExtendResult {
+            score: max[lane],
+            qle: max_j[lane] + 1,
+            tle: max_i[lane] + 1,
+            gtle: max_ie[lane] + 1,
+            gscore: gscore[lane],
+            max_off: max_off[lane],
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NoPhase;
+    use crate::scalar::extend_scalar;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_i16<const W: usize>(params: &ScoreParams, jobs: &[ExtendJob]) -> Vec<ExtendResult> {
+        let mut out = vec![ExtendResult::default(); jobs.len()];
+        for (chunk, o) in jobs.chunks(W).zip(out.chunks_mut(W)) {
+            extend_chunk_i16::<W, _>(params, chunk, o, &mut NoPhase);
+        }
+        out
+    }
+
+    fn random_job(rng: &mut StdRng, max_len: usize, max_h0: i32) -> ExtendJob {
+        let qlen = rng.random_range(1..max_len);
+        let tlen = rng.random_range(1..max_len + 20);
+        let mutrate = rng.random_range(0.0..0.35);
+        let query: Vec<u8> = (0..qlen).map(|_| rng.random_range(0..4u8)).collect();
+        let mut target: Vec<u8> = query
+            .iter()
+            .map(|&c| if rng.random_bool(mutrate) { rng.random_range(0..5u8) } else { c })
+            .collect();
+        target.resize(tlen, 1);
+        let h0 = rng.random_range(1..max_h0);
+        let w = rng.random_range(1..101);
+        ExtendJob::new(query, target, h0, w)
+    }
+
+    #[test]
+    fn matches_scalar_including_large_scores() {
+        let params = ScoreParams::default();
+        let mut rng = StdRng::seed_from_u64(46);
+        // jobs far beyond 8-bit range: long queries and large h0
+        let jobs: Vec<ExtendJob> = (0..150).map(|_| random_job(&mut rng, 600, 800)).collect();
+        let got = run_i16::<16>(&params, &jobs);
+        for (k, job) in jobs.iter().enumerate() {
+            assert_eq!(got[k], extend_scalar(&params, job), "job {k}");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_at_width_8_and_32() {
+        let params = ScoreParams::default();
+        let mut rng = StdRng::seed_from_u64(47);
+        let jobs: Vec<ExtendJob> = (0..120).map(|_| random_job(&mut rng, 250, 300)).collect();
+        let w8 = run_i16::<8>(&params, &jobs);
+        let w32 = run_i16::<32>(&params, &jobs);
+        for (k, job) in jobs.iter().enumerate() {
+            let want = extend_scalar(&params, job);
+            assert_eq!(w8[k], want, "W=8 job {k}");
+            assert_eq!(w32[k], want, "W=32 job {k}");
+        }
+    }
+
+    #[test]
+    fn alternative_scoring_parameters() {
+        let params = ScoreParams::new(2, 5, 5, 2, 7, 2, 40, 10);
+        let mut rng = StdRng::seed_from_u64(48);
+        let jobs: Vec<ExtendJob> = (0..100).map(|_| random_job(&mut rng, 200, 200)).collect();
+        let got = run_i16::<16>(&params, &jobs);
+        for (k, job) in jobs.iter().enumerate() {
+            assert_eq!(got[k], extend_scalar(&params, job), "job {k}");
+        }
+    }
+}

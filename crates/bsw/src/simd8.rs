@@ -1,0 +1,398 @@
+//! Inter-task vectorized BSW at 8-bit precision (paper §5.3–§5.4).
+//!
+//! `W` different sequence pairs occupy the `W` byte lanes. The row loop is
+//! global; within a row, cells are computed for the **union** of all
+//! lanes' bands, and per-lane masks confine updates to each lane's own
+//! `[beg, end]` range — the paper's "wasteful cell computations".
+//!
+//! Unsigned saturating arithmetic reproduces the scalar kernel's
+//! `max(…, 0)` clamps exactly (see the equivalence notes inline); the
+//! engine is only fed jobs for which `h0 + qlen·match ≤ 249`, so no value
+//! can saturate at 255. Per-row bookkeeping (band clamp, Z-drop, band
+//! shrink) runs per lane in scalar registers — these are the paper's
+//! "band adjustment" phases of Table 8.
+
+use mem2_simd::VecU8;
+
+use crate::engine::{Phase, PhaseSink};
+use crate::soa::{pack_queries, pack_targets};
+use crate::types::{ExtendJob, ExtendResult, ScoreParams};
+
+/// Largest `h0 + qlen·match` the 8-bit engine accepts.
+pub const MAX_SCORE_8: i32 = 249;
+
+/// Per-lane band clamp identical to the scalar kernel's preamble.
+pub(crate) fn clamp_band(params: &ScoreParams, qlen: usize, w: i32) -> i32 {
+    let msc = params.max_score();
+    let max_ins = ((qlen as f64 * msc as f64 + params.end_bonus as f64 - params.o_ins as f64)
+        / params.e_ins as f64
+        + 1.0) as i32;
+    let w = w.min(max_ins.max(1));
+    let max_del = ((qlen as f64 * msc as f64 + params.end_bonus as f64 - params.o_del as f64)
+        / params.e_del as f64
+        + 1.0) as i32;
+    w.min(max_del.max(1))
+}
+
+/// Extend ≤ `W` jobs simultaneously. Caller guarantees for every job:
+/// `qlen ≥ 1`, `tlen ≥ 1`, `qlen ≤ 249`, `h0 ≥ 1`, and
+/// `h0 + qlen·match ≤ MAX_SCORE_8`.
+pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
+    params: &ScoreParams,
+    jobs: &[ExtendJob],
+    out: &mut [ExtendResult],
+    ph: &mut PH,
+) {
+    let n = jobs.len();
+    assert!(n <= W && n == out.len());
+
+    ph.begin(Phase::Preproc);
+    // --- AoS -> SoA ---
+    let mut q_soa = Vec::new();
+    let mut t_soa = Vec::new();
+    let qmax = pack_queries::<W>(jobs, &mut q_soa);
+    let tmax = pack_targets::<W>(jobs, &mut t_soa);
+
+    // --- per-lane scalar state ---
+    let mut qlen = [0i32; W];
+    let mut tlen = [0i32; W];
+    let mut h0 = [0i32; W];
+    let mut w_lane = [0i32; W];
+    let mut beg = [0i32; W];
+    let mut end = [0i32; W];
+    let mut max = [0i32; W];
+    let mut max_i = [-1i32; W];
+    let mut max_j = [-1i32; W];
+    let mut max_ie = [-1i32; W];
+    let mut gscore = [-1i32; W];
+    let mut max_off = [0i32; W];
+    let mut dead = [true; W]; // lanes beyond `n` never run
+    for (lane, job) in jobs.iter().enumerate() {
+        let ql = job.query.len();
+        debug_assert!(ql >= 1 && !job.target.is_empty());
+        debug_assert!(job.h0 >= 1 && job.h0 + ql as i32 * params.max_score() <= MAX_SCORE_8);
+        qlen[lane] = ql as i32;
+        tlen[lane] = job.target.len() as i32;
+        h0[lane] = job.h0;
+        w_lane[lane] = clamp_band(params, ql, job.w);
+        beg[lane] = 0;
+        end[lane] = ql as i32;
+        max[lane] = job.h0;
+        dead[lane] = false;
+    }
+
+    // --- vector buffers: h_buf[j] = H(i-1, j-1), e_buf[j] = E(i, j) ---
+    let mut h_buf: Vec<VecU8<W>> = vec![VecU8::zero(); qmax + 2];
+    let mut e_buf: Vec<VecU8<W>> = vec![VecU8::zero(); qmax + 2];
+    let oe_ins = params.o_ins + params.e_ins;
+    let oe_del = params.o_del + params.e_del;
+    for lane in 0..n {
+        // first row: gap chain away from the seed (scalar preamble)
+        h_buf[0].0[lane] = h0[lane] as u8;
+        if qlen[lane] >= 1 {
+            h_buf[1].0[lane] = if h0[lane] > oe_ins { (h0[lane] - oe_ins) as u8 } else { 0 };
+        }
+        let mut j = 2;
+        while j <= qlen[lane] as usize && h_buf[j - 1].0[lane] as i32 > params.e_ins {
+            h_buf[j].0[lane] = h_buf[j - 1].0[lane] - params.e_ins as u8;
+            j += 1;
+        }
+    }
+    ph.end(Phase::Preproc);
+
+    let splat_a = VecU8::<W>::splat(params.a as u8);
+    let splat_b = VecU8::<W>::splat(params.b as u8);
+    let splat_one = VecU8::<W>::splat(1);
+    let splat_three = VecU8::<W>::splat(3);
+    let splat_edel = VecU8::<W>::splat(params.e_del as u8);
+    let splat_eins = VecU8::<W>::splat(params.e_ins as u8);
+    let splat_oedel = VecU8::<W>::splat(oe_del as u8);
+    let splat_oeins = VecU8::<W>::splat(oe_ins as u8);
+    let ones = VecU8::<W>::splat(0xFF);
+    let zero = VecU8::<W>::zero();
+
+    for i in 0..tmax as i32 {
+        ph.begin(Phase::BandAdjustI);
+        // --- per-lane band clamp + first-column init (scalar, per row) ---
+        let mut active = [false; W];
+        let mut any_active = false;
+        let mut h1_init = [0u8; W];
+        let mut union_beg = i32::MAX;
+        let mut union_end = 0i32; // inclusive of the eh[end] write
+        for lane in 0..n {
+            if dead[lane] || i >= tlen[lane] {
+                continue;
+            }
+            active[lane] = true;
+            any_active = true;
+            if beg[lane] < i - w_lane[lane] {
+                beg[lane] = i - w_lane[lane];
+            }
+            if end[lane] > i + w_lane[lane] + 1 {
+                end[lane] = i + w_lane[lane] + 1;
+            }
+            if end[lane] > qlen[lane] {
+                end[lane] = qlen[lane];
+            }
+            h1_init[lane] = if beg[lane] == 0 {
+                (h0[lane] - (params.o_del + params.e_del * (i + 1))).max(0) as u8
+            } else {
+                0
+            };
+            if beg[lane] <= end[lane] {
+                union_beg = union_beg.min(beg[lane]);
+                union_end = union_end.max(end[lane]);
+            }
+        }
+        ph.end(Phase::BandAdjustI);
+        if !any_active {
+            break;
+        }
+
+        ph.begin(Phase::Cells);
+        // --- build row vectors ---
+        let mut act_v = VecU8::<W>::zero();
+        let mut beg_v = VecU8::<W>::zero();
+        let mut end_v = VecU8::<W>::zero();
+        for lane in 0..W {
+            if active[lane] && beg[lane] <= end[lane] {
+                // beg <= end <= qlen <= 249, so the u8 casts are exact;
+                // collapsed bands (beg > end, where beg may exceed 255)
+                // are parked below and die in the row epilogue
+                act_v.0[lane] = 0xFF;
+                beg_v.0[lane] = beg[lane] as u8;
+                end_v.0[lane] = end[lane] as u8;
+            } else {
+                // park inactive lanes on an empty range past any real j
+                beg_v.0[lane] = 0xFF;
+                end_v.0[lane] = 0xFE;
+            }
+        }
+        let mut h1_v = VecU8(h1_init);
+        let mut f_v = zero;
+        let mut rowmax_v = zero;
+        let mut mj_v = zero;
+        let t_v = VecU8::<W>::load(&t_soa[(i as usize) * W..]);
+        let t_ambig = t_v.cmpgt(splat_three);
+
+        let n_live = active.iter().filter(|&&a| a).count() as u64;
+        ph.on_row(n_live, n_live * (union_end - union_beg.min(union_end)).max(0) as u64);
+        for j in union_beg.max(0)..=union_end {
+            let j_v = VecU8::<W>::splat(j as u8);
+            let in_cell = j_v.cmpge(beg_v).and(end_v.cmpgt(j_v)).and(act_v);
+            let at_end = j_v.cmpeq(end_v).and(act_v);
+            let touched = in_cell.or(at_end);
+            if touched.all_zero() {
+                continue;
+            }
+            let ph_v = h_buf[j as usize];
+            let pe_v = e_buf[j as usize];
+            // store H(i, j-1) where this lane touches column j
+            h_buf[j as usize] = h1_v.blend(ph_v, touched);
+
+            let q_v = VecU8::<W>::load(&q_soa[(j as usize) * W..]);
+            // score selection: +a on match, -b on mismatch, -1 against N
+            let ambig = q_v.cmpgt(splat_three).or(t_ambig);
+            let eq_ok = ambig.andnot(q_v.cmpeq(t_v));
+            let mism = eq_ok.or(ambig).andnot(ones);
+            let add_v = splat_a.and(eq_ok);
+            let sub_v = splat_b.and(mism).or(splat_one.and(ambig));
+            // M = H(i-1,j-1) != 0 ? H + s : 0.
+            // Saturating subs floors at 0, which matches the scalar kernel:
+            // a negative scalar M only ever feeds max(…, 0) clamps.
+            let m_raw = ph_v.adds(add_v).subs(sub_v);
+            let m_v = ph_v.cmpeq(zero).andnot(m_raw);
+            let h = m_v.max(pe_v).max(f_v);
+            h1_v = h.blend(h1_v, in_cell);
+            // best-in-row tracking; scalar takes the later j on ties
+            let upd = rowmax_v.cmpgt(h).andnot(in_cell);
+            mj_v = j_v.blend(mj_v, upd);
+            rowmax_v = h.blend(rowmax_v, upd);
+            // E(i+1, j) and F(i, j+1)
+            let t_del = m_v.subs(splat_oedel);
+            let e_new = pe_v.subs(splat_edel).max(t_del);
+            let mut e_store = e_new.blend(pe_v, in_cell);
+            e_store = zero.blend(e_store, at_end);
+            e_buf[j as usize] = e_store;
+            let t_ins = m_v.subs(splat_oeins);
+            let f_new = f_v.subs(splat_eins).max(t_ins);
+            f_v = f_new.blend(f_v, in_cell);
+        }
+        ph.end(Phase::Cells);
+
+        ph.begin(Phase::BandAdjustII);
+        // --- per-lane row epilogue (scalar) ---
+        for lane in 0..n {
+            if !active[lane] {
+                continue;
+            }
+            let h1 = h1_v.0[lane] as i32;
+            // the scalar loop variable ends at max(beg, end): with a
+            // collapsed band (beg >= end) the inner loop never runs
+            if beg[lane].max(end[lane]) == qlen[lane] && gscore[lane] <= h1 {
+                max_ie[lane] = i;
+                gscore[lane] = h1;
+            }
+            let row_max = rowmax_v.0[lane] as i32;
+            let mj = mj_v.0[lane] as i32;
+            if row_max == 0 {
+                dead[lane] = true;
+                continue;
+            }
+            if row_max > max[lane] {
+                max[lane] = row_max;
+                max_i[lane] = i;
+                max_j[lane] = mj;
+                max_off[lane] = max_off[lane].max((mj - i).abs());
+            } else if params.zdrop > 0 {
+                if i - max_i[lane] > mj - max_j[lane] {
+                    if max[lane] - row_max - ((i - max_i[lane]) - (mj - max_j[lane])) * params.e_del
+                        > params.zdrop
+                    {
+                        dead[lane] = true;
+                        continue;
+                    }
+                } else if max[lane] - row_max - ((mj - max_j[lane]) - (i - max_i[lane])) * params.e_ins
+                    > params.zdrop
+                {
+                    dead[lane] = true;
+                    continue;
+                }
+            }
+            // shrink the band: drop all-zero cells at both ends
+            let mut j = beg[lane];
+            while j < end[lane]
+                && h_buf[j as usize].0[lane] == 0
+                && e_buf[j as usize].0[lane] == 0
+            {
+                j += 1;
+            }
+            beg[lane] = j;
+            let mut j = end[lane];
+            while j >= beg[lane]
+                && h_buf[j as usize].0[lane] == 0
+                && e_buf[j as usize].0[lane] == 0
+            {
+                j -= 1;
+            }
+            end[lane] = if j + 2 < qlen[lane] { j + 2 } else { qlen[lane] };
+        }
+        ph.end(Phase::BandAdjustII);
+    }
+
+    for lane in 0..n {
+        out[lane] = ExtendResult {
+            score: max[lane],
+            qle: max_j[lane] + 1,
+            tle: max_i[lane] + 1,
+            gtle: max_ie[lane] + 1,
+            gscore: gscore[lane],
+            max_off: max_off[lane],
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NoPhase;
+    use crate::scalar::extend_scalar;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_u8<const W: usize>(params: &ScoreParams, jobs: &[ExtendJob]) -> Vec<ExtendResult> {
+        let mut out = vec![ExtendResult::default(); jobs.len()];
+        for (chunk, o) in jobs.chunks(W).zip(out.chunks_mut(W)) {
+            extend_chunk_u8::<W, _>(params, chunk, o, &mut NoPhase);
+        }
+        out
+    }
+
+    fn random_job(rng: &mut StdRng, max_len: usize) -> ExtendJob {
+        let qlen = rng.random_range(1..max_len);
+        let tlen = rng.random_range(1..max_len + 10);
+        let mutrate = rng.random_range(0.0..0.4);
+        let query: Vec<u8> = (0..qlen).map(|_| rng.random_range(0..4u8)).collect();
+        // target: mutated copy of query so there is real signal
+        let mut target: Vec<u8> = query
+            .iter()
+            .map(|&c| {
+                if rng.random_bool(mutrate) {
+                    rng.random_range(0..5u8)
+                } else {
+                    c
+                }
+            })
+            .collect();
+        target.resize(tlen, 0);
+        for t in target.iter_mut().skip(qlen.min(tlen)) {
+            *t = rng.random_range(0..4u8);
+        }
+        let h0 = rng.random_range(1..40);
+        let w = rng.random_range(1..101);
+        ExtendJob::new(query, target, h0, w)
+    }
+
+    #[test]
+    fn matches_scalar_on_random_jobs_width32() {
+        let params = ScoreParams::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let jobs: Vec<ExtendJob> = (0..400).map(|_| random_job(&mut rng, 150)).collect();
+        let got = run_u8::<32>(&params, &jobs);
+        for (k, job) in jobs.iter().enumerate() {
+            let want = extend_scalar(&params, job);
+            assert_eq!(got[k], want, "job {k}: {job:?}");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_random_jobs_width64_and_16() {
+        let params = ScoreParams::default();
+        let mut rng = StdRng::seed_from_u64(43);
+        let jobs: Vec<ExtendJob> = (0..200).map(|_| random_job(&mut rng, 120)).collect();
+        let w64 = run_u8::<64>(&params, &jobs);
+        let w16 = run_u8::<16>(&params, &jobs);
+        for (k, job) in jobs.iter().enumerate() {
+            let want = extend_scalar(&params, job);
+            assert_eq!(w64[k], want, "W=64 job {k}");
+            assert_eq!(w16[k], want, "W=16 job {k}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_lengths_in_one_chunk() {
+        let params = ScoreParams::default();
+        let mut rng = StdRng::seed_from_u64(44);
+        // extreme length mix in a single chunk
+        let mut jobs = vec![
+            ExtendJob::new(vec![0], vec![0], 1, 100),
+            ExtendJob::new(vec![1; 200], vec![1; 230], 40, 100),
+            ExtendJob::new(vec![2; 3], vec![3; 100], 5, 2),
+        ];
+        for _ in 0..29 {
+            jobs.push(random_job(&mut rng, 60));
+        }
+        let got = run_u8::<32>(&params, &jobs);
+        for (k, job) in jobs.iter().enumerate() {
+            assert_eq!(got[k], extend_scalar(&params, job), "job {k}");
+        }
+    }
+
+    #[test]
+    fn zdrop_and_tiny_bands_lanewise() {
+        let mut params = ScoreParams::default();
+        params.zdrop = 5;
+        let mut rng = StdRng::seed_from_u64(45);
+        let jobs: Vec<ExtendJob> = (0..64)
+            .map(|_| {
+                let mut j = random_job(&mut rng, 100);
+                j.w = rng.random_range(1..4);
+                j
+            })
+            .collect();
+        let got = run_u8::<64>(&params, &jobs);
+        for (k, job) in jobs.iter().enumerate() {
+            assert_eq!(got[k], extend_scalar(&params, job), "job {k}");
+        }
+    }
+}

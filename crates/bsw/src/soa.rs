@@ -1,0 +1,72 @@
+//! AoS → SoA conversion (paper §5.3.3): bases of the W sequence pairs are
+//! interleaved so that column `j` of all lanes is one contiguous vector
+//! load instead of a gather.
+
+use crate::types::ExtendJob;
+
+/// Padding base written beyond each lane's own sequence; 4 (= N) can never
+/// satisfy the match compare and is masked out anyway.
+pub const PAD_BASE: u8 = 4;
+
+/// Pack the queries of ≤ `W` jobs column-major: `out[j*W + lane]`.
+/// Returns the padded buffer and the maximum query length.
+pub fn pack_queries<const W: usize>(jobs: &[ExtendJob], out: &mut Vec<u8>) -> usize {
+    pack(jobs, out, W, |job| &job.query)
+}
+
+/// Pack the targets of ≤ `W` jobs column-major.
+pub fn pack_targets<const W: usize>(jobs: &[ExtendJob], out: &mut Vec<u8>) -> usize {
+    pack(jobs, out, W, |job| &job.target)
+}
+
+fn pack<'a>(
+    jobs: &'a [ExtendJob],
+    out: &mut Vec<u8>,
+    w: usize,
+    get: impl Fn(&'a ExtendJob) -> &'a [u8],
+) -> usize {
+    assert!(jobs.len() <= w);
+    let maxlen = jobs.iter().map(|j| get(j).len()).max().unwrap_or(0);
+    out.clear();
+    // one extra padding column: the kernels issue a (masked-out) column
+    // load at j == maxlen for the eh[end] book-keeping write
+    out.resize((maxlen + 1) * w, PAD_BASE);
+    for (lane, job) in jobs.iter().enumerate() {
+        for (j, &b) in get(job).iter().enumerate() {
+            out[j * w + lane] = b;
+        }
+    }
+    maxlen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_column_major_with_padding() {
+        let jobs = vec![
+            ExtendJob::new(vec![0, 1, 2], vec![3], 1, 1),
+            ExtendJob::new(vec![3], vec![2, 2], 1, 1),
+        ];
+        let mut buf = Vec::new();
+        let maxq = pack_queries::<4>(&jobs, &mut buf);
+        assert_eq!(maxq, 3);
+        assert_eq!(buf.len(), 16); // 3 columns + 1 padding column
+        // column 0: lane0=0, lane1=3, rest pad
+        assert_eq!(&buf[0..4], &[0, 3, PAD_BASE, PAD_BASE]);
+        // column 1: lane0=1, lane1 pad
+        assert_eq!(&buf[4..8], &[1, PAD_BASE, PAD_BASE, PAD_BASE]);
+        assert_eq!(&buf[8..12], &[2, PAD_BASE, PAD_BASE, PAD_BASE]);
+        let maxt = pack_targets::<4>(&jobs, &mut buf);
+        assert_eq!(maxt, 2);
+        assert_eq!(&buf[0..4], &[3, 2, PAD_BASE, PAD_BASE]);
+    }
+
+    #[test]
+    fn empty_jobs_pack_to_padding_only() {
+        let mut buf = vec![9; 8];
+        assert_eq!(pack_queries::<4>(&[], &mut buf), 0);
+        assert_eq!(buf, vec![PAD_BASE; 4]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Length sorting of extension jobs (paper §5.3.1).
+//!
+//! "We use radix sort to sort the tasks by their respective sequence
+//! lengths, and then group together tasks with the same or close sequence
+//! lengths to ensure uniformity of tasks filling vector lanes."
+//!
+//! Key = `tlen << 16 | qlen`, LSD radix over 11-bit digits (3 passes).
+
+use crate::types::ExtendJob;
+
+/// Return the permutation that orders `jobs` by (tlen, qlen) ascending.
+/// `perm[rank] = original index`. Stable, linear time.
+pub fn sort_jobs_by_length(jobs: &[ExtendJob]) -> Vec<u32> {
+    let keys: Vec<u32> = jobs
+        .iter()
+        .map(|j| {
+            debug_assert!(j.target.len() < 1 << 16 && j.query.len() < 1 << 16);
+            ((j.target.len() as u32) << 16) | j.query.len() as u32
+        })
+        .collect();
+    radix_argsort(&keys)
+}
+
+/// LSD radix argsort over u32 keys with 11-bit digits.
+fn radix_argsort(keys: &[u32]) -> Vec<u32> {
+    const BITS: u32 = 11;
+    const BUCKETS: usize = 1 << BITS;
+    const MASK: u32 = (BUCKETS - 1) as u32;
+    let n = keys.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut tmp: Vec<u32> = vec![0; n];
+    let mut counts = vec![0u32; BUCKETS];
+    for pass in 0..3 {
+        let shift = pass * BITS;
+        counts.fill(0);
+        for &i in &perm {
+            counts[((keys[i as usize] >> shift) & MASK) as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            let v = *c;
+            *c = sum;
+            sum += v;
+        }
+        for &i in &perm {
+            let d = ((keys[i as usize] >> shift) & MASK) as usize;
+            tmp[counts[d] as usize] = i;
+            counts[d] += 1;
+        }
+        std::mem::swap(&mut perm, &mut tmp);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn job(q: usize, t: usize) -> ExtendJob {
+        ExtendJob::new(vec![0; q], vec![0; t], 1, 10)
+    }
+
+    #[test]
+    fn orders_by_target_then_query() {
+        let jobs = vec![job(5, 9), job(2, 3), job(9, 3), job(1, 3)];
+        let perm = sort_jobs_by_length(&jobs);
+        let ordered: Vec<(usize, usize)> = perm
+            .iter()
+            .map(|&i| (jobs[i as usize].target.len(), jobs[i as usize].query.len()))
+            .collect();
+        assert_eq!(ordered, vec![(3, 1), (3, 2), (3, 9), (9, 5)]);
+    }
+
+    #[test]
+    fn radix_matches_std_sort_on_random_keys() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let keys: Vec<u32> = (0..5000).map(|_| rng.random::<u32>()).collect();
+        let perm = radix_argsort(&keys);
+        let mut expect: Vec<u32> = (0..keys.len() as u32).collect();
+        expect.sort_by_key(|&i| (keys[i as usize], i)); // stable
+        assert_eq!(perm, expect);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(sort_jobs_by_length(&[]).is_empty());
+        assert_eq!(sort_jobs_by_length(&[job(1, 1)]), vec![0]);
+    }
+}

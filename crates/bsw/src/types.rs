@@ -1,0 +1,140 @@
+//! Shared BSW job/result/parameter types.
+
+/// Alignment scoring parameters (bwa-mem defaults via [`ScoreParams::default`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScoreParams {
+    /// Match score (`-A`, default 1).
+    pub a: i32,
+    /// Mismatch penalty as a positive number (`-B`, default 4).
+    pub b: i32,
+    /// Deletion open penalty (`-O`, default 6).
+    pub o_del: i32,
+    /// Deletion extension penalty (`-E`, default 1).
+    pub e_del: i32,
+    /// Insertion open penalty (default 6).
+    pub o_ins: i32,
+    /// Insertion extension penalty (default 1).
+    pub e_ins: i32,
+    /// Z-drop threshold (`-d`, default 100).
+    pub zdrop: i32,
+    /// Bonus for reaching the end of the query (`-L`, default 5).
+    pub end_bonus: i32,
+    /// 5×5 scoring matrix over {A,C,G,T,N} (bwa's `bwa_fill_scmat`).
+    pub mat: [i8; 25],
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        ScoreParams::new(1, 4, 6, 1, 6, 1, 100, 5)
+    }
+}
+
+impl ScoreParams {
+    /// Build parameters with the bwa matrix layout: `match` on the
+    /// diagonal, `-mismatch` elsewhere, −1 against N.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        a: i32,
+        b: i32,
+        o_del: i32,
+        e_del: i32,
+        o_ins: i32,
+        e_ins: i32,
+        zdrop: i32,
+        end_bonus: i32,
+    ) -> Self {
+        let mut mat = [0i8; 25];
+        let mut k = 0;
+        for i in 0..4 {
+            for j in 0..4 {
+                mat[k] = if i == j { a as i8 } else { -(b as i8) };
+                k += 1;
+            }
+            mat[k] = -1; // ambiguous base
+            k += 1;
+        }
+        for _ in 0..5 {
+            mat[k] = -1;
+            k += 1;
+        }
+        ScoreParams { a, b, o_del, e_del, o_ins, e_ins, zdrop, end_bonus, mat }
+    }
+
+    /// Score of aligning base codes `x` against `y`.
+    #[inline(always)]
+    pub fn score(&self, x: u8, y: u8) -> i32 {
+        self.mat[(x.min(4) as usize) * 5 + y.min(4) as usize] as i32
+    }
+
+    /// Maximum entry of the matrix (the match score).
+    #[inline]
+    pub fn max_score(&self) -> i32 {
+        self.mat.iter().map(|&v| v as i32).max().unwrap_or(0)
+    }
+}
+
+/// One seed-extension task: extend into `query` (length `qlen`) against
+/// `target`, starting from seed score `h0`, within band `w`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtendJob {
+    /// Query base codes (the unaligned read portion, possibly reversed
+    /// for left extension).
+    pub query: Vec<u8>,
+    /// Target base codes (reference window).
+    pub target: Vec<u8>,
+    /// Initial score (seed score for the first extension).
+    pub h0: i32,
+    /// Band width for this job.
+    pub w: i32,
+}
+
+impl ExtendJob {
+    /// Convenience constructor.
+    pub fn new(query: Vec<u8>, target: Vec<u8>, h0: i32, w: i32) -> Self {
+        ExtendJob { query, target, h0, w }
+    }
+}
+
+/// Extension outcome, field-for-field bwa's `ksw_extend2` outputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtendResult {
+    /// Best local-extension score.
+    pub score: i32,
+    /// Query bases consumed at the best score (`max_j + 1`).
+    pub qle: i32,
+    /// Target bases consumed at the best score (`max_i + 1`).
+    pub tle: i32,
+    /// Target bases consumed at the best to-end-of-query score (`max_ie + 1`).
+    pub gtle: i32,
+    /// Best score reaching the end of the query (−1 if never reached).
+    pub gscore: i32,
+    /// Maximum distance from the diagonal seen at a best-score update.
+    pub max_off: i32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matrix_matches_bwa_fill_scmat() {
+        let p = ScoreParams::default();
+        assert_eq!(p.score(0, 0), 1);
+        assert_eq!(p.score(2, 2), 1);
+        assert_eq!(p.score(0, 1), -4);
+        assert_eq!(p.score(3, 0), -4);
+        assert_eq!(p.score(0, 4), -1);
+        assert_eq!(p.score(4, 4), -1);
+        assert_eq!(p.max_score(), 1);
+    }
+
+    #[test]
+    fn custom_scores() {
+        let p = ScoreParams::new(2, 5, 6, 2, 7, 3, 50, 5);
+        assert_eq!(p.score(1, 1), 2);
+        assert_eq!(p.score(1, 2), -5);
+        assert_eq!(p.max_score(), 2);
+        assert_eq!(p.e_del, 2);
+        assert_eq!(p.e_ins, 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: every SIMD engine configuration is bit-identical to
+//! the scalar `ksw_extend2` port on arbitrary jobs, and the global
+//! aligner's CIGARs are always structurally valid.
+
+use proptest::prelude::*;
+
+use mem2_bsw::{
+    extend_scalar, global_align, BswEngine, CigarOp, EngineKind, ExtendJob, ScoreParams,
+};
+
+fn arb_job() -> impl Strategy<Value = ExtendJob> {
+    (
+        prop::collection::vec(0u8..5, 1..120),
+        prop::collection::vec(0u8..5, 1..140),
+        1i32..200,
+        1i32..80,
+    )
+        .prop_map(|(q, t, h0, w)| ExtendJob::new(q, t, h0, w))
+}
+
+fn arb_params() -> impl Strategy<Value = ScoreParams> {
+    (1i32..3, 2i32..6, 4i32..8, 1i32..3, 4i32..8, 1i32..3, 20i32..120, 0i32..10)
+        .prop_map(|(a, b, od, ed, oi, ei, z, eb)| ScoreParams::new(a, b, od, ed, oi, ei, z, eb))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simd_engines_match_scalar(
+        jobs in prop::collection::vec(arb_job(), 1..80),
+        params in arb_params(),
+        width in prop::sample::select(vec![16usize, 32, 64]),
+        sort in any::<bool>(),
+    ) {
+        let scalar: Vec<_> = jobs.iter().map(|j| extend_scalar(&params, j)).collect();
+        let engine = BswEngine {
+            params,
+            kind: EngineKind::Vector { width },
+            sort_by_length: sort,
+            force_16bit: false,
+        };
+        prop_assert_eq!(engine.extend_all(&jobs), scalar);
+    }
+
+    #[test]
+    fn forced_16bit_matches_scalar(
+        jobs in prop::collection::vec(arb_job(), 1..40),
+    ) {
+        let params = ScoreParams::default();
+        let scalar: Vec<_> = jobs.iter().map(|j| extend_scalar(&params, j)).collect();
+        let engine = BswEngine {
+            params,
+            kind: EngineKind::Vector { width: 64 },
+            sort_by_length: true,
+            force_16bit: true,
+        };
+        prop_assert_eq!(engine.extend_all(&jobs), scalar);
+    }
+
+    #[test]
+    fn extension_invariants_hold(job in arb_job()) {
+        let params = ScoreParams::default();
+        let r = extend_scalar(&params, &job);
+        // score can never drop below the seed score
+        prop_assert!(r.score >= job.h0);
+        // consumed lengths stay within bounds
+        prop_assert!(r.qle >= 0 && r.qle <= job.query.len() as i32);
+        prop_assert!(r.tle >= 0 && r.tle <= job.target.len() as i32);
+        prop_assert!(r.gtle >= 0 && r.gtle <= job.target.len() as i32);
+        // gscore == -1 means the query end was never reached
+        prop_assert!(r.gscore >= -1);
+        prop_assert!(r.max_off >= 0);
+    }
+
+    #[test]
+    fn global_cigar_consumes_exact_lengths(
+        q in prop::collection::vec(0u8..5, 0..80),
+        t in prop::collection::vec(0u8..5, 0..80),
+        w in 1i32..40,
+    ) {
+        let params = ScoreParams::default();
+        let (_, cigar) = global_align(&params, &q, &t, w);
+        let mut ql = 0usize;
+        let mut tl = 0usize;
+        for op in &cigar {
+            match *op {
+                CigarOp::Match(n) => { ql += n as usize; tl += n as usize; }
+                CigarOp::Ins(n) => ql += n as usize,
+                CigarOp::Del(n) => tl += n as usize,
+                CigarOp::SoftClip(n) => ql += n as usize,
+            }
+            prop_assert!(!op.is_empty(), "zero-length op");
+        }
+        prop_assert_eq!(ql, q.len());
+        prop_assert_eq!(tl, t.len());
+        // ops are run-length encoded: no two adjacent ops of the same kind
+        for pair in cigar.windows(2) {
+            prop_assert!(pair[0].ch() != pair[1].ch(), "unmerged ops: {:?}", cigar);
+        }
+    }
+
+    #[test]
+    fn global_score_is_symmetric_under_sequence_swap(
+        q in prop::collection::vec(0u8..4, 1..40),
+        t in prop::collection::vec(0u8..4, 1..40),
+    ) {
+        // with symmetric gap penalties, swapping sequences flips I<->D
+        // but preserves the score
+        let params = ScoreParams::default();
+        let (s1, _) = global_align(&params, &q, &t, 100);
+        let (s2, _) = global_align(&params, &t, &q, 100);
+        prop_assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,225 @@
+//! B-tree chaining (bwa's `mem_chain` + `test_and_merge`).
+
+use std::collections::BTreeMap;
+
+use crate::seed::Seed;
+
+/// Chaining parameters (subset of bwa's `mem_opt_t`).
+#[derive(Clone, Copy, Debug)]
+pub struct ChainOpts {
+    /// Band width `-w` (default 100): collinearity tolerance.
+    pub w: i32,
+    /// Maximum gap between chained seeds (default 10000).
+    pub max_chain_gap: i32,
+    /// Occurrence cap per SMEM (default 500).
+    pub max_occ: i64,
+    /// Chain-overlap mask level (default 0.5).
+    pub mask_level: f32,
+    /// Drop chains weighing less than this fraction of the best
+    /// overlapping chain (default 0.5).
+    pub drop_ratio: f32,
+    /// Discard chains under this weight (default 0).
+    pub min_chain_weight: i32,
+    /// Minimum seed length (default 19), reused by the filter.
+    pub min_seed_len: i32,
+    /// Cap on the number of kept-but-shadowed chains to extend.
+    pub max_chain_extend: usize,
+}
+
+impl Default for ChainOpts {
+    fn default() -> Self {
+        ChainOpts {
+            w: 100,
+            max_chain_gap: 10_000,
+            max_occ: 500,
+            mask_level: 0.5,
+            drop_ratio: 0.5,
+            min_chain_weight: 0,
+            min_seed_len: 19,
+            max_chain_extend: 1 << 30,
+        }
+    }
+}
+
+/// A chain of collinear seeds on one contig (bwa's `mem_chain_t`).
+#[derive(Clone, Debug, Default)]
+pub struct Chain {
+    /// Reference position of the first seed (the B-tree key).
+    pub pos: i64,
+    /// Member seeds in insertion order.
+    pub seeds: Vec<Seed>,
+    /// Contig id.
+    pub rid: usize,
+    /// Chain weight (filled by the filter).
+    pub w: i32,
+    /// Kept flag (0 dropped, 1 shadowed-first, 2 kept-with-overlap, 3 primary).
+    pub kept: u8,
+    /// Index of the first chain shadowing this one (MAPQ bookkeeping).
+    pub first: i32,
+    /// Fraction of the read covered by repetitive seeds.
+    pub frac_rep: f32,
+}
+
+impl Chain {
+    /// Query begin of the chain (first seed).
+    pub fn qbeg(&self) -> i32 {
+        self.seeds.first().map_or(0, |s| s.qbeg)
+    }
+
+    /// Query end of the chain (last seed).
+    pub fn qend(&self) -> i32 {
+        self.seeds.last().map_or(0, |s| s.qend())
+    }
+
+    /// Reference span begin (first seed).
+    pub fn rbeg(&self) -> i64 {
+        self.seeds.first().map_or(0, |s| s.rbeg)
+    }
+
+    /// Reference span end (last seed).
+    pub fn rend(&self) -> i64 {
+        self.seeds.last().map_or(0, |s| s.rend())
+    }
+}
+
+/// bwa's `test_and_merge`: try to absorb seed `p` into chain `c`.
+/// Returns true if the seed was merged (or contained); false requests a
+/// new chain.
+fn test_and_merge(opt: &ChainOpts, l_pac: i64, c: &mut Chain, p: &Seed, seed_rid: usize) -> bool {
+    if seed_rid != c.rid {
+        return false; // different chromosome; request a new chain
+    }
+    let last = *c.seeds.last().expect("chains are never empty");
+    let qend = last.qend();
+    let rend = last.rend();
+    if p.qbeg >= c.seeds[0].qbeg
+        && p.qend() <= qend
+        && p.rbeg >= c.seeds[0].rbeg
+        && p.rend() <= rend
+    {
+        return true; // contained seed; do nothing
+    }
+    if (last.rbeg < l_pac || c.seeds[0].rbeg < l_pac) && p.rbeg >= l_pac {
+        return false; // don't chain seeds from different strands
+    }
+    let x = (p.qbeg - last.qbeg) as i64; // non-negative in seed order
+    let y = p.rbeg - last.rbeg;
+    if y >= 0
+        && x - y <= opt.w as i64
+        && y - x <= opt.w as i64
+        && x - (last.len as i64) < opt.max_chain_gap as i64
+        && y - (last.len as i64) < opt.max_chain_gap as i64
+    {
+        c.seeds.push(*p);
+        return true;
+    }
+    false
+}
+
+/// Chain `(seed, rid)` pairs (in SMEM/SAL emission order) into collinear
+/// chains. Returns chains sorted by reference position.
+pub fn chain_seeds(opt: &ChainOpts, l_pac: i64, seeds: &[(Seed, usize)], frac_rep: f32) -> Vec<Chain> {
+    // B-tree keyed by (first-seed rbeg, uniquifier): bwa's kbtree allows
+    // duplicate keys, a counter reproduces that
+    let mut tree: BTreeMap<(i64, u32), Chain> = BTreeMap::new();
+    let mut uniq = 0u32;
+    for &(seed, rid) in seeds {
+        let mut merged = false;
+        if let Some((_, lower)) = tree.range_mut(..=(seed.rbeg, u32::MAX)).next_back() {
+            // the closest chain at or below the seed position
+            merged = test_and_merge(opt, l_pac, lower, &seed, rid);
+        }
+        if !merged {
+            tree.insert(
+                (seed.rbeg, uniq),
+                Chain {
+                    pos: seed.rbeg,
+                    seeds: vec![seed],
+                    rid,
+                    w: 0,
+                    kept: 0,
+                    first: -1,
+                    frac_rep,
+                },
+            );
+            uniq += 1;
+        }
+    }
+    tree.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(rbeg: i64, qbeg: i32, len: i32) -> (Seed, usize) {
+        (Seed { rbeg, qbeg, len, score: len }, 0)
+    }
+
+    fn opts() -> ChainOpts {
+        ChainOpts::default()
+    }
+
+    #[test]
+    fn collinear_seeds_merge_into_one_chain() {
+        let seeds = vec![seed(100, 0, 20), seed(130, 30, 20), seed(160, 60, 25)];
+        let chains = chain_seeds(&opts(), 10_000, &seeds, 0.0);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].seeds.len(), 3);
+        assert_eq!(chains[0].qbeg(), 0);
+        assert_eq!(chains[0].qend(), 85);
+        assert_eq!(chains[0].rend(), 185);
+    }
+
+    #[test]
+    fn distant_seeds_form_separate_chains() {
+        let seeds = vec![seed(100, 0, 20), seed(90_000, 30, 20)];
+        let chains = chain_seeds(&opts(), 200_000, &seeds, 0.0);
+        assert_eq!(chains.len(), 2);
+        // sorted by position
+        assert!(chains[0].pos < chains[1].pos);
+    }
+
+    #[test]
+    fn off_diagonal_seeds_do_not_chain() {
+        // diagonal drift beyond w=100
+        let seeds = vec![seed(100, 0, 20), seed(400, 30, 20)];
+        let chains = chain_seeds(&opts(), 10_000, &seeds, 0.0);
+        assert_eq!(chains.len(), 2);
+    }
+
+    #[test]
+    fn contained_seed_is_absorbed_without_growing() {
+        let seeds = vec![seed(100, 0, 50), seed(110, 10, 20)];
+        let chains = chain_seeds(&opts(), 10_000, &seeds, 0.0);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].seeds.len(), 1); // contained: not pushed
+    }
+
+    #[test]
+    fn different_contigs_never_chain() {
+        let a = (Seed { rbeg: 100, qbeg: 0, len: 20, score: 20 }, 0usize);
+        let b = (Seed { rbeg: 130, qbeg: 30, len: 20, score: 20 }, 1usize);
+        let chains = chain_seeds(&opts(), 10_000, &[a, b], 0.0);
+        assert_eq!(chains.len(), 2);
+    }
+
+    #[test]
+    fn strands_never_chain() {
+        let l_pac = 1000;
+        // first seed forward, second on the reverse half
+        let seeds = vec![seed(900, 0, 20), seed(1100, 30, 20)];
+        let chains = chain_seeds(&opts(), l_pac, &seeds, 0.0);
+        assert_eq!(chains.len(), 2);
+    }
+
+    #[test]
+    fn rc_only_chain_is_allowed() {
+        let l_pac = 1000;
+        // both seeds on the reverse half: y>=0 etc. still applies
+        let seeds = vec![seed(1100, 0, 20), seed(1130, 30, 20)];
+        let chains = chain_seeds(&opts(), l_pac, &seeds, 0.0);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].seeds.len(), 2);
+    }
+}

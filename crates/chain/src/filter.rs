@@ -1,0 +1,218 @@
+//! Chain weighting and filtering (bwa's `mem_chain_weight` and
+//! `mem_chain_flt`).
+
+use crate::builder::{Chain, ChainOpts};
+
+/// Chain kept as primary.
+pub const KEPT_PRIMARY: u8 = 3;
+/// Chain kept despite significant overlap with a better chain.
+pub const KEPT_WITH_OVERLAP: u8 = 2;
+/// First chain shadowed by a kept chain (kept for MAPQ accuracy).
+pub const KEPT_SHADOWED_FIRST: u8 = 1;
+
+/// bwa's `mem_chain_weight`: min of non-overlapping query coverage and
+/// non-overlapping reference coverage.
+pub fn chain_weight(c: &Chain) -> i32 {
+    let mut end = 0i64;
+    let mut w_q = 0i64;
+    for s in &c.seeds {
+        let (qb, qe) = (s.qbeg as i64, s.qend() as i64);
+        if qb >= end {
+            w_q += qe - qb;
+        } else if qe > end {
+            w_q += qe - end;
+        }
+        end = end.max(qe);
+    }
+    let mut end = 0i64;
+    let mut w_r = 0i64;
+    for s in &c.seeds {
+        let (rb, re) = (s.rbeg, s.rend());
+        if rb >= end {
+            w_r += re - rb;
+        } else if re > end {
+            w_r += re - end;
+        }
+        end = end.max(re);
+    }
+    w_q.min(w_r).min((1 << 30) - 1) as i32
+}
+
+/// bwa's `mem_chain_flt`: weigh chains, sort by weight, suppress chains
+/// significantly overlapped on the query by better chains, keep the first
+/// shadowed chain per winner for MAPQ. Returns surviving chains in
+/// weight order with `kept` flags set.
+pub fn filter_chains(opt: &ChainOpts, mut chains: Vec<Chain>) -> Vec<Chain> {
+    if chains.is_empty() {
+        return chains;
+    }
+    for c in chains.iter_mut() {
+        c.first = -1;
+        c.kept = 0;
+        c.w = chain_weight(c);
+    }
+    chains.retain(|c| c.w >= opt.min_chain_weight);
+    if chains.is_empty() {
+        return chains;
+    }
+    // weight-descending; deterministic tiebreak on (pos, qbeg)
+    chains.sort_by_key(|c| (std::cmp::Reverse(c.w), c.pos, c.qbeg()));
+
+    let mut kept_idx: Vec<usize> = vec![0];
+    chains[0].kept = KEPT_PRIMARY;
+    for i in 1..chains.len() {
+        let mut large_ovlp = false;
+        let mut dropped = false;
+        for &j in &kept_idx {
+            let b_max = chains[j].qbeg().max(chains[i].qbeg());
+            let e_min = chains[j].qend().min(chains[i].qend());
+            if e_min > b_max {
+                // overlap on the query
+                let li = chains[i].qend() - chains[i].qbeg();
+                let lj = chains[j].qend() - chains[j].qbeg();
+                let min_l = li.min(lj);
+                if (e_min - b_max) as f32 >= min_l as f32 * opt.mask_level
+                    && min_l < opt.max_chain_gap
+                {
+                    // significant overlap
+                    large_ovlp = true;
+                    if chains[j].first < 0 {
+                        chains[j].first = i as i32; // keep the first shadowed hit
+                    }
+                    if (chains[i].w as f32) < chains[j].w as f32 * opt.drop_ratio
+                        && chains[j].w - chains[i].w >= opt.min_seed_len * 2
+                    {
+                        dropped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !dropped {
+            chains[i].kept = if large_ovlp { KEPT_WITH_OVERLAP } else { KEPT_PRIMARY };
+            kept_idx.push(i);
+        }
+    }
+    // mark the first shadowed chain of each kept chain
+    for &i in &kept_idx {
+        let f = chains[i].first;
+        if f >= 0 {
+            let f = f as usize;
+            if chains[f].kept == 0 {
+                chains[f].kept = KEPT_SHADOWED_FIRST;
+            }
+        }
+    }
+    // cap the number of non-primary chains extended
+    let mut non_primary = 0usize;
+    for c in chains.iter_mut() {
+        if c.kept == KEPT_WITH_OVERLAP || c.kept == KEPT_SHADOWED_FIRST {
+            non_primary += 1;
+            if non_primary > opt.max_chain_extend {
+                c.kept = 0;
+            }
+        }
+    }
+    chains.retain(|c| c.kept > 0);
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::Seed;
+
+    fn chain(seeds: &[(i64, i32, i32)]) -> Chain {
+        Chain {
+            pos: seeds[0].0,
+            seeds: seeds
+                .iter()
+                .map(|&(rbeg, qbeg, len)| Seed { rbeg, qbeg, len, score: len })
+                .collect(),
+            rid: 0,
+            w: 0,
+            kept: 0,
+            first: -1,
+            frac_rep: 0.0,
+        }
+    }
+
+    #[test]
+    fn weight_is_min_of_query_and_ref_coverage() {
+        // two seeds overlapping by 5 on the query, disjoint on ref
+        let c = chain(&[(100, 0, 20), (200, 15, 20)]);
+        assert_eq!(chain_weight(&c), 35); // query coverage 35, ref 40
+        // single seed
+        assert_eq!(chain_weight(&chain(&[(0, 0, 19)])), 19);
+    }
+
+    #[test]
+    fn strong_chain_shadows_weak_overlapping_chain() {
+        let big = chain(&[(100, 0, 100)]); // weight 100
+        let weak = chain(&[(5000, 10, 20)]); // weight 20, fully inside big's query span
+        let out = filter_chains(&ChainOpts::default(), vec![weak, big]);
+        // bwa keeps the FIRST shadowed chain (kept = 1) so MAPQ can see
+        // the sub-optimal score; a second weak chain would be dropped
+        // (covered by first_shadowed_chain_is_retained_for_mapq)
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].w, 100);
+        assert_eq!(out[0].kept, KEPT_PRIMARY);
+        assert_eq!(out[1].kept, KEPT_SHADOWED_FIRST);
+    }
+
+    #[test]
+    fn comparable_chains_are_both_kept() {
+        let a = chain(&[(100, 0, 80)]);
+        let b = chain(&[(9000, 0, 70)]); // overlap but weight ratio 0.875 > 0.5
+        let out = filter_chains(&ChainOpts::default(), vec![a, b]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].kept, KEPT_PRIMARY);
+        assert_eq!(out[1].kept, KEPT_WITH_OVERLAP);
+    }
+
+    #[test]
+    fn disjoint_chains_are_all_primary() {
+        let a = chain(&[(100, 0, 40)]);
+        let b = chain(&[(9000, 60, 40)]);
+        let out = filter_chains(&ChainOpts::default(), vec![a, b]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|c| c.kept == KEPT_PRIMARY));
+    }
+
+    #[test]
+    fn first_shadowed_chain_is_retained_for_mapq() {
+        let big = chain(&[(100, 0, 100)]);
+        let shadow1 = chain(&[(5000, 0, 25)]);
+        let shadow2 = chain(&[(7000, 0, 24)]);
+        let out = filter_chains(&ChainOpts::default(), vec![big, shadow1, shadow2]);
+        // big kept primary; shadow1 (first shadowed) kept with flag 1;
+        // shadow2 dropped
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].kept, KEPT_PRIMARY);
+        assert_eq!(out[1].kept, KEPT_SHADOWED_FIRST);
+        assert_eq!(out[1].w, 25);
+    }
+
+    #[test]
+    fn min_chain_weight_prunes_early() {
+        let opts = ChainOpts { min_chain_weight: 30, ..ChainOpts::default() };
+        let out = filter_chains(&opts, vec![chain(&[(0, 0, 20)]), chain(&[(100, 50, 40)])]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].w, 40);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(filter_chains(&ChainOpts::default(), vec![]).is_empty());
+    }
+
+    #[test]
+    fn max_chain_extend_caps_secondaries() {
+        let opts = ChainOpts { max_chain_extend: 0, ..ChainOpts::default() };
+        let big = chain(&[(100, 0, 100)]);
+        let mid = chain(&[(9000, 0, 70)]);
+        let out = filter_chains(&opts, vec![big, mid]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kept, KEPT_PRIMARY);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seed chaining — the CHAIN stage between SAL and BSW.
+//!
+//! The paper leaves this stage algorithmically untouched (Table 1 shows it
+//! at ~6% of run time), but the pipeline needs it, so this crate ports
+//! bwa's `mem_chain` (B-tree chaining with `test_and_merge`),
+//! `mem_chain_weight` and `mem_chain_flt` (mask-level / drop-ratio chain
+//! filtering), plus the repetitive-fraction bookkeeping that feeds MAPQ.
+
+pub mod builder;
+pub mod filter;
+pub mod seed;
+
+pub use builder::{chain_seeds, Chain, ChainOpts};
+pub use filter::{filter_chains, KEPT_PRIMARY, KEPT_SHADOWED_FIRST, KEPT_WITH_OVERLAP};
+pub use seed::{frac_rep, interval_rid, seeds_from_interval, SaMode, Seed};

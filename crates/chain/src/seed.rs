@@ -1,0 +1,179 @@
+//! Seeds: SMEM occurrences materialized through the suffix array.
+
+use mem2_fmindex::{BiInterval, FmIndex};
+use mem2_memsim::PerfSink;
+use mem2_seqio::ContigSet;
+
+/// One seed: an exact match between query `[qbeg, qbeg+len)` and the
+/// doubled reference at `[rbeg, rbeg+len)` (bwa's `mem_seed_t`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Seed {
+    /// Start in the doubled (forward+revcomp) reference coordinates.
+    pub rbeg: i64,
+    /// Start on the query.
+    pub qbeg: i32,
+    /// Match length.
+    pub len: i32,
+    /// Seed score (= length for exact seeds).
+    pub score: i32,
+}
+
+impl Seed {
+    /// Query end.
+    pub fn qend(&self) -> i32 {
+        self.qbeg + self.len
+    }
+
+    /// Reference end (doubled coordinates).
+    pub fn rend(&self) -> i64 {
+        self.rbeg + self.len as i64
+    }
+}
+
+/// Map a doubled-coordinate interval to a contig id, or `None` when it
+/// bridges the forward/reverse boundary or crosses contigs (bwa's
+/// `bns_intv2rid`, which discards such seeds).
+pub fn interval_rid(contigs: &ContigSet, l_pac: i64, rb: i64, re: i64) -> Option<usize> {
+    debug_assert!(rb < re);
+    if rb < l_pac && re > l_pac {
+        return None; // bridges the strand boundary
+    }
+    // fold the reverse strand onto forward coordinates
+    let (fb, fe) = if rb >= l_pac {
+        (2 * l_pac - re, 2 * l_pac - rb)
+    } else {
+        (rb, re)
+    };
+    let (rid_b, _) = contigs.locate(fb as usize)?;
+    let (rid_e, _) = contigs.locate((fe - 1) as usize)?;
+    (rid_b == rid_e).then_some(rid_b)
+}
+
+/// Which suffix-array storage resolves seed positions (the SAL kernel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SaMode {
+    /// The paper's flat, uncompressed SA — one load per lookup.
+    Flat,
+    /// The original sampled SA walked with LF-mapping over the given
+    /// occurrence layout.
+    SampledOrig,
+    /// Sampled SA walked over the optimized occurrence layout.
+    SampledOpt,
+}
+
+/// Expand one SMEM interval into seeds: up to `max_occ` occurrences,
+/// strided like bwa (`step = s / max_occ` when over-occurring), each
+/// located via a suffix-array lookup (the SAL kernel) and tagged with its
+/// contig. Seeds bridging boundaries are dropped.
+pub fn seeds_from_interval<P: PerfSink>(
+    index: &FmIndex,
+    contigs: &ContigSet,
+    iv: &BiInterval,
+    max_occ: i64,
+    mode: SaMode,
+    out: &mut Vec<(Seed, usize)>,
+    sink: &mut P,
+) {
+    let slen = iv.len() as i32;
+    let step = if iv.s > max_occ { iv.s / max_occ } else { 1 };
+    let mut count = 0i64;
+    let mut k = 0i64;
+    while k < iv.s && count < max_occ {
+        let row = iv.k + k;
+        let rbeg = match mode {
+            SaMode::Flat => index
+                .sa_flat
+                .as_ref()
+                .expect("flat SA not built")
+                .lookup(row, sink),
+            SaMode::SampledOrig => index
+                .sa_sampled
+                .as_ref()
+                .expect("sampled SA not built")
+                .lookup(index.orig(), row, sink),
+            SaMode::SampledOpt => index
+                .sa_sampled
+                .as_ref()
+                .expect("sampled SA not built")
+                .lookup(index.opt(), row, sink),
+        };
+        let seed = Seed { rbeg, qbeg: iv.start() as i32, len: slen, score: slen };
+        if let Some(rid) = interval_rid(contigs, index.l_pac, rbeg, rbeg + slen as i64) {
+            out.push((seed, rid));
+        }
+        k += step;
+        count += 1;
+    }
+}
+
+/// Fraction of the query covered by repetitive SMEMs (occurrence count
+/// above `max_occ`) — bwa's `l_rep` computation in `mem_chain`, which
+/// discounts MAPQ in repeat regions. `intervals` must be sorted by
+/// query start (as `collect_intv` leaves them).
+pub fn frac_rep(intervals: &[BiInterval], max_occ: i64, query_len: usize) -> f32 {
+    let (mut b, mut e, mut l_rep) = (0i64, 0i64, 0i64);
+    for p in intervals {
+        if p.s <= max_occ {
+            continue;
+        }
+        let (sb, se) = (p.start() as i64, p.end() as i64);
+        if sb > e {
+            l_rep += e - b;
+            b = sb;
+            e = se;
+        } else {
+            e = e.max(se);
+        }
+    }
+    l_rep += e - b;
+    if query_len == 0 {
+        0.0
+    } else {
+        l_rep as f32 / query_len as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem2_fmindex::BiInterval;
+    use mem2_seqio::{parse_fasta, Reference};
+
+    fn two_contig_set() -> (ContigSet, i64) {
+        let recs = parse_fasta(">a\nACGTACGTAC\n>b\nGGGGGGGGGG\n").unwrap();
+        let r = Reference::from_fasta(&recs, 0);
+        (r.contigs.clone(), r.len() as i64)
+    }
+
+    #[test]
+    fn rid_resolves_strands_and_boundaries() {
+        let (cs, l) = two_contig_set(); // l = 20
+        assert_eq!(interval_rid(&cs, l, 0, 5), Some(0));
+        assert_eq!(interval_rid(&cs, l, 12, 18), Some(1));
+        assert_eq!(interval_rid(&cs, l, 8, 12), None); // crosses contigs
+        assert_eq!(interval_rid(&cs, l, 18, 22), None); // bridges strands
+        // reverse strand: doubled [22, 28) folds to forward [12, 18) -> contig b
+        assert_eq!(interval_rid(&cs, l, 22, 28), Some(1));
+        // reverse hit folding onto contig a
+        assert_eq!(interval_rid(&cs, l, 31, 39), Some(0));
+        // reverse hit crossing the contig boundary still rejected
+        assert_eq!(interval_rid(&cs, l, 28, 34), None);
+    }
+
+    #[test]
+    fn frac_rep_merges_overlapping_repeats() {
+        let iv = |start: usize, end: usize, s: i64| BiInterval {
+            k: 0,
+            l: 0,
+            s,
+            info: BiInterval::pack_info(start, end),
+        };
+        // two overlapping repetitive intervals [0,10) and [5,15) merge to 15
+        let intervals = vec![iv(0, 10, 1000), iv(5, 15, 2000), iv(20, 30, 3)];
+        let f = frac_rep(&intervals, 500, 100);
+        assert!((f - 0.15).abs() < 1e-6);
+        // nothing repetitive
+        assert_eq!(frac_rep(&[iv(0, 10, 3)], 500, 100), 0.0);
+        assert_eq!(frac_rep(&[], 500, 0), 0.0);
+    }
+}

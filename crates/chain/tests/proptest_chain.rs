@@ -1,0 +1,66 @@
+//! Property tests on chaining invariants.
+
+use proptest::prelude::*;
+
+use mem2_chain::{chain_seeds, filter_chains, ChainOpts, Seed};
+
+fn arb_seed() -> impl Strategy<Value = (Seed, usize)> {
+    (0i64..20_000, 0i32..130, 19i32..40, 0usize..2).prop_map(|(rbeg, qbeg, len, rid)| {
+        (Seed { rbeg, qbeg, len, score: len }, rid)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chains_partition_the_seeds(seeds in prop::collection::vec(arb_seed(), 0..60)) {
+        let opts = ChainOpts::default();
+        // seeds must arrive sorted by query position like collect_intv output
+        let mut seeds = seeds;
+        seeds.sort_by_key(|(s, _)| (s.qbeg, s.qbeg + s.len));
+        let chains = chain_seeds(&opts, 1 << 20, &seeds, 0.0);
+        // every chain is non-empty, single-contig, and collinear
+        let mut total = 0usize;
+        for c in &chains {
+            prop_assert!(!c.seeds.is_empty());
+            total += c.seeds.len();
+            for w in c.seeds.windows(2) {
+                prop_assert!(w[1].qbeg >= w[0].qbeg, "query order within chain");
+                prop_assert!(w[1].rbeg >= w[0].rbeg, "reference order within chain");
+                let x = (w[1].qbeg - w[0].qbeg) as i64;
+                let y = w[1].rbeg - w[0].rbeg;
+                prop_assert!((x - y).abs() <= opts.w as i64, "diagonal drift bounded");
+            }
+        }
+        // chained seeds never exceed input count (containment may drop some)
+        prop_assert!(total <= seeds.len());
+        // chains come out sorted by position
+        for w in chains.windows(2) {
+            prop_assert!(w[0].pos <= w[1].pos);
+        }
+    }
+
+    #[test]
+    fn filtering_never_increases_weight_order_violations(
+        seeds in prop::collection::vec(arb_seed(), 1..60),
+    ) {
+        let opts = ChainOpts::default();
+        let mut seeds = seeds;
+        seeds.sort_by_key(|(s, _)| (s.qbeg, s.qbeg + s.len));
+        let chains = chain_seeds(&opts, 1 << 20, &seeds, 0.0);
+        let kept = filter_chains(&opts, chains);
+        // output sorted by weight descending, all kept flags set
+        for w in kept.windows(2) {
+            prop_assert!(w[0].w >= w[1].w);
+        }
+        for c in &kept {
+            prop_assert!(c.kept > 0);
+            prop_assert!(c.w >= opts.min_chain_weight);
+        }
+        // exactly one best chain survives as primary if any survive
+        if !kept.is_empty() {
+            prop_assert_eq!(kept[0].kept, 3);
+        }
+    }
+}

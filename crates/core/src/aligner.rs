@@ -1,0 +1,107 @@
+//! The public aligner facade.
+
+use mem2_fmindex::{BuildOpts, FmIndex};
+use mem2_seqio::{FastqRecord, Reference};
+
+use crate::opts::MemOpts;
+use crate::pipeline::{align_batch, align_read_classic, read_to_sam, PipelineContext, PreparedRead, Worker};
+use crate::profile::StageTimes;
+use crate::sam::SamRecord;
+
+/// Which pipeline organization to run (Figure 2 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workflow {
+    /// Original BWA-MEM: per-read processing, η=128 occurrence table,
+    /// sampled suffix array, scalar BSW.
+    Classic,
+    /// The paper's re-organization: stage-batched processing, η=32
+    /// cache-line occurrence table with software prefetch, flat suffix
+    /// array, inter-task SIMD BSW with length sorting.
+    Batched,
+}
+
+impl Workflow {
+    /// The index components this workflow requires.
+    pub fn build_opts(&self) -> BuildOpts {
+        match self {
+            Workflow::Classic => BuildOpts::original_only(),
+            Workflow::Batched => BuildOpts::optimized_only(),
+        }
+    }
+}
+
+/// A ready-to-use aligner: reference + index + options + workflow.
+pub struct Aligner {
+    /// Aligner options.
+    pub opts: MemOpts,
+    /// The FM-index.
+    pub index: FmIndex,
+    /// The reference.
+    pub reference: Reference,
+    /// Selected workflow.
+    pub workflow: Workflow,
+}
+
+impl Aligner {
+    /// Build an aligner, constructing exactly the index components the
+    /// workflow needs.
+    pub fn build(reference: Reference, opts: MemOpts, workflow: Workflow) -> Aligner {
+        let index = FmIndex::build(&reference, &workflow.build_opts());
+        Aligner { opts, index, reference, workflow }
+    }
+
+    /// Wrap an existing index (it must contain the components the
+    /// workflow requires — e.g. a [`BuildOpts::default`] index serves
+    /// both workflows).
+    pub fn with_index(index: FmIndex, reference: Reference, opts: MemOpts, workflow: Workflow) -> Aligner {
+        Aligner { opts, index, reference, workflow }
+    }
+
+    /// Pipeline context view.
+    pub fn context(&self) -> PipelineContext<'_> {
+        PipelineContext { opts: &self.opts, index: &self.index, reference: &self.reference }
+    }
+
+    /// SAM header for the reference.
+    pub fn sam_header(&self) -> String {
+        let mut h = String::from("@HD\tVN:1.6\tSO:unsorted\n");
+        for c in &self.reference.contigs.contigs {
+            h.push_str(&format!("@SQ\tSN:{}\tLN:{}\n", c.name, c.len));
+        }
+        h.push_str("@PG\tID:mem2\tPN:mem2\tVN:0.1.0\n");
+        h
+    }
+
+    /// Align reads on the current thread; returns SAM records in input
+    /// order and accumulates stage times into `times`.
+    pub fn align_reads_timed(&self, reads: &[FastqRecord], times: &mut StageTimes) -> Vec<SamRecord> {
+        let ctx = self.context();
+        let mut worker = Worker::new(&self.opts);
+        let prepared: Vec<PreparedRead> = reads.iter().map(PreparedRead::from_fastq).collect();
+        let mut out = Vec::new();
+        match self.workflow {
+            Workflow::Classic => {
+                for read in &prepared {
+                    let regs = align_read_classic(&ctx, &mut worker, read);
+                    out.extend(read_to_sam(&ctx, read, &regs, &mut worker.times));
+                }
+            }
+            Workflow::Batched => {
+                for batch in prepared.chunks(self.opts.batch_reads) {
+                    let regs = align_batch(&ctx, &mut worker, batch);
+                    for (read, r) in batch.iter().zip(&regs) {
+                        out.extend(read_to_sam(&ctx, read, r, &mut worker.times));
+                    }
+                }
+            }
+        }
+        times.merge(&worker.times);
+        out
+    }
+
+    /// Align reads on the current thread.
+    pub fn align_reads(&self, reads: &[FastqRecord]) -> Vec<SamRecord> {
+        let mut times = StageTimes::default();
+        self.align_reads_timed(reads, &mut times)
+    }
+}

@@ -1,0 +1,37 @@
+//! The accelerated BWA-MEM aligner.
+//!
+//! This crate assembles the substrate crates into the full pipeline of
+//! Figure 2 of the paper, in **both** organizations:
+//!
+//! * [`Workflow::Classic`] — the original BWA-MEM organization: each read
+//!   runs SMEM → SAL → CHAIN → BSW to completion before the next read;
+//!   original index layout (η=128 occurrence table, sampled SA), scalar
+//!   BSW, per-read allocations.
+//! * [`Workflow::Batched`] — the paper's re-organization: a chunk of
+//!   reads is divided into batches and **every stage runs over the whole
+//!   batch** before the next stage starts, enabling inter-task SIMD for
+//!   BSW; optimized index layout (η=32, flat SA), software prefetch,
+//!   contiguous reusable buffers.
+//!
+//! Both workflows produce byte-identical SAM output — the paper's central
+//! requirement — which the integration tests enforce.
+
+pub mod aligner;
+pub mod bundle;
+pub mod extend;
+pub mod mapq;
+pub mod opts;
+pub mod pipeline;
+pub mod profile;
+pub mod region;
+pub mod sam;
+pub mod threads;
+
+pub use aligner::{Aligner, Workflow};
+pub use bundle::{build_bundle, load_bundle, load_index, save_bundle, BundleError};
+pub use mapq::approx_mapq_se;
+pub use opts::MemOpts;
+pub use profile::{Stage, StageTimes};
+pub use region::AlnReg;
+pub use sam::SamRecord;
+pub use threads::align_reads_parallel;

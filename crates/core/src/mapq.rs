@@ -1,0 +1,122 @@
+//! Single-end mapping quality (bwa's `mem_approx_mapq_se`).
+
+use crate::opts::MemOpts;
+use crate::region::AlnReg;
+
+/// Approximate Phred-scaled mapping quality of a region.
+pub fn approx_mapq_se(opts: &MemOpts, a: &AlnReg) -> i32 {
+    let mut sub = if a.sub != 0 { a.sub } else { opts.smem.min_seed_len * opts.score.a };
+    sub = sub.max(a.csub);
+    if sub >= a.score {
+        return 0;
+    }
+    let l = (a.qe - a.qb).max((a.re - a.rb) as i32);
+    let identity = 1.0
+        - ((l * opts.score.a - a.score) as f64)
+            / ((opts.score.a + opts.score.b) as f64)
+            / (l as f64);
+    let mut mapq: i32;
+    if a.score == 0 {
+        mapq = 0;
+    } else if opts.mapq_coef_len > 0.0 {
+        let tmp0 = if (l as f64) < opts.mapq_coef_len {
+            1.0
+        } else {
+            opts.mapq_coef_fac / (l as f64).ln()
+        };
+        let tmp = tmp0 * identity * identity;
+        mapq = (6.02 * ((a.score - sub) as f64) / (opts.score.a as f64) * tmp * tmp + 0.499) as i32;
+    } else {
+        // legacy formula (mapQ_coef_len == 0)
+        mapq = ((30.0 * (1.0 - sub as f64 / a.score as f64))
+            * (a.seedcov.max(1) as f64).ln()
+            + 0.499) as i32;
+        if identity < 0.95 {
+            mapq = (mapq as f64 * identity * identity + 0.499) as i32;
+        }
+    }
+    if a.sub_n > 0 {
+        mapq -= (4.343 * ((a.sub_n + 1) as f64).ln() + 0.499) as i32;
+    }
+    mapq = mapq.clamp(0, 60);
+    mapq = (mapq as f64 * (1.0 - a.frac_rep as f64) + 0.499) as i32;
+    mapq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(score: i32, qlen: i32) -> AlnReg {
+        AlnReg {
+            rb: 0,
+            re: qlen as i64,
+            qb: 0,
+            qe: qlen,
+            score,
+            truesc: score,
+            seedcov: qlen,
+            secondary: -1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn perfect_unique_hit_gets_q60() {
+        let o = MemOpts::default();
+        let a = reg(151, 151);
+        assert_eq!(approx_mapq_se(&o, &a), 60);
+    }
+
+    #[test]
+    fn tied_suboptimal_gives_q0() {
+        let o = MemOpts::default();
+        let mut a = reg(100, 100);
+        a.sub = 100;
+        assert_eq!(approx_mapq_se(&o, &a), 0);
+        a.sub = 120;
+        assert_eq!(approx_mapq_se(&o, &a), 0);
+    }
+
+    #[test]
+    fn close_suboptimal_lowers_mapq() {
+        let o = MemOpts::default();
+        let mut a = reg(100, 100);
+        a.sub = 95;
+        let close = approx_mapq_se(&o, &a);
+        a.sub = 50;
+        let far = approx_mapq_se(&o, &a);
+        assert!(close < far, "{close} !< {far}");
+        assert!(close > 0);
+    }
+
+    #[test]
+    fn sub_n_and_frac_rep_penalties() {
+        let o = MemOpts::default();
+        // keep score - sub small so MAPQ sits below the 60 clamp and the
+        // penalties are visible (at large margins bwa also clamps them away)
+        let mut a = reg(140, 151);
+        a.sub = 130;
+        let base = approx_mapq_se(&o, &a);
+        assert!(base > 0 && base < 60, "base {base}");
+        a.sub_n = 3;
+        let with_subn = approx_mapq_se(&o, &a);
+        assert!(with_subn < base, "{with_subn} !< {base}");
+        a.sub_n = 0;
+        a.frac_rep = 0.5;
+        let with_rep = approx_mapq_se(&o, &a);
+        assert!(with_rep <= (base + 1) / 2 + 1);
+    }
+
+    #[test]
+    fn low_identity_hits_are_downweighted() {
+        let o = MemOpts::default();
+        let mut clean = reg(140, 151);
+        clean.sub = 130;
+        let mut dirty = reg(80, 151);
+        dirty.sub = 70; // same score-sub margin, worse identity
+        let q_clean = approx_mapq_se(&o, &clean);
+        let q_dirty = approx_mapq_se(&o, &dirty);
+        assert!(q_dirty < q_clean, "{q_dirty} !< {q_clean}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Aligner options — the relevant subset of bwa's `mem_opt_t`, with the
+//! same defaults (`mem_opt_init`).
+
+use mem2_bsw::ScoreParams;
+use mem2_chain::ChainOpts;
+use mem2_fmindex::SmemOpts;
+
+/// Full option set for the aligner.
+#[derive(Clone, Copy, Debug)]
+pub struct MemOpts {
+    /// Scoring (match/mismatch/gaps/zdrop/clip penalties).
+    pub score: ScoreParams,
+    /// Seeding options.
+    pub smem: SmemOpts,
+    /// Chaining / filtering options.
+    pub chain: ChainOpts,
+    /// 5' clipping penalty (`-L`, default 5) — the left extension's
+    /// end bonus.
+    pub pen_clip5: i32,
+    /// 3' clipping penalty (default 5) — the right extension's end bonus.
+    pub pen_clip3: i32,
+    /// Minimum score to output (`-T`, default 30).
+    pub t_min_score: i32,
+    /// Redundancy overlap threshold for region dedup (default 0.95).
+    pub mask_level_redun: f32,
+    /// MAPQ length-coefficient threshold (default 50).
+    pub mapq_coef_len: f64,
+    /// `ln(mapq_coef_len)`.
+    pub mapq_coef_fac: f64,
+    /// Reads per processing batch in the batched workflow (default 512).
+    pub batch_reads: usize,
+    /// Reads per scheduling chunk handed to a worker (default 4096).
+    pub chunk_reads: usize,
+    /// Also emit secondary alignments (bwa's `-a`; default off).
+    pub output_all: bool,
+}
+
+impl Default for MemOpts {
+    fn default() -> Self {
+        let score = ScoreParams::default();
+        MemOpts {
+            score,
+            smem: SmemOpts::default(),
+            chain: ChainOpts::default(),
+            pen_clip5: 5,
+            pen_clip3: 5,
+            t_min_score: 30,
+            mask_level_redun: 0.95,
+            mapq_coef_len: 50.0,
+            mapq_coef_fac: (50.0f64).ln(),
+            batch_reads: 512,
+            chunk_reads: 4096,
+            output_all: false,
+        }
+    }
+}
+
+impl MemOpts {
+    /// bwa's `cal_max_gap`: the longest gap reachable within the scoring
+    /// scheme for a flank of length `qlen`, capped at twice the band.
+    pub fn cal_max_gap(&self, qlen: i32) -> i32 {
+        let l_del = ((qlen as f64 * self.score.a as f64 - self.score.o_del as f64)
+            / self.score.e_del as f64
+            + 1.0) as i32;
+        let l_ins = ((qlen as f64 * self.score.a as f64 - self.score.o_ins as f64)
+            / self.score.e_ins as f64
+            + 1.0) as i32;
+        let l = l_del.max(l_ins).max(1);
+        l.min(self.chain.w * 2)
+    }
+
+    /// bwa's `infer_bw` for CIGAR generation.
+    pub fn infer_bw(l1: i32, l2: i32, score: i32, a: i32, q: i32, r: i32) -> i32 {
+        if l1 == l2 && l1 * a - score < (q + r - a) * 2 {
+            return 0;
+        }
+        let w = ((l1.min(l2) as f64 * a as f64 - score as f64 - q as f64) / r as f64 + 2.0) as i32;
+        w.max((l1 - l2).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_bwa() {
+        let o = MemOpts::default();
+        assert_eq!(o.score.a, 1);
+        assert_eq!(o.score.b, 4);
+        assert_eq!(o.score.o_del, 6);
+        assert_eq!(o.score.zdrop, 100);
+        assert_eq!(o.smem.min_seed_len, 19);
+        assert_eq!(o.chain.max_occ, 500);
+        assert_eq!(o.t_min_score, 30);
+        assert!((o.mapq_coef_fac - 3.912).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cal_max_gap_caps_at_twice_band() {
+        let o = MemOpts::default();
+        // short flank: small gap allowance
+        assert_eq!(o.cal_max_gap(10), 5); // (10*1-6)/1+1 = 5
+        // long flank capped at 2w = 200
+        assert_eq!(o.cal_max_gap(1000), 200);
+        // degenerate flank still allows 1
+        assert_eq!(o.cal_max_gap(0), 1);
+    }
+
+    #[test]
+    fn infer_bw_examples() {
+        // perfect same-length alignment needs no band
+        assert_eq!(MemOpts::infer_bw(100, 100, 100, 1, 6, 1), 0);
+        // length difference forces at least that band
+        assert!(MemOpts::infer_bw(100, 110, 80, 1, 6, 1) >= 10);
+    }
+}

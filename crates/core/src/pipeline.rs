@@ -1,0 +1,388 @@
+//! The two pipeline organizations of Figure 2.
+//!
+//! **Classic** (original BWA-MEM): each read is taken through
+//! SMEM → SAL → CHAIN → BSW before the next read is touched; the original
+//! index layout (η=128 occurrence buckets, sampled suffix array), scalar
+//! BSW, no software prefetching.
+//!
+//! **Batched** (the paper): reads are processed in batches; each stage
+//! runs over the entire batch before the next begins, which lets the BSW
+//! stage collect *all* extension jobs of a batch and run them through the
+//! inter-task SIMD engine (with length sorting), and lets the SMEM stage
+//! issue software prefetches. Buffers live in the per-thread [`Worker`]
+//! and are reused across batches (paper §3.2).
+
+use std::time::Instant;
+
+use mem2_bsw::{BswEngine, ExtendJob, ExtendResult};
+use mem2_chain::{chain_seeds, filter_chains, frac_rep, seeds_from_interval, Chain, SaMode, Seed};
+use mem2_fmindex::{collect_intv, BiInterval, FmIndex, SmemAux};
+use mem2_memsim::NoopSink;
+use mem2_seqio::{encode_base, FastqRecord, Reference};
+
+use crate::extend::{
+    chain_to_regions, compute_seed_extension_scalar, left_job, needs_band_retry, plan_chain,
+    right_job, ChainPlan, PrecomputedSource, ScalarSource, SeedExtension,
+};
+use crate::opts::MemOpts;
+use crate::profile::{Stage, StageTimes};
+use crate::region::{mark_primary, sort_dedup, AlnReg};
+use crate::sam::{regions_to_sam, ReadInfo, SamRecord};
+
+/// Read prepared for alignment: codes plus original text.
+#[derive(Clone, Debug)]
+pub struct PreparedRead {
+    /// Read name.
+    pub name: String,
+    /// Base codes (0..4).
+    pub codes: Vec<u8>,
+    /// ASCII bases.
+    pub seq: Vec<u8>,
+    /// ASCII qualities.
+    pub qual: Vec<u8>,
+}
+
+impl PreparedRead {
+    /// Encode a FASTQ record.
+    pub fn from_fastq(rec: &FastqRecord) -> Self {
+        PreparedRead {
+            name: rec.name.clone(),
+            codes: rec.seq.iter().map(|&b| encode_base(b)).collect(),
+            seq: rec.seq.clone(),
+            qual: rec.qual.clone(),
+        }
+    }
+}
+
+/// Shared, read-only pipeline context.
+pub struct PipelineContext<'a> {
+    /// Aligner options.
+    pub opts: &'a MemOpts,
+    /// The FM-index (with the layouts the workflow needs).
+    pub index: &'a FmIndex,
+    /// The reference (packed bases + contigs).
+    pub reference: &'a Reference,
+}
+
+/// Per-read intermediate state, pooled and reused across batches.
+#[derive(Default)]
+struct ReadState {
+    intervals: Vec<BiInterval>,
+    seeds: Vec<(Seed, usize)>,
+    frac_rep: f32,
+    chains: Vec<Chain>,
+    plans: Vec<ChainPlan>,
+    records: Vec<Vec<SeedExtension>>,
+}
+
+/// Per-thread scratch: the paper's "allocate large buffers once and
+/// reuse them across batches".
+pub struct Worker {
+    aux: SmemAux,
+    states: Vec<ReadState>,
+    jobs: Vec<ExtendJob>,
+    job_keys: Vec<(u32, u32, u32)>, // (read, chain, rank)
+    results: Vec<(ExtendResult, i32)>,
+    engine5: BswEngine,
+    engine3: BswEngine,
+    /// Accumulated stage times.
+    pub times: StageTimes,
+}
+
+impl Worker {
+    /// Build a worker for the given options (engines carry the clip
+    /// penalties as extension end bonuses, like bwa).
+    pub fn new(opts: &MemOpts) -> Self {
+        let mut p5 = opts.score;
+        p5.end_bonus = opts.pen_clip5;
+        let mut p3 = opts.score;
+        p3.end_bonus = opts.pen_clip3;
+        Worker {
+            aux: SmemAux::default(),
+            states: Vec::new(),
+            jobs: Vec::new(),
+            job_keys: Vec::new(),
+            results: Vec::new(),
+            engine5: BswEngine::optimized(p5),
+            engine3: BswEngine::optimized(p3),
+            times: StageTimes::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// classic workflow
+// ---------------------------------------------------------------------
+
+/// Align one read through the classic per-read pipeline; returns its
+/// final, primary-marked regions.
+pub fn align_read_classic(ctx: &PipelineContext<'_>, worker: &mut Worker, read: &PreparedRead) -> Vec<AlnReg> {
+    let opts = ctx.opts;
+    let occ = ctx.index.orig();
+    let mut sink = NoopSink;
+    let state = take_state(&mut worker.states);
+    let mut state = state;
+
+    let t = Instant::now();
+    collect_intv(occ, &opts.smem, &read.codes, &mut state.intervals, &mut worker.aux, false, &mut sink);
+    worker.times.add(Stage::Smem, t.elapsed());
+
+    let t = Instant::now();
+    state.seeds.clear();
+    for iv in &state.intervals {
+        seeds_from_interval(
+            ctx.index,
+            &ctx.reference.contigs,
+            iv,
+            opts.chain.max_occ,
+            SaMode::SampledOrig,
+            &mut state.seeds,
+            &mut sink,
+        );
+    }
+    state.frac_rep = frac_rep(&state.intervals, opts.chain.max_occ, read.codes.len());
+    worker.times.add(Stage::Sal, t.elapsed());
+
+    let t = Instant::now();
+    let chains = chain_seeds(&opts.chain, ctx.index.l_pac, &state.seeds, state.frac_rep);
+    state.chains = filter_chains(&opts.chain, chains);
+    worker.times.add(Stage::Chain, t.elapsed());
+
+    let mut av: Vec<AlnReg> = Vec::new();
+    let l_query = read.codes.len() as i32;
+    for (cid, chain) in state.chains.iter().enumerate() {
+        let t = Instant::now();
+        let plan = plan_chain(opts, ctx.index.l_pac, l_query, chain, &ctx.reference.pac);
+        worker.times.add(Stage::BswPre, t.elapsed());
+        let t = Instant::now();
+        let mut src = ScalarSource { opts };
+        chain_to_regions(opts, l_query, &read.codes, chain, cid, &plan, &mut src, &mut av);
+        worker.times.add(Stage::Bsw, t.elapsed());
+    }
+
+    let t = Instant::now();
+    let regs = mark_primary(opts, sort_dedup(opts, av));
+    worker.times.add(Stage::Misc, t.elapsed());
+    give_state(&mut worker.states, state);
+    regs
+}
+
+// ---------------------------------------------------------------------
+// batched workflow
+// ---------------------------------------------------------------------
+
+/// Align a batch of reads through the stage-batched pipeline; returns
+/// final regions per read (same values as the classic pipeline).
+pub fn align_batch(ctx: &PipelineContext<'_>, worker: &mut Worker, reads: &[PreparedRead]) -> Vec<Vec<AlnReg>> {
+    let opts = ctx.opts;
+    let occ = ctx.index.opt();
+    let mut sink = NoopSink;
+    let n = reads.len();
+    while worker.states.len() < n {
+        worker.states.push(ReadState::default());
+    }
+
+    // ---- stage: SMEM over the whole batch (with software prefetch) ----
+    let t = Instant::now();
+    for (r, read) in reads.iter().enumerate() {
+        collect_intv(
+            occ,
+            &opts.smem,
+            &read.codes,
+            &mut worker.states[r].intervals,
+            &mut worker.aux,
+            true,
+            &mut sink,
+        );
+    }
+    worker.times.add(Stage::Smem, t.elapsed());
+
+    // ---- stage: SAL over the whole batch (flat suffix array) ----
+    let t = Instant::now();
+    for (r, read) in reads.iter().enumerate() {
+        let state = &mut worker.states[r];
+        state.seeds.clear();
+        for iv in &state.intervals {
+            seeds_from_interval(
+                ctx.index,
+                &ctx.reference.contigs,
+                iv,
+                opts.chain.max_occ,
+                SaMode::Flat,
+                &mut state.seeds,
+                &mut sink,
+            );
+        }
+        state.frac_rep = frac_rep(&state.intervals, opts.chain.max_occ, read.codes.len());
+    }
+    worker.times.add(Stage::Sal, t.elapsed());
+
+    // ---- stage: CHAIN over the whole batch ----
+    let t = Instant::now();
+    for (r, _) in reads.iter().enumerate() {
+        let state = &mut worker.states[r];
+        let chains = chain_seeds(&opts.chain, ctx.index.l_pac, &state.seeds, state.frac_rep);
+        state.chains = filter_chains(&opts.chain, chains);
+    }
+    worker.times.add(Stage::Chain, t.elapsed());
+
+    // ---- stage: BSW pre-processing — plans and left jobs ----
+    let t = Instant::now();
+    worker.jobs.clear();
+    worker.job_keys.clear();
+    for (r, read) in reads.iter().enumerate() {
+        let state = &mut worker.states[r];
+        state.plans.clear();
+        state.records.clear();
+        let l_query = read.codes.len() as i32;
+        for (c, chain) in state.chains.iter().enumerate() {
+            let plan = plan_chain(opts, ctx.index.l_pac, l_query, chain, &ctx.reference.pac);
+            state.records.push(vec![SeedExtension::default(); chain.seeds.len()]);
+            for (rank, &si) in plan.order.iter().enumerate() {
+                let seed = &chain.seeds[si as usize];
+                if let Some(job) = left_job(opts, &read.codes, seed, &plan) {
+                    worker.jobs.push(job);
+                    worker.job_keys.push((r as u32, c as u32, rank as u32));
+                }
+            }
+            state.plans.push(plan);
+        }
+    }
+    worker.times.add(Stage::BswPre, t.elapsed());
+
+    // ---- stage: BSW — left rounds, then right rounds ----
+    let t = Instant::now();
+    run_rounds(&worker.engine5, opts.chain.w, &worker.jobs, &mut worker.results);
+    for (k, &(r, c, rank)) in worker.job_keys.iter().enumerate() {
+        worker.states[r as usize].records[c as usize][rank as usize].left = Some(worker.results[k]);
+    }
+    worker.times.add(Stage::Bsw, t.elapsed());
+
+    // right jobs need sc0 from the left results
+    let t = Instant::now();
+    worker.jobs.clear();
+    worker.job_keys.clear();
+    for (r, read) in reads.iter().enumerate() {
+        let state = &worker.states[r];
+        for (c, chain) in state.chains.iter().enumerate() {
+            let plan = &state.plans[c];
+            for (rank, &si) in plan.order.iter().enumerate() {
+                let seed = &chain.seeds[si as usize];
+                let sc0 = state.records[c][rank].score_after_left(opts, seed);
+                if let Some(job) = right_job(opts, &read.codes, seed, plan, sc0) {
+                    worker.jobs.push(job);
+                    worker.job_keys.push((r as u32, c as u32, rank as u32));
+                }
+            }
+        }
+    }
+    worker.times.add(Stage::BswPre, t.elapsed());
+
+    let t = Instant::now();
+    run_rounds(&worker.engine3, opts.chain.w, &worker.jobs, &mut worker.results);
+    for (k, &(r, c, rank)) in worker.job_keys.iter().enumerate() {
+        worker.states[r as usize].records[c as usize][rank as usize].right = Some(worker.results[k]);
+    }
+    worker.times.add(Stage::Bsw, t.elapsed());
+
+    // ---- replay the accept/skip logic and post-process regions ----
+    let mut out = Vec::with_capacity(n);
+    for (r, read) in reads.iter().enumerate() {
+        let t = Instant::now();
+        let state = &mut worker.states[r];
+        let l_query = read.codes.len() as i32;
+        let mut av: Vec<AlnReg> = Vec::new();
+        let mut src = PrecomputedSource { records: std::mem::take(&mut state.records) };
+        for (cid, chain) in state.chains.iter().enumerate() {
+            chain_to_regions(opts, l_query, &read.codes, chain, cid, &state.plans[cid], &mut src, &mut av);
+        }
+        state.records = src.records;
+        worker.times.add(Stage::Bsw, t.elapsed());
+        let t = Instant::now();
+        out.push(mark_primary(opts, sort_dedup(opts, av)));
+        worker.times.add(Stage::Misc, t.elapsed());
+    }
+    out
+}
+
+/// Execute the band-doubling protocol over a whole job list: round 0 at
+/// `w0` for everyone, round 1 at `2·w0` for the jobs that ask for it —
+/// exactly the per-seed retry loop, batched (MAX_BAND_TRY = 2).
+fn run_rounds(engine: &BswEngine, w0: i32, jobs: &[ExtendJob], results: &mut Vec<(ExtendResult, i32)>) {
+    results.clear();
+    let round0 = engine.extend_all(jobs);
+    results.extend(round0.iter().map(|&r| (r, w0)));
+    let retry_idx: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, (r, _))| needs_band_retry(r, w0))
+        .map(|(k, _)| k)
+        .collect();
+    if retry_idx.is_empty() {
+        return;
+    }
+    let retry_jobs: Vec<ExtendJob> = retry_idx
+        .iter()
+        .map(|&k| {
+            let mut j = jobs[k].clone();
+            j.w = w0 * 2;
+            j
+        })
+        .collect();
+    let round1 = engine.extend_all(&retry_jobs);
+    for (&k, r1) in retry_idx.iter().zip(round1) {
+        // bwa's loop keeps the round-1 result unconditionally (i hits
+        // MAX_BAND_TRY); aw records the widened band
+        results[k] = (r1, w0 * 2);
+    }
+}
+
+/// Format one read's regions as SAM lines (shared by both workflows).
+pub fn read_to_sam(
+    ctx: &PipelineContext<'_>,
+    read: &PreparedRead,
+    regs: &[AlnReg],
+    times: &mut StageTimes,
+) -> Vec<SamRecord> {
+    let t = Instant::now();
+    let info = ReadInfo { name: &read.name, codes: &read.codes, seq: &read.seq, qual: &read.qual };
+    let recs = regions_to_sam(
+        ctx.opts,
+        ctx.index.l_pac,
+        &ctx.reference.pac,
+        &ctx.reference.contigs,
+        &info,
+        regs,
+    );
+    times.add(Stage::SamForm, t.elapsed());
+    recs
+}
+
+/// Classic scalar verification helper: recompute a batch's extension
+/// records with the scalar kernel (used by tests to pin the batched
+/// engine to the scalar definition).
+pub fn scalar_records_for_read(
+    opts: &MemOpts,
+    read: &PreparedRead,
+    chains: &[Chain],
+    plans: &[ChainPlan],
+) -> Vec<Vec<SeedExtension>> {
+    chains
+        .iter()
+        .zip(plans)
+        .map(|(chain, plan)| {
+            plan.order
+                .iter()
+                .map(|&si| compute_seed_extension_scalar(opts, &chain.seeds[si as usize], &read.codes, plan))
+                .collect()
+        })
+        .collect()
+}
+
+fn take_state(pool: &mut Vec<ReadState>) -> ReadState {
+    pool.pop().unwrap_or_default()
+}
+
+fn give_state(pool: &mut Vec<ReadState>, state: ReadState) {
+    pool.push(state);
+}

@@ -1,0 +1,109 @@
+//! Per-stage wall-time accounting (Table 1 of the paper).
+
+use std::time::Duration;
+
+/// Pipeline stages as profiled in Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// SMEM seeding.
+    Smem,
+    /// Suffix-array lookup.
+    Sal,
+    /// Seed chaining and chain filtering.
+    Chain,
+    /// BSW pre-processing (reference window fetch, job construction,
+    /// sorting, SoA conversion).
+    BswPre,
+    /// Banded Smith-Waterman extension.
+    Bsw,
+    /// SAM formatting.
+    SamForm,
+    /// Everything else (region dedup, primary marking, bookkeeping).
+    Misc,
+}
+
+/// Stage labels in display order.
+pub const STAGE_NAMES: [&str; 7] = ["SMEM", "SAL", "CHAIN", "BSW-pre", "BSW", "SAM-FORM", "Misc"];
+
+/// Accumulated per-stage durations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimes {
+    /// Total time per stage, indexed by `Stage as usize`.
+    pub totals: [Duration; 7],
+}
+
+impl StageTimes {
+    /// Add a duration to a stage.
+    #[inline]
+    pub fn add(&mut self, stage: Stage, d: Duration) {
+        self.totals[stage as usize] += d;
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &StageTimes) {
+        for (a, b) in self.totals.iter_mut().zip(&other.totals) {
+            *a += *b;
+        }
+    }
+
+    /// Total across stages.
+    pub fn total(&self) -> Duration {
+        self.totals.iter().sum()
+    }
+
+    /// Percentage share per stage.
+    pub fn percentages(&self) -> [f64; 7] {
+        let t = self.total().as_secs_f64();
+        let mut out = [0.0; 7];
+        if t > 0.0 {
+            for (o, d) in out.iter_mut().zip(&self.totals) {
+                *o = 100.0 * d.as_secs_f64() / t;
+            }
+        }
+        out
+    }
+
+    /// Render as an aligned two-column table.
+    pub fn render(&self, title: &str) -> String {
+        let mut s = format!("{title}\n");
+        let pct = self.percentages();
+        for i in 0..7 {
+            s.push_str(&format!(
+                "  {:<9} {:>8.3}s {:>6.1}%\n",
+                STAGE_NAMES[i],
+                self.totals[i].as_secs_f64(),
+                pct[i]
+            ));
+        }
+        s.push_str(&format!("  {:<9} {:>8.3}s\n", "Total", self.total().as_secs_f64()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_merges() {
+        let mut a = StageTimes::default();
+        a.add(Stage::Smem, Duration::from_millis(300));
+        a.add(Stage::Bsw, Duration::from_millis(700));
+        let mut b = StageTimes::default();
+        b.add(Stage::Smem, Duration::from_millis(200));
+        a.merge(&b);
+        assert_eq!(a.totals[Stage::Smem as usize], Duration::from_millis(500));
+        assert_eq!(a.total(), Duration::from_millis(1200));
+        let pct = a.percentages();
+        assert!((pct[Stage::Smem as usize] - 41.666).abs() < 0.1);
+        let rendered = a.render("Table 1");
+        assert!(rendered.contains("SMEM"));
+        assert!(rendered.contains("Total"));
+    }
+
+    #[test]
+    fn empty_times_render_zero() {
+        let t = StageTimes::default();
+        assert_eq!(t.percentages(), [0.0; 7]);
+    }
+}

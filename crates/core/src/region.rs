@@ -1,0 +1,190 @@
+//! Alignment regions (bwa's `mem_alnreg_t`) and their post-processing:
+//! dedup (`mem_sort_dedup_patch`, minus the rare split-merge patching —
+//! see DESIGN.md) and primary marking (`mem_mark_primary_se`).
+
+use crate::opts::MemOpts;
+
+/// One candidate alignment region produced by seed extension.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AlnReg {
+    /// Reference begin/end in doubled coordinates.
+    pub rb: i64,
+    /// Reference end (exclusive).
+    pub re: i64,
+    /// Query begin.
+    pub qb: i32,
+    /// Query end (exclusive).
+    pub qe: i32,
+    /// Contig id.
+    pub rid: i32,
+    /// Best local score.
+    pub score: i32,
+    /// Actual score corresponding to the aligned region.
+    pub truesc: i32,
+    /// Best score of a significantly overlapping secondary region.
+    pub sub: i32,
+    /// Best in-chain sub-optimal score (unused here; kept for parity).
+    pub csub: i32,
+    /// Number of comparable sub-optimal hits.
+    pub sub_n: i32,
+    /// Band width actually used.
+    pub w: i32,
+    /// Bases covered by seeds inside this region.
+    pub seedcov: i32,
+    /// Index of the region shadowing this one, or −1 if primary.
+    pub secondary: i32,
+    /// Length of the seed that initiated the extension.
+    pub seedlen0: i32,
+    /// Fraction of the read covered by repetitive seeds.
+    pub frac_rep: f32,
+}
+
+/// Sort by reference end and remove redundant overlapping regions
+/// (bwa's `mem_sort_dedup_patch` without the split-merge patching).
+pub fn sort_dedup(opts: &MemOpts, mut regs: Vec<AlnReg>) -> Vec<AlnReg> {
+    if regs.len() <= 1 {
+        return regs;
+    }
+    regs.sort_by_key(|r| (r.rid, r.re, r.rb, r.qb));
+    for i in 1..regs.len() {
+        if regs[i].rid != regs[i - 1].rid
+            || regs[i].rb >= regs[i - 1].re + opts.chain.max_chain_gap as i64
+        {
+            continue;
+        }
+        let mut j = i as i64 - 1;
+        while j >= 0 {
+            let (p, q) = {
+                let (a, b) = regs.split_at_mut(i);
+                (&mut b[0], &mut a[j as usize])
+            };
+            if p.rid != q.rid || p.rb >= q.re + opts.chain.max_chain_gap as i64 {
+                break;
+            }
+            if q.qe == q.qb {
+                j -= 1;
+                continue; // already excluded
+            }
+            let or_ = q.re - p.rb; // overlap on the reference
+            let oq = if q.qb < p.qb { q.qe - p.qb } else { p.qe - q.qb }; // on the query
+            let mr = (q.re - q.rb).min(p.re - p.rb);
+            let mq = (q.qe - q.qb).min(p.qe - p.qb);
+            if or_ as f32 > opts.mask_level_redun * mr as f32
+                && oq as f32 > opts.mask_level_redun * mq as f32
+            {
+                // one of the two is redundant
+                if p.score < q.score {
+                    p.qe = p.qb;
+                    break;
+                } else {
+                    q.qe = q.qb;
+                }
+            }
+            j -= 1;
+        }
+    }
+    regs.retain(|r| r.qe > r.qb);
+    regs
+}
+
+/// Sort by score and mark secondary regions, filling `sub`/`sub_n`
+/// (bwa's `mem_mark_primary_se` + core). Returns regions sorted
+/// score-descending with `secondary` indices referring to that order.
+pub fn mark_primary(opts: &MemOpts, mut regs: Vec<AlnReg>) -> Vec<AlnReg> {
+    if regs.is_empty() {
+        return regs;
+    }
+    for r in regs.iter_mut() {
+        r.sub = 0;
+        r.secondary = -1;
+        r.sub_n = 0;
+    }
+    // deterministic stand-in for bwa's hash tiebreak
+    regs.sort_by_key(|r| (std::cmp::Reverse(r.score), r.rid, r.rb, r.qb));
+    let tmp = (opts.score.a + opts.score.b)
+        .max(opts.score.o_del + opts.score.e_del)
+        .max(opts.score.o_ins + opts.score.e_ins);
+    let mut kept: Vec<usize> = vec![0];
+    for i in 1..regs.len() {
+        let mut found = None;
+        for &j in &kept {
+            let b_max = regs[j].qb.max(regs[i].qb);
+            let e_min = regs[j].qe.min(regs[i].qe);
+            if e_min > b_max {
+                let min_l = (regs[i].qe - regs[i].qb).min(regs[j].qe - regs[j].qb);
+                if (e_min - b_max) as f32 >= min_l as f32 * opts.chain.mask_level {
+                    if regs[j].sub == 0 {
+                        regs[j].sub = regs[i].score;
+                    }
+                    if regs[j].score - regs[i].score <= tmp {
+                        regs[j].sub_n += 1;
+                    }
+                    found = Some(j);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(j) => regs[i].secondary = j as i32,
+            None => kept.push(i),
+        }
+    }
+    regs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(rb: i64, re: i64, qb: i32, qe: i32, score: i32) -> AlnReg {
+        AlnReg { rb, re, qb, qe, rid: 0, score, truesc: score, w: 100, ..Default::default() }
+    }
+
+    #[test]
+    fn dedup_removes_redundant_lower_scoring_region() {
+        let a = reg(100, 200, 0, 100, 90);
+        let b = reg(101, 199, 1, 99, 50); // nearly identical, lower score
+        let out = sort_dedup(&MemOpts::default(), vec![a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, 90);
+    }
+
+    #[test]
+    fn dedup_keeps_distinct_regions() {
+        let a = reg(100, 200, 0, 100, 90);
+        let b = reg(5000, 5100, 0, 100, 80); // same query span, far away on ref
+        let out = sort_dedup(&MemOpts::default(), vec![a, b]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn mark_primary_shadows_overlapping_hits() {
+        let a = reg(100, 200, 0, 100, 90);
+        let b = reg(5000, 5100, 0, 100, 70);
+        let c = reg(9000, 9040, 110, 150, 40);
+        let out = mark_primary(&MemOpts::default(), vec![c, b, a]);
+        // sorted by score: a, b, c
+        assert_eq!(out[0].score, 90);
+        assert_eq!(out[0].secondary, -1);
+        assert_eq!(out[0].sub, 70); // b's score recorded as sub-optimal
+        assert_eq!(out[1].secondary, 0); // b shadowed by a
+        assert_eq!(out[2].secondary, -1); // c is a distinct query span
+    }
+
+    #[test]
+    fn sub_n_counts_close_competitors() {
+        let a = reg(100, 200, 0, 100, 90);
+        let b = reg(5000, 5100, 0, 100, 88); // within (a+b)=5? tmp = max(5,7,7)=7
+        let out = mark_primary(&MemOpts::default(), vec![a, b]);
+        assert_eq!(out[0].sub_n, 1);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(sort_dedup(&MemOpts::default(), vec![]).is_empty());
+        let one = vec![reg(0, 10, 0, 10, 5)];
+        assert_eq!(sort_dedup(&MemOpts::default(), one.clone()).len(), 1);
+        let m = mark_primary(&MemOpts::default(), one);
+        assert_eq!(m[0].secondary, -1);
+    }
+}

@@ -1,0 +1,452 @@
+//! SAM output formatting — bwa's `mem_reg2aln` + `mem_aln2sam`
+//! (SAM-FORM stage). Soft clipping is used for all records (bwa's `-Y`
+//! behaviour), and the XA list is not emitted; both choices are uniform
+//! across workflows so identical-output comparisons hold.
+
+use mem2_bsw::global::{cigar_string, global_align, CigarOp};
+use mem2_bsw::ScoreParams;
+use mem2_seqio::{ContigSet, PackedSeq};
+
+use crate::mapq::approx_mapq_se;
+use crate::opts::MemOpts;
+use crate::region::AlnReg;
+
+/// One SAM alignment line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SamRecord {
+    /// Read name.
+    pub qname: String,
+    /// SAM flags.
+    pub flag: u16,
+    /// Contig name or `*`.
+    pub rname: String,
+    /// 1-based leftmost position (0 when unmapped).
+    pub pos: u64,
+    /// Mapping quality.
+    pub mapq: u8,
+    /// CIGAR string or `*`.
+    pub cigar: String,
+    /// Read bases as output (reverse-complemented when on the minus strand).
+    pub seq: String,
+    /// Base qualities as output.
+    pub qual: String,
+    /// Tab-separated optional tags.
+    pub tags: String,
+}
+
+impl SamRecord {
+    /// Render the record as one SAM line (without trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t{}\t{}",
+            self.qname, self.flag, self.rname, self.pos, self.mapq, self.cigar, self.seq,
+            self.qual, self.tags
+        )
+    }
+}
+
+/// The read-side inputs to SAM formatting.
+pub struct ReadInfo<'a> {
+    /// Read name.
+    pub name: &'a str,
+    /// Base codes (0..4).
+    pub codes: &'a [u8],
+    /// ASCII bases as read from FASTQ.
+    pub seq: &'a [u8],
+    /// ASCII qualities.
+    pub qual: &'a [u8],
+}
+
+/// Generate the CIGAR of a region (bwa's `bwa_gen_cigar2`): fetch the
+/// reference window, reverse both sequences on the minus strand (keeps
+/// indels left-aligned in genome orientation), run banded global
+/// alignment, and compute NM.
+fn gen_cigar(
+    score_params: &ScoreParams,
+    l_pac: i64,
+    pac: &PackedSeq,
+    query_codes: &[u8],
+    rb: i64,
+    re: i64,
+    w: i32,
+) -> (i32, Vec<CigarOp>, i32) {
+    let mut qseg = query_codes.to_vec();
+    let mut rseg = pac.fetch2(rb as usize, re as usize);
+    let is_rev = rb >= l_pac;
+    if is_rev {
+        qseg.reverse();
+        rseg.reverse();
+    }
+    if qseg.len() == rseg.len() && w == 0 {
+        // no-gap shortcut
+        let score: i32 = qseg.iter().zip(&rseg).map(|(&q, &t)| score_params.score(t, q)).sum();
+        let cigar = vec![CigarOp::Match(qseg.len() as u32)];
+        let nm = count_nm(&cigar, &qseg, &rseg);
+        return (score, cigar, nm);
+    }
+    let (score, cigar) = global_align(score_params, &qseg, &rseg, w);
+    let nm = count_nm(&cigar, &qseg, &rseg);
+    (score, cigar, nm)
+}
+
+/// Edit distance along a CIGAR: mismatches within M runs plus indel bases.
+fn count_nm(cigar: &[CigarOp], q: &[u8], t: &[u8]) -> i32 {
+    let (mut qi, mut ti, mut nm) = (0usize, 0usize, 0i32);
+    for op in cigar {
+        match *op {
+            CigarOp::Match(n) => {
+                for k in 0..n as usize {
+                    if q[qi + k] != t[ti + k] || q[qi + k] > 3 {
+                        nm += 1;
+                    }
+                }
+                qi += n as usize;
+                ti += n as usize;
+            }
+            CigarOp::Ins(n) => {
+                qi += n as usize;
+                nm += n as i32;
+            }
+            CigarOp::Del(n) => {
+                ti += n as usize;
+                nm += n as i32;
+            }
+            CigarOp::SoftClip(n) => qi += n as usize,
+        }
+    }
+    nm
+}
+
+/// Convert one region to a SAM record (bwa's `mem_reg2aln` + `mem_aln2sam`).
+#[allow(clippy::too_many_arguments)]
+pub fn region_to_sam(
+    opts: &MemOpts,
+    l_pac: i64,
+    pac: &PackedSeq,
+    contigs: &ContigSet,
+    read: &ReadInfo<'_>,
+    reg: &AlnReg,
+    supplementary: bool,
+    mapq_cap: Option<u8>,
+) -> SamRecord {
+    let l_query = read.codes.len() as i32;
+    let (qb, qe) = (reg.qb, reg.qe);
+    let (rb, re) = (reg.rb, reg.re);
+    let mapq_raw = if reg.secondary < 0 { approx_mapq_se(opts, reg) } else { 0 };
+    let mut mapq = mapq_raw.clamp(0, 255) as u8;
+    if let Some(cap) = mapq_cap {
+        mapq = mapq.min(cap);
+    }
+
+    // band for CIGAR generation
+    let s = &opts.score;
+    let tmp = MemOpts::infer_bw(qe - qb, (re - rb) as i32, reg.truesc, s.a, s.o_del, s.e_del);
+    let mut w2 = MemOpts::infer_bw(qe - qb, (re - rb) as i32, reg.truesc, s.a, s.o_ins, s.e_ins)
+        .max(tmp);
+    if w2 > opts.chain.w {
+        w2 = w2.min(reg.w);
+    }
+    // regenerate with a wider band while global alignment underperforms
+    let mut last_sc = i32::MIN;
+    let mut i = 0;
+    let (mut gscore, mut cigar, mut nm);
+    loop {
+        w2 = w2.min(opts.chain.w << 2);
+        let out = gen_cigar(&opts.score, l_pac, pac, &read.codes[qb as usize..qe as usize], rb, re, w2);
+        gscore = out.0;
+        cigar = out.1;
+        nm = out.2;
+        if gscore == last_sc || w2 == opts.chain.w << 2 {
+            break;
+        }
+        last_sc = gscore;
+        w2 <<= 1;
+        i += 1;
+        if !(i < 3 && gscore < reg.truesc - opts.score.a) {
+            break;
+        }
+    }
+    let _ = gscore;
+
+    // position in forward coordinates
+    let is_rev = rb >= l_pac;
+    let mut pos_f = if is_rev { 2 * l_pac - re } else { rb } as u64;
+
+    // squeeze out a leading or trailing deletion
+    if let Some(&CigarOp::Del(n)) = cigar.first() {
+        pos_f += n as u64;
+        cigar.remove(0);
+    } else if let Some(&CigarOp::Del(_)) = cigar.last() {
+        cigar.pop();
+    }
+
+    // soft clips in output orientation
+    let clip5 = if is_rev { l_query - qe } else { qb };
+    let clip3 = if is_rev { qb } else { l_query - qe };
+    if clip5 > 0 {
+        cigar.insert(0, CigarOp::SoftClip(clip5 as u32));
+    }
+    if clip3 > 0 {
+        cigar.push(CigarOp::SoftClip(clip3 as u32));
+    }
+
+    let (rid, off) = contigs
+        .locate(pos_f as usize)
+        .expect("region position must fall inside a contig");
+    let mut flag = 0u16;
+    if is_rev {
+        flag |= 0x10;
+    }
+    if reg.secondary >= 0 {
+        flag |= 0x100;
+    }
+    if supplementary {
+        flag |= 0x800;
+    }
+    let (seq, qual) = orient_read(read, is_rev);
+    let xs = reg.sub.max(reg.csub);
+    SamRecord {
+        qname: read.name.to_string(),
+        flag,
+        rname: contigs.contigs[rid].name.clone(),
+        pos: off as u64 + 1,
+        mapq,
+        cigar: cigar_string(&cigar),
+        seq,
+        qual,
+        tags: format!("NM:i:{nm}\tAS:i:{}\tXS:i:{xs}", reg.score),
+    }
+}
+
+/// The unmapped record for a read with no acceptable region.
+pub fn unmapped_record(read: &ReadInfo<'_>) -> SamRecord {
+    SamRecord {
+        qname: read.name.to_string(),
+        flag: 0x4,
+        rname: "*".to_string(),
+        pos: 0,
+        mapq: 0,
+        cigar: "*".to_string(),
+        seq: String::from_utf8_lossy(read.seq).into_owned(),
+        qual: String::from_utf8_lossy(read.qual).into_owned(),
+        tags: "AS:i:0".to_string(),
+    }
+}
+
+fn orient_read(read: &ReadInfo<'_>, is_rev: bool) -> (String, String) {
+    if !is_rev {
+        (
+            String::from_utf8_lossy(read.seq).into_owned(),
+            String::from_utf8_lossy(read.qual).into_owned(),
+        )
+    } else {
+        let seq: String = read
+            .seq
+            .iter()
+            .rev()
+            .map(|&b| match b {
+                b'A' | b'a' => 'T',
+                b'C' | b'c' => 'G',
+                b'G' | b'g' => 'C',
+                b'T' | b't' => 'A',
+                _ => 'N',
+            })
+            .collect();
+        let qual: String = read.qual.iter().rev().map(|&b| b as char).collect();
+        (seq, qual)
+    }
+}
+
+/// Format all surviving regions of one read: the best region is primary,
+/// further non-secondary regions become supplementary lines with MAPQ
+/// capped by the primary's (bwa's behaviour); reads with nothing above
+/// the score threshold produce one unmapped record.
+pub fn regions_to_sam(
+    opts: &MemOpts,
+    l_pac: i64,
+    pac: &PackedSeq,
+    contigs: &ContigSet,
+    read: &ReadInfo<'_>,
+    regs: &[AlnReg],
+) -> Vec<SamRecord> {
+    let mut out: Vec<SamRecord> = Vec::new();
+    let mut n_primary = 0usize;
+    for reg in regs {
+        if reg.score < opts.t_min_score {
+            continue;
+        }
+        if reg.secondary >= 0 && !opts.output_all {
+            continue; // secondaries suppressed unless `-a`
+        }
+        let is_secondary = reg.secondary >= 0;
+        let supplementary = !is_secondary && n_primary > 0;
+        let cap = out.first().map(|r| r.mapq);
+        out.push(region_to_sam(opts, l_pac, pac, contigs, read, reg, supplementary, cap));
+        if !is_secondary {
+            n_primary += 1;
+        }
+    }
+    if out.iter().all(|r| r.flag & 0x100 != 0) {
+        // no primary line survived (all secondary or nothing at all):
+        // emit the unmapped record bwa would print
+        if out.is_empty() {
+            out.push(unmapped_record(read));
+        }
+    }
+    if out.is_empty() {
+        out.push(unmapped_record(read));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem2_seqio::Reference;
+
+    fn setup() -> (MemOpts, Reference) {
+        let codes: Vec<u8> = (0..240).map(|i| ((i * 5 + 1) % 4) as u8).collect();
+        (MemOpts::default(), Reference::from_codes("chr_t", &codes))
+    }
+
+    fn read_info<'a>(codes: &'a [u8], seq: &'a [u8], qual: &'a [u8]) -> ReadInfo<'a> {
+        ReadInfo { name: "r1", codes, seq, qual }
+    }
+
+    fn decode(codes: &[u8]) -> Vec<u8> {
+        codes.iter().map(|&c| b"ACGTN"[c.min(4) as usize]).collect()
+    }
+
+    #[test]
+    fn forward_perfect_region_formats_cleanly() {
+        let (opts, reference) = setup();
+        let codes = reference.pac.fetch(40, 140);
+        let seq = decode(&codes);
+        let qual = vec![b'I'; 100];
+        let read = read_info(&codes, &seq, &qual);
+        let reg = AlnReg {
+            rb: 40,
+            re: 140,
+            qb: 0,
+            qe: 100,
+            rid: 0,
+            score: 100,
+            truesc: 100,
+            w: 100,
+            seedcov: 100,
+            secondary: -1,
+            ..Default::default()
+        };
+        let recs = regions_to_sam(&opts, reference.len() as i64, &reference.pac, &reference.contigs, &read, &[reg]);
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.flag, 0);
+        assert_eq!(r.rname, "chr_t");
+        assert_eq!(r.pos, 41);
+        assert_eq!(r.cigar, "100M");
+        assert!(r.tags.contains("NM:i:0"));
+        assert!(r.tags.contains("AS:i:100"));
+        assert_eq!(r.mapq, 60);
+        let line = r.to_line();
+        assert_eq!(line.split('\t').count(), 14);
+    }
+
+    #[test]
+    fn reverse_region_revcomps_seq_and_flags() {
+        let (opts, reference) = setup();
+        let l = reference.len() as i64;
+        // a read equal to revcomp(ref[40..140)): region in doubled space
+        let fw = reference.pac.fetch(40, 140);
+        let codes: Vec<u8> = fw.iter().rev().map(|&c| 3 - c).collect();
+        let seq = decode(&codes);
+        let qual: Vec<u8> = (0..100u8).map(|i| b'#' + (i % 40)).collect();
+        let read = read_info(&codes, &seq, &qual);
+        let reg = AlnReg {
+            rb: 2 * l - 140,
+            re: 2 * l - 40,
+            qb: 0,
+            qe: 100,
+            rid: 0,
+            score: 100,
+            truesc: 100,
+            w: 100,
+            secondary: -1,
+            ..Default::default()
+        };
+        let recs = regions_to_sam(&opts, l, &reference.pac, &reference.contigs, &read, &[reg]);
+        let r = &recs[0];
+        assert_eq!(r.flag, 0x10);
+        assert_eq!(r.pos, 41);
+        assert_eq!(r.cigar, "100M");
+        // output sequence must be the forward reference text
+        assert_eq!(r.seq.as_bytes(), decode(&fw).as_slice());
+        // qualities reversed
+        assert_eq!(r.qual.as_bytes()[0], qual[99]);
+        assert!(r.tags.contains("NM:i:0"));
+    }
+
+    #[test]
+    fn soft_clips_appear_for_partial_alignment() {
+        let (opts, reference) = setup();
+        // read: 10 junk bases + 90 reference bases
+        let mut codes = vec![0u8; 10];
+        codes.extend(reference.pac.fetch(100, 190));
+        let seq = decode(&codes);
+        let qual = vec![b'I'; 100];
+        let read = read_info(&codes, &seq, &qual);
+        let reg = AlnReg {
+            rb: 100,
+            re: 190,
+            qb: 10,
+            qe: 100,
+            rid: 0,
+            score: 90,
+            truesc: 90,
+            w: 100,
+            secondary: -1,
+            ..Default::default()
+        };
+        let recs = regions_to_sam(&opts, reference.len() as i64, &reference.pac, &reference.contigs, &read, &[reg]);
+        assert_eq!(recs[0].cigar, "10S90M");
+        assert_eq!(recs[0].pos, 101);
+    }
+
+    #[test]
+    fn low_scoring_and_secondary_regions_are_suppressed() {
+        let (opts, reference) = setup();
+        let codes = reference.pac.fetch(0, 100);
+        let seq = decode(&codes);
+        let qual = vec![b'I'; 100];
+        let read = read_info(&codes, &seq, &qual);
+        let low = AlnReg { rb: 0, re: 20, qb: 0, qe: 20, score: 20, truesc: 20, w: 100, secondary: -1, ..Default::default() };
+        let sec = AlnReg { rb: 0, re: 100, qb: 0, qe: 100, score: 90, truesc: 90, w: 100, secondary: 0, ..Default::default() };
+        let recs = regions_to_sam(&opts, reference.len() as i64, &reference.pac, &reference.contigs, &read, &[low, sec]);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].flag, 0x4);
+        assert_eq!(recs[0].cigar, "*");
+    }
+
+    #[test]
+    fn supplementary_lines_get_flag_and_mapq_cap() {
+        let (opts, reference) = setup();
+        let codes = reference.pac.fetch(0, 120);
+        let seq = decode(&codes);
+        let qual = vec![b'I'; 120];
+        let read = read_info(&codes, &seq, &qual);
+        let a = AlnReg { rb: 0, re: 60, qb: 0, qe: 60, score: 60, truesc: 60, w: 100, sub: 55, secondary: -1, ..Default::default() };
+        let b = AlnReg { rb: 160, re: 220, qb: 60, qe: 120, score: 58, truesc: 58, w: 100, secondary: -1, ..Default::default() };
+        let recs = regions_to_sam(&opts, reference.len() as i64, &reference.pac, &reference.contigs, &read, &[a, b]);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].flag & 0x800, 0);
+        assert_eq!(recs[1].flag & 0x800, 0x800);
+        assert!(recs[1].mapq <= recs[0].mapq);
+    }
+
+    #[test]
+    fn nm_counts_mismatches_and_indels() {
+        let cigar = vec![CigarOp::Match(4), CigarOp::Ins(2), CigarOp::Match(2)];
+        let q = [0u8, 1, 2, 3, 0, 0, 1, 1];
+        let t = [0u8, 1, 2, 0, 1, 1]; // one mismatch at M position 3
+        assert_eq!(count_nm(&cigar, &q, &t), 3); // 1 mismatch + 2 ins
+    }
+}

@@ -1,0 +1,76 @@
+//! Multithreaded driver: crossbeam scoped workers pulling read chunks
+//! from an atomic cursor — the same dynamic scheduling the paper gets
+//! from OpenMP `schedule(dynamic)`, with one reusable [`Worker`] arena
+//! per thread. Output order is deterministic (chunk-indexed slots), so
+//! thread count never changes the SAM byte stream.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use mem2_seqio::FastqRecord;
+
+use crate::aligner::{Aligner, Workflow};
+use crate::pipeline::{align_batch, align_read_classic, read_to_sam, PreparedRead, Worker};
+use crate::profile::StageTimes;
+use crate::sam::SamRecord;
+
+/// Align `reads` with `n_threads` workers; returns SAM records in input
+/// order plus the summed per-stage times across workers.
+pub fn align_reads_parallel(
+    aligner: &Aligner,
+    reads: &[FastqRecord],
+    n_threads: usize,
+) -> (Vec<SamRecord>, StageTimes) {
+    let n_threads = n_threads.max(1);
+    let chunk = aligner.opts.chunk_reads.max(1);
+    let n_chunks = reads.len().div_ceil(chunk).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Vec<SamRecord>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+    let total_times = Mutex::new(StageTimes::default());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| {
+                let ctx = aligner.context();
+                let mut worker = Worker::new(&aligner.opts);
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let beg = c * chunk;
+                    let end = (beg + chunk).min(reads.len());
+                    let prepared: Vec<PreparedRead> =
+                        reads[beg..end].iter().map(PreparedRead::from_fastq).collect();
+                    let mut out = Vec::new();
+                    match aligner.workflow {
+                        Workflow::Classic => {
+                            for read in &prepared {
+                                let regs = align_read_classic(&ctx, &mut worker, read);
+                                out.extend(read_to_sam(&ctx, read, &regs, &mut worker.times));
+                            }
+                        }
+                        Workflow::Batched => {
+                            for batch in prepared.chunks(aligner.opts.batch_reads) {
+                                let regs = align_batch(&ctx, &mut worker, batch);
+                                for (read, r) in batch.iter().zip(&regs) {
+                                    out.extend(read_to_sam(&ctx, read, r, &mut worker.times));
+                                }
+                            }
+                        }
+                    }
+                    *slots[c].lock() = out;
+                }
+                total_times.lock().merge(&worker.times);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut all = Vec::new();
+    for slot in slots {
+        all.append(&mut slot.into_inner());
+    }
+    (all, total_times.into_inner())
+}

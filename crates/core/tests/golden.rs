@@ -1,0 +1,67 @@
+//! Golden determinism test: the exact SAM byte stream for a fixed
+//! genome/read seed is pinned. Any change to seeding, chaining,
+//! extension, MAPQ, CIGAR generation or tie-breaking shows up here —
+//! the regression guard behind the paper's "output does not change over
+//! a long period of time" requirement (§1).
+//!
+//! Expected lines were produced by `cargo run -p mem2-core --example
+//! golden_gen` and verified identical across Classic/Batched and thread
+//! counts before pinning. Note reads 0, 2 and 3 land in injected repeat
+//! copies: MAPQ 0 with XS == AS is the correct repeat-aware answer.
+
+use mem2_core::{Aligner, MemOpts, Workflow};
+use mem2_fmindex::{BuildOpts, FmIndex};
+use mem2_seqio::{FastqRecord, GenomeSpec, ReadSim, ReadSimSpec};
+
+const EXPECTED: [&str; 6] = [
+    "sim_0_23286_R\t16\tchrG\t35676\t0\t101M\t*\t0\t0\tATTAGAGAATTAGTGGCACGTAGCAAGCTCGTGGAACTTGGTTACGAGAGGATATGCTTAACGGACCTATTGACTGGATTATTCTACGTTTGGTTCCACTC\tDH?BC?FGCBC?AAG?@DDA?ABHHABG@DFC@E@GAAECGGEABEEA?AD@EFA?G?@EG?AA?FHFHFDE?DAFHGFGBDACFCAAHHAD@?F?B@@@E\tNM:i:2\tAS:i:91\tXS:i:91",
+    "sim_1_36614_R\t16\tchrG\t36618\t60\t101M\t*\t0\t0\tCGAGAATATTACAATTCGGTTTATAATAATGTCGACCTGCAGATCTTACCTGACTCTGTTAATTTACTTAGGAGAACTCAGAGCTAGAAGCGTTTAAGTTG\tHGDHHGAGFCG?@F?DFGHCFDD?ACFB@F??@C?@AD@BGG?BDGGGEABFACCDCAFCFGHB@HAECD@@@A@AE@@BD@ACFCGHB@?F?DAD@@ACC\tNM:i:2\tAS:i:94\tXS:i:0",
+    "sim_2_49434_F\t0\tchrG\t49435\t0\t56M1I44M\t*\t0\t0\tTCAGGGTGTGCATACAGAGTTCGACCTTACATAAGACGCTCACTATAGTCTATCTCAAAAAGGGGGGTCGTTGTAAGATGACACATGGACGGTGATTGCAC\t@ABBGGAC@?AE?F?CEBC@FEEECFH@HHBFCGDB@DA?@EDDGGFDCGA?DD@@HGFA?AF@GHBBBAC?HCFEBADCH?@HFDGHBGEECD?EC?G@H\tNM:i:2\tAS:i:88\tXS:i:88",
+    "sim_3_1823_F\t0\tchrG\t1824\t0\t101M\t*\t0\t0\tATTATAAAGTGCAATCACCGTCCATGTGTCATCTTACAACGACCCCCCTTTTGAGATAGACTATAGTGAGCGTCTTATGTAAGATCGAACTCTGCATGCAC\t@??ADDHAC@@DFCDD@FB@DGDFCFB?D@?CEAHAACEFHBAACDFB?AGDHC@HE@?DC@AFAFBCAC@C@HGEGBHHHDHBBDCEF?FF@DGHDBH?G\tNM:i:1\tAS:i:96\tXS:i:96",
+    "sim_4_45481_R\t16\tchrG\t45484\t50\t58M1D43M\t*\t0\t0\tACATTATCTATTGTTGGGTCCGACTTCAAAATCTCGTTGTCAACGTCTCTTATTGTGTAAACCTAGTGTGTCGTTTGATGTTAGCTGATGACGGGAACTCA\tFGH?@B??HEAHECCBHEGCG@ABFDGACBC@EECFEGABFD?DF?CGA@?C@H?GBECGHA?EDGEEB@GCDBGAB?AHCGDD?DHGDDHHEDCDBD?ED\tNM:i:2\tAS:i:89\tXS:i:76",
+    "sim_5_22763_R\t16\tchrG\t22767\t60\t101M\t*\t0\t0\tGATGAAAATAGGAGCCGTATCATCGTTAGAGCAAATATTATGAACAATTGAGCAGTGATACAACGAGTGGCTAAAAAATCTCTGAAGGATGCCAGATTGCT\tDH@DHDDEFBB@@F@A?ACHG@F?HAHFGAEDBEHAGD@ABBDFBHCEHABHCCD?HCAECGHHBABEG?GAABHG@DHEBB?@DDFFC?G?AA?EBAEGE\tNM:i:3\tAS:i:88\tXS:i:68",
+];
+
+fn fixture() -> (mem2_seqio::Reference, Vec<FastqRecord>) {
+    let reference = GenomeSpec { len: 50_000, seed: 0xFACE, ..GenomeSpec::default() }
+        .generate_reference("chrG");
+    let reads: Vec<FastqRecord> = ReadSim::new(
+        &reference,
+        ReadSimSpec {
+            n_reads: 6,
+            read_len: 101,
+            sub_rate: 0.02,
+            indel_rate: 0.5,
+            max_indel_len: 3,
+            junk_rate: 0.0,
+            seed: 0xFEED5,
+        },
+    )
+    .generate()
+    .into_iter()
+    .map(|s| s.record)
+    .collect();
+    (reference, reads)
+}
+
+#[test]
+fn pinned_sam_output_batched() {
+    let (reference, reads) = fixture();
+    let aligner = Aligner::build(reference, MemOpts::default(), Workflow::Batched);
+    let got: Vec<String> = aligner.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    assert_eq!(got.len(), EXPECTED.len());
+    for (g, e) in got.iter().zip(EXPECTED) {
+        assert_eq!(g, e);
+    }
+}
+
+#[test]
+fn pinned_sam_output_classic() {
+    let (reference, reads) = fixture();
+    let index = FmIndex::build(&reference, &BuildOpts::original_only());
+    let aligner = Aligner::with_index(index, reference, MemOpts::default(), Workflow::Classic);
+    let got: Vec<String> = aligner.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    for (g, e) in got.iter().zip(EXPECTED) {
+        assert_eq!(g, e);
+    }
+}

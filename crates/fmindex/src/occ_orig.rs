@@ -1,0 +1,251 @@
+//! The original BWA-MEM occurrence layout: η = 128, 2-bit packed BWT.
+//!
+//! Per 128 stored rows, one 64-byte block holds four `u64` cumulative
+//! counts (32 B) followed by 128 bases packed 2-bit into four `u64`
+//! (32 B) — bwa's `bwt->bwt` layout (cache-line aligned, as bwa's huge
+//! page-aligned allocation is in practice). In-bucket counting uses the
+//! classic `__occ_aux` bit trick, which is exactly why the paper measures
+//! ~285 k instructions per read in this kernel: every occurrence query
+//! scans up to four words with ~10 ALU ops per word per base.
+
+use mem2_memsim::PerfSink;
+use mem2_suffix::Bwt;
+
+use crate::occ::{BwtMeta, OccTable};
+
+/// Bucket size (rows).
+const ETA: i64 = 128;
+
+/// One 64-byte block: 4 cumulative counts + 128 bases packed 2-bit.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C, align(64))]
+struct OrigBlock {
+    counts: [u64; 4],
+    bwt: [u64; 4],
+}
+
+/// Original-layout occurrence table.
+#[derive(Clone, Debug)]
+pub struct OccOrig {
+    blocks: Vec<OrigBlock>,
+    meta: BwtMeta,
+}
+
+/// Count occurrences of base `c` among the 32 bases packed in `y`
+/// (bwa's `__occ_aux`).
+#[inline(always)]
+fn occ_aux(y: u64, c: u8) -> u32 {
+    let hi = if c & 2 != 0 { y } else { !y };
+    let lo = if c & 1 != 0 { y } else { !y };
+    ((hi >> 1) & lo & 0x5555_5555_5555_5555u64).count_ones()
+}
+
+impl OccOrig {
+    /// Build from a BWT.
+    pub fn build(bwt: &Bwt) -> Self {
+        let meta = BwtMeta::from_bwt(bwt);
+        let n = bwt.data.len();
+        let n_blocks = n / ETA as usize + 1;
+        let mut blocks = vec![OrigBlock::default(); n_blocks];
+        let mut running = [0u64; 4];
+        for (b, block) in blocks.iter_mut().enumerate() {
+            block.counts = running;
+            for j in 0..ETA as usize {
+                let i = b * ETA as usize + j;
+                if i >= n {
+                    break;
+                }
+                let c = bwt.data[i];
+                running[c as usize] += 1;
+                block.bwt[j / 32] |= (c as u64) << ((j % 32) * 2);
+            }
+        }
+        debug_assert_eq!(
+            running.iter().map(|&x| x as i64).collect::<Vec<_>>(),
+            meta.counts.to_vec()
+        );
+        OccOrig { blocks, meta }
+    }
+
+    /// Count of each base among the first `m` stored rows.
+    #[inline]
+    fn stored_counts<P: PerfSink>(&self, m: i64, sink: &mut P) -> [i64; 4] {
+        debug_assert!(m >= 0 && m <= self.meta.n_stored);
+        let b = (m / ETA) as usize;
+        let y = (m % ETA) as usize;
+        let block = &self.blocks[b];
+        sink.load(block as *const OrigBlock as usize, 64);
+        let mut out = [
+            block.counts[0] as i64,
+            block.counts[1] as i64,
+            block.counts[2] as i64,
+            block.counts[3] as i64,
+        ];
+        // instruction proxy: header adds + per-word bit tricks for 4 bases
+        let full_words = y / 32;
+        let rem = y % 32;
+        sink.ops(8 + 4 * (full_words as u64 + (rem > 0) as u64) * 10);
+        for c in 0..4u8 {
+            let mut cnt = 0u32;
+            for w in 0..full_words {
+                cnt += occ_aux(block.bwt[w], c);
+            }
+            if rem > 0 {
+                let masked = block.bwt[full_words] & ((1u64 << (2 * rem)) - 1);
+                let mut partial = occ_aux(masked, c);
+                if c == 0 {
+                    // cleared high pairs read as base 0; subtract them
+                    partial -= 32 - rem as u32;
+                }
+                cnt += partial;
+            }
+            out[c as usize] += cnt as i64;
+        }
+        out
+    }
+}
+
+impl OccTable for OccOrig {
+    fn meta(&self) -> &BwtMeta {
+        &self.meta
+    }
+
+    fn occ4<P: PerfSink>(&self, r: i64, sink: &mut P) -> [i64; 4] {
+        self.stored_counts(self.meta.stored_prefix(r), sink)
+    }
+
+    fn occ2x4<P: PerfSink>(&self, r1: i64, r2: i64, sink: &mut P) -> ([i64; 4], [i64; 4]) {
+        debug_assert!(r1 <= r2);
+        let m1 = self.meta.stored_prefix(r1);
+        let m2 = self.meta.stored_prefix(r2);
+        if m1 / ETA == m2 / ETA {
+            // same bucket: bwa's bwt_2occ4 fast path — one memory touch,
+            // the second prefix count reuses the already-loaded block
+            let a = self.stored_counts(m1, sink);
+            let b = self.stored_counts(m2, &mut mem2_memsim::NoopSink);
+            sink.ops(4 * ((m2 % ETA) as u64 / 32 + 1) * 10);
+            (a, b)
+        } else {
+            (self.stored_counts(m1, sink), self.stored_counts(m2, sink))
+        }
+    }
+
+    fn bwt_char(&self, r: i64) -> u8 {
+        let i = self.meta.stored_index(r);
+        let b = (i / ETA) as usize;
+        let j = (i % ETA) as usize;
+        ((self.blocks[b].bwt[j / 32] >> ((j % 32) * 2)) & 3) as u8
+    }
+
+    fn prefetch_row<P: PerfSink>(&self, r: i64, sink: &mut P) {
+        if r < 0 || r > self.meta.n_stored {
+            return;
+        }
+        let m = self.meta.stored_prefix(r);
+        let block = &self.blocks[(m / ETA) as usize];
+        mem2_simd::prefetch_read(block);
+        sink.prefetch(block as *const OrigBlock as usize);
+    }
+
+    fn bucket_size(&self) -> usize {
+        ETA as usize
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<OrigBlock>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem2_memsim::NoopSink;
+    use mem2_suffix::build_bwt;
+
+    fn naive_occ4(bwt: &Bwt, r: i64) -> [i64; 4] {
+        let mut out = [0i64; 4];
+        for row in 0..=r.max(-1) {
+            if row >= 0 {
+                if let Some(c) = bwt.get(row as usize) {
+                    out[c as usize] += 1;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn block_is_one_aligned_cache_line() {
+        assert_eq!(std::mem::size_of::<OrigBlock>(), 64);
+        assert_eq!(std::mem::align_of::<OrigBlock>(), 64);
+    }
+
+    #[test]
+    fn occ_aux_counts_pairs() {
+        // bases 0..3 repeated little-endian
+        let mut y = 0u64;
+        for j in 0..32 {
+            y |= ((j % 4) as u64) << (2 * j);
+        }
+        for c in 0..4 {
+            assert_eq!(occ_aux(y, c), 8, "base {c}");
+        }
+        assert_eq!(occ_aux(0, 0), 32);
+        assert_eq!(occ_aux(u64::MAX, 3), 32);
+    }
+
+    #[test]
+    fn occ4_matches_naive_on_long_text() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let text: Vec<u8> = (0..1000).map(|_| rng.random_range(0..4u8)).collect();
+        let (bwt, _) = build_bwt(&text);
+        let occ = OccOrig::build(&bwt);
+        let mut sink = NoopSink;
+        for r in [-1i64, 0, 1, 31, 32, 127, 128, 129, 500, 999, 1000] {
+            assert_eq!(occ.occ4(r, &mut sink), naive_occ4(&bwt, r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn occ2x4_same_bucket_equals_two_calls() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let text: Vec<u8> = (0..600).map(|_| rng.random_range(0..4u8)).collect();
+        let (bwt, _) = build_bwt(&text);
+        let occ = OccOrig::build(&bwt);
+        let mut sink = NoopSink;
+        for (r1, r2) in [(-1i64, 5i64), (10, 90), (100, 140), (130, 131), (0, 600)] {
+            let (a, b) = occ.occ2x4(r1, r2, &mut sink);
+            assert_eq!(a, occ.occ4(r1, &mut sink), "r1={r1}");
+            assert_eq!(b, occ.occ4(r2, &mut sink), "r2={r2}");
+        }
+    }
+
+    #[test]
+    fn bwt_char_roundtrips() {
+        let text = [0u8, 3, 0, 1, 2, 0, 1];
+        let (bwt, _) = build_bwt(&text);
+        let occ = OccOrig::build(&bwt);
+        for r in 0..bwt.rows() as i64 {
+            if r != bwt.sentinel_row as i64 {
+                assert_eq!(Some(occ.bwt_char(r)), bwt.get(r as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn same_bucket_pairs_touch_one_line() {
+        use mem2_memsim::{CacheConfig, CountingSink};
+        let text: Vec<u8> = (0..1024).map(|i| (i % 4) as u8).collect();
+        let (bwt, _) = build_bwt(&text);
+        let occ = OccOrig::build(&bwt);
+        let mut sink = CountingSink::new(CacheConfig::scaled_to(1 << 20));
+        occ.occ2x4(10, 100, &mut sink); // same eta=128 bucket
+        assert_eq!(sink.counters.loads, 1);
+        occ.occ2x4(10, 300, &mut sink); // different buckets
+        assert_eq!(sink.counters.loads, 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Suffix-array lookup (SAL), both ways.
+//!
+//! * [`SampledSa`] — the original BWA-MEM scheme: keep every q-th SA row
+//!   and resolve other rows by LF-walking to the nearest sample. Each step
+//!   costs an occurrence query, which is why the paper measures ~5000
+//!   instructions per lookup.
+//! * [`FlatSa`] — the paper's optimization (§4.5): store the whole SA and
+//!   make the lookup a single array read (Equation 1, `j = S[i]`).
+
+use mem2_memsim::PerfSink;
+
+use crate::occ::OccTable;
+
+/// Uncompressed suffix array: one `u32` per conceptual row.
+///
+/// The paper stores 8-byte entries (48 GB for human genome); we use 4-byte
+/// entries, which hold for references up to 2 Gbp — an engineering
+/// improvement that does not change the access pattern (one load per
+/// lookup).
+#[derive(Clone, Debug)]
+pub struct FlatSa {
+    vals: Vec<u32>,
+}
+
+impl FlatSa {
+    /// Keep the full suffix array.
+    pub fn build(sa: &[u32]) -> Self {
+        FlatSa { vals: sa.to_vec() }
+    }
+
+    /// `S[r]` — a single lookup.
+    #[inline]
+    pub fn lookup<P: PerfSink>(&self, r: i64, sink: &mut P) -> i64 {
+        let v = &self.vals[r as usize];
+        sink.load(v as *const u32 as usize, 4);
+        sink.ops(2);
+        *v as i64
+    }
+
+    /// Table size in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.vals.len() * 4
+    }
+
+    /// The raw suffix-array values (for persistence).
+    pub fn values(&self) -> &[u32] {
+        &self.vals
+    }
+}
+
+/// Sampled suffix array resolved by LF-walking (the original scheme).
+#[derive(Clone, Debug)]
+pub struct SampledSa {
+    /// Sampling interval (bwa default 32; the paper quotes 128).
+    q: usize,
+    samples: Vec<u32>,
+}
+
+impl SampledSa {
+    /// Keep `sa[r]` for every `r` divisible by `q`.
+    pub fn build(sa: &[u32], q: usize) -> Self {
+        assert!(q >= 1);
+        SampledSa { q, samples: sa.iter().copied().step_by(q).collect() }
+    }
+
+    /// Sampling interval.
+    pub fn interval(&self) -> usize {
+        self.q
+    }
+
+    /// `S[r]` via LF-walk: step to the previous text position until a
+    /// sampled row (or the `SA = 0` row) is reached, then add back the
+    /// number of steps.
+    pub fn lookup<O: OccTable, P: PerfSink>(&self, occ: &O, r: i64, sink: &mut P) -> i64 {
+        let meta = *occ.meta();
+        let mut r = r;
+        let mut t = 0i64;
+        loop {
+            if r % self.q as i64 == 0 {
+                let v = &self.samples[(r / self.q as i64) as usize];
+                sink.load(v as *const u32 as usize, 4);
+                sink.ops(4);
+                return *v as i64 + t;
+            }
+            if r == meta.sentinel_row {
+                // this row's suffix starts at text position 0
+                return t;
+            }
+            let c = occ.bwt_char(r);
+            sink.ops(8); // LF bookkeeping proxy
+            r = meta.c_before[c as usize] + occ.occ(c, r - 1, sink);
+            t += 1;
+        }
+    }
+
+    /// Table size in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.samples.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occ_opt::OccOpt;
+    use crate::occ_orig::OccOrig;
+    use mem2_memsim::NoopSink;
+    use mem2_suffix::{build_bwt, suffix_array};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_text(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0..4u8)).collect()
+    }
+
+    #[test]
+    fn flat_lookup_is_identity() {
+        let text = random_text(300, 1);
+        let sa = suffix_array(&text);
+        let flat = FlatSa::build(&sa);
+        let mut sink = NoopSink;
+        for r in 0..sa.len() as i64 {
+            assert_eq!(flat.lookup(r, &mut sink), sa[r as usize] as i64);
+        }
+    }
+
+    #[test]
+    fn sampled_lookup_matches_flat_for_all_rows() {
+        let text = random_text(500, 2);
+        let (bwt, sa) = build_bwt(&text);
+        let occ = OccOpt::build(&bwt);
+        let mut sink = NoopSink;
+        for q in [1usize, 2, 8, 32, 128] {
+            let sampled = SampledSa::build(&sa, q);
+            for r in 0..sa.len() as i64 {
+                assert_eq!(
+                    sampled.lookup(&occ, r, &mut sink),
+                    sa[r as usize] as i64,
+                    "q={q} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_lookup_agrees_across_occ_layouts() {
+        let text = random_text(700, 3);
+        let (bwt, sa) = build_bwt(&text);
+        let opt = OccOpt::build(&bwt);
+        let orig = OccOrig::build(&bwt);
+        let sampled = SampledSa::build(&sa, 32);
+        let mut sink = NoopSink;
+        for r in (0..sa.len() as i64).step_by(7) {
+            assert_eq!(
+                sampled.lookup(&opt, r, &mut sink),
+                sampled.lookup(&orig, r, &mut sink)
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_is_q_times_smaller() {
+        let text = random_text(4096, 4);
+        let sa = suffix_array(&text);
+        let flat = FlatSa::build(&sa);
+        let sampled = SampledSa::build(&sa, 32);
+        assert!(flat.table_bytes() > 30 * sampled.table_bytes());
+        assert_eq!(sampled.interval(), 32);
+    }
+}

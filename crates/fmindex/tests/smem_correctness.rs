@@ -1,0 +1,260 @@
+//! SMEM search validated against a brute-force definition, and the
+//! paper's identical-output requirement checked across occurrence-table
+//! layouts and prefetch settings.
+
+use mem2_fmindex::{
+    backward_ext4, collect_intv, forward_ext4, smem1a, BiInterval, BuildOpts, FmIndex, OccTable,
+    SmemAux, SmemOpts,
+};
+use mem2_memsim::NoopSink;
+use mem2_seqio::{GenomeSpec, Reference};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Count occurrences of `pat` in `hay` (overlapping).
+fn count_occurrences(hay: &[u8], pat: &[u8]) -> usize {
+    if pat.is_empty() || pat.len() > hay.len() {
+        return 0;
+    }
+    hay.windows(pat.len()).filter(|w| *w == pat).count()
+}
+
+/// The doubled text S = R . revcomp(R).
+fn doubled(reference: &Reference) -> Vec<u8> {
+    let l = reference.len();
+    let mut s: Vec<u8> = (0..l).map(|i| reference.pac.get(i)).collect();
+    for i in (0..l).rev() {
+        s.push(3 - reference.pac.get(i));
+    }
+    s
+}
+
+/// Brute-force SMEMs of `query` in `s`: maximal exact matches (cannot be
+/// extended either way) that are not contained in another maximal match.
+fn brute_smems(s: &[u8], query: &[u8]) -> Vec<(usize, usize, usize)> {
+    let n = query.len();
+    let mut mems: Vec<(usize, usize, usize)> = Vec::new();
+    for beg in 0..n {
+        for end in beg + 1..=n {
+            let sub = &query[beg..end];
+            if sub.iter().any(|&c| c > 3) {
+                continue;
+            }
+            let occ = count_occurrences(s, sub);
+            if occ == 0 {
+                continue;
+            }
+            let left_ext = beg > 0
+                && query[beg - 1] <= 3
+                && count_occurrences(s, &query[beg - 1..end]) > 0;
+            let right_ext = end < n
+                && query[end] <= 3
+                && count_occurrences(s, &query[beg..end + 1]) > 0;
+            if !left_ext && !right_ext {
+                mems.push((beg, end, occ));
+            }
+        }
+    }
+    // SMEM: not contained in another MEM on the query
+    let smems: Vec<(usize, usize, usize)> = mems
+        .iter()
+        .copied()
+        .filter(|&(b, e, _)| {
+            !mems
+                .iter()
+                .any(|&(b2, e2, _)| (b2 < b && e <= e2) || (b2 <= b && e < e2))
+        })
+        .collect();
+    smems
+}
+
+/// Run pass-1 seeding (all SMEMs, min length 1) with the given table.
+fn all_smems<O: OccTable>(occ: &O, query: &[u8], prefetch: bool) -> Vec<BiInterval> {
+    let mut out = Vec::new();
+    let mut mem1 = Vec::new();
+    let mut aux = SmemAux::default();
+    let mut sink = NoopSink;
+    let mut x = 0usize;
+    while x < query.len() {
+        if query[x] < 4 {
+            x = smem1a(occ, query, x, 1, 0, &mut mem1, &mut aux.swap, prefetch, &mut sink);
+            out.extend(mem1.iter().copied());
+        } else {
+            x += 1;
+        }
+    }
+    out.sort_by_key(|p| (p.info, p.k));
+    out.dedup();
+    out
+}
+
+fn random_codes(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.random_range(0..4u8)).collect()
+}
+
+#[test]
+fn smems_match_brute_force_on_random_texts() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for trial in 0..25 {
+        let l = rng.random_range(40..200usize);
+        let codes = random_codes(&mut rng, l);
+        let reference = Reference::from_codes("c", &codes);
+        let idx = FmIndex::build(&reference, &BuildOpts::default());
+        let s = doubled(&reference);
+
+        let qlen = rng.random_range(8..30usize);
+        let query: Vec<u8> = if rng.random_bool(0.7) {
+            // mostly reads drawn from the text (with occasional mutations)
+            let start = rng.random_range(0..l - qlen);
+            let mut q = codes[start..start + qlen].to_vec();
+            for c in q.iter_mut() {
+                if rng.random_bool(0.1) {
+                    *c = rng.random_range(0..4u8);
+                }
+            }
+            q
+        } else {
+            random_codes(&mut rng, qlen)
+        };
+
+        let expected = brute_smems(&s, &query);
+        let got = all_smems(idx.opt(), &query, false);
+        let got_tuples: Vec<(usize, usize, usize)> =
+            got.iter().map(|p| (p.start(), p.end(), p.s as usize)).collect();
+        assert_eq!(got_tuples, expected, "trial {trial} query {query:?}");
+    }
+}
+
+#[test]
+fn layouts_and_prefetch_produce_identical_smems() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let genome = GenomeSpec {
+        len: 20_000,
+        repeat_families: 6,
+        repeat_len: 200,
+        repeat_copies: 5,
+        ..GenomeSpec::default()
+    };
+    let reference = genome.generate_reference("g");
+    let idx = FmIndex::build(&reference, &BuildOpts::default());
+    for _ in 0..40 {
+        let start = rng.random_range(0..reference.len() - 120);
+        let mut query: Vec<u8> = (start..start + 120).map(|i| reference.pac.get(i)).collect();
+        for c in query.iter_mut() {
+            if rng.random_bool(0.02) {
+                *c = rng.random_range(0..5u8); // occasionally inject N
+            }
+        }
+        let a = all_smems(idx.opt(), &query, false);
+        let b = all_smems(idx.opt(), &query, true);
+        let c = all_smems(idx.orig(), &query, false);
+        assert_eq!(a, b, "prefetch changed results");
+        assert_eq!(a, c, "occurrence layout changed results");
+    }
+}
+
+#[test]
+fn collect_intv_identical_across_layouts() {
+    let genome = GenomeSpec { len: 30_000, ..GenomeSpec::default() };
+    let reference = genome.generate_reference("g");
+    let idx = FmIndex::build(&reference, &BuildOpts::default());
+    let opts = SmemOpts::default();
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let mut aux = SmemAux::default();
+    let mut sink = NoopSink;
+    for _ in 0..30 {
+        let start = rng.random_range(0..reference.len() - 151);
+        let mut query: Vec<u8> = (start..start + 151).map(|i| reference.pac.get(i)).collect();
+        for c in query.iter_mut() {
+            if rng.random_bool(0.01) {
+                *c = rng.random_range(0..4u8);
+            }
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        collect_intv(idx.opt(), &opts, &query, &mut a, &mut aux, true, &mut sink);
+        collect_intv(idx.orig(), &opts, &query, &mut b, &mut aux, false, &mut sink);
+        assert_eq!(a, b);
+        // every reported interval has sane occurrence counts and spans
+        for p in &a {
+            assert!(p.s >= 1);
+            assert!(p.len() >= opts.min_seed_len as usize);
+            assert!(p.end() <= query.len());
+        }
+    }
+}
+
+#[test]
+fn extension_agrees_with_substring_counting() {
+    let mut rng = StdRng::seed_from_u64(0xAB);
+    let codes = random_codes(&mut rng, 150);
+    let reference = Reference::from_codes("c", &codes);
+    let idx = FmIndex::build(&reference, &BuildOpts::default());
+    let s = doubled(&reference);
+    let occ = idx.opt();
+    let mut sink = NoopSink;
+    for _ in 0..200 {
+        let blen = rng.random_range(1..8usize);
+        let pat = random_codes(&mut rng, blen);
+        let iv = match mem2_fmindex::ext::backward_search(occ, &pat, &mut sink) {
+            Some(iv) => iv,
+            None => {
+                assert_eq!(count_occurrences(&s, &pat), 0);
+                continue;
+            }
+        };
+        assert_eq!(iv.s as usize, count_occurrences(&s, &pat), "pattern {pat:?}");
+        // backward extension counts
+        let back = backward_ext4(occ, &iv, &mut sink);
+        for b in 0..4u8 {
+            let mut ext = vec![b];
+            ext.extend_from_slice(&pat);
+            assert_eq!(
+                back[b as usize].s as usize,
+                count_occurrences(&s, &ext),
+                "b{b} + {pat:?}"
+            );
+        }
+        // forward extension counts
+        let fwd = forward_ext4(occ, &iv, &mut sink);
+        for b in 0..4u8 {
+            let mut ext = pat.clone();
+            ext.push(b);
+            assert_eq!(
+                fwd[b as usize].s as usize,
+                count_occurrences(&s, &ext),
+                "{pat:?} + {b}"
+            );
+        }
+        // the l interval is the interval of the reverse complement
+        let rc: Vec<u8> = pat.iter().rev().map(|&c| 3 - c).collect();
+        if let Some(rc_iv) = mem2_fmindex::ext::backward_search(occ, &rc, &mut sink) {
+            assert_eq!(iv.l, rc_iv.k, "l must point at revcomp interval");
+            assert_eq!(iv.s, rc_iv.s);
+        } else {
+            panic!("revcomp must occur in symmetric text");
+        }
+    }
+}
+
+#[test]
+fn sa_lookup_locates_every_smem_occurrence() {
+    let mut rng = StdRng::seed_from_u64(0x51);
+    let codes = random_codes(&mut rng, 400);
+    let reference = Reference::from_codes("c", &codes);
+    let idx = FmIndex::build(&reference, &BuildOpts::default());
+    let s = doubled(&reference);
+    let mut sink = NoopSink;
+    for _ in 0..30 {
+        let start = rng.random_range(0..codes.len() - 25);
+        let query = codes[start..start + 25].to_vec();
+        for iv in all_smems(idx.opt(), &query, false) {
+            let positions = idx.locate(&iv, usize::MAX, &mut sink);
+            assert_eq!(positions.len(), iv.s as usize);
+            let sub = &query[iv.start()..iv.end()];
+            for p in positions {
+                assert_eq!(&s[p as usize..p as usize + sub.len()], sub);
+            }
+        }
+    }
+}

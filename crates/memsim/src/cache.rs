@@ -1,0 +1,143 @@
+//! A single set-associative LRU cache level.
+
+/// Result of probing a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present.
+    Hit,
+    /// Line absent (and now inserted).
+    Miss,
+}
+
+/// Set-associative cache with true-LRU replacement and 64-byte lines.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    /// log2 of line size (64 B).
+    line_bits: u32,
+    sets: usize,
+    ways: usize,
+    /// tag per (set, way); `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamp per (set, way).
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Build a cache of `bytes` capacity with the given associativity.
+    /// `bytes` is rounded down to a power-of-two number of sets.
+    pub fn new(bytes: usize, ways: usize) -> Self {
+        let line = 64usize;
+        let ways = ways.max(1);
+        let sets = (bytes / line / ways).next_power_of_two().max(1);
+        // next_power_of_two rounds up; halve if we overshot capacity
+        let sets = if sets * line * ways > bytes && sets > 1 { sets / 2 } else { sets };
+        Cache {
+            line_bits: 6,
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    /// Effective capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * 64
+    }
+
+    /// Probe (and on miss, fill) the line containing `addr`.
+    pub fn access(&mut self, addr: usize) -> Probe {
+        let line = (addr as u64) >> self.line_bits;
+        let set = (line as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        self.clock += 1;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for w in base..base + self.ways {
+            if self.tags[w] == line {
+                self.stamps[w] = self.clock;
+                return Probe::Hit;
+            }
+            if self.stamps[w] < victim_stamp {
+                victim_stamp = self.stamps[w];
+                victim = w;
+            }
+        }
+        self.tags[victim] = line;
+        self.stamps[victim] = self.clock;
+        Probe::Miss
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(4096, 4);
+        assert_eq!(c.access(0x1000), Probe::Miss);
+        assert_eq!(c.access(0x1000), Probe::Hit);
+        assert_eq!(c.access(0x103F), Probe::Hit); // same 64B line
+        assert_eq!(c.access(0x1040), Probe::Miss); // next line
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way, 1 set: capacity 2 lines.
+        let mut c = Cache::new(128, 2);
+        assert_eq!(c.capacity(), 128);
+        c.access(0); // line A
+        c.access(64); // line B
+        c.access(0); // touch A (B is now LRU)
+        assert_eq!(c.access(128), Probe::Miss); // evicts B
+        assert_eq!(c.access(0), Probe::Hit);
+        assert_eq!(c.access(64), Probe::Miss); // B was evicted
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Cache::new(4096, 8);
+        c.access(0);
+        c.clear();
+        assert_eq!(c.access(0), Probe::Miss);
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = Cache::new(1 << 12, 8); // 4 KiB = 64 lines
+        // stream 256 lines twice: second pass must still miss heavily
+        let mut misses = 0;
+        for pass in 0..2 {
+            for i in 0..256 {
+                if c.access(i * 64) == Probe::Miss && pass == 1 {
+                    misses += 1;
+                }
+            }
+        }
+        assert!(misses > 200, "expected streaming misses, got {misses}");
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_on_second_pass() {
+        let mut c = Cache::new(1 << 14, 8); // 16 KiB = 256 lines
+        let mut second_pass_misses = 0;
+        for pass in 0..2 {
+            for i in 0..128 {
+                if c.access(i * 64) == Probe::Miss && pass == 1 {
+                    second_pass_misses += 1;
+                }
+            }
+        }
+        assert_eq!(second_pass_misses, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Performance-counter substrate.
+//!
+//! The paper's Tables 4, 5 and 7 report hardware counters (instructions,
+//! loads, stores, LLC misses, average memory latency, cycles) measured
+//! with Intel VTune. This container has no stable access to such counters,
+//! so the kernels in `mem2-fmindex` are instrumented against the
+//! [`PerfSink`] trait instead:
+//!
+//! * timing runs use [`NoopSink`], a zero-sized type whose callbacks are
+//!   empty `#[inline(always)]` functions — monomorphization removes every
+//!   trace of instrumentation from the hot path;
+//! * counter runs use [`CountingSink`], which tallies abstract operations
+//!   and replays every memory access through a set-associative LRU cache
+//!   hierarchy, including an idealized model of `prefetcht0`.
+//!
+//! The model is deterministic, so experiment output is reproducible
+//! bit-for-bit. Absolute numbers are *proxies*; EXPERIMENTS.md compares
+//! shapes (ratios between configurations), which is what the paper's
+//! argument rests on.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod report;
+pub mod sink;
+
+pub use cache::Cache;
+pub use hierarchy::{CacheConfig, CacheHierarchy, LatencyModel, LevelConfig};
+pub use report::CounterReport;
+pub use sink::{CountingSink, NoopSink, PerfSink};

@@ -1,0 +1,112 @@
+//! Formatting helpers for counter tables (used by the bench binaries).
+
+use crate::hierarchy::LatencyModel;
+use crate::sink::Counters;
+
+/// A named column of counters plus a wall-clock time, as printed in the
+/// paper's Tables 4 and 5.
+#[derive(Clone, Debug)]
+pub struct CounterReport {
+    /// Column label (e.g. "Original").
+    pub label: String,
+    /// Modeled counters.
+    pub counters: Counters,
+    /// Measured wall-clock seconds for the timing run.
+    pub seconds: f64,
+}
+
+impl CounterReport {
+    /// Render a set of reports as an aligned text table.
+    pub fn render_table(title: &str, reports: &[CounterReport], lat: &LatencyModel) -> String {
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        let header: Vec<String> = std::iter::once("Performance Counters".to_string())
+            .chain(reports.iter().map(|r| r.label.clone()))
+            .collect();
+        let rows: Vec<(String, Vec<String>)> = vec![
+            (
+                "# Instructions (x10^6)".into(),
+                reports.iter().map(|r| fmt_m(r.counters.instructions)).collect(),
+            ),
+            (
+                "# Loads (x10^6)".into(),
+                reports.iter().map(|r| fmt_m(r.counters.loads)).collect(),
+            ),
+            (
+                "# Stores (x10^6)".into(),
+                reports.iter().map(|r| fmt_m(r.counters.stores)).collect(),
+            ),
+            (
+                "# LLC Misses (x10^6)".into(),
+                reports.iter().map(|r| fmt_m(r.counters.llc_misses())).collect(),
+            ),
+            (
+                "Average latency (cycles)".into(),
+                reports
+                    .iter()
+                    .map(|r| format!("{:.1}", r.counters.avg_load_latency(lat)))
+                    .collect(),
+            ),
+            (
+                "Time".into(),
+                reports.iter().map(|r| format!("{:.2}s", r.seconds)).collect(),
+            ),
+        ];
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for (name, cells) in &rows {
+            widths[0] = widths[0].max(name.len());
+            for (i, c) in cells.iter().enumerate() {
+                widths[i + 1] = widths[i + 1].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i] + 2))
+                .collect::<String>()
+        };
+        out.push_str(&fmt_row(&header));
+        out.push('\n');
+        for (name, cells) in rows {
+            let mut all: Vec<String> = vec![name];
+            all.extend(cells);
+            out.push_str(&fmt_row(&all));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn fmt_m(v: u64) -> String {
+    format!("{:.1}", v as f64 / 1.0e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Counters;
+
+    #[test]
+    fn renders_aligned_table() {
+        let r = vec![
+            CounterReport {
+                label: "Original".into(),
+                counters: Counters { instructions: 17_117_000_000, loads: 4_429_000_000, ..Default::default() },
+                seconds: 4.2,
+            },
+            CounterReport {
+                label: "Optimized".into(),
+                counters: Counters { instructions: 8_160_000_000, loads: 2_115_000_000, ..Default::default() },
+                seconds: 2.1,
+            },
+        ];
+        let t = CounterReport::render_table("Table 4", &r, &LatencyModel::default());
+        assert!(t.contains("Table 4"));
+        assert!(t.contains("17117.0"));
+        assert!(t.contains("2.10s"));
+        // every line has the same printable structure
+        assert!(t.lines().count() >= 7);
+    }
+}

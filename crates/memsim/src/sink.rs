@@ -1,0 +1,200 @@
+//! The `PerfSink` instrumentation trait and its two implementations.
+
+use crate::hierarchy::{CacheConfig, CacheHierarchy, LatencyModel, ServedBy};
+
+/// Instrumentation callbacks invoked by the kernels in `mem2-fmindex`.
+///
+/// Kernels are generic over `P: PerfSink`; with [`NoopSink`] the calls
+/// compile to nothing.
+pub trait PerfSink {
+    /// A memory read of `bytes` bytes at `addr` (a real pointer value, so
+    /// the cache model sees true conflict behaviour).
+    fn load(&mut self, addr: usize, bytes: usize);
+    /// A memory write.
+    fn store(&mut self, addr: usize, bytes: usize);
+    /// `n` abstract ALU/control operations (the instruction-count proxy).
+    fn ops(&mut self, n: u64);
+    /// A software prefetch of the line containing `addr`.
+    fn prefetch(&mut self, addr: usize);
+}
+
+/// Zero-cost sink for timing runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl PerfSink for NoopSink {
+    #[inline(always)]
+    fn load(&mut self, _addr: usize, _bytes: usize) {}
+    #[inline(always)]
+    fn store(&mut self, _addr: usize, _bytes: usize) {}
+    #[inline(always)]
+    fn ops(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn prefetch(&mut self, _addr: usize) {}
+}
+
+/// Counter totals collected by a [`CountingSink`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Abstract operation count (instruction proxy).
+    pub instructions: u64,
+    /// Demand loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Loads served per level: [L1, L2, LLC, memory].
+    pub served: [u64; 4],
+    /// Software prefetches issued.
+    pub prefetches: u64,
+}
+
+impl Counters {
+    /// LLC misses = loads served by memory.
+    pub fn llc_misses(&self) -> u64 {
+        self.served[ServedBy::Memory as usize]
+    }
+
+    /// Average demand-load latency in cycles under `lat`.
+    pub fn avg_load_latency(&self, lat: &LatencyModel) -> f64 {
+        let total = self.total_load_latency(lat);
+        if self.loads == 0 {
+            0.0
+        } else {
+            total as f64 / self.loads as f64
+        }
+    }
+
+    /// Sum of demand-load latencies in cycles.
+    pub fn total_load_latency(&self, lat: &LatencyModel) -> u64 {
+        self.served[0] * lat.l1
+            + self.served[1] * lat.l2
+            + self.served[2] * lat.llc
+            + self.served[3] * lat.memory
+    }
+
+    /// Crude cycle model: instructions issue at `ipc_base`, and every
+    /// cycle a load spends beyond an L1 hit stalls the pipeline with a
+    /// fixed overlap factor (0.5 — out-of-order cores hide about half of
+    /// the miss latency in pointer-chasing code).
+    pub fn cycles(&self, lat: &LatencyModel, ipc_base: f64) -> u64 {
+        let issue = (self.instructions as f64 / ipc_base) as u64;
+        let beyond_l1 = self
+            .total_load_latency(lat)
+            .saturating_sub(self.loads * lat.l1);
+        issue + beyond_l1 / 2
+    }
+}
+
+/// Counting sink: tallies everything and replays loads/stores through a
+/// cache hierarchy model.
+#[derive(Clone, Debug)]
+pub struct CountingSink {
+    /// Collected totals.
+    pub counters: Counters,
+    /// The modeled hierarchy.
+    pub hierarchy: CacheHierarchy,
+    /// Latency model used by the convenience accessors.
+    pub latency: LatencyModel,
+}
+
+impl CountingSink {
+    /// New sink over the given hierarchy configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        CountingSink {
+            counters: Counters::default(),
+            hierarchy: CacheHierarchy::new(cfg),
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// Average demand-load latency under this sink's latency model.
+    pub fn avg_load_latency(&self) -> f64 {
+        self.counters.avg_load_latency(&self.latency)
+    }
+}
+
+impl PerfSink for CountingSink {
+    fn load(&mut self, addr: usize, bytes: usize) {
+        let (n, served) = self.hierarchy.access_range(addr, bytes);
+        self.counters.loads += n;
+        for i in 0..4 {
+            self.counters.served[i] += served[i];
+        }
+    }
+
+    fn store(&mut self, addr: usize, bytes: usize) {
+        // stores allocate in cache but we do not track store latency
+        let (n, _) = self.hierarchy.access_range(addr, bytes);
+        self.counters.stores += n;
+    }
+
+    fn ops(&mut self, n: u64) {
+        self.counters.instructions += n;
+    }
+
+    fn prefetch(&mut self, addr: usize) {
+        self.counters.prefetches += 1;
+        self.hierarchy.prefetch(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopSink>(), 0);
+    }
+
+    #[test]
+    fn counting_sink_tallies() {
+        let mut s = CountingSink::new(CacheConfig::scaled_to(1 << 24));
+        s.ops(10);
+        s.load(0x1000, 8);
+        s.load(0x1000, 8);
+        s.store(0x2000, 8);
+        assert_eq!(s.counters.instructions, 10);
+        assert_eq!(s.counters.loads, 2);
+        assert_eq!(s.counters.stores, 1);
+        assert_eq!(s.counters.llc_misses(), 1); // second load hit L1
+        assert_eq!(s.counters.served[0], 1);
+    }
+
+    #[test]
+    fn prefetch_reduces_demand_misses() {
+        let cfg = CacheConfig::scaled_to(1 << 24);
+        let addrs: Vec<usize> = (0..1000).map(|i| 0x10_0000 + i * 4096).collect();
+
+        let mut cold = CountingSink::new(cfg);
+        for &a in &addrs {
+            cold.load(a, 8);
+        }
+
+        let mut warmed = CountingSink::new(cfg);
+        for &a in &addrs {
+            warmed.prefetch(a);
+            warmed.load(a, 8);
+        }
+        assert!(cold.counters.llc_misses() > 0);
+        assert_eq!(warmed.counters.llc_misses(), 0);
+        assert!(warmed.avg_load_latency() < cold.avg_load_latency());
+    }
+
+    #[test]
+    fn straddling_load_counts_two_accesses() {
+        let mut s = CountingSink::new(CacheConfig::scaled_to(1 << 24));
+        s.load(0x103C, 8); // crosses the 0x1040 line boundary
+        assert_eq!(s.counters.loads, 2);
+    }
+
+    #[test]
+    fn cycle_model_is_monotone_in_misses() {
+        let lat = LatencyModel::default();
+        let fast = Counters { instructions: 1000, loads: 100, served: [100, 0, 0, 0], ..Default::default() };
+        let slow = Counters { instructions: 1000, loads: 100, served: [0, 0, 0, 100], ..Default::default() };
+        assert!(slow.cycles(&lat, 2.0) > fast.cycles(&lat, 2.0));
+        assert_eq!(fast.avg_load_latency(&lat), lat.l1 as f64);
+        assert_eq!(slow.avg_load_latency(&lat), lat.memory as f64);
+    }
+}

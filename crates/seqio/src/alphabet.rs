@@ -1,0 +1,92 @@
+//! 2-bit DNA alphabet used throughout the pipeline: A=0, C=1, G=2, T=3,
+//! everything ambiguous = 4 (`BASE_N`). Complement of code `c < 4` is `3-c`,
+//! matching the bi-interval algebra of the FM-index over ref+revcomp.
+
+/// Code for an ambiguous base.
+pub const BASE_N: u8 = 4;
+
+/// ASCII bases for codes 0..=4.
+const DECODE: [u8; 5] = *b"ACGTN";
+
+/// Encode an ASCII nucleotide to its 2-bit code (case-insensitive);
+/// any IUPAC ambiguity code becomes [`BASE_N`].
+#[inline]
+pub fn encode_base(b: u8) -> u8 {
+    match b {
+        b'A' | b'a' => 0,
+        b'C' | b'c' => 1,
+        b'G' | b'g' => 2,
+        b'T' | b't' => 3,
+        _ => BASE_N,
+    }
+}
+
+/// Decode a 2-bit code back to ASCII; code 4 (and anything larger) is `N`.
+#[inline]
+pub fn decode_base(c: u8) -> u8 {
+    DECODE[(c as usize).min(4)]
+}
+
+/// Complement of a base code; `N` stays `N`.
+#[inline]
+pub fn complement(c: u8) -> u8 {
+    if c < 4 {
+        3 - c
+    } else {
+        BASE_N
+    }
+}
+
+/// Reverse-complement a slice of base codes into a new vector.
+pub fn revcomp_codes(codes: &[u8]) -> Vec<u8> {
+    codes.iter().rev().map(|&c| complement(c)).collect()
+}
+
+/// Encode an ASCII sequence into base codes.
+pub fn encode_seq(seq: &[u8]) -> Vec<u8> {
+    seq.iter().map(|&b| encode_base(b)).collect()
+}
+
+/// Decode base codes into an ASCII sequence.
+pub fn decode_seq(codes: &[u8]) -> Vec<u8> {
+    codes.iter().map(|&c| decode_base(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_acgt() {
+        for (i, &b) in b"ACGT".iter().enumerate() {
+            assert_eq!(encode_base(b) as usize, i);
+            assert_eq!(decode_base(i as u8), b);
+            assert_eq!(encode_base(b.to_ascii_lowercase()) as usize, i);
+        }
+    }
+
+    #[test]
+    fn ambiguity_codes_become_n() {
+        for &b in b"NRYKMSWBDHVn-." {
+            assert_eq!(encode_base(b), BASE_N);
+        }
+        assert_eq!(decode_base(BASE_N), b'N');
+        assert_eq!(decode_base(200), b'N');
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(complement(0), 3); // A <-> T
+        assert_eq!(complement(3), 0);
+        assert_eq!(complement(1), 2); // C <-> G
+        assert_eq!(complement(2), 1);
+        assert_eq!(complement(BASE_N), BASE_N);
+    }
+
+    #[test]
+    fn revcomp_is_involution() {
+        let codes = encode_seq(b"ACGTTGCANNA");
+        assert_eq!(revcomp_codes(&revcomp_codes(&codes)), codes);
+        assert_eq!(decode_seq(&revcomp_codes(&encode_seq(b"AACGT"))), b"ACGTT");
+    }
+}

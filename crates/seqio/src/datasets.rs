@@ -1,0 +1,101 @@
+//! Dataset presets mirroring the paper's Table 3, scaled to laptop size.
+//!
+//! The paper uses five real read sets against the first half of hg38
+//! (~1.5 Gbp). Our substitution (DESIGN.md §5) keeps each dataset's read
+//! length and relative read count, against a synthetic genome whose size is
+//! set by the harness (`scale` below is the per-dataset read-count divisor
+//! relative to the paper: D1/D2 had 5e5 reads, D3–D5 had 1.25e6).
+
+use crate::simulate::{GenomeSpec, ReadSimSpec};
+
+/// Specification of a read set derived from a paper dataset.
+#[derive(Clone, Debug)]
+pub struct ReadSetSpec {
+    /// Dataset label (D1..D5).
+    pub label: &'static str,
+    /// Read length used in the paper.
+    pub read_len: usize,
+    /// Read count used in the paper.
+    pub paper_reads: usize,
+    /// Source attribution in the paper.
+    pub source: &'static str,
+}
+
+/// The five paper datasets (Table 3).
+pub const PAPER_DATASETS: [ReadSetSpec; 5] = [
+    ReadSetSpec { label: "D1", read_len: 151, paper_reads: 500_000, source: "Broad Institute" },
+    ReadSetSpec { label: "D2", read_len: 151, paper_reads: 500_000, source: "Broad Institute" },
+    ReadSetSpec { label: "D3", read_len: 76, paper_reads: 1_250_000, source: "NCBI SRA: SRX020470" },
+    ReadSetSpec { label: "D4", read_len: 101, paper_reads: 1_250_000, source: "NCBI SRA: SRX207170" },
+    ReadSetSpec { label: "D5", read_len: 101, paper_reads: 1_250_000, source: "NCBI SRA: SRX206890" },
+];
+
+/// A concrete, scaled preset: genome + reads.
+#[derive(Clone, Debug)]
+pub struct DatasetPreset {
+    /// Which paper dataset this models.
+    pub spec: ReadSetSpec,
+    /// Genome parameters.
+    pub genome: GenomeSpec,
+    /// Read-simulation parameters.
+    pub reads: ReadSimSpec,
+    /// Read-count divisor vs the paper.
+    pub scale: usize,
+}
+
+impl DatasetPreset {
+    /// Build the preset for dataset `label` ("D1".."D5") with the given
+    /// genome length and read-count divisor.
+    pub fn new(label: &str, genome_len: usize, scale: usize) -> Option<DatasetPreset> {
+        let spec = PAPER_DATASETS.iter().find(|d| d.label == label)?.clone();
+        let scale = scale.max(1);
+        // Distinct seeds per dataset so D1 != D2 despite equal parameters,
+        // mirroring the paper's two distinct Broad read sets.
+        let idx = spec.label.as_bytes()[1] - b'0';
+        let genome = GenomeSpec { len: genome_len, seed: 0xD5EA_0000 + idx as u64, ..GenomeSpec::default() };
+        let reads = ReadSimSpec {
+            n_reads: (spec.paper_reads / scale).max(1),
+            read_len: spec.read_len,
+            seed: 0x0BAD_5EED + idx as u64,
+            ..ReadSimSpec::default()
+        };
+        Some(DatasetPreset { spec, genome, reads, scale })
+    }
+
+    /// All five presets.
+    pub fn all(genome_len: usize, scale: usize) -> Vec<DatasetPreset> {
+        PAPER_DATASETS
+            .iter()
+            .map(|d| DatasetPreset::new(d.label, genome_len, scale).unwrap())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_track_paper_parameters() {
+        let all = DatasetPreset::all(1 << 20, 100);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].reads.read_len, 151);
+        assert_eq!(all[2].reads.read_len, 76);
+        assert_eq!(all[0].reads.n_reads, 5_000);
+        assert_eq!(all[3].reads.n_reads, 12_500);
+    }
+
+    #[test]
+    fn d1_and_d2_differ_by_seed_only() {
+        let d1 = DatasetPreset::new("D1", 1 << 20, 10).unwrap();
+        let d2 = DatasetPreset::new("D2", 1 << 20, 10).unwrap();
+        assert_eq!(d1.reads.read_len, d2.reads.read_len);
+        assert_ne!(d1.reads.seed, d2.reads.seed);
+        assert_ne!(d1.genome.seed, d2.genome.seed);
+    }
+
+    #[test]
+    fn unknown_label_is_none() {
+        assert!(DatasetPreset::new("D9", 1000, 1).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type for sequence parsing.
+
+use std::fmt;
+
+/// Errors raised while parsing FASTA/FASTQ input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqIoError {
+    /// Input did not start with the expected record marker.
+    BadHeader { line: usize, found: String },
+    /// A FASTQ record was truncated.
+    TruncatedRecord { name: String },
+    /// FASTQ sequence and quality lengths differ.
+    QualityLengthMismatch { name: String, seq: usize, qual: usize },
+    /// The FASTQ separator line did not start with '+'.
+    BadSeparator { name: String },
+}
+
+impl fmt::Display for SeqIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqIoError::BadHeader { line, found } => {
+                write!(f, "line {line}: expected record header, found {found:?}")
+            }
+            SeqIoError::TruncatedRecord { name } => write!(f, "record {name:?} is truncated"),
+            SeqIoError::QualityLengthMismatch { name, seq, qual } => write!(
+                f,
+                "record {name:?}: sequence length {seq} != quality length {qual}"
+            ),
+            SeqIoError::BadSeparator { name } => {
+                write!(f, "record {name:?}: FASTQ separator line must start with '+'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeqIoError {}

@@ -1,0 +1,93 @@
+//! Minimal multi-record FASTA parsing and writing.
+
+use crate::error::SeqIoError;
+
+/// One FASTA record: header (up to first whitespace) and raw ASCII sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Sequence name (text after `>` up to the first whitespace).
+    pub name: String,
+    /// Raw ASCII bases (may contain IUPAC ambiguity codes).
+    pub seq: Vec<u8>,
+}
+
+/// Parse FASTA text into records.
+pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, SeqIoError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            let name = header.split_whitespace().next().unwrap_or("").to_string();
+            records.push(FastaRecord { name, seq: Vec::new() });
+        } else {
+            match records.last_mut() {
+                Some(rec) => rec.seq.extend_from_slice(line.as_bytes()),
+                None => {
+                    return Err(SeqIoError::BadHeader {
+                        line: lineno + 1,
+                        found: line.chars().take(20).collect(),
+                    })
+                }
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Write records as FASTA with the given line width.
+pub fn write_fasta(records: &[FastaRecord], width: usize) -> String {
+    let width = width.max(1);
+    let mut out = String::new();
+    for rec in records {
+        out.push('>');
+        out.push_str(&rec.name);
+        out.push('\n');
+        for chunk in rec.seq.chunks(width) {
+            out.push_str(std::str::from_utf8(chunk).unwrap_or("?"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_multi_record() {
+        let txt = ">chr1 desc\nACGT\nacgt\n\n>chr2\nTTTT\n";
+        let recs = parse_fasta(txt).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "chr1");
+        assert_eq!(recs[0].seq, b"ACGTacgt");
+        assert_eq!(recs[1].name, "chr2");
+        assert_eq!(recs[1].seq, b"TTTT");
+    }
+
+    #[test]
+    fn sequence_before_header_is_an_error() {
+        assert!(matches!(
+            parse_fasta("ACGT\n"),
+            Err(SeqIoError::BadHeader { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn write_then_parse_roundtrips() {
+        let recs = vec![
+            FastaRecord { name: "a".into(), seq: b"ACGTACGTACGT".to_vec() },
+            FastaRecord { name: "b".into(), seq: b"G".to_vec() },
+        ];
+        let txt = write_fasta(&recs, 5);
+        assert_eq!(parse_fasta(&txt).unwrap(), recs);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_fasta("").unwrap().is_empty());
+    }
+}

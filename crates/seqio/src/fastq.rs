@@ -1,0 +1,114 @@
+//! Minimal FASTQ parsing and writing.
+
+use crate::error::SeqIoError;
+
+/// One FASTQ record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read name (text after `@` up to the first whitespace).
+    pub name: String,
+    /// Raw ASCII bases.
+    pub seq: Vec<u8>,
+    /// Phred+33 quality string, same length as `seq`.
+    pub qual: Vec<u8>,
+}
+
+/// Parse FASTQ text into records. Requires the common 4-line layout.
+pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, SeqIoError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.is_empty());
+    let mut records = Vec::new();
+    while let Some((lineno, header)) = lines.next() {
+        let name = header
+            .strip_prefix('@')
+            .ok_or_else(|| SeqIoError::BadHeader {
+                line: lineno + 1,
+                found: header.chars().take(20).collect(),
+            })?
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
+        let seq = lines
+            .next()
+            .ok_or_else(|| SeqIoError::TruncatedRecord { name: name.clone() })?
+            .1
+            .as_bytes()
+            .to_vec();
+        let sep = lines
+            .next()
+            .ok_or_else(|| SeqIoError::TruncatedRecord { name: name.clone() })?
+            .1;
+        if !sep.starts_with('+') {
+            return Err(SeqIoError::BadSeparator { name });
+        }
+        let qual = lines
+            .next()
+            .ok_or_else(|| SeqIoError::TruncatedRecord { name: name.clone() })?
+            .1
+            .as_bytes()
+            .to_vec();
+        if qual.len() != seq.len() {
+            return Err(SeqIoError::QualityLengthMismatch {
+                name,
+                seq: seq.len(),
+                qual: qual.len(),
+            });
+        }
+        records.push(FastqRecord { name, seq, qual });
+    }
+    Ok(records)
+}
+
+/// Serialize records as FASTQ text.
+pub fn write_fastq(records: &[FastqRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push('@');
+        out.push_str(&rec.name);
+        out.push('\n');
+        out.push_str(std::str::from_utf8(&rec.seq).unwrap_or("?"));
+        out.push_str("\n+\n");
+        out.push_str(std::str::from_utf8(&rec.qual).unwrap_or("?"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_records() {
+        let txt = "@r1 extra\nACGT\n+\nIIII\n@r2\nTT\n+r2\nJJ\n";
+        let recs = parse_fastq(txt).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "r1");
+        assert_eq!(recs[0].seq, b"ACGT");
+        assert_eq!(recs[0].qual, b"IIII");
+        assert_eq!(recs[1].name, "r2");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(parse_fastq("ACGT\n"), Err(SeqIoError::BadHeader { .. })));
+        assert!(matches!(
+            parse_fastq("@r\nACGT\n+\n"),
+            Err(SeqIoError::TruncatedRecord { .. })
+        ));
+        assert!(matches!(
+            parse_fastq("@r\nACGT\nxx\nIIII\n"),
+            Err(SeqIoError::BadSeparator { .. })
+        ));
+        assert!(matches!(
+            parse_fastq("@r\nACGT\n+\nII\n"),
+            Err(SeqIoError::QualityLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = vec![FastqRecord { name: "x".into(), seq: b"ACGTN".to_vec(), qual: b"IIIII".to_vec() }];
+        assert_eq!(parse_fastq(&write_fastq(&recs)).unwrap(), recs);
+    }
+}

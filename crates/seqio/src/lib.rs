@@ -1,0 +1,25 @@
+//! Sequence I/O substrate for the mem2 workspace.
+//!
+//! The paper evaluates on hg38 (first half) plus Broad/SRA read sets. Those
+//! are not redistributable, so this crate supplies the closest synthetic
+//! equivalents (see DESIGN.md §5): a repeat-aware genome generator and a
+//! wgsim-like read simulator with embedded ground truth, plus ordinary
+//! FASTA/FASTQ parsing so real data can be used when available.
+
+pub mod alphabet;
+pub mod datasets;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod pack;
+pub mod refseq;
+pub mod simulate;
+
+pub use alphabet::{complement, decode_base, encode_base, revcomp_codes, BASE_N};
+pub use datasets::{DatasetPreset, ReadSetSpec};
+pub use error::SeqIoError;
+pub use fasta::{parse_fasta, write_fasta, FastaRecord};
+pub use fastq::{parse_fastq, write_fastq, FastqRecord};
+pub use pack::PackedSeq;
+pub use refseq::{ContigSet, Reference};
+pub use simulate::{GenomeSpec, ReadSim, ReadSimSpec, SimRead, TruthInfo};

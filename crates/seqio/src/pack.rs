@@ -1,0 +1,160 @@
+//! 2-bit packed DNA storage, the analogue of bwa's `.pac` file.
+//!
+//! The packed sequence stores only the forward strand of length `L`; the
+//! FM-index is built over forward+reverse-complement (length `2L`). Code
+//! that needs bases in that doubled coordinate space (e.g. fetching a BSW
+//! target on the reverse strand) uses [`PackedSeq::get2`] /
+//! [`PackedSeq::fetch2`], which mirror positions `p >= L` onto the
+//! complement of `2L-1-p`, exactly like bwa's `_get_pac` on `p > l_pac`.
+
+/// 2-bit packed DNA sequence (4 bases per byte, base 0 in the low bits).
+///
+/// Ambiguous bases cannot be represented; callers must replace them with
+/// concrete bases first (see [`crate::refseq::Reference`], which does this
+/// with a seeded RNG like `bwa index`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackedSeq {
+    data: Vec<u8>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Create an empty packed sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pack a slice of base codes (each must be < 4).
+    pub fn from_codes(codes: &[u8]) -> Self {
+        let mut p = PackedSeq {
+            data: vec![0u8; codes.len().div_ceil(4)],
+            len: 0,
+        };
+        for &c in codes {
+            p.push(c);
+        }
+        p
+    }
+
+    /// Append one base code (< 4).
+    #[inline]
+    pub fn push(&mut self, code: u8) {
+        debug_assert!(code < 4, "PackedSeq cannot store ambiguous bases");
+        let byte = self.len >> 2;
+        let shift = (self.len & 3) << 1;
+        if byte == self.data.len() {
+            self.data.push(0);
+        }
+        self.data[byte] |= (code & 3) << shift;
+        self.len += 1;
+    }
+
+    /// Number of bases stored (forward strand length `L`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bases are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base code at forward-strand position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        (self.data[i >> 2] >> ((i & 3) << 1)) & 3
+    }
+
+    /// Base code at position `p` in the doubled (forward + reverse
+    /// complement) coordinate space of length `2L`.
+    #[inline]
+    pub fn get2(&self, p: usize) -> u8 {
+        debug_assert!(p < 2 * self.len);
+        if p < self.len {
+            self.get(p)
+        } else {
+            3 - self.get(2 * self.len - 1 - p)
+        }
+    }
+
+    /// Unpack forward-strand range `[beg, end)` into base codes.
+    pub fn fetch(&self, beg: usize, end: usize) -> Vec<u8> {
+        debug_assert!(beg <= end && end <= self.len);
+        (beg..end).map(|i| self.get(i)).collect()
+    }
+
+    /// Unpack range `[beg, end)` of the doubled coordinate space.
+    ///
+    /// The range must not straddle the forward/reverse boundary at `L`
+    /// (alignments crossing it are rejected upstream, as in bwa).
+    pub fn fetch2(&self, beg: usize, end: usize) -> Vec<u8> {
+        debug_assert!(beg <= end && end <= 2 * self.len);
+        debug_assert!(
+            end <= self.len || beg >= self.len,
+            "range must not straddle the strand boundary"
+        );
+        (beg..end).map(|p| self.get2(p)).collect()
+    }
+
+    /// Raw packed bytes (for persistence).
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuild from raw packed bytes plus the base count.
+    pub fn from_raw(data: Vec<u8>, len: usize) -> Self {
+        assert!(data.len() == len.div_ceil(4));
+        PackedSeq { data, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{encode_seq, revcomp_codes};
+
+    #[test]
+    fn pack_roundtrip() {
+        let codes = encode_seq(b"ACGTACGTTGCA");
+        let p = PackedSeq::from_codes(&codes);
+        assert_eq!(p.len(), codes.len());
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(p.get(i), c);
+        }
+        assert_eq!(p.fetch(2, 7), codes[2..7]);
+    }
+
+    #[test]
+    fn doubled_coordinates_mirror_revcomp() {
+        let codes = encode_seq(b"ACGGTTAC");
+        let p = PackedSeq::from_codes(&codes);
+        let rc = revcomp_codes(&codes);
+        for j in 0..codes.len() {
+            assert_eq!(p.get2(codes.len() + j), rc[j]);
+        }
+        assert_eq!(p.fetch2(codes.len(), 2 * codes.len()), rc);
+        assert_eq!(p.fetch2(0, codes.len()), codes);
+    }
+
+    #[test]
+    fn push_incremental_matches_bulk() {
+        let codes = encode_seq(b"GATTACAGATTACA");
+        let mut p = PackedSeq::new();
+        assert!(p.is_empty());
+        for &c in &codes {
+            p.push(c);
+        }
+        assert_eq!(p, PackedSeq::from_codes(&codes));
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let codes = encode_seq(b"ACGTT");
+        let p = PackedSeq::from_codes(&codes);
+        let q = PackedSeq::from_raw(p.raw().to_vec(), p.len());
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,380 @@
+//! Synthetic genome and read simulation (the substitute for hg38 + the
+//! Broad/SRA read sets — DESIGN.md §5).
+//!
+//! The genome generator produces i.i.d. bases with configurable GC content,
+//! then injects repeat families: a source segment is copied to random
+//! locations with a small per-copy divergence. Repeats are what make
+//! FM-index seeding and chain filtering earn their keep (multi-hit SMEMs,
+//! the `max_occ` cap, re-seeding of long seeds), so they are the one
+//! structural property of real genomes we must reproduce.
+//!
+//! The read simulator is wgsim-like: uniform start positions, random
+//! strand, per-base substitution errors, optional short indels, and the
+//! ground truth embedded in the read name for accuracy scoring.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alphabet::{complement, decode_base, revcomp_codes};
+use crate::fastq::FastqRecord;
+use crate::refseq::Reference;
+
+/// Parameters for synthetic genome generation.
+#[derive(Clone, Debug)]
+pub struct GenomeSpec {
+    /// Total length in bases.
+    pub len: usize,
+    /// GC fraction in (0, 1).
+    pub gc: f64,
+    /// Number of repeat families to inject.
+    pub repeat_families: usize,
+    /// Length of each repeat unit.
+    pub repeat_len: usize,
+    /// Copies per family (in addition to the source occurrence).
+    pub repeat_copies: usize,
+    /// Per-base divergence applied to each extra copy.
+    pub repeat_divergence: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenomeSpec {
+    fn default() -> Self {
+        GenomeSpec {
+            len: 1 << 20,
+            gc: 0.41, // human-like
+            repeat_families: 16,
+            repeat_len: 600,
+            repeat_copies: 8,
+            repeat_divergence: 0.02,
+            seed: 0xB57A_11AD,
+        }
+    }
+}
+
+impl GenomeSpec {
+    /// Generate the genome as base codes (all concrete).
+    pub fn generate_codes(&self) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut codes = Vec::with_capacity(self.len);
+        let at_each = (1.0 - self.gc) / 2.0;
+        let gc_each = self.gc / 2.0;
+        for _ in 0..self.len {
+            let r: f64 = rng.random();
+            // P(A) = P(T) = (1-gc)/2, P(C) = P(G) = gc/2
+            let code = if r < at_each {
+                0
+            } else if r < at_each + gc_each {
+                1
+            } else if r < at_each + 2.0 * gc_each {
+                2
+            } else {
+                3
+            };
+            codes.push(code);
+        }
+        // Inject repeat families.
+        if self.len > 2 * self.repeat_len && self.repeat_len > 0 {
+            for _ in 0..self.repeat_families {
+                let src = rng.random_range(0..self.len - self.repeat_len);
+                let unit: Vec<u8> = codes[src..src + self.repeat_len].to_vec();
+                for _ in 0..self.repeat_copies {
+                    let dst = rng.random_range(0..self.len - self.repeat_len);
+                    let reverse = rng.random_bool(0.5);
+                    let copy = if reverse { revcomp_codes(&unit) } else { unit.clone() };
+                    for (j, &c) in copy.iter().enumerate() {
+                        codes[dst + j] = if rng.random_bool(self.repeat_divergence) {
+                            (c + rng.random_range(1..4u8)) & 3
+                        } else {
+                            c
+                        };
+                    }
+                }
+            }
+        }
+        codes
+    }
+
+    /// Generate as a single-contig [`Reference`].
+    pub fn generate_reference(&self, name: &str) -> Reference {
+        Reference::from_codes(name, &self.generate_codes())
+    }
+}
+
+/// Parameters for read simulation.
+#[derive(Clone, Debug)]
+pub struct ReadSimSpec {
+    /// Number of reads.
+    pub n_reads: usize,
+    /// Read length.
+    pub read_len: usize,
+    /// Per-base substitution error rate.
+    pub sub_rate: f64,
+    /// Per-read probability of containing one short indel.
+    pub indel_rate: f64,
+    /// Maximum indel length (uniform in 1..=max).
+    pub max_indel_len: usize,
+    /// Fraction of reads replaced by random sequence (unmappable junk).
+    pub junk_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReadSimSpec {
+    fn default() -> Self {
+        ReadSimSpec {
+            n_reads: 10_000,
+            read_len: 151,
+            sub_rate: 0.01,
+            indel_rate: 0.05,
+            max_indel_len: 4,
+            junk_rate: 0.0,
+            seed: 0x5EED_5EED,
+        }
+    }
+}
+
+/// Ground truth for one simulated read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TruthInfo {
+    /// 0-based start of the error-free source window (forward strand).
+    pub pos: usize,
+    /// True if the read was drawn from the reverse strand.
+    pub reverse: bool,
+    /// True if the read is random junk with no source locus.
+    pub junk: bool,
+}
+
+impl TruthInfo {
+    /// Encode into a read-name suffix.
+    pub fn encode(&self, id: usize) -> String {
+        if self.junk {
+            format!("sim_{id}_junk")
+        } else {
+            format!("sim_{id}_{}_{}", self.pos, if self.reverse { 'R' } else { 'F' })
+        }
+    }
+
+    /// Decode from a read name produced by [`TruthInfo::encode`].
+    pub fn decode(name: &str) -> Option<TruthInfo> {
+        let mut parts = name.split('_');
+        if parts.next()? != "sim" {
+            return None;
+        }
+        let _id = parts.next()?;
+        match parts.next()? {
+            "junk" => Some(TruthInfo { pos: 0, reverse: false, junk: true }),
+            pos => {
+                let pos = pos.parse().ok()?;
+                let reverse = parts.next()? == "R";
+                Some(TruthInfo { pos, reverse, junk: false })
+            }
+        }
+    }
+}
+
+/// One simulated read with its truth record.
+#[derive(Clone, Debug)]
+pub struct SimRead {
+    /// FASTQ record (name embeds the truth).
+    pub record: FastqRecord,
+    /// Ground truth.
+    pub truth: TruthInfo,
+}
+
+/// Read simulator over a reference.
+pub struct ReadSim<'a> {
+    reference: &'a Reference,
+    spec: ReadSimSpec,
+}
+
+impl<'a> ReadSim<'a> {
+    /// Create a simulator; panics if the reference is shorter than one read.
+    pub fn new(reference: &'a Reference, spec: ReadSimSpec) -> Self {
+        assert!(
+            reference.len() > spec.read_len + spec.max_indel_len + 1,
+            "reference too short for requested read length"
+        );
+        ReadSim { reference, spec }
+    }
+
+    /// Generate all reads.
+    pub fn generate(&self) -> Vec<SimRead> {
+        let spec = &self.spec;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut out = Vec::with_capacity(spec.n_reads);
+        for id in 0..spec.n_reads {
+            if spec.junk_rate > 0.0 && rng.random_bool(spec.junk_rate) {
+                let codes: Vec<u8> = (0..spec.read_len).map(|_| rng.random_range(0..4u8)).collect();
+                let truth = TruthInfo { pos: 0, reverse: false, junk: true };
+                out.push(self.finish(id, codes, truth, &mut rng));
+                continue;
+            }
+            // Window slightly longer than the read to absorb deletions.
+            let window = spec.read_len + spec.max_indel_len;
+            let pos = rng.random_range(0..self.reference.len() - window);
+            let reverse = rng.random_bool(0.5);
+            let mut src = self.reference.pac.fetch(pos, pos + window);
+            if reverse {
+                src = revcomp_codes(&src);
+            }
+            // Apply one indel with probability indel_rate.
+            let mut codes: Vec<u8> = Vec::with_capacity(window);
+            let mut i = 0usize;
+            let indel_at = if spec.indel_rate > 0.0 && rng.random_bool(spec.indel_rate) {
+                // keep indels away from the ends so seeds exist on both sides
+                Some((
+                    rng.random_range(spec.read_len / 4..3 * spec.read_len / 4),
+                    rng.random_range(1..=spec.max_indel_len.max(1)),
+                    rng.random_bool(0.5), // true = insertion
+                ))
+            } else {
+                None
+            };
+            while codes.len() < spec.read_len && i < src.len() {
+                if let Some((at, len, is_ins)) = indel_at {
+                    if codes.len() == at {
+                        if is_ins {
+                            for _ in 0..len {
+                                if codes.len() < spec.read_len {
+                                    codes.push(rng.random_range(0..4u8));
+                                }
+                            }
+                        } else {
+                            i += len; // deletion: skip template bases
+                        }
+                    }
+                }
+                if codes.len() < spec.read_len && i < src.len() {
+                    codes.push(src[i]);
+                    i += 1;
+                }
+            }
+            while codes.len() < spec.read_len {
+                codes.push(rng.random_range(0..4u8));
+            }
+            // Substitution errors.
+            for c in codes.iter_mut() {
+                if rng.random_bool(spec.sub_rate) {
+                    *c = if rng.random_bool(1.0 / 3.0) { complement(*c) } else { (*c + rng.random_range(1..4u8)) & 3 };
+                }
+            }
+            let truth = TruthInfo { pos, reverse, junk: false };
+            out.push(self.finish(id, codes, truth, &mut rng));
+        }
+        out
+    }
+
+    fn finish(&self, id: usize, codes: Vec<u8>, truth: TruthInfo, rng: &mut StdRng) -> SimRead {
+        let seq: Vec<u8> = codes.iter().map(|&c| decode_base(c)).collect();
+        let qual: Vec<u8> = (0..seq.len())
+            .map(|_| b'!' + 30 + rng.random_range(0..10u8))
+            .collect();
+        SimRead {
+            record: FastqRecord { name: truth.encode(id), seq, qual },
+            truth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_is_deterministic_and_gc_biased() {
+        for target_gc in [0.35f64, 0.5, 0.6] {
+            let spec = GenomeSpec {
+                len: 100_000,
+                gc: target_gc,
+                repeat_families: 0,
+                ..GenomeSpec::default()
+            };
+            let a = spec.generate_codes();
+            let b = spec.generate_codes();
+            assert_eq!(a, b);
+            let mut counts = [0usize; 4];
+            for &c in &a {
+                counts[c as usize] += 1;
+            }
+            let gc = (counts[1] + counts[2]) as f64 / a.len() as f64;
+            assert!((gc - target_gc).abs() < 0.02, "gc fraction {gc} vs {target_gc}");
+            // each individual base must appear at roughly its share
+            for (i, &n) in counts.iter().enumerate() {
+                let expect = if i == 1 || i == 2 { target_gc / 2.0 } else { (1.0 - target_gc) / 2.0 };
+                let got = n as f64 / a.len() as f64;
+                assert!((got - expect).abs() < 0.02, "base {i}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeats_create_duplicate_kmers() {
+        let spec = GenomeSpec {
+            len: 200_000,
+            repeat_families: 4,
+            repeat_len: 500,
+            repeat_copies: 6,
+            repeat_divergence: 0.0,
+            ..GenomeSpec::default()
+        };
+        let g = spec.generate_codes();
+        // count exact 64-mers occurring more than once via a sampled check
+        use std::collections::HashMap;
+        let mut seen: HashMap<&[u8], usize> = HashMap::new();
+        for w in g.windows(64).step_by(16) {
+            *seen.entry(w).or_default() += 1;
+        }
+        assert!(
+            seen.values().any(|&c| c > 1),
+            "expected repeated 64-mers after repeat injection"
+        );
+    }
+
+    #[test]
+    fn reads_are_deterministic_and_well_formed() {
+        let genome = GenomeSpec { len: 50_000, ..GenomeSpec::default() }.generate_reference("g");
+        let spec = ReadSimSpec { n_reads: 100, read_len: 101, ..ReadSimSpec::default() };
+        let reads_a = ReadSim::new(&genome, spec.clone()).generate();
+        let reads_b = ReadSim::new(&genome, spec).generate();
+        assert_eq!(reads_a.len(), 100);
+        for (a, b) in reads_a.iter().zip(&reads_b) {
+            assert_eq!(a.record, b.record);
+            assert_eq!(a.record.seq.len(), 101);
+            assert_eq!(a.record.qual.len(), 101);
+        }
+    }
+
+    #[test]
+    fn truth_roundtrips_through_name() {
+        let t = TruthInfo { pos: 12345, reverse: true, junk: false };
+        assert_eq!(TruthInfo::decode(&t.encode(7)).unwrap(), t);
+        let j = TruthInfo { pos: 0, reverse: false, junk: true };
+        assert_eq!(TruthInfo::decode(&j.encode(1)).unwrap(), j);
+        assert_eq!(TruthInfo::decode("not_sim"), None);
+    }
+
+    #[test]
+    fn error_free_reads_match_reference_exactly() {
+        let genome = GenomeSpec { len: 20_000, ..GenomeSpec::default() }.generate_reference("g");
+        let spec = ReadSimSpec {
+            n_reads: 50,
+            read_len: 80,
+            sub_rate: 0.0,
+            indel_rate: 0.0,
+            ..ReadSimSpec::default()
+        };
+        for read in ReadSim::new(&genome, spec).generate() {
+            let codes: Vec<u8> = read.record.seq.iter().map(|&b| crate::alphabet::encode_base(b)).collect();
+            let mut window = genome.pac.fetch(read.truth.pos, read.truth.pos + 80);
+            if read.truth.reverse {
+                // the read comes from the reverse strand of a longer window;
+                // compare against the revcomp of the *end-aligned* slice
+                let full = genome.pac.fetch(read.truth.pos, read.truth.pos + 80 + 4);
+                let rc = revcomp_codes(&full);
+                window = rc[..80].to_vec();
+            }
+            assert_eq!(codes, window, "read {}", read.record.name);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: packing, alphabet and file-format round trips.
+
+use proptest::prelude::*;
+
+use mem2_seqio::{
+    complement, decode_base, encode_base, parse_fasta, parse_fastq, revcomp_codes, write_fasta,
+    write_fastq, FastaRecord, FastqRecord, PackedSeq,
+};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_.-]{1,20}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_seq_roundtrip(codes in prop::collection::vec(0u8..4, 0..300)) {
+        let p = PackedSeq::from_codes(&codes);
+        prop_assert_eq!(p.len(), codes.len());
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(p.get(i), c);
+        }
+        prop_assert_eq!(p.fetch(0, codes.len()), codes.clone());
+        // doubled coordinates are the reverse complement
+        let rc = revcomp_codes(&codes);
+        prop_assert_eq!(p.fetch2(codes.len(), 2 * codes.len()), rc);
+        // raw persistence roundtrip
+        let q = PackedSeq::from_raw(p.raw().to_vec(), p.len());
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn alphabet_involutions(codes in prop::collection::vec(0u8..5, 0..100)) {
+        prop_assert_eq!(revcomp_codes(&revcomp_codes(&codes)), codes.clone());
+        for &c in &codes {
+            prop_assert_eq!(complement(complement(c)), c);
+            prop_assert_eq!(encode_base(decode_base(c)), c.min(4));
+        }
+    }
+
+    #[test]
+    fn fasta_roundtrip(
+        records in prop::collection::vec(
+            (arb_name(), prop::collection::vec(prop::sample::select(b"ACGTNacgtn".to_vec()), 1..200)),
+            1..5,
+        ),
+        width in 1usize..100,
+    ) {
+        let recs: Vec<FastaRecord> = records
+            .into_iter()
+            .map(|(name, seq)| FastaRecord { name, seq })
+            .collect();
+        let text = write_fasta(&recs, width);
+        prop_assert_eq!(parse_fasta(&text).expect("roundtrip"), recs);
+    }
+
+    #[test]
+    fn fastq_roundtrip(
+        records in prop::collection::vec(
+            (arb_name(), prop::collection::vec(prop::sample::select(b"ACGTN".to_vec()), 1..150)),
+            1..5,
+        ),
+    ) {
+        let recs: Vec<FastqRecord> = records
+            .into_iter()
+            .map(|(name, seq)| {
+                let qual = vec![b'I'; seq.len()];
+                FastqRecord { name, seq, qual }
+            })
+            .collect();
+        let text = write_fastq(&recs);
+        prop_assert_eq!(parse_fastq(&text).expect("roundtrip"), recs);
+    }
+}

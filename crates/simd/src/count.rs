@@ -1,0 +1,55 @@
+//! Byte-equality population counts used by the optimized occurrence table
+//! (paper §4.4): "We perform a byte level compare using AVX2 to get a 32-bit
+//! mask containing 1 for match and 0 for mismatch. Consequently, we use a
+//! 32-bit popcnt instruction on the mask to get the count."
+//!
+//! The portable formulation below compiles to `pcmpeqb` + `pmovmskb` +
+//! `popcnt` (or a `psadbw` reduction) with `-C target-cpu=native`.
+
+/// Count occurrences of `needle` in the first `prefix_len` bytes of a
+/// fixed 32-byte bucket. `prefix_len` may be 0..=32.
+#[inline(always)]
+pub fn count_eq_prefix(bucket: &[u8; 32], needle: u8, prefix_len: usize) -> u32 {
+    debug_assert!(prefix_len <= 32);
+    let mut mask = 0u32;
+    for (i, &b) in bucket.iter().enumerate() {
+        mask |= ((b == needle) as u32) << i;
+    }
+    let keep = if prefix_len >= 32 { u32::MAX } else { (1u32 << prefix_len) - 1 };
+    (mask & keep).count_ones()
+}
+
+/// Count occurrences of `needle` in an arbitrary byte slice.
+#[inline(always)]
+pub fn count_eq(hay: &[u8], needle: u8) -> u64 {
+    let mut n = 0u64;
+    for &b in hay {
+        n += (b == needle) as u64;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_counts() {
+        let mut b = [0u8; 32];
+        b[0] = 2;
+        b[5] = 2;
+        b[31] = 2;
+        assert_eq!(count_eq_prefix(&b, 2, 0), 0);
+        assert_eq!(count_eq_prefix(&b, 2, 1), 1);
+        assert_eq!(count_eq_prefix(&b, 2, 6), 2);
+        assert_eq!(count_eq_prefix(&b, 2, 31), 2);
+        assert_eq!(count_eq_prefix(&b, 2, 32), 3);
+        assert_eq!(count_eq_prefix(&b, 0, 32), 29);
+    }
+
+    #[test]
+    fn slice_counts() {
+        assert_eq!(count_eq(&[], 1), 0);
+        assert_eq!(count_eq(&[1, 1, 2, 1], 1), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! Portable SIMD substrate for the mem2 workspace.
+//!
+//! The paper's kernels use AVX2/AVX-512 intrinsics. Stable Rust has no
+//! `std::simd`, so this crate provides fixed-width lanewise vector types
+//! whose operations are written as straight-line element loops that LLVM
+//! reliably auto-vectorizes at `opt-level=3` (especially with
+//! `-C target-cpu=native`, which the workspace sets).
+//!
+//! Widths are const-generic so the BSW engine can be instantiated at
+//! AVX-512-like widths (64×u8 / 32×i16), AVX2-like widths (32×u8 / 16×i16)
+//! or SSE-like widths (16×u8 / 8×i16) for the width-ablation benchmark.
+//!
+//! Masks are represented as vectors of the same element type holding
+//! all-zeros (false) or all-ones (true) per lane, exactly like the x86
+//! compare instructions the paper uses, so `blend` is `(a & m) | (b & !m)`.
+
+// The explicit `for i in 0..W { o[i] = f(a[i], b[i]) }` loops below are the
+// deliberate idiom this crate is built on: fixed trip count + direct array
+// indexing is the pattern LLVM's auto-vectorizer recognizes unconditionally.
+#![allow(clippy::needless_range_loop)]
+
+pub mod count;
+pub mod prefetch;
+pub mod vec_i16;
+pub mod vec_u8;
+
+pub use count::{count_eq, count_eq_prefix};
+pub use prefetch::prefetch_read;
+pub use vec_i16::VecI16;
+pub use vec_u8::VecU8;
+
+/// AVX-512-like 64-lane byte vector.
+pub type U8x64 = VecU8<64>;
+/// AVX2-like 32-lane byte vector.
+pub type U8x32 = VecU8<32>;
+/// SSE-like 16-lane byte vector.
+pub type U8x16 = VecU8<16>;
+/// AVX-512-like 32-lane 16-bit vector.
+pub type I16x32 = VecI16<32>;
+/// AVX2-like 16-lane 16-bit vector.
+pub type I16x16 = VecI16<16>;
+/// SSE-like 8-lane 16-bit vector.
+pub type I16x8 = VecI16<8>;

@@ -1,0 +1,254 @@
+//! Lanewise signed 16-bit vector, used by the 16-bit BSW engine
+//! (`_mm256_*_epi16` analogues).
+
+/// A `W`-lane vector of `i16`, 64-byte aligned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct VecI16<const W: usize>(pub [i16; W]);
+
+impl<const W: usize> Default for VecI16<W> {
+    #[inline(always)]
+    fn default() -> Self {
+        Self::splat(0)
+    }
+}
+
+impl<const W: usize> VecI16<W> {
+    /// Number of lanes.
+    pub const LANES: usize = W;
+
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: i16) -> Self {
+        VecI16([v; W])
+    }
+
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self::splat(0)
+    }
+
+    /// Load `W` lanes from a slice (must have at least `W` elements).
+    #[inline(always)]
+    pub fn load(src: &[i16]) -> Self {
+        let mut out = [0i16; W];
+        out.copy_from_slice(&src[..W]);
+        VecI16(out)
+    }
+
+    /// Store all lanes into a slice (must have at least `W` elements).
+    #[inline(always)]
+    pub fn store(self, dst: &mut [i16]) {
+        dst[..W].copy_from_slice(&self.0);
+    }
+
+    /// Lanewise wrapping add.
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = self.0[i].wrapping_add(rhs.0[i]);
+        }
+        VecI16(o)
+    }
+
+    /// Lanewise saturating add (`paddsw`).
+    #[inline(always)]
+    pub fn adds(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = self.0[i].saturating_add(rhs.0[i]);
+        }
+        VecI16(o)
+    }
+
+    /// Lanewise wrapping subtract.
+    #[inline(always)]
+    pub fn sub(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = self.0[i].wrapping_sub(rhs.0[i]);
+        }
+        VecI16(o)
+    }
+
+    /// Lanewise saturating subtract (`psubsw`).
+    #[inline(always)]
+    pub fn subs(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = self.0[i].saturating_sub(rhs.0[i]);
+        }
+        VecI16(o)
+    }
+
+    /// Lanewise maximum.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = if self.0[i] > rhs.0[i] { self.0[i] } else { rhs.0[i] };
+        }
+        VecI16(o)
+    }
+
+    /// Lanewise minimum.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = if self.0[i] < rhs.0[i] { self.0[i] } else { rhs.0[i] };
+        }
+        VecI16(o)
+    }
+
+    /// Lanewise equality compare; true lanes become `-1` (all ones).
+    #[inline(always)]
+    pub fn cmpeq(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = if self.0[i] == rhs.0[i] { -1 } else { 0 };
+        }
+        VecI16(o)
+    }
+
+    /// Lanewise signed greater-than compare; true lanes become `-1`.
+    #[inline(always)]
+    pub fn cmpgt(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = if self.0[i] > rhs.0[i] { -1 } else { 0 };
+        }
+        VecI16(o)
+    }
+
+    /// Lanewise signed greater-or-equal compare; true lanes become `-1`.
+    #[inline(always)]
+    pub fn cmpge(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = if self.0[i] >= rhs.0[i] { -1 } else { 0 };
+        }
+        VecI16(o)
+    }
+
+    /// Bitwise AND.
+    #[inline(always)]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = self.0[i] & rhs.0[i];
+        }
+        VecI16(o)
+    }
+
+    /// Bitwise OR.
+    #[inline(always)]
+    pub fn or(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = self.0[i] | rhs.0[i];
+        }
+        VecI16(o)
+    }
+
+    /// `!self & rhs`.
+    #[inline(always)]
+    pub fn andnot(self, rhs: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = !self.0[i] & rhs.0[i];
+        }
+        VecI16(o)
+    }
+
+    /// Select per lane: where `mask` lane is non-zero take `self`, else `rhs`.
+    #[inline(always)]
+    pub fn blend(self, rhs: Self, mask: Self) -> Self {
+        let mut o = [0i16; W];
+        for i in 0..W {
+            o[i] = (self.0[i] & mask.0[i]) | (rhs.0[i] & !mask.0[i]);
+        }
+        VecI16(o)
+    }
+
+    /// True if every lane is zero.
+    #[inline(always)]
+    pub fn all_zero(self) -> bool {
+        let mut acc = 0i16;
+        for i in 0..W {
+            acc |= self.0[i];
+        }
+        acc == 0
+    }
+
+    /// Movemask: bit `i` of the result is the sign bit of lane `i`.
+    #[inline(always)]
+    pub fn movemask(self) -> u64 {
+        debug_assert!(W <= 64);
+        let mut m = 0u64;
+        for i in 0..W {
+            m |= (((self.0[i] as u16) >> 15) as u64) << i;
+        }
+        m
+    }
+
+    /// Horizontal maximum over all lanes.
+    #[inline(always)]
+    pub fn reduce_max(self) -> i16 {
+        let mut m = i16::MIN;
+        for i in 0..W {
+            if self.0[i] > m {
+                m = self.0[i];
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V = VecI16<16>;
+
+    #[test]
+    fn saturating_and_wrapping() {
+        let a = V::splat(i16::MAX - 1);
+        let b = V::splat(10);
+        assert_eq!(a.adds(b), V::splat(i16::MAX));
+        assert_eq!(V::splat(i16::MIN + 1).subs(b), V::splat(i16::MIN));
+        assert_eq!(a.add(b), V::splat(i16::MIN + 8)); // wrapping
+        assert_eq!(b.sub(a), V::splat(10i16.wrapping_sub(i16::MAX - 1)));
+    }
+
+    #[test]
+    fn compares_and_blend() {
+        let a = V::splat(-4);
+        let b = V::splat(3);
+        assert_eq!(b.cmpgt(a), V::splat(-1)); // signed compare
+        assert_eq!(a.cmpgt(b), V::splat(0));
+        assert_eq!(a.cmpge(a), V::splat(-1));
+        let picked = a.blend(b, b.cmpgt(a));
+        assert_eq!(picked, a);
+    }
+
+    #[test]
+    fn movemask_uses_sign_bit() {
+        let mut v = V::zero();
+        v.0[1] = -1;
+        v.0[2] = i16::MIN;
+        v.0[3] = 5;
+        assert_eq!(v.movemask(), 0b0110);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut v = V::splat(-10);
+        v.0[7] = 42;
+        assert_eq!(v.reduce_max(), 42);
+        assert!(!v.all_zero());
+        assert!(V::zero().all_zero());
+    }
+}

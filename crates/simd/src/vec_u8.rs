@@ -1,0 +1,285 @@
+//! Lanewise unsigned 8-bit vector.
+//!
+//! Used by the 8-bit BSW engine: alignment scores in BWA-MEM's extension
+//! are non-negative and bounded, so the 8-bit kernel works in unsigned
+//! saturating arithmetic (like `_mm256_adds_epu8` / `_mm256_subs_epu8`).
+
+/// A `W`-lane vector of `u8`, 64-byte aligned so a whole vector sits in
+/// one cache line for W ≤ 64.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct VecU8<const W: usize>(pub [u8; W]);
+
+impl<const W: usize> Default for VecU8<W> {
+    #[inline(always)]
+    fn default() -> Self {
+        Self::splat(0)
+    }
+}
+
+impl<const W: usize> VecU8<W> {
+    /// Number of lanes.
+    pub const LANES: usize = W;
+
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: u8) -> Self {
+        VecU8([v; W])
+    }
+
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self::splat(0)
+    }
+
+    /// Load `W` lanes from a slice (must have at least `W` elements).
+    #[inline(always)]
+    pub fn load(src: &[u8]) -> Self {
+        let mut out = [0u8; W];
+        out.copy_from_slice(&src[..W]);
+        VecU8(out)
+    }
+
+    /// Store all lanes into a slice (must have at least `W` elements).
+    #[inline(always)]
+    pub fn store(self, dst: &mut [u8]) {
+        dst[..W].copy_from_slice(&self.0);
+    }
+
+    /// Lanewise wrapping add.
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = self.0[i].wrapping_add(rhs.0[i]);
+        }
+        VecU8(o)
+    }
+
+    /// Lanewise saturating add (`paddusb`).
+    #[inline(always)]
+    pub fn adds(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = self.0[i].saturating_add(rhs.0[i]);
+        }
+        VecU8(o)
+    }
+
+    /// Lanewise saturating subtract (`psubusb`): clamps at zero.
+    #[inline(always)]
+    pub fn subs(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = self.0[i].saturating_sub(rhs.0[i]);
+        }
+        VecU8(o)
+    }
+
+    /// Lanewise maximum.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = if self.0[i] > rhs.0[i] { self.0[i] } else { rhs.0[i] };
+        }
+        VecU8(o)
+    }
+
+    /// Lanewise minimum.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = if self.0[i] < rhs.0[i] { self.0[i] } else { rhs.0[i] };
+        }
+        VecU8(o)
+    }
+
+    /// Lanewise equality compare; true lanes become `0xFF`.
+    #[inline(always)]
+    pub fn cmpeq(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = if self.0[i] == rhs.0[i] { 0xFF } else { 0 };
+        }
+        VecU8(o)
+    }
+
+    /// Lanewise unsigned greater-than compare; true lanes become `0xFF`.
+    #[inline(always)]
+    pub fn cmpgt(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = if self.0[i] > rhs.0[i] { 0xFF } else { 0 };
+        }
+        VecU8(o)
+    }
+
+    /// Lanewise unsigned greater-or-equal compare; true lanes become `0xFF`.
+    #[inline(always)]
+    pub fn cmpge(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = if self.0[i] >= rhs.0[i] { 0xFF } else { 0 };
+        }
+        VecU8(o)
+    }
+
+    /// Bitwise AND.
+    #[inline(always)]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = self.0[i] & rhs.0[i];
+        }
+        VecU8(o)
+    }
+
+    /// Bitwise OR.
+    #[inline(always)]
+    pub fn or(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = self.0[i] | rhs.0[i];
+        }
+        VecU8(o)
+    }
+
+    /// `!self & rhs` (`pandn` operand order).
+    #[inline(always)]
+    pub fn andnot(self, rhs: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = !self.0[i] & rhs.0[i];
+        }
+        VecU8(o)
+    }
+
+    /// Select per lane: where `mask` lane is non-zero take `self`, else `rhs`.
+    ///
+    /// Matches `_mm256_blendv_epi8(rhs, self, mask)` when the mask lanes are
+    /// 0x00/0xFF (the only values our compares produce).
+    #[inline(always)]
+    pub fn blend(self, rhs: Self, mask: Self) -> Self {
+        let mut o = [0u8; W];
+        for i in 0..W {
+            o[i] = (self.0[i] & mask.0[i]) | (rhs.0[i] & !mask.0[i]);
+        }
+        VecU8(o)
+    }
+
+    /// True if every lane is zero (`ptest`-style).
+    #[inline(always)]
+    pub fn all_zero(self) -> bool {
+        let mut acc = 0u8;
+        for i in 0..W {
+            acc |= self.0[i];
+        }
+        acc == 0
+    }
+
+    /// Movemask: bit `i` of the result is the MSB of lane `i`.
+    #[inline(always)]
+    pub fn movemask(self) -> u64 {
+        debug_assert!(W <= 64);
+        let mut m = 0u64;
+        for i in 0..W {
+            m |= ((self.0[i] >> 7) as u64) << i;
+        }
+        m
+    }
+
+    /// Horizontal maximum over all lanes.
+    #[inline(always)]
+    pub fn reduce_max(self) -> u8 {
+        let mut m = 0u8;
+        for i in 0..W {
+            if self.0[i] > m {
+                m = self.0[i];
+            }
+        }
+        m
+    }
+
+    /// Horizontal sum over all lanes, widened to u32 (`psadbw`-style).
+    #[inline(always)]
+    pub fn reduce_sum(self) -> u32 {
+        let mut s = 0u32;
+        for i in 0..W {
+            s += self.0[i] as u32;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V = VecU8<32>;
+
+    #[test]
+    fn splat_and_load_store() {
+        let v = V::splat(7);
+        assert!(v.0.iter().all(|&x| x == 7));
+        let data: Vec<u8> = (0..40).collect();
+        let v = V::load(&data);
+        assert_eq!(v.0[0], 0);
+        assert_eq!(v.0[31], 31);
+        let mut out = vec![0u8; 32];
+        v.store(&mut out);
+        assert_eq!(out, data[..32]);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let a = V::splat(250);
+        let b = V::splat(10);
+        assert_eq!(a.adds(b), V::splat(255));
+        assert_eq!(b.subs(a), V::splat(0));
+        assert_eq!(a.add(b), V::splat(4)); // wrapping
+    }
+
+    #[test]
+    fn compares_produce_canonical_masks() {
+        let a = V::splat(5);
+        let b = V::splat(9);
+        assert_eq!(a.cmpeq(a), V::splat(0xFF));
+        assert_eq!(a.cmpeq(b), V::splat(0));
+        assert_eq!(b.cmpgt(a), V::splat(0xFF));
+        assert_eq!(a.cmpgt(b), V::splat(0));
+        assert_eq!(a.cmpge(a), V::splat(0xFF));
+    }
+
+    #[test]
+    fn blend_selects_by_mask() {
+        let mut mask = V::zero();
+        mask.0[3] = 0xFF;
+        let a = V::splat(1);
+        let b = V::splat(2);
+        let c = a.blend(b, mask);
+        for i in 0..32 {
+            assert_eq!(c.0[i], if i == 3 { 1 } else { 2 });
+        }
+    }
+
+    #[test]
+    fn movemask_and_reduce() {
+        let mut v = V::zero();
+        v.0[0] = 0xFF;
+        v.0[5] = 0x80;
+        v.0[6] = 0x7F; // MSB clear: not in mask
+        assert_eq!(v.movemask(), 0b10_0001);
+        assert_eq!(v.reduce_max(), 0xFF);
+        assert!(!v.all_zero());
+        assert!(V::zero().all_zero());
+    }
+
+    #[test]
+    fn reduce_sum_widens() {
+        let v = V::splat(200);
+        assert_eq!(v.reduce_sum(), 200 * 32);
+    }
+}

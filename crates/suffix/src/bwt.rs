@@ -1,0 +1,138 @@
+//! BWT construction in the sentinel-removed layout bwa uses.
+
+use crate::sais::suffix_array;
+
+/// Burrows-Wheeler transform of a base-code text, sentinel row removed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bwt {
+    /// BWT characters for all rows except the sentinel row; length = text len.
+    pub data: Vec<u8>,
+    /// Conceptual row index whose BWT character is the sentinel; this is
+    /// also the row of the full-text suffix (`SA[row] == 0`). bwa calls
+    /// this `primary`.
+    pub sentinel_row: usize,
+    /// Occurrences of each base in the text.
+    pub counts: [i64; 4],
+    /// Cumulative counts: `c_before[c]` = 1 + Σ_{c'<c} counts[c'] — the
+    /// first conceptual BWT row whose suffix starts with `c` (the leading
+    /// 1 accounts for the sentinel suffix at row 0). Index 4 holds the
+    /// total row count.
+    pub c_before: [i64; 5],
+}
+
+impl Bwt {
+    /// Number of conceptual rows (text length + 1, including sentinel row).
+    pub fn rows(&self) -> usize {
+        self.data.len() + 1
+    }
+
+    /// BWT character of conceptual row `r`, or `None` for the sentinel row.
+    pub fn get(&self, r: usize) -> Option<u8> {
+        use std::cmp::Ordering;
+        match r.cmp(&self.sentinel_row) {
+            Ordering::Less => Some(self.data[r]),
+            Ordering::Equal => None,
+            Ordering::Greater => Some(self.data[r - 1]),
+        }
+    }
+}
+
+/// Build the BWT of `text` from its suffix array (computed internally).
+pub fn build_bwt(text: &[u8]) -> (Bwt, Vec<u32>) {
+    let sa = suffix_array(text);
+    let bwt = bwt_from_sa(text, &sa);
+    (bwt, sa)
+}
+
+/// Build the BWT of `text` given its `(n+1)`-row suffix array.
+pub fn bwt_from_sa(text: &[u8], sa: &[u32]) -> Bwt {
+    assert_eq!(sa.len(), text.len() + 1);
+    let mut data = Vec::with_capacity(text.len());
+    let mut sentinel_row = usize::MAX;
+    let mut counts = [0i64; 4];
+    for (r, &p) in sa.iter().enumerate() {
+        if p == 0 {
+            sentinel_row = r;
+        } else {
+            let c = text[p as usize - 1];
+            data.push(c);
+            counts[c as usize] += 1;
+        }
+    }
+    assert!(sentinel_row != usize::MAX, "suffix array lacks row with SA=0");
+    let mut c_before = [0i64; 5];
+    c_before[0] = 1;
+    for c in 0..4 {
+        c_before[c + 1] = c_before[c] + counts[c];
+    }
+    Bwt { data, sentinel_row, counts, c_before }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        s.iter()
+            .map(|&b| match b {
+                b'A' => 0,
+                b'C' => 1,
+                b'G' => 2,
+                b'T' => 3,
+                _ => panic!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure1_reference_sequence() {
+        // R = ATACGAC as in Figure 1 of the paper. Sorted rotations of R$:
+        //   $ATACGAC, AC$ATACG, ACGAC$AT, ATACGAC$, C$ATACGA,
+        //   CGAC$ATA, GAC$ATAC, TACGAC$A
+        // so SA = [7,5,2,0,6,3,4,1], last column = C G T $ A A C A,
+        // sentinel row = 3.
+        let text = enc(b"ATACGAC");
+        let (bwt, sa) = build_bwt(&text);
+        assert_eq!(sa, vec![7, 5, 2, 0, 6, 3, 4, 1]);
+        assert_eq!(bwt.sentinel_row, 3);
+        assert_eq!(bwt.data, enc(b"CGTAACA")); // sentinel removed
+        assert_eq!(bwt.counts, [3, 2, 1, 1]);
+        assert_eq!(bwt.c_before, [1, 4, 6, 7, 8]);
+        assert_eq!(bwt.rows(), 8);
+    }
+
+    #[test]
+    fn get_skips_sentinel() {
+        let text = enc(b"ATACGAC");
+        let (bwt, _) = build_bwt(&text);
+        assert_eq!(bwt.get(0), Some(1)); // C
+        assert_eq!(bwt.get(1), Some(2)); // G
+        assert_eq!(bwt.get(2), Some(3)); // T
+        assert_eq!(bwt.get(3), None); // sentinel
+        assert_eq!(bwt.get(4), Some(0)); // A
+        assert_eq!(bwt.get(7), Some(0)); // A
+    }
+
+    #[test]
+    fn lf_walk_reconstructs_text_backwards() {
+        // Classic inverse-BWT check exercising counts + row arithmetic.
+        // Row 0 is the sentinel suffix; its BWT char is the last text char,
+        // and LF-stepping yields the text right-to-left.
+        let text = enc(b"GATTACAGATTACA");
+        let (bwt, _) = build_bwt(&text);
+        let occ = |c: u8, upto: usize| -> i64 {
+            // occurrences of c in conceptual rows [0, upto)
+            (0..upto).filter(|&r| bwt.get(r) == Some(c)).count() as i64
+        };
+        let mut row = 0usize;
+        let mut rebuilt = Vec::new();
+        for _ in 0..text.len() {
+            let c = bwt.get(row).unwrap();
+            rebuilt.push(c);
+            row = (bwt.c_before[c as usize] + occ(c, row)) as usize;
+        }
+        assert_eq!(row, bwt.sentinel_row, "walk must end at the full-text suffix row");
+        rebuilt.reverse();
+        assert_eq!(rebuilt, text);
+    }
+}

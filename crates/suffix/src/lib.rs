@@ -1,0 +1,23 @@
+//! Suffix array and BWT construction substrate.
+//!
+//! bwa builds its index with `libdivsufsort`/IS; bwa-mem2 uses `saisxx`.
+//! We implement SA-IS (Nong, Zhang, Chan 2009) from scratch: linear time,
+//! and fast enough to index the multi-megabase synthetic genomes used by
+//! the benchmark harness in well under a second per megabase.
+//!
+//! Conventions (shared with `mem2-fmindex`):
+//! * input is a code sequence over {0,1,2,3} (A,C,G,T);
+//! * the suffix array covers the text **plus a virtual sentinel** `$`
+//!   smaller than every base, so `sa.len() == text.len() + 1` and
+//!   `sa[0] == text.len()` (the empty suffix);
+//! * the BWT is returned with the sentinel row *removed* and its position
+//!   recorded (`sentinel_row`), exactly the layout bwa's occurrence
+//!   counting assumes (`k -= (k >= bwt->primary)`).
+
+pub mod bwt;
+pub mod naive;
+pub mod sais;
+
+pub use bwt::{build_bwt, bwt_from_sa, Bwt};
+pub use naive::naive_suffix_array;
+pub use sais::suffix_array;

@@ -1,0 +1,29 @@
+//! Reference O(n² log n) suffix-array builder used to validate SA-IS.
+
+/// Build the suffix array (with virtual sentinel) by direct sorting.
+///
+/// Slice comparison in Rust treats a proper prefix as smaller, which is
+/// exactly the virtual-sentinel ordering, so no explicit sentinel needed.
+pub fn naive_suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    let mut sa: Vec<u32> = (0..=n as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banana_like() {
+        // codes: 1,0,3,0,3,0  ("CATATA"-ish)
+        let text = [1u8, 0, 3, 0, 3, 0];
+        let sa = naive_suffix_array(&text);
+        assert_eq!(sa[0] as usize, text.len()); // empty suffix first
+        // verify sortedness
+        for w in sa.windows(2) {
+            assert!(text[w[0] as usize..] <= text[w[1] as usize..]);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! SA-IS: linear-time suffix array by induced sorting.
+
+const EMPTY: u32 = u32::MAX;
+
+/// Build the suffix array (with virtual sentinel) of a base-code text.
+///
+/// Every element of `text` must be `< 4`. The result has length
+/// `text.len() + 1`; entry 0 is always `text.len()` (the sentinel suffix).
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    assert!(
+        text.len() < (u32::MAX - 2) as usize,
+        "text too long for u32 suffix array"
+    );
+    debug_assert!(text.iter().all(|&c| c < 4), "text must be 2-bit base codes");
+    // Shift codes by +1 and append an explicit sentinel 0, then run SA-IS
+    // over alphabet size 5.
+    let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
+    s.extend(text.iter().map(|&c| c as u32 + 1));
+    s.push(0);
+    sais(&s, 5)
+}
+
+/// Core SA-IS over a u32 string whose last character is a unique smallest
+/// sentinel (value 0 appearing exactly once, at the end).
+fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
+    let n = s.len();
+    debug_assert!(n >= 1);
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        // sentinel at the end is smallest
+        return vec![1, 0];
+    }
+
+    // --- type classification: stype[i] == true iff suffix i is S-type ---
+    let mut stype = vec![false; n];
+    stype[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        stype[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && stype[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && stype[i] && !stype[i - 1];
+
+    // --- bucket sizes ---
+    let mut bkt = vec![0u32; sigma];
+    for &c in s {
+        bkt[c as usize] += 1;
+    }
+    let bucket_starts = |bkt: &[u32]| {
+        let mut out = vec![0u32; bkt.len()];
+        let mut sum = 0u32;
+        for (o, &b) in out.iter_mut().zip(bkt) {
+            *o = sum;
+            sum += b;
+        }
+        out
+    };
+    let bucket_ends = |bkt: &[u32]| {
+        let mut out = vec![0u32; bkt.len()];
+        let mut sum = 0u32;
+        for (o, &b) in out.iter_mut().zip(bkt) {
+            sum += b;
+            *o = sum;
+        }
+        out
+    };
+
+    let mut sa = vec![EMPTY; n];
+
+    // --- stage A: approximately sort LMS suffixes by induced sorting ---
+    {
+        let mut ends = bucket_ends(&bkt);
+        for i in (1..n).rev() {
+            if is_lms(i) {
+                let c = s[i] as usize;
+                ends[c] -= 1;
+                sa[ends[c] as usize] = i as u32;
+            }
+        }
+        induce_l(s, &stype, &mut sa, &mut bucket_starts(&bkt));
+        induce_s(s, &stype, &mut sa, &mut bucket_ends(&bkt));
+    }
+
+    // --- collect LMS suffixes in their induced (substring-sorted) order ---
+    let mut lms_sorted: Vec<u32> = Vec::new();
+    for &p in sa.iter() {
+        if p != EMPTY && is_lms(p as usize) {
+            lms_sorted.push(p);
+        }
+    }
+
+    // --- name LMS substrings ---
+    let mut names = vec![EMPTY; n / 2 + 1];
+    let mut name_count: u32 = 0;
+    let mut prev: Option<usize> = None;
+    for &p in &lms_sorted {
+        let p = p as usize;
+        if let Some(q) = prev {
+            if !lms_substring_eq(s, &stype, q, p, &is_lms) {
+                name_count += 1;
+            }
+        }
+        names[p / 2] = name_count;
+        prev = Some(p);
+    }
+    let distinct = name_count + 1;
+
+    // --- reduced problem ---
+    let lms_in_order: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
+    let reduced: Vec<u32> = lms_in_order.iter().map(|&p| names[p as usize / 2]).collect();
+
+    let sa1: Vec<u32> = if distinct as usize == reduced.len() {
+        // all LMS substrings distinct: order follows directly
+        let mut sa1 = vec![0u32; reduced.len()];
+        for (i, &r) in reduced.iter().enumerate() {
+            sa1[r as usize] = i as u32;
+        }
+        sa1
+    } else {
+        sais(&reduced, distinct as usize)
+    };
+
+    // --- stage B: final induced sort with exactly-sorted LMS order ---
+    sa.fill(EMPTY);
+    {
+        let mut ends = bucket_ends(&bkt);
+        for &r in sa1.iter().rev() {
+            let p = lms_in_order[r as usize];
+            let c = s[p as usize] as usize;
+            ends[c] -= 1;
+            sa[ends[c] as usize] = p;
+        }
+        induce_l(s, &stype, &mut sa, &mut bucket_starts(&bkt));
+        induce_s(s, &stype, &mut sa, &mut bucket_ends(&bkt));
+    }
+    sa
+}
+
+/// Left-to-right pass placing L-type suffixes at bucket fronts.
+#[inline]
+fn induce_l(s: &[u32], stype: &[bool], sa: &mut [u32], starts: &mut [u32]) {
+    for i in 0..sa.len() {
+        let p = sa[i];
+        if p != EMPTY && p > 0 {
+            let j = (p - 1) as usize;
+            if !stype[j] {
+                let c = s[j] as usize;
+                sa[starts[c] as usize] = j as u32;
+                starts[c] += 1;
+            }
+        }
+    }
+}
+
+/// Right-to-left pass placing S-type suffixes at bucket backs.
+#[inline]
+fn induce_s(s: &[u32], stype: &[bool], sa: &mut [u32], ends: &mut [u32]) {
+    for i in (0..sa.len()).rev() {
+        let p = sa[i];
+        if p != EMPTY && p > 0 {
+            let j = (p - 1) as usize;
+            if stype[j] {
+                let c = s[j] as usize;
+                ends[c] -= 1;
+                sa[ends[c] as usize] = j as u32;
+            }
+        }
+    }
+}
+
+/// Compare the LMS substrings starting at `a` and `b` for equality.
+fn lms_substring_eq(
+    s: &[u32],
+    stype: &[bool],
+    a: usize,
+    b: usize,
+    is_lms: &impl Fn(usize) -> bool,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    if s[a] != s[b] || stype[a] != stype[b] {
+        return false;
+    }
+    let (mut i, mut j) = (a + 1, b + 1);
+    loop {
+        let ai = is_lms(i);
+        let bj = is_lms(j);
+        if ai && bj {
+            return true;
+        }
+        if ai != bj || s[i] != s[j] || stype[i] != stype[j] {
+            return false;
+        }
+        i += 1;
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_suffix_array;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        s.iter()
+            .map(|&b| match b {
+                b'A' => 0,
+                b'C' => 1,
+                b'G' => 2,
+                b'T' => 3,
+                _ => panic!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_text() {
+        assert_eq!(suffix_array(&[]), vec![0]);
+    }
+
+    #[test]
+    fn single_base() {
+        assert_eq!(suffix_array(&enc(b"A")), vec![1, 0]);
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // R = ATACGAC from Figure 1 of the paper (we drop the explicit $).
+        // Suffixes sorted: $ (7), AC$ (5), ACGAC$ (2), ATACGAC$ (0),
+        // C$ (6), CGAC$ (3), GAC$ (4), TACGAC$ (1)
+        let sa = suffix_array(&enc(b"ATACGAC"));
+        assert_eq!(sa, vec![7, 5, 2, 0, 6, 3, 4, 1]);
+    }
+
+    #[test]
+    fn repetitive_strings_match_naive() {
+        for txt in [
+            &b"AAAAAAAA"[..],
+            b"ACACACAC",
+            b"GGGGA",
+            b"TGCATGCATGCA",
+            b"ACGTACGTACGTACGT",
+            b"T",
+            b"AT",
+            b"TTAA",
+        ] {
+            let codes = enc(txt);
+            assert_eq!(
+                suffix_array(&codes),
+                naive_suffix_array(&codes),
+                "mismatch for {}",
+                std::str::from_utf8(txt).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn random_strings_match_naive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for len in [3usize, 17, 64, 255, 1000, 4097] {
+            let codes: Vec<u8> = (0..len).map(|_| rng.random_range(0..4u8)).collect();
+            assert_eq!(suffix_array(&codes), naive_suffix_array(&codes), "len {len}");
+        }
+    }
+
+    #[test]
+    fn sa_is_a_permutation() {
+        let codes = enc(b"GATTACAGATTACACATTAG");
+        let sa = suffix_array(&codes);
+        let mut seen = vec![false; sa.len()];
+        for &p in &sa {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+        assert_eq!(sa[0] as usize, codes.len());
+    }
+}

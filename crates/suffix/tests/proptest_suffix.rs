@@ -1,0 +1,61 @@
+//! Property tests: SA-IS vs naive construction, and BWT invariants.
+
+use proptest::prelude::*;
+
+use mem2_suffix::{build_bwt, naive_suffix_array, suffix_array};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sais_matches_naive(text in prop::collection::vec(0u8..4, 0..600)) {
+        prop_assert_eq!(suffix_array(&text), naive_suffix_array(&text));
+    }
+
+    #[test]
+    fn sais_on_low_entropy_strings(
+        unit in prop::collection::vec(0u8..4, 1..6),
+        reps in 1usize..120,
+    ) {
+        // repetitive strings are SA-IS's hardest case (deep recursion)
+        let text: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        prop_assert_eq!(suffix_array(&text), naive_suffix_array(&text));
+    }
+
+    #[test]
+    fn bwt_counts_and_inversion(text in prop::collection::vec(0u8..4, 1..300)) {
+        let (bwt, sa) = build_bwt(&text);
+        // counts are exact
+        let mut counts = [0i64; 4];
+        for &c in &text {
+            counts[c as usize] += 1;
+        }
+        prop_assert_eq!(bwt.counts, counts);
+        prop_assert_eq!(bwt.c_before[4], text.len() as i64 + 1);
+        // SA row with value 0 is the sentinel row
+        prop_assert_eq!(sa[bwt.sentinel_row] as usize, 0);
+        // inverse BWT reproduces the text
+        let occ = |c: u8, upto: usize| -> i64 {
+            (0..upto).filter(|&r| bwt.get(r) == Some(c)).count() as i64
+        };
+        let mut row = 0usize;
+        let mut rebuilt = Vec::new();
+        for _ in 0..text.len() {
+            let c = bwt.get(row).expect("non-sentinel row");
+            rebuilt.push(c);
+            row = (bwt.c_before[c as usize] + occ(c, row)) as usize;
+        }
+        rebuilt.reverse();
+        prop_assert_eq!(rebuilt, text);
+    }
+
+    #[test]
+    fn suffix_array_orders_suffixes(text in prop::collection::vec(0u8..4, 0..400)) {
+        let sa = suffix_array(&text);
+        prop_assert_eq!(sa.len(), text.len() + 1);
+        prop_assert_eq!(sa[0] as usize, text.len());
+        for w in sa.windows(2) {
+            prop_assert!(text[w[0] as usize..] < text[w[1] as usize..]);
+        }
+    }
+}

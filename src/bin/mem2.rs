@@ -1,0 +1,155 @@
+//! `mem2` — command-line front end, a minimal `bwa`-style interface.
+//!
+//! ```text
+//! mem2 index <ref.fasta> <out.idx>          build a persistent index
+//! mem2 mem [opts] <ref.idx|ref.fasta> <reads.fastq>   align, SAM on stdout
+//!     -t N          threads (default: all)
+//!     --classic     use the original per-read workflow
+//! mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>
+//!     writes <prefix>.fasta and <prefix>.fastq of synthetic data
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use mem2::core::bundle;
+use mem2::prelude::*;
+use mem2::seqio::{write_fasta, write_fastq};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("index") => cmd_index(&args[1..]),
+        Some("mem") => cmd_mem(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        _ => {
+            eprintln!("usage: mem2 <index|mem|simulate> ...\n");
+            eprintln!("  mem2 index <ref.fasta> <out.idx>");
+            eprintln!("  mem2 mem [-t N] [--classic] <ref.idx|ref.fasta> <reads.fastq>");
+            eprintln!("  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mem2: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn load_reference(path: &str) -> Result<Reference, AnyError> {
+    let text = std::fs::read_to_string(path)?;
+    let records = parse_fasta(&text)?;
+    if records.is_empty() {
+        return Err(format!("{path}: no FASTA records").into());
+    }
+    Ok(Reference::from_fasta(&records, 11)) // fixed seed: deterministic N replacement
+}
+
+fn cmd_index(args: &[String]) -> Result<(), AnyError> {
+    let [fasta, out] = args else {
+        return Err("usage: mem2 index <ref.fasta> <out.idx>".into());
+    };
+    let reference = load_reference(fasta)?;
+    eprintln!(
+        "[index] {} contig(s), {} bp; building suffix array...",
+        reference.contigs.contigs.len(),
+        reference.len()
+    );
+    let bytes = bundle::build_bundle(&reference);
+    std::fs::write(out, &bytes)?;
+    eprintln!("[index] wrote {} ({} MB)", out, bytes.len() / (1 << 20));
+    Ok(())
+}
+
+fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut workflow = Workflow::Batched;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-t" => {
+                threads = it
+                    .next()
+                    .ok_or("-t needs a value")?
+                    .parse()
+                    .map_err(|_| "-t needs an integer")?;
+            }
+            "--classic" => workflow = Workflow::Classic,
+            _ => positional.push(a),
+        }
+    }
+    let [ref_path, reads_path] = positional[..] else {
+        return Err("usage: mem2 mem [-t N] [--classic] <ref.idx|ref.fasta> <reads.fastq>".into());
+    };
+
+    let (reference, index) = if ref_path.ends_with(".idx") {
+        let bytes = std::fs::read(ref_path)?;
+        bundle::load_index(&bytes, &workflow.build_opts())?
+    } else {
+        let reference = load_reference(ref_path)?;
+        let index = FmIndex::build(&reference, &workflow.build_opts());
+        (reference, index)
+    };
+    let reads = parse_fastq(&std::fs::read_to_string(reads_path)?)?;
+    eprintln!(
+        "[mem] {} reads against {} bp reference, {} thread(s), {:?} workflow",
+        reads.len(),
+        reference.len(),
+        threads,
+        workflow
+    );
+    let aligner = Aligner::with_index(index, reference, MemOpts::default(), workflow);
+    let t = std::time::Instant::now();
+    let (sam, times) = align_reads_parallel(&aligner, &reads, threads);
+    let wall = t.elapsed();
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    out.write_all(aligner.sam_header().as_bytes())?;
+    for rec in &sam {
+        writeln!(out, "{}", rec.to_line())?;
+    }
+    out.flush()?;
+    eprintln!(
+        "[mem] {} records in {:.2}s ({:.0} reads/s)",
+        sam.len(),
+        wall.as_secs_f64(),
+        reads.len() as f64 / wall.as_secs_f64()
+    );
+    eprint!("{}", times.render("[mem] stage CPU time"));
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
+    let [mb, n, len, prefix] = args else {
+        return Err("usage: mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>".into());
+    };
+    let genome_len = (mb.parse::<f64>()? * 1e6) as usize;
+    let n_reads: usize = n.parse()?;
+    let read_len: usize = len.parse()?;
+    let genome = GenomeSpec { len: genome_len, seed: 42, ..GenomeSpec::default() };
+    let codes = genome.generate_codes();
+    let ascii: Vec<u8> = codes.iter().map(|&c| b"ACGT"[c as usize]).collect();
+    let fasta = write_fasta(
+        &[mem2::seqio::FastaRecord { name: "chrSim".into(), seq: ascii }],
+        80,
+    );
+    std::fs::write(format!("{prefix}.fasta"), fasta)?;
+    let reference = Reference::from_codes("chrSim", &codes);
+    let sim = ReadSim::new(
+        &reference,
+        ReadSimSpec { n_reads, read_len, seed: 43, ..ReadSimSpec::default() },
+    );
+    let reads: Vec<FastqRecord> = sim.generate().into_iter().map(|s| s.record).collect();
+    std::fs::write(format!("{prefix}.fastq"), write_fastq(&reads))?;
+    eprintln!(
+        "[simulate] wrote {prefix}.fasta ({genome_len} bp) and {prefix}.fastq ({n_reads} x {read_len} bp)"
+    );
+    Ok(())
+}
