@@ -23,7 +23,10 @@ struct Fixtures {
 fn fixtures() -> &'static Fixtures {
     static FIX: OnceLock<Fixtures> = OnceLock::new();
     FIX.get_or_init(|| {
-        let env = BenchEnv::build(EnvConfig { genome_mb: 1.0, read_scale: 2000 });
+        let env = BenchEnv::build(EnvConfig {
+            genome_mb: 1.0,
+            read_scale: 2000,
+        });
         let reads = env.reads_n("D3", 300);
         let queries = intercept_smem_queries(&reads);
         let jobs = intercept_bsw_jobs(&env.index, &env.reference, &env.opts, &reads);
@@ -42,7 +45,9 @@ fn bench_width(c: &mut Criterion) {
             sort_by_length: true,
             force_16bit: false,
         };
-        group.bench_function(format!("u8x{width}"), |b| b.iter(|| engine.extend_all(&f.jobs)));
+        group.bench_function(format!("u8x{width}"), |b| {
+            b.iter(|| engine.extend_all(&f.jobs))
+        });
     }
     group.finish();
 }
@@ -77,26 +82,55 @@ fn bench_occ_layout_and_prefetch(c: &mut Criterion) {
     group.bench_function("eta128_2bit", |b| {
         b.iter(|| {
             for q in &f.queries {
-                collect_intv(f.env.index.orig(), &f.env.opts.smem, q, &mut out, &mut aux, false, &mut sink);
+                collect_intv(
+                    f.env.index.orig(),
+                    &f.env.opts.smem,
+                    q,
+                    &mut out,
+                    &mut aux,
+                    false,
+                    &mut sink,
+                );
             }
         })
     });
     group.bench_function("eta32_byte", |b| {
         b.iter(|| {
             for q in &f.queries {
-                collect_intv(f.env.index.opt(), &f.env.opts.smem, q, &mut out, &mut aux, false, &mut sink);
+                collect_intv(
+                    f.env.index.opt(),
+                    &f.env.opts.smem,
+                    q,
+                    &mut out,
+                    &mut aux,
+                    false,
+                    &mut sink,
+                );
             }
         })
     });
     group.bench_function("eta32_byte_prefetch", |b| {
         b.iter(|| {
             for q in &f.queries {
-                collect_intv(f.env.index.opt(), &f.env.opts.smem, q, &mut out, &mut aux, true, &mut sink);
+                collect_intv(
+                    f.env.index.opt(),
+                    &f.env.opts.smem,
+                    q,
+                    &mut out,
+                    &mut aux,
+                    true,
+                    &mut sink,
+                );
             }
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_width, bench_sort_and_precision, bench_occ_layout_and_prefetch);
+criterion_group!(
+    benches,
+    bench_width,
+    bench_sort_and_precision,
+    bench_occ_layout_and_prefetch
+);
 criterion_main!(benches);

@@ -18,13 +18,28 @@ struct Fixtures {
 fn fixtures() -> &'static Fixtures {
     static FIX: OnceLock<Fixtures> = OnceLock::new();
     FIX.get_or_init(|| {
-        let env = BenchEnv::build(EnvConfig { genome_mb: 1.0, read_scale: 2000 });
+        let env = BenchEnv::build(EnvConfig {
+            genome_mb: 1.0,
+            read_scale: 2000,
+        });
         let reads = env.reads_n("D1", 250);
-        let classic =
-            Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, Workflow::Classic);
-        let batched =
-            Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, Workflow::Batched);
-        Fixtures { classic, batched, reads }
+        let classic = Aligner::with_index(
+            env.index.clone(),
+            env.reference.clone(),
+            env.opts,
+            Workflow::Classic,
+        );
+        let batched = Aligner::with_index(
+            env.index.clone(),
+            env.reference.clone(),
+            env.opts,
+            Workflow::Batched,
+        );
+        Fixtures {
+            classic,
+            batched,
+            reads,
+        }
     })
 }
 
@@ -39,7 +54,10 @@ fn bench_single_thread(c: &mut Criterion) {
 
 fn bench_multi_thread(c: &mut Criterion) {
     let f = fixtures();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(8);
     let mut group = c.benchmark_group("e2e_multi_thread");
     group.sample_size(10);
     group.bench_function(format!("classic_x{threads}"), |b| {

@@ -10,7 +10,9 @@ use std::sync::OnceLock;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mem2_bench::{intercept_bsw_jobs, intercept_sal_rows, intercept_smem_queries, BenchEnv, EnvConfig};
+use mem2_bench::{
+    intercept_bsw_jobs, intercept_sal_rows, intercept_smem_queries, BenchEnv, EnvConfig,
+};
 use mem2_bsw::{BswEngine, ExtendJob};
 use mem2_fmindex::{collect_intv, SmemAux};
 use mem2_memsim::NoopSink;
@@ -26,12 +28,20 @@ struct Fixtures {
 fn fixtures() -> &'static Fixtures {
     static FIX: OnceLock<Fixtures> = OnceLock::new();
     FIX.get_or_init(|| {
-        let env = BenchEnv::build(EnvConfig { genome_mb: 1.0, read_scale: 2000 });
+        let env = BenchEnv::build(EnvConfig {
+            genome_mb: 1.0,
+            read_scale: 2000,
+        });
         let reads: Vec<FastqRecord> = env.reads_n("D2", 250);
         let queries = intercept_smem_queries(&reads);
         let rows = intercept_sal_rows(&env.index, &env.opts, &queries);
         let jobs = intercept_bsw_jobs(&env.index, &env.reference, &env.opts, &reads);
-        Fixtures { env, queries, rows, jobs }
+        Fixtures {
+            env,
+            queries,
+            rows,
+            jobs,
+        }
     })
 }
 
@@ -45,21 +55,45 @@ fn bench_smem(c: &mut Criterion) {
     group.bench_function("original_eta128", |b| {
         b.iter(|| {
             for q in &f.queries {
-                collect_intv(f.env.index.orig(), &f.env.opts.smem, q, &mut out, &mut aux, false, &mut sink);
+                collect_intv(
+                    f.env.index.orig(),
+                    &f.env.opts.smem,
+                    q,
+                    &mut out,
+                    &mut aux,
+                    false,
+                    &mut sink,
+                );
             }
         })
     });
     group.bench_function("optimized_eta32_noprefetch", |b| {
         b.iter(|| {
             for q in &f.queries {
-                collect_intv(f.env.index.opt(), &f.env.opts.smem, q, &mut out, &mut aux, false, &mut sink);
+                collect_intv(
+                    f.env.index.opt(),
+                    &f.env.opts.smem,
+                    q,
+                    &mut out,
+                    &mut aux,
+                    false,
+                    &mut sink,
+                );
             }
         })
     });
     group.bench_function("optimized_eta32_prefetch", |b| {
         b.iter(|| {
             for q in &f.queries {
-                collect_intv(f.env.index.opt(), &f.env.opts.smem, q, &mut out, &mut aux, true, &mut sink);
+                collect_intv(
+                    f.env.index.opt(),
+                    &f.env.opts.smem,
+                    q,
+                    &mut out,
+                    &mut aux,
+                    true,
+                    &mut sink,
+                );
             }
         })
     });
@@ -102,7 +136,9 @@ fn bench_bsw(c: &mut Criterion) {
     let scalar = BswEngine::original(f.env.opts.score);
     let vector = BswEngine::optimized(f.env.opts.score);
     group.bench_function("original_scalar", |b| b.iter(|| scalar.extend_all(&f.jobs)));
-    group.bench_function("optimized_simd_sorted", |b| b.iter(|| vector.extend_all(&f.jobs)));
+    group.bench_function("optimized_simd_sorted", |b| {
+        b.iter(|| vector.extend_all(&f.jobs))
+    });
     group.finish();
 }
 

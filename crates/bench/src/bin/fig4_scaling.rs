@@ -10,7 +10,9 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use mem2_bench::{intercept_bsw_jobs, intercept_sal_rows, intercept_smem_queries, BenchEnv, EnvConfig, Table};
+use mem2_bench::{
+    intercept_bsw_jobs, intercept_sal_rows, intercept_smem_queries, BenchEnv, EnvConfig, Table,
+};
 use mem2_bsw::{BswEngine, ExtendJob};
 use mem2_core::{align_reads_parallel, Aligner, Workflow};
 use mem2_fmindex::{collect_intv, OccTable, SmemAux};
@@ -23,7 +25,13 @@ fn pool(threads: usize) -> rayon::ThreadPool {
         .expect("thread pool")
 }
 
-fn smem_kernel<O: OccTable + Sync>(env: &BenchEnv, occ: &O, queries: &[Vec<u8>], prefetch: bool, threads: usize) -> f64 {
+fn smem_kernel<O: OccTable + Sync>(
+    env: &BenchEnv,
+    occ: &O,
+    queries: &[Vec<u8>],
+    prefetch: bool,
+    threads: usize,
+) -> f64 {
     let chunk = 64.max(queries.len() / (threads * 8).max(1));
     let t = Instant::now();
     pool(threads).install(|| {
@@ -32,7 +40,15 @@ fn smem_kernel<O: OccTable + Sync>(env: &BenchEnv, occ: &O, queries: &[Vec<u8>],
             let mut out = Vec::new();
             let mut sink = NoopSink;
             for q in chunk {
-                collect_intv(occ, &env.opts.smem, q, &mut out, &mut aux, prefetch, &mut sink);
+                collect_intv(
+                    occ,
+                    &env.opts.smem,
+                    q,
+                    &mut out,
+                    &mut aux,
+                    prefetch,
+                    &mut sink,
+                );
             }
         });
     });
@@ -78,7 +94,9 @@ fn bsw_kernel(engine: &BswEngine, jobs: &[ExtendJob], threads: usize) -> f64 {
 fn main() {
     let cfg = EnvConfig::from_env();
     let env = BenchEnv::build(cfg);
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut thread_counts = vec![1usize];
     while *thread_counts.last().expect("non-empty") * 2 <= max_threads {
         thread_counts.push(thread_counts.last().expect("non-empty") * 2);
@@ -95,10 +113,18 @@ fn main() {
         let jobs = intercept_bsw_jobs(&env.index, &env.reference, &env.opts, &reads);
         let scalar = BswEngine::original(env.opts.score);
         let vector = BswEngine::optimized(env.opts.score);
-        let classic =
-            Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, Workflow::Classic);
-        let batched =
-            Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, Workflow::Batched);
+        let classic = Aligner::with_index(
+            env.index.clone(),
+            env.reference.clone(),
+            env.opts,
+            Workflow::Classic,
+        );
+        let batched = Aligner::with_index(
+            env.index.clone(),
+            env.reference.clone(),
+            env.opts,
+            Workflow::Batched,
+        );
 
         let mut table = Table::new(&[
             "threads",

@@ -10,8 +10,7 @@ use mem2_core::{align_reads_parallel, Aligner, StageTimes, Workflow};
 
 fn run(env: &BenchEnv, label: &str, workflow: Workflow, threads: usize) -> (f64, StageTimes) {
     let reads = env.reads(label);
-    let aligner =
-        Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, workflow);
+    let aligner = Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, workflow);
     // best of three to tame container noise
     let mut best = f64::MAX;
     let mut best_times = StageTimes::default();
@@ -30,7 +29,9 @@ fn run(env: &BenchEnv, label: &str, workflow: Workflow, threads: usize) -> (f64,
 fn main() {
     let cfg = EnvConfig::from_env();
     let env = BenchEnv::build(cfg);
-    let all = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let all = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!(
         "Figure 5: end-to-end compute time, genome {} Mbp, reads = paper/{}",
         cfg.genome_mb, cfg.read_scale

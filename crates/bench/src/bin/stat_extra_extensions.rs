@@ -47,7 +47,15 @@ fn main() {
         let mut used = 0usize;
         for rec in &reads {
             let read = PreparedRead::from_fastq(rec);
-            collect_intv(env.index.opt(), &env.opts.smem, &read.codes, &mut intervals, &mut aux, false, &mut sink);
+            collect_intv(
+                env.index.opt(),
+                &env.opts.smem,
+                &read.codes,
+                &mut intervals,
+                &mut aux,
+                false,
+                &mut sink,
+            );
             let mut seeds = Vec::new();
             for iv in &intervals {
                 seeds_from_interval(
@@ -61,14 +69,35 @@ fn main() {
                 );
             }
             let fr = frac_rep(&intervals, env.opts.chain.max_occ, read.codes.len());
-            let chains =
-                filter_chains(&env.opts.chain, chain_seeds(&env.opts.chain, env.index.l_pac, &seeds, fr));
+            let chains = filter_chains(
+                &env.opts.chain,
+                chain_seeds(&env.opts.chain, env.index.l_pac, &seeds, fr),
+            );
             let mut av = Vec::new();
-            let mut src = CountingSource { inner: ScalarSource { opts: &env.opts }, used: 0 };
+            let mut src = CountingSource {
+                inner: ScalarSource { opts: &env.opts },
+                used: 0,
+            };
             for (cid, chain) in chains.iter().enumerate() {
                 all_seeds += chain.seeds.len();
-                let plan = plan_chain(&env.opts, env.index.l_pac, read.codes.len() as i32, chain, &env.reference.pac);
-                chain_to_regions(&env.opts, read.codes.len() as i32, &read.codes, chain, cid, &plan, &mut src, &mut av);
+                let plan = plan_chain(
+                    &env.opts,
+                    env.index.l_pac,
+                    read.codes.len() as i32,
+                    chain,
+                    &env.reference.contigs,
+                    &env.reference.pac,
+                );
+                chain_to_regions(
+                    &env.opts,
+                    read.codes.len() as i32,
+                    &read.codes,
+                    chain,
+                    cid,
+                    &plan,
+                    &mut src,
+                    &mut av,
+                );
             }
             used += src.used;
         }
@@ -76,7 +105,10 @@ fn main() {
             label.into(),
             all_seeds.to_string(),
             used.to_string(),
-            format!("{:+.1}%", 100.0 * (all_seeds as f64 - used as f64) / used.max(1) as f64),
+            format!(
+                "{:+.1}%",
+                100.0 * (all_seeds as f64 - used as f64) / used.max(1) as f64
+            ),
         ]);
     }
     println!("{}", table.render());

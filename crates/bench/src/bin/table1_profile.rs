@@ -8,12 +8,7 @@ use mem2_core::{Aligner, StageTimes, Workflow};
 
 fn profile(env: &BenchEnv, label: &str, workflow: Workflow) -> (StageTimes, f64) {
     let reads = env.reads(label);
-    let aligner = Aligner::with_index(
-        env.index.clone(),
-        env.reference.clone(),
-        env.opts,
-        workflow,
-    );
+    let aligner = Aligner::with_index(env.index.clone(), env.reference.clone(), env.opts, workflow);
     let mut times = StageTimes::default();
     let t = std::time::Instant::now();
     let _ = aligner.align_reads_timed(&reads, &mut times);

@@ -7,7 +7,12 @@ use mem2_bench::Table;
 fn main() {
     let s = SysInfo::probe();
     let mut t = Table::new(&["Property", "This host", "Paper SKX", "Paper HSW"]);
-    t.row(vec!["CPU model".into(), s.model, "Xeon Platinum 8180".into(), "Xeon E5-2699 v3".into()]);
+    t.row(vec![
+        "CPU model".into(),
+        s.model,
+        "Xeon Platinum 8180".into(),
+        "Xeon E5-2699 v3".into(),
+    ]);
     t.row(vec![
         "Logical CPUs".into(),
         s.logical_cpus.to_string(),

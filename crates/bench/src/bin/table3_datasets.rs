@@ -16,8 +16,8 @@ fn main() {
         "Our source",
     ]);
     for d in &PAPER_DATASETS {
-        let preset = DatasetPreset::new(d.label, cfg.genome_len(), cfg.read_scale)
-            .expect("preset exists");
+        let preset =
+            DatasetPreset::new(d.label, cfg.genome_len(), cfg.read_scale).expect("preset exists");
         t.row(vec![
             d.label.into(),
             d.read_len.to_string(),

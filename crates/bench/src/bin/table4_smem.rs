@@ -17,14 +17,30 @@ fn time_config<O: OccTable>(occ: &O, env: &BenchEnv, queries: &[Vec<u8>], prefet
     let mut sink = NoopSink;
     // warmup
     for q in queries.iter().take(16) {
-        collect_intv(occ, &env.opts.smem, q, &mut out, &mut aux, prefetch, &mut sink);
+        collect_intv(
+            occ,
+            &env.opts.smem,
+            q,
+            &mut out,
+            &mut aux,
+            prefetch,
+            &mut sink,
+        );
     }
     // best of three to tame container noise
     let mut best = f64::MAX;
     for _ in 0..3 {
         let t = Instant::now();
         for q in queries {
-            collect_intv(occ, &env.opts.smem, q, &mut out, &mut aux, prefetch, &mut sink);
+            collect_intv(
+                occ,
+                &env.opts.smem,
+                q,
+                &mut out,
+                &mut aux,
+                prefetch,
+                &mut sink,
+            );
         }
         best = best.min(t.elapsed().as_secs_f64());
     }
@@ -42,7 +58,15 @@ fn count_config<O: OccTable>(
     let mut out = Vec::new();
     let mut sink = CountingSink::new(cache);
     for q in queries {
-        collect_intv(occ, &env.opts.smem, q, &mut out, &mut aux, prefetch, &mut sink);
+        collect_intv(
+            occ,
+            &env.opts.smem,
+            q,
+            &mut out,
+            &mut aux,
+            prefetch,
+            &mut sink,
+        );
     }
     sink
 }
@@ -75,16 +99,30 @@ fn main() {
     let c_opt = count_config(opt, &env, &queries, true, cache);
 
     let reports = vec![
-        CounterReport { label: "Original".into(), counters: c_orig.counters, seconds: t_orig },
+        CounterReport {
+            label: "Original".into(),
+            counters: c_orig.counters,
+            seconds: t_orig,
+        },
         CounterReport {
             label: "Opt - s/w prefetch".into(),
             counters: c_nopf.counters,
             seconds: t_nopf,
         },
-        CounterReport { label: "Optimized".into(), counters: c_opt.counters, seconds: t_opt },
+        CounterReport {
+            label: "Optimized".into(),
+            counters: c_opt.counters,
+            seconds: t_opt,
+        },
     ];
-    println!("{}", CounterReport::render_table("", &reports, &LatencyModel::default()));
-    println!("speedup (Original/Optimized): {:.2}x   [paper: 2.0x]", t_orig / t_opt);
+    println!(
+        "{}",
+        CounterReport::render_table("", &reports, &LatencyModel::default())
+    );
+    println!(
+        "speedup (Original/Optimized): {:.2}x   [paper: 2.0x]",
+        t_orig / t_opt
+    );
     println!(
         "LLC-miss shape: orig {} < opt-no-prefetch {} ; prefetch cuts to {}  [paper: 23.9 / 29.7 / 9.5 M]",
         c_orig.counters.llc_misses(),

@@ -94,7 +94,11 @@ fn report(
         format!("{:.1}", c_orig.counters.avg_load_latency(&lat)),
         format!("{:.1}", c_opt.counters.avg_load_latency(&lat)),
     ]);
-    t.row(vec!["Time".into(), format!("{t_orig:.3}s"), format!("{t_opt:.3}s")]);
+    t.row(vec![
+        "Time".into(),
+        format!("{t_orig:.3}s"),
+        format!("{t_opt:.3}s"),
+    ]);
     println!("{}", t.render());
     println!("sampling interval q = {q} (bwa default 32; paper quotes 128)");
     println!(

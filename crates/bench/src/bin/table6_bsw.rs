@@ -40,13 +40,30 @@ fn main() {
     );
 
     let params = env.opts.score;
-    let mk = |kind, sort, force16| BswEngine { params, kind, sort_by_length: sort, force_16bit: force16 };
+    let mk = |kind, sort, force16| BswEngine {
+        params,
+        kind,
+        sort_by_length: sort,
+        force_16bit: force16,
+    };
     let configs: [(&str, BswEngine); 5] = [
         ("Original scalar", mk(EngineKind::Scalar, false, false)),
-        ("16-bit w/o sort", mk(EngineKind::Vector { width: 64 }, false, true)),
-        ("16-bit w/ sort", mk(EngineKind::Vector { width: 64 }, true, true)),
-        ("8-bit w/o sort", mk(EngineKind::Vector { width: 64 }, false, false)),
-        ("8-bit w/ sort", mk(EngineKind::Vector { width: 64 }, true, false)),
+        (
+            "16-bit w/o sort",
+            mk(EngineKind::Vector { width: 64 }, false, true),
+        ),
+        (
+            "16-bit w/ sort",
+            mk(EngineKind::Vector { width: 64 }, true, true),
+        ),
+        (
+            "8-bit w/o sort",
+            mk(EngineKind::Vector { width: 64 }, false, false),
+        ),
+        (
+            "8-bit w/ sort",
+            mk(EngineKind::Vector { width: 64 }, true, false),
+        ),
     ];
 
     let reference_results = configs[0].1.extend_all(&jobs);

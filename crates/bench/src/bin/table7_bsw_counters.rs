@@ -48,13 +48,21 @@ fn main() {
                 && j.h0 + j.query.len() as i32 <= mem2_bsw::simd8::MAX_SCORE_8
         })
         .collect();
-    println!("Table 7: BSW counters over {} 8-bit-eligible pairs", jobs.len());
+    println!(
+        "Table 7: BSW counters over {} 8-bit-eligible pairs",
+        jobs.len()
+    );
 
     // scalar: time + stats
     let mut buf = Vec::new();
     let t = Instant::now();
     for j in &jobs {
-        std::hint::black_box(extend_scalar_profiled(&env.opts.score, j, &mut buf, &mut mem2_bsw::NoPhase));
+        std::hint::black_box(extend_scalar_profiled(
+            &env.opts.score,
+            j,
+            &mut buf,
+            &mut mem2_bsw::NoPhase,
+        ));
     }
     let scalar_secs = t.elapsed().as_secs_f64();
     let mut scalar_stats = CellStats::default();

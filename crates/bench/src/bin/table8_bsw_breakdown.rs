@@ -17,7 +17,10 @@ fn main() {
                 && j.h0 + j.query.len() as i32 <= mem2_bsw::simd8::MAX_SCORE_8
         })
         .collect();
-    println!("Table 8: 8-bit BSW phase breakdown over {} pairs", jobs.len());
+    println!(
+        "Table 8: 8-bit BSW phase breakdown over {} pairs",
+        jobs.len()
+    );
 
     let engine = BswEngine::optimized(env.opts.score);
     let mut bd = PhaseBreakdown::default();
@@ -25,7 +28,11 @@ fn main() {
     let pct = bd.percentages();
 
     let mut t = Table::new(&["Component", "Time (%)", "Paper (%)"]);
-    t.row(vec!["Pre-processing".into(), format!("{:.0}", pct[Phase::Preproc as usize]), "33".into()]);
+    t.row(vec![
+        "Pre-processing".into(),
+        format!("{:.0}", pct[Phase::Preproc as usize]),
+        "33".into(),
+    ]);
     t.row(vec![
         "Band adjustment I".into(),
         format!("{:.0}", pct[Phase::BandAdjustI as usize]),

@@ -24,7 +24,10 @@ impl EnvConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(200);
-        EnvConfig { genome_mb, read_scale }
+        EnvConfig {
+            genome_mb,
+            read_scale,
+        }
     }
 
     /// Genome length in bases.
@@ -48,10 +51,19 @@ pub struct BenchEnv {
 impl BenchEnv {
     /// Build the environment for the given dataset label's genome seed.
     pub fn build(cfg: EnvConfig) -> BenchEnv {
-        let genome = GenomeSpec { len: cfg.genome_len(), seed: 0xD5EA_0001, ..GenomeSpec::default() };
+        let genome = GenomeSpec {
+            len: cfg.genome_len(),
+            seed: 0xD5EA_0001,
+            ..GenomeSpec::default()
+        };
         let reference = genome.generate_reference("chrB");
         let index = FmIndex::build(&reference, &BuildOpts::default());
-        BenchEnv { cfg, reference, index, opts: MemOpts::default() }
+        BenchEnv {
+            cfg,
+            reference,
+            index,
+            opts: MemOpts::default(),
+        }
     }
 
     /// Reads for a paper dataset (D1..D5), scaled by `read_scale`.
@@ -85,7 +97,10 @@ mod tests {
 
     #[test]
     fn env_builds_and_produces_reads() {
-        let cfg = EnvConfig { genome_mb: 0.2, read_scale: 5000 };
+        let cfg = EnvConfig {
+            genome_mb: 0.2,
+            read_scale: 5000,
+        };
         let env = BenchEnv::build(cfg);
         assert_eq!(env.reference.len(), 200_000);
         let reads = env.reads("D1");

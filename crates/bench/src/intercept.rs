@@ -20,19 +20,27 @@ pub fn intercept_smem_queries(reads: &[FastqRecord]) -> Vec<Vec<u8>> {
 
 /// SAL kernel inputs: the suffix-array rows the seeding stage would look
 /// up (one row per materialized seed occurrence).
-pub fn intercept_sal_rows(
-    index: &FmIndex,
-    opts: &MemOpts,
-    queries: &[Vec<u8>],
-) -> Vec<i64> {
+pub fn intercept_sal_rows(index: &FmIndex, opts: &MemOpts, queries: &[Vec<u8>]) -> Vec<i64> {
     let mut sink = NoopSink;
     let mut aux = SmemAux::default();
     let mut intervals = Vec::new();
     let mut rows = Vec::new();
     for q in queries {
-        collect_intv(index.opt(), &opts.smem, q, &mut intervals, &mut aux, false, &mut sink);
+        collect_intv(
+            index.opt(),
+            &opts.smem,
+            q,
+            &mut intervals,
+            &mut aux,
+            false,
+            &mut sink,
+        );
         for iv in &intervals {
-            let step = if iv.s > opts.chain.max_occ { iv.s / opts.chain.max_occ } else { 1 };
+            let step = if iv.s > opts.chain.max_occ {
+                iv.s / opts.chain.max_occ
+            } else {
+                1
+            };
             let mut count = 0i64;
             let mut k = 0i64;
             while k < iv.s && count < opts.chain.max_occ {
@@ -59,7 +67,15 @@ pub fn intercept_bsw_jobs(
     let mut jobs = Vec::new();
     for rec in reads {
         let read = PreparedRead::from_fastq(rec);
-        collect_intv(index.opt(), &opts.smem, &read.codes, &mut intervals, &mut aux, false, &mut sink);
+        collect_intv(
+            index.opt(),
+            &opts.smem,
+            &read.codes,
+            &mut intervals,
+            &mut aux,
+            false,
+            &mut sink,
+        );
         let mut seeds = Vec::new();
         for iv in &intervals {
             seeds_from_interval(
@@ -73,9 +89,19 @@ pub fn intercept_bsw_jobs(
             );
         }
         let fr = frac_rep(&intervals, opts.chain.max_occ, read.codes.len());
-        let chains = filter_chains(&opts.chain, chain_seeds(&opts.chain, index.l_pac, &seeds, fr));
+        let chains = filter_chains(
+            &opts.chain,
+            chain_seeds(&opts.chain, index.l_pac, &seeds, fr),
+        );
         for chain in &chains {
-            let plan = plan_chain(opts, index.l_pac, read.codes.len() as i32, chain, &reference.pac);
+            let plan = plan_chain(
+                opts,
+                index.l_pac,
+                read.codes.len() as i32,
+                chain,
+                &reference.contigs,
+                &reference.pac,
+            );
             for &si in &plan.order {
                 let seed = &chain.seeds[si as usize];
                 if let Some(job) = left_job(opts, &read.codes, seed, &plan) {
@@ -100,12 +126,19 @@ mod tests {
 
     #[test]
     fn interception_produces_nonempty_kernel_inputs() {
-        let env = BenchEnv::build(EnvConfig { genome_mb: 0.3, read_scale: 1 });
+        let env = BenchEnv::build(EnvConfig {
+            genome_mb: 0.3,
+            read_scale: 1,
+        });
         let reads = env.reads_n("D1", 30);
         let queries = intercept_smem_queries(&reads);
         assert_eq!(queries.len(), 30);
         let rows = intercept_sal_rows(&env.index, &env.opts, &queries);
-        assert!(rows.len() > 30, "expected many SAL rows, got {}", rows.len());
+        assert!(
+            rows.len() > 30,
+            "expected many SAL rows, got {}",
+            rows.len()
+        );
         assert!(rows.iter().all(|&r| r >= 0 && r < 2 * env.index.l_pac + 1));
         let jobs = intercept_bsw_jobs(&env.index, &env.reference, &env.opts, &reads);
         assert!(!jobs.is_empty());

@@ -15,7 +15,9 @@ pub struct SysInfo {
 impl SysInfo {
     /// Probe the host.
     pub fn probe() -> SysInfo {
-        let logical_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let logical_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
         let model = cpuinfo
             .lines()
@@ -42,7 +44,12 @@ impl SysInfo {
             .and_then(|v| v.parse::<f64>().ok())
             .map(|kb| kb / 1024.0 / 1024.0)
             .unwrap_or(0.0);
-        SysInfo { logical_cpus, model, simd: simd.join(","), mem_gib }
+        SysInfo {
+            logical_cpus,
+            model,
+            simd: simd.join(","),
+            mem_gib,
+        }
     }
 }
 

@@ -151,7 +151,12 @@ impl BswEngine {
 
     /// The original scalar configuration.
     pub fn original(params: ScoreParams) -> Self {
-        BswEngine { params, kind: EngineKind::Scalar, sort_by_length: false, force_16bit: false }
+        BswEngine {
+            params,
+            kind: EngineKind::Scalar,
+            sort_by_length: false,
+            force_16bit: false,
+        }
     }
 
     /// Extend every job; results are in job order and bit-identical to
@@ -249,7 +254,10 @@ impl BswEngine {
         ph.begin(Phase::Preproc);
         let ordered: Vec<u32> = if self.sort_by_length {
             let sub: Vec<ExtendJob> = group.iter().map(|&k| jobs[k as usize].clone()).collect();
-            sort_jobs_by_length(&sub).into_iter().map(|r| group[r as usize]).collect()
+            sort_jobs_by_length(&sub)
+                .into_iter()
+                .map(|r| group[r as usize])
+                .collect()
         } else {
             group.to_vec()
         };
@@ -305,10 +313,20 @@ mod tests {
                 let query: Vec<u8> = (0..qlen).map(|_| rng.random_range(0..4u8)).collect();
                 let mut target: Vec<u8> = query
                     .iter()
-                    .map(|&c| if rng.random_bool(0.1) { rng.random_range(0..4u8) } else { c })
+                    .map(|&c| {
+                        if rng.random_bool(0.1) {
+                            rng.random_range(0..4u8)
+                        } else {
+                            c
+                        }
+                    })
                     .collect();
                 target.resize(tlen, 2);
-                let h0 = if big { rng.random_range(200..500) } else { rng.random_range(1..60) };
+                let h0 = if big {
+                    rng.random_range(200..500)
+                } else {
+                    rng.random_range(1..60)
+                };
                 ExtendJob::new(query, target, h0, rng.random_range(1..101))
             })
             .collect()
@@ -318,8 +336,7 @@ mod tests {
     fn all_configurations_match_scalar() {
         let params = ScoreParams::default();
         let jobs = mixed_jobs(300, 99);
-        let scalar: Vec<ExtendResult> =
-            jobs.iter().map(|j| extend_scalar(&params, j)).collect();
+        let scalar: Vec<ExtendResult> = jobs.iter().map(|j| extend_scalar(&params, j)).collect();
         for width in [16usize, 32, 64] {
             for sort in [false, true] {
                 for force16 in [false, true] {
@@ -351,7 +368,10 @@ mod tests {
         assert_eq!(got, eng.extend_all(&jobs));
         let pct = bd.percentages();
         let sum: f64 = pct.iter().sum();
-        assert!((sum - 100.0).abs() < 1e-6, "percentages sum to 100, got {sum}");
+        assert!(
+            (sum - 100.0).abs() < 1e-6,
+            "percentages sum to 100, got {sum}"
+        );
         assert!(pct[Phase::Cells as usize] > 0.0);
     }
 

@@ -46,11 +46,23 @@ const NEG_INF: i32 = i32::MIN / 4;
 /// Global alignment of `query` against `target` within band `w` using
 /// affine gaps; returns `(score, cigar)`. The band is widened to at least
 /// the length difference so the bottom-right corner stays reachable.
-pub fn global_align(params: &ScoreParams, query: &[u8], target: &[u8], w: i32) -> (i32, Vec<CigarOp>) {
+pub fn global_align(
+    params: &ScoreParams,
+    query: &[u8],
+    target: &[u8],
+    w: i32,
+) -> (i32, Vec<CigarOp>) {
     let n = query.len();
     let m = target.len();
     if n == 0 {
-        return (del_score(params, m), if m > 0 { vec![CigarOp::Del(m as u32)] } else { vec![] });
+        return (
+            del_score(params, m),
+            if m > 0 {
+                vec![CigarOp::Del(m as u32)]
+            } else {
+                vec![]
+            },
+        );
     }
     if m == 0 {
         return (ins_score(params, n), vec![CigarOp::Ins(n as u32)]);
@@ -98,11 +110,19 @@ pub fn global_align(params: &ScoreParams, query: &[u8], target: &[u8], w: i32) -
             let h_up = h[j];
             let e_open = h_up - (params.o_del + params.e_del);
             let e_ext = e[j] - params.e_del;
-            let (e_new, e_from_e) = if e_ext > e_open { (e_ext, true) } else { (e_open, false) };
+            let (e_new, e_from_e) = if e_ext > e_open {
+                (e_ext, true)
+            } else {
+                (e_open, false)
+            };
             // F(i, j): gap in target (insertion), from the left
             let f_open = h_left - (params.o_ins + params.e_ins);
             let f_ext = f - params.e_ins;
-            let (f_new, f_from_f) = if f_ext > f_open { (f_ext, true) } else { (f_open, false) };
+            let (f_new, f_from_f) = if f_ext > f_open {
+                (f_ext, true)
+            } else {
+                (f_open, false)
+            };
             // H(i, j)
             let diag = h_prev_diag + params.score(tbase, query[j - 1]);
             let mut best = diag;
@@ -115,8 +135,7 @@ pub fn global_align(params: &ScoreParams, query: &[u8], target: &[u8], w: i32) -
                 best = f_new;
                 from = 2;
             }
-            dir[row + j] =
-                from | if e_from_e { 4 } else { 0 } | if f_from_f { 8 } else { 0 };
+            dir[row + j] = from | if e_from_e { 4 } else { 0 } | if f_from_f { 8 } else { 0 };
             h_prev_diag = h_up;
             h[j] = best;
             e[j] = e_new;
@@ -253,8 +272,13 @@ mod tests {
         let (ql, tl) = lens(&cig);
         assert_eq!(ql, 4);
         assert_eq!(tl, 6);
-        assert!(cig.iter().any(|op| matches!(op, CigarOp::Del(2))), "{cig:?}");
-        assert_eq!(score, 4 - (6 + 2 * 1)); // 4 matches - gap open+2 ext
+        assert!(
+            cig.iter().any(|op| matches!(op, CigarOp::Del(2))),
+            "{cig:?}"
+        );
+        #[allow(clippy::identity_op)] // spelled as gap_open + n_ext * e_del
+        let expected = 4 - (6 + 2 * 1); // 4 matches - gap open+2 ext
+        assert_eq!(score, expected);
     }
 
     #[test]
@@ -265,8 +289,13 @@ mod tests {
         let (ql, tl) = lens(&cig);
         assert_eq!(ql, 6);
         assert_eq!(tl, 4);
-        assert!(cig.iter().any(|op| matches!(op, CigarOp::Ins(2))), "{cig:?}");
-        assert_eq!(score, 4 - (6 + 2 * 1));
+        assert!(
+            cig.iter().any(|op| matches!(op, CigarOp::Ins(2))),
+            "{cig:?}"
+        );
+        #[allow(clippy::identity_op)]
+        let expected = 4 - (6 + 2 * 1);
+        assert_eq!(score, expected);
     }
 
     #[test]
@@ -318,10 +347,10 @@ mod tests {
             }
             for i in 1..=m {
                 for j in 1..=n {
-                    e[i][j] = (e[i - 1][j] - params.e_del)
-                        .max(h[i - 1][j] - params.o_del - params.e_del);
-                    f[i][j] = (f[i][j - 1] - params.e_ins)
-                        .max(h[i][j - 1] - params.o_ins - params.e_ins);
+                    e[i][j] =
+                        (e[i - 1][j] - params.e_del).max(h[i - 1][j] - params.o_del - params.e_del);
+                    f[i][j] =
+                        (f[i][j - 1] - params.e_ins).max(h[i][j - 1] - params.o_ins - params.e_ins);
                     let diag = h[i - 1][j - 1] + params.score(t[i - 1], q[j - 1]);
                     h[i][j] = diag.max(e[i][j]).max(f[i][j]);
                 }

@@ -111,7 +111,7 @@ pub fn extend_scalar_profiled<PH: PhaseSink>(
             let mut m_val = ph;
             let mut e = pe;
             eh[j as usize].0 = h1; // H(i, j-1) for the next row
-            // separating H and M disallows CIGARs like 100M3I3D20M
+                                   // separating H and M disallows CIGARs like 100M3I3D20M
             m_val = if m_val != 0 {
                 m_val + params.score(tbase, job.query[j as usize])
             } else {
@@ -167,7 +167,11 @@ pub fn extend_scalar_profiled<PH: PhaseSink>(
         while j >= beg && eh[j as usize].0 == 0 && eh[j as usize].1 == 0 {
             j -= 1;
         }
-        end = if j + 2 < qlen as i32 { j + 2 } else { qlen as i32 };
+        end = if j + 2 < qlen as i32 {
+            j + 2
+        } else {
+            qlen as i32
+        };
         i += 1;
     }
 

@@ -67,7 +67,11 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
     let oe_del = params.o_del + params.e_del;
     for lane in 0..n {
         h_buf[0].0[lane] = h0[lane] as i16;
-        h_buf[1].0[lane] = if h0[lane] > oe_ins { (h0[lane] - oe_ins) as i16 } else { 0 };
+        h_buf[1].0[lane] = if h0[lane] > oe_ins {
+            (h0[lane] - oe_ins) as i16
+        } else {
+            0
+        };
         let mut j = 2;
         while j <= qlen[lane] as usize && h_buf[j - 1].0[lane] as i32 > params.e_ins {
             h_buf[j].0[lane] = h_buf[j - 1].0[lane] - params.e_ins as i16;
@@ -150,7 +154,10 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
         let t_ambig = t_v.cmpgt(splat_three);
 
         let n_live = active.iter().filter(|&&a| a).count() as u64;
-        ph.on_row(n_live, n_live * (union_end - union_beg.min(union_end)).max(0) as u64);
+        ph.on_row(
+            n_live,
+            n_live * (union_end - union_beg.min(union_end)).max(0) as u64,
+        );
         for j in union_beg.max(0)..=union_end {
             let j_v = VecI16::<W>::splat(j as i16);
             let in_cell = j_v.cmpge(beg_v).and(end_v.cmpgt(j_v)).and(act_v);
@@ -222,7 +229,9 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
                         dead[lane] = true;
                         continue;
                     }
-                } else if max[lane] - row_max - ((mj - max_j[lane]) - (i - max_i[lane])) * params.e_ins
+                } else if max[lane]
+                    - row_max
+                    - ((mj - max_j[lane]) - (i - max_i[lane])) * params.e_ins
                     > params.zdrop
                 {
                     dead[lane] = true;
@@ -230,21 +239,21 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
                 }
             }
             let mut j = beg[lane];
-            while j < end[lane]
-                && h_buf[j as usize].0[lane] == 0
-                && e_buf[j as usize].0[lane] == 0
+            while j < end[lane] && h_buf[j as usize].0[lane] == 0 && e_buf[j as usize].0[lane] == 0
             {
                 j += 1;
             }
             beg[lane] = j;
             let mut j = end[lane];
-            while j >= beg[lane]
-                && h_buf[j as usize].0[lane] == 0
-                && e_buf[j as usize].0[lane] == 0
+            while j >= beg[lane] && h_buf[j as usize].0[lane] == 0 && e_buf[j as usize].0[lane] == 0
             {
                 j -= 1;
             }
-            end[lane] = if j + 2 < qlen[lane] { j + 2 } else { qlen[lane] };
+            end[lane] = if j + 2 < qlen[lane] {
+                j + 2
+            } else {
+                qlen[lane]
+            };
         }
         ph.end(Phase::BandAdjustII);
     }
@@ -284,7 +293,13 @@ mod tests {
         let query: Vec<u8> = (0..qlen).map(|_| rng.random_range(0..4u8)).collect();
         let mut target: Vec<u8> = query
             .iter()
-            .map(|&c| if rng.random_bool(mutrate) { rng.random_range(0..5u8) } else { c })
+            .map(|&c| {
+                if rng.random_bool(mutrate) {
+                    rng.random_range(0..5u8)
+                } else {
+                    c
+                }
+            })
             .collect();
         target.resize(tlen, 1);
         let h0 = rng.random_range(1..max_h0);

@@ -90,7 +90,11 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
         // first row: gap chain away from the seed (scalar preamble)
         h_buf[0].0[lane] = h0[lane] as u8;
         if qlen[lane] >= 1 {
-            h_buf[1].0[lane] = if h0[lane] > oe_ins { (h0[lane] - oe_ins) as u8 } else { 0 };
+            h_buf[1].0[lane] = if h0[lane] > oe_ins {
+                (h0[lane] - oe_ins) as u8
+            } else {
+                0
+            };
         }
         let mut j = 2;
         while j <= qlen[lane] as usize && h_buf[j - 1].0[lane] as i32 > params.e_ins {
@@ -176,7 +180,10 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
         let t_ambig = t_v.cmpgt(splat_three);
 
         let n_live = active.iter().filter(|&&a| a).count() as u64;
-        ph.on_row(n_live, n_live * (union_end - union_beg.min(union_end)).max(0) as u64);
+        ph.on_row(
+            n_live,
+            n_live * (union_end - union_beg.min(union_end)).max(0) as u64,
+        );
         for j in union_beg.max(0)..=union_end {
             let j_v = VecU8::<W>::splat(j as u8);
             let in_cell = j_v.cmpge(beg_v).and(end_v.cmpgt(j_v)).and(act_v);
@@ -252,7 +259,9 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
                         dead[lane] = true;
                         continue;
                     }
-                } else if max[lane] - row_max - ((mj - max_j[lane]) - (i - max_i[lane])) * params.e_ins
+                } else if max[lane]
+                    - row_max
+                    - ((mj - max_j[lane]) - (i - max_i[lane])) * params.e_ins
                     > params.zdrop
                 {
                     dead[lane] = true;
@@ -261,21 +270,21 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
             }
             // shrink the band: drop all-zero cells at both ends
             let mut j = beg[lane];
-            while j < end[lane]
-                && h_buf[j as usize].0[lane] == 0
-                && e_buf[j as usize].0[lane] == 0
+            while j < end[lane] && h_buf[j as usize].0[lane] == 0 && e_buf[j as usize].0[lane] == 0
             {
                 j += 1;
             }
             beg[lane] = j;
             let mut j = end[lane];
-            while j >= beg[lane]
-                && h_buf[j as usize].0[lane] == 0
-                && e_buf[j as usize].0[lane] == 0
+            while j >= beg[lane] && h_buf[j as usize].0[lane] == 0 && e_buf[j as usize].0[lane] == 0
             {
                 j -= 1;
             }
-            end[lane] = if j + 2 < qlen[lane] { j + 2 } else { qlen[lane] };
+            end[lane] = if j + 2 < qlen[lane] {
+                j + 2
+            } else {
+                qlen[lane]
+            };
         }
         ph.end(Phase::BandAdjustII);
     }
@@ -380,8 +389,10 @@ mod tests {
 
     #[test]
     fn zdrop_and_tiny_bands_lanewise() {
-        let mut params = ScoreParams::default();
-        params.zdrop = 5;
+        let params = ScoreParams {
+            zdrop: 5,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(45);
         let jobs: Vec<ExtendJob> = (0..64)
             .map(|_| {

@@ -53,7 +53,7 @@ mod tests {
         let maxq = pack_queries::<4>(&jobs, &mut buf);
         assert_eq!(maxq, 3);
         assert_eq!(buf.len(), 16); // 3 columns + 1 padding column
-        // column 0: lane0=0, lane1=3, rest pad
+                                   // column 0: lane0=0, lane1=3, rest pad
         assert_eq!(&buf[0..4], &[0, 3, PAD_BASE, PAD_BASE]);
         // column 1: lane0=1, lane1 pad
         assert_eq!(&buf[4..8], &[1, PAD_BASE, PAD_BASE, PAD_BASE]);

@@ -57,7 +57,17 @@ impl ScoreParams {
             mat[k] = -1;
             k += 1;
         }
-        ScoreParams { a, b, o_del, e_del, o_ins, e_ins, zdrop, end_bonus, mat }
+        ScoreParams {
+            a,
+            b,
+            o_del,
+            e_del,
+            o_ins,
+            e_ins,
+            zdrop,
+            end_bonus,
+            mat,
+        }
     }
 
     /// Score of aligning base codes `x` against `y`.
@@ -91,7 +101,12 @@ pub struct ExtendJob {
 impl ExtendJob {
     /// Convenience constructor.
     pub fn new(query: Vec<u8>, target: Vec<u8>, h0: i32, w: i32) -> Self {
-        ExtendJob { query, target, h0, w }
+        ExtendJob {
+            query,
+            target,
+            h0,
+            w,
+        }
     }
 }
 

@@ -19,7 +19,16 @@ fn arb_job() -> impl Strategy<Value = ExtendJob> {
 }
 
 fn arb_params() -> impl Strategy<Value = ScoreParams> {
-    (1i32..3, 2i32..6, 4i32..8, 1i32..3, 4i32..8, 1i32..3, 20i32..120, 0i32..10)
+    (
+        1i32..3,
+        2i32..6,
+        4i32..8,
+        1i32..3,
+        4i32..8,
+        1i32..3,
+        20i32..120,
+        0i32..10,
+    )
         .prop_map(|(a, b, od, ed, oi, ei, z, eb)| ScoreParams::new(a, b, od, ed, oi, ei, z, eb))
 }
 

@@ -118,7 +118,12 @@ fn test_and_merge(opt: &ChainOpts, l_pac: i64, c: &mut Chain, p: &Seed, seed_rid
 
 /// Chain `(seed, rid)` pairs (in SMEM/SAL emission order) into collinear
 /// chains. Returns chains sorted by reference position.
-pub fn chain_seeds(opt: &ChainOpts, l_pac: i64, seeds: &[(Seed, usize)], frac_rep: f32) -> Vec<Chain> {
+pub fn chain_seeds(
+    opt: &ChainOpts,
+    l_pac: i64,
+    seeds: &[(Seed, usize)],
+    frac_rep: f32,
+) -> Vec<Chain> {
     // B-tree keyed by (first-seed rbeg, uniquifier): bwa's kbtree allows
     // duplicate keys, a counter reproduces that
     let mut tree: BTreeMap<(i64, u32), Chain> = BTreeMap::new();
@@ -153,7 +158,15 @@ mod tests {
     use super::*;
 
     fn seed(rbeg: i64, qbeg: i32, len: i32) -> (Seed, usize) {
-        (Seed { rbeg, qbeg, len, score: len }, 0)
+        (
+            Seed {
+                rbeg,
+                qbeg,
+                len,
+                score: len,
+            },
+            0,
+        )
     }
 
     fn opts() -> ChainOpts {
@@ -198,8 +211,24 @@ mod tests {
 
     #[test]
     fn different_contigs_never_chain() {
-        let a = (Seed { rbeg: 100, qbeg: 0, len: 20, score: 20 }, 0usize);
-        let b = (Seed { rbeg: 130, qbeg: 30, len: 20, score: 20 }, 1usize);
+        let a = (
+            Seed {
+                rbeg: 100,
+                qbeg: 0,
+                len: 20,
+                score: 20,
+            },
+            0usize,
+        );
+        let b = (
+            Seed {
+                rbeg: 130,
+                qbeg: 30,
+                len: 20,
+                score: 20,
+            },
+            1usize,
+        );
         let chains = chain_seeds(&opts(), 10_000, &[a, b], 0.0);
         assert_eq!(chains.len(), 2);
     }

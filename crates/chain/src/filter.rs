@@ -89,7 +89,11 @@ pub fn filter_chains(opt: &ChainOpts, mut chains: Vec<Chain>) -> Vec<Chain> {
             }
         }
         if !dropped {
-            chains[i].kept = if large_ovlp { KEPT_WITH_OVERLAP } else { KEPT_PRIMARY };
+            chains[i].kept = if large_ovlp {
+                KEPT_WITH_OVERLAP
+            } else {
+                KEPT_PRIMARY
+            };
             kept_idx.push(i);
         }
     }
@@ -127,7 +131,12 @@ mod tests {
             pos: seeds[0].0,
             seeds: seeds
                 .iter()
-                .map(|&(rbeg, qbeg, len)| Seed { rbeg, qbeg, len, score: len })
+                .map(|&(rbeg, qbeg, len)| Seed {
+                    rbeg,
+                    qbeg,
+                    len,
+                    score: len,
+                })
                 .collect(),
             rid: 0,
             w: 0,
@@ -142,7 +151,7 @@ mod tests {
         // two seeds overlapping by 5 on the query, disjoint on ref
         let c = chain(&[(100, 0, 20), (200, 15, 20)]);
         assert_eq!(chain_weight(&c), 35); // query coverage 35, ref 40
-        // single seed
+                                          // single seed
         assert_eq!(chain_weight(&chain(&[(0, 0, 19)])), 19);
     }
 
@@ -195,7 +204,10 @@ mod tests {
 
     #[test]
     fn min_chain_weight_prunes_early() {
-        let opts = ChainOpts { min_chain_weight: 30, ..ChainOpts::default() };
+        let opts = ChainOpts {
+            min_chain_weight: 30,
+            ..ChainOpts::default()
+        };
         let out = filter_chains(&opts, vec![chain(&[(0, 0, 20)]), chain(&[(100, 50, 40)])]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].w, 40);
@@ -208,7 +220,10 @@ mod tests {
 
     #[test]
     fn max_chain_extend_caps_secondaries() {
-        let opts = ChainOpts { max_chain_extend: 0, ..ChainOpts::default() };
+        let opts = ChainOpts {
+            max_chain_extend: 0,
+            ..ChainOpts::default()
+        };
         let big = chain(&[(100, 0, 100)]);
         let mid = chain(&[(9000, 0, 70)]);
         let out = filter_chains(&opts, vec![big, mid]);

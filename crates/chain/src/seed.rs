@@ -97,7 +97,12 @@ pub fn seeds_from_interval<P: PerfSink>(
                 .expect("sampled SA not built")
                 .lookup(index.opt(), row, sink),
         };
-        let seed = Seed { rbeg, qbeg: iv.start() as i32, len: slen, score: slen };
+        let seed = Seed {
+            rbeg,
+            qbeg: iv.start() as i32,
+            len: slen,
+            score: slen,
+        };
         if let Some(rid) = interval_rid(contigs, index.l_pac, rbeg, rbeg + slen as i64) {
             out.push((seed, rid));
         }
@@ -152,7 +157,7 @@ mod tests {
         assert_eq!(interval_rid(&cs, l, 12, 18), Some(1));
         assert_eq!(interval_rid(&cs, l, 8, 12), None); // crosses contigs
         assert_eq!(interval_rid(&cs, l, 18, 22), None); // bridges strands
-        // reverse strand: doubled [22, 28) folds to forward [12, 18) -> contig b
+                                                        // reverse strand: doubled [22, 28) folds to forward [12, 18) -> contig b
         assert_eq!(interval_rid(&cs, l, 22, 28), Some(1));
         // reverse hit folding onto contig a
         assert_eq!(interval_rid(&cs, l, 31, 39), Some(0));

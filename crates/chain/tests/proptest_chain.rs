@@ -6,7 +6,15 @@ use mem2_chain::{chain_seeds, filter_chains, ChainOpts, Seed};
 
 fn arb_seed() -> impl Strategy<Value = (Seed, usize)> {
     (0i64..20_000, 0i32..130, 19i32..40, 0usize..2).prop_map(|(rbeg, qbeg, len, rid)| {
-        (Seed { rbeg, qbeg, len, score: len }, rid)
+        (
+            Seed {
+                rbeg,
+                qbeg,
+                len,
+                score: len,
+            },
+            rid,
+        )
     })
 }
 

@@ -4,7 +4,9 @@ use mem2_fmindex::{BuildOpts, FmIndex};
 use mem2_seqio::{FastqRecord, Reference};
 
 use crate::opts::MemOpts;
-use crate::pipeline::{align_batch, align_read_classic, read_to_sam, PipelineContext, PreparedRead, Worker};
+use crate::pipeline::{
+    align_batch, align_read_classic, read_to_sam, PipelineContext, PreparedRead, Worker,
+};
 use crate::profile::StageTimes;
 use crate::sam::SamRecord;
 
@@ -47,19 +49,38 @@ impl Aligner {
     /// workflow needs.
     pub fn build(reference: Reference, opts: MemOpts, workflow: Workflow) -> Aligner {
         let index = FmIndex::build(&reference, &workflow.build_opts());
-        Aligner { opts, index, reference, workflow }
+        Aligner {
+            opts,
+            index,
+            reference,
+            workflow,
+        }
     }
 
     /// Wrap an existing index (it must contain the components the
     /// workflow requires — e.g. a [`BuildOpts::default`] index serves
     /// both workflows).
-    pub fn with_index(index: FmIndex, reference: Reference, opts: MemOpts, workflow: Workflow) -> Aligner {
-        Aligner { opts, index, reference, workflow }
+    pub fn with_index(
+        index: FmIndex,
+        reference: Reference,
+        opts: MemOpts,
+        workflow: Workflow,
+    ) -> Aligner {
+        Aligner {
+            opts,
+            index,
+            reference,
+            workflow,
+        }
     }
 
     /// Pipeline context view.
     pub fn context(&self) -> PipelineContext<'_> {
-        PipelineContext { opts: &self.opts, index: &self.index, reference: &self.reference }
+        PipelineContext {
+            opts: &self.opts,
+            index: &self.index,
+            reference: &self.reference,
+        }
     }
 
     /// SAM header for the reference.
@@ -74,7 +95,11 @@ impl Aligner {
 
     /// Align reads on the current thread; returns SAM records in input
     /// order and accumulates stage times into `times`.
-    pub fn align_reads_timed(&self, reads: &[FastqRecord], times: &mut StageTimes) -> Vec<SamRecord> {
+    pub fn align_reads_timed(
+        &self,
+        reads: &[FastqRecord],
+        times: &mut StageTimes,
+    ) -> Vec<SamRecord> {
         let ctx = self.context();
         let mut worker = Worker::new(&self.opts);
         let prepared: Vec<PreparedRead> = reads.iter().map(PreparedRead::from_fastq).collect();

@@ -134,7 +134,10 @@ pub fn load_bundle(mut buf: &[u8]) -> Result<(Reference, Vec<u32>), BundleError>
     for _ in 0..sa_len {
         sa.push(buf.get_u32_le());
     }
-    let reference = Reference { pac, contigs: ContigSet { contigs, holes } };
+    let reference = Reference {
+        pac,
+        contigs: ContigSet { contigs, holes },
+    };
     Ok((reference, sa))
 }
 
@@ -152,7 +155,10 @@ mod tests {
 
     #[test]
     fn bundle_roundtrips_and_rebuilds_identically() {
-        let genome = GenomeSpec { len: 5_000, ..GenomeSpec::default() };
+        let genome = GenomeSpec {
+            len: 5_000,
+            ..GenomeSpec::default()
+        };
         let reference = genome.generate_reference("chrZ");
         let direct = FmIndex::build(&reference, &BuildOpts::default());
 
@@ -181,10 +187,16 @@ mod tests {
 
     #[test]
     fn corrupted_bundles_are_rejected() {
-        let genome = GenomeSpec { len: 300, ..GenomeSpec::default() };
+        let genome = GenomeSpec {
+            len: 300,
+            ..GenomeSpec::default()
+        };
         let reference = genome.generate_reference("c");
         let bytes = build_bundle(&reference);
-        assert!(matches!(load_bundle(&bytes[..4]), Err(BundleError::BadMagic)));
+        assert!(matches!(
+            load_bundle(&bytes[..4]),
+            Err(BundleError::BadMagic)
+        ));
         let mut bad = bytes.clone();
         bad[0] = b'X';
         assert!(matches!(load_bundle(&bad), Err(BundleError::BadMagic)));

@@ -14,7 +14,7 @@
 
 use mem2_bsw::{extend_scalar, ExtendJob, ExtendResult, ScoreParams};
 use mem2_chain::{Chain, Seed};
-use mem2_seqio::PackedSeq;
+use mem2_seqio::{ContigSet, PackedSeq};
 
 use crate::opts::MemOpts;
 use crate::region::AlnReg;
@@ -38,7 +38,14 @@ pub struct ChainPlan {
 
 /// Compute the reference window and seed order for a chain
 /// (the head of `mem_chain2aln`).
-pub fn plan_chain(opts: &MemOpts, l_pac: i64, l_query: i32, chain: &Chain, pac: &PackedSeq) -> ChainPlan {
+pub fn plan_chain(
+    opts: &MemOpts,
+    l_pac: i64,
+    l_query: i32,
+    chain: &Chain,
+    contigs: &ContigSet,
+    pac: &PackedSeq,
+) -> ChainPlan {
     debug_assert!(!chain.seeds.is_empty());
     let mut rmax0 = 2 * l_pac;
     let mut rmax1 = 0i64;
@@ -60,10 +67,23 @@ pub fn plan_chain(opts: &MemOpts, l_pac: i64, l_query: i32, chain: &Chain, pac: 
             rmax0 = l_pac;
         }
     }
+    // clip to the chain's contig (bwa's `bns_fetch_seq`), so extension can
+    // never run across a contig boundary in the concatenated sequence
+    if let Some((far_beg, far_end)) =
+        contigs.contig_image(chain.rid, l_pac, chain.seeds[0].rbeg >= l_pac)
+    {
+        rmax0 = rmax0.max(far_beg);
+        rmax1 = rmax1.min(far_end);
+    }
     let rseq = pac.fetch2(rmax0 as usize, rmax1 as usize);
     let mut order: Vec<u32> = (0..chain.seeds.len() as u32).collect();
     order.sort_by_key(|&i| (chain.seeds[i as usize].score, i));
-    ChainPlan { rmax0, rmax1, rseq, order }
+    ChainPlan {
+        rmax0,
+        rmax1,
+        rseq,
+        order,
+    }
 }
 
 /// Build the left-extension job of a seed (reversed flanks), or `None`
@@ -75,7 +95,12 @@ pub fn left_job(opts: &MemOpts, query: &[u8], seed: &Seed, plan: &ChainPlan) -> 
     let qs: Vec<u8> = query[..seed.qbeg as usize].iter().rev().copied().collect();
     let tmp = (seed.rbeg - plan.rmax0) as usize;
     let rs: Vec<u8> = plan.rseq[..tmp].iter().rev().copied().collect();
-    Some(ExtendJob::new(qs, rs, seed.len * opts.score.a, opts.chain.w))
+    Some(ExtendJob::new(
+        qs,
+        rs,
+        seed.len * opts.score.a,
+        opts.chain.w,
+    ))
 }
 
 /// Build the right-extension job of a seed given the score after left
@@ -360,9 +385,7 @@ pub fn chain_to_regions<S: SeedExtensionSource>(
         a.seedcov = chain
             .seeds
             .iter()
-            .filter(|t| {
-                t.qbeg >= a.qb && t.qend() <= a.qe && t.rbeg >= a.rb && t.rend() <= a.re
-            })
+            .filter(|t| t.qbeg >= a.qb && t.qend() <= a.qe && t.rbeg >= a.rb && t.rend() <= a.re)
             .map(|t| t.len)
             .sum();
         a.w = aw0.max(aw1);
@@ -375,6 +398,18 @@ mod tests {
     use super::*;
     use mem2_seqio::PackedSeq;
 
+    /// One contig covering the whole packed sequence.
+    fn one_contig(len: usize) -> ContigSet {
+        ContigSet {
+            contigs: vec![mem2_seqio::refseq::ContigAnn {
+                name: "c0".into(),
+                offset: 0,
+                len,
+            }],
+            holes: vec![],
+        }
+    }
+
     fn mk_query_ref() -> (Vec<u8>, PackedSeq) {
         // reference: 200 bases; query = ref[50..130] with one mismatch
         let reference: Vec<u8> = (0..200).map(|i| ((i * 7 + 3) % 4) as u8).collect();
@@ -384,7 +419,15 @@ mod tests {
     }
 
     fn mk_chain(seed: Seed) -> Chain {
-        Chain { pos: seed.rbeg, seeds: vec![seed], rid: 0, w: 0, kept: 3, first: -1, frac_rep: 0.0 }
+        Chain {
+            pos: seed.rbeg,
+            seeds: vec![seed],
+            rid: 0,
+            w: 0,
+            kept: 3,
+            first: -1,
+            frac_rep: 0.0,
+        }
     }
 
     #[test]
@@ -392,12 +435,33 @@ mod tests {
         let (query, pac) = mk_query_ref();
         let opts = MemOpts::default();
         // seed: query[0..30) matches ref[50..80)
-        let seed = Seed { rbeg: 50, qbeg: 0, len: 30, score: 30 };
+        let seed = Seed {
+            rbeg: 50,
+            qbeg: 0,
+            len: 30,
+            score: 30,
+        };
         let chain = mk_chain(seed);
-        let plan = plan_chain(&opts, pac.len() as i64, query.len() as i32, &chain, &pac);
+        let plan = plan_chain(
+            &opts,
+            pac.len() as i64,
+            query.len() as i32,
+            &chain,
+            &one_contig(pac.len()),
+            &pac,
+        );
         let mut av = Vec::new();
         let mut src = ScalarSource { opts: &opts };
-        chain_to_regions(&opts, query.len() as i32, &query, &chain, 0, &plan, &mut src, &mut av);
+        chain_to_regions(
+            &opts,
+            query.len() as i32,
+            &query,
+            &chain,
+            0,
+            &plan,
+            &mut src,
+            &mut av,
+        );
         assert_eq!(av.len(), 1);
         let a = &av[0];
         assert_eq!(a.qb, 0);
@@ -413,8 +477,18 @@ mod tests {
     fn contained_second_seed_is_skipped() {
         let (query, pac) = mk_query_ref();
         let opts = MemOpts::default();
-        let big = Seed { rbeg: 50, qbeg: 0, len: 40, score: 40 };
-        let small = Seed { rbeg: 60, qbeg: 10, len: 20, score: 20 }; // same diagonal, contained
+        let big = Seed {
+            rbeg: 50,
+            qbeg: 0,
+            len: 40,
+            score: 40,
+        };
+        let small = Seed {
+            rbeg: 60,
+            qbeg: 10,
+            len: 20,
+            score: 20,
+        }; // same diagonal, contained
         let chain = Chain {
             pos: 50,
             seeds: vec![big, small],
@@ -424,11 +498,31 @@ mod tests {
             first: -1,
             frac_rep: 0.0,
         };
-        let plan = plan_chain(&opts, pac.len() as i64, query.len() as i32, &chain, &pac);
+        let plan = plan_chain(
+            &opts,
+            pac.len() as i64,
+            query.len() as i32,
+            &chain,
+            &one_contig(pac.len()),
+            &pac,
+        );
         let mut av = Vec::new();
         let mut src = ScalarSource { opts: &opts };
-        chain_to_regions(&opts, query.len() as i32, &query, &chain, 0, &plan, &mut src, &mut av);
-        assert_eq!(av.len(), 1, "contained same-diagonal seed must not produce a region");
+        chain_to_regions(
+            &opts,
+            query.len() as i32,
+            &query,
+            &chain,
+            0,
+            &plan,
+            &mut src,
+            &mut av,
+        );
+        assert_eq!(
+            av.len(),
+            1,
+            "contained same-diagonal seed must not produce a region"
+        );
     }
 
     #[test]
@@ -436,11 +530,36 @@ mod tests {
         let (query, pac) = mk_query_ref();
         let opts = MemOpts::default();
         let seeds = vec![
-            Seed { rbeg: 50, qbeg: 0, len: 30, score: 30 },
-            Seed { rbeg: 95, qbeg: 45, len: 25, score: 25 },
+            Seed {
+                rbeg: 50,
+                qbeg: 0,
+                len: 30,
+                score: 30,
+            },
+            Seed {
+                rbeg: 95,
+                qbeg: 45,
+                len: 25,
+                score: 25,
+            },
         ];
-        let chain = Chain { pos: 50, seeds, rid: 0, w: 0, kept: 3, first: -1, frac_rep: 0.0 };
-        let plan = plan_chain(&opts, pac.len() as i64, query.len() as i32, &chain, &pac);
+        let chain = Chain {
+            pos: 50,
+            seeds,
+            rid: 0,
+            w: 0,
+            kept: 3,
+            first: -1,
+            frac_rep: 0.0,
+        };
+        let plan = plan_chain(
+            &opts,
+            pac.len() as i64,
+            query.len() as i32,
+            &chain,
+            &one_contig(pac.len()),
+            &pac,
+        );
 
         // classic
         let mut av_classic = Vec::new();
@@ -458,9 +577,7 @@ mod tests {
         let records: Vec<SeedExtension> = plan
             .order
             .iter()
-            .map(|&i| {
-                compute_seed_extension_scalar(&opts, &chain.seeds[i as usize], &query, &plan)
-            })
+            .map(|&i| compute_seed_extension_scalar(&opts, &chain.seeds[i as usize], &query, &plan))
             .collect();
         let mut av_batched = Vec::new();
         chain_to_regions(
@@ -470,7 +587,9 @@ mod tests {
             &chain,
             0,
             &plan,
-            &mut PrecomputedSource { records: vec![records] },
+            &mut PrecomputedSource {
+                records: vec![records],
+            },
             &mut av_batched,
         );
         assert_eq!(av_classic, av_batched);
@@ -480,8 +599,16 @@ mod tests {
     fn retry_logic_matches_direct_loop() {
         // contrived run function with controllable max_off
         let outcomes = [
-            ExtendResult { score: 10, max_off: 100, ..Default::default() },
-            ExtendResult { score: 14, max_off: 10, ..Default::default() },
+            ExtendResult {
+                score: 10,
+                max_off: 100,
+                ..Default::default()
+            },
+            ExtendResult {
+                score: 14,
+                max_off: 10,
+                ..Default::default()
+            },
         ];
         let mut calls = 0;
         let (res, aw) = extend_with_retries(100, |w| {
@@ -497,7 +624,11 @@ mod tests {
         let mut calls = 0;
         let (res, aw) = extend_with_retries(100, |_| {
             calls += 1;
-            ExtendResult { score: 10, max_off: 2, ..Default::default() }
+            ExtendResult {
+                score: 10,
+                max_off: 2,
+                ..Default::default()
+            }
         });
         assert_eq!(calls, 1);
         assert_eq!(res.score, 10);
@@ -511,14 +642,100 @@ mod tests {
         let pac = PackedSeq::from_codes(&reference);
         let opts = MemOpts::default();
         // forward-strand seed near the boundary
-        let seed = Seed { rbeg: 90, qbeg: 10, len: 9, score: 9 };
+        let seed = Seed {
+            rbeg: 90,
+            qbeg: 10,
+            len: 9,
+            score: 9,
+        };
         let chain = mk_chain(seed);
-        let plan = plan_chain(&opts, 100, 40, &chain, &pac);
-        assert!(plan.rmax1 <= 100, "forward window must not cross into revcomp half");
+        let plan = plan_chain(&opts, 100, 40, &chain, &one_contig(100), &pac);
+        assert!(
+            plan.rmax1 <= 100,
+            "forward window must not cross into revcomp half"
+        );
         // reverse-strand seed near the boundary
-        let seed = Seed { rbeg: 101, qbeg: 10, len: 9, score: 9 };
+        let seed = Seed {
+            rbeg: 101,
+            qbeg: 10,
+            len: 9,
+            score: 9,
+        };
         let chain = mk_chain(seed);
-        let plan = plan_chain(&opts, 100, 40, &chain, &pac);
-        assert!(plan.rmax0 >= 100, "reverse window must not cross into forward half");
+        let plan = plan_chain(&opts, 100, 40, &chain, &one_contig(100), &pac);
+        assert!(
+            plan.rmax0 >= 100,
+            "reverse window must not cross into forward half"
+        );
+    }
+
+    #[test]
+    fn plan_clips_window_at_contig_boundary() {
+        use mem2_seqio::refseq::ContigAnn;
+        // two 50bp contigs concatenated; l_pac = 100
+        let reference: Vec<u8> = (0..100).map(|i| (i % 4) as u8).collect();
+        let pac = PackedSeq::from_codes(&reference);
+        let contigs = ContigSet {
+            contigs: vec![
+                ContigAnn {
+                    name: "a".into(),
+                    offset: 0,
+                    len: 50,
+                },
+                ContigAnn {
+                    name: "b".into(),
+                    offset: 50,
+                    len: 50,
+                },
+            ],
+            holes: vec![],
+        };
+        let opts = MemOpts::default();
+        // forward seed at the end of contig a: the window must stop at 50
+        let seed = Seed {
+            rbeg: 40,
+            qbeg: 10,
+            len: 9,
+            score: 9,
+        };
+        let mut chain = mk_chain(seed);
+        chain.rid = 0;
+        let plan = plan_chain(&opts, 100, 40, &chain, &contigs, &pac);
+        assert!(
+            plan.rmax1 <= 50,
+            "forward window leaked into contig b: {}",
+            plan.rmax1
+        );
+        // forward seed at the start of contig b: the window must start at 50
+        let seed = Seed {
+            rbeg: 52,
+            qbeg: 10,
+            len: 9,
+            score: 9,
+        };
+        let mut chain = mk_chain(seed);
+        chain.rid = 1;
+        let plan = plan_chain(&opts, 100, 40, &chain, &contigs, &pac);
+        assert!(
+            plan.rmax0 >= 50,
+            "forward window leaked into contig a: {}",
+            plan.rmax0
+        );
+        // reverse-strand seed in contig b's image [100, 150): clip to it
+        let seed = Seed {
+            rbeg: 105,
+            qbeg: 10,
+            len: 9,
+            score: 9,
+        };
+        let mut chain = mk_chain(seed);
+        chain.rid = 1;
+        let plan = plan_chain(&opts, 100, 40, &chain, &contigs, &pac);
+        assert!(
+            plan.rmax0 >= 100 && plan.rmax1 <= 150,
+            "reverse window must stay inside contig b's image: [{}, {})",
+            plan.rmax0,
+            plan.rmax1
+        );
     }
 }

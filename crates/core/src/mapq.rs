@@ -5,7 +5,11 @@ use crate::region::AlnReg;
 
 /// Approximate Phred-scaled mapping quality of a region.
 pub fn approx_mapq_se(opts: &MemOpts, a: &AlnReg) -> i32 {
-    let mut sub = if a.sub != 0 { a.sub } else { opts.smem.min_seed_len * opts.score.a };
+    let mut sub = if a.sub != 0 {
+        a.sub
+    } else {
+        opts.smem.min_seed_len * opts.score.a
+    };
     sub = sub.max(a.csub);
     if sub >= a.score {
         return 0;
@@ -28,8 +32,7 @@ pub fn approx_mapq_se(opts: &MemOpts, a: &AlnReg) -> i32 {
         mapq = (6.02 * ((a.score - sub) as f64) / (opts.score.a as f64) * tmp * tmp + 0.499) as i32;
     } else {
         // legacy formula (mapQ_coef_len == 0)
-        mapq = ((30.0 * (1.0 - sub as f64 / a.score as f64))
-            * (a.seedcov.max(1) as f64).ln()
+        mapq = ((30.0 * (1.0 - sub as f64 / a.score as f64)) * (a.seedcov.max(1) as f64).ln()
             + 0.499) as i32;
         if identity < 0.95 {
             mapq = (mapq as f64 * identity * identity + 0.499) as i32;

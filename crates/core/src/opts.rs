@@ -101,7 +101,7 @@ mod tests {
         let o = MemOpts::default();
         // short flank: small gap allowance
         assert_eq!(o.cal_max_gap(10), 5); // (10*1-6)/1+1 = 5
-        // long flank capped at 2w = 200
+                                          // long flank capped at 2w = 200
         assert_eq!(o.cal_max_gap(1000), 200);
         // degenerate flank still allows 1
         assert_eq!(o.cal_max_gap(0), 1);

@@ -116,7 +116,11 @@ impl Worker {
 
 /// Align one read through the classic per-read pipeline; returns its
 /// final, primary-marked regions.
-pub fn align_read_classic(ctx: &PipelineContext<'_>, worker: &mut Worker, read: &PreparedRead) -> Vec<AlnReg> {
+pub fn align_read_classic(
+    ctx: &PipelineContext<'_>,
+    worker: &mut Worker,
+    read: &PreparedRead,
+) -> Vec<AlnReg> {
     let opts = ctx.opts;
     let occ = ctx.index.orig();
     let mut sink = NoopSink;
@@ -124,7 +128,15 @@ pub fn align_read_classic(ctx: &PipelineContext<'_>, worker: &mut Worker, read: 
     let mut state = state;
 
     let t = Instant::now();
-    collect_intv(occ, &opts.smem, &read.codes, &mut state.intervals, &mut worker.aux, false, &mut sink);
+    collect_intv(
+        occ,
+        &opts.smem,
+        &read.codes,
+        &mut state.intervals,
+        &mut worker.aux,
+        false,
+        &mut sink,
+    );
     worker.times.add(Stage::Smem, t.elapsed());
 
     let t = Instant::now();
@@ -152,11 +164,27 @@ pub fn align_read_classic(ctx: &PipelineContext<'_>, worker: &mut Worker, read: 
     let l_query = read.codes.len() as i32;
     for (cid, chain) in state.chains.iter().enumerate() {
         let t = Instant::now();
-        let plan = plan_chain(opts, ctx.index.l_pac, l_query, chain, &ctx.reference.pac);
+        let plan = plan_chain(
+            opts,
+            ctx.index.l_pac,
+            l_query,
+            chain,
+            &ctx.reference.contigs,
+            &ctx.reference.pac,
+        );
         worker.times.add(Stage::BswPre, t.elapsed());
         let t = Instant::now();
         let mut src = ScalarSource { opts };
-        chain_to_regions(opts, l_query, &read.codes, chain, cid, &plan, &mut src, &mut av);
+        chain_to_regions(
+            opts,
+            l_query,
+            &read.codes,
+            chain,
+            cid,
+            &plan,
+            &mut src,
+            &mut av,
+        );
         worker.times.add(Stage::Bsw, t.elapsed());
     }
 
@@ -173,7 +201,11 @@ pub fn align_read_classic(ctx: &PipelineContext<'_>, worker: &mut Worker, read: 
 
 /// Align a batch of reads through the stage-batched pipeline; returns
 /// final regions per read (same values as the classic pipeline).
-pub fn align_batch(ctx: &PipelineContext<'_>, worker: &mut Worker, reads: &[PreparedRead]) -> Vec<Vec<AlnReg>> {
+pub fn align_batch(
+    ctx: &PipelineContext<'_>,
+    worker: &mut Worker,
+    reads: &[PreparedRead],
+) -> Vec<Vec<AlnReg>> {
     let opts = ctx.opts;
     let occ = ctx.index.opt();
     let mut sink = NoopSink;
@@ -236,8 +268,17 @@ pub fn align_batch(ctx: &PipelineContext<'_>, worker: &mut Worker, reads: &[Prep
         state.records.clear();
         let l_query = read.codes.len() as i32;
         for (c, chain) in state.chains.iter().enumerate() {
-            let plan = plan_chain(opts, ctx.index.l_pac, l_query, chain, &ctx.reference.pac);
-            state.records.push(vec![SeedExtension::default(); chain.seeds.len()]);
+            let plan = plan_chain(
+                opts,
+                ctx.index.l_pac,
+                l_query,
+                chain,
+                &ctx.reference.contigs,
+                &ctx.reference.pac,
+            );
+            state
+                .records
+                .push(vec![SeedExtension::default(); chain.seeds.len()]);
             for (rank, &si) in plan.order.iter().enumerate() {
                 let seed = &chain.seeds[si as usize];
                 if let Some(job) = left_job(opts, &read.codes, seed, &plan) {
@@ -252,7 +293,12 @@ pub fn align_batch(ctx: &PipelineContext<'_>, worker: &mut Worker, reads: &[Prep
 
     // ---- stage: BSW — left rounds, then right rounds ----
     let t = Instant::now();
-    run_rounds(&worker.engine5, opts.chain.w, &worker.jobs, &mut worker.results);
+    run_rounds(
+        &worker.engine5,
+        opts.chain.w,
+        &worker.jobs,
+        &mut worker.results,
+    );
     for (k, &(r, c, rank)) in worker.job_keys.iter().enumerate() {
         worker.states[r as usize].records[c as usize][rank as usize].left = Some(worker.results[k]);
     }
@@ -279,9 +325,15 @@ pub fn align_batch(ctx: &PipelineContext<'_>, worker: &mut Worker, reads: &[Prep
     worker.times.add(Stage::BswPre, t.elapsed());
 
     let t = Instant::now();
-    run_rounds(&worker.engine3, opts.chain.w, &worker.jobs, &mut worker.results);
+    run_rounds(
+        &worker.engine3,
+        opts.chain.w,
+        &worker.jobs,
+        &mut worker.results,
+    );
     for (k, &(r, c, rank)) in worker.job_keys.iter().enumerate() {
-        worker.states[r as usize].records[c as usize][rank as usize].right = Some(worker.results[k]);
+        worker.states[r as usize].records[c as usize][rank as usize].right =
+            Some(worker.results[k]);
     }
     worker.times.add(Stage::Bsw, t.elapsed());
 
@@ -292,9 +344,20 @@ pub fn align_batch(ctx: &PipelineContext<'_>, worker: &mut Worker, reads: &[Prep
         let state = &mut worker.states[r];
         let l_query = read.codes.len() as i32;
         let mut av: Vec<AlnReg> = Vec::new();
-        let mut src = PrecomputedSource { records: std::mem::take(&mut state.records) };
+        let mut src = PrecomputedSource {
+            records: std::mem::take(&mut state.records),
+        };
         for (cid, chain) in state.chains.iter().enumerate() {
-            chain_to_regions(opts, l_query, &read.codes, chain, cid, &state.plans[cid], &mut src, &mut av);
+            chain_to_regions(
+                opts,
+                l_query,
+                &read.codes,
+                chain,
+                cid,
+                &state.plans[cid],
+                &mut src,
+                &mut av,
+            );
         }
         state.records = src.records;
         worker.times.add(Stage::Bsw, t.elapsed());
@@ -308,7 +371,12 @@ pub fn align_batch(ctx: &PipelineContext<'_>, worker: &mut Worker, reads: &[Prep
 /// Execute the band-doubling protocol over a whole job list: round 0 at
 /// `w0` for everyone, round 1 at `2·w0` for the jobs that ask for it —
 /// exactly the per-seed retry loop, batched (MAX_BAND_TRY = 2).
-fn run_rounds(engine: &BswEngine, w0: i32, jobs: &[ExtendJob], results: &mut Vec<(ExtendResult, i32)>) {
+fn run_rounds(
+    engine: &BswEngine,
+    w0: i32,
+    jobs: &[ExtendJob],
+    results: &mut Vec<(ExtendResult, i32)>,
+) {
     results.clear();
     let round0 = engine.extend_all(jobs);
     results.extend(round0.iter().map(|&r| (r, w0)));
@@ -345,7 +413,12 @@ pub fn read_to_sam(
     times: &mut StageTimes,
 ) -> Vec<SamRecord> {
     let t = Instant::now();
-    let info = ReadInfo { name: &read.name, codes: &read.codes, seq: &read.seq, qual: &read.qual };
+    let info = ReadInfo {
+        name: &read.name,
+        codes: &read.codes,
+        seq: &read.seq,
+        qual: &read.qual,
+    };
     let recs = regions_to_sam(
         ctx.opts,
         ctx.index.l_pac,
@@ -373,7 +446,14 @@ pub fn scalar_records_for_read(
         .map(|(chain, plan)| {
             plan.order
                 .iter()
-                .map(|&si| compute_seed_extension_scalar(opts, &chain.seeds[si as usize], &read.codes, plan))
+                .map(|&si| {
+                    compute_seed_extension_scalar(
+                        opts,
+                        &chain.seeds[si as usize],
+                        &read.codes,
+                        plan,
+                    )
+                })
                 .collect()
         })
         .collect()

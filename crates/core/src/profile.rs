@@ -75,7 +75,11 @@ impl StageTimes {
                 pct[i]
             ));
         }
-        s.push_str(&format!("  {:<9} {:>8.3}s\n", "Total", self.total().as_secs_f64()));
+        s.push_str(&format!(
+            "  {:<9} {:>8.3}s\n",
+            "Total",
+            self.total().as_secs_f64()
+        ));
         s
     }
 }

@@ -66,7 +66,11 @@ pub fn sort_dedup(opts: &MemOpts, mut regs: Vec<AlnReg>) -> Vec<AlnReg> {
                 continue; // already excluded
             }
             let or_ = q.re - p.rb; // overlap on the reference
-            let oq = if q.qb < p.qb { q.qe - p.qb } else { p.qe - q.qb }; // on the query
+            let oq = if q.qb < p.qb {
+                q.qe - p.qb
+            } else {
+                p.qe - q.qb
+            }; // on the query
             let mr = (q.re - q.rb).min(p.re - p.rb);
             let mq = (q.qe - q.qb).min(p.qe - p.qb);
             if or_ as f32 > opts.mask_level_redun * mr as f32
@@ -137,7 +141,17 @@ mod tests {
     use super::*;
 
     fn reg(rb: i64, re: i64, qb: i32, qe: i32, score: i32) -> AlnReg {
-        AlnReg { rb, re, qb, qe, rid: 0, score, truesc: score, w: 100, ..Default::default() }
+        AlnReg {
+            rb,
+            re,
+            qb,
+            qe,
+            rid: 0,
+            score,
+            truesc: score,
+            w: 100,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -39,8 +39,15 @@ impl SamRecord {
     pub fn to_line(&self) -> String {
         format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t{}\t{}",
-            self.qname, self.flag, self.rname, self.pos, self.mapq, self.cigar, self.seq,
-            self.qual, self.tags
+            self.qname,
+            self.flag,
+            self.rname,
+            self.pos,
+            self.mapq,
+            self.cigar,
+            self.seq,
+            self.qual,
+            self.tags
         )
     }
 }
@@ -79,7 +86,11 @@ fn gen_cigar(
     }
     if qseg.len() == rseg.len() && w == 0 {
         // no-gap shortcut
-        let score: i32 = qseg.iter().zip(&rseg).map(|(&q, &t)| score_params.score(t, q)).sum();
+        let score: i32 = qseg
+            .iter()
+            .zip(&rseg)
+            .map(|(&q, &t)| score_params.score(t, q))
+            .sum();
         let cigar = vec![CigarOp::Match(qseg.len() as u32)];
         let nm = count_nm(&cigar, &qseg, &rseg);
         return (score, cigar, nm);
@@ -132,7 +143,11 @@ pub fn region_to_sam(
     let l_query = read.codes.len() as i32;
     let (qb, qe) = (reg.qb, reg.qe);
     let (rb, re) = (reg.rb, reg.re);
-    let mapq_raw = if reg.secondary < 0 { approx_mapq_se(opts, reg) } else { 0 };
+    let mapq_raw = if reg.secondary < 0 {
+        approx_mapq_se(opts, reg)
+    } else {
+        0
+    };
     let mut mapq = mapq_raw.clamp(0, 255) as u8;
     if let Some(cap) = mapq_cap {
         mapq = mapq.min(cap);
@@ -141,8 +156,8 @@ pub fn region_to_sam(
     // band for CIGAR generation
     let s = &opts.score;
     let tmp = MemOpts::infer_bw(qe - qb, (re - rb) as i32, reg.truesc, s.a, s.o_del, s.e_del);
-    let mut w2 = MemOpts::infer_bw(qe - qb, (re - rb) as i32, reg.truesc, s.a, s.o_ins, s.e_ins)
-        .max(tmp);
+    let mut w2 =
+        MemOpts::infer_bw(qe - qb, (re - rb) as i32, reg.truesc, s.a, s.o_ins, s.e_ins).max(tmp);
     if w2 > opts.chain.w {
         w2 = w2.min(reg.w);
     }
@@ -152,7 +167,15 @@ pub fn region_to_sam(
     let (mut gscore, mut cigar, mut nm);
     loop {
         w2 = w2.min(opts.chain.w << 2);
-        let out = gen_cigar(&opts.score, l_pac, pac, &read.codes[qb as usize..qe as usize], rb, re, w2);
+        let out = gen_cigar(
+            &opts.score,
+            l_pac,
+            pac,
+            &read.codes[qb as usize..qe as usize],
+            rb,
+            re,
+            w2,
+        );
         gscore = out.0;
         cigar = out.1;
         nm = out.2;
@@ -281,7 +304,16 @@ pub fn regions_to_sam(
         let is_secondary = reg.secondary >= 0;
         let supplementary = !is_secondary && n_primary > 0;
         let cap = out.first().map(|r| r.mapq);
-        out.push(region_to_sam(opts, l_pac, pac, contigs, read, reg, supplementary, cap));
+        out.push(region_to_sam(
+            opts,
+            l_pac,
+            pac,
+            contigs,
+            read,
+            reg,
+            supplementary,
+            cap,
+        ));
         if !is_secondary {
             n_primary += 1;
         }
@@ -310,7 +342,12 @@ mod tests {
     }
 
     fn read_info<'a>(codes: &'a [u8], seq: &'a [u8], qual: &'a [u8]) -> ReadInfo<'a> {
-        ReadInfo { name: "r1", codes, seq, qual }
+        ReadInfo {
+            name: "r1",
+            codes,
+            seq,
+            qual,
+        }
     }
 
     fn decode(codes: &[u8]) -> Vec<u8> {
@@ -337,7 +374,14 @@ mod tests {
             secondary: -1,
             ..Default::default()
         };
-        let recs = regions_to_sam(&opts, reference.len() as i64, &reference.pac, &reference.contigs, &read, &[reg]);
+        let recs = regions_to_sam(
+            &opts,
+            reference.len() as i64,
+            &reference.pac,
+            &reference.contigs,
+            &read,
+            &[reg],
+        );
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
         assert_eq!(r.flag, 0);
@@ -406,7 +450,14 @@ mod tests {
             secondary: -1,
             ..Default::default()
         };
-        let recs = regions_to_sam(&opts, reference.len() as i64, &reference.pac, &reference.contigs, &read, &[reg]);
+        let recs = regions_to_sam(
+            &opts,
+            reference.len() as i64,
+            &reference.pac,
+            &reference.contigs,
+            &read,
+            &[reg],
+        );
         assert_eq!(recs[0].cigar, "10S90M");
         assert_eq!(recs[0].pos, 101);
     }
@@ -418,9 +469,36 @@ mod tests {
         let seq = decode(&codes);
         let qual = vec![b'I'; 100];
         let read = read_info(&codes, &seq, &qual);
-        let low = AlnReg { rb: 0, re: 20, qb: 0, qe: 20, score: 20, truesc: 20, w: 100, secondary: -1, ..Default::default() };
-        let sec = AlnReg { rb: 0, re: 100, qb: 0, qe: 100, score: 90, truesc: 90, w: 100, secondary: 0, ..Default::default() };
-        let recs = regions_to_sam(&opts, reference.len() as i64, &reference.pac, &reference.contigs, &read, &[low, sec]);
+        let low = AlnReg {
+            rb: 0,
+            re: 20,
+            qb: 0,
+            qe: 20,
+            score: 20,
+            truesc: 20,
+            w: 100,
+            secondary: -1,
+            ..Default::default()
+        };
+        let sec = AlnReg {
+            rb: 0,
+            re: 100,
+            qb: 0,
+            qe: 100,
+            score: 90,
+            truesc: 90,
+            w: 100,
+            secondary: 0,
+            ..Default::default()
+        };
+        let recs = regions_to_sam(
+            &opts,
+            reference.len() as i64,
+            &reference.pac,
+            &reference.contigs,
+            &read,
+            &[low, sec],
+        );
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].flag, 0x4);
         assert_eq!(recs[0].cigar, "*");
@@ -433,9 +511,37 @@ mod tests {
         let seq = decode(&codes);
         let qual = vec![b'I'; 120];
         let read = read_info(&codes, &seq, &qual);
-        let a = AlnReg { rb: 0, re: 60, qb: 0, qe: 60, score: 60, truesc: 60, w: 100, sub: 55, secondary: -1, ..Default::default() };
-        let b = AlnReg { rb: 160, re: 220, qb: 60, qe: 120, score: 58, truesc: 58, w: 100, secondary: -1, ..Default::default() };
-        let recs = regions_to_sam(&opts, reference.len() as i64, &reference.pac, &reference.contigs, &read, &[a, b]);
+        let a = AlnReg {
+            rb: 0,
+            re: 60,
+            qb: 0,
+            qe: 60,
+            score: 60,
+            truesc: 60,
+            w: 100,
+            sub: 55,
+            secondary: -1,
+            ..Default::default()
+        };
+        let b = AlnReg {
+            rb: 160,
+            re: 220,
+            qb: 60,
+            qe: 120,
+            score: 58,
+            truesc: 58,
+            w: 100,
+            secondary: -1,
+            ..Default::default()
+        };
+        let recs = regions_to_sam(
+            &opts,
+            reference.len() as i64,
+            &reference.pac,
+            &reference.contigs,
+            &read,
+            &[a, b],
+        );
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].flag & 0x800, 0);
         assert_eq!(recs[1].flag & 0x800, 0x800);

@@ -41,8 +41,10 @@ pub fn align_reads_parallel(
                     }
                     let beg = c * chunk;
                     let end = (beg + chunk).min(reads.len());
-                    let prepared: Vec<PreparedRead> =
-                        reads[beg..end].iter().map(PreparedRead::from_fastq).collect();
+                    let prepared: Vec<PreparedRead> = reads[beg..end]
+                        .iter()
+                        .map(PreparedRead::from_fastq)
+                        .collect();
                     let mut out = Vec::new();
                     match aligner.workflow {
                         Workflow::Classic => {

@@ -6,25 +6,33 @@
 //!
 //! Expected lines were produced by `cargo run -p mem2-core --example
 //! golden_gen` and verified identical across Classic/Batched and thread
-//! counts before pinning. Note reads 0, 2 and 3 land in injected repeat
-//! copies: MAPQ 0 with XS == AS is the correct repeat-aware answer.
+//! counts before pinning. Note read 4 lands in an injected repeat copy:
+//! MAPQ 0 with XS == AS is the correct repeat-aware answer.
+//!
+//! The pinned bytes depend on the deterministic PRNG stream of the
+//! in-repo `rand` shim (see `shims/rand`); if the shim is ever replaced
+//! by upstream `rand`, regenerate with `golden_gen`.
 
 use mem2_core::{Aligner, MemOpts, Workflow};
 use mem2_fmindex::{BuildOpts, FmIndex};
 use mem2_seqio::{FastqRecord, GenomeSpec, ReadSim, ReadSimSpec};
 
 const EXPECTED: [&str; 6] = [
-    "sim_0_23286_R\t16\tchrG\t35676\t0\t101M\t*\t0\t0\tATTAGAGAATTAGTGGCACGTAGCAAGCTCGTGGAACTTGGTTACGAGAGGATATGCTTAACGGACCTATTGACTGGATTATTCTACGTTTGGTTCCACTC\tDH?BC?FGCBC?AAG?@DDA?ABHHABG@DFC@E@GAAECGGEABEEA?AD@EFA?G?@EG?AA?FHFHFDE?DAFHGFGBDACFCAAHHAD@?F?B@@@E\tNM:i:2\tAS:i:91\tXS:i:91",
-    "sim_1_36614_R\t16\tchrG\t36618\t60\t101M\t*\t0\t0\tCGAGAATATTACAATTCGGTTTATAATAATGTCGACCTGCAGATCTTACCTGACTCTGTTAATTTACTTAGGAGAACTCAGAGCTAGAAGCGTTTAAGTTG\tHGDHHGAGFCG?@F?DFGHCFDD?ACFB@F??@C?@AD@BGG?BDGGGEABFACCDCAFCFGHB@HAECD@@@A@AE@@BD@ACFCGHB@?F?DAD@@ACC\tNM:i:2\tAS:i:94\tXS:i:0",
-    "sim_2_49434_F\t0\tchrG\t49435\t0\t56M1I44M\t*\t0\t0\tTCAGGGTGTGCATACAGAGTTCGACCTTACATAAGACGCTCACTATAGTCTATCTCAAAAAGGGGGGTCGTTGTAAGATGACACATGGACGGTGATTGCAC\t@ABBGGAC@?AE?F?CEBC@FEEECFH@HHBFCGDB@DA?@EDDGGFDCGA?DD@@HGFA?AF@GHBBBAC?HCFEBADCH?@HFDGHBGEECD?EC?G@H\tNM:i:2\tAS:i:88\tXS:i:88",
-    "sim_3_1823_F\t0\tchrG\t1824\t0\t101M\t*\t0\t0\tATTATAAAGTGCAATCACCGTCCATGTGTCATCTTACAACGACCCCCCTTTTGAGATAGACTATAGTGAGCGTCTTATGTAAGATCGAACTCTGCATGCAC\t@??ADDHAC@@DFCDD@FB@DGDFCFB?D@?CEAHAACEFHBAACDFB?AGDHC@HE@?DC@AFAFBCAC@C@HGEGBHHHDHBBDCEF?FF@DGHDBH?G\tNM:i:1\tAS:i:96\tXS:i:96",
-    "sim_4_45481_R\t16\tchrG\t45484\t50\t58M1D43M\t*\t0\t0\tACATTATCTATTGTTGGGTCCGACTTCAAAATCTCGTTGTCAACGTCTCTTATTGTGTAAACCTAGTGTGTCGTTTGATGTTAGCTGATGACGGGAACTCA\tFGH?@B??HEAHECCBHEGCG@ABFDGACBC@EECFEGABFD?DF?CGA@?C@H?GBECGHA?EDGEEB@GCDBGAB?AHCGDD?DHGDDHHEDCDBD?ED\tNM:i:2\tAS:i:89\tXS:i:76",
-    "sim_5_22763_R\t16\tchrG\t22767\t60\t101M\t*\t0\t0\tGATGAAAATAGGAGCCGTATCATCGTTAGAGCAAATATTATGAACAATTGAGCAGTGATACAACGAGTGGCTAAAAAATCTCTGAAGGATGCCAGATTGCT\tDH@DHDDEFBB@@F@A?ACHG@F?HAHFGAEDBEHAGD@ABBDFBHCEHABHCCD?HCAECGHHBABEG?GAABHG@DHEBB?@DDFFC?G?AA?EBAEGE\tNM:i:3\tAS:i:88\tXS:i:68",
+    "sim_0_30671_F\t0\tchrG\t30677\t60\t5S96M\t*\t0\t0\tACTGGTATCTACTAATTCTACATTATAGACTACAGCATATGGGAATTGTTGACACATTGAAACTACGAGGACGTCAAAATTATCGTGGCTACGGAACCGTT\tBCAE?CG@GAFABCE@BHEBEA?G@GEEGFBBAHGDAB@GAEEGEHAFGFEFBDDECFDG??BDFF?CHBBHFEFC?E?FGBDH@CFGHA?C?EA@A@?@@\tNM:i:2\tAS:i:86\tXS:i:47",
+    "sim_1_29708_R\t16\tchrG\t29712\t60\t101M\t*\t0\t0\tCGTTCGCTATCACGAAACGAGAAGTCCTAATTACTAGCCTATACGTTCATCACGTCAACATGATTGTATGAGGGACAGTTAAGGATCTACTACGATAAGAA\t?AGECADBCAD@GD@EA@BE@BH@FACHGCEGDF@@HDHGA@@E@AH?CG@FH?DCE@FDAFEBCEDCH?AFDEA?@F@?GDEFBAHCF?DA?GGEAEEFH\tNM:i:3\tAS:i:86\tXS:i:0",
+    "sim_2_8519_R\t16\tchrG\t8523\t60\t101M\t*\t0\t0\tTCGAACGTGAACGGATACTTTTTAAATGAAATATCCTTTACCAAATTTTTAAGAGTGAAGGTTTATGAGCTGGTGGGACTTCATCATTGAAATTTGTCAAC\t@EGEEB@AHG@FHH@ABF?G?G@@AGF?EFGC@?AECGGCEAHCEADBCBEGEFEGC@?AFDBFDEB@DAAAEEC?DC??EDCFDEDEBCFFGCHECDBGC\tNM:i:2\tAS:i:91\tXS:i:50",
+    "sim_3_31927_R\t16\tchrG\t31933\t60\t37M2I62M\t*\t0\t0\tATCGACCATAATAAAGTAATTGCTAAGTATTTTCTGACGATGAGTTGTACTTGCAACGGATGTGTCAACAATTACCATATGCTGAAGTCTATAATGTAGAA\tE?CBBADC?EEABGGB@ADAFGDFAHFBBFEEHBDAF@HD?CE?F?AGHGA@DG??HBHED?GHHBEAHHFDCDFBDFHC?B?BBDDBFF?AEFEEAEFBD\tNM:i:3\tAS:i:86\tXS:i:59",
+    "sim_4_28377_F\t0\tchrG\t26617\t0\t101M\t*\t0\t0\tGAGCTGCCATTTTCCCCTATTTGAGCTCATGGATTGGGCGTGTCATGTAGTGATAAGAATTTTTCTAGAAAGAAGCTACTGGAGAACGACATTTTTTAAAG\tAAA?DAABE@ACECHHGDGFH@G@GEHCCCBGAFG@EBBDDDA?CB@EABDGFBB??FD?@F@FHBHD?@G??EAE@@GEHGGCDDGFHFADD@?@AFH@E\tNM:i:5\tAS:i:78\tXS:i:78",
+    "sim_5_46555_F\t0\tchrG\t46556\t20\t74M3I24M\t*\t0\t0\tTAGTGGGCCCTATCCGCAAGTGTTTCGGATACACTGGCAGGACCATTGGAGATCAACTTTTGCAGGTTTGAGTTTCGACATAATGAGCCCTGTACGATTTA\tDHFG?DAEHFCH@G?CE@DFBDHEBDDH@DAGCE@@A@G@GH@GDCFBGH@GDE@@CEAGABFEGHDHBAFDA@ADA@EC@B@BCHEABECDBE??GD?FG\tNM:i:7\tAS:i:69\tXS:i:62",
 ];
 
 fn fixture() -> (mem2_seqio::Reference, Vec<FastqRecord>) {
-    let reference = GenomeSpec { len: 50_000, seed: 0xFACE, ..GenomeSpec::default() }
-        .generate_reference("chrG");
+    let reference = GenomeSpec {
+        len: 50_000,
+        seed: 0xFACE,
+        ..GenomeSpec::default()
+    }
+    .generate_reference("chrG");
     let reads: Vec<FastqRecord> = ReadSim::new(
         &reference,
         ReadSimSpec {
@@ -48,7 +56,11 @@ fn fixture() -> (mem2_seqio::Reference, Vec<FastqRecord>) {
 fn pinned_sam_output_batched() {
     let (reference, reads) = fixture();
     let aligner = Aligner::build(reference, MemOpts::default(), Workflow::Batched);
-    let got: Vec<String> = aligner.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    let got: Vec<String> = aligner
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
     assert_eq!(got.len(), EXPECTED.len());
     for (g, e) in got.iter().zip(EXPECTED) {
         assert_eq!(g, e);
@@ -60,7 +72,11 @@ fn pinned_sam_output_classic() {
     let (reference, reads) = fixture();
     let index = FmIndex::build(&reference, &BuildOpts::original_only());
     let aligner = Aligner::with_index(index, reference, MemOpts::default(), Workflow::Classic);
-    let got: Vec<String> = aligner.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    let got: Vec<String> = aligner
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
     for (g, e) in got.iter().zip(EXPECTED) {
         assert_eq!(g, e);
     }

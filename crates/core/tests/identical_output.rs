@@ -30,9 +30,12 @@ fn test_reads(reference: &Reference, n: usize, read_len: usize, seed: u64) -> Ve
         max_indel_len: 4,
         junk_rate: 0.02,
         seed,
-        ..ReadSimSpec::default()
     };
-    ReadSim::new(reference, spec).generate().into_iter().map(|r| r.record).collect()
+    ReadSim::new(reference, spec)
+        .generate()
+        .into_iter()
+        .map(|r| r.record)
+        .collect()
 }
 
 fn aligner_pair(reference: &Reference) -> (Aligner, Aligner) {
@@ -48,8 +51,16 @@ fn classic_and_batched_sam_is_byte_identical() {
     let reference = test_reference();
     let reads = test_reads(&reference, 400, 151, 0xF00D);
     let (classic, batched) = aligner_pair(&reference);
-    let sam_a: Vec<String> = classic.align_reads(&reads).iter().map(|r| r.to_line()).collect();
-    let sam_b: Vec<String> = batched.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    let sam_a: Vec<String> = classic
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
+    let sam_b: Vec<String> = batched
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
     assert_eq!(sam_a.len(), sam_b.len());
     for (i, (a, b)) in sam_a.iter().zip(&sam_b).enumerate() {
         assert_eq!(a, b, "record {i} differs");
@@ -61,8 +72,16 @@ fn short_reads_are_also_identical() {
     let reference = test_reference();
     let reads = test_reads(&reference, 300, 76, 0xBEAD);
     let (classic, batched) = aligner_pair(&reference);
-    let sam_a: Vec<String> = classic.align_reads(&reads).iter().map(|r| r.to_line()).collect();
-    let sam_b: Vec<String> = batched.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    let sam_a: Vec<String> = classic
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
+    let sam_b: Vec<String> = batched
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
     assert_eq!(sam_a, sam_b);
 }
 
@@ -70,7 +89,10 @@ fn short_reads_are_also_identical() {
 fn thread_count_does_not_change_output() {
     let reference = test_reference();
     let reads = test_reads(&reference, 500, 101, 0xCAFE);
-    let opts = mem2_core::MemOpts { chunk_reads: 64, ..Default::default() };
+    let opts = mem2_core::MemOpts {
+        chunk_reads: 64,
+        ..Default::default()
+    };
     let index = FmIndex::build(&reference, &BuildOpts::optimized_only());
     let aligner = Aligner::with_index(index, reference.clone(), opts, Workflow::Batched);
     let (sam1, _) = align_reads_parallel(&aligner, &reads, 1);
@@ -94,7 +116,6 @@ fn simulated_reads_map_back_to_their_origin() {
         max_indel_len: 3,
         junk_rate: 0.0,
         seed: 0xACC,
-        ..ReadSimSpec::default()
     };
     let sims = ReadSim::new(&reference, spec).generate();
     let reads: Vec<FastqRecord> = sims.iter().map(|s| s.record.clone()).collect();
@@ -137,7 +158,13 @@ fn simulated_reads_map_back_to_their_origin() {
 #[test]
 fn junk_reads_come_back_unmapped() {
     let reference = test_reference();
-    let spec = ReadSimSpec { n_reads: 50, read_len: 101, junk_rate: 1.0, seed: 0x1CE, ..ReadSimSpec::default() };
+    let spec = ReadSimSpec {
+        n_reads: 50,
+        read_len: 101,
+        junk_rate: 1.0,
+        seed: 0x1CE,
+        ..ReadSimSpec::default()
+    };
     let sims = ReadSim::new(&reference, spec).generate();
     let reads: Vec<FastqRecord> = sims.iter().map(|s| s.record.clone()).collect();
     let aligner = Aligner::build(reference, Default::default(), Workflow::Batched);
@@ -158,8 +185,16 @@ fn reads_with_n_bases_align() {
         }
     }
     let (classic, batched) = aligner_pair(&reference);
-    let a: Vec<String> = classic.align_reads(&reads).iter().map(|r| r.to_line()).collect();
-    let b: Vec<String> = batched.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    let a: Vec<String> = classic
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
+    let b: Vec<String> = batched
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
     assert_eq!(a, b);
     // most still map despite the Ns
     let mapped = batched

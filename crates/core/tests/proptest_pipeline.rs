@@ -15,7 +15,11 @@ fn arb_genome() -> impl Strategy<Value = Vec<u8>> {
 
 #[derive(Debug, Clone)]
 enum ReadKind {
-    FromRef { start_frac: f64, len: usize, mutations: Vec<(usize, u8)> },
+    FromRef {
+        start_frac: f64,
+        len: usize,
+        mutations: Vec<(usize, u8)>,
+    },
     Random(Vec<u8>),
 }
 
@@ -37,7 +41,11 @@ fn arb_read() -> impl Strategy<Value = ReadKind> {
 
 fn materialize(genome: &[u8], kind: &ReadKind, id: usize) -> FastqRecord {
     let codes: Vec<u8> = match kind {
-        ReadKind::FromRef { start_frac, len, mutations } => {
+        ReadKind::FromRef {
+            start_frac,
+            len,
+            mutations,
+        } => {
             let len = (*len).min(genome.len() - 1);
             let start = ((genome.len() - len) as f64 * start_frac) as usize;
             let mut c = genome[start..start + len].to_vec();

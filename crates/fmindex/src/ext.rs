@@ -29,8 +29,7 @@ pub fn backward_ext4<O: OccTable, P: PerfSink>(
         out[c].s = tl[c] - tk[c];
         out[c].info = ik.info;
     }
-    let sentinel_in =
-        (ik.k <= meta.sentinel_row && meta.sentinel_row < ik.k + ik.s) as i64;
+    let sentinel_in = (ik.k <= meta.sentinel_row && meta.sentinel_row < ik.k + ik.s) as i64;
     out[3].l = ik.l + sentinel_in;
     out[2].l = out[3].l + out[3].s;
     out[1].l = out[2].l + out[2].s;

@@ -25,19 +25,34 @@ pub struct BuildOpts {
 
 impl Default for BuildOpts {
     fn default() -> Self {
-        BuildOpts { orig_occ: true, opt_occ: true, flat_sa: true, sampled_sa: Some(32) }
+        BuildOpts {
+            orig_occ: true,
+            opt_occ: true,
+            flat_sa: true,
+            sampled_sa: Some(32),
+        }
     }
 }
 
 impl BuildOpts {
     /// Only the optimized components (the production aligner profile).
     pub fn optimized_only() -> Self {
-        BuildOpts { orig_occ: false, opt_occ: true, flat_sa: true, sampled_sa: None }
+        BuildOpts {
+            orig_occ: false,
+            opt_occ: true,
+            flat_sa: true,
+            sampled_sa: None,
+        }
     }
 
     /// Only the original components (the baseline profile).
     pub fn original_only() -> Self {
-        BuildOpts { orig_occ: true, opt_occ: false, flat_sa: false, sampled_sa: Some(32) }
+        BuildOpts {
+            orig_occ: true,
+            opt_occ: false,
+            flat_sa: false,
+            sampled_sa: Some(32),
+        }
     }
 }
 
@@ -103,12 +118,16 @@ impl FmIndex {
 
     /// The optimized occurrence table (panics if not built).
     pub fn opt(&self) -> &OccOpt {
-        self.occ_opt.as_ref().expect("optimized occurrence table not built")
+        self.occ_opt
+            .as_ref()
+            .expect("optimized occurrence table not built")
     }
 
     /// The original occurrence table (panics if not built).
     pub fn orig(&self) -> &OccOrig {
-        self.occ_orig.as_ref().expect("original occurrence table not built")
+        self.occ_orig
+            .as_ref()
+            .expect("original occurrence table not built")
     }
 
     /// Suffix-array lookup using the preferred available storage
@@ -117,7 +136,10 @@ impl FmIndex {
         if let Some(flat) = &self.sa_flat {
             return flat.lookup(r, sink);
         }
-        let sampled = self.sa_sampled.as_ref().expect("no suffix array storage built");
+        let sampled = self
+            .sa_sampled
+            .as_ref()
+            .expect("no suffix array storage built");
         if let Some(opt) = &self.occ_opt {
             sampled.lookup(opt, r, sink)
         } else {
@@ -140,7 +162,9 @@ impl FmIndex {
     /// bi-interval, in SA-row order (test/example helper).
     pub fn locate<P: PerfSink>(&self, iv: &BiInterval, cap: usize, sink: &mut P) -> Vec<i64> {
         let n = (iv.s as usize).min(cap);
-        (0..n).map(|t| self.sa_lookup(iv.k + t as i64, sink)).collect()
+        (0..n)
+            .map(|t| self.sa_lookup(iv.k + t as i64, sink))
+            .collect()
     }
 }
 
@@ -153,7 +177,10 @@ mod tests {
 
     #[test]
     fn build_produces_symmetric_counts() {
-        let genome = GenomeSpec { len: 5000, ..GenomeSpec::default() };
+        let genome = GenomeSpec {
+            len: 5000,
+            ..GenomeSpec::default()
+        };
         let reference = genome.generate_reference("g");
         let idx = FmIndex::build(&reference, &BuildOpts::default());
         assert_eq!(idx.meta.counts[0], idx.meta.counts[3]);
@@ -188,7 +215,10 @@ mod tests {
 
     #[test]
     fn pos_to_forward_mirrors_reverse_hits() {
-        let genome = GenomeSpec { len: 1000, ..GenomeSpec::default() };
+        let genome = GenomeSpec {
+            len: 1000,
+            ..GenomeSpec::default()
+        };
         let reference = genome.generate_reference("g");
         let idx = FmIndex::build(&reference, &BuildOpts::default());
         let (p, rev) = idx.pos_to_forward(10, 50);

@@ -51,7 +51,12 @@ impl BiInterval {
     /// Swap the two strands (used by forward extension).
     #[inline]
     pub fn swapped(&self) -> BiInterval {
-        BiInterval { k: self.l, l: self.k, s: self.s, info: self.info }
+        BiInterval {
+            k: self.l,
+            l: self.k,
+            s: self.s,
+            info: self.info,
+        }
     }
 }
 
@@ -61,7 +66,12 @@ mod tests {
 
     #[test]
     fn info_packing() {
-        let iv = BiInterval { k: 0, l: 0, s: 1, info: BiInterval::pack_info(5, 19) };
+        let iv = BiInterval {
+            k: 0,
+            l: 0,
+            s: 1,
+            info: BiInterval::pack_info(5, 19),
+        };
         assert_eq!(iv.start(), 5);
         assert_eq!(iv.end(), 19);
         assert_eq!(iv.len(), 14);
@@ -70,7 +80,12 @@ mod tests {
 
     #[test]
     fn swap_is_involution() {
-        let iv = BiInterval { k: 3, l: 9, s: 2, info: 7 };
+        let iv = BiInterval {
+            k: 3,
+            l: 9,
+            s: 2,
+            info: 7,
+        };
         assert_eq!(iv.swapped().swapped(), iv);
         assert_eq!(iv.swapped().k, 9);
     }

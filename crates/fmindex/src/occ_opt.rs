@@ -28,7 +28,11 @@ pub struct CpBlock {
 
 impl Default for CpBlock {
     fn default() -> Self {
-        CpBlock { counts: [0; 4], bases: [0xFF; 32], _pad: [0; 16] }
+        CpBlock {
+            counts: [0; 4],
+            bases: [0xFF; 32],
+            _pad: [0; 16],
+        }
     }
 }
 
@@ -40,10 +44,10 @@ pub struct OccOpt {
 }
 
 /// Count each base among the first `y` bytes of a 32-byte bucket in one
-/// pass. This is the portable stand-in for the paper's AVX2 byte-compare
-/// + popcnt: each base code is 0..3, so bit0/bit1 of every byte identify
-/// it, and a SWAR mask + popcount counts all lanes at once. Padding
-/// bytes (0xFF) are never inside the prefix.
+/// pass. This is the portable stand-in for the paper's AVX2
+/// byte-compare-plus-popcnt: each base code is 0..3, so bit0/bit1 of
+/// every byte identify it, and a SWAR mask + popcount counts all lanes
+/// at once. Padding bytes (0xFF) are never inside the prefix.
 #[inline(always)]
 fn counts4_in_prefix(bases: &[u8; 32], y: usize) -> [u32; 4] {
     const ONES: u64 = 0x0101_0101_0101_0101;
@@ -54,7 +58,11 @@ fn counts4_in_prefix(bases: &[u8; 32], y: usize) -> [u32; 4] {
     while remaining > 0 {
         let take = remaining.min(8);
         let word = u64::from_le_bytes(bases[w * 8..w * 8 + 8].try_into().expect("8 bytes"));
-        let mask: u64 = if take == 8 { !0 } else { (1u64 << (8 * take)) - 1 };
+        let mask: u64 = if take == 8 {
+            !0
+        } else {
+            (1u64 << (8 * take)) - 1
+        };
         let t0 = word & ONES; // bit0 of each byte
         let t1 = (word >> 1) & ONES; // bit1 of each byte
         let n0 = t0 ^ ONES;

@@ -60,7 +60,10 @@ impl SampledSa {
     /// Keep `sa[r]` for every `r` divisible by `q`.
     pub fn build(sa: &[u32], q: usize) -> Self {
         assert!(q >= 1);
-        SampledSa { q, samples: sa.iter().copied().step_by(q).collect() }
+        SampledSa {
+            q,
+            samples: sa.iter().copied().step_by(q).collect(),
+        }
     }
 
     /// Sampling interval.

@@ -46,7 +46,12 @@ pub struct SmemOpts {
 
 impl Default for SmemOpts {
     fn default() -> Self {
-        SmemOpts { min_seed_len: 19, split_factor: 1.5, split_width: 10, max_mem_intv: 20 }
+        SmemOpts {
+            min_seed_len: 19,
+            split_factor: 1.5,
+            split_width: 10,
+            max_mem_intv: 20,
+        }
     }
 }
 
@@ -271,7 +276,17 @@ pub fn collect_intv<O: OccTable, P: PerfSink>(
         if ((end - start) as i64) < split_len || p.s > opts.split_width {
             continue;
         }
-        smem1a(occ, query, (start + end) >> 1, p.s + 1, 0, mem1, swap, prefetch, sink);
+        smem1a(
+            occ,
+            query,
+            (start + end) >> 1,
+            p.s + 1,
+            0,
+            mem1,
+            swap,
+            prefetch,
+            sink,
+        );
         for q in mem1.iter() {
             if q.len() >= opts.min_seed_len as usize {
                 out.push(*q);
@@ -284,7 +299,14 @@ pub fn collect_intv<O: OccTable, P: PerfSink>(
         let mut x = 0usize;
         while x < len {
             if query[x] < 4 {
-                let (nx, m) = seed_strategy1(occ, query, x, opts.min_seed_len as i64, opts.max_mem_intv, sink);
+                let (nx, m) = seed_strategy1(
+                    occ,
+                    query,
+                    x,
+                    opts.min_seed_len as i64,
+                    opts.max_mem_intv,
+                    sink,
+                );
                 x = nx;
                 if let Some(m) = m {
                     out.push(m);

@@ -44,12 +44,10 @@ fn brute_smems(s: &[u8], query: &[u8]) -> Vec<(usize, usize, usize)> {
             if occ == 0 {
                 continue;
             }
-            let left_ext = beg > 0
-                && query[beg - 1] <= 3
-                && count_occurrences(s, &query[beg - 1..end]) > 0;
-            let right_ext = end < n
-                && query[end] <= 3
-                && count_occurrences(s, &query[beg..end + 1]) > 0;
+            let left_ext =
+                beg > 0 && query[beg - 1] <= 3 && count_occurrences(s, &query[beg - 1..end]) > 0;
+            let right_ext =
+                end < n && query[end] <= 3 && count_occurrences(s, &query[beg..end + 1]) > 0;
             if !left_ext && !right_ext {
                 mems.push((beg, end, occ));
             }
@@ -77,7 +75,17 @@ fn all_smems<O: OccTable>(occ: &O, query: &[u8], prefetch: bool) -> Vec<BiInterv
     let mut x = 0usize;
     while x < query.len() {
         if query[x] < 4 {
-            x = smem1a(occ, query, x, 1, 0, &mut mem1, &mut aux.swap, prefetch, &mut sink);
+            x = smem1a(
+                occ,
+                query,
+                x,
+                1,
+                0,
+                &mut mem1,
+                &mut aux.swap,
+                prefetch,
+                &mut sink,
+            );
             out.extend(mem1.iter().copied());
         } else {
             x += 1;
@@ -119,8 +127,10 @@ fn smems_match_brute_force_on_random_texts() {
 
         let expected = brute_smems(&s, &query);
         let got = all_smems(idx.opt(), &query, false);
-        let got_tuples: Vec<(usize, usize, usize)> =
-            got.iter().map(|p| (p.start(), p.end(), p.s as usize)).collect();
+        let got_tuples: Vec<(usize, usize, usize)> = got
+            .iter()
+            .map(|p| (p.start(), p.end(), p.s as usize))
+            .collect();
         assert_eq!(got_tuples, expected, "trial {trial} query {query:?}");
     }
 }
@@ -155,7 +165,10 @@ fn layouts_and_prefetch_produce_identical_smems() {
 
 #[test]
 fn collect_intv_identical_across_layouts() {
-    let genome = GenomeSpec { len: 30_000, ..GenomeSpec::default() };
+    let genome = GenomeSpec {
+        len: 30_000,
+        ..GenomeSpec::default()
+    };
     let reference = genome.generate_reference("g");
     let idx = FmIndex::build(&reference, &BuildOpts::default());
     let opts = SmemOpts::default();
@@ -173,7 +186,15 @@ fn collect_intv_identical_across_layouts() {
         let mut a = Vec::new();
         let mut b = Vec::new();
         collect_intv(idx.opt(), &opts, &query, &mut a, &mut aux, true, &mut sink);
-        collect_intv(idx.orig(), &opts, &query, &mut b, &mut aux, false, &mut sink);
+        collect_intv(
+            idx.orig(),
+            &opts,
+            &query,
+            &mut b,
+            &mut aux,
+            false,
+            &mut sink,
+        );
         assert_eq!(a, b);
         // every reported interval has sane occurrence counts and spans
         for p in &a {
@@ -203,7 +224,11 @@ fn extension_agrees_with_substring_counting() {
                 continue;
             }
         };
-        assert_eq!(iv.s as usize, count_occurrences(&s, &pat), "pattern {pat:?}");
+        assert_eq!(
+            iv.s as usize,
+            count_occurrences(&s, &pat),
+            "pattern {pat:?}"
+        );
         // backward extension counts
         let back = backward_ext4(occ, &iv, &mut sink);
         for b in 0..4u8 {

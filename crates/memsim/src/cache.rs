@@ -31,7 +31,11 @@ impl Cache {
         let ways = ways.max(1);
         let sets = (bytes / line / ways).next_power_of_two().max(1);
         // next_power_of_two rounds up; halve if we overshot capacity
-        let sets = if sets * line * ways > bytes && sets > 1 { sets / 2 } else { sets };
+        let sets = if sets * line * ways > bytes && sets > 1 {
+            sets / 2
+        } else {
+            sets
+        };
         Cache {
             line_bits: 6,
             sets,
@@ -115,7 +119,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = Cache::new(1 << 12, 8); // 4 KiB = 64 lines
-        // stream 256 lines twice: second pass must still miss heavily
+                                            // stream 256 lines twice: second pass must still miss heavily
         let mut misses = 0;
         for pass in 0..2 {
             for i in 0..256 {

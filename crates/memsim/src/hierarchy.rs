@@ -40,9 +40,18 @@ impl CacheConfig {
     /// The paper's SKX socket: 32 KiB L1d, 1 MiB L2, 38.5 MiB LLC.
     pub fn skylake() -> Self {
         CacheConfig {
-            l1: LevelConfig { bytes: 32 << 10, ways: 8 },
-            l2: LevelConfig { bytes: 1 << 20, ways: 16 },
-            llc: LevelConfig { bytes: 38 << 20, ways: 11 },
+            l1: LevelConfig {
+                bytes: 32 << 10,
+                ways: 8,
+            },
+            l2: LevelConfig {
+                bytes: 1 << 20,
+                ways: 16,
+            },
+            llc: LevelConfig {
+                bytes: 38 << 20,
+                ways: 11,
+            },
         }
     }
 
@@ -57,8 +66,14 @@ impl CacheConfig {
         let l1 = (l2 / 32).clamp(1 << 10, 32 << 10);
         CacheConfig {
             l1: LevelConfig { bytes: l1, ways: 8 },
-            l2: LevelConfig { bytes: l2, ways: 16 },
-            llc: LevelConfig { bytes: llc, ways: 11 },
+            l2: LevelConfig {
+                bytes: l2,
+                ways: 16,
+            },
+            llc: LevelConfig {
+                bytes: llc,
+                ways: 11,
+            },
         }
     }
 }
@@ -78,7 +93,12 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { l1: 4, l2: 14, llc: 44, memory: 200 }
+        LatencyModel {
+            l1: 4,
+            l2: 14,
+            llc: 44,
+            memory: 200,
+        }
     }
 }
 
@@ -159,9 +179,18 @@ mod tests {
     #[test]
     fn l2_serves_after_l1_eviction() {
         let cfg = CacheConfig {
-            l1: LevelConfig { bytes: 128, ways: 1 }, // 2 sets x 1 way
-            l2: LevelConfig { bytes: 4096, ways: 4 },
-            llc: LevelConfig { bytes: 1 << 16, ways: 8 },
+            l1: LevelConfig {
+                bytes: 128,
+                ways: 1,
+            }, // 2 sets x 1 way
+            l2: LevelConfig {
+                bytes: 4096,
+                ways: 4,
+            },
+            llc: LevelConfig {
+                bytes: 1 << 16,
+                ways: 8,
+            },
         };
         let mut h = CacheHierarchy::new(cfg);
         h.access(0); // into all levels

@@ -27,7 +27,10 @@ impl CounterReport {
         let rows: Vec<(String, Vec<String>)> = vec![
             (
                 "# Instructions (x10^6)".into(),
-                reports.iter().map(|r| fmt_m(r.counters.instructions)).collect(),
+                reports
+                    .iter()
+                    .map(|r| fmt_m(r.counters.instructions))
+                    .collect(),
             ),
             (
                 "# Loads (x10^6)".into(),
@@ -39,7 +42,10 @@ impl CounterReport {
             ),
             (
                 "# LLC Misses (x10^6)".into(),
-                reports.iter().map(|r| fmt_m(r.counters.llc_misses())).collect(),
+                reports
+                    .iter()
+                    .map(|r| fmt_m(r.counters.llc_misses()))
+                    .collect(),
             ),
             (
                 "Average latency (cycles)".into(),
@@ -50,7 +56,10 @@ impl CounterReport {
             ),
             (
                 "Time".into(),
-                reports.iter().map(|r| format!("{:.2}s", r.seconds)).collect(),
+                reports
+                    .iter()
+                    .map(|r| format!("{:.2}s", r.seconds))
+                    .collect(),
             ),
         ];
         let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -93,12 +102,20 @@ mod tests {
         let r = vec![
             CounterReport {
                 label: "Original".into(),
-                counters: Counters { instructions: 17_117_000_000, loads: 4_429_000_000, ..Default::default() },
+                counters: Counters {
+                    instructions: 17_117_000_000,
+                    loads: 4_429_000_000,
+                    ..Default::default()
+                },
                 seconds: 4.2,
             },
             CounterReport {
                 label: "Optimized".into(),
-                counters: Counters { instructions: 8_160_000_000, loads: 2_115_000_000, ..Default::default() },
+                counters: Counters {
+                    instructions: 8_160_000_000,
+                    loads: 2_115_000_000,
+                    ..Default::default()
+                },
                 seconds: 2.1,
             },
         ];

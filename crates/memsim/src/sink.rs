@@ -191,8 +191,18 @@ mod tests {
     #[test]
     fn cycle_model_is_monotone_in_misses() {
         let lat = LatencyModel::default();
-        let fast = Counters { instructions: 1000, loads: 100, served: [100, 0, 0, 0], ..Default::default() };
-        let slow = Counters { instructions: 1000, loads: 100, served: [0, 0, 0, 100], ..Default::default() };
+        let fast = Counters {
+            instructions: 1000,
+            loads: 100,
+            served: [100, 0, 0, 0],
+            ..Default::default()
+        };
+        let slow = Counters {
+            instructions: 1000,
+            loads: 100,
+            served: [0, 0, 0, 100],
+            ..Default::default()
+        };
         assert!(slow.cycles(&lat, 2.0) > fast.cycles(&lat, 2.0));
         assert_eq!(fast.avg_load_latency(&lat), lat.l1 as f64);
         assert_eq!(slow.avg_load_latency(&lat), lat.memory as f64);

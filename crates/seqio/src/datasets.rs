@@ -23,11 +23,36 @@ pub struct ReadSetSpec {
 
 /// The five paper datasets (Table 3).
 pub const PAPER_DATASETS: [ReadSetSpec; 5] = [
-    ReadSetSpec { label: "D1", read_len: 151, paper_reads: 500_000, source: "Broad Institute" },
-    ReadSetSpec { label: "D2", read_len: 151, paper_reads: 500_000, source: "Broad Institute" },
-    ReadSetSpec { label: "D3", read_len: 76, paper_reads: 1_250_000, source: "NCBI SRA: SRX020470" },
-    ReadSetSpec { label: "D4", read_len: 101, paper_reads: 1_250_000, source: "NCBI SRA: SRX207170" },
-    ReadSetSpec { label: "D5", read_len: 101, paper_reads: 1_250_000, source: "NCBI SRA: SRX206890" },
+    ReadSetSpec {
+        label: "D1",
+        read_len: 151,
+        paper_reads: 500_000,
+        source: "Broad Institute",
+    },
+    ReadSetSpec {
+        label: "D2",
+        read_len: 151,
+        paper_reads: 500_000,
+        source: "Broad Institute",
+    },
+    ReadSetSpec {
+        label: "D3",
+        read_len: 76,
+        paper_reads: 1_250_000,
+        source: "NCBI SRA: SRX020470",
+    },
+    ReadSetSpec {
+        label: "D4",
+        read_len: 101,
+        paper_reads: 1_250_000,
+        source: "NCBI SRA: SRX207170",
+    },
+    ReadSetSpec {
+        label: "D5",
+        read_len: 101,
+        paper_reads: 1_250_000,
+        source: "NCBI SRA: SRX206890",
+    },
 ];
 
 /// A concrete, scaled preset: genome + reads.
@@ -52,14 +77,23 @@ impl DatasetPreset {
         // Distinct seeds per dataset so D1 != D2 despite equal parameters,
         // mirroring the paper's two distinct Broad read sets.
         let idx = spec.label.as_bytes()[1] - b'0';
-        let genome = GenomeSpec { len: genome_len, seed: 0xD5EA_0000 + idx as u64, ..GenomeSpec::default() };
+        let genome = GenomeSpec {
+            len: genome_len,
+            seed: 0xD5EA_0000 + idx as u64,
+            ..GenomeSpec::default()
+        };
         let reads = ReadSimSpec {
             n_reads: (spec.paper_reads / scale).max(1),
             read_len: spec.read_len,
             seed: 0x0BAD_5EED + idx as u64,
             ..ReadSimSpec::default()
         };
-        Some(DatasetPreset { spec, genome, reads, scale })
+        Some(DatasetPreset {
+            spec,
+            genome,
+            reads,
+            scale,
+        })
     }
 
     /// All five presets.

@@ -10,7 +10,11 @@ pub enum SeqIoError {
     /// A FASTQ record was truncated.
     TruncatedRecord { name: String },
     /// FASTQ sequence and quality lengths differ.
-    QualityLengthMismatch { name: String, seq: usize, qual: usize },
+    QualityLengthMismatch {
+        name: String,
+        seq: usize,
+        qual: usize,
+    },
     /// The FASTQ separator line did not start with '+'.
     BadSeparator { name: String },
 }
@@ -27,7 +31,10 @@ impl fmt::Display for SeqIoError {
                 "record {name:?}: sequence length {seq} != quality length {qual}"
             ),
             SeqIoError::BadSeparator { name } => {
-                write!(f, "record {name:?}: FASTQ separator line must start with '+'")
+                write!(
+                    f,
+                    "record {name:?}: FASTQ separator line must start with '+'"
+                )
             }
         }
     }

@@ -21,7 +21,10 @@ pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, SeqIoError> {
         }
         if let Some(header) = line.strip_prefix('>') {
             let name = header.split_whitespace().next().unwrap_or("").to_string();
-            records.push(FastaRecord { name, seq: Vec::new() });
+            records.push(FastaRecord {
+                name,
+                seq: Vec::new(),
+            });
         } else {
             match records.last_mut() {
                 Some(rec) => rec.seq.extend_from_slice(line.as_bytes()),
@@ -79,8 +82,14 @@ mod tests {
     #[test]
     fn write_then_parse_roundtrips() {
         let recs = vec![
-            FastaRecord { name: "a".into(), seq: b"ACGTACGTACGT".to_vec() },
-            FastaRecord { name: "b".into(), seq: b"G".to_vec() },
+            FastaRecord {
+                name: "a".into(),
+                seq: b"ACGTACGTACGT".to_vec(),
+            },
+            FastaRecord {
+                name: "b".into(),
+                seq: b"G".to_vec(),
+            },
         ];
         let txt = write_fasta(&recs, 5);
         assert_eq!(parse_fasta(&txt).unwrap(), recs);

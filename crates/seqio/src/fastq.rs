@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert!(matches!(parse_fastq("ACGT\n"), Err(SeqIoError::BadHeader { .. })));
+        assert!(matches!(
+            parse_fastq("ACGT\n"),
+            Err(SeqIoError::BadHeader { .. })
+        ));
         assert!(matches!(
             parse_fastq("@r\nACGT\n+\n"),
             Err(SeqIoError::TruncatedRecord { .. })
@@ -108,7 +111,11 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let recs = vec![FastqRecord { name: "x".into(), seq: b"ACGTN".to_vec(), qual: b"IIIII".to_vec() }];
+        let recs = vec![FastqRecord {
+            name: "x".into(),
+            seq: b"ACGTN".to_vec(),
+            qual: b"IIIII".to_vec(),
+        }];
         assert_eq!(parse_fastq(&write_fastq(&recs)).unwrap(), recs);
     }
 }

@@ -61,9 +61,27 @@ impl ContigSet {
         Some((idx, pos - self.contigs[idx].offset))
     }
 
+    /// A contig's image in doubled coordinates on the given strand:
+    /// forward `[offset, offset+len)`; reverse-complement half
+    /// `[2L-(offset+len), 2L-offset)` where `L` is the forward length.
+    /// This is the inverse of the strand fold used when assigning seeds
+    /// to contigs, so the two stay in one place.
+    pub fn contig_image(&self, rid: usize, l_pac: i64, rev: bool) -> Option<(i64, i64)> {
+        let c = self.contigs.get(rid)?;
+        let (b, e) = (c.offset as i64, (c.offset + c.len) as i64);
+        Some(if rev {
+            (2 * l_pac - e, 2 * l_pac - b)
+        } else {
+            (b, e)
+        })
+    }
+
     /// True if the interval `[beg, end)` crosses a contig boundary.
     pub fn spans_boundary(&self, beg: usize, end: usize) -> bool {
-        match (self.locate(beg), self.locate(end.saturating_sub(1).max(beg))) {
+        match (
+            self.locate(beg),
+            self.locate(end.saturating_sub(1).max(beg)),
+        ) {
             (Some((a, _)), Some((b, _))) => a != b,
             _ => true,
         }
@@ -91,7 +109,11 @@ impl Reference {
         let mut holes = Vec::new();
         let mut offset = 0usize;
         for rec in records {
-            contigs.push(ContigAnn { name: rec.name.clone(), offset, len: rec.seq.len() });
+            contigs.push(ContigAnn {
+                name: rec.name.clone(),
+                offset,
+                len: rec.seq.len(),
+            });
             let mut hole_start: Option<usize> = None;
             for (i, &b) in rec.seq.iter().enumerate() {
                 let code = encode_base(b);
@@ -100,17 +122,26 @@ impl Reference {
                     pac.push(rng.random_range(0..4u8));
                 } else {
                     if let Some(start) = hole_start.take() {
-                        holes.push(AmbHole { offset: start, len: offset + i - start });
+                        holes.push(AmbHole {
+                            offset: start,
+                            len: offset + i - start,
+                        });
                     }
                     pac.push(code);
                 }
             }
             if let Some(start) = hole_start.take() {
-                holes.push(AmbHole { offset: start, len: offset + rec.seq.len() - start });
+                holes.push(AmbHole {
+                    offset: start,
+                    len: offset + rec.seq.len() - start,
+                });
             }
             offset += rec.seq.len();
         }
-        Reference { pac, contigs: ContigSet { contigs, holes } }
+        Reference {
+            pac,
+            contigs: ContigSet { contigs, holes },
+        }
     }
 
     /// Build from pre-encoded base codes as a single contig (test helper).
@@ -119,7 +150,11 @@ impl Reference {
         Reference {
             pac: PackedSeq::from_codes(codes),
             contigs: ContigSet {
-                contigs: vec![ContigAnn { name: name.to_string(), offset: 0, len: codes.len() }],
+                contigs: vec![ContigAnn {
+                    name: name.to_string(),
+                    offset: 0,
+                    len: codes.len(),
+                }],
                 holes: Vec::new(),
             },
         }

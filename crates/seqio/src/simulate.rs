@@ -81,7 +81,11 @@ impl GenomeSpec {
                 for _ in 0..self.repeat_copies {
                     let dst = rng.random_range(0..self.len - self.repeat_len);
                     let reverse = rng.random_bool(0.5);
-                    let copy = if reverse { revcomp_codes(&unit) } else { unit.clone() };
+                    let copy = if reverse {
+                        revcomp_codes(&unit)
+                    } else {
+                        unit.clone()
+                    };
                     for (j, &c) in copy.iter().enumerate() {
                         codes[dst + j] = if rng.random_bool(self.repeat_divergence) {
                             (c + rng.random_range(1..4u8)) & 3
@@ -151,7 +155,11 @@ impl TruthInfo {
         if self.junk {
             format!("sim_{id}_junk")
         } else {
-            format!("sim_{id}_{}_{}", self.pos, if self.reverse { 'R' } else { 'F' })
+            format!(
+                "sim_{id}_{}_{}",
+                self.pos,
+                if self.reverse { 'R' } else { 'F' }
+            )
         }
     }
 
@@ -163,11 +171,19 @@ impl TruthInfo {
         }
         let _id = parts.next()?;
         match parts.next()? {
-            "junk" => Some(TruthInfo { pos: 0, reverse: false, junk: true }),
+            "junk" => Some(TruthInfo {
+                pos: 0,
+                reverse: false,
+                junk: true,
+            }),
             pos => {
                 let pos = pos.parse().ok()?;
                 let reverse = parts.next()? == "R";
-                Some(TruthInfo { pos, reverse, junk: false })
+                Some(TruthInfo {
+                    pos,
+                    reverse,
+                    junk: false,
+                })
             }
         }
     }
@@ -205,8 +221,14 @@ impl<'a> ReadSim<'a> {
         let mut out = Vec::with_capacity(spec.n_reads);
         for id in 0..spec.n_reads {
             if spec.junk_rate > 0.0 && rng.random_bool(spec.junk_rate) {
-                let codes: Vec<u8> = (0..spec.read_len).map(|_| rng.random_range(0..4u8)).collect();
-                let truth = TruthInfo { pos: 0, reverse: false, junk: true };
+                let codes: Vec<u8> = (0..spec.read_len)
+                    .map(|_| rng.random_range(0..4u8))
+                    .collect();
+                let truth = TruthInfo {
+                    pos: 0,
+                    reverse: false,
+                    junk: true,
+                };
                 out.push(self.finish(id, codes, truth, &mut rng));
                 continue;
             }
@@ -256,10 +278,18 @@ impl<'a> ReadSim<'a> {
             // Substitution errors.
             for c in codes.iter_mut() {
                 if rng.random_bool(spec.sub_rate) {
-                    *c = if rng.random_bool(1.0 / 3.0) { complement(*c) } else { (*c + rng.random_range(1..4u8)) & 3 };
+                    *c = if rng.random_bool(1.0 / 3.0) {
+                        complement(*c)
+                    } else {
+                        (*c + rng.random_range(1..4u8)) & 3
+                    };
                 }
             }
-            let truth = TruthInfo { pos, reverse, junk: false };
+            let truth = TruthInfo {
+                pos,
+                reverse,
+                junk: false,
+            };
             out.push(self.finish(id, codes, truth, &mut rng));
         }
         out
@@ -271,7 +301,11 @@ impl<'a> ReadSim<'a> {
             .map(|_| b'!' + 30 + rng.random_range(0..10u8))
             .collect();
         SimRead {
-            record: FastqRecord { name: truth.encode(id), seq, qual },
+            record: FastqRecord {
+                name: truth.encode(id),
+                seq,
+                qual,
+            },
             truth,
         }
     }
@@ -298,10 +332,17 @@ mod tests {
                 counts[c as usize] += 1;
             }
             let gc = (counts[1] + counts[2]) as f64 / a.len() as f64;
-            assert!((gc - target_gc).abs() < 0.02, "gc fraction {gc} vs {target_gc}");
+            assert!(
+                (gc - target_gc).abs() < 0.02,
+                "gc fraction {gc} vs {target_gc}"
+            );
             // each individual base must appear at roughly its share
             for (i, &n) in counts.iter().enumerate() {
-                let expect = if i == 1 || i == 2 { target_gc / 2.0 } else { (1.0 - target_gc) / 2.0 };
+                let expect = if i == 1 || i == 2 {
+                    target_gc / 2.0
+                } else {
+                    (1.0 - target_gc) / 2.0
+                };
                 let got = n as f64 / a.len() as f64;
                 assert!((got - expect).abs() < 0.02, "base {i}: {got} vs {expect}");
             }
@@ -333,8 +374,16 @@ mod tests {
 
     #[test]
     fn reads_are_deterministic_and_well_formed() {
-        let genome = GenomeSpec { len: 50_000, ..GenomeSpec::default() }.generate_reference("g");
-        let spec = ReadSimSpec { n_reads: 100, read_len: 101, ..ReadSimSpec::default() };
+        let genome = GenomeSpec {
+            len: 50_000,
+            ..GenomeSpec::default()
+        }
+        .generate_reference("g");
+        let spec = ReadSimSpec {
+            n_reads: 100,
+            read_len: 101,
+            ..ReadSimSpec::default()
+        };
         let reads_a = ReadSim::new(&genome, spec.clone()).generate();
         let reads_b = ReadSim::new(&genome, spec).generate();
         assert_eq!(reads_a.len(), 100);
@@ -347,16 +396,28 @@ mod tests {
 
     #[test]
     fn truth_roundtrips_through_name() {
-        let t = TruthInfo { pos: 12345, reverse: true, junk: false };
+        let t = TruthInfo {
+            pos: 12345,
+            reverse: true,
+            junk: false,
+        };
         assert_eq!(TruthInfo::decode(&t.encode(7)).unwrap(), t);
-        let j = TruthInfo { pos: 0, reverse: false, junk: true };
+        let j = TruthInfo {
+            pos: 0,
+            reverse: false,
+            junk: true,
+        };
         assert_eq!(TruthInfo::decode(&j.encode(1)).unwrap(), j);
         assert_eq!(TruthInfo::decode("not_sim"), None);
     }
 
     #[test]
     fn error_free_reads_match_reference_exactly() {
-        let genome = GenomeSpec { len: 20_000, ..GenomeSpec::default() }.generate_reference("g");
+        let genome = GenomeSpec {
+            len: 20_000,
+            ..GenomeSpec::default()
+        }
+        .generate_reference("g");
         let spec = ReadSimSpec {
             n_reads: 50,
             read_len: 80,
@@ -365,7 +426,12 @@ mod tests {
             ..ReadSimSpec::default()
         };
         for read in ReadSim::new(&genome, spec).generate() {
-            let codes: Vec<u8> = read.record.seq.iter().map(|&b| crate::alphabet::encode_base(b)).collect();
+            let codes: Vec<u8> = read
+                .record
+                .seq
+                .iter()
+                .map(|&b| crate::alphabet::encode_base(b))
+                .collect();
             let mut window = genome.pac.fetch(read.truth.pos, read.truth.pos + 80);
             if read.truth.reverse {
                 // the read comes from the reverse strand of a longer window;

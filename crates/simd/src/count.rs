@@ -15,7 +15,11 @@ pub fn count_eq_prefix(bucket: &[u8; 32], needle: u8, prefix_len: usize) -> u32 
     for (i, &b) in bucket.iter().enumerate() {
         mask |= ((b == needle) as u32) << i;
     }
-    let keep = if prefix_len >= 32 { u32::MAX } else { (1u32 << prefix_len) - 1 };
+    let keep = if prefix_len >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << prefix_len) - 1
+    };
     (mask & keep).count_ones()
 }
 

@@ -14,10 +14,14 @@
 //! all-zeros (false) or all-ones (true) per lane, exactly like the x86
 //! compare instructions the paper uses, so `blend` is `(a & m) | (b & !m)`.
 
-// The explicit `for i in 0..W { o[i] = f(a[i], b[i]) }` loops below are the
-// deliberate idiom this crate is built on: fixed trip count + direct array
-// indexing is the pattern LLVM's auto-vectorizer recognizes unconditionally.
-#![allow(clippy::needless_range_loop)]
+// The explicit `for i in 0..W { o[i] = f(a[i], b[i]) }` loops this crate is
+// built on (fixed trip count + direct array indexing, the pattern LLVM's
+// auto-vectorizer recognizes unconditionally) are covered by the
+// workspace-wide `needless_range_loop` allow in the root Cargo.toml.
+//
+// `add`/`sub` mirror the x86 intrinsic names (`paddw`/`psubw`); they are
+// by-value lanewise ops, not the `std::ops` traits.
+#![allow(clippy::should_implement_trait)]
 
 pub mod count;
 pub mod prefetch;

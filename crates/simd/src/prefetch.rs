@@ -7,7 +7,10 @@
 pub fn prefetch_read<T>(r: &T) {
     #[cfg(target_arch = "x86_64")]
     unsafe {
-        core::arch::x86_64::_mm_prefetch(r as *const T as *const i8, core::arch::x86_64::_MM_HINT_T0);
+        core::arch::x86_64::_mm_prefetch(
+            r as *const T as *const i8,
+            core::arch::x86_64::_MM_HINT_T0,
+        );
     }
     #[cfg(not(target_arch = "x86_64"))]
     {

@@ -88,7 +88,11 @@ impl<const W: usize> VecI16<W> {
     pub fn max(self, rhs: Self) -> Self {
         let mut o = [0i16; W];
         for i in 0..W {
-            o[i] = if self.0[i] > rhs.0[i] { self.0[i] } else { rhs.0[i] };
+            o[i] = if self.0[i] > rhs.0[i] {
+                self.0[i]
+            } else {
+                rhs.0[i]
+            };
         }
         VecI16(o)
     }
@@ -98,7 +102,11 @@ impl<const W: usize> VecI16<W> {
     pub fn min(self, rhs: Self) -> Self {
         let mut o = [0i16; W];
         for i in 0..W {
-            o[i] = if self.0[i] < rhs.0[i] { self.0[i] } else { rhs.0[i] };
+            o[i] = if self.0[i] < rhs.0[i] {
+                self.0[i]
+            } else {
+                rhs.0[i]
+            };
         }
         VecI16(o)
     }

@@ -82,7 +82,11 @@ impl<const W: usize> VecU8<W> {
     pub fn max(self, rhs: Self) -> Self {
         let mut o = [0u8; W];
         for i in 0..W {
-            o[i] = if self.0[i] > rhs.0[i] { self.0[i] } else { rhs.0[i] };
+            o[i] = if self.0[i] > rhs.0[i] {
+                self.0[i]
+            } else {
+                rhs.0[i]
+            };
         }
         VecU8(o)
     }
@@ -92,7 +96,11 @@ impl<const W: usize> VecU8<W> {
     pub fn min(self, rhs: Self) -> Self {
         let mut o = [0u8; W];
         for i in 0..W {
-            o[i] = if self.0[i] < rhs.0[i] { self.0[i] } else { rhs.0[i] };
+            o[i] = if self.0[i] < rhs.0[i] {
+                self.0[i]
+            } else {
+                rhs.0[i]
+            };
         }
         VecU8(o)
     }

@@ -59,13 +59,21 @@ pub fn bwt_from_sa(text: &[u8], sa: &[u32]) -> Bwt {
             counts[c as usize] += 1;
         }
     }
-    assert!(sentinel_row != usize::MAX, "suffix array lacks row with SA=0");
+    assert!(
+        sentinel_row != usize::MAX,
+        "suffix array lacks row with SA=0"
+    );
     let mut c_before = [0i64; 5];
     c_before[0] = 1;
     for c in 0..4 {
         c_before[c + 1] = c_before[c] + counts[c];
     }
-    Bwt { data, sentinel_row, counts, c_before }
+    Bwt {
+        data,
+        sentinel_row,
+        counts,
+        c_before,
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +139,10 @@ mod tests {
             rebuilt.push(c);
             row = (bwt.c_before[c as usize] + occ(c, row)) as usize;
         }
-        assert_eq!(row, bwt.sentinel_row, "walk must end at the full-text suffix row");
+        assert_eq!(
+            row, bwt.sentinel_row,
+            "walk must end at the full-text suffix row"
+        );
         rebuilt.reverse();
         assert_eq!(rebuilt, text);
     }

@@ -21,7 +21,7 @@ mod tests {
         let text = [1u8, 0, 3, 0, 3, 0];
         let sa = naive_suffix_array(&text);
         assert_eq!(sa[0] as usize, text.len()); // empty suffix first
-        // verify sortedness
+                                                // verify sortedness
         for w in sa.windows(2) {
             assert!(text[w[0] as usize..] <= text[w[1] as usize..]);
         }

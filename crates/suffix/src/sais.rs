@@ -107,7 +107,10 @@ fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
 
     // --- reduced problem ---
     let lms_in_order: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
-    let reduced: Vec<u32> = lms_in_order.iter().map(|&p| names[p as usize / 2]).collect();
+    let reduced: Vec<u32> = lms_in_order
+        .iter()
+        .map(|&p| names[p as usize / 2])
+        .collect();
 
     let sa1: Vec<u32> = if distinct as usize == reduced.len() {
         // all LMS substrings distinct: order follows directly
@@ -262,7 +265,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for len in [3usize, 17, 64, 255, 1000, 4097] {
             let codes: Vec<u8> = (0..len).map(|_| rng.random_range(0..4u8)).collect();
-            assert_eq!(suffix_array(&codes), naive_suffix_array(&codes), "len {len}");
+            assert_eq!(
+                suffix_array(&codes),
+                naive_suffix_array(&codes),
+                "len {len}"
+            );
         }
     }
 

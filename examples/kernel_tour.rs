@@ -27,22 +27,55 @@ fn main() {
     // take one simulated read with errors
     let sim = ReadSim::new(
         &reference,
-        ReadSimSpec { n_reads: 1, read_len: 120, sub_rate: 0.03, indel_rate: 1.0, seed: 3, ..ReadSimSpec::default() },
+        ReadSimSpec {
+            n_reads: 1,
+            read_len: 120,
+            sub_rate: 0.03,
+            indel_rate: 1.0,
+            seed: 3,
+            ..ReadSimSpec::default()
+        },
     )
     .generate()
     .remove(0);
-    let codes: Vec<u8> = sim.record.seq.iter().map(|&b| mem2::seqio::encode_base(b)).collect();
-    println!("read {} ({} bp), truth: pos={} strand={}", sim.record.name, codes.len(), sim.truth.pos, if sim.truth.reverse { '-' } else { '+' });
+    let codes: Vec<u8> = sim
+        .record
+        .seq
+        .iter()
+        .map(|&b| mem2::seqio::encode_base(b))
+        .collect();
+    println!(
+        "read {} ({} bp), truth: pos={} strand={}",
+        sim.record.name,
+        codes.len(),
+        sim.truth.pos,
+        if sim.truth.reverse { '-' } else { '+' }
+    );
     println!("seq: {}\n", String::from_utf8_lossy(&sim.record.seq));
 
     // --- kernel 1: SMEM ---
     let mut sink = NoopSink;
     let mut aux = SmemAux::default();
     let mut intervals = Vec::new();
-    collect_intv(index.opt(), &opts.smem, &codes, &mut intervals, &mut aux, true, &mut sink);
-    println!("== SMEM: {} seeding intervals (min_seed_len={}) ==", intervals.len(), opts.smem.min_seed_len);
+    collect_intv(
+        index.opt(),
+        &opts.smem,
+        &codes,
+        &mut intervals,
+        &mut aux,
+        true,
+        &mut sink,
+    );
+    println!(
+        "== SMEM: {} seeding intervals (min_seed_len={}) ==",
+        intervals.len(),
+        opts.smem.min_seed_len
+    );
     for iv in &intervals {
-        let text: String = codes[iv.start()..iv.end()].iter().map(|&c| decode_base(c) as char).collect();
+        let text: String = codes[iv.start()..iv.end()]
+            .iter()
+            .map(|&c| decode_base(c) as char)
+            .collect();
         println!(
             "  query[{:>3}..{:>3}) occ={:<4} k={:<8} l={:<8} {}",
             iv.start(),
@@ -50,16 +83,31 @@ fn main() {
             iv.s,
             iv.k,
             iv.l,
-            if text.len() > 40 { format!("{}…", &text[..40]) } else { text }
+            if text.len() > 40 {
+                format!("{}…", &text[..40])
+            } else {
+                text
+            }
         );
     }
 
     // --- kernel 2: SAL ---
     let mut seeds = Vec::new();
     for iv in &intervals {
-        seeds_from_interval(&index, &reference.contigs, iv, opts.chain.max_occ, SaMode::Flat, &mut seeds, &mut sink);
+        seeds_from_interval(
+            &index,
+            &reference.contigs,
+            iv,
+            opts.chain.max_occ,
+            SaMode::Flat,
+            &mut seeds,
+            &mut sink,
+        );
     }
-    println!("\n== SAL: {} seeds located via the flat suffix array ==", seeds.len());
+    println!(
+        "\n== SAL: {} seeds located via the flat suffix array ==",
+        seeds.len()
+    );
     for (seed, rid) in seeds.iter().take(12) {
         let (fpos, rev) = index.pos_to_forward(seed.rbeg, seed.len as i64);
         println!(
@@ -77,8 +125,14 @@ fn main() {
 
     // --- chaining ---
     let fr = frac_rep(&intervals, opts.chain.max_occ, codes.len());
-    let chains = filter_chains(&opts.chain, chain_seeds(&opts.chain, index.l_pac, &seeds, fr));
-    println!("\n== CHAIN: {} chains kept after filtering ==", chains.len());
+    let chains = filter_chains(
+        &opts.chain,
+        chain_seeds(&opts.chain, index.l_pac, &seeds, fr),
+    );
+    println!(
+        "\n== CHAIN: {} chains kept after filtering ==",
+        chains.len()
+    );
     for c in &chains {
         println!(
             "  weight={:<4} kept={} seeds={} q[{}..{}) r[{}..{})",
@@ -95,18 +149,35 @@ fn main() {
     // --- kernel 3: BSW ---
     println!("\n== BSW: extending the best chain's best seed ==");
     let best = &chains[0];
-    let seed = best.seeds.iter().max_by_key(|s| s.len).expect("chain has seeds");
+    let seed = best
+        .seeds
+        .iter()
+        .max_by_key(|s| s.len)
+        .expect("chain has seeds");
     println!("  seed q[{}..{}) len {}", seed.qbeg, seed.qend(), seed.len);
     if seed.qend() < codes.len() as i32 {
         let query = codes[seed.qend() as usize..].to_vec();
         let tb = seed.rend() as usize;
         let te = (tb + query.len() + 50).min(2 * index.l_pac as usize);
-        let target = reference.pac.fetch2(tb, te.min(if seed.rbeg < index.l_pac { index.l_pac as usize } else { 2 * index.l_pac as usize }));
+        let target = reference.pac.fetch2(
+            tb,
+            te.min(if seed.rbeg < index.l_pac {
+                index.l_pac as usize
+            } else {
+                2 * index.l_pac as usize
+            }),
+        );
         let job = ExtendJob::new(query, target, seed.len * opts.score.a, opts.chain.w);
         let scalar = extend_scalar(&opts.score, &job);
         let vector = BswEngine::optimized(opts.score).extend_all(std::slice::from_ref(&job))[0];
-        println!("  right extension (scalar):     score={} qle={} tle={} gscore={}", scalar.score, scalar.qle, scalar.tle, scalar.gscore);
-        println!("  right extension (SIMD 8/16b): score={} qle={} tle={} gscore={}", vector.score, vector.qle, vector.tle, vector.gscore);
+        println!(
+            "  right extension (scalar):     score={} qle={} tle={} gscore={}",
+            scalar.score, scalar.qle, scalar.tle, scalar.gscore
+        );
+        println!(
+            "  right extension (SIMD 8/16b): score={} qle={} tle={} gscore={}",
+            vector.score, vector.qle, vector.tle, vector.gscore
+        );
         assert_eq!(scalar, vector, "engines must agree bit-for-bit");
         println!("  ✔ vector engine output identical to scalar");
     } else {
@@ -116,7 +187,7 @@ fn main() {
     // --- the whole pipeline, for comparison ---
     let aligner = Aligner::with_index(index, reference, opts, Workflow::Batched);
     println!("\n== final SAM record ==");
-    for rec in aligner.align_reads(&[sim.record.clone()]) {
+    for rec in aligner.align_reads(std::slice::from_ref(&sim.record)) {
         println!("{}", rec.to_line());
     }
 }

@@ -21,7 +21,13 @@ fn main() {
     // Simulate a few reads with 1% errors and occasional indels.
     let sim = ReadSim::new(
         &reference,
-        ReadSimSpec { n_reads: 10, read_len: 125, sub_rate: 0.01, indel_rate: 0.2, ..ReadSimSpec::default() },
+        ReadSimSpec {
+            n_reads: 10,
+            read_len: 125,
+            sub_rate: 0.01,
+            indel_rate: 0.2,
+            ..ReadSimSpec::default()
+        },
     );
     let reads: Vec<FastqRecord> = sim.generate().into_iter().map(|s| s.record).collect();
 

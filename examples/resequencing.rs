@@ -17,10 +17,16 @@ fn main() {
     let genome_len = (genome_mb * 1e6) as usize;
     let n_reads = (genome_len as f64 * coverage / read_len as f64) as usize;
 
-    eprintln!("[resequencing] genome {genome_mb} Mbp, {n_reads} x {read_len} bp reads (~{coverage}x)");
+    eprintln!(
+        "[resequencing] genome {genome_mb} Mbp, {n_reads} x {read_len} bp reads (~{coverage}x)"
+    );
 
     let t = Instant::now();
-    let genome = GenomeSpec { len: genome_len, seed: 77, ..GenomeSpec::default() };
+    let genome = GenomeSpec {
+        len: genome_len,
+        seed: 77,
+        ..GenomeSpec::default()
+    };
     let reference = genome.generate_reference("chrS");
     let sims = ReadSim::new(
         &reference,
@@ -42,7 +48,9 @@ fn main() {
     eprintln!("[resequencing] index built in {:.2?}", t.elapsed());
 
     let reads: Vec<FastqRecord> = sims.iter().map(|s| s.record.clone()).collect();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let t = Instant::now();
     let (sam, times) = align_reads_parallel(&aligner, &reads, threads);
     let wall = t.elapsed();
@@ -52,7 +60,10 @@ fn main() {
     let mut correct = 0usize;
     let mut q30_wrong = 0usize;
     for (sim, chunk) in sims.iter().zip(sam.chunk_by(|a, b| a.qname == b.qname)) {
-        let primary = chunk.iter().find(|r| r.flag & 0x900 == 0).expect("primary exists");
+        let primary = chunk
+            .iter()
+            .find(|r| r.flag & 0x900 == 0)
+            .expect("primary exists");
         if primary.flag & 0x4 != 0 || sim.truth.junk {
             continue;
         }
@@ -68,9 +79,15 @@ fn main() {
 
     println!("threads:            {threads}");
     println!("wall time:          {:.3} s", wall.as_secs_f64());
-    println!("throughput:         {:.0} reads/s", n_reads as f64 / wall.as_secs_f64());
+    println!(
+        "throughput:         {:.0} reads/s",
+        n_reads as f64 / wall.as_secs_f64()
+    );
     println!("mapped:             {mapped}/{n_reads}");
-    println!("correct placement:  {:.3}%", 100.0 * correct as f64 / mapped.max(1) as f64);
+    println!(
+        "correct placement:  {:.3}%",
+        100.0 * correct as f64 / mapped.max(1) as f64
+    );
     println!("mapq>=30 wrong:     {q30_wrong}");
     println!("\nper-stage CPU time (summed over workers):");
     print!("{}", times.render("stage breakdown"));

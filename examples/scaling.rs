@@ -9,12 +9,24 @@ use std::time::Instant;
 use mem2::prelude::*;
 
 fn main() {
-    let n_reads: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
-    let genome = GenomeSpec { len: 1 << 21, seed: 21, ..GenomeSpec::default() };
+    let n_reads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let genome = GenomeSpec {
+        len: 1 << 21,
+        seed: 21,
+        ..GenomeSpec::default()
+    };
     let reference = genome.generate_reference("chrX");
     let reads: Vec<FastqRecord> = ReadSim::new(
         &reference,
-        ReadSimSpec { n_reads, read_len: 151, seed: 4, ..ReadSimSpec::default() },
+        ReadSimSpec {
+            n_reads,
+            read_len: 151,
+            seed: 4,
+            ..ReadSimSpec::default()
+        },
     )
     .generate()
     .into_iter()
@@ -22,18 +34,26 @@ fn main() {
     .collect();
 
     let index = FmIndex::build(&reference, &BuildOpts::default());
-    let opts = MemOpts { chunk_reads: 256, ..Default::default() };
+    let opts = MemOpts {
+        chunk_reads: 256,
+        ..Default::default()
+    };
     let classic = Aligner::with_index(index.clone(), reference.clone(), opts, Workflow::Classic);
     let batched = Aligner::with_index(index, reference, opts, Workflow::Batched);
 
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut threads = vec![1usize];
     while *threads.last().expect("non-empty") * 2 <= max_threads {
         threads.push(threads.last().expect("non-empty") * 2);
     }
 
     println!("{n_reads} reads x 151 bp against a 2 Mbp synthetic genome\n");
-    println!("{:>8} {:>14} {:>14} {:>10}", "threads", "classic (s)", "batched (s)", "speedup");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "threads", "classic (s)", "batched (s)", "speedup"
+    );
     let mut base = None;
     for &t in &threads {
         let t0 = Instant::now();

@@ -1,0 +1,81 @@
+//! Offline stand-in for the `bytes` crate: the little-endian cursor
+//! reading (`Buf` on `&[u8]`) and appending (`BufMut` on `Vec<u8>`) the
+//! workspace's index-bundle codec uses. Reads panic when the buffer is
+//! too short, matching the real crate; callers bounds-check first.
+
+/// Sequential reader over a shrinking `&[u8]` window.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+}
+
+/// Sequential writer appending to a growable buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_slice(b"MAGIC");
+        out.put_u32_le(7);
+        out.put_u64_le(u64::MAX - 1);
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 5 + 4 + 8);
+        buf.advance(5);
+        assert_eq!(buf.get_u32_le(), 7);
+        assert_eq!(buf.get_u64_le(), u64::MAX - 1);
+        assert_eq!(buf.remaining(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for `criterion`: the `criterion_group!` /
+//! `criterion_main!` / `Criterion` surface, measuring mean wall-clock
+//! time over a fixed number of in-process iterations.
+//!
+//! No statistics, warm-up tuning, or HTML reports — just enough for the
+//! workspace's benches to build, run, and print comparable numbers.
+//! Honors `--test` (passed by `cargo test --benches`) by doing a single
+//! smoke iteration per benchmark.
+
+use std::time::Instant;
+
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = 10;
+        let test_mode = self.test_mode;
+        run_bench(&name.into(), sample_size, test_mode, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        run_bench(&id, self.sample_size, self.criterion.test_mode, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher {
+        iters: if test_mode { 1 } else { sample_size as u64 },
+        elapsed: 0.0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{id}: ok (smoke)");
+    } else {
+        let mean = b.elapsed / b.iters.max(1) as f64;
+        println!("{id}: {} per iter ({} iters)", fmt_secs(mean), b.iters);
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t.elapsed().as_secs_f64();
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// `black_box` re-export, part of criterion's public API.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

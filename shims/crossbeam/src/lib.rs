@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam`, providing `crossbeam::thread::scope`
+//! on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantic difference from the real crate: if a spawned thread panics,
+//! `std::thread::scope` resumes the panic at the end of the scope instead
+//! of returning `Err`, so the `Result` returned here is always `Ok`. The
+//! workspace only ever calls `.expect(..)` on it, which behaves the same
+//! either way.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`, wrapping the std scope so
+    /// spawned closures can themselves spawn.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again (crossbeam's signature), so nested spawns work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Mirror of `crossbeam::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_see_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let n = 8;
+        crate::thread::scope(|scope| {
+            for _ in 0..n {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

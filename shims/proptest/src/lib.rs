@@ -1,0 +1,642 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`, integer /
+//! float range strategies, `&str` character-class patterns,
+//! `prop::collection::vec`, `prop::sample::select`, `any::<T>()`, tuples,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are pure random samples seeded from
+//! the test name (deterministic across runs) and there is **no
+//! shrinking** — a failing case panics with the sampled inputs via the
+//! standard assert message instead of a minimized counterexample.
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Mirror of `proptest::test_runner::Config` (subset).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic per-test RNG; seeded from the test's name so every
+    /// test sees an independent, reproducible stream.
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(rand::rngs::StdRng::seed_from_u64(h))
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.0.next_u64()
+        }
+
+        /// Uniform draw from `[lo, hi]` (inclusive).
+        #[inline]
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u64 + 1;
+            lo + ((self.next_u64() as u128 * span as u128) >> 64) as usize
+        }
+
+        #[inline]
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Mirror of `proptest::strategy::Strategy`: something that can
+    /// produce values of type `Value`. Sampling only — no value trees.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice among boxed variants (`prop_oneof!`).
+    pub struct Union<V> {
+        variants: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(variants: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(
+                !variants.is_empty(),
+                "prop_oneof! needs at least one variant"
+            );
+            Union { variants }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.usize_in(0, self.variants.len() - 1);
+            self.variants[i].sample(rng)
+        }
+    }
+
+    // --- numeric ranges -------------------------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                    (self.start as i128 + r) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                    (lo as i128 + r) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    // --- tuples ---------------------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    // --- string patterns ------------------------------------------------
+
+    /// `&str` as a strategy for `String`, supporting the character-class
+    /// regex subset `[class]{m,n}` plus literal characters — enough for
+    /// patterns like `"[A-Za-z0-9_.-]{1,20}"`. Unsupported syntax panics
+    /// with a pointer to this shim.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, lo, hi) in &atoms {
+                let n = rng.usize_in(*lo, *hi);
+                for _ in 0..n {
+                    out.push(chars[rng.usize_in(0, chars.len() - 1)]);
+                }
+            }
+            out
+        }
+    }
+
+    type Atom = (Vec<char>, usize, usize);
+
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let mut atoms: Vec<Atom> = Vec::new();
+        let mut it = pat.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = it
+                            .next()
+                            .unwrap_or_else(|| unsupported(pat, "unterminated '['"));
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && it.peek() != Some(&']') => {
+                                let lo = prev.take().expect("range start");
+                                let hi = it.next().expect("range end");
+                                for x in lo..=hi {
+                                    set.push(x);
+                                }
+                            }
+                            '\\' => {
+                                if let Some(p) = prev.take() {
+                                    set.push(p);
+                                }
+                                prev = Some(
+                                    it.next()
+                                        .unwrap_or_else(|| unsupported(pat, "trailing backslash")),
+                                );
+                            }
+                            '^' if prev.is_none() && set.is_empty() => {
+                                unsupported(pat, "negated classes")
+                            }
+                            c => {
+                                if let Some(p) = prev.take() {
+                                    set.push(p);
+                                }
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        set.push(p);
+                    }
+                    if set.is_empty() {
+                        unsupported(pat, "empty character class");
+                    }
+                    set
+                }
+                '\\' => {
+                    vec![it
+                        .next()
+                        .unwrap_or_else(|| unsupported(pat, "trailing backslash"))]
+                }
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                    unsupported(pat, "operators outside a class")
+                }
+                c => vec![c],
+            };
+            // optional {m,n} / {n} repetition
+            let (lo, hi) = if it.peek() == Some(&'{') {
+                it.next();
+                let mut spec = String::new();
+                loop {
+                    match it.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => unsupported(pat, "unterminated '{'"),
+                    }
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => {
+                        let m = m
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| unsupported(pat, "bad bound"));
+                        let n = n
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| unsupported(pat, "bad bound"));
+                        (m, n)
+                    }
+                    None => {
+                        let n = spec
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| unsupported(pat, "bad bound"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((chars, lo, hi));
+        }
+        atoms
+    }
+
+    fn unsupported(pat: &str, what: &str) -> ! {
+        panic!(
+            "proptest shim: pattern {pat:?} uses {what}, which this offline \
+             shim does not support (see shims/proptest)"
+        )
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Mirror of `proptest::collection::SizeRange`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.min, self.size.max_incl);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Mirror of `proptest::sample::select` (for `Vec` inputs).
+    pub fn select<T: Clone + std::fmt::Debug + 'static>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.usize_in(0, self.options.len() - 1)].clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Mirror of `proptest::arbitrary::Arbitrary` (sampling form).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                #[inline]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        #[inline]
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        #[inline]
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    pub struct Any<A>(PhantomData<A>);
+
+    /// Mirror of `proptest::arbitrary::any`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace the prelude conventionally brings in.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Mirror of the `proptest!` macro: each `fn name(pat in strategy, ..)`
+/// becomes a `#[test]` that samples `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _ in 0..__config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_collections(
+            v in prop::collection::vec(0u8..4, 0..30),
+            n in 1usize..=5,
+            x in prop::sample::select(vec![10, 20, 30]),
+            f in 0.0f64..1.0,
+            b in any::<bool>(),
+        ) {
+            prop_assert!(v.iter().all(|&c| c < 4));
+            prop_assert!(v.len() < 30);
+            prop_assert!((1..=5).contains(&n));
+            prop_assert!([10, 20, 30].contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn string_patterns_and_oneof(
+            s in "[A-Za-z0-9_.-]{1,20}",
+            choice in prop_oneof![
+                (0usize..4).prop_map(|x| x * 2),
+                Just(99usize),
+            ],
+        ) {
+            prop_assert!(!s.is_empty() && s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+            prop_assert!(choice == 99 || choice < 8);
+        }
+
+        #[test]
+        fn tuples_and_map(
+            pair in (0i64..100, 1i32..10).prop_map(|(a, b)| (a, b * 2)),
+        ) {
+            prop_assert!((0..100).contains(&pair.0));
+            prop_assert!(pair.1 % 2 == 0 && (2..20).contains(&pair.1));
+        }
+    }
+}

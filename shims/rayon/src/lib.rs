@@ -1,0 +1,185 @@
+//! Offline stand-in for `rayon`, covering the slice-chunk parallelism the
+//! bench binaries use: `ThreadPoolBuilder` / `ThreadPool::install` and
+//! `par_chunks(..).for_each(..)`.
+//!
+//! Chunks are distributed over real OS threads (std scoped threads) via an
+//! atomic work-stealing-ish cursor, so thread-scaling measurements remain
+//! meaningful. There is no general parallel-iterator machinery — only the
+//! surface this workspace needs.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Worker count installed by the innermost `ThreadPool::install`.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn effective_threads() -> usize {
+    let installed = CURRENT_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Mirror of `rayon::ThreadPool` — remembers its size and installs it for
+/// the duration of a closure.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build shim thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// Parallel chunk iterator over a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a [T]) + Send + Sync,
+    {
+        let n_chunks = self.slice.len().div_ceil(self.chunk.max(1));
+        let workers = effective_threads().min(n_chunks.max(1));
+        if workers <= 1 {
+            for c in self.slice.chunks(self.chunk.max(1)) {
+                f(c);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        let chunk = self.chunk.max(1);
+        let slice = self.slice;
+        let f = &f;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let beg = i * chunk;
+                    if beg >= slice.len() {
+                        break;
+                    }
+                    let end = (beg + chunk).min(slice.len());
+                    f(&slice[beg..end]);
+                });
+            }
+        });
+    }
+}
+
+/// The `par_chunks` entry point, normally provided by
+/// `rayon::prelude::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunks {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{ParallelSlice, ThreadPool, ThreadPoolBuilder};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn par_chunks_visits_every_element_once() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let sum = AtomicU64::new(0);
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            data.par_chunks(37).for_each(|c| {
+                sum.fetch_add(c.iter().sum::<u64>(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let data = [1u64, 2, 3];
+        let sum = AtomicU64::new(0);
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            data.par_chunks(2).for_each(|c| {
+                sum.fetch_add(c.iter().sum::<u64>(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as no-op derive macros (from the
+//! sibling `serde_derive` shim). The workspace derives these on a few
+//! types for forward compatibility but never invokes a serializer —
+//! on-disk persistence goes through `mem2_core::bundle`.
+
+pub use serde_derive::{Deserialize, Serialize};

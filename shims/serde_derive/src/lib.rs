@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no code calls
+//! serde serializers — persistence uses `mem2_core::bundle`'s own binary
+//! format), so these derives expand to nothing. If real serialization is
+//! ever needed, replace the `serde`/`serde_derive` shims with the
+//! upstream crates in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -67,7 +67,9 @@ fn cmd_index(args: &[String]) -> Result<(), AnyError> {
 }
 
 fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
-    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut workflow = Workflow::Batched;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -133,18 +135,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
     let genome_len = (mb.parse::<f64>()? * 1e6) as usize;
     let n_reads: usize = n.parse()?;
     let read_len: usize = len.parse()?;
-    let genome = GenomeSpec { len: genome_len, seed: 42, ..GenomeSpec::default() };
+    let genome = GenomeSpec {
+        len: genome_len,
+        seed: 42,
+        ..GenomeSpec::default()
+    };
     let codes = genome.generate_codes();
     let ascii: Vec<u8> = codes.iter().map(|&c| b"ACGT"[c as usize]).collect();
     let fasta = write_fasta(
-        &[mem2::seqio::FastaRecord { name: "chrSim".into(), seq: ascii }],
+        &[mem2::seqio::FastaRecord {
+            name: "chrSim".into(),
+            seq: ascii,
+        }],
         80,
     );
     std::fs::write(format!("{prefix}.fasta"), fasta)?;
     let reference = Reference::from_codes("chrSim", &codes);
     let sim = ReadSim::new(
         &reference,
-        ReadSimSpec { n_reads, read_len, seed: 43, ..ReadSimSpec::default() },
+        ReadSimSpec {
+            n_reads,
+            read_len,
+            seed: 43,
+            ..ReadSimSpec::default()
+        },
     );
     let reads: Vec<FastqRecord> = sim.generate().into_iter().map(|s| s.record).collect();
     std::fs::write(format!("{prefix}.fastq"), write_fastq(&reads))?;

@@ -1,0 +1,161 @@
+//! End-to-end smoke test of the `mem2` binary: `simulate` → `index` →
+//! `mem`, checking that the SAM output parses, matches the reference
+//! header, and is byte-identical across thread counts (the `threads.rs`
+//! deterministic-ordering guarantee) and across the `.idx` / `.fasta`
+//! input paths.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("mem2-cli-smoke-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().expect("utf-8 path").to_string()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn mem2(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mem2"))
+        .args(args)
+        .output()
+        .expect("spawn mem2")
+}
+
+fn mem2_ok(args: &[&str]) -> Output {
+    let out = mem2(args);
+    assert!(
+        out.status.success(),
+        "mem2 {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Minimal SAM sanity check; returns (header lines, record lines).
+fn split_sam(stdout: &[u8]) -> (Vec<String>, Vec<String>) {
+    let text = String::from_utf8(stdout.to_vec()).expect("SAM output is UTF-8");
+    let (mut header, mut records) = (Vec::new(), Vec::new());
+    for line in text.lines() {
+        if line.starts_with('@') {
+            header.push(line.to_string());
+        } else if !line.is_empty() {
+            records.push(line.to_string());
+        }
+    }
+    (header, records)
+}
+
+#[test]
+fn simulate_index_mem_roundtrip_is_deterministic() {
+    let dir = TempDir::new("roundtrip");
+    let prefix = dir.path("synth");
+    let fasta = format!("{prefix}.fasta");
+    let fastq = format!("{prefix}.fastq");
+    let idx = dir.path("synth.idx");
+
+    mem2_ok(&["simulate", "0.05", "60", "101", &prefix]);
+    assert!(std::fs::metadata(&fasta).expect("fasta written").len() > 0);
+    assert!(std::fs::metadata(&fastq).expect("fastq written").len() > 0);
+
+    mem2_ok(&["index", &fasta, &idx]);
+    assert!(std::fs::metadata(&idx).expect("index written").len() > 0);
+
+    let t2 = mem2_ok(&["mem", "-t", "2", &idx, &fastq]);
+    let (header, records) = split_sam(&t2.stdout);
+
+    // header: @HD plus one @SQ for the simulated contig, @PG last
+    assert!(
+        header[0].starts_with("@HD\t"),
+        "header starts with @HD: {header:?}"
+    );
+    assert!(
+        header
+            .iter()
+            .any(|h| h.starts_with("@SQ\tSN:chrSim\tLN:50000")),
+        "expected @SQ for chrSim: {header:?}"
+    );
+
+    // every simulated read appears, and mapped records parse as SAM
+    assert!(
+        records.len() >= 60,
+        "at least one record per read: {}",
+        records.len()
+    );
+    let mut mapped = 0;
+    for rec in &records {
+        let fields: Vec<&str> = rec.split('\t').collect();
+        assert!(fields.len() >= 11, "SAM record has 11+ fields: {rec}");
+        let flag: u32 = fields[1].parse().expect("numeric FLAG");
+        let pos: u64 = fields[3].parse().expect("numeric POS");
+        let _mapq: u8 = fields[4].parse().expect("numeric MAPQ");
+        if flag & 0x4 == 0 {
+            mapped += 1;
+            assert_eq!(fields[2], "chrSim", "mapped to the simulated contig");
+            assert!(
+                pos >= 1 && fields[5] != "*",
+                "mapped record has POS and CIGAR: {rec}"
+            );
+        }
+    }
+    assert!(mapped >= 55, "most simulated reads map: {mapped}/60");
+
+    // thread-count determinism: -t 1 and -t 4 emit identical bytes
+    let t1 = mem2_ok(&["mem", "-t", "1", &idx, &fastq]);
+    let t4 = mem2_ok(&["mem", "-t", "4", &idx, &fastq]);
+    assert_eq!(
+        t1.stdout, t2.stdout,
+        "-t 1 vs -t 2 SAM must be byte-identical"
+    );
+    assert_eq!(
+        t1.stdout, t4.stdout,
+        "-t 1 vs -t 4 SAM must be byte-identical"
+    );
+
+    // indexing on the fly from FASTA gives the same alignments
+    let from_fasta = mem2_ok(&["mem", "-t", "2", &fasta, &fastq]);
+    assert_eq!(
+        t2.stdout, from_fasta.stdout,
+        ".idx and .fasta inputs must agree"
+    );
+
+    // the classic workflow reproduces the batched output (paper invariant)
+    let classic = mem2_ok(&["mem", "-t", "2", "--classic", &idx, &fastq]);
+    assert_eq!(
+        t2.stdout, classic.stdout,
+        "classic and batched SAM must be identical"
+    );
+}
+
+#[test]
+fn cli_reports_usage_errors() {
+    let out = mem2(&[]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "bare invocation exits 2 with usage"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = mem2(&["mem", "/nonexistent.idx"]);
+    assert!(!out.status.success(), "missing reads argument must fail");
+
+    let dir = TempDir::new("badinput");
+    let bad = dir.path("bad.fasta");
+    std::fs::write(&bad, "not fasta at all\n").expect("write bad input");
+    let out = mem2(&["index", &bad, &dir.path("out.idx")]);
+    assert!(!out.status.success(), "malformed FASTA must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mem2:"));
+}

@@ -58,7 +58,11 @@ fn validate_sam(rec: &SamRecord, contig_lens: &[(String, usize)]) {
         rec.pos
     );
     // no leading/trailing deletions, no zero-length ops
-    assert!(cigar.iter().all(|&(_, n)| n > 0), "zero-length op in {}", rec.cigar);
+    assert!(
+        cigar.iter().all(|&(_, n)| n > 0),
+        "zero-length op in {}",
+        rec.cigar
+    );
     assert!(cigar.first().map(|&(op, _)| op != 'D').unwrap_or(true));
     assert!(cigar.last().map(|&(op, _)| op != 'D').unwrap_or(true));
     assert!(rec.mapq <= 60);
@@ -85,8 +89,12 @@ fn simulate(reference: &Reference, n: usize, len: usize, seed: u64) -> Vec<Fastq
 
 #[test]
 fn every_sam_record_is_well_formed() {
-    let reference = GenomeSpec { len: 80_000, seed: 31, ..GenomeSpec::default() }
-        .generate_reference("chrW");
+    let reference = GenomeSpec {
+        len: 80_000,
+        seed: 31,
+        ..GenomeSpec::default()
+    }
+    .generate_reference("chrW");
     let contig_lens: Vec<(String, usize)> = reference
         .contigs
         .contigs
@@ -103,25 +111,66 @@ fn every_sam_record_is_well_formed() {
 #[test]
 fn multi_contig_reference_works_end_to_end() {
     // three contigs of different sizes from different seeds
-    let g1 = GenomeSpec { len: 30_000, seed: 1, ..GenomeSpec::default() }.generate_codes();
-    let g2 = GenomeSpec { len: 20_000, seed: 2, ..GenomeSpec::default() }.generate_codes();
-    let g3 = GenomeSpec { len: 10_000, seed: 3, ..GenomeSpec::default() }.generate_codes();
-    let to_ascii = |codes: &[u8]| -> Vec<u8> {
-        codes.iter().map(|&c| b"ACGT"[c as usize]).collect()
-    };
+    let g1 = GenomeSpec {
+        len: 30_000,
+        seed: 1,
+        ..GenomeSpec::default()
+    }
+    .generate_codes();
+    let g2 = GenomeSpec {
+        len: 20_000,
+        seed: 2,
+        ..GenomeSpec::default()
+    }
+    .generate_codes();
+    let g3 = GenomeSpec {
+        len: 10_000,
+        seed: 3,
+        ..GenomeSpec::default()
+    }
+    .generate_codes();
+    let to_ascii =
+        |codes: &[u8]| -> Vec<u8> { codes.iter().map(|&c| b"ACGT"[c as usize]).collect() };
     let records = vec![
-        FastaRecord { name: "alpha".into(), seq: to_ascii(&g1) },
-        FastaRecord { name: "beta".into(), seq: to_ascii(&g2) },
-        FastaRecord { name: "gamma".into(), seq: to_ascii(&g3) },
+        FastaRecord {
+            name: "alpha".into(),
+            seq: to_ascii(&g1),
+        },
+        FastaRecord {
+            name: "beta".into(),
+            seq: to_ascii(&g2),
+        },
+        FastaRecord {
+            name: "gamma".into(),
+            seq: to_ascii(&g3),
+        },
     ];
     let reference = Reference::from_fasta(&records, 0);
     let reads = simulate(&reference, 250, 101, 0x77);
     let index = FmIndex::build(&reference, &BuildOpts::default());
-    let classic = Aligner::with_index(index.clone(), reference.clone(), MemOpts::default(), Workflow::Classic);
-    let batched = Aligner::with_index(index, reference.clone(), MemOpts::default(), Workflow::Batched);
+    let classic = Aligner::with_index(
+        index.clone(),
+        reference.clone(),
+        MemOpts::default(),
+        Workflow::Classic,
+    );
+    let batched = Aligner::with_index(
+        index,
+        reference.clone(),
+        MemOpts::default(),
+        Workflow::Batched,
+    );
 
-    let sam_c: Vec<String> = classic.align_reads(&reads).iter().map(|r| r.to_line()).collect();
-    let sam_b: Vec<String> = batched.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    let sam_c: Vec<String> = classic
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
+    let sam_b: Vec<String> = batched
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
     assert_eq!(sam_c, sam_b, "multi-contig identity must hold");
 
     // all three contigs should attract alignments
@@ -138,13 +187,21 @@ fn multi_contig_reference_works_end_to_end() {
             *per_contig.entry(rec.rname.clone()).or_insert(0usize) += 1;
         }
     }
-    assert!(per_contig.len() == 3, "alignments on all contigs: {per_contig:?}");
+    assert!(
+        per_contig.len() == 3,
+        "alignments on all contigs: {per_contig:?}"
+    );
 }
 
 #[test]
 fn reference_with_ambiguous_bases_stays_identical() {
     // inject N runs into the reference FASTA
-    let codes = GenomeSpec { len: 40_000, seed: 9, ..GenomeSpec::default() }.generate_codes();
+    let codes = GenomeSpec {
+        len: 40_000,
+        seed: 9,
+        ..GenomeSpec::default()
+    }
+    .generate_codes();
     let mut ascii: Vec<u8> = codes.iter().map(|&c| b"ACGT"[c as usize]).collect();
     for start in (5_000..35_000).step_by(7_000) {
         for b in ascii.iter_mut().skip(start).take(50) {
@@ -152,23 +209,43 @@ fn reference_with_ambiguous_bases_stays_identical() {
         }
     }
     let reference = Reference::from_fasta(
-        &[FastaRecord { name: "chrN".into(), seq: ascii }],
+        &[FastaRecord {
+            name: "chrN".into(),
+            seq: ascii,
+        }],
         123,
     );
     assert!(!reference.contigs.holes.is_empty());
     let reads = simulate(&reference, 200, 101, 0x88);
     let index = FmIndex::build(&reference, &BuildOpts::default());
-    let classic = Aligner::with_index(index.clone(), reference.clone(), MemOpts::default(), Workflow::Classic);
+    let classic = Aligner::with_index(
+        index.clone(),
+        reference.clone(),
+        MemOpts::default(),
+        Workflow::Classic,
+    );
     let batched = Aligner::with_index(index, reference, MemOpts::default(), Workflow::Batched);
-    let a: Vec<String> = classic.align_reads(&reads).iter().map(|r| r.to_line()).collect();
-    let b: Vec<String> = batched.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    let a: Vec<String> = classic
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
+    let b: Vec<String> = batched
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
     assert_eq!(a, b);
 }
 
 #[test]
 fn fastq_roundtrip_feeds_the_aligner() {
-    let reference = GenomeSpec { len: 25_000, seed: 4, ..GenomeSpec::default() }
-        .generate_reference("chrQ");
+    let reference = GenomeSpec {
+        len: 25_000,
+        seed: 4,
+        ..GenomeSpec::default()
+    }
+    .generate_reference("chrQ");
     let reads = simulate(&reference, 40, 125, 0x31);
     // write to FASTQ text and parse back
     let text = mem2::seqio::write_fastq(&reads);
@@ -181,32 +258,77 @@ fn fastq_roundtrip_feeds_the_aligner() {
 
 #[test]
 fn tiny_and_edge_case_reads_do_not_break_the_pipeline() {
-    let reference = GenomeSpec { len: 30_000, seed: 5, ..GenomeSpec::default() }
-        .generate_reference("chrE");
+    let reference = GenomeSpec {
+        len: 30_000,
+        seed: 5,
+        ..GenomeSpec::default()
+    }
+    .generate_reference("chrE");
     let fetch_ascii = |beg: usize, end: usize| -> Vec<u8> {
-        reference.pac.fetch(beg, end).iter().map(|&c| b"ACGT"[c as usize]).collect()
+        reference
+            .pac
+            .fetch(beg, end)
+            .iter()
+            .map(|&c| b"ACGT"[c as usize])
+            .collect()
     };
     let reads = vec![
         // shorter than min_seed_len: must come back unmapped
-        FastqRecord { name: "tiny".into(), seq: b"ACGTACGTAC".to_vec(), qual: vec![b'I'; 10] },
+        FastqRecord {
+            name: "tiny".into(),
+            seq: b"ACGTACGTAC".to_vec(),
+            qual: vec![b'I'; 10],
+        },
         // exactly min_seed_len
-        FastqRecord { name: "seedlen".into(), seq: fetch_ascii(1000, 1019), qual: vec![b'I'; 19] },
+        FastqRecord {
+            name: "seedlen".into(),
+            seq: fetch_ascii(1000, 1019),
+            qual: vec![b'I'; 19],
+        },
         // all-N read
-        FastqRecord { name: "allN".into(), seq: vec![b'N'; 80], qual: vec![b'I'; 80] },
+        FastqRecord {
+            name: "allN".into(),
+            seq: vec![b'N'; 80],
+            qual: vec![b'I'; 80],
+        },
         // homopolymer read
-        FastqRecord { name: "polyA".into(), seq: vec![b'A'; 100], qual: vec![b'I'; 100] },
+        FastqRecord {
+            name: "polyA".into(),
+            seq: vec![b'A'; 100],
+            qual: vec![b'I'; 100],
+        },
         // normal read for sanity
-        FastqRecord { name: "normal".into(), seq: fetch_ascii(2000, 2151), qual: vec![b'I'; 151] },
+        FastqRecord {
+            name: "normal".into(),
+            seq: fetch_ascii(2000, 2151),
+            qual: vec![b'I'; 151],
+        },
     ];
     let index = FmIndex::build(&reference, &BuildOpts::default());
-    let classic = Aligner::with_index(index.clone(), reference.clone(), MemOpts::default(), Workflow::Classic);
+    let classic = Aligner::with_index(
+        index.clone(),
+        reference.clone(),
+        MemOpts::default(),
+        Workflow::Classic,
+    );
     let batched = Aligner::with_index(index, reference, MemOpts::default(), Workflow::Batched);
-    let a: Vec<String> = classic.align_reads(&reads).iter().map(|r| r.to_line()).collect();
-    let b: Vec<String> = batched.align_reads(&reads).iter().map(|r| r.to_line()).collect();
+    let a: Vec<String> = classic
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
+    let b: Vec<String> = batched
+        .align_reads(&reads)
+        .iter()
+        .map(|r| r.to_line())
+        .collect();
     assert_eq!(a, b);
     let sam = batched.align_reads(&reads);
     let by_name = |n: &str| sam.iter().find(|r| r.qname == n).expect("record exists");
-    assert!(by_name("tiny").flag & 0x4 != 0, "10bp read cannot be seeded");
+    assert!(
+        by_name("tiny").flag & 0x4 != 0,
+        "10bp read cannot be seeded"
+    );
     assert!(by_name("allN").flag & 0x4 != 0);
     assert!(by_name("normal").flag & 0x4 == 0);
     assert_eq!(by_name("normal").pos, 2001);
