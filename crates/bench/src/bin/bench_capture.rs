@@ -1,0 +1,201 @@
+//! `bench_capture` — per-commit performance capture for CI.
+//!
+//! Runs the three paper kernels (SMEM, SAL, BSW) plus the end-to-end
+//! batched pipeline on the standard synthetic workload and writes a
+//! machine-readable JSON artifact:
+//!
+//! ```json
+//! [
+//!   {"commit": "<sha>", "bench": "smem", "median_ns": 123456,
+//!    "throughput": 7890.1, "throughput_unit": "queries/s"},
+//!   ...
+//! ]
+//! ```
+//!
+//! Usage: `bench_capture [--quick] [--out FILE] [--commit SHA]`
+//!
+//! * `--quick` shrinks the workload and sample count for CI (the numbers
+//!   are still medians of repeated runs, just noisier).
+//! * `--commit` defaults to `$GITHUB_SHA`, then `unknown`.
+//!
+//! The CI `bench-capture` job uploads `BENCH_<sha>.json` on every push
+//! to main, giving the ROADMAP's "perf baseline" a per-commit series.
+
+use std::time::Instant;
+
+use mem2_bench::{
+    intercept_bsw_jobs, intercept_sal_rows, intercept_smem_queries, BenchEnv, EnvConfig,
+};
+use mem2_core::{Aligner, Workflow};
+use mem2_fmindex::{collect_intv, SmemAux};
+use mem2_memsim::NoopSink;
+
+struct Capture {
+    bench: &'static str,
+    median_ns: u128,
+    throughput: f64,
+    unit: &'static str,
+}
+
+/// Median wall time of `samples` runs of `f` (ns). Each sample is one
+/// full pass over the fixture.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut commit: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next(),
+            "--commit" => commit = args.next(),
+            other => {
+                eprintln!("bench_capture: unknown argument {other}");
+                eprintln!("usage: bench_capture [--quick] [--out FILE] [--commit SHA]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let commit = commit
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "unknown".into());
+    let (samples, n_reads) = if quick { (5, 400) } else { (15, 2_000) };
+
+    eprintln!("[bench_capture] building fixtures ({n_reads} reads)...");
+    let env = BenchEnv::build(EnvConfig {
+        genome_mb: 1.0,
+        read_scale: 2000,
+    });
+    let reads = env.reads_n("D2", n_reads);
+    let queries = intercept_smem_queries(&reads);
+    let rows = intercept_sal_rows(&env.index, &env.opts, &queries);
+    let jobs = intercept_bsw_jobs(&env.index, &env.reference, &env.opts, &reads);
+    let aligner = Aligner::with_index(
+        env.index.clone(),
+        env.reference.clone(),
+        env.opts,
+        Workflow::Batched,
+    );
+
+    let mut captures = Vec::new();
+
+    // SMEM: optimized η=32 table with software prefetch
+    let mut aux = SmemAux::default();
+    let mut intervals = Vec::new();
+    let mut sink = NoopSink;
+    let ns = median_ns(samples, || {
+        for q in &queries {
+            collect_intv(
+                env.index.opt(),
+                &env.opts.smem,
+                q,
+                &mut intervals,
+                &mut aux,
+                true,
+                &mut sink,
+            );
+        }
+        std::hint::black_box(&intervals);
+    });
+    captures.push(Capture {
+        bench: "smem",
+        median_ns: ns,
+        throughput: per_sec(queries.len(), ns),
+        unit: "queries/s",
+    });
+
+    // SAL: flat suffix-array lookup
+    let flat = env.index.sa_flat.as_ref().expect("flat SA built");
+    let ns = median_ns(samples, || {
+        let mut acc = 0i64;
+        for &r in &rows {
+            acc ^= flat.lookup(r, &mut sink);
+        }
+        std::hint::black_box(acc);
+    });
+    captures.push(Capture {
+        bench: "sal",
+        median_ns: ns,
+        throughput: per_sec(rows.len(), ns),
+        unit: "lookups/s",
+    });
+
+    // BSW: inter-task SIMD engine over the intercepted jobs
+    let engine = mem2_bsw::BswEngine::optimized(env.opts.score);
+    let ns = median_ns(samples, || {
+        std::hint::black_box(engine.extend_all(&jobs));
+    });
+    captures.push(Capture {
+        bench: "bsw",
+        median_ns: ns,
+        throughput: per_sec(jobs.len(), ns),
+        unit: "jobs/s",
+    });
+
+    // End-to-end: batched single-thread pipeline (deterministic,
+    // runner-core-count independent)
+    let ns = median_ns(samples, || {
+        std::hint::black_box(aligner.align_reads(&reads));
+    });
+    captures.push(Capture {
+        bench: "end_to_end",
+        median_ns: ns,
+        throughput: per_sec(reads.len(), ns),
+        unit: "reads/s",
+    });
+
+    let json = render_json(&commit, &captures);
+    for c in &captures {
+        eprintln!(
+            "[bench_capture] {:<12} median {:>12} ns   {:>12.1} {}",
+            c.bench, c.median_ns, c.throughput, c.unit
+        );
+    }
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("bench_capture: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[bench_capture] wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn per_sec(items: usize, ns: u128) -> f64 {
+    items as f64 / (ns as f64 / 1e9)
+}
+
+/// Hand-rolled JSON (no serde_json in the offline shim set): an array of
+/// flat objects, schema `{commit, bench, median_ns, throughput,
+/// throughput_unit}`.
+fn render_json(commit: &str, captures: &[Capture]) -> String {
+    let mut s = String::from("[\n");
+    for (i, c) in captures.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"commit\": \"{}\", \"bench\": \"{}\", \"median_ns\": {}, \"throughput\": {:.1}, \"throughput_unit\": \"{}\"}}{}\n",
+            commit,
+            c.bench,
+            c.median_ns,
+            c.throughput,
+            c.unit,
+            if i + 1 < captures.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s.push('\n');
+    s
+}

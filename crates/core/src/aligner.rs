@@ -129,4 +129,22 @@ impl Aligner {
         let mut times = StageTimes::default();
         self.align_reads_timed(reads, &mut times)
     }
+
+    /// Align a stream of read batches with `n_threads` workers, writing
+    /// SAM records (no header) to `out` in input order — the streaming
+    /// front end behind `mem2 mem`. See
+    /// [`crate::threads::align_stream_parallel`].
+    pub fn align_fastq_stream<I, W>(
+        &self,
+        batches: I,
+        n_threads: usize,
+        out: &mut W,
+    ) -> Result<(crate::threads::StreamSummary, StageTimes), crate::threads::StreamError>
+    where
+        I: IntoIterator<Item = Result<Vec<FastqRecord>, mem2_seqio::SeqIoError>>,
+        I::IntoIter: Send,
+        W: std::io::Write,
+    {
+        crate::threads::align_stream_parallel(self, batches, n_threads, out)
+    }
 }

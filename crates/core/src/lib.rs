@@ -34,4 +34,4 @@ pub use opts::MemOpts;
 pub use profile::{Stage, StageTimes};
 pub use region::AlnReg;
 pub use sam::SamRecord;
-pub use threads::align_reads_parallel;
+pub use threads::{align_reads_parallel, align_stream_parallel, StreamError, StreamSummary};

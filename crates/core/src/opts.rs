@@ -31,6 +31,10 @@ pub struct MemOpts {
     pub batch_reads: usize,
     /// Reads per scheduling chunk handed to a worker (default 4096).
     pub chunk_reads: usize,
+    /// Target bases per streamed ingestion batch (bwa's `-K` chunk size;
+    /// default 10 Mbp). Streaming peak memory is O(batch_bases), not
+    /// O(file).
+    pub batch_bases: usize,
     /// Also emit secondary alignments (bwa's `-a`; default off).
     pub output_all: bool,
 }
@@ -50,6 +54,7 @@ impl Default for MemOpts {
             mapq_coef_fac: (50.0f64).ln(),
             batch_reads: 512,
             chunk_reads: 4096,
+            batch_bases: mem2_seqio::DEFAULT_BATCH_BASES,
             output_all: false,
         }
     }

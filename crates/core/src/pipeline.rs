@@ -45,11 +45,19 @@ pub struct PreparedRead {
 impl PreparedRead {
     /// Encode a FASTQ record.
     pub fn from_fastq(rec: &FastqRecord) -> Self {
+        Self::from_fastq_owned(rec.clone())
+    }
+
+    /// Encode an owned FASTQ record without cloning its buffers — the
+    /// streaming driver hands records straight from the decoder to the
+    /// worker.
+    pub fn from_fastq_owned(rec: FastqRecord) -> Self {
+        let codes = rec.seq.iter().map(|&b| encode_base(b)).collect();
         PreparedRead {
-            name: rec.name.clone(),
-            codes: rec.seq.iter().map(|&b| encode_base(b)).collect(),
-            seq: rec.seq.clone(),
-            qual: rec.qual.clone(),
+            name: rec.name,
+            codes,
+            seq: rec.seq,
+            qual: rec.qual,
         }
     }
 }

@@ -1,14 +1,28 @@
-//! Multithreaded driver: crossbeam scoped workers pulling read chunks
-//! from an atomic cursor — the same dynamic scheduling the paper gets
-//! from OpenMP `schedule(dynamic)`, with one reusable [`Worker`] arena
-//! per thread. Output order is deterministic (chunk-indexed slots), so
-//! thread count never changes the SAM byte stream.
+//! Multithreaded drivers.
+//!
+//! [`align_reads_parallel`] — in-memory: crossbeam scoped workers pulling
+//! read chunks from an atomic cursor — the same dynamic scheduling the
+//! paper gets from OpenMP `schedule(dynamic)`, with one reusable
+//! [`Worker`] arena per thread. Output order is deterministic
+//! (chunk-indexed slots), so thread count never changes the SAM byte
+//! stream.
+//!
+//! [`align_stream_parallel`] — streaming: a producer thread decodes and
+//! parses ingestion batches (so gzip inflate of batch N+1 overlaps
+//! alignment of batch N — double buffering via a bounded channel), worker
+//! threads align them, and the caller's thread writes SAM in input order.
+//! Peak resident read memory is O(queue_depth + n_threads) batches, never
+//! O(file).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
 
 use parking_lot::Mutex;
 
-use mem2_seqio::FastqRecord;
+use mem2_seqio::{FastqRecord, SeqIoError};
 
 use crate::aligner::{Aligner, Workflow};
 use crate::pipeline::{align_batch, align_read_classic, read_to_sam, PreparedRead, Worker};
@@ -75,4 +89,254 @@ pub fn align_reads_parallel(
         all.append(&mut slot.into_inner());
     }
     (all, total_times.into_inner())
+}
+
+/// How many decoded batches the producer may queue ahead of the workers:
+/// the classic double buffer (decode N+1 while N aligns), bounding
+/// resident read memory at `STREAM_QUEUE_DEPTH + n_threads` batches.
+const STREAM_QUEUE_DEPTH: usize = 2;
+
+/// Reorder gate: workers holding results for batch `idx` wait until
+/// `idx` falls within a fixed window of the writer's cursor before
+/// shipping them. Without it, one slow batch would let the writer's
+/// reorder buffer absorb every later batch — O(file) memory under
+/// worker skew. The worker holding the writer's next batch always
+/// passes (its index equals the cursor), so progress is guaranteed.
+struct OrderGate {
+    /// Next batch index the writer will emit; `usize::MAX` = released
+    /// (shutdown), every waiter passes.
+    cursor: std::sync::Mutex<usize>,
+    cv: std::sync::Condvar,
+}
+
+impl OrderGate {
+    fn new() -> Self {
+        OrderGate {
+            cursor: std::sync::Mutex::new(0),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until `idx < cursor + window` (or the gate is released).
+    fn wait_within(&self, idx: usize, window: usize) {
+        let mut cur = self.cursor.lock().expect("gate poisoned");
+        while *cur != usize::MAX && idx >= *cur + window {
+            cur = self.cv.wait(cur).expect("gate poisoned");
+        }
+    }
+
+    /// Publish a new writer cursor, waking blocked workers.
+    fn advance(&self, next: usize) {
+        *self.cursor.lock().expect("gate poisoned") = next;
+        self.cv.notify_all();
+    }
+
+    /// Let every waiter through (shutdown path).
+    fn release(&self) {
+        self.advance(usize::MAX);
+    }
+}
+
+/// Error from the streaming driver: either the input stream failed
+/// (I/O, gzip, FASTQ parse) or the SAM sink did.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Reading/decoding/parsing the FASTQ stream failed.
+    Input(SeqIoError),
+    /// Writing SAM records failed.
+    Output(std::io::Error),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Input(e) => write!(f, "reading input: {e}"),
+            StreamError::Output(e) => write!(f, "writing SAM: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<SeqIoError> for StreamError {
+    fn from(e: SeqIoError) -> Self {
+        StreamError::Input(e)
+    }
+}
+
+/// Counters returned by a completed streaming run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StreamSummary {
+    /// Reads consumed from the input stream.
+    pub reads: usize,
+    /// SAM records written.
+    pub records: usize,
+    /// Ingestion batches processed.
+    pub batches: usize,
+}
+
+/// Align a stream of read batches with `n_threads` workers, writing SAM
+/// records to `out` in input order.
+///
+/// `batches` is typically a [`mem2_seqio::BatchReader`]; any iterator of
+/// batch results works (each batch becomes one scheduling unit, so batch
+/// size trades load-balance granularity against channel overhead). The
+/// producer runs on its own thread: with gzipped input, inflate+parse of
+/// the next batch overlaps alignment of the current one.
+///
+/// Output is byte-identical to [`align_reads_parallel`] on the
+/// concatenated batches, for any thread count and any batch partition —
+/// per-read results don't depend on batch boundaries (the invariant the
+/// golden and cli_smoke tests pin).
+pub fn align_stream_parallel<I, W>(
+    aligner: &Aligner,
+    batches: I,
+    n_threads: usize,
+    out: &mut W,
+) -> Result<(StreamSummary, StageTimes), StreamError>
+where
+    I: IntoIterator<Item = Result<Vec<FastqRecord>, SeqIoError>>,
+    I::IntoIter: Send,
+    W: Write,
+{
+    let n_threads = n_threads.max(1);
+    let batches = batches.into_iter();
+    let (batch_tx, batch_rx) = sync_channel::<(usize, Vec<FastqRecord>)>(STREAM_QUEUE_DEPTH);
+    let batch_rx = Mutex::new(batch_rx);
+    let (res_tx, res_rx) = sync_channel::<(usize, Vec<SamRecord>)>(n_threads + STREAM_QUEUE_DEPTH);
+    let input_err: Mutex<Option<SeqIoError>> = Mutex::new(None);
+    let reads_in = AtomicUsize::new(0);
+    let total_times = Mutex::new(StageTimes::default());
+    let cancelled = AtomicBool::new(false);
+    let gate = OrderGate::new();
+    // completed batches a worker may run ahead of the writer: enough to
+    // keep every worker busy, small enough to cap the reorder buffer
+    let reorder_window = n_threads + STREAM_QUEUE_DEPTH;
+    let mut summary = StreamSummary::default();
+    let mut result: Result<(), StreamError> = Ok(());
+
+    crossbeam::thread::scope(|scope| {
+        // -- producer: decode/parse batches, keep the queue fed --
+        scope.spawn(|_| {
+            let mut idx = 0usize;
+            for item in batches {
+                // stop decoding promptly once the writer has failed —
+                // without this, `mem2 ... | head` would inflate and
+                // parse the whole remaining file into a dead pipe
+                if cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
+                match item {
+                    Ok(batch) => {
+                        reads_in.fetch_add(batch.len(), Ordering::Relaxed);
+                        // send fails only when the consumer side tore down
+                        // early (write error); just stop producing
+                        if batch_tx.send((idx, batch)).is_err() {
+                            break;
+                        }
+                        idx += 1;
+                    }
+                    Err(e) => {
+                        *input_err.lock() = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(batch_tx); // closes the queue → workers drain and exit
+        });
+
+        // -- workers: pull a batch, align it, ship indexed results --
+        for _ in 0..n_threads {
+            let res_tx = res_tx.clone();
+            scope.spawn(|_| {
+                let res_tx = res_tx; // move the clone, borrow the rest
+                let ctx = aligner.context();
+                let mut worker = Worker::new(&aligner.opts);
+                loop {
+                    // hold the lock across recv: exactly one worker waits
+                    // on the channel, the rest queue on the mutex
+                    let msg = batch_rx.lock().recv();
+                    let Ok((idx, records)) = msg else { break };
+                    let prepared: Vec<PreparedRead> = records
+                        .into_iter()
+                        .map(PreparedRead::from_fastq_owned)
+                        .collect();
+                    let mut recs = Vec::new();
+                    match aligner.workflow {
+                        Workflow::Classic => {
+                            for read in &prepared {
+                                let regs = align_read_classic(&ctx, &mut worker, read);
+                                recs.extend(read_to_sam(&ctx, read, &regs, &mut worker.times));
+                            }
+                        }
+                        Workflow::Batched => {
+                            for batch in prepared.chunks(aligner.opts.batch_reads) {
+                                let regs = align_batch(&ctx, &mut worker, batch);
+                                for (read, r) in batch.iter().zip(&regs) {
+                                    recs.extend(read_to_sam(&ctx, read, r, &mut worker.times));
+                                }
+                            }
+                        }
+                    }
+                    // stay within the reorder window so the writer's
+                    // pending map is bounded even under batch skew
+                    gate.wait_within(idx, reorder_window);
+                    if res_tx.send((idx, recs)).is_err() {
+                        break; // writer tore down early
+                    }
+                }
+                total_times.lock().merge(&worker.times);
+            });
+        }
+        drop(res_tx); // writer's recv ends once all workers finish
+
+        // -- writer (this thread): reorder by batch index, emit in order --
+        result = write_in_order(res_rx, out, &gate, &mut summary);
+        if result.is_err() {
+            // tear down: stop the producer, let gated workers through
+            // (their sends fail, ending them), and drain the batch queue
+            // so the producer's bounded sends complete
+            cancelled.store(true, Ordering::Relaxed);
+            gate.release();
+            while batch_rx.lock().recv().is_ok() {}
+        }
+    })
+    .expect("stream worker panicked");
+
+    if let Some(e) = input_err.into_inner() {
+        // input failure wins over a secondary write error: it's the root
+        // cause (partial SAM may already be on the output)
+        return Err(StreamError::Input(e));
+    }
+    result?;
+    summary.reads = reads_in.into_inner();
+    Ok((summary, total_times.into_inner()))
+}
+
+/// Drain worker results, writing batches in input order and publishing
+/// the cursor through the gate. The gate caps `pending` at the reorder
+/// window. On a write error the receiver is dropped, which unblocks
+/// workers/producer via their failed sends (the caller releases the
+/// gate).
+fn write_in_order<W: Write>(
+    res_rx: Receiver<(usize, Vec<SamRecord>)>,
+    out: &mut W,
+    gate: &OrderGate,
+    summary: &mut StreamSummary,
+) -> Result<(), StreamError> {
+    let mut pending: BTreeMap<usize, Vec<SamRecord>> = BTreeMap::new();
+    let mut next = 0usize;
+    while let Ok((idx, recs)) = res_rx.recv() {
+        pending.insert(idx, recs);
+        while let Some(recs) = pending.remove(&next) {
+            next += 1;
+            for rec in &recs {
+                writeln!(out, "{}", rec.to_line()).map_err(StreamError::Output)?;
+            }
+            summary.records += recs.len();
+            summary.batches += 1;
+        }
+        gate.advance(next);
+    }
+    Ok(())
 }

@@ -1,0 +1,164 @@
+//! Streaming driver invariants: `align_stream_parallel` must emit the
+//! exact same SAM byte stream as the in-memory driver, for any batch
+//! partition (1 read, 1 KiB of bases, default), any thread count, and
+//! for gzipped input — the "identical output" guarantee extended to the
+//! chunked ingestion path.
+
+use mem2_core::{align_reads_parallel, Aligner, MemOpts, StreamError, Workflow};
+use mem2_fmindex::{BuildOpts, FmIndex};
+use mem2_seqio::{
+    gzip_compress_stored, write_fastq, AutoReader, BatchReader, FastqRecord, GenomeSpec, ReadSim,
+    ReadSimSpec, SeqIoError,
+};
+
+fn fixture() -> (Aligner, Vec<FastqRecord>) {
+    let reference = GenomeSpec {
+        len: 60_000,
+        seed: 0xBEEF,
+        ..GenomeSpec::default()
+    }
+    .generate_reference("chrS");
+    let reads: Vec<FastqRecord> = ReadSim::new(
+        &reference,
+        ReadSimSpec {
+            n_reads: 120,
+            read_len: 101,
+            seed: 0xF00D,
+            ..ReadSimSpec::default()
+        },
+    )
+    .generate()
+    .into_iter()
+    .map(|s| s.record)
+    .collect();
+    // dual-layout index so the same fixture serves both workflows
+    let index = FmIndex::build(&reference, &BuildOpts::default());
+    let aligner = Aligner::with_index(index, reference, MemOpts::default(), Workflow::Batched);
+    (aligner, reads)
+}
+
+fn sam_bytes_in_memory(aligner: &Aligner, reads: &[FastqRecord], threads: usize) -> Vec<u8> {
+    let (records, _) = align_reads_parallel(aligner, reads, threads);
+    let mut out = Vec::new();
+    for r in &records {
+        out.extend_from_slice(r.to_line().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+fn sam_bytes_streamed(
+    aligner: &Aligner,
+    fastq: &[u8],
+    batch_bases: usize,
+    threads: usize,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    let batches = BatchReader::new(fastq, batch_bases);
+    let (summary, _) = aligner
+        .align_fastq_stream(batches, threads, &mut out)
+        .expect("stream align");
+    assert!(summary.reads > 0);
+    out
+}
+
+#[test]
+fn streamed_sam_is_identical_across_batch_sizes_and_threads() {
+    let (aligner, reads) = fixture();
+    let fastq = write_fastq(&reads);
+    let expected = sam_bytes_in_memory(&aligner, &reads, 1);
+
+    // batch sizes: 1 read (budget 0), 1 KiB of bases, default (single batch)
+    for batch_bases in [0, 1024, mem2_seqio::DEFAULT_BATCH_BASES] {
+        for threads in [1, 2, 4] {
+            let got = sam_bytes_streamed(&aligner, fastq.as_bytes(), batch_bases, threads);
+            assert_eq!(
+                got, expected,
+                "batch_bases={batch_bases} threads={threads} must match in-memory SAM"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_gzip_input_is_identical() {
+    let (aligner, reads) = fixture();
+    let fastq = write_fastq(&reads);
+    let gz = gzip_compress_stored(fastq.as_bytes());
+    let expected = sam_bytes_in_memory(&aligner, &reads, 2);
+
+    let auto = AutoReader::new(&gz[..]).expect("sniff");
+    let mut out = Vec::new();
+    aligner
+        .align_fastq_stream(BatchReader::new(auto, 2048), 2, &mut out)
+        .expect("stream align");
+    assert_eq!(out, expected, "gz streamed SAM must match in-memory SAM");
+}
+
+#[test]
+fn classic_workflow_streams_identically() {
+    let (batched, reads) = fixture();
+    let classic = Aligner::with_index(
+        batched.index.clone(),
+        batched.reference.clone(),
+        batched.opts,
+        Workflow::Classic,
+    );
+    let fastq = write_fastq(&reads);
+    let expected = sam_bytes_in_memory(&batched, &reads, 1);
+    let got = sam_bytes_streamed(&classic, fastq.as_bytes(), 4096, 3);
+    assert_eq!(got, expected, "classic streamed == batched in-memory");
+}
+
+#[test]
+fn write_errors_tear_down_without_hanging() {
+    // a sink that fails after one write: the driver must return the
+    // output error and unwind producer + workers (no deadlock), without
+    // processing the whole input
+    struct FailingSink {
+        writes: usize,
+    }
+    impl std::io::Write for FailingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writes += 1;
+            if self.writes > 1 {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "downstream closed",
+                ))
+            } else {
+                Ok(buf.len())
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let (aligner, reads) = fixture();
+    let fastq = write_fastq(&reads);
+    let mut sink = FailingSink { writes: 0 };
+    let err = aligner
+        .align_fastq_stream(BatchReader::new(fastq.as_bytes(), 0), 4, &mut sink)
+        .expect_err("broken pipe must surface");
+    assert!(
+        matches!(err, StreamError::Output(ref e) if e.kind() == std::io::ErrorKind::BrokenPipe),
+        "got {err}"
+    );
+}
+
+#[test]
+fn input_errors_surface_with_context() {
+    let (aligner, _) = fixture();
+    // valid record followed by a truncated one
+    let bad = b"@ok\nACGTACGTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIIIIIII\n@broken\nACGT\n+\n";
+    let mut out = Vec::new();
+    let err = aligner
+        .align_fastq_stream(BatchReader::new(&bad[..], 0), 2, &mut out)
+        .expect_err("truncated input must fail");
+    match err {
+        StreamError::Input(SeqIoError::TruncatedRecord { name, .. }) => {
+            assert_eq!(name, "broken");
+        }
+        other => panic!("expected TruncatedRecord, got {other}"),
+    }
+}

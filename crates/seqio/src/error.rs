@@ -1,14 +1,17 @@
-//! Error type for sequence parsing.
+//! Error type for sequence parsing and ingestion.
 
 use std::fmt;
 
-/// Errors raised while parsing FASTA/FASTQ input.
+/// Errors raised while parsing FASTA/FASTQ input or reading it from a
+/// stream. Line numbers are 1-based positions in the (decompressed)
+/// input so messages point at the offending record even inside `.gz`
+/// files.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SeqIoError {
     /// Input did not start with the expected record marker.
     BadHeader { line: usize, found: String },
     /// A FASTQ record was truncated.
-    TruncatedRecord { name: String },
+    TruncatedRecord { name: String, line: usize },
     /// FASTQ sequence and quality lengths differ.
     QualityLengthMismatch {
         name: String,
@@ -16,7 +19,36 @@ pub enum SeqIoError {
         qual: usize,
     },
     /// The FASTQ separator line did not start with '+'.
-    BadSeparator { name: String },
+    BadSeparator { name: String, line: usize },
+    /// A read name was not valid UTF-8.
+    BadUtf8 { line: usize },
+    /// An underlying I/O (or gzip decode) failure. `detail` preserves the
+    /// source error text, including gzip byte offsets.
+    Io { context: String, detail: String },
+    /// An error annotated with the file it came from — the CLI wraps
+    /// parse/load errors in this so users see `<path>: <what went wrong>`.
+    InFile {
+        path: String,
+        source: Box<SeqIoError>,
+    },
+}
+
+impl SeqIoError {
+    /// Wrap an `io::Error` with a short context string.
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> SeqIoError {
+        SeqIoError::Io {
+            context: context.into(),
+            detail: err.to_string(),
+        }
+    }
+
+    /// Annotate this error with the path it occurred in.
+    pub fn in_file(self, path: impl Into<String>) -> SeqIoError {
+        SeqIoError::InFile {
+            path: path.into(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for SeqIoError {
@@ -25,17 +57,24 @@ impl fmt::Display for SeqIoError {
             SeqIoError::BadHeader { line, found } => {
                 write!(f, "line {line}: expected record header, found {found:?}")
             }
-            SeqIoError::TruncatedRecord { name } => write!(f, "record {name:?} is truncated"),
+            SeqIoError::TruncatedRecord { name, line } => {
+                write!(f, "line {line}: record {name:?} is truncated")
+            }
             SeqIoError::QualityLengthMismatch { name, seq, qual } => write!(
                 f,
                 "record {name:?}: sequence length {seq} != quality length {qual}"
             ),
-            SeqIoError::BadSeparator { name } => {
+            SeqIoError::BadSeparator { name, line } => {
                 write!(
                     f,
-                    "record {name:?}: FASTQ separator line must start with '+'"
+                    "line {line}: record {name:?}: FASTQ separator line must start with '+'"
                 )
             }
+            SeqIoError::BadUtf8 { line } => {
+                write!(f, "line {line}: read name is not valid UTF-8")
+            }
+            SeqIoError::Io { context, detail } => write!(f, "{context}: {detail}"),
+            SeqIoError::InFile { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }

@@ -1,6 +1,11 @@
 //! Minimal FASTQ parsing and writing.
+//!
+//! The parser itself lives in [`crate::stream`]; [`parse_fastq`] is the
+//! whole-buffer convenience wrapper over the same implementation, so
+//! in-memory and streaming ingestion can never disagree on the dialect.
 
 use crate::error::SeqIoError;
+use crate::stream::FastqStream;
 
 /// One FASTQ record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -15,48 +20,7 @@ pub struct FastqRecord {
 
 /// Parse FASTQ text into records. Requires the common 4-line layout.
 pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, SeqIoError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.is_empty());
-    let mut records = Vec::new();
-    while let Some((lineno, header)) = lines.next() {
-        let name = header
-            .strip_prefix('@')
-            .ok_or_else(|| SeqIoError::BadHeader {
-                line: lineno + 1,
-                found: header.chars().take(20).collect(),
-            })?
-            .split_whitespace()
-            .next()
-            .unwrap_or("")
-            .to_string();
-        let seq = lines
-            .next()
-            .ok_or_else(|| SeqIoError::TruncatedRecord { name: name.clone() })?
-            .1
-            .as_bytes()
-            .to_vec();
-        let sep = lines
-            .next()
-            .ok_or_else(|| SeqIoError::TruncatedRecord { name: name.clone() })?
-            .1;
-        if !sep.starts_with('+') {
-            return Err(SeqIoError::BadSeparator { name });
-        }
-        let qual = lines
-            .next()
-            .ok_or_else(|| SeqIoError::TruncatedRecord { name: name.clone() })?
-            .1
-            .as_bytes()
-            .to_vec();
-        if qual.len() != seq.len() {
-            return Err(SeqIoError::QualityLengthMismatch {
-                name,
-                seq: seq.len(),
-                qual: qual.len(),
-            });
-        }
-        records.push(FastqRecord { name, seq, qual });
-    }
-    Ok(records)
+    FastqStream::new(text.as_bytes()).collect()
 }
 
 /// Serialize records as FASTQ text.

@@ -11,15 +11,21 @@ pub mod datasets;
 pub mod error;
 pub mod fasta;
 pub mod fastq;
+pub mod gzip;
 pub mod pack;
 pub mod refseq;
 pub mod simulate;
+pub mod stream;
 
 pub use alphabet::{complement, decode_base, encode_base, revcomp_codes, BASE_N};
 pub use datasets::{DatasetPreset, ReadSetSpec};
 pub use error::SeqIoError;
 pub use fasta::{parse_fasta, write_fasta, FastaRecord};
 pub use fastq::{parse_fastq, write_fastq, FastqRecord};
+pub use gzip::{gzip_compress_stored, gzip_decompress, GzipDecoder};
 pub use pack::PackedSeq;
 pub use refseq::{ContigSet, Reference};
 pub use simulate::{GenomeSpec, ReadSim, ReadSimSpec, SimRead, TruthInfo};
+pub use stream::{
+    open_reads, AutoReader, BatchReader, FastqStream, InputFormat, DEFAULT_BATCH_BASES,
+};

@@ -1,0 +1,440 @@
+//! Streaming, chunked FASTQ ingestion.
+//!
+//! The alignment pipeline keeps every core busy by consuming *batches* of
+//! reads; this module produces them from any `io::Read` without ever
+//! materializing the whole file:
+//!
+//! * [`FastqStream`] — an incremental FASTQ parser (an `Iterator` of
+//!   records) with the exact semantics of [`crate::parse_fastq`], which
+//!   is now a thin wrapper over it.
+//! * [`BatchReader`] — groups the stream into batches bounded by a target
+//!   number of *bases* (bwa's `chunk_size` notion), so peak resident
+//!   read-buffer memory is O(batch), not O(file).
+//! * [`AutoReader`] — sniffs the gzip magic bytes and transparently
+//!   inflates through [`crate::gzip::GzipDecoder`]; plain text passes
+//!   through untouched.
+//!
+//! `mem2 mem` feeds a `BatchReader` into the double-buffered aligner
+//! driver, so decode of batch N+1 overlaps alignment of batch N.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::Path;
+
+use crate::error::SeqIoError;
+use crate::fastq::FastqRecord;
+use crate::gzip::{GzipDecoder, GZIP_MAGIC};
+
+/// Default batch budget in bases (~10 Mbp, bwa's `-K` chunk size): about
+/// 100k short reads per batch, a few tens of MB resident.
+pub const DEFAULT_BATCH_BASES: usize = 10_000_000;
+
+// ---------------------------------------------------------------------
+// Input format auto-detection
+// ---------------------------------------------------------------------
+
+/// What [`AutoReader`] detected at the head of the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputFormat {
+    /// Plain text (or anything without the gzip magic).
+    Plain,
+    /// RFC-1952 gzip (magic `1f 8b`).
+    Gzip,
+}
+
+/// Replays up to two sniffed bytes before the wrapped reader.
+pub struct Prefixed<R: Read> {
+    prefix: [u8; 2],
+    len: u8,
+    pos: u8,
+    inner: R,
+}
+
+impl<R: Read> Read for Prefixed<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos < self.len {
+            let avail = &self.prefix[self.pos as usize..self.len as usize];
+            let n = avail.len().min(buf.len());
+            buf[..n].copy_from_slice(&avail[..n]);
+            self.pos += n as u8;
+            return Ok(n);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// A reader that transparently decompresses gzip input, selected by the
+/// leading magic bytes rather than the file extension.
+pub enum AutoReader<R: Read> {
+    /// Pass-through plain input.
+    Plain(Prefixed<R>),
+    /// Streaming gzip decode (boxed: the decoder carries window + table
+    /// state, far bigger than the plain variant).
+    Gzip(Box<GzipDecoder<Prefixed<R>>>),
+}
+
+impl<R: Read> AutoReader<R> {
+    /// Sniff the first two bytes of `inner` and pick the decode path.
+    /// Inputs shorter than two bytes are treated as plain.
+    pub fn new(mut inner: R) -> io::Result<Self> {
+        let mut prefix = [0u8; 2];
+        let mut len = 0usize;
+        while len < 2 {
+            match inner.read(&mut prefix[len..]) {
+                Ok(0) => break,
+                Ok(n) => len += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let pre = Prefixed {
+            prefix,
+            len: len as u8,
+            pos: 0,
+            inner,
+        };
+        if len == 2 && prefix == GZIP_MAGIC {
+            Ok(AutoReader::Gzip(Box::new(GzipDecoder::new(pre))))
+        } else {
+            Ok(AutoReader::Plain(pre))
+        }
+    }
+
+    /// Which format the sniff selected.
+    pub fn format(&self) -> InputFormat {
+        match self {
+            AutoReader::Plain(_) => InputFormat::Plain,
+            AutoReader::Gzip(_) => InputFormat::Gzip,
+        }
+    }
+}
+
+impl<R: Read> Read for AutoReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            AutoReader::Plain(r) => r.read(buf),
+            AutoReader::Gzip(r) => r.read(buf),
+        }
+    }
+}
+
+/// Open a FASTQ file (plain or gzipped, by magic bytes) for streaming.
+/// Errors carry the path.
+pub fn open_reads(path: impl AsRef<Path>) -> Result<AutoReader<File>, SeqIoError> {
+    let path = path.as_ref();
+    let ctx = || path.display().to_string();
+    let file = File::open(path).map_err(|e| SeqIoError::io("open", &e).in_file(ctx()))?;
+    AutoReader::new(file).map_err(|e| SeqIoError::io("read", &e).in_file(ctx()))
+}
+
+// ---------------------------------------------------------------------
+// Streaming FASTQ parser
+// ---------------------------------------------------------------------
+
+/// Incremental FASTQ parser over any `Read`: yields records one at a
+/// time with O(record) memory. Same dialect as [`crate::parse_fastq`]
+/// (4-line records, empty lines skipped, `\r\n` tolerated, name is the
+/// text after `@` up to the first whitespace).
+pub struct FastqStream<R: Read> {
+    src: BufReader<R>,
+    line: Vec<u8>,
+    /// 1-based number of the last physical line read.
+    lineno: usize,
+    /// Set after an error or EOF; the iterator is fused.
+    done: bool,
+}
+
+impl<R: Read> FastqStream<R> {
+    /// Wrap a reader of FASTQ text.
+    pub fn new(src: R) -> Self {
+        FastqStream {
+            src: BufReader::with_capacity(64 * 1024, src),
+            line: Vec::new(),
+            lineno: 0,
+            done: false,
+        }
+    }
+
+    /// Read the next non-empty line (without terminator) into
+    /// `self.line`; `Ok(false)` at EOF.
+    fn next_line(&mut self) -> Result<bool, SeqIoError> {
+        loop {
+            self.line.clear();
+            let n = self
+                .src
+                .read_until(b'\n', &mut self.line)
+                .map_err(|e| SeqIoError::io(format!("read (line {})", self.lineno + 1), &e))?;
+            if n == 0 {
+                return Ok(false);
+            }
+            self.lineno += 1;
+            if self.line.last() == Some(&b'\n') {
+                self.line.pop();
+            }
+            if self.line.last() == Some(&b'\r') {
+                self.line.pop();
+            }
+            if !self.line.is_empty() {
+                return Ok(true);
+            }
+        }
+    }
+
+    fn parse_record(&mut self) -> Result<Option<FastqRecord>, SeqIoError> {
+        if !self.next_line()? {
+            return Ok(None);
+        }
+        let header_line = self.lineno;
+        if self.line.first() != Some(&b'@') {
+            let found: String = String::from_utf8_lossy(&self.line)
+                .chars()
+                .take(20)
+                .collect();
+            return Err(SeqIoError::BadHeader {
+                line: header_line,
+                found,
+            });
+        }
+        // first whitespace-delimited token after '@' (leading whitespace
+        // skipped, matching the historical `split_whitespace` behavior)
+        let after = &self.line[1..];
+        let start = after
+            .iter()
+            .position(|b| !b.is_ascii_whitespace())
+            .unwrap_or(after.len());
+        let name_bytes: &[u8] = after[start..]
+            .split(|b| b.is_ascii_whitespace())
+            .next()
+            .unwrap_or(&[]);
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| SeqIoError::BadUtf8 { line: header_line })?
+            .to_string();
+        let truncated = |name: &str, line: usize| SeqIoError::TruncatedRecord {
+            name: name.to_string(),
+            line,
+        };
+        if !self.next_line()? {
+            return Err(truncated(&name, self.lineno));
+        }
+        let seq = self.line.clone();
+        if !self.next_line()? {
+            return Err(truncated(&name, self.lineno));
+        }
+        if self.line.first() != Some(&b'+') {
+            return Err(SeqIoError::BadSeparator {
+                name,
+                line: self.lineno,
+            });
+        }
+        if !self.next_line()? {
+            return Err(truncated(&name, self.lineno));
+        }
+        let qual = self.line.clone();
+        if qual.len() != seq.len() {
+            return Err(SeqIoError::QualityLengthMismatch {
+                name,
+                seq: seq.len(),
+                qual: qual.len(),
+            });
+        }
+        Ok(Some(FastqRecord { name, seq, qual }))
+    }
+}
+
+impl<R: Read> Iterator for FastqStream<R> {
+    type Item = Result<FastqRecord, SeqIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.parse_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Base-budget batching
+// ---------------------------------------------------------------------
+
+/// Groups a [`FastqStream`] into batches of reads totalling at least
+/// `batch_bases` bases (the read crossing the threshold is included, as
+/// in bwa's chunking), so each batch holds `batch_bases + O(read)` bases
+/// at most. The final batch may be smaller; batches are never empty.
+pub struct BatchReader<R: Read> {
+    stream: FastqStream<R>,
+    batch_bases: usize,
+    done: bool,
+}
+
+impl<R: Read> BatchReader<R> {
+    /// Batch `src` with the given base budget (0 means one read per
+    /// batch).
+    pub fn new(src: R, batch_bases: usize) -> Self {
+        BatchReader {
+            stream: FastqStream::new(src),
+            batch_bases,
+            done: false,
+        }
+    }
+
+    /// The configured base budget.
+    pub fn batch_bases(&self) -> usize {
+        self.batch_bases
+    }
+}
+
+impl<R: Read> Iterator for BatchReader<R> {
+    type Item = Result<Vec<FastqRecord>, SeqIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut batch = Vec::new();
+        let mut bases = 0usize;
+        loop {
+            match self.stream.next() {
+                Some(Ok(rec)) => {
+                    bases += rec.seq.len();
+                    batch.push(rec);
+                    if bases >= self.batch_bases {
+                        break;
+                    }
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Ok(batch))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_name_skips_leading_whitespace() {
+        let recs: Vec<FastqRecord> = FastqStream::new(&b"@  r1 extra\nAC\n+\nII\n"[..])
+            .collect::<Result<_, _>>()
+            .expect("parse");
+        assert_eq!(recs[0].name, "r1");
+    }
+
+    #[test]
+    fn stream_matches_batch_parser() {
+        let txt = "@r1 extra\nACGT\n+\nIIII\n\n@r2\nTT\n+r2\nJJ\n";
+        let streamed: Vec<FastqRecord> = FastqStream::new(txt.as_bytes())
+            .collect::<Result<_, _>>()
+            .expect("parse");
+        assert_eq!(streamed, crate::parse_fastq(txt).expect("parse"));
+        assert_eq!(streamed.len(), 2);
+        assert_eq!(streamed[0].name, "r1");
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let txt = "@a\r\nAC\r\n+\r\nII\r\n\r\n@b\nGG\n+\nJJ\n";
+        let recs: Vec<FastqRecord> = FastqStream::new(txt.as_bytes())
+            .collect::<Result<_, _>>()
+            .expect("parse");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, b"AC");
+        assert_eq!(recs[1].name, "b");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = FastqStream::new(&b"@r\nACGT\n+\n"[..])
+            .next()
+            .expect("one item")
+            .expect_err("truncated");
+        assert!(matches!(err, SeqIoError::TruncatedRecord { .. }));
+        assert!(err.to_string().contains("line 3"), "got: {err}");
+
+        let err = FastqStream::new(&b"not fastq\n"[..])
+            .next()
+            .expect("one item")
+            .expect_err("bad header");
+        assert!(matches!(err, SeqIoError::BadHeader { line: 1, .. }));
+    }
+
+    #[test]
+    fn batches_respect_base_budget() {
+        // 10 reads of 10 bases, budget 25 → batches of 3,3,3,1
+        let mut txt = String::new();
+        for i in 0..10 {
+            txt.push_str(&format!("@r{i}\nACGTACGTAC\n+\nIIIIIIIIII\n"));
+        }
+        let sizes: Vec<usize> = BatchReader::new(txt.as_bytes(), 25)
+            .map(|b| b.expect("batch").len())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+
+        // zero budget → one read per batch
+        let sizes: Vec<usize> = BatchReader::new(txt.as_bytes(), 0)
+            .map(|b| b.expect("batch").len())
+            .collect();
+        assert_eq!(sizes, vec![1; 10]);
+
+        // huge budget → single batch
+        let sizes: Vec<usize> = BatchReader::new(txt.as_bytes(), usize::MAX)
+            .map(|b| b.expect("batch").len())
+            .collect();
+        assert_eq!(sizes, vec![10]);
+    }
+
+    #[test]
+    fn gzip_autodetect_roundtrip() {
+        let txt = "@z\nACGTACGT\n+\nIIIIIIII\n";
+        let gz = crate::gzip::gzip_compress_stored(txt.as_bytes());
+        let auto = AutoReader::new(&gz[..]).expect("sniff");
+        assert_eq!(auto.format(), InputFormat::Gzip);
+        let recs: Vec<FastqRecord> = FastqStream::new(auto)
+            .collect::<Result<_, _>>()
+            .expect("parse");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq, b"ACGTACGT");
+
+        let auto = AutoReader::new(txt.as_bytes()).expect("sniff");
+        assert_eq!(auto.format(), InputFormat::Plain);
+        let recs2: Vec<FastqRecord> = FastqStream::new(auto)
+            .collect::<Result<_, _>>()
+            .expect("parse");
+        assert_eq!(recs, recs2);
+    }
+
+    #[test]
+    fn short_inputs_are_plain() {
+        let auto = AutoReader::new(&b""[..]).expect("sniff");
+        assert_eq!(auto.format(), InputFormat::Plain);
+        assert_eq!(FastqStream::new(auto).count(), 0);
+
+        // a single 0x1f byte is not gzip; it parses as a bad FASTQ header
+        let auto = AutoReader::new(&b"\x1f"[..]).expect("sniff");
+        assert_eq!(auto.format(), InputFormat::Plain);
+        let items: Vec<_> = FastqStream::new(auto).collect();
+        assert_eq!(items.len(), 1);
+        assert!(matches!(items[0], Err(SeqIoError::BadHeader { .. })));
+    }
+}

@@ -2,19 +2,26 @@
 //!
 //! ```text
 //! mem2 index <ref.fasta> <out.idx>          build a persistent index
-//! mem2 mem [opts] <ref.idx|ref.fasta> <reads.fastq>   align, SAM on stdout
-//!     -t N          threads (default: all)
-//!     --classic     use the original per-read workflow
-//! mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>
-//!     writes <prefix>.fasta and <prefix>.fastq of synthetic data
+//! mem2 mem [opts] <ref.idx|ref.fasta> <reads.fastq[.gz]>   align, SAM on stdout
+//!     -t N              threads (default: all)
+//!     --classic         use the original per-read workflow
+//!     --batch-bases N   bases per streamed ingestion batch (default 10M)
+//! mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz]
+//!     writes <prefix>.fasta and <prefix>.fastq (plus <prefix>.fastq.gz
+//!     with --gz) of synthetic data
 //! ```
+//!
+//! Reads are **streamed** in bounded batches (decode of the next batch
+//! overlaps alignment of the current one), so multi-GB and gzipped
+//! inputs work with O(batch) memory. Gzip is detected by magic bytes,
+//! not extension.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use mem2::core::bundle;
 use mem2::prelude::*;
-use mem2::seqio::{write_fasta, write_fastq};
+use mem2::seqio::{gzip_compress_stored, write_fasta, write_fastq, BatchReader, SeqIoError};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,8 +32,10 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: mem2 <index|mem|simulate> ...\n");
             eprintln!("  mem2 index <ref.fasta> <out.idx>");
-            eprintln!("  mem2 mem [-t N] [--classic] <ref.idx|ref.fasta> <reads.fastq>");
-            eprintln!("  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>");
+            eprintln!(
+                "  mem2 mem [-t N] [--classic] [--batch-bases N] <ref.idx|ref.fasta> <reads.fastq[.gz]>"
+            );
+            eprintln!("  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz]");
             return ExitCode::from(2);
         }
     };
@@ -41,9 +50,21 @@ fn main() -> ExitCode {
 
 type AnyError = Box<dyn std::error::Error>;
 
+/// Read a whole file, annotating any I/O error with its path.
+fn read_file(path: &str) -> Result<Vec<u8>, SeqIoError> {
+    std::fs::read(path).map_err(|e| SeqIoError::io("read", &e).in_file(path))
+}
+
 fn load_reference(path: &str) -> Result<Reference, AnyError> {
-    let text = std::fs::read_to_string(path)?;
-    let records = parse_fasta(&text)?;
+    let bytes = read_file(path)?;
+    let text = String::from_utf8(bytes).map_err(|_| {
+        SeqIoError::Io {
+            context: "read".into(),
+            detail: "FASTA is not valid UTF-8".into(),
+        }
+        .in_file(path)
+    })?;
+    let records = parse_fasta(&text).map_err(|e| e.in_file(path))?;
     if records.is_empty() {
         return Err(format!("{path}: no FASTA records").into());
     }
@@ -61,7 +82,7 @@ fn cmd_index(args: &[String]) -> Result<(), AnyError> {
         reference.len()
     );
     let bytes = bundle::build_bundle(&reference);
-    std::fs::write(out, &bytes)?;
+    std::fs::write(out, &bytes).map_err(|e| SeqIoError::io("write", &e).in_file(out.as_str()))?;
     eprintln!("[index] wrote {} ({} MB)", out, bytes.len() / (1 << 20));
     Ok(())
 }
@@ -71,6 +92,7 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut workflow = Workflow::Batched;
+    let mut opts = MemOpts::default();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,55 +104,85 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                     .parse()
                     .map_err(|_| "-t needs an integer")?;
             }
+            "--batch-bases" => {
+                opts.batch_bases = it
+                    .next()
+                    .ok_or("--batch-bases needs a value")?
+                    .parse()
+                    .map_err(|_| "--batch-bases needs an integer")?;
+            }
             "--classic" => workflow = Workflow::Classic,
             _ => positional.push(a),
         }
     }
     let [ref_path, reads_path] = positional[..] else {
-        return Err("usage: mem2 mem [-t N] [--classic] <ref.idx|ref.fasta> <reads.fastq>".into());
+        return Err(
+            "usage: mem2 mem [-t N] [--classic] [--batch-bases N] <ref.idx|ref.fasta> <reads.fastq[.gz]>"
+                .into(),
+        );
     };
 
     let (reference, index) = if ref_path.ends_with(".idx") {
-        let bytes = std::fs::read(ref_path)?;
-        bundle::load_index(&bytes, &workflow.build_opts())?
+        let bytes = read_file(ref_path)?;
+        bundle::load_index(&bytes, &workflow.build_opts())
+            .map_err(|e| format!("{ref_path}: {e}"))?
     } else {
         let reference = load_reference(ref_path)?;
         let index = FmIndex::build(&reference, &workflow.build_opts());
         (reference, index)
     };
-    let reads = parse_fastq(&std::fs::read_to_string(reads_path)?)?;
+
+    // stream the reads: gzip by magic bytes, batches bounded in bases
+    let input = mem2::seqio::open_reads(reads_path)?;
+    let format = input.format();
+    let batches =
+        BatchReader::new(input, opts.batch_bases).map(|b| b.map_err(|e| e.in_file(reads_path)));
     eprintln!(
-        "[mem] {} reads against {} bp reference, {} thread(s), {:?} workflow",
-        reads.len(),
+        "[mem] streaming {:?} input against {} bp reference, {} thread(s), {:?} workflow, {} bases/batch",
+        format,
         reference.len(),
         threads,
-        workflow
+        workflow,
+        opts.batch_bases
     );
-    let aligner = Aligner::with_index(index, reference, MemOpts::default(), workflow);
-    let t = std::time::Instant::now();
-    let (sam, times) = align_reads_parallel(&aligner, &reads, threads);
-    let wall = t.elapsed();
+    let aligner = Aligner::with_index(index, reference, opts, workflow);
 
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     out.write_all(aligner.sam_header().as_bytes())?;
-    for rec in &sam {
-        writeln!(out, "{}", rec.to_line())?;
-    }
+    let t = std::time::Instant::now();
+    let (summary, times) = aligner.align_fastq_stream(batches, threads, &mut out)?;
     out.flush()?;
+    let wall = t.elapsed();
     eprintln!(
-        "[mem] {} records in {:.2}s ({:.0} reads/s)",
-        sam.len(),
+        "[mem] {} reads -> {} records in {} batch(es), {:.2}s ({:.0} reads/s)",
+        summary.reads,
+        summary.records,
+        summary.batches,
         wall.as_secs_f64(),
-        reads.len() as f64 / wall.as_secs_f64()
+        summary.reads as f64 / wall.as_secs_f64()
     );
     eprint!("{}", times.render("[mem] stage CPU time"));
     Ok(())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
-    let [mb, n, len, prefix] = args else {
-        return Err("usage: mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>".into());
+    let mut gz = false;
+    let positional: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--gz" {
+                gz = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let [mb, n, len, prefix] = positional[..] else {
+        return Err(
+            "usage: mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz]".into(),
+        );
     };
     let genome_len = (mb.parse::<f64>()? * 1e6) as usize;
     let n_reads: usize = n.parse()?;
@@ -161,9 +213,17 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
         },
     );
     let reads: Vec<FastqRecord> = sim.generate().into_iter().map(|s| s.record).collect();
-    std::fs::write(format!("{prefix}.fastq"), write_fastq(&reads))?;
+    let fastq = write_fastq(&reads);
+    std::fs::write(format!("{prefix}.fastq"), &fastq)?;
+    if gz {
+        std::fs::write(
+            format!("{prefix}.fastq.gz"),
+            gzip_compress_stored(fastq.as_bytes()),
+        )?;
+    }
     eprintln!(
-        "[simulate] wrote {prefix}.fasta ({genome_len} bp) and {prefix}.fastq ({n_reads} x {read_len} bp)"
+        "[simulate] wrote {prefix}.fasta ({genome_len} bp) and {prefix}.fastq{} ({n_reads} x {read_len} bp)",
+        if gz { " (+ .fastq.gz)" } else { "" }
     );
     Ok(())
 }

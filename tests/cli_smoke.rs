@@ -137,6 +137,47 @@ fn simulate_index_mem_roundtrip_is_deterministic() {
         t2.stdout, classic.stdout,
         "classic and batched SAM must be identical"
     );
+
+    // streamed batch size must not change the bytes: 1-read batches and
+    // a 1 KiB base budget both reproduce the default
+    let tiny = mem2_ok(&["mem", "-t", "2", "--batch-bases", "1", &idx, &fastq]);
+    let kib = mem2_ok(&["mem", "-t", "2", "--batch-bases", "1024", &idx, &fastq]);
+    assert_eq!(t2.stdout, tiny.stdout, "1-read batches change the SAM");
+    assert_eq!(t2.stdout, kib.stdout, "1 KiB batches change the SAM");
+}
+
+#[test]
+fn gzipped_fastq_streams_to_identical_sam() {
+    let dir = TempDir::new("gz");
+    let prefix = dir.path("synth");
+    let fasta = format!("{prefix}.fasta");
+    let fastq = format!("{prefix}.fastq");
+    let fastq_gz = format!("{prefix}.fastq.gz");
+
+    mem2_ok(&["simulate", "0.05", "50", "101", &prefix, "--gz"]);
+    let gz_bytes = std::fs::read(&fastq_gz).expect("gz written");
+    assert_eq!(&gz_bytes[..2], &[0x1f, 0x8b], "gzip magic present");
+
+    let plain = mem2_ok(&["mem", "-t", "2", &fasta, &fastq]);
+    let gz = mem2_ok(&["mem", "-t", "2", &fasta, &fastq_gz]);
+    assert_eq!(
+        plain.stdout, gz.stdout,
+        "gzipped input must stream to identical SAM"
+    );
+    // small batches over gz input too
+    let gz_small = mem2_ok(&["mem", "-t", "4", "--batch-bases", "512", &fasta, &fastq_gz]);
+    assert_eq!(plain.stdout, gz_small.stdout, "small gz batches identical");
+
+    // a truncated gzip fails with an actionable error, not a panic
+    let trunc = dir.path("trunc.fastq.gz");
+    std::fs::write(&trunc, &gz_bytes[..gz_bytes.len() / 2]).expect("write truncated");
+    let out = mem2(&["mem", &fasta, &trunc]);
+    assert!(!out.status.success(), "truncated gz must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("gzip") && stderr.contains("trunc.fastq.gz"),
+        "error names gzip and the file: {stderr}"
+    );
 }
 
 #[test]
