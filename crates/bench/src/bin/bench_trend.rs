@@ -1,0 +1,303 @@
+//! `bench_trend` — collect per-commit `BENCH_<sha>.json` artifacts (the
+//! CI `bench-capture` job's output) into a markdown trend table and flag
+//! median-latency regressions.
+//!
+//! ```text
+//! bench_trend [--check] [--threshold PCT] [--out FILE] <json-or-dir>...
+//! ```
+//!
+//! Inputs are `bench_capture` JSON files (or directories scanned for
+//! `BENCH_*.json`, ordered oldest-first by mtime; explicit files keep
+//! their command-line order — pass commits chronologically). Each input
+//! becomes one table row; each bench name one column showing the median
+//! latency and its change vs the previous row. A change worse than the
+//! threshold (default 10%) is flagged `⚠`; with `--check` any flag makes
+//! the exit code 1, so CI can gate on it.
+//!
+//! The JSON parser below handles exactly the flat schema `bench_capture`
+//! writes (`{commit, bench, median_ns, throughput, throughput_unit}`) —
+//! the offline shim set has no serde_json, and the format is ours.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Row {
+    commit: String,
+    bench: String,
+    median_ns: u128,
+    throughput: f64,
+}
+
+/// Pull the string or number after `"key":` in a flat JSON object.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next().map(str::trim)
+    }
+}
+
+/// Parse one bench_capture file: an array of flat objects.
+fn parse_captures(text: &str, origin: &Path) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    // split on object boundaries; each object is flat (no nesting)
+    for obj in text.split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let get = |k: &str| {
+            field(&format!("{{{obj}}}"), k)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{}: object missing \"{k}\"", origin.display()))
+        };
+        let median: u128 = get("median_ns")?
+            .parse()
+            .map_err(|e| format!("{}: bad median_ns: {e}", origin.display()))?;
+        let throughput: f64 = get("throughput")?
+            .parse()
+            .map_err(|e| format!("{}: bad throughput: {e}", origin.display()))?;
+        rows.push(Row {
+            commit: get("commit")?,
+            bench: get("bench")?,
+            median_ns: median,
+            throughput,
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!("{}: no capture objects found", origin.display()));
+    }
+    Ok(rows)
+}
+
+/// Expand a path argument: a file stands alone; a directory contributes
+/// its `BENCH_*.json` files oldest-first (mtime), so artifact dumps from
+/// CI line up chronologically without renaming.
+fn expand(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_dir() {
+        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .map(|p| {
+                let t = p
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                (t, p)
+            })
+            .collect();
+        entries.sort();
+        if entries.is_empty() {
+            return Err(format!("{}: no BENCH_*.json files", path.display()));
+        }
+        Ok(entries.into_iter().map(|(_, p)| p).collect())
+    } else {
+        Ok(vec![path.to_path_buf()])
+    }
+}
+
+fn short(commit: &str) -> &str {
+    &commit[..commit.len().min(9)]
+}
+
+/// Render the trend table; returns (markdown, regression count).
+fn render(snapshots: &[Vec<Row>], threshold_pct: f64) -> (String, usize) {
+    let benches: BTreeSet<String> = snapshots
+        .iter()
+        .flatten()
+        .map(|r| r.bench.clone())
+        .collect();
+    let mut md = String::new();
+    md.push_str(&format!(
+        "# Bench trend ({} commit(s), regression threshold {:.0}%)\n\n",
+        snapshots.len(),
+        threshold_pct
+    ));
+    md.push_str("| commit |");
+    for b in &benches {
+        md.push_str(&format!(" {b} |"));
+    }
+    md.push_str("\n|---|");
+    md.push_str(&"---|".repeat(benches.len()));
+    md.push('\n');
+
+    let mut regressions = 0usize;
+    let mut prev: Option<&Vec<Row>> = None;
+    for snap in snapshots {
+        let commit = snap.first().map(|r| short(&r.commit)).unwrap_or("?");
+        md.push_str(&format!("| `{commit}` |"));
+        for b in &benches {
+            let cur = snap.iter().find(|r| &r.bench == b);
+            let old = prev.and_then(|p| p.iter().find(|r| &r.bench == b));
+            match cur {
+                None => md.push_str(" — |"),
+                Some(c) => {
+                    let mut cell = format!("{} ({:.0}/s)", format_ns(c.median_ns), c.throughput);
+                    if let Some(o) = old {
+                        if o.median_ns > 0 {
+                            let pct = (c.median_ns as f64 - o.median_ns as f64)
+                                / o.median_ns as f64
+                                * 100.0;
+                            if pct > threshold_pct {
+                                cell.push_str(&format!(" ⚠ +{pct:.1}%"));
+                                regressions += 1;
+                            } else if pct.abs() >= 0.05 {
+                                cell.push_str(&format!(" ({pct:+.1}%)"));
+                            }
+                        }
+                    }
+                    md.push_str(&format!(" {cell} |"));
+                }
+            }
+        }
+        md.push('\n');
+        prev = Some(snap);
+    }
+    if regressions > 0 {
+        md.push_str(&format!(
+            "\n**{regressions} regression(s) above {threshold_pct:.0}% flagged.**\n"
+        ));
+    }
+    (md, regressions)
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut check = false;
+    let mut threshold = 10.0f64;
+    let mut out_path: Option<String> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--out" => out_path = Some(it.next().ok_or("--out needs a path")?),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_trend [--check] [--threshold PCT] [--out FILE] <json-or-dir>..."
+                );
+                return Ok(ExitCode::from(2));
+            }
+            other => inputs.extend(expand(Path::new(other))?),
+        }
+    }
+    if inputs.is_empty() {
+        return Err("no inputs: pass BENCH_<sha>.json files or a directory of them".into());
+    }
+
+    let mut snapshots = Vec::new();
+    for path in &inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        snapshots.push(parse_captures(&text, path)?);
+    }
+    let (md, regressions) = render(&snapshots, threshold);
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &md).map_err(|e| format!("{p}: {e}"))?;
+            eprintln!("[bench_trend] wrote {p} ({regressions} regression(s))");
+        }
+        None => print!("{md}"),
+    }
+    Ok(if check && regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_trend: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE_A: &str = r#"[
+  {"commit": "aaaaaaaaaaaa", "bench": "smem", "median_ns": 1000000, "throughput": 5000.0, "throughput_unit": "queries/s"},
+  {"commit": "aaaaaaaaaaaa", "bench": "bsw", "median_ns": 2000000, "throughput": 800.0, "throughput_unit": "jobs/s"}
+]
+"#;
+    const SAMPLE_B: &str = r#"[
+  {"commit": "bbbbbbbbbbbb", "bench": "smem", "median_ns": 1200000, "throughput": 4100.0, "throughput_unit": "queries/s"},
+  {"commit": "bbbbbbbbbbbb", "bench": "bsw", "median_ns": 1900000, "throughput": 850.0, "throughput_unit": "jobs/s"}
+]
+"#;
+
+    #[test]
+    fn parses_capture_files() {
+        let rows = parse_captures(SAMPLE_A, Path::new("a.json")).expect("parse");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].commit, "aaaaaaaaaaaa");
+        assert_eq!(rows[0].bench, "smem");
+        assert_eq!(rows[0].median_ns, 1_000_000);
+        assert!((rows[1].throughput - 800.0).abs() < 1e-9);
+        assert!(parse_captures("[]", Path::new("e.json")).is_err());
+    }
+
+    #[test]
+    fn flags_regressions_over_threshold() {
+        let a = parse_captures(SAMPLE_A, Path::new("a")).unwrap();
+        let b = parse_captures(SAMPLE_B, Path::new("b")).unwrap();
+        let (md, regressions) = render(&[a.clone(), b.clone()], 10.0);
+        // smem went 1.0ms → 1.2ms (+20%): flagged; bsw improved: not
+        assert_eq!(regressions, 1, "{md}");
+        assert!(md.contains('⚠'), "{md}");
+        assert!(md.contains("+20.0%"), "{md}");
+        assert!(
+            md.contains("`aaaaaaaaa`") && md.contains("`bbbbbbbbb`"),
+            "{md}"
+        );
+        // a generous threshold clears the flag
+        let (_, none) = render(&[a, b], 25.0);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn missing_benches_render_as_gaps() {
+        let a = parse_captures(SAMPLE_A, Path::new("a")).unwrap();
+        let only_smem = vec![a[0].clone()];
+        let (md, _) = render(&[only_smem, a], 10.0);
+        assert!(md.contains(" — |"), "{md}");
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(999), "999ns");
+        assert_eq!(format_ns(1_500), "1.50µs");
+        assert_eq!(format_ns(2_500_000), "2.50ms");
+        assert_eq!(format_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod engine;
 pub mod global;
+pub mod local;
 pub mod scalar;
 pub mod simd16;
 pub mod simd8;
@@ -30,6 +31,7 @@ pub mod types;
 
 pub use engine::{BswEngine, CellStats, EngineKind, NoPhase, Phase, PhaseBreakdown, PhaseSink};
 pub use global::{cigar_string, global_align, CigarOp};
+pub use local::{local_align, LocalHit};
 pub use scalar::{extend_scalar, extend_scalar_profiled};
 pub use sort::sort_jobs_by_length;
 pub use types::{ExtendJob, ExtendResult, ScoreParams};

@@ -1,0 +1,212 @@
+//! Full local Smith–Waterman alignment (bwa's `ksw_align`), used by mate
+//! rescue: unlike the extension kernels, there is no seed to extend from —
+//! the whole query is aligned freely against a reference window implied by
+//! the insert-size distribution.
+//!
+//! Two passes of the same affine-gap scan: the forward pass finds the best
+//! score and its *end* cell (plus `score2`, the best score ending far away
+//! on the target — bwa's `KSW_XSUBO` sub-optimal, which feeds the
+//! tandem-repeat MAPQ cap); the reverse pass over the reversed prefixes
+//! recovers the *start* cell. O(|query|) memory, O(|query|·|target|) time.
+
+use crate::types::ScoreParams;
+
+/// Best local alignment of a query inside a target window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocalHit {
+    /// Best local score.
+    pub score: i32,
+    /// Query interval `[qb, qe)` of the alignment.
+    pub qb: i32,
+    /// Query end (exclusive).
+    pub qe: i32,
+    /// Target interval `[tb, te)` of the alignment.
+    pub tb: i32,
+    /// Target end (exclusive).
+    pub te: i32,
+    /// Best score ending ≥ `|query|` target positions away from `te`
+    /// (0 when no such secondary cluster exists).
+    pub score2: i32,
+}
+
+/// One forward scan: returns `(best, end_i, end_j, colmax)` where
+/// `end_i`/`end_j` are 1-based inclusive target/query indices of the best
+/// cell (first encountered in scan order on ties) and `colmax[i]` is the
+/// best score in target row `i`.
+fn scan(
+    p: &ScoreParams,
+    query: &[u8],
+    target: &[u8],
+    colmax: Option<&mut Vec<i32>>,
+) -> (i32, usize, usize) {
+    let qlen = query.len();
+    // h[j] = H(i-1, j), e[j] = E(i, j) carried down a column
+    let mut h = vec![0i32; qlen + 1];
+    let mut e = vec![0i32; qlen + 1];
+    let (mut best, mut bi, mut bj) = (0i32, 0usize, 0usize);
+    let mut cm = colmax;
+    for (i, &t) in target.iter().enumerate() {
+        let mut diag = h[0]; // H(i-1, j-1)
+        let mut f = 0i32; // F(i, j): gap consuming query
+        let mut rowmax = 0i32;
+        for (j, &q) in query.iter().enumerate() {
+            let up = h[j + 1];
+            e[j + 1] = (up - p.o_del - p.e_del).max(e[j + 1] - p.e_del).max(0);
+            let mut score = (diag + p.score(t, q)).max(e[j + 1]).max(f).max(0);
+            if score < 0 {
+                score = 0;
+            }
+            f = (score - p.o_ins - p.e_ins).max(f - p.e_ins).max(0);
+            diag = up;
+            h[j + 1] = score;
+            if score > rowmax {
+                rowmax = score;
+            }
+            if score > best {
+                best = score;
+                bi = i + 1;
+                bj = j + 1;
+            }
+        }
+        if let Some(cm) = cm.as_deref_mut() {
+            cm.push(rowmax);
+        }
+    }
+    (best, bi, bj)
+}
+
+/// Align `query` locally against `target`; `None` when nothing scores
+/// above zero. Coordinates are half-open on both sequences.
+pub fn local_align(p: &ScoreParams, query: &[u8], target: &[u8]) -> Option<LocalHit> {
+    if query.is_empty() || target.is_empty() {
+        return None;
+    }
+    let mut colmax = Vec::with_capacity(target.len());
+    let (score, te, qe) = scan(p, query, target, Some(&mut colmax));
+    if score <= 0 {
+        return None;
+    }
+    // sub-optimal: the best score ending at least |query| rows from te
+    // (a genuinely distinct placement, not the best cell's own shoulder)
+    let score2 = colmax
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| (i + 1).abs_diff(te) >= query.len())
+        .map(|(_, &v)| v)
+        .max()
+        .unwrap_or(0);
+    // reverse pass over the prefixes recovers the start cell
+    let qrev: Vec<u8> = query[..qe].iter().rev().copied().collect();
+    let trev: Vec<u8> = target[..te].iter().rev().copied().collect();
+    let (rscore, ri, rj) = scan(p, &qrev, &trev, None);
+    debug_assert_eq!(rscore, score, "reverse pass must reproduce the score");
+    Some(LocalHit {
+        score,
+        qb: (qe - rj) as i32,
+        qe: qe as i32,
+        tb: (te - ri) as i32,
+        te: te as i32,
+        score2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ScoreParams {
+        ScoreParams::default()
+    }
+
+    /// Deterministic aperiodic base sequence (LCG), so substrings have a
+    /// unique placement — linear-congruence-mod-4 patterns are periodic
+    /// and would match everywhere.
+    fn seq(n: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8 & 3
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_substring_scores_full_match() {
+        let target = seq(60, 1);
+        let query = target[20..40].to_vec();
+        let hit = local_align(&p(), &query, &target).expect("hit");
+        assert_eq!(hit.score, 20);
+        assert_eq!((hit.qb, hit.qe), (0, 20));
+        assert_eq!((hit.tb, hit.te), (20, 40));
+    }
+
+    #[test]
+    fn mismatch_and_gap_are_handled() {
+        let target = seq(80, 2);
+        // query = target[10..40) with one substitution and one deletion
+        let mut query = target[10..40].to_vec();
+        query[5] = (query[5] + 1) & 3;
+        query.remove(20);
+        let hit = local_align(&p(), &query, &target).expect("hit");
+        // 28 matches - 4 (mismatch) - 7 (gap open+ext) = 17
+        assert_eq!(hit.score, 17);
+        assert_eq!((hit.tb, hit.te), (10, 40));
+        assert_eq!((hit.qb, hit.qe), (0, 29));
+    }
+
+    #[test]
+    fn soft_ends_clip_instead_of_paying() {
+        let target = seq(50, 3);
+        // 5 junk bases, 20 matching, 5 junk
+        let mut query = vec![0u8; 5];
+        query.extend_from_slice(&target[15..35]);
+        query.extend(vec![0u8; 5]);
+        // force the junk flanks to mismatch everywhere they land
+        for k in 0..5 {
+            query[k] = (target[10 + k] + 1) & 3;
+            query[25 + k] = (target[35 + k] + 1) & 3;
+        }
+        let hit = local_align(&p(), &query, &target).expect("hit");
+        assert_eq!(hit.score, 20);
+        assert_eq!((hit.qb, hit.qe), (5, 25));
+        assert_eq!((hit.tb, hit.te), (15, 35));
+    }
+
+    #[test]
+    fn no_similarity_returns_none() {
+        // query of base 0 vs target of base 1: every cell mismatches
+        let query = vec![0u8; 10];
+        let target = vec![1u8; 30];
+        assert_eq!(local_align(&p(), &query, &target), None);
+        assert_eq!(local_align(&p(), &[], &target), None);
+        assert_eq!(local_align(&p(), &query, &[]), None);
+    }
+
+    #[test]
+    fn score2_sees_a_second_placement() {
+        let unit = seq(20, 5);
+        // two copies of the unit far apart, second copy degraded
+        let mut target = vec![0u8; 100];
+        target[10..30].copy_from_slice(&unit);
+        target[70..90].copy_from_slice(&unit);
+        target[75] = (target[75] + 1) & 3;
+        let hit = local_align(&p(), &unit, &target).expect("hit");
+        assert_eq!(hit.score, 20);
+        assert_eq!((hit.tb, hit.te), (10, 30));
+        // degraded copy: 19 matches - 4 = 15
+        assert_eq!(hit.score2, 15);
+    }
+
+    #[test]
+    fn revcomp_query_does_not_match_forward() {
+        let target = seq(40, 4);
+        let query: Vec<u8> = target[5..25].iter().rev().map(|&c| 3 - c).collect();
+        let fwd = local_align(&p(), &target[5..25], &target).expect("hit");
+        assert_eq!(fwd.score, 20);
+        let rc = local_align(&p(), &query, &target);
+        assert!(rc.is_none() || rc.unwrap().score < 20);
+    }
+}

@@ -4,9 +4,7 @@ use mem2_fmindex::{BuildOpts, FmIndex};
 use mem2_seqio::{FastqRecord, Reference};
 
 use crate::opts::MemOpts;
-use crate::pipeline::{
-    align_batch, align_read_classic, read_to_sam, PipelineContext, PreparedRead, Worker,
-};
+use crate::pipeline::{align_prepared, read_to_sam, PipelineContext, PreparedRead, Worker};
 use crate::profile::StageTimes;
 use crate::sam::SamRecord;
 
@@ -103,22 +101,10 @@ impl Aligner {
         let ctx = self.context();
         let mut worker = Worker::new(&self.opts);
         let prepared: Vec<PreparedRead> = reads.iter().map(PreparedRead::from_fastq).collect();
+        let regs = align_prepared(&ctx, &mut worker, self.workflow, &prepared);
         let mut out = Vec::new();
-        match self.workflow {
-            Workflow::Classic => {
-                for read in &prepared {
-                    let regs = align_read_classic(&ctx, &mut worker, read);
-                    out.extend(read_to_sam(&ctx, read, &regs, &mut worker.times));
-                }
-            }
-            Workflow::Batched => {
-                for batch in prepared.chunks(self.opts.batch_reads) {
-                    let regs = align_batch(&ctx, &mut worker, batch);
-                    for (read, r) in batch.iter().zip(&regs) {
-                        out.extend(read_to_sam(&ctx, read, r, &mut worker.times));
-                    }
-                }
-            }
+        for (read, r) in prepared.iter().zip(&regs) {
+            out.extend(read_to_sam(&ctx, read, r, &mut worker.times));
         }
         times.merge(&worker.times);
         out

@@ -5,12 +5,18 @@
 //!
 //! Format (little-endian):
 //! ```text
-//! magic "MEM2IDX\1"  | u64 l_pac | u32 n_contigs
+//! magic "MEM2IDX" + version byte (2 = u32 flat SA) | u64 l_pac | u32 n_contigs
 //! per contig: u32 name_len, name bytes, u64 offset, u64 len
 //! u32 n_holes | per hole: u64 offset, u64 len
 //! u64 pac_byte_len | pac bytes
 //! u64 sa_len | sa entries as u32
 //! ```
+//!
+//! Version 2 stores suffix-array entries as `u32`, which addresses
+//! doubled reference texts up to `u32::MAX` positions (~2 Gbp of
+//! reference). Larger references are rejected at save time with
+//! [`BundleError::TooLarge`] instead of silently truncating; a future
+//! version byte (3) is reserved for a u64 entry layout.
 
 use bytes::{Buf, BufMut};
 
@@ -18,13 +24,20 @@ use mem2_fmindex::{BuildOpts, FmIndex};
 use mem2_seqio::refseq::{AmbHole, ContigAnn, ContigSet};
 use mem2_seqio::{PackedSeq, Reference};
 
-const MAGIC: &[u8; 8] = b"MEM2IDX\x01";
+const MAGIC_PREFIX: &[u8; 7] = b"MEM2IDX";
+/// Current format version: u32 flat-SA layout.
+pub const BUNDLE_VERSION: u8 = 2;
 
-/// Errors raised while decoding a bundle.
+/// Errors raised while encoding or decoding a bundle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BundleError {
-    /// Magic bytes absent or wrong version.
+    /// Magic bytes absent.
     BadMagic,
+    /// Recognized bundle, but a version this build cannot read.
+    UnsupportedVersion(u8),
+    /// The reference is too large for this version's u32 suffix-array
+    /// entries; holds the offending doubled-text length.
+    TooLarge(usize),
     /// Input ended early or a length field is inconsistent.
     Truncated(&'static str),
     /// A string field was not UTF-8.
@@ -35,6 +48,17 @@ impl std::fmt::Display for BundleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BundleError::BadMagic => write!(f, "not a mem2 index bundle (bad magic)"),
+            BundleError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported bundle version {v} (this build reads version {BUNDLE_VERSION}); \
+                 re-run `mem2 index`"
+            ),
+            BundleError::TooLarge(n) => write!(
+                f,
+                "reference too large for the u32 flat-SA bundle layout: doubled text is {n} \
+                 positions, limit {} (a u64 layout is reserved for a future version)",
+                u32::MAX
+            ),
             BundleError::Truncated(what) => write!(f, "bundle truncated while reading {what}"),
             BundleError::BadString => write!(f, "bundle contains a non-UTF-8 name"),
         }
@@ -43,12 +67,23 @@ impl std::fmt::Display for BundleError {
 
 impl std::error::Error for BundleError {}
 
+/// Does the doubled text of a reference with `l_pac` bases fit the u32
+/// flat-SA layout? (Entries index positions `0 ..= 2·l_pac`.)
+pub fn flat_sa_fits(l_pac: usize) -> bool {
+    2 * l_pac < u32::MAX as usize
+}
+
 /// Serialize a reference plus the suffix array of its doubled text.
-pub fn save_bundle(reference: &Reference, sa: &[u32]) -> Vec<u8> {
+/// Fails with [`BundleError::TooLarge`] when positions would not fit u32.
+pub fn save_bundle(reference: &Reference, sa: &[u32]) -> Result<Vec<u8>, BundleError> {
+    if !flat_sa_fits(reference.len()) {
+        return Err(BundleError::TooLarge(2 * reference.len() + 1));
+    }
     let mut out = Vec::with_capacity(
         8 + 64 * reference.contigs.contigs.len() + reference.pac.raw().len() + 4 * sa.len(),
     );
-    out.put_slice(MAGIC);
+    out.put_slice(MAGIC_PREFIX);
+    out.put_slice(&[BUNDLE_VERSION]);
     out.put_u64_le(reference.len() as u64);
     out.put_u32_le(reference.contigs.contigs.len() as u32);
     for c in &reference.contigs.contigs {
@@ -68,11 +103,15 @@ pub fn save_bundle(reference: &Reference, sa: &[u32]) -> Vec<u8> {
     for &v in sa {
         out.put_u32_le(v);
     }
-    out
+    Ok(out)
 }
 
-/// Build the bundle for a reference, computing the suffix array.
-pub fn build_bundle(reference: &Reference) -> Vec<u8> {
+/// Build the bundle for a reference, computing the suffix array. Checks
+/// the size limit *before* the expensive suffix sort.
+pub fn build_bundle(reference: &Reference) -> Result<Vec<u8>, BundleError> {
+    if !flat_sa_fits(reference.len()) {
+        return Err(BundleError::TooLarge(2 * reference.len() + 1));
+    }
     let s = FmIndex::doubled_text(reference);
     let sa = mem2_suffix::suffix_array(&s);
     save_bundle(reference, &sa)
@@ -80,8 +119,11 @@ pub fn build_bundle(reference: &Reference) -> Vec<u8> {
 
 /// Decode a bundle back into the reference and suffix array.
 pub fn load_bundle(mut buf: &[u8]) -> Result<(Reference, Vec<u32>), BundleError> {
-    if buf.len() < 8 || &buf[..8] != MAGIC {
+    if buf.len() < 8 || &buf[..7] != MAGIC_PREFIX {
         return Err(BundleError::BadMagic);
+    }
+    if buf[7] != BUNDLE_VERSION {
+        return Err(BundleError::UnsupportedVersion(buf[7]));
     }
     buf.advance(8);
     let need = |buf: &[u8], n: usize, what: &'static str| {
@@ -162,7 +204,7 @@ mod tests {
         let reference = genome.generate_reference("chrZ");
         let direct = FmIndex::build(&reference, &BuildOpts::default());
 
-        let bytes = build_bundle(&reference);
+        let bytes = build_bundle(&reference).expect("within u32 limit");
         let (ref2, sa) = load_bundle(&bytes).expect("roundtrip");
         assert_eq!(ref2.pac, reference.pac);
         assert_eq!(ref2.contigs, reference.contigs);
@@ -179,7 +221,7 @@ mod tests {
     fn bundle_preserves_holes_and_multiple_contigs() {
         let recs = mem2_seqio::parse_fasta(">a\nACGTNNNNACGT\n>b\nGGGG\n").expect("parse");
         let reference = Reference::from_fasta(&recs, 3);
-        let bytes = build_bundle(&reference);
+        let bytes = build_bundle(&reference).expect("within u32 limit");
         let (ref2, _) = load_bundle(&bytes).expect("roundtrip");
         assert_eq!(ref2.contigs, reference.contigs);
         assert_eq!(ref2.contigs.holes.len(), 1);
@@ -192,7 +234,7 @@ mod tests {
             ..GenomeSpec::default()
         };
         let reference = genome.generate_reference("c");
-        let bytes = build_bundle(&reference);
+        let bytes = build_bundle(&reference).expect("within u32 limit");
         assert!(matches!(
             load_bundle(&bytes[..4]),
             Err(BundleError::BadMagic)
@@ -204,5 +246,36 @@ mod tests {
             load_bundle(&bytes[..bytes.len() / 2]),
             Err(BundleError::Truncated(_))
         ));
+    }
+
+    #[test]
+    fn foreign_versions_are_rejected_cleanly() {
+        let reference = GenomeSpec {
+            len: 300,
+            ..GenomeSpec::default()
+        }
+        .generate_reference("c");
+        let bytes = build_bundle(&reference).expect("within u32 limit");
+        // the old v1 layout and a hypothetical future v3 both refuse to
+        // parse, with an error naming the version
+        for v in [1u8, 3] {
+            let mut other = bytes.clone();
+            other[7] = v;
+            let err = load_bundle(&other).expect_err("version must be rejected");
+            assert_eq!(err, BundleError::UnsupportedVersion(v));
+            assert!(err.to_string().contains(&format!("version {v}")));
+        }
+    }
+
+    #[test]
+    fn u32_overflow_guard_trips_at_the_boundary() {
+        // the check is on positions of the doubled text: 2·l_pac must
+        // stay below u32::MAX
+        assert!(flat_sa_fits(1 << 30));
+        assert!(flat_sa_fits((u32::MAX as usize - 1) / 2));
+        assert!(!flat_sa_fits(u32::MAX as usize / 2 + 1));
+        assert!(!flat_sa_fits(u32::MAX as usize));
+        let msg = BundleError::TooLarge(u32::MAX as usize * 2).to_string();
+        assert!(msg.contains("too large"), "{msg}");
     }
 }

@@ -28,10 +28,15 @@ pub mod sam;
 pub mod threads;
 
 pub use aligner::{Aligner, Workflow};
-pub use bundle::{build_bundle, load_bundle, load_index, save_bundle, BundleError};
+pub use bundle::{
+    build_bundle, flat_sa_fits, load_bundle, load_index, save_bundle, BundleError, BUNDLE_VERSION,
+};
 pub use mapq::approx_mapq_se;
 pub use opts::MemOpts;
 pub use profile::{Stage, StageTimes};
 pub use region::AlnReg;
 pub use sam::SamRecord;
-pub use threads::{align_reads_parallel, align_stream_parallel, StreamError, StreamSummary};
+pub use threads::{
+    align_reads_parallel, align_stream_parallel, stream_batches_parallel, StreamError,
+    StreamSummary,
+};

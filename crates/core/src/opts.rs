@@ -37,6 +37,22 @@ pub struct MemOpts {
     pub batch_bases: usize,
     /// Also emit secondary alignments (bwa's `-a`; default off).
     pub output_all: bool,
+    /// Penalty for an unpaired read pair (bwa's `-U`, default 17): a
+    /// paired placement is preferred over the two best single-end
+    /// placements when its joint score beats `best0 + best1 − pen_unpaired`.
+    pub pen_unpaired: i32,
+    /// Maximum insert size considered by the per-batch estimator (bwa's
+    /// hard `max_ins` cap, default 10 000).
+    pub max_ins: i32,
+    /// Maximum mate-rescue SW attempts per read end (bwa's `-m`,
+    /// default 50).
+    pub max_matesw: i32,
+    /// Read pairs per paired-end processing batch — the `mem_pestat`
+    /// estimation window *and* the scheduling unit, so the PE SAM byte
+    /// stream depends on this value only (not on `batch_bases`, thread
+    /// count, or the two-file vs interleaved layout). Default 32 768
+    /// (~10 Mbp at 2×150 bp).
+    pub batch_pairs: usize,
 }
 
 impl Default for MemOpts {
@@ -56,6 +72,10 @@ impl Default for MemOpts {
             chunk_reads: 4096,
             batch_bases: mem2_seqio::DEFAULT_BATCH_BASES,
             output_all: false,
+            pen_unpaired: 17,
+            max_ins: 10_000,
+            max_matesw: 50,
+            batch_pairs: mem2_seqio::DEFAULT_BATCH_PAIRS,
         }
     }
 }

@@ -413,6 +413,31 @@ fn run_rounds(
     }
 }
 
+/// Align prepared reads through the selected workflow, returning each
+/// read's final regions — the single Classic/Batched dispatch point
+/// shared by the in-memory, streaming, and paired-end drivers (batched
+/// execution chunks by `opts.batch_reads`).
+pub fn align_prepared(
+    ctx: &PipelineContext<'_>,
+    worker: &mut Worker,
+    workflow: crate::aligner::Workflow,
+    reads: &[PreparedRead],
+) -> Vec<Vec<AlnReg>> {
+    match workflow {
+        crate::aligner::Workflow::Classic => reads
+            .iter()
+            .map(|read| align_read_classic(ctx, worker, read))
+            .collect(),
+        crate::aligner::Workflow::Batched => {
+            let mut out = Vec::with_capacity(reads.len());
+            for chunk in reads.chunks(ctx.opts.batch_reads) {
+                out.extend(align_batch(ctx, worker, chunk));
+            }
+            out
+        }
+    }
+}
+
 /// Format one read's regions as SAM lines (shared by both workflows).
 pub fn read_to_sam(
     ctx: &PipelineContext<'_>,

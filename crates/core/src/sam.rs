@@ -26,6 +26,12 @@ pub struct SamRecord {
     pub mapq: u8,
     /// CIGAR string or `*`.
     pub cigar: String,
+    /// Mate reference name: `=`, a contig name, or `*` (single-end).
+    pub rnext: String,
+    /// 1-based mate position (0 when unset).
+    pub pnext: u64,
+    /// Observed template length (0 when unset; signs mirror within a pair).
+    pub tlen: i64,
     /// Read bases as output (reverse-complemented when on the minus strand).
     pub seq: String,
     /// Base qualities as output.
@@ -38,17 +44,38 @@ impl SamRecord {
     /// Render the record as one SAM line (without trailing newline).
     pub fn to_line(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.qname,
             self.flag,
             self.rname,
             self.pos,
             self.mapq,
             self.cigar,
+            self.rnext,
+            self.pnext,
+            self.tlen,
             self.seq,
             self.qual,
             self.tags
         )
+    }
+
+    /// Reference bases consumed by the CIGAR (M and D runs); 0 for `*`.
+    /// Used for mate-position/TLEN bookkeeping in paired output.
+    pub fn cigar_ref_len(&self) -> u64 {
+        let mut total = 0u64;
+        let mut run = 0u64;
+        for b in self.cigar.bytes() {
+            match b {
+                b'0'..=b'9' => run = run * 10 + (b - b'0') as u64,
+                b'M' | b'D' => {
+                    total += run;
+                    run = 0;
+                }
+                _ => run = 0,
+            }
+        }
+        total
     }
 }
 
@@ -129,6 +156,8 @@ fn count_nm(cigar: &[CigarOp], q: &[u8], t: &[u8]) -> i32 {
 }
 
 /// Convert one region to a SAM record (bwa's `mem_reg2aln` + `mem_aln2sam`).
+/// `mapq_override` replaces the single-end MAPQ estimate — the paired-end
+/// path passes the pair-aware quality computed in `mem_sam_pe` style.
 #[allow(clippy::too_many_arguments)]
 pub fn region_to_sam(
     opts: &MemOpts,
@@ -139,6 +168,7 @@ pub fn region_to_sam(
     reg: &AlnReg,
     supplementary: bool,
     mapq_cap: Option<u8>,
+    mapq_override: Option<u8>,
 ) -> SamRecord {
     let l_query = read.codes.len() as i32;
     let (qb, qe) = (reg.qb, reg.qe);
@@ -148,7 +178,10 @@ pub fn region_to_sam(
     } else {
         0
     };
-    let mut mapq = mapq_raw.clamp(0, 255) as u8;
+    let mut mapq = match mapq_override {
+        Some(q) if reg.secondary < 0 => q,
+        _ => mapq_raw.clamp(0, 255) as u8,
+    };
     if let Some(cap) = mapq_cap {
         mapq = mapq.min(cap);
     }
@@ -235,6 +268,9 @@ pub fn region_to_sam(
         pos: off as u64 + 1,
         mapq,
         cigar: cigar_string(&cigar),
+        rnext: "*".to_string(),
+        pnext: 0,
+        tlen: 0,
         seq,
         qual,
         tags: format!("NM:i:{nm}\tAS:i:{}\tXS:i:{xs}", reg.score),
@@ -250,6 +286,9 @@ pub fn unmapped_record(read: &ReadInfo<'_>) -> SamRecord {
         pos: 0,
         mapq: 0,
         cigar: "*".to_string(),
+        rnext: "*".to_string(),
+        pnext: 0,
+        tlen: 0,
         seq: String::from_utf8_lossy(read.seq).into_owned(),
         qual: String::from_utf8_lossy(read.qual).into_owned(),
         tags: "AS:i:0".to_string(),
@@ -313,6 +352,7 @@ pub fn regions_to_sam(
             reg,
             supplementary,
             cap,
+            None,
         ));
         if !is_secondary {
             n_primary += 1;
@@ -546,6 +586,15 @@ mod tests {
         assert_eq!(recs[0].flag & 0x800, 0);
         assert_eq!(recs[1].flag & 0x800, 0x800);
         assert!(recs[1].mapq <= recs[0].mapq);
+    }
+
+    #[test]
+    fn cigar_ref_len_counts_m_and_d() {
+        let mut r = unmapped_record(&read_info(&[], b"", b""));
+        r.cigar = "5S90M2I3D6M".to_string();
+        assert_eq!(r.cigar_ref_len(), 99); // 90M + 3D + 6M
+        r.cigar = "*".to_string();
+        assert_eq!(r.cigar_ref_len(), 0);
     }
 
     #[test]

@@ -24,8 +24,8 @@ use parking_lot::Mutex;
 
 use mem2_seqio::{FastqRecord, SeqIoError};
 
-use crate::aligner::{Aligner, Workflow};
-use crate::pipeline::{align_batch, align_read_classic, read_to_sam, PreparedRead, Worker};
+use crate::aligner::Aligner;
+use crate::pipeline::{align_prepared, read_to_sam, PreparedRead, Worker};
 use crate::profile::StageTimes;
 use crate::sam::SamRecord;
 
@@ -59,22 +59,10 @@ pub fn align_reads_parallel(
                         .iter()
                         .map(PreparedRead::from_fastq)
                         .collect();
+                    let regs = align_prepared(&ctx, &mut worker, aligner.workflow, &prepared);
                     let mut out = Vec::new();
-                    match aligner.workflow {
-                        Workflow::Classic => {
-                            for read in &prepared {
-                                let regs = align_read_classic(&ctx, &mut worker, read);
-                                out.extend(read_to_sam(&ctx, read, &regs, &mut worker.times));
-                            }
-                        }
-                        Workflow::Batched => {
-                            for batch in prepared.chunks(aligner.opts.batch_reads) {
-                                let regs = align_batch(&ctx, &mut worker, batch);
-                                for (read, r) in batch.iter().zip(&regs) {
-                                    out.extend(read_to_sam(&ctx, read, r, &mut worker.times));
-                                }
-                            }
-                        }
+                    for (read, r) in prepared.iter().zip(&regs) {
+                        out.extend(read_to_sam(&ctx, read, r, &mut worker.times));
                     }
                     *slots[c].lock() = out;
                 }
@@ -199,9 +187,57 @@ where
     I::IntoIter: Send,
     W: Write,
 {
+    stream_batches_parallel(
+        &aligner.opts,
+        batches,
+        n_threads,
+        out,
+        |batch: &Vec<FastqRecord>| batch.len(),
+        |worker, records| {
+            let ctx = aligner.context();
+            let prepared: Vec<PreparedRead> = records
+                .into_iter()
+                .map(PreparedRead::from_fastq_owned)
+                .collect();
+            let regs = align_prepared(&ctx, worker, aligner.workflow, &prepared);
+            let mut recs = Vec::new();
+            for (read, r) in prepared.iter().zip(&regs) {
+                recs.extend(read_to_sam(&ctx, read, r, &mut worker.times));
+            }
+            recs
+        },
+    )
+}
+
+/// The generic double-buffered batch-stream driver behind
+/// [`align_stream_parallel`] (and the paired-end driver in
+/// `mem2-pairing`): a producer thread pulls batches of any type `T` off
+/// the input iterator, worker threads turn each batch into SAM records
+/// with `process`, and the calling thread writes batches in input order.
+///
+/// `count_reads` reports how many reads a batch holds (for the summary);
+/// `process` runs on worker threads against a per-thread [`Worker`]
+/// arena. Output order is the input batch order regardless of thread
+/// count, and the reorder buffer is bounded even under worker skew.
+pub fn stream_batches_parallel<T, I, W, C, P>(
+    opts: &crate::opts::MemOpts,
+    batches: I,
+    n_threads: usize,
+    out: &mut W,
+    count_reads: C,
+    process: P,
+) -> Result<(StreamSummary, StageTimes), StreamError>
+where
+    T: Send,
+    I: IntoIterator<Item = Result<T, SeqIoError>>,
+    I::IntoIter: Send,
+    W: Write,
+    C: Fn(&T) -> usize + Sync,
+    P: Fn(&mut Worker, T) -> Vec<SamRecord> + Sync,
+{
     let n_threads = n_threads.max(1);
     let batches = batches.into_iter();
-    let (batch_tx, batch_rx) = sync_channel::<(usize, Vec<FastqRecord>)>(STREAM_QUEUE_DEPTH);
+    let (batch_tx, batch_rx) = sync_channel::<(usize, T)>(STREAM_QUEUE_DEPTH);
     let batch_rx = Mutex::new(batch_rx);
     let (res_tx, res_rx) = sync_channel::<(usize, Vec<SamRecord>)>(n_threads + STREAM_QUEUE_DEPTH);
     let input_err: Mutex<Option<SeqIoError>> = Mutex::new(None);
@@ -228,7 +264,7 @@ where
                 }
                 match item {
                     Ok(batch) => {
-                        reads_in.fetch_add(batch.len(), Ordering::Relaxed);
+                        reads_in.fetch_add(count_reads(&batch), Ordering::Relaxed);
                         // send fails only when the consumer side tore down
                         // early (write error); just stop producing
                         if batch_tx.send((idx, batch)).is_err() {
@@ -250,34 +286,13 @@ where
             let res_tx = res_tx.clone();
             scope.spawn(|_| {
                 let res_tx = res_tx; // move the clone, borrow the rest
-                let ctx = aligner.context();
-                let mut worker = Worker::new(&aligner.opts);
+                let mut worker = Worker::new(opts);
                 loop {
                     // hold the lock across recv: exactly one worker waits
                     // on the channel, the rest queue on the mutex
                     let msg = batch_rx.lock().recv();
-                    let Ok((idx, records)) = msg else { break };
-                    let prepared: Vec<PreparedRead> = records
-                        .into_iter()
-                        .map(PreparedRead::from_fastq_owned)
-                        .collect();
-                    let mut recs = Vec::new();
-                    match aligner.workflow {
-                        Workflow::Classic => {
-                            for read in &prepared {
-                                let regs = align_read_classic(&ctx, &mut worker, read);
-                                recs.extend(read_to_sam(&ctx, read, &regs, &mut worker.times));
-                            }
-                        }
-                        Workflow::Batched => {
-                            for batch in prepared.chunks(aligner.opts.batch_reads) {
-                                let regs = align_batch(&ctx, &mut worker, batch);
-                                for (read, r) in batch.iter().zip(&regs) {
-                                    recs.extend(read_to_sam(&ctx, read, r, &mut worker.times));
-                                }
-                            }
-                        }
-                    }
+                    let Ok((idx, batch)) = msg else { break };
+                    let recs = process(&mut worker, batch);
                     // stay within the reorder window so the writer's
                     // pending map is bounded even under batch skew
                     gate.wait_within(idx, reorder_window);

@@ -1,0 +1,186 @@
+//! Paired-end pipeline drivers.
+//!
+//! A PE batch ([`MemOpts::batch_pairs`] pairs) is the unit of everything:
+//! single-end alignment of all 2·N reads (through the existing classic or
+//! batched pipeline), per-batch insert-size estimation, mate rescue, pair
+//! selection, and SAM emission all happen within the batch, so the byte
+//! stream is a pure function of the pair sequence and `batch_pairs` —
+//! invariant to thread count, `--batch-bases`, and the two-file vs
+//! interleaved input layout.
+
+use std::io::Write;
+use std::time::Instant;
+
+use mem2_core::pipeline::{align_prepared, PreparedRead, Worker};
+use mem2_core::sam::{ReadInfo, SamRecord};
+use mem2_core::threads::{stream_batches_parallel, StreamError, StreamSummary};
+use mem2_core::{profile::Stage, region::mark_primary};
+use mem2_core::{Aligner, AlnReg, StageTimes};
+use mem2_seqio::{FastqRecord, ReadPair, SeqIoError};
+
+use crate::pestat::{estimate_pe_stats, PeStats};
+use crate::rescue::mate_rescue;
+use crate::sam_pe::{pair_to_sam, select_pair};
+
+/// Align one batch of pairs to SAM records (read 1 lines then read 2
+/// lines per pair, pairs in input order). `pes_override` pins the insert
+/// distribution (the CLI's `-I`); otherwise it is estimated from this
+/// batch's confident pairs à la `mem_pestat`.
+pub fn align_pairs_batch(
+    aligner: &Aligner,
+    worker: &mut Worker,
+    pairs: Vec<ReadPair>,
+    pes_override: Option<PeStats>,
+) -> Vec<SamRecord> {
+    let ctx = aligner.context();
+    let opts = &aligner.opts;
+    let l_pac = aligner.index.l_pac;
+
+    let prepared: Vec<PreparedRead> = pairs
+        .into_iter()
+        .flat_map(|p| [p.r1, p.r2])
+        .map(PreparedRead::from_fastq_owned)
+        .collect();
+    let mut regs = align_prepared(&ctx, worker, aligner.workflow, &prepared);
+
+    let t = Instant::now();
+    let pes = pes_override.unwrap_or_else(|| estimate_pe_stats(opts, l_pac, &regs));
+
+    let mut out = Vec::with_capacity(prepared.len());
+    for (pair_reads, pair_regs) in prepared.chunks_exact(2).zip(regs.chunks_exact_mut(2)) {
+        let (left, right) = pair_regs.split_at_mut(1);
+        let mut ends = [std::mem::take(&mut left[0]), std::mem::take(&mut right[0])];
+
+        // -- mate rescue: anchor on each end's near-best hits. Both
+        // anchor lists are snapshotted *before* any rescue runs (bwa's
+        // mem_sam_pe builds b[0]/b[1] first), so a hit rescued into one
+        // end can never itself anchor a rescue back into the other --
+        if !pes.all_failed() {
+            let anchor_sets: [Vec<AlnReg>; 2] = std::array::from_fn(|i| {
+                let Some(best) = ends[i].first() else {
+                    return Vec::new();
+                };
+                let floor = best.score - opts.pen_unpaired;
+                ends[i]
+                    .iter()
+                    .filter(|r| r.score >= floor)
+                    .take(opts.max_matesw.max(0) as usize)
+                    .copied()
+                    .collect()
+            });
+            let mut rescued = [false; 2];
+            for (i, anchors) in anchor_sets.iter().enumerate() {
+                let mate = 1 - i;
+                for anchor in anchors {
+                    let added = mate_rescue(
+                        opts,
+                        l_pac,
+                        &ctx.reference.pac,
+                        &ctx.reference.contigs,
+                        &pes,
+                        anchor,
+                        &pair_reads[mate].codes,
+                        &mut ends[mate],
+                    );
+                    rescued[mate] |= added > 0;
+                }
+            }
+            for (k, was_rescued) in rescued.into_iter().enumerate() {
+                if was_rescued {
+                    ends[k] = mark_primary(opts, std::mem::take(&mut ends[k]));
+                }
+            }
+        }
+
+        // -- pair selection and emission --
+        let dec = select_pair(opts, l_pac, &pes, &mut ends);
+        let infos: Vec<ReadInfo<'_>> = pair_reads
+            .iter()
+            .map(|r| ReadInfo {
+                name: &r.name,
+                codes: &r.codes,
+                seq: &r.seq,
+                qual: &r.qual,
+            })
+            .collect();
+        pair_to_sam(
+            opts,
+            l_pac,
+            &ctx.reference.pac,
+            &ctx.reference.contigs,
+            [&infos[0], &infos[1]],
+            &ends,
+            &dec,
+            &mut out,
+        );
+    }
+    worker.times.add(Stage::Misc, t.elapsed());
+    out
+}
+
+/// Align pairs in memory on the current thread, windowed into
+/// `batch_pairs` batches exactly as the streaming driver would — the
+/// in-memory and streamed outputs are byte-identical.
+pub fn align_pairs(
+    aligner: &Aligner,
+    pairs: &[ReadPair],
+    pes_override: Option<PeStats>,
+) -> Vec<SamRecord> {
+    let mut worker = Worker::new(&aligner.opts);
+    let mut out = Vec::new();
+    for window in pairs.chunks(aligner.opts.batch_pairs.max(1)) {
+        out.extend(align_pairs_batch(
+            aligner,
+            &mut worker,
+            window.to_vec(),
+            pes_override,
+        ));
+    }
+    out
+}
+
+/// Align a stream of pair batches with `n_threads` workers, writing SAM
+/// in input order — the PE counterpart of
+/// [`mem2_core::align_stream_parallel`], built on the same
+/// double-buffered driver. `batches` is typically a
+/// [`mem2_seqio::PairedBatchReader`] or
+/// [`mem2_seqio::InterleavedBatchReader`] configured with
+/// `opts.batch_pairs`.
+pub fn align_pairs_stream<I, W>(
+    aligner: &Aligner,
+    pes_override: Option<PeStats>,
+    batches: I,
+    n_threads: usize,
+    out: &mut W,
+) -> Result<(StreamSummary, StageTimes), StreamError>
+where
+    I: IntoIterator<Item = Result<Vec<ReadPair>, SeqIoError>>,
+    I::IntoIter: Send,
+    W: Write,
+{
+    stream_batches_parallel(
+        &aligner.opts,
+        batches,
+        n_threads,
+        out,
+        |batch: &Vec<ReadPair>| 2 * batch.len(),
+        |worker, batch| align_pairs_batch(aligner, worker, batch, pes_override),
+    )
+}
+
+/// Convenience for tests and small tools: pair up an interleaved record
+/// list (R1, R2, R1, R2, …). Panics on an odd count.
+pub fn pairs_from_interleaved(records: Vec<FastqRecord>) -> Vec<ReadPair> {
+    assert!(
+        records.len().is_multiple_of(2),
+        "interleaved list must be even"
+    );
+    let mut out = Vec::with_capacity(records.len() / 2);
+    let mut it = records.into_iter();
+    while let (Some(mut r1), Some(mut r2)) = (it.next(), it.next()) {
+        mem2_seqio::trim_pair_suffix(&mut r1.name);
+        mem2_seqio::trim_pair_suffix(&mut r2.name);
+        out.push(ReadPair { r1, r2 });
+    }
+    out
+}

@@ -1,0 +1,203 @@
+//! Joint pair selection — bwa's `mem_pair`.
+//!
+//! Each end brings a score-sorted candidate list; every cross pair whose
+//! orientation is trusted and whose implied insert falls inside that
+//! orientation's acceptance window is scored as
+//! `score₁ + score₂ + log-likelihood(insert)` — the likelihood term is
+//! the two-sided gaussian tail probability of the observed insert,
+//! converted to score units (`0.721·ln(2·erfc(|z|/√2))·a`). The best
+//! candidate becomes the pair; the runner-up feeds the paired MAPQ.
+
+use mem2_core::{AlnReg, MemOpts};
+
+use crate::pestat::{infer_dir, PeStats};
+
+/// Cap on candidate regions per end entering the O(n·m) cross scan;
+/// beyond this the tail is noise (lists are score-sorted).
+const MAX_PAIR_CAND: usize = 64;
+
+/// bwa's `raw_mapq`: score difference → Phred scale.
+pub fn raw_mapq(diff: i32, a: i32) -> i32 {
+    (6.02 * diff as f64 / a as f64 + 0.499) as i32
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26; max abs
+/// error 1.5e-7 — far below what the MAPQ integer rounding can see).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+/// The selected pair: indices into each end's region list, joint score,
+/// runner-up score and count of near-best alternatives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairChoice {
+    /// Chosen region index per end.
+    pub z: [usize; 2],
+    /// Joint score of the chosen pair (score units).
+    pub score: i32,
+    /// Joint score of the best alternative pair (0 if none).
+    pub sub: i32,
+    /// Alternatives within one gap/mismatch of `sub`.
+    pub n_sub: i32,
+}
+
+/// Score one candidate insert against its orientation's distribution.
+fn insert_loglik(avg: f64, std: f64, dist: i64, a: i32) -> f64 {
+    let ns = (dist as f64 - avg) / std.max(1e-3);
+    // .721 = 1/ln(4): converts nats to match-score units
+    let tail = (2.0 * erfc(ns.abs() * std::f64::consts::FRAC_1_SQRT_2)).max(f64::MIN_POSITIVE);
+    0.721 * tail.ln() * a as f64
+}
+
+/// Pick the best jointly-scored pair across the two candidate lists, or
+/// `None` when no orientation-consistent pair exists in bounds.
+pub fn mem_pair(
+    opts: &MemOpts,
+    l_pac: i64,
+    pes: &PeStats,
+    r0: &[AlnReg],
+    r1: &[AlnReg],
+) -> Option<PairChoice> {
+    let a = opts.score.a;
+    let mut cands: Vec<(i32, usize, usize)> = Vec::new();
+    for (i, e0) in r0.iter().take(MAX_PAIR_CAND).enumerate() {
+        for (j, e1) in r1.iter().take(MAX_PAIR_CAND).enumerate() {
+            if e0.rid != e1.rid {
+                continue;
+            }
+            let (d, dist) = infer_dir(l_pac, e0.rb, e1.rb);
+            let st = &pes.dirs[d];
+            if st.failed || dist < st.low || dist > st.high {
+                continue;
+            }
+            let q = (e0.score as f64
+                + e1.score as f64
+                + insert_loglik(st.avg, st.std, dist, a)
+                + 0.499) as i32;
+            cands.push((q.max(0), i, j));
+        }
+    }
+    if cands.is_empty() {
+        return None;
+    }
+    // deterministic order: best score first, then earliest (i, j) — a
+    // stable stand-in for bwa's hash tiebreak
+    cands.sort_by_key(|&(q, i, j)| (std::cmp::Reverse(q), i, j));
+    let (best_q, bi, bj) = cands[0];
+    let sub = cands.get(1).map_or(0, |&(q, _, _)| q);
+    let tmp = (opts.score.a + opts.score.b)
+        .max(opts.score.o_del + opts.score.e_del)
+        .max(opts.score.o_ins + opts.score.e_ins);
+    let n_sub = cands[1..]
+        .iter()
+        .filter(|&&(q, _, _)| sub - q <= tmp)
+        .count() as i32;
+    Some(PairChoice {
+        z: [bi, bj],
+        score: best_q,
+        sub,
+        n_sub,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pestat::PeStats;
+
+    fn reg(rb: i64, score: i32) -> AlnReg {
+        AlnReg {
+            rb,
+            re: rb + 100,
+            qb: 0,
+            qe: 100,
+            rid: 0,
+            score,
+            truesc: score,
+            secondary: -1,
+            ..Default::default()
+        }
+    }
+
+    fn fr(l: i64, fwd_pos: i64, insert: i64) -> i64 {
+        2 * l - 1 - (fwd_pos + insert)
+    }
+
+    #[test]
+    fn erfc_matches_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(6.0) < 1e-15);
+    }
+
+    #[test]
+    fn consistent_pair_beats_distant_one() {
+        let l = 1_000_000;
+        let opts = MemOpts::default();
+        let pes = PeStats::from_override(400.0, 50.0);
+        // read 1: one good hit; read 2: an in-bounds hit and an
+        // equal-scoring hit 30 kb away (out of bounds)
+        let r0 = vec![reg(10_000, 100)];
+        let r1 = vec![
+            reg(fr(l, 10_000, 30_000), 100),
+            reg(fr(l, 10_000, 410), 100),
+        ];
+        let ch = mem_pair(&opts, l, &pes, &r0, &r1).expect("pair found");
+        assert_eq!(ch.z, [0, 1]);
+        assert!(ch.score > 190, "insert at mean costs little: {}", ch.score);
+        assert_eq!(ch.sub, 0);
+    }
+
+    #[test]
+    fn insert_likelihood_breaks_score_ties() {
+        let l = 1_000_000;
+        let opts = MemOpts::default();
+        let pes = PeStats::from_override(400.0, 50.0);
+        let r0 = vec![reg(10_000, 100)];
+        // same score, insert at mean vs at the 3.9σ edge of the window
+        let r1 = vec![reg(fr(l, 10_000, 595), 100), reg(fr(l, 10_000, 400), 100)];
+        let ch = mem_pair(&opts, l, &pes, &r0, &r1).expect("pair found");
+        assert_eq!(ch.z, [0, 1], "mean-insert candidate must win");
+        assert!(ch.sub > 0 && ch.sub < ch.score);
+    }
+
+    #[test]
+    fn out_of_bounds_or_failed_orientation_yields_none() {
+        let l = 1_000_000;
+        let opts = MemOpts::default();
+        let pes = PeStats::from_override(400.0, 50.0);
+        // insert 5000: outside [200, 600]
+        let r0 = vec![reg(10_000, 100)];
+        let r1 = vec![reg(fr(l, 10_000, 5_000), 100)];
+        assert_eq!(mem_pair(&opts, l, &pes, &r0, &r1), None);
+        // FF orientation (both forward) is failed under the override
+        let r1_ff = vec![reg(10_400, 100)];
+        assert_eq!(mem_pair(&opts, l, &pes, &r0, &r1_ff), None);
+        // different contigs never pair
+        let mut r1_rid = vec![reg(fr(l, 10_000, 400), 100)];
+        r1_rid[0].rid = 1;
+        assert_eq!(mem_pair(&opts, l, &pes, &r0, &r1_rid), None);
+        assert_eq!(mem_pair(&opts, l, &pes, &[], &[]), None);
+    }
+
+    #[test]
+    fn n_sub_counts_near_best_alternatives() {
+        let l = 1_000_000;
+        let opts = MemOpts::default();
+        let pes = PeStats::from_override(400.0, 50.0);
+        let r0 = vec![reg(10_000, 100), reg(50_000, 98)];
+        let r1 = vec![reg(fr(l, 10_000, 400), 100), reg(fr(l, 50_000, 400), 98)];
+        let ch = mem_pair(&opts, l, &pes, &r0, &r1).expect("pair found");
+        assert_eq!(ch.z, [0, 0]);
+        assert!(ch.sub > 0);
+        assert!(ch.n_sub >= 1);
+    }
+}

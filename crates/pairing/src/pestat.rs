@@ -1,0 +1,314 @@
+//! Per-batch insert-size estimation — bwa's `mem_pestat`.
+//!
+//! From the confident single-end placements of a batch of pairs, infer
+//! which of the four relative orientations (FF/FR/RF/RR) the library
+//! uses and, per orientation, the insert-size distribution: quartiles
+//! with outlier trimming give `[low, high]` acceptance bounds plus the
+//! trimmed mean/std that feed the pairing log-likelihood. Orientations
+//! with too few observations (or a vanishing share of the winner) are
+//! marked `failed` and take no part in pairing or rescue — the fallback
+//! for skewed or low-coverage batches. The whole estimate is recomputed
+//! per batch of [`MemOpts::batch_pairs`] pairs, so it is a pure function
+//! of the batch contents: SAM bytes cannot depend on thread count.
+
+use mem2_core::{AlnReg, MemOpts};
+
+/// Orientations are encoded as bwa does: bit 1 = read 1 reversed
+/// relative to the pair axis, bit 0 = read 2. 0=FF, 1=FR, 2=RF, 3=RR.
+pub const N_ORIENT: usize = 4;
+
+/// Minimum observations for an orientation to be trusted.
+pub const MIN_DIR_CNT: usize = 10;
+/// An orientation with fewer than this share of the winner's
+/// observations is discarded as noise.
+pub const MIN_DIR_RATIO: f64 = 0.05;
+/// IQR multiplier bounding the values that enter mean/std.
+pub const OUTLIER_BOUND: f64 = 2.0;
+/// IQR multiplier bounding the pairing acceptance window.
+pub const MAPPING_BOUND: f64 = 3.0;
+/// The acceptance window is at least this many std-devs wide.
+pub const MAX_STDDEV: f64 = 4.0;
+/// A pair only contributes if each end's best hit beats its runner-up
+/// by this ratio (unique-enough placements).
+const MIN_RATIO: f64 = 0.8;
+
+/// Human-readable orientation label.
+pub fn orient_name(d: usize) -> &'static str {
+    ["FF", "FR", "RF", "RR"][d & 3]
+}
+
+/// Insert-size statistics for one orientation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OrientStats {
+    /// True when this orientation is unusable (too few observations).
+    pub failed: bool,
+    /// Lower acceptance bound for a proper pair's insert.
+    pub low: i64,
+    /// Upper acceptance bound.
+    pub high: i64,
+    /// Trimmed mean insert size.
+    pub avg: f64,
+    /// Trimmed standard deviation.
+    pub std: f64,
+}
+
+/// The per-batch estimate: stats for each of the four orientations.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PeStats {
+    /// Indexed by the orientation code of [`infer_dir`].
+    pub dirs: [OrientStats; N_ORIENT],
+}
+
+impl PeStats {
+    /// All orientations failed: pairing and rescue are disabled and each
+    /// end is reported with single-end semantics (plus pair flags).
+    pub fn all_failed(&self) -> bool {
+        self.dirs.iter().all(|d| d.failed)
+    }
+
+    /// Build stats from a user-supplied mean/std (the CLI's `-I`): the
+    /// standard FR orientation is enabled with `mean ± MAX_STDDEV·std`
+    /// bounds, the others disabled. Output then no longer depends on the
+    /// batch contents at all.
+    pub fn from_override(mean: f64, std: f64) -> PeStats {
+        let mut pes = PeStats::default();
+        for d in pes.dirs.iter_mut() {
+            d.failed = true;
+        }
+        let fr = &mut pes.dirs[1];
+        fr.failed = false;
+        fr.avg = mean;
+        fr.std = std;
+        fr.low = ((mean - MAX_STDDEV * std) + 0.499).max(1.0) as i64;
+        fr.high = ((mean + MAX_STDDEV * std) + 0.499) as i64;
+        pes
+    }
+}
+
+/// Relative orientation and distance of two region begins in doubled
+/// coordinates (bwa's `mem_infer_dir`): `b2` is projected onto `b1`'s
+/// strand; the distance is measured between the projected begins.
+pub fn infer_dir(l_pac: i64, b1: i64, b2: i64) -> (usize, i64) {
+    let r1 = b1 >= l_pac;
+    let r2 = b2 >= l_pac;
+    let p2 = if r1 == r2 { b2 } else { (l_pac << 1) - 1 - b2 };
+    let dist = (p2 - b1).abs();
+    let d = usize::from(r1 != r2) ^ if p2 > b1 { 0 } else { 3 };
+    (d, dist)
+}
+
+/// bwa's `cal_sub`: the effective runner-up score of a region list — the
+/// first lower hit whose query span significantly overlaps the best
+/// hit's (same placement decision), or the seed-floor score when none.
+fn cal_sub(opts: &MemOpts, regs: &[AlnReg]) -> i32 {
+    for r in &regs[1..] {
+        let b_max = r.qb.max(regs[0].qb);
+        let e_min = r.qe.min(regs[0].qe);
+        if e_min > b_max {
+            let min_l = (r.qe - r.qb).min(regs[0].qe - regs[0].qb);
+            if (e_min - b_max) as f32 >= min_l as f32 * opts.chain.mask_level {
+                return r.score;
+            }
+        }
+    }
+    opts.smem.min_seed_len * opts.score.a
+}
+
+/// Estimate the four orientation distributions from one batch's
+/// single-end regions. `regs` holds the mate-interleaved per-read region
+/// lists (`regs[2i]` = pair `i` read 1, `regs[2i+1]` = read 2), each
+/// sorted best-first as [`mem2_core::region::mark_primary`] leaves them.
+pub fn estimate_pe_stats(opts: &MemOpts, l_pac: i64, regs: &[Vec<AlnReg>]) -> PeStats {
+    let mut isize: [Vec<i64>; N_ORIENT] = Default::default();
+    for pair in regs.chunks_exact(2) {
+        let (r0, r1) = (&pair[0], &pair[1]);
+        if r0.is_empty() || r1.is_empty() {
+            continue;
+        }
+        if (cal_sub(opts, r0) as f64) > MIN_RATIO * r0[0].score as f64 {
+            continue; // read 1's placement is not unique enough
+        }
+        if (cal_sub(opts, r1) as f64) > MIN_RATIO * r1[0].score as f64 {
+            continue;
+        }
+        if r0[0].rid != r1[0].rid {
+            continue; // not on the same contig
+        }
+        let (d, dist) = infer_dir(l_pac, r0[0].rb, r1[0].rb);
+        if dist >= 1 && dist <= opts.max_ins as i64 {
+            isize[d].push(dist);
+        }
+    }
+
+    let mut pes = PeStats::default();
+    for (d, values) in isize.iter_mut().enumerate() {
+        let r = &mut pes.dirs[d];
+        if values.len() < MIN_DIR_CNT {
+            r.failed = true;
+            continue;
+        }
+        values.sort_unstable();
+        let n = values.len();
+        let pick = |f: f64| values[((f * n as f64 + 0.499) as usize).min(n - 1)] as f64;
+        let (p25, p75) = (pick(0.25), pick(0.75));
+        let iqr = p75 - p25;
+        // outlier-trimmed mean and std
+        let t_low = ((p25 - OUTLIER_BOUND * iqr) + 0.499).max(1.0) as i64;
+        let t_high = ((p75 + OUTLIER_BOUND * iqr) + 0.499) as i64;
+        let kept: Vec<i64> = values
+            .iter()
+            .copied()
+            .filter(|v| (t_low..=t_high).contains(v))
+            .collect();
+        let x = kept.len().max(1) as f64;
+        r.avg = kept.iter().sum::<i64>() as f64 / x;
+        r.std = (kept
+            .iter()
+            .map(|&v| (v as f64 - r.avg) * (v as f64 - r.avg))
+            .sum::<f64>()
+            / x)
+            .sqrt();
+        // acceptance window: IQR-based, at least avg ± MAX_STDDEV·std
+        r.low = ((p25 - MAPPING_BOUND * iqr) + 0.499) as i64;
+        r.high = ((p75 + MAPPING_BOUND * iqr) + 0.499) as i64;
+        r.low = r
+            .low
+            .min((r.avg - MAX_STDDEV * r.std + 0.499) as i64)
+            .max(1);
+        r.high = r.high.max((r.avg + MAX_STDDEV * r.std + 0.499) as i64);
+    }
+    // discard orientations that are noise next to the dominant one
+    let max_n = isize.iter().map(Vec::len).max().unwrap_or(0);
+    for (d, values) in isize.iter().enumerate() {
+        if !pes.dirs[d].failed && (values.len() as f64) < max_n as f64 * MIN_DIR_RATIO {
+            pes.dirs[d].failed = true;
+        }
+    }
+    pes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(rb: i64, score: i32) -> AlnReg {
+        AlnReg {
+            rb,
+            re: rb + 100,
+            qb: 0,
+            qe: 100,
+            rid: 0,
+            score,
+            truesc: score,
+            secondary: -1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn infer_dir_covers_all_orientations() {
+        let l = 10_000;
+        // both forward, read2 downstream: FF
+        assert_eq!(infer_dir(l, 100, 500), (0, 400));
+        // read1 forward, read2 on reverse strand downstream: FR
+        let b2 = 2 * l - 1 - 500; // forward begin 500 → reverse image
+        let (d, dist) = infer_dir(l, 100, b2);
+        assert_eq!(d, 1);
+        assert_eq!(dist, 400);
+        // read1 reverse, read2 forward *downstream*: outward-facing → RF
+        let b1 = 2 * l - 1 - 100;
+        let (d, _) = infer_dir(l, b1, 500);
+        assert_eq!(d, 2);
+        // both reverse, read2's projection upstream: RR
+        let (d, _) = infer_dir(l, 2 * l - 1 - 100, 2 * l - 1 - 500);
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn fr_pairs_recover_mean_and_bounds() {
+        let l = 1_000_000i64;
+        let opts = MemOpts::default();
+        let mut regs: Vec<Vec<AlnReg>> = Vec::new();
+        // 100 pairs at insert ~400 (spread 380..420), FR orientation
+        for i in 0..100i64 {
+            let pos = 1_000 + i * 777;
+            let insert = 380 + (i % 41);
+            regs.push(vec![reg(pos, 100)]);
+            regs.push(vec![reg(2 * l - 1 - (pos + insert), 100)]);
+        }
+        let pes = estimate_pe_stats(&opts, l, &regs);
+        assert!(!pes.dirs[1].failed, "FR must be trusted");
+        for d in [0usize, 2, 3] {
+            assert!(pes.dirs[d].failed, "{} must fail", orient_name(d));
+        }
+        let fr = pes.dirs[1];
+        assert!((fr.avg - 400.0).abs() < 5.0, "avg {}", fr.avg);
+        assert!(fr.low >= 1 && fr.low < 380, "low {}", fr.low);
+        assert!(fr.high > 420 && fr.high < 600, "high {}", fr.high);
+        assert!(!pes.all_failed());
+    }
+
+    #[test]
+    fn ambiguous_and_cross_contig_pairs_are_ignored() {
+        let l = 1_000_000i64;
+        let opts = MemOpts::default();
+        let mut regs: Vec<Vec<AlnReg>> = Vec::new();
+        for i in 0..50i64 {
+            let pos = 1_000 + i * 500;
+            // read 1 has a same-span runner-up at 90% of the best score:
+            // not unique enough under MIN_RATIO
+            regs.push(vec![reg(pos, 100), reg(pos + 40_000, 90)]);
+            regs.push(vec![reg(2 * l - 1 - (pos + 400), 100)]);
+        }
+        let pes = estimate_pe_stats(&opts, l, &regs);
+        assert!(pes.all_failed(), "ambiguous pairs must not contribute");
+    }
+
+    #[test]
+    fn low_coverage_batch_fails_all_orientations() {
+        let l = 100_000i64;
+        let opts = MemOpts::default();
+        // only 5 pairs: below MIN_DIR_CNT
+        let mut regs: Vec<Vec<AlnReg>> = Vec::new();
+        for i in 0..5i64 {
+            let pos = 100 + i * 300;
+            regs.push(vec![reg(pos, 100)]);
+            regs.push(vec![reg(2 * l - 1 - (pos + 300), 100)]);
+        }
+        let pes = estimate_pe_stats(&opts, l, &regs);
+        assert!(pes.all_failed());
+        assert!(estimate_pe_stats(&opts, l, &[]).all_failed());
+    }
+
+    #[test]
+    fn override_enables_fr_only() {
+        let pes = PeStats::from_override(400.0, 50.0);
+        assert!(!pes.dirs[1].failed);
+        assert!(pes.dirs[0].failed && pes.dirs[2].failed && pes.dirs[3].failed);
+        assert_eq!(pes.dirs[1].low, 200);
+        assert_eq!(pes.dirs[1].high, 600);
+        assert_eq!(pes.dirs[1].avg, 400.0);
+    }
+
+    #[test]
+    fn minority_orientation_is_discarded() {
+        let l = 1_000_000i64;
+        let opts = MemOpts::default();
+        let mut regs: Vec<Vec<AlnReg>> = Vec::new();
+        // 300 FR pairs …
+        for i in 0..300i64 {
+            let pos = 1_000 + i * 700;
+            regs.push(vec![reg(pos, 100)]);
+            regs.push(vec![reg(2 * l - 1 - (pos + 350 + i % 60), 100)]);
+        }
+        // … and 12 FF pairs (above MIN_DIR_CNT but under 5% of 300)
+        for i in 0..12i64 {
+            let pos = 500_000 + i * 700;
+            regs.push(vec![reg(pos, 100)]);
+            regs.push(vec![reg(pos + 350, 100)]);
+        }
+        let pes = estimate_pe_stats(&opts, l, &regs);
+        assert!(!pes.dirs[1].failed);
+        assert!(pes.dirs[0].failed, "12/300 FF is noise");
+    }
+}

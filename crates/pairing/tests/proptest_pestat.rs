@@ -1,0 +1,153 @@
+//! Property tests for the insert-size estimator: simulated FR pairs with
+//! a known distribution must recover the orientation and bounds within
+//! tolerance, and skewed / low-coverage batches must take the fallback
+//! path (all orientations failed → pairing disabled) rather than emit
+//! garbage statistics.
+
+use proptest::prelude::*;
+
+use mem2_core::{AlnReg, MemOpts};
+use mem2_pairing::pestat::{estimate_pe_stats, MIN_DIR_CNT};
+use mem2_pairing::{infer_dir, PeStats};
+
+const L_PAC: i64 = 4_000_000;
+
+fn reg(rb: i64, score: i32) -> AlnReg {
+    AlnReg {
+        rb,
+        re: rb + 100,
+        qb: 0,
+        qe: 100,
+        rid: 0,
+        score,
+        truesc: score,
+        secondary: -1,
+        ..Default::default()
+    }
+}
+
+/// Deterministic gaussian-ish insert from two uniform draws
+/// (Irwin–Hall with 12 summands has std ≈ spread/√12·…; two draws are
+/// enough for a bell-ish shape with controlled mean/std).
+fn insert_from(u: (u32, u32), mean: i64, spread: i64) -> i64 {
+    let a = (u.0 % (2 * spread as u32 + 1)) as i64 - spread;
+    let b = (u.1 % (2 * spread as u32 + 1)) as i64 - spread;
+    (mean + (a + b) / 2).max(120)
+}
+
+/// Build the interleaved region lists of `n` FR pairs.
+fn fr_batch(n: usize, mean: i64, spread: i64, seed: u64) -> Vec<Vec<AlnReg>> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut regs = Vec::with_capacity(2 * n);
+    for _ in 0..n {
+        let pos = 10_000 + (next() % 3_000_000) as i64;
+        let insert = insert_from((next(), next()), mean, spread.max(1));
+        regs.push(vec![reg(pos, 100)]);
+        regs.push(vec![reg(2 * L_PAC - 1 - (pos + insert), 100)]);
+    }
+    regs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fr_distribution_is_recovered(
+        n in 64usize..400,
+        mean in 250i64..900,
+        spread in 10i64..80,
+        seed in any::<u64>(),
+    ) {
+        let opts = MemOpts::default();
+        let regs = fr_batch(n, mean, spread, seed);
+        let pes = estimate_pe_stats(&opts, L_PAC, &regs);
+
+        // orientation: FR trusted, everything else failed
+        prop_assert!(!pes.dirs[1].failed, "FR must be trusted (n={n})");
+        for d in [0usize, 2, 3] {
+            prop_assert!(pes.dirs[d].failed, "orientation {d} must fail");
+        }
+
+        // every simulated insert in the batch is FR by construction
+        for pair in regs.chunks_exact(2) {
+            let (d, _) = infer_dir(L_PAC, pair[0][0].rb, pair[1][0].rb);
+            prop_assert_eq!(d, 1);
+        }
+
+        // the trimmed mean lands near the true mean and the acceptance
+        // window brackets essentially the whole distribution
+        let fr = pes.dirs[1];
+        let tol = (spread as f64).max(8.0);
+        prop_assert!(
+            (fr.avg - mean as f64).abs() <= tol,
+            "avg {} vs true {} (tol {})", fr.avg, mean, tol
+        );
+        prop_assert!(fr.low >= 1 && (fr.low as f64) < fr.avg);
+        prop_assert!((fr.high as f64) > fr.avg);
+        prop_assert!(fr.std >= 0.0 && fr.std < 4.0 * spread as f64 + 8.0);
+        // bounds contain mean ± spread (the bulk of the simulated mass;
+        // the window is ≈ avg ± 4·std ≈ mean ± 1.6·spread for this
+        // triangular insert distribution)
+        prop_assert!(fr.low as f64 <= (mean - spread).max(120) as f64);
+        prop_assert!(fr.high as f64 >= (mean + spread) as f64);
+    }
+
+    #[test]
+    fn low_coverage_batches_fall_back(
+        n in 0usize..MIN_DIR_CNT,
+        mean in 250i64..900,
+        seed in any::<u64>(),
+    ) {
+        let opts = MemOpts::default();
+        let regs = fr_batch(n, mean, 30, seed);
+        let pes = estimate_pe_stats(&opts, L_PAC, &regs);
+        prop_assert!(pes.all_failed(), "{n} pairs is below MIN_DIR_CNT");
+    }
+
+    #[test]
+    fn skewed_batches_fall_back(
+        n in 64usize..256,
+        seed in any::<u64>(),
+    ) {
+        let opts = MemOpts::default();
+        // pathological batch: every insert far beyond max_ins — nothing
+        // lands in the histogram, every orientation fails
+        let mut regs = Vec::new();
+        let mut state = seed | 1;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let pos = 10_000 + ((state >> 33) % 2_000_000) as i64;
+            let insert = opts.max_ins as i64 + 1 + ((state >> 20) % 1_000) as i64;
+            regs.push(vec![reg(pos, 100)]);
+            regs.push(vec![reg(2 * L_PAC - 1 - (pos + insert), 100)]);
+        }
+        let pes = estimate_pe_stats(&opts, L_PAC, &regs);
+        prop_assert!(pes.all_failed(), "out-of-range inserts must not be trusted");
+        // …and a fallback override still provides a usable distribution
+        let pes = PeStats::from_override(400.0, 50.0);
+        prop_assert!(!pes.all_failed());
+    }
+
+    #[test]
+    fn ambiguous_ends_never_contribute(
+        n in (MIN_DIR_CNT as u32 * 2)..200u32,
+        seed in any::<u64>(),
+    ) {
+        let opts = MemOpts::default();
+        let mut regs = fr_batch(n as usize, 400, 30, seed);
+        // give every read-1 an equal-score full-overlap runner-up:
+        // placements are ambiguous, the estimator must refuse them all
+        for pair_r0 in regs.chunks_exact_mut(2) {
+            let decoy = reg(pair_r0[0][0].rb + 1_000_000, 100);
+            pair_r0[0].push(decoy);
+        }
+        let pes = estimate_pe_stats(&opts, L_PAC, &regs);
+        prop_assert!(pes.all_failed());
+    }
+}

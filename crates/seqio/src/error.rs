@@ -25,6 +25,9 @@ pub enum SeqIoError {
     /// An underlying I/O (or gzip decode) failure. `detail` preserves the
     /// source error text, including gzip byte offsets.
     Io { context: String, detail: String },
+    /// Paired-end input desynchronized: `name` (in `file`) has no mate —
+    /// two-file inputs of different lengths, or an odd interleaved count.
+    UnpairedRead { name: String, file: String },
     /// An error annotated with the file it came from — the CLI wraps
     /// parse/load errors in this so users see `<path>: <what went wrong>`.
     InFile {
@@ -74,6 +77,10 @@ impl fmt::Display for SeqIoError {
                 write!(f, "line {line}: read name is not valid UTF-8")
             }
             SeqIoError::Io { context, detail } => write!(f, "{context}: {detail}"),
+            SeqIoError::UnpairedRead { name, file } => write!(
+                f,
+                "{file}: read {name:?} has no mate (paired-end inputs desynchronized)"
+            ),
             SeqIoError::InFile { path, source } => write!(f, "{path}: {source}"),
         }
     }

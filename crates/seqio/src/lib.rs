@@ -13,6 +13,7 @@ pub mod fasta;
 pub mod fastq;
 pub mod gzip;
 pub mod pack;
+pub mod pairs;
 pub mod refseq;
 pub mod simulate;
 pub mod stream;
@@ -24,8 +25,13 @@ pub use fasta::{parse_fasta, write_fasta, FastaRecord};
 pub use fastq::{parse_fastq, write_fastq, FastqRecord};
 pub use gzip::{gzip_compress_stored, gzip_decompress, GzipDecoder};
 pub use pack::PackedSeq;
+pub use pairs::{
+    trim_pair_suffix, InterleavedBatchReader, PairedBatchReader, ReadPair, DEFAULT_BATCH_PAIRS,
+};
 pub use refseq::{ContigSet, Reference};
-pub use simulate::{GenomeSpec, ReadSim, ReadSimSpec, SimRead, TruthInfo};
+pub use simulate::{
+    GenomeSpec, PairSim, PairSimSpec, PairTruth, ReadSim, ReadSimSpec, SimPair, SimRead, TruthInfo,
+};
 pub use stream::{
     open_reads, AutoReader, BatchReader, FastqStream, InputFormat, DEFAULT_BATCH_BASES,
 };

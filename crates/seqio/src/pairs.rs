@@ -1,0 +1,304 @@
+//! Paired-end ingestion: two-file (`R1.fq` + `R2.fq`) and interleaved
+//! single-file layouts, batched by *pair count*.
+//!
+//! Batching by pairs rather than bases is deliberate: the pairing stage
+//! estimates the insert-size distribution per batch (à la `mem_pestat`),
+//! so the batch partition is part of the output contract. A fixed
+//! pair-count window makes the SAM byte stream invariant to `--batch-bases`
+//! and to the two-file vs interleaved layout — the two readers here yield
+//! identical batch sequences for the same underlying pairs, which the
+//! integration tests pin.
+//!
+//! Trailing `/1` and `/2` read-name suffixes are stripped (as bwa does),
+//! so both mates share a QNAME and the layouts agree byte-for-byte.
+
+use std::io::Read;
+
+use crate::error::SeqIoError;
+use crate::fastq::FastqRecord;
+use crate::stream::FastqStream;
+
+/// Default pairs per PE batch (~10 Mbp at 2×150 bp — the same resident
+/// footprint as the single-end base budget).
+pub const DEFAULT_BATCH_PAIRS: usize = 32_768;
+
+/// One read pair (mate 1, mate 2), names already `/1` `/2`-trimmed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadPair {
+    /// First mate (R1).
+    pub r1: FastqRecord,
+    /// Second mate (R2).
+    pub r2: FastqRecord,
+}
+
+/// Strip a trailing `/1` or `/2` from a read name (bwa's `trim_readno`).
+pub fn trim_pair_suffix(name: &mut String) {
+    let b = name.as_bytes();
+    if b.len() >= 2 && b[b.len() - 2] == b'/' && (b[b.len() - 1] == b'1' || b[b.len() - 1] == b'2')
+    {
+        name.truncate(b.len() - 2);
+    }
+}
+
+fn trimmed(mut rec: FastqRecord) -> FastqRecord {
+    trim_pair_suffix(&mut rec.name);
+    rec
+}
+
+/// Pairs from two parallel FASTQ streams, batched by pair count. The
+/// files must hold the same number of records; a length mismatch is
+/// reported with the name of the read left without a mate.
+pub struct PairedBatchReader<A: Read, B: Read> {
+    s1: FastqStream<A>,
+    s2: FastqStream<B>,
+    label1: String,
+    label2: String,
+    batch_pairs: usize,
+    done: bool,
+}
+
+impl<A: Read, B: Read> PairedBatchReader<A, B> {
+    /// Batch two readers; `label1`/`label2` annotate errors with the
+    /// originating file (pass the paths).
+    pub fn new(r1: A, r2: B, label1: &str, label2: &str, batch_pairs: usize) -> Self {
+        PairedBatchReader {
+            s1: FastqStream::new(r1),
+            s2: FastqStream::new(r2),
+            label1: label1.to_string(),
+            label2: label2.to_string(),
+            batch_pairs: batch_pairs.max(1),
+            done: false,
+        }
+    }
+
+    fn next_pair(&mut self) -> Result<Option<ReadPair>, SeqIoError> {
+        let a = match self.s1.next() {
+            None => None,
+            Some(Ok(rec)) => Some(rec),
+            Some(Err(e)) => return Err(e.in_file(self.label1.clone())),
+        };
+        let b = match self.s2.next() {
+            None => None,
+            Some(Ok(rec)) => Some(rec),
+            Some(Err(e)) => return Err(e.in_file(self.label2.clone())),
+        };
+        match (a, b) {
+            (Some(r1), Some(r2)) => Ok(Some(ReadPair {
+                r1: trimmed(r1),
+                r2: trimmed(r2),
+            })),
+            (None, None) => Ok(None),
+            (Some(r1), None) => Err(SeqIoError::UnpairedRead {
+                name: r1.name,
+                file: self.label1.clone(),
+            }),
+            (None, Some(r2)) => Err(SeqIoError::UnpairedRead {
+                name: r2.name,
+                file: self.label2.clone(),
+            }),
+        }
+    }
+}
+
+impl<A: Read, B: Read> Iterator for PairedBatchReader<A, B> {
+    type Item = Result<Vec<ReadPair>, SeqIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut batch = Vec::new();
+        loop {
+            match self.next_pair() {
+                Ok(Some(pair)) => {
+                    batch.push(pair);
+                    if batch.len() >= self.batch_pairs {
+                        break;
+                    }
+                }
+                Ok(None) => {
+                    self.done = true;
+                    break;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Ok(batch))
+        }
+    }
+}
+
+/// Pairs from one interleaved FASTQ stream (R1, R2, R1, R2, …), batched
+/// by pair count. An odd record count is an error naming the widowed
+/// read.
+pub struct InterleavedBatchReader<R: Read> {
+    stream: FastqStream<R>,
+    label: String,
+    batch_pairs: usize,
+    done: bool,
+}
+
+impl<R: Read> InterleavedBatchReader<R> {
+    /// Batch an interleaved reader; `label` annotates errors (the path).
+    pub fn new(src: R, label: &str, batch_pairs: usize) -> Self {
+        InterleavedBatchReader {
+            stream: FastqStream::new(src),
+            label: label.to_string(),
+            batch_pairs: batch_pairs.max(1),
+            done: false,
+        }
+    }
+
+    fn next_pair(&mut self) -> Result<Option<ReadPair>, SeqIoError> {
+        let r1 = match self.stream.next() {
+            None => return Ok(None),
+            Some(Ok(rec)) => rec,
+            Some(Err(e)) => return Err(e.in_file(self.label.clone())),
+        };
+        match self.stream.next() {
+            None => Err(SeqIoError::UnpairedRead {
+                name: r1.name,
+                file: self.label.clone(),
+            }),
+            Some(Ok(r2)) => Ok(Some(ReadPair {
+                r1: trimmed(r1),
+                r2: trimmed(r2),
+            })),
+            Some(Err(e)) => Err(e.in_file(self.label.clone())),
+        }
+    }
+}
+
+impl<R: Read> Iterator for InterleavedBatchReader<R> {
+    type Item = Result<Vec<ReadPair>, SeqIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut batch = Vec::new();
+        loop {
+            match self.next_pair() {
+                Ok(Some(pair)) => {
+                    batch.push(pair);
+                    if batch.len() >= self.batch_pairs {
+                        break;
+                    }
+                }
+                Ok(None) => {
+                    self.done = true;
+                    break;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Ok(batch))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fq(records: &[(&str, &str)]) -> String {
+        records
+            .iter()
+            .map(|(name, seq)| format!("@{name}\n{seq}\n+\n{}\n", "I".repeat(seq.len())))
+            .collect()
+    }
+
+    #[test]
+    fn two_file_and_interleaved_agree() {
+        let r1 = fq(&[("p0/1", "ACGT"), ("p1/1", "GGCC")]);
+        let r2 = fq(&[("p0/2", "TTAA"), ("p1/2", "CCGG")]);
+        let il = fq(&[
+            ("p0/1", "ACGT"),
+            ("p0/2", "TTAA"),
+            ("p1/1", "GGCC"),
+            ("p1/2", "CCGG"),
+        ]);
+        let two: Vec<Vec<ReadPair>> =
+            PairedBatchReader::new(r1.as_bytes(), r2.as_bytes(), "r1", "r2", 10)
+                .collect::<Result<_, _>>()
+                .expect("two-file");
+        let one: Vec<Vec<ReadPair>> = InterleavedBatchReader::new(il.as_bytes(), "il", 10)
+            .collect::<Result<_, _>>()
+            .expect("interleaved");
+        assert_eq!(two, one);
+        assert_eq!(two[0][0].r1.name, "p0"); // /1 trimmed
+        assert_eq!(two[0][0].r2.name, "p0"); // /2 trimmed
+        assert_eq!(two[0][1].r1.seq, b"GGCC");
+    }
+
+    #[test]
+    fn batches_split_on_pair_count() {
+        let r1 = fq(&[("a/1", "AC"), ("b/1", "AC"), ("c/1", "AC")]);
+        let r2 = fq(&[("a/2", "GT"), ("b/2", "GT"), ("c/2", "GT")]);
+        let sizes: Vec<usize> = PairedBatchReader::new(r1.as_bytes(), r2.as_bytes(), "1", "2", 2)
+            .map(|b| b.expect("batch").len())
+            .collect();
+        assert_eq!(sizes, vec![2, 1]);
+    }
+
+    #[test]
+    fn length_mismatch_names_the_widow() {
+        let r1 = fq(&[("a/1", "AC"), ("b/1", "AC")]);
+        let r2 = fq(&[("a/2", "GT")]);
+        let err = PairedBatchReader::new(r1.as_bytes(), r2.as_bytes(), "R1.fq", "R2.fq", 10)
+            .next()
+            .expect("item")
+            .expect_err("mismatch");
+        let msg = err.to_string();
+        assert!(msg.contains("b/1") && msg.contains("R1.fq"), "got: {msg}");
+    }
+
+    #[test]
+    fn odd_interleaved_count_is_an_error() {
+        let il = fq(&[("a/1", "AC"), ("a/2", "GT"), ("b/1", "AC")]);
+        let err = InterleavedBatchReader::new(il.as_bytes(), "il.fq", 10)
+            .next()
+            .expect("item")
+            .expect_err("odd count");
+        assert!(err.to_string().contains("b/1"), "got: {err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_the_right_file() {
+        let r1 = fq(&[("a/1", "AC")]);
+        let bad_r2 = "@a/2\nGT\n+\n"; // truncated
+        let err = PairedBatchReader::new(r1.as_bytes(), bad_r2.as_bytes(), "R1.fq", "R2.fq", 10)
+            .next()
+            .expect("item")
+            .expect_err("truncated");
+        assert!(err.to_string().contains("R2.fq"), "got: {err}");
+    }
+
+    #[test]
+    fn trim_only_strips_slash_1_and_2() {
+        for (input, want) in [
+            ("read/1", "read"),
+            ("read/2", "read"),
+            ("read/3", "read/3"),
+            ("read", "read"),
+            ("/1", ""),
+            ("x", "x"),
+        ] {
+            let mut s = input.to_string();
+            trim_pair_suffix(&mut s);
+            assert_eq!(s, want);
+        }
+    }
+}

@@ -311,9 +311,194 @@ impl<'a> ReadSim<'a> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Paired-end simulation
+// ---------------------------------------------------------------------
+
+/// Parameters for read-pair simulation (FR library, like standard
+/// Illumina paired-end sequencing: the leftmost read is forward, the
+/// rightmost is reverse-complemented, and which physical end becomes R1
+/// is a coin flip).
+#[derive(Clone, Debug)]
+pub struct PairSimSpec {
+    /// Number of pairs.
+    pub n_pairs: usize,
+    /// Read length of each mate.
+    pub read_len: usize,
+    /// Mean outer insert size (5'-to-5' fragment length).
+    pub insert_mean: f64,
+    /// Insert size standard deviation (gaussian, clamped to
+    /// `[read_len, 4·mean]`).
+    pub insert_std: f64,
+    /// Per-base substitution error rate for R1.
+    pub sub_rate: f64,
+    /// Per-base substitution error rate for R2; `None` means `sub_rate`.
+    /// Raising it degrades R2 seeds and exercises mate rescue.
+    pub r2_sub_rate: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PairSimSpec {
+    fn default() -> Self {
+        PairSimSpec {
+            n_pairs: 5_000,
+            read_len: 151,
+            insert_mean: 400.0,
+            insert_std: 50.0,
+            sub_rate: 0.01,
+            r2_sub_rate: None,
+            seed: 0x9A12_9A12,
+        }
+    }
+}
+
+/// Ground truth for one simulated pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairTruth {
+    /// 0-based fragment start (leftmost base of the insert).
+    pub pos: usize,
+    /// Outer insert size actually used.
+    pub insert: usize,
+    /// True if R1 is the *rightmost* (reverse-strand) read.
+    pub swapped: bool,
+}
+
+impl PairTruth {
+    /// Encode into a shared pair name (mates get `/1` `/2` appended by
+    /// the writer).
+    pub fn encode(&self, id: usize) -> String {
+        format!(
+            "simp_{id}_{}_{}_{}",
+            self.pos,
+            self.insert,
+            if self.swapped { 'S' } else { 'K' }
+        )
+    }
+
+    /// Decode from a name produced by [`PairTruth::encode`].
+    pub fn decode(name: &str) -> Option<PairTruth> {
+        let mut parts = name.split('_');
+        if parts.next()? != "simp" {
+            return None;
+        }
+        let _id = parts.next()?;
+        let pos = parts.next()?.parse().ok()?;
+        let insert = parts.next()?.parse().ok()?;
+        let swapped = parts.next()? == "S";
+        Some(PairTruth {
+            pos,
+            insert,
+            swapped,
+        })
+    }
+}
+
+/// One simulated pair with its truth record.
+#[derive(Clone, Debug)]
+pub struct SimPair {
+    /// First mate.
+    pub r1: FastqRecord,
+    /// Second mate.
+    pub r2: FastqRecord,
+    /// Ground truth.
+    pub truth: PairTruth,
+}
+
+/// Read-pair simulator over a reference.
+pub struct PairSim<'a> {
+    reference: &'a Reference,
+    spec: PairSimSpec,
+}
+
+impl<'a> PairSim<'a> {
+    /// Create a simulator; panics if the reference cannot hold the
+    /// largest clamped insert.
+    pub fn new(reference: &'a Reference, spec: PairSimSpec) -> Self {
+        assert!(
+            spec.read_len > 0 && spec.insert_mean >= spec.read_len as f64,
+            "insert mean must be at least one read length"
+        );
+        assert!(
+            reference.len() > spec.insert_mean as usize + 8 * spec.insert_std as usize + 1,
+            "reference too short for requested insert distribution"
+        );
+        PairSim { reference, spec }
+    }
+
+    /// Gaussian via Box–Muller on the shim RNG's unit doubles.
+    fn gauss(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn apply_subs(codes: &mut [u8], rate: f64, rng: &mut StdRng) {
+        for c in codes.iter_mut() {
+            if rate > 0.0 && rng.random_bool(rate) {
+                *c = (*c + rng.random_range(1..4u8)) & 3;
+            }
+        }
+    }
+
+    /// Generate all pairs.
+    pub fn generate(&self) -> Vec<SimPair> {
+        let spec = &self.spec;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let max_insert = (spec.insert_mean * 4.0) as usize;
+        let mut out = Vec::with_capacity(spec.n_pairs);
+        for id in 0..spec.n_pairs {
+            let raw = spec.insert_mean + spec.insert_std * Self::gauss(&mut rng);
+            let insert =
+                (raw.round() as i64).clamp(spec.read_len as i64, max_insert as i64) as usize;
+            let insert = insert.min(self.reference.len() - 1);
+            let pos = rng.random_range(0..self.reference.len() - insert);
+            let swapped = rng.random_bool(0.5);
+            // leftmost read: forward strand at the fragment start
+            let left = self.reference.pac.fetch(pos, pos + spec.read_len);
+            // rightmost read: reverse complement of the fragment end
+            let right = revcomp_codes(
+                &self
+                    .reference
+                    .pac
+                    .fetch(pos + insert - spec.read_len, pos + insert),
+            );
+            let (mut c1, mut c2) = if swapped {
+                (right, left)
+            } else {
+                (left, right)
+            };
+            Self::apply_subs(&mut c1, spec.sub_rate, &mut rng);
+            Self::apply_subs(&mut c2, spec.r2_sub_rate.unwrap_or(spec.sub_rate), &mut rng);
+            let truth = PairTruth {
+                pos,
+                insert,
+                swapped,
+            };
+            let name = truth.encode(id);
+            let mut mk = |codes: Vec<u8>, mate: u8| {
+                let seq: Vec<u8> = codes.iter().map(|&c| decode_base(c)).collect();
+                let qual: Vec<u8> = (0..seq.len())
+                    .map(|_| b'!' + 30 + rng.random_range(0..10u8))
+                    .collect();
+                FastqRecord {
+                    name: format!("{name}/{mate}"),
+                    seq,
+                    qual,
+                }
+            };
+            let r1 = mk(c1, 1);
+            let r2 = mk(c2, 2);
+            out.push(SimPair { r1, r2, truth });
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alphabet::encode_base;
 
     #[test]
     fn genome_is_deterministic_and_gc_biased() {
@@ -409,6 +594,58 @@ mod tests {
         };
         assert_eq!(TruthInfo::decode(&j.encode(1)).unwrap(), j);
         assert_eq!(TruthInfo::decode("not_sim"), None);
+    }
+
+    #[test]
+    fn pairs_are_deterministic_fr_and_truth_roundtrips() {
+        let genome = GenomeSpec {
+            len: 30_000,
+            ..GenomeSpec::default()
+        }
+        .generate_reference("g");
+        let spec = PairSimSpec {
+            n_pairs: 200,
+            read_len: 100,
+            insert_mean: 350.0,
+            insert_std: 40.0,
+            sub_rate: 0.0,
+            ..PairSimSpec::default()
+        };
+        let a = PairSim::new(&genome, spec.clone()).generate();
+        let b = PairSim::new(&genome, spec).generate();
+        assert_eq!(a.len(), 200);
+        let mut inserts = Vec::new();
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.r1, pb.r1);
+            assert_eq!(pa.r2, pb.r2);
+            assert!(pa.r1.name.ends_with("/1") && pa.r2.name.ends_with("/2"));
+            let mut base = pa.r1.name.clone();
+            crate::pairs::trim_pair_suffix(&mut base);
+            assert_eq!(PairTruth::decode(&base).unwrap(), pa.truth);
+            inserts.push(pa.truth.insert as f64);
+
+            // error-free mates must be exact (rev-comp) reference slices
+            let t = pa.truth;
+            let left = genome.pac.fetch(t.pos, t.pos + 100);
+            let right = revcomp_codes(&genome.pac.fetch(t.pos + t.insert - 100, t.pos + t.insert));
+            let (want1, want2) = if t.swapped {
+                (right, left)
+            } else {
+                (left, right)
+            };
+            let got1: Vec<u8> = pa.r1.seq.iter().map(|&b| encode_base(b)).collect();
+            let got2: Vec<u8> = pa.r2.seq.iter().map(|&b| encode_base(b)).collect();
+            assert_eq!(got1, want1, "pair {}", pa.r1.name);
+            assert_eq!(got2, want2, "pair {}", pa.r2.name);
+        }
+        let mean = inserts.iter().sum::<f64>() / inserts.len() as f64;
+        assert!((mean - 350.0).abs() < 15.0, "insert mean {mean}");
+        let var =
+            inserts.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / inserts.len() as f64;
+        let std = var.sqrt();
+        assert!((std - 40.0).abs() < 12.0, "insert std {std}");
+        // both orientations of the R1/R2 assignment appear
+        assert!(a.iter().any(|p| p.truth.swapped) && a.iter().any(|p| !p.truth.swapped));
     }
 
     #[test]

@@ -2,26 +2,38 @@
 //!
 //! ```text
 //! mem2 index <ref.fasta> <out.idx>          build a persistent index
-//! mem2 mem [opts] <ref.idx|ref.fasta> <reads.fastq[.gz]>   align, SAM on stdout
+//! mem2 mem [opts] <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]
 //!     -t N              threads (default: all)
+//!     -p                first reads file is interleaved paired-end
+//!     -I MEAN[,STD]     fixed insert-size distribution (skip estimation)
 //!     --classic         use the original per-read workflow
-//!     --batch-bases N   bases per streamed ingestion batch (default 10M)
-//! mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz]
-//!     writes <prefix>.fasta and <prefix>.fastq (plus <prefix>.fastq.gz
-//!     with --gz) of synthetic data
+//!     --batch-bases N   bases per streamed single-end batch (default 10M)
+//!     --batch-pairs N   pairs per paired-end batch / pestat window
+//!                       (default 32768)
+//! mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>
+//!                       [--gz] [--pairs] [--insert MEAN,STD]
+//!     single-end: writes <prefix>.fasta and <prefix>.fastq
+//!     --pairs: writes <prefix>.fasta, <prefix>_R1/_R2.fastq and the
+//!     interleaved <prefix>_il.fastq (n_reads counts pairs)
 //! ```
 //!
 //! Reads are **streamed** in bounded batches (decode of the next batch
 //! overlaps alignment of the current one), so multi-GB and gzipped
 //! inputs work with O(batch) memory. Gzip is detected by magic bytes,
-//! not extension.
+//! not extension. With two read files (or `-p`) the paired-end stack
+//! runs: per-batch insert-size estimation, mate rescue, pair selection,
+//! and full pairing FLAG/RNEXT/PNEXT/TLEN output.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use mem2::core::bundle;
+use mem2::pairing::{align_pairs_stream, orient_name, PeStats};
 use mem2::prelude::*;
-use mem2::seqio::{gzip_compress_stored, write_fasta, write_fastq, BatchReader, SeqIoError};
+use mem2::seqio::{
+    gzip_compress_stored, write_fasta, write_fastq, BatchReader, InterleavedBatchReader,
+    PairedBatchReader, SeqIoError,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,9 +45,13 @@ fn main() -> ExitCode {
             eprintln!("usage: mem2 <index|mem|simulate> ...\n");
             eprintln!("  mem2 index <ref.fasta> <out.idx>");
             eprintln!(
-                "  mem2 mem [-t N] [--classic] [--batch-bases N] <ref.idx|ref.fasta> <reads.fastq[.gz]>"
+                "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--batch-bases N] \
+                 [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]"
             );
-            eprintln!("  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz]");
+            eprintln!(
+                "  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz] [--pairs] \
+                 [--insert MEAN,STD]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -81,10 +97,28 @@ fn cmd_index(args: &[String]) -> Result<(), AnyError> {
         reference.contigs.contigs.len(),
         reference.len()
     );
-    let bytes = bundle::build_bundle(&reference);
+    let bytes = bundle::build_bundle(&reference)?;
     std::fs::write(out, &bytes).map_err(|e| SeqIoError::io("write", &e).in_file(out.as_str()))?;
     eprintln!("[index] wrote {} ({} MB)", out, bytes.len() / (1 << 20));
     Ok(())
+}
+
+/// Parse `-I MEAN[,STD]` into a pinned insert distribution.
+fn parse_insert_override(arg: &str) -> Result<PeStats, AnyError> {
+    let mut parts = arg.splitn(2, ',');
+    let mean: f64 = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| "-I needs MEAN[,STD] (numbers)")?;
+    let std: f64 = match parts.next() {
+        Some(s) => s.parse().map_err(|_| "-I needs MEAN[,STD] (numbers)")?,
+        None => mean * 0.1,
+    };
+    if !(mean > 0.0 && std >= 0.0) {
+        return Err("-I needs a positive mean and non-negative std".into());
+    }
+    Ok(PeStats::from_override(mean, std))
 }
 
 fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
@@ -93,6 +127,10 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         .unwrap_or(1);
     let mut workflow = Workflow::Batched;
     let mut opts = MemOpts::default();
+    let mut interleaved = false;
+    let mut batch_bases_set = false;
+    let mut batch_pairs_set = false;
+    let mut pes_override: Option<PeStats> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -104,23 +142,63 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                     .parse()
                     .map_err(|_| "-t needs an integer")?;
             }
+            "-p" => interleaved = true,
+            "-I" => {
+                pes_override = Some(parse_insert_override(it.next().ok_or("-I needs a value")?)?);
+            }
             "--batch-bases" => {
                 opts.batch_bases = it
                     .next()
                     .ok_or("--batch-bases needs a value")?
                     .parse()
                     .map_err(|_| "--batch-bases needs an integer")?;
+                batch_bases_set = true;
+            }
+            "--batch-pairs" => {
+                opts.batch_pairs = it
+                    .next()
+                    .ok_or("--batch-pairs needs a value")?
+                    .parse()
+                    .map_err(|_| "--batch-pairs needs an integer")?;
+                if opts.batch_pairs == 0 {
+                    return Err("--batch-pairs must be at least 1".into());
+                }
+                batch_pairs_set = true;
             }
             "--classic" => workflow = Workflow::Classic,
             _ => positional.push(a),
         }
     }
-    let [ref_path, reads_path] = positional[..] else {
+    let (ref_path, reads1, reads2) = match positional[..] {
+        [r, q1] => (r, q1, None),
+        [r, q1, q2] => (r, q1, Some(q2)),
+        _ => {
+            return Err(
+                "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--batch-bases N] \
+                 [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]"
+                    .into(),
+            )
+        }
+    };
+    if interleaved && reads2.is_some() {
+        return Err("-p (interleaved) takes a single reads file".into());
+    }
+    let paired = interleaved || reads2.is_some();
+    // refuse rather than silently ignore mode-mismatched options
+    if !paired {
+        if pes_override.is_some() {
+            return Err("-I needs paired-end input (two reads files, or -p)".into());
+        }
+        if batch_pairs_set {
+            return Err("--batch-pairs needs paired-end input (two reads files, or -p)".into());
+        }
+    } else if batch_bases_set {
         return Err(
-            "usage: mem2 mem [-t N] [--classic] [--batch-bases N] <ref.idx|ref.fasta> <reads.fastq[.gz]>"
+            "--batch-bases applies to single-end input only; paired-end batches are bounded \
+             in pairs (--batch-pairs)"
                 .into(),
         );
-    };
+    }
 
     let (reference, index) = if ref_path.ends_with(".idx") {
         let bytes = read_file(ref_path)?;
@@ -131,27 +209,72 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         let index = FmIndex::build(&reference, &workflow.build_opts());
         (reference, index)
     };
-
-    // stream the reads: gzip by magic bytes, batches bounded in bases
-    let input = mem2::seqio::open_reads(reads_path)?;
-    let format = input.format();
-    let batches =
-        BatchReader::new(input, opts.batch_bases).map(|b| b.map_err(|e| e.in_file(reads_path)));
-    eprintln!(
-        "[mem] streaming {:?} input against {} bp reference, {} thread(s), {:?} workflow, {} bases/batch",
-        format,
-        reference.len(),
-        threads,
-        workflow,
-        opts.batch_bases
-    );
     let aligner = Aligner::with_index(index, reference, opts, workflow);
 
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     out.write_all(aligner.sam_header().as_bytes())?;
     let t = std::time::Instant::now();
-    let (summary, times) = aligner.align_fastq_stream(batches, threads, &mut out)?;
+    let (summary, times) = if paired {
+        match &pes_override {
+            Some(pes) => {
+                let fr = &pes.dirs[1];
+                eprintln!(
+                    "[mem] paired-end, fixed {} insert distribution: mean {:.1}, std {:.1}, bounds [{}, {}]",
+                    orient_name(1),
+                    fr.avg,
+                    fr.std,
+                    fr.low,
+                    fr.high
+                );
+            }
+            None => eprintln!(
+                "[mem] paired-end, per-batch insert estimation over {} pairs/batch",
+                aligner.opts.batch_pairs
+            ),
+        }
+        if let Some(reads2) = reads2 {
+            let in1 = mem2::seqio::open_reads(reads1)?;
+            let in2 = mem2::seqio::open_reads(reads2)?;
+            eprintln!(
+                "[mem] streaming {:?}+{:?} two-file input against {} bp reference, {} thread(s), {:?} workflow",
+                in1.format(),
+                in2.format(),
+                aligner.reference.len(),
+                threads,
+                workflow
+            );
+            let batches =
+                PairedBatchReader::new(in1, in2, reads1, reads2, aligner.opts.batch_pairs);
+            align_pairs_stream(&aligner, pes_override, batches, threads, &mut out)?
+        } else {
+            let input = mem2::seqio::open_reads(reads1)?;
+            eprintln!(
+                "[mem] streaming {:?} interleaved input against {} bp reference, {} thread(s), {:?} workflow",
+                input.format(),
+                aligner.reference.len(),
+                threads,
+                workflow
+            );
+            let batches = InterleavedBatchReader::new(input, reads1, aligner.opts.batch_pairs);
+            align_pairs_stream(&aligner, pes_override, batches, threads, &mut out)?
+        }
+    } else {
+        // stream the reads: gzip by magic bytes, batches bounded in bases
+        let input = mem2::seqio::open_reads(reads1)?;
+        let format = input.format();
+        let batches = BatchReader::new(input, aligner.opts.batch_bases)
+            .map(|b| b.map_err(|e| e.in_file(reads1)));
+        eprintln!(
+            "[mem] streaming {:?} input against {} bp reference, {} thread(s), {:?} workflow, {} bases/batch",
+            format,
+            aligner.reference.len(),
+            threads,
+            workflow,
+            aligner.opts.batch_bases
+        );
+        aligner.align_fastq_stream(batches, threads, &mut out)?
+    };
     out.flush()?;
     let wall = t.elapsed();
     eprintln!(
@@ -168,22 +291,42 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
 
 fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
     let mut gz = false;
-    let positional: Vec<&String> = args
-        .iter()
-        .filter(|a| {
-            if a.as_str() == "--gz" {
-                gz = true;
-                false
-            } else {
-                true
+    let mut pairs = false;
+    let mut insert: Option<(f64, f64)> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--gz" => gz = true,
+            "--pairs" => pairs = true,
+            "--insert" => {
+                let v = it.next().ok_or("--insert needs MEAN,STD")?;
+                let mut p = v.splitn(2, ',');
+                let mean: f64 = p
+                    .next()
+                    .unwrap_or("")
+                    .parse()
+                    .map_err(|_| "--insert needs MEAN,STD (numbers)")?;
+                let std: f64 = p
+                    .next()
+                    .ok_or("--insert needs MEAN,STD")?
+                    .parse()
+                    .map_err(|_| "--insert needs MEAN,STD (numbers)")?;
+                insert = Some((mean, std));
             }
-        })
-        .collect();
+            _ => positional.push(a),
+        }
+    }
     let [mb, n, len, prefix] = positional[..] else {
         return Err(
-            "usage: mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz]".into(),
+            "usage: mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz] [--pairs] \
+             [--insert MEAN,STD]"
+                .into(),
         );
     };
+    if insert.is_some() && !pairs {
+        return Err("--insert needs --pairs".into());
+    }
     let genome_len = (mb.parse::<f64>()? * 1e6) as usize;
     let n_reads: usize = n.parse()?;
     let read_len: usize = len.parse()?;
@@ -203,6 +346,63 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
     );
     std::fs::write(format!("{prefix}.fasta"), fasta)?;
     let reference = Reference::from_codes("chrSim", &codes);
+
+    if pairs {
+        let (insert_mean, insert_std) = insert.unwrap_or((400.0, 50.0));
+        if !(insert_std >= 0.0 && insert_mean >= read_len as f64) {
+            return Err(format!(
+                "--insert needs mean >= read length ({read_len}) and std >= 0, \
+                 got {insert_mean},{insert_std}"
+            )
+            .into());
+        }
+        if genome_len as f64 <= insert_mean + 8.0 * insert_std + 1.0 {
+            return Err(format!(
+                "genome of {genome_len} bp is too short for inserts of {insert_mean}±{insert_std} \
+                 (needs > mean + 8·std); grow <genome_mb> or shrink --insert"
+            )
+            .into());
+        }
+        let sim = PairSim::new(
+            &reference,
+            PairSimSpec {
+                n_pairs: n_reads,
+                read_len,
+                insert_mean,
+                insert_std,
+                seed: 43,
+                ..PairSimSpec::default()
+            },
+        );
+        // move the records straight out of the simulator — one copy of
+        // the read set in memory, the interleaved text built from refs
+        let (r1, r2): (Vec<FastqRecord>, Vec<FastqRecord>) =
+            sim.generate().into_iter().map(|p| (p.r1, p.r2)).unzip();
+        let (f1, f2) = (write_fastq(&r1), write_fastq(&r2));
+        std::fs::write(format!("{prefix}_R1.fastq"), &f1)?;
+        std::fs::write(format!("{prefix}_R2.fastq"), &f2)?;
+        let mut il = String::with_capacity(f1.len() + f2.len());
+        for (a, b) in r1.iter().zip(&r2) {
+            il.push_str(&write_fastq(std::slice::from_ref(a)));
+            il.push_str(&write_fastq(std::slice::from_ref(b)));
+        }
+        std::fs::write(format!("{prefix}_il.fastq"), &il)?;
+        if gz {
+            for (name, text) in [("R1", &f1), ("R2", &f2), ("il", &il)] {
+                std::fs::write(
+                    format!("{prefix}_{name}.fastq.gz"),
+                    gzip_compress_stored(text.as_bytes()),
+                )?;
+            }
+        }
+        eprintln!(
+            "[simulate] wrote {prefix}.fasta ({genome_len} bp) and {prefix}_R1/_R2/_il.fastq{} \
+             ({n_reads} pairs x {read_len} bp, insert {insert_mean}±{insert_std})",
+            if gz { " (+ .fastq.gz)" } else { "" }
+        );
+        return Ok(());
+    }
+
     let sim = ReadSim::new(
         &reference,
         ReadSimSpec {

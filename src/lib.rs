@@ -41,6 +41,7 @@
 //! | [`chain`] | seed chaining and chain filtering |
 //! | [`bsw`] | banded Smith-Waterman: scalar + inter-task SIMD engines |
 //! | [`core`] | the aligner: pipelines, SAM output, worker pool |
+//! | [`pairing`] | paired-end: insert-size estimation, pair selection, mate rescue |
 //! | [`simd`] | portable fixed-width vector substrate |
 //! | [`memsim`] | cache-hierarchy model / performance-counter proxies |
 
@@ -49,6 +50,7 @@ pub use mem2_chain as chain;
 pub use mem2_core as core;
 pub use mem2_fmindex as fmindex;
 pub use mem2_memsim as memsim;
+pub use mem2_pairing as pairing;
 pub use mem2_seqio as seqio;
 pub use mem2_simd as simd;
 pub use mem2_suffix as suffix;
@@ -60,8 +62,9 @@ pub mod prelude {
         align_reads_parallel, Aligner, AlnReg, MemOpts, SamRecord, Stage, StageTimes, Workflow,
     };
     pub use mem2_fmindex::{BiInterval, BuildOpts, FmIndex, SmemOpts};
+    pub use mem2_pairing::{align_pairs, align_pairs_stream, PeStats};
     pub use mem2_seqio::{
-        parse_fasta, parse_fastq, DatasetPreset, FastaRecord, FastqRecord, GenomeSpec, ReadSim,
-        ReadSimSpec, Reference, TruthInfo,
+        parse_fasta, parse_fastq, DatasetPreset, FastaRecord, FastqRecord, GenomeSpec, PairSim,
+        PairSimSpec, PairTruth, ReadPair, ReadSim, ReadSimSpec, Reference, TruthInfo,
     };
 }

@@ -181,6 +181,147 @@ fn gzipped_fastq_streams_to_identical_sam() {
 }
 
 #[test]
+fn paired_end_roundtrip_is_proper_and_deterministic() {
+    let dir = TempDir::new("pe");
+    let prefix = dir.path("pe");
+    let fasta = format!("{prefix}.fasta");
+    let r1 = format!("{prefix}_R1.fastq");
+    let r2 = format!("{prefix}_R2.fastq");
+    let il = format!("{prefix}_il.fastq");
+    let idx = dir.path("pe.idx");
+
+    mem2_ok(&["simulate", "0.2", "300", "101", &prefix, "--pairs", "--gz"]);
+    for f in [&fasta, &r1, &r2, &il] {
+        assert!(
+            std::fs::metadata(f)
+                .unwrap_or_else(|_| panic!("{f} written"))
+                .len()
+                > 0
+        );
+    }
+    mem2_ok(&["index", &fasta, &idx]);
+
+    let two = mem2_ok(&["mem", "-t", "2", &idx, &r1, &r2]);
+    let (_, records) = split_sam(&two.stdout);
+
+    // each pair contributes exactly one primary line per end, in order
+    let primaries: Vec<&String> = records
+        .iter()
+        .filter(|r| {
+            let flag: u16 = r.split('\t').nth(1).expect("flag").parse().expect("u16");
+            flag & (0x100 | 0x800) == 0
+        })
+        .collect();
+    assert_eq!(primaries.len(), 600, "one primary line per end");
+
+    let mut proper = 0usize;
+    for pair in primaries.chunks_exact(2) {
+        let a: Vec<&str> = pair[0].split('\t').collect();
+        let b: Vec<&str> = pair[1].split('\t').collect();
+        assert_eq!(a[0], b[0], "mates share QNAME");
+        assert!(!a[0].ends_with("/1"), "suffix trimmed: {}", a[0]);
+        let (fa, fb): (u16, u16) = (a[1].parse().expect("flag"), b[1].parse().expect("flag"));
+        assert_eq!(fa & 0x1, 0x1);
+        assert_eq!(fa & 0x40, 0x40);
+        assert_eq!(fb & 0x80, 0x80);
+        assert_eq!(fa & 0x2, fb & 0x2, "proper bit agrees");
+        if fa & 0x2 != 0 {
+            proper += 1;
+            // mate fields are mutual and TLEN mirrors
+            assert_eq!(a[6], "=");
+            assert_eq!(b[6], "=");
+            assert_eq!(a[7], b[3], "PNEXT(read1) == POS(read2)");
+            assert_eq!(b[7], a[3], "PNEXT(read2) == POS(read1)");
+            let (ta, tb): (i64, i64) = (a[8].parse().expect("tlen"), b[8].parse().expect("tlen"));
+            assert_eq!(ta, -tb, "TLEN signs mirror");
+            assert!(ta != 0);
+        }
+    }
+    assert!(
+        proper >= 285,
+        "proper-pair rate {proper}/300 below 95% threshold"
+    );
+
+    // byte identity: thread counts, interleaved layout, gzipped inputs
+    let t1 = mem2_ok(&["mem", "-t", "1", &idx, &r1, &r2]);
+    let t4 = mem2_ok(&["mem", "-t", "4", &idx, &r1, &r2]);
+    assert_eq!(t1.stdout, two.stdout, "-t1 vs -t2 PE SAM");
+    assert_eq!(t1.stdout, t4.stdout, "-t1 vs -t4 PE SAM");
+    let inter = mem2_ok(&["mem", "-t", "4", "-p", &idx, &il]);
+    assert_eq!(t1.stdout, inter.stdout, "interleaved vs two-file PE SAM");
+    let gz = mem2_ok(&[
+        "mem",
+        "-t",
+        "2",
+        &idx,
+        &format!("{prefix}_R1.fastq.gz"),
+        &format!("{prefix}_R2.fastq.gz"),
+    ]);
+    assert_eq!(t1.stdout, gz.stdout, "gzipped PE inputs");
+
+    // -I pins the distribution: bytes invariant to the batch partition
+    let i1 = mem2_ok(&[
+        "mem",
+        "-t",
+        "2",
+        "-I",
+        "400,50",
+        "--batch-pairs",
+        "41",
+        &idx,
+        &r1,
+        &r2,
+    ]);
+    let i2 = mem2_ok(&["mem", "-t", "3", "-I", "400,50", "-p", &idx, &il]);
+    assert_eq!(i1.stdout, i2.stdout, "-I must erase partition dependence");
+}
+
+#[test]
+fn paired_end_input_errors_are_reported() {
+    let dir = TempDir::new("pe-err");
+    let prefix = dir.path("pe");
+    mem2_ok(&["simulate", "0.05", "40", "101", &prefix, "--pairs"]);
+    let fasta = format!("{prefix}.fasta");
+    let r1 = format!("{prefix}_R1.fastq");
+    let r2 = format!("{prefix}_R2.fastq");
+
+    // -p plus a second reads file is contradictory
+    let out = mem2(&["mem", "-p", &fasta, &r1, &r2]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("interleaved"));
+
+    // desynchronized two-file input: truncate R2 to 3 records
+    let short_r2 = dir.path("short_R2.fastq");
+    let text = std::fs::read_to_string(&r2).expect("read R2");
+    let lines: Vec<&str> = text.lines().collect();
+    std::fs::write(&short_r2, lines[..12].join("\n") + "\n").expect("write short R2");
+    let out = mem2(&["mem", &fasta, &r1, &short_r2]);
+    assert!(!out.status.success(), "desync must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no mate"), "names the desync: {stderr}");
+}
+
+#[test]
+fn old_index_bundles_are_rejected_with_version_error() {
+    let dir = TempDir::new("bundle-ver");
+    let prefix = dir.path("v");
+    mem2_ok(&["simulate", "0.02", "1", "50", &prefix]);
+    let idx = dir.path("v.idx");
+    mem2_ok(&["index", &format!("{prefix}.fasta"), &idx]);
+    let mut bytes = std::fs::read(&idx).expect("read idx");
+    assert_eq!(&bytes[..7], b"MEM2IDX");
+    bytes[7] = 1; // the retired v1 layout
+    std::fs::write(&idx, &bytes).expect("rewrite idx");
+    let out = mem2(&["mem", &idx, &format!("{prefix}.fastq")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("version 1") && stderr.contains("mem2 index"),
+        "actionable version error: {stderr}"
+    );
+}
+
+#[test]
 fn cli_reports_usage_errors() {
     let out = mem2(&[]);
     assert_eq!(
