@@ -42,6 +42,7 @@ fn bench_width(c: &mut Criterion) {
         let engine = BswEngine {
             params: f.env.opts.score,
             kind: EngineKind::Vector { width },
+            backend: mem2_simd::Backend::Portable,
             sort_by_length: true,
             force_16bit: false,
         };
@@ -64,6 +65,7 @@ fn bench_sort_and_precision(c: &mut Criterion) {
         let engine = BswEngine {
             params: f.env.opts.score,
             kind: EngineKind::Vector { width: 64 },
+            backend: mem2_simd::Backend::Portable,
             sort_by_length: sort,
             force_16bit: force16,
         };

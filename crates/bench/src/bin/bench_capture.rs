@@ -1,8 +1,13 @@
 //! `bench_capture` — per-commit performance capture for CI.
 //!
 //! Runs the three paper kernels (SMEM, SAL, BSW) plus the end-to-end
-//! batched pipeline on the standard synthetic workload and writes a
-//! machine-readable JSON artifact:
+//! batched pipeline on the standard synthetic workload, and — since the
+//! `core::arch` backends landed — a per-backend ablation: the BSW job
+//! set through the scalar kernel, the portable lane emulation, and the
+//! detected native backend (`bsw_scalar`/`bsw_portable`/`bsw_native`),
+//! plus the occurrence-bucket count kernel both ways
+//! (`occ_portable`/`occ_native`). Writes a machine-readable JSON
+//! artifact:
 //!
 //! ```json
 //! [
@@ -132,7 +137,8 @@ fn main() {
         unit: "lookups/s",
     });
 
-    // BSW: inter-task SIMD engine over the intercepted jobs
+    // BSW: inter-task SIMD engine over the intercepted jobs (the
+    // production configuration — widest native backend when available)
     let engine = mem2_bsw::BswEngine::optimized(env.opts.score);
     let ns = median_ns(samples, || {
         std::hint::black_box(engine.extend_all(&jobs));
@@ -143,6 +149,66 @@ fn main() {
         throughput: per_sec(jobs.len(), ns),
         unit: "jobs/s",
     });
+
+    // BSW backend ablation: scalar vs portable emulation vs native
+    let native = mem2_simd::Backend::native();
+    eprintln!(
+        "[bench_capture] native SIMD backend: {} ({} u8 lanes)",
+        native.name(),
+        native.u8_lanes()
+    );
+    let ablation = [
+        ("bsw_scalar", mem2_bsw::BswEngine::original(env.opts.score)),
+        (
+            "bsw_portable",
+            mem2_bsw::BswEngine::portable(env.opts.score),
+        ),
+        ("bsw_native", mem2_bsw::BswEngine::optimized(env.opts.score)),
+    ];
+    for (name, engine) in &ablation {
+        let ns = median_ns(samples, || {
+            std::hint::black_box(engine.extend_all(&jobs));
+        });
+        captures.push(Capture {
+            bench: name,
+            median_ns: ns,
+            throughput: per_sec(jobs.len(), ns),
+            unit: "jobs/s",
+        });
+    }
+
+    // occ-bucket counts: the paper's byte-compare + popcnt (§4.4),
+    // portable SWAR vs the dispatched native backend
+    let buckets: Vec<([u8; 32], usize)> = (0..4096u32)
+        .map(|i| {
+            let mut b = [0u8; 32];
+            for (k, slot) in b.iter_mut().enumerate() {
+                *slot = (((i as usize * 31 + k * 7) >> 2) % 4) as u8;
+            }
+            (b, (i as usize * 13) % 33)
+        })
+        .collect();
+    type Counts4Fn = fn(&[u8; 32], usize) -> [u32; 4];
+    let occ_runs: [(&str, Counts4Fn); 2] = [
+        ("occ_portable", mem2_simd::counts4_in_prefix_portable),
+        ("occ_native", mem2_simd::counts4_in_prefix),
+    ];
+    for (name, f) in occ_runs {
+        let ns = median_ns(samples.max(15), || {
+            let mut acc = 0u32;
+            for (bucket, y) in &buckets {
+                let c = f(bucket, *y);
+                acc = acc.wrapping_add(c[0] ^ c[1] ^ c[2] ^ c[3]);
+            }
+            std::hint::black_box(acc);
+        });
+        captures.push(Capture {
+            bench: name,
+            median_ns: ns,
+            throughput: per_sec(buckets.len(), ns),
+            unit: "buckets/s",
+        });
+    }
 
     // End-to-end: batched single-thread pipeline (deterministic,
     // runner-core-count independent)

@@ -43,6 +43,7 @@ fn main() {
     let mk = |kind, sort, force16| BswEngine {
         params,
         kind,
+        backend: mem2_simd::Backend::Portable,
         sort_by_length: sort,
         force_16bit: force16,
     };

@@ -1,13 +1,17 @@
 //! Batch dispatch: precision classes, optional length sorting, chunking
-//! into SIMD lanes, result scatter, and Table 8 phase timing.
+//! into SIMD lanes, backend selection, result scatter, and Table 8 phase
+//! timing.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
-use crate::scalar::extend_scalar_into;
-use crate::simd16::{extend_chunk_i16, MAX_SCORE_16};
-use crate::simd8::{extend_chunk_u8, MAX_SCORE_8};
+use mem2_simd::{dispatch, Backend};
+
+use crate::scalar::extend_scalar_job;
+use crate::simd16::{extend_chunk_i16, extend_chunk_i16_v, MAX_SCORE_16};
+use crate::simd8::{extend_chunk_u8, extend_chunk_u8_v, MAX_SCORE_8};
 use crate::sort::sort_jobs_by_length;
-use crate::types::{ExtendJob, ExtendResult, ScoreParams};
+use crate::types::{ExtendJob, ExtendResult, JobRef, ScoreParams};
 
 /// BSW execution phases (paper Table 8).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,12 +119,57 @@ pub enum EngineKind {
     /// The original scalar kernel for every job.
     Scalar,
     /// Inter-task SIMD with the given number of 8-bit lanes
-    /// (64 = AVX-512-like, 32 = AVX2-like, 16 = SSE-like);
+    /// (64 = AVX-512-like, 32 = AVX2/AVX2-like, 16 = SSE/NEON-like);
     /// 16-bit jobs use half as many lanes.
     Vector {
         /// 8-bit lane count; must be 16, 32 or 64.
         width: usize,
     },
+}
+
+/// User-facing SIMD selection (the `--simd` flag), resolved to an
+/// engine configuration by [`BswEngine::for_choice`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimdChoice {
+    /// Widest native backend if one is compiled in and the CPU has it,
+    /// else the portable emulation — the production default.
+    #[default]
+    Auto,
+    /// The original scalar kernel (no inter-task vectorization at all).
+    Scalar,
+    /// The portable lane-emulated engine at the AVX-512-like width,
+    /// regardless of available native backends.
+    Portable,
+    /// The detected native backend; degrades to portable only when the
+    /// build/CPU offers none.
+    Native,
+}
+
+impl SimdChoice {
+    /// Parse a `--simd` argument.
+    pub fn parse(s: &str) -> Option<SimdChoice> {
+        Some(match s {
+            "auto" => SimdChoice::Auto,
+            "scalar" => SimdChoice::Scalar,
+            "portable" => SimdChoice::Portable,
+            "native" => SimdChoice::Native,
+            _ => return None,
+        })
+    }
+
+    /// The accepted flag values, for usage messages.
+    pub const VALUES: &'static str = "auto|scalar|portable|native";
+}
+
+impl fmt::Display for SimdChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SimdChoice::Auto => "auto",
+            SimdChoice::Scalar => "scalar",
+            SimdChoice::Portable => "portable",
+            SimdChoice::Native => "native",
+        })
+    }
 }
 
 /// Batch BSW engine (paper §5): precision selection per job, optional
@@ -131,6 +180,12 @@ pub struct BswEngine {
     pub params: ScoreParams,
     /// Kernel selection.
     pub kind: EngineKind,
+    /// Vector backend executing the chunks. Native backends apply when
+    /// `kind` is `Vector` with exactly their lane width
+    /// ([`Backend::u8_lanes`]); any other combination falls back to the
+    /// portable emulation at the requested width, so width-ablation
+    /// configurations keep working unchanged.
+    pub backend: Backend,
     /// Sort jobs by length before filling lanes (§5.3.1).
     pub sort_by_length: bool,
     /// Send 8-bit-eligible jobs to the 16-bit kernel anyway (Table 6's
@@ -139,14 +194,31 @@ pub struct BswEngine {
 }
 
 impl BswEngine {
-    /// AVX-512-like vector engine with sorting — the paper's best config.
+    /// The paper's best config on the running machine: the widest
+    /// detected native backend (or the portable 64-lane emulation),
+    /// with length sorting.
     pub fn optimized(params: ScoreParams) -> Self {
+        Self::with_backend(params, dispatch::selected())
+    }
+
+    /// Vector engine pinned to a specific backend at that backend's
+    /// natural width.
+    pub fn with_backend(params: ScoreParams, backend: Backend) -> Self {
         BswEngine {
             params,
-            kind: EngineKind::Vector { width: 64 },
+            kind: EngineKind::Vector {
+                width: backend.u8_lanes(),
+            },
+            backend,
             sort_by_length: true,
             force_16bit: false,
         }
+    }
+
+    /// The portable lane-emulated engine at the AVX-512-like width —
+    /// the pre-backend default, kept as ground truth.
+    pub fn portable(params: ScoreParams) -> Self {
+        Self::with_backend(params, Backend::Portable)
     }
 
     /// The original scalar configuration.
@@ -154,16 +226,27 @@ impl BswEngine {
         BswEngine {
             params,
             kind: EngineKind::Scalar,
+            backend: Backend::Portable,
             sort_by_length: false,
             force_16bit: false,
+        }
+    }
+
+    /// Resolve a user-facing [`SimdChoice`] to an engine.
+    pub fn for_choice(params: ScoreParams, choice: SimdChoice) -> Self {
+        match choice {
+            SimdChoice::Scalar => Self::original(params),
+            SimdChoice::Portable => Self::portable(params),
+            SimdChoice::Auto | SimdChoice::Native => Self::optimized(params),
         }
     }
 
     /// Extend every job; results are in job order and bit-identical to
     /// the scalar kernel regardless of configuration.
     pub fn extend_all(&self, jobs: &[ExtendJob]) -> Vec<ExtendResult> {
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
         let mut out = vec![ExtendResult::default(); jobs.len()];
-        self.extend_into(jobs, &mut out, &mut NoPhase);
+        self.extend_jobs(&refs, &mut out, &mut NoPhase);
         out
     }
 
@@ -173,15 +256,29 @@ impl BswEngine {
         jobs: &[ExtendJob],
         breakdown: &mut PhaseBreakdown,
     ) -> Vec<ExtendResult> {
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
         let mut out = vec![ExtendResult::default(); jobs.len()];
-        self.extend_into(jobs, &mut out, breakdown);
+        self.extend_jobs(&refs, &mut out, breakdown);
         out
     }
 
-    /// Core dispatch.
+    /// As [`BswEngine::extend_jobs`] over owned jobs (compatibility
+    /// shim; batching layers should prefer [`JobRef`]s).
     pub fn extend_into<PH: PhaseSink>(
         &self,
         jobs: &[ExtendJob],
+        out: &mut [ExtendResult],
+        ph: &mut PH,
+    ) {
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
+        self.extend_jobs(&refs, out, ph);
+    }
+
+    /// Core dispatch over borrowed jobs — no sequence buffer is ever
+    /// cloned on this path.
+    pub fn extend_jobs<PH: PhaseSink>(
+        &self,
+        jobs: &[JobRef<'_>],
         out: &mut [ExtendResult],
         ph: &mut PH,
     ) {
@@ -189,8 +286,8 @@ impl BswEngine {
         match self.kind {
             EngineKind::Scalar => {
                 let mut buf = Vec::new();
-                for (job, slot) in jobs.iter().zip(out.iter_mut()) {
-                    *slot = extend_scalar_into(&self.params, job, &mut buf);
+                for (&job, slot) in jobs.iter().zip(out.iter_mut()) {
+                    *slot = extend_scalar_job(&self.params, job, &mut buf, &mut NoPhase);
                 }
             }
             EngineKind::Vector { width } => {
@@ -205,7 +302,7 @@ impl BswEngine {
 
     fn extend_vector<PH: PhaseSink>(
         &self,
-        jobs: &[ExtendJob],
+        jobs: &[JobRef<'_>],
         out: &mut [ExtendResult],
         width: usize,
         ph: &mut PH,
@@ -230,9 +327,13 @@ impl BswEngine {
         }
         ph.end(Phase::Preproc);
 
+        // degenerate/overflow jobs run scalar and — as before this
+        // engine grew backends — stay out of the phase/cell accounting,
+        // which tracks the vector kernels only (Tables 7/8)
         let mut buf = Vec::new();
         for &k in &idx_scalar {
-            out[k as usize] = extend_scalar_into(&self.params, &jobs[k as usize], &mut buf);
+            out[k as usize] =
+                extend_scalar_job(&self.params, jobs[k as usize], &mut buf, &mut NoPhase);
         }
 
         self.run_group(jobs, out, &idx8, width, true, ph);
@@ -241,7 +342,7 @@ impl BswEngine {
 
     fn run_group<PH: PhaseSink>(
         &self,
-        jobs: &[ExtendJob],
+        jobs: &[JobRef<'_>],
         out: &mut [ExtendResult],
         group: &[u32],
         lanes: usize,
@@ -253,7 +354,7 @@ impl BswEngine {
         }
         ph.begin(Phase::Preproc);
         let ordered: Vec<u32> = if self.sort_by_length {
-            let sub: Vec<ExtendJob> = group.iter().map(|&k| jobs[k as usize].clone()).collect();
+            let sub: Vec<JobRef<'_>> = group.iter().map(|&k| jobs[k as usize]).collect();
             sort_jobs_by_length(&sub)
                 .into_iter()
                 .map(|r| group[r as usize])
@@ -263,30 +364,87 @@ impl BswEngine {
         };
         ph.end(Phase::Preproc);
 
-        let mut chunk_jobs: Vec<ExtendJob> = Vec::with_capacity(lanes);
+        let mut chunk_jobs: Vec<JobRef<'_>> = Vec::with_capacity(lanes);
         let mut chunk_out = vec![ExtendResult::default(); lanes];
         for chunk in ordered.chunks(lanes) {
             chunk_jobs.clear();
-            chunk_jobs.extend(chunk.iter().map(|&k| jobs[k as usize].clone()));
+            chunk_jobs.extend(chunk.iter().map(|&k| jobs[k as usize]));
             let co = &mut chunk_out[..chunk.len()];
             if eight_bit {
-                match lanes {
-                    16 => extend_chunk_u8::<16, _>(&self.params, &chunk_jobs, co, ph),
-                    32 => extend_chunk_u8::<32, _>(&self.params, &chunk_jobs, co, ph),
-                    64 => extend_chunk_u8::<64, _>(&self.params, &chunk_jobs, co, ph),
-                    _ => unreachable!("validated widths"),
-                }
+                self.run_chunk_u8(lanes, &chunk_jobs, co, ph);
             } else {
-                match lanes {
-                    8 => extend_chunk_i16::<8, _>(&self.params, &chunk_jobs, co, ph),
-                    16 => extend_chunk_i16::<16, _>(&self.params, &chunk_jobs, co, ph),
-                    32 => extend_chunk_i16::<32, _>(&self.params, &chunk_jobs, co, ph),
-                    _ => unreachable!("validated widths"),
-                }
+                self.run_chunk_i16(lanes, &chunk_jobs, co, ph);
             }
             for (&k, res) in chunk.iter().zip(co.iter()) {
                 out[k as usize] = *res;
             }
+        }
+    }
+
+    /// One ≤`lanes`-job chunk through the 8-bit kernel: a native
+    /// backend when this engine's backend matches the width, the
+    /// portable emulation otherwise.
+    fn run_chunk_u8<PH: PhaseSink>(
+        &self,
+        lanes: usize,
+        chunk: &[JobRef<'_>],
+        co: &mut [ExtendResult],
+        ph: &mut PH,
+    ) {
+        match (self.backend, lanes) {
+            #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+            (Backend::Avx2, 32) => {
+                extend_chunk_u8_v::<mem2_simd::x86::U8x32Avx, _>(&self.params, chunk, co, ph)
+            }
+            #[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+            (Backend::Sse41, 16) => {
+                extend_chunk_u8_v::<mem2_simd::x86::U8x16Sse41, _>(&self.params, chunk, co, ph)
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Backend::Sse2, 16) => {
+                extend_chunk_u8_v::<mem2_simd::x86::U8x16Sse2, _>(&self.params, chunk, co, ph)
+            }
+            #[cfg(target_arch = "aarch64")]
+            (Backend::Neon, 16) => {
+                extend_chunk_u8_v::<mem2_simd::neon::U8x16Neon, _>(&self.params, chunk, co, ph)
+            }
+            (_, 16) => extend_chunk_u8::<16, _>(&self.params, chunk, co, ph),
+            (_, 32) => extend_chunk_u8::<32, _>(&self.params, chunk, co, ph),
+            (_, 64) => extend_chunk_u8::<64, _>(&self.params, chunk, co, ph),
+            _ => unreachable!("validated widths"),
+        }
+    }
+
+    /// One ≤`lanes`-job chunk through the 16-bit kernel (half the 8-bit
+    /// lane count).
+    fn run_chunk_i16<PH: PhaseSink>(
+        &self,
+        lanes: usize,
+        chunk: &[JobRef<'_>],
+        co: &mut [ExtendResult],
+        ph: &mut PH,
+    ) {
+        match (self.backend, lanes) {
+            #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+            (Backend::Avx2, 16) => {
+                extend_chunk_i16_v::<mem2_simd::x86::I16x16Avx, _>(&self.params, chunk, co, ph)
+            }
+            #[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+            (Backend::Sse41, 8) => {
+                extend_chunk_i16_v::<mem2_simd::x86::I16x8Sse41, _>(&self.params, chunk, co, ph)
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Backend::Sse2, 8) => {
+                extend_chunk_i16_v::<mem2_simd::x86::I16x8Sse2, _>(&self.params, chunk, co, ph)
+            }
+            #[cfg(target_arch = "aarch64")]
+            (Backend::Neon, 8) => {
+                extend_chunk_i16_v::<mem2_simd::neon::I16x8Neon, _>(&self.params, chunk, co, ph)
+            }
+            (_, 8) => extend_chunk_i16::<8, _>(&self.params, chunk, co, ph),
+            (_, 16) => extend_chunk_i16::<16, _>(&self.params, chunk, co, ph),
+            (_, 32) => extend_chunk_i16::<32, _>(&self.params, chunk, co, ph),
+            _ => unreachable!("validated widths"),
         }
     }
 }
@@ -343,6 +501,7 @@ mod tests {
                     let eng = BswEngine {
                         params,
                         kind: EngineKind::Vector { width },
+                        backend: Backend::Portable,
                         sort_by_length: sort,
                         force_16bit: force16,
                     };
@@ -355,6 +514,61 @@ mod tests {
             }
         }
         let eng = BswEngine::original(params);
+        assert_eq!(eng.extend_all(&jobs), scalar);
+    }
+
+    #[test]
+    fn every_backend_engine_matches_scalar() {
+        let params = ScoreParams::default();
+        let jobs = mixed_jobs(350, 100);
+        let scalar: Vec<ExtendResult> = jobs.iter().map(|j| extend_scalar(&params, j)).collect();
+        // every choice (auto resolves to the detected native backend)
+        for choice in [
+            SimdChoice::Auto,
+            SimdChoice::Scalar,
+            SimdChoice::Portable,
+            SimdChoice::Native,
+        ] {
+            let eng = BswEngine::for_choice(params, choice);
+            assert_eq!(eng.extend_all(&jobs), scalar, "choice={choice}");
+        }
+        // every backend compiled into this binary, pinned explicitly
+        let mut backends = vec![Backend::Portable];
+        #[cfg(target_arch = "x86_64")]
+        backends.push(Backend::Sse2);
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+        backends.push(Backend::Sse41);
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        backends.push(Backend::Avx2);
+        #[cfg(target_arch = "aarch64")]
+        backends.push(Backend::Neon);
+        for backend in backends {
+            let eng = BswEngine::with_backend(params, backend);
+            assert_eq!(eng.extend_all(&jobs), scalar, "backend={backend:?}");
+            let mut forced = eng;
+            forced.force_16bit = true;
+            assert_eq!(
+                forced.extend_all(&jobs),
+                scalar,
+                "backend={backend:?} force16"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_backend_width_falls_back_to_portable() {
+        // a native backend with a foreign width must still be correct
+        // (it silently runs the portable kernel at that width)
+        let params = ScoreParams::default();
+        let jobs = mixed_jobs(80, 101);
+        let scalar: Vec<ExtendResult> = jobs.iter().map(|j| extend_scalar(&params, j)).collect();
+        let eng = BswEngine {
+            params,
+            kind: EngineKind::Vector { width: 64 },
+            backend: mem2_simd::Backend::native(),
+            sort_by_length: true,
+            force_16bit: false,
+        };
         assert_eq!(eng.extend_all(&jobs), scalar);
     }
 
@@ -376,8 +590,40 @@ mod tests {
     }
 
     #[test]
+    fn band_override_via_jobref_matches_owned_jobs() {
+        // the no-clone band-doubling path: JobRef::with_band must equal
+        // cloning the job and editing w
+        let params = ScoreParams::default();
+        let jobs = mixed_jobs(60, 8);
+        let eng = BswEngine::optimized(params);
+        let widened_owned: Vec<ExtendJob> = jobs
+            .iter()
+            .map(|j| {
+                let mut c = j.clone();
+                c.w *= 2;
+                c
+            })
+            .collect();
+        let want = eng.extend_all(&widened_owned);
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(|j| JobRef::with_band(j, j.w * 2)).collect();
+        let mut got = vec![ExtendResult::default(); refs.len()];
+        eng.extend_jobs(&refs, &mut got, &mut NoPhase);
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let eng = BswEngine::optimized(ScoreParams::default());
         assert!(eng.extend_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn simd_choice_parses() {
+        assert_eq!(SimdChoice::parse("auto"), Some(SimdChoice::Auto));
+        assert_eq!(SimdChoice::parse("scalar"), Some(SimdChoice::Scalar));
+        assert_eq!(SimdChoice::parse("portable"), Some(SimdChoice::Portable));
+        assert_eq!(SimdChoice::parse("native"), Some(SimdChoice::Native));
+        assert_eq!(SimdChoice::parse("avx512"), None);
+        assert_eq!(SimdChoice::default(), SimdChoice::Auto);
     }
 }

@@ -5,10 +5,14 @@
 //!   (including tie-breaking and the H/M separation that forbids adjacent
 //!   insertions/deletions) define BWA-MEM's output.
 //! * [`simd8`] / [`simd16`] are the paper's inter-task vectorized engines:
-//!   `W` different sequence pairs occupy the `W` lanes, cells are computed
+//!   the sequence pairs occupy the vector lanes, cells are computed
 //!   for the union of the active bands, and per-lane masks maintain each
 //!   pair's own band, abort state and best-score bookkeeping. 8-bit
-//!   precision doubles the lane count when `h0 + qlen·match` fits.
+//!   precision doubles the lane count when `h0 + qlen·match` fits. Both
+//!   kernels are generic over the `mem2_simd` lane traits, so one source
+//!   serves the portable emulation (any width) and every compiled
+//!   `core::arch` backend (SSE2/SSE4.1/AVX2/NEON); the engine picks the
+//!   backend at runtime via `mem2_simd::dispatch`.
 //! * [`sort`] implements the length-sorting of §5.3.1 (radix sort) so that
 //!   lanes processed together have similar lengths.
 //! * [`engine`] dispatches jobs to precision classes and engines and
@@ -29,9 +33,11 @@ pub mod soa;
 pub mod sort;
 pub mod types;
 
-pub use engine::{BswEngine, CellStats, EngineKind, NoPhase, Phase, PhaseBreakdown, PhaseSink};
+pub use engine::{
+    BswEngine, CellStats, EngineKind, NoPhase, Phase, PhaseBreakdown, PhaseSink, SimdChoice,
+};
 pub use global::{cigar_string, global_align, CigarOp};
 pub use local::{local_align, LocalHit};
-pub use scalar::{extend_scalar, extend_scalar_profiled};
+pub use scalar::{extend_scalar, extend_scalar_job, extend_scalar_profiled};
 pub use sort::sort_jobs_by_length;
-pub use types::{ExtendJob, ExtendResult, ScoreParams};
+pub use types::{ExtendJob, ExtendResult, JobRef, ScoreParams};

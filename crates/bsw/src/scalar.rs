@@ -6,7 +6,7 @@
 //! against this function lane by lane.
 
 use crate::engine::{NoPhase, PhaseSink};
-use crate::types::{ExtendJob, ExtendResult, ScoreParams};
+use crate::types::{ExtendJob, ExtendResult, JobRef, ScoreParams};
 
 /// Extend `job.query` against `job.target` starting from score `job.h0`.
 pub fn extend_scalar(params: &ScoreParams, job: &ExtendJob) -> ExtendResult {
@@ -29,6 +29,17 @@ pub fn extend_scalar_into(
 pub fn extend_scalar_profiled<PH: PhaseSink>(
     params: &ScoreParams,
     job: &ExtendJob,
+    eh_buf: &mut Vec<(i32, i32)>,
+    ph: &mut PH,
+) -> ExtendResult {
+    extend_scalar_job(params, JobRef::from(job), eh_buf, ph)
+}
+
+/// The scalar kernel proper, over a borrowed [`JobRef`] — what the
+/// batch engine calls (no owned job required).
+pub fn extend_scalar_job<PH: PhaseSink>(
+    params: &ScoreParams,
+    job: JobRef<'_>,
     eh_buf: &mut Vec<(i32, i32)>,
     ph: &mut PH,
 ) -> ExtendResult {

@@ -4,49 +4,65 @@
 //! the differences are the element type and that the arithmetic is plain
 //! signed i16 — an exact transcription of the scalar recurrence, since no
 //! clamping tricks are needed: `h0 + qlen·match` is capped at
-//! [`MAX_SCORE_16`] by the engine, far below `i16::MAX`.
+//! [`MAX_SCORE_16`] by the engine, far below `i16::MAX`. Like the 8-bit
+//! kernel it is generic over the lane trait ([`SimdI16`]) and so runs on
+//! the portable emulation or any compiled `core::arch` backend; the SoA
+//! base columns stay one byte per base and are widened on load
+//! (`pmovzxbw`-style `load_from_u8`).
 
-use mem2_simd::VecI16;
+use mem2_simd::{SimdI16, VecI16, MAX_LANES};
 
 use crate::engine::{Phase, PhaseSink};
 use crate::simd8::clamp_band;
 use crate::soa::{pack_queries, pack_targets};
-use crate::types::{ExtendJob, ExtendResult, ScoreParams};
+use crate::types::{ExtendResult, JobRef, ScoreParams};
 
 /// Largest `h0 + qlen·match` the 16-bit engine accepts.
 pub const MAX_SCORE_16: i32 = 30_000;
 
-/// Extend ≤ `W` jobs simultaneously at 16-bit precision. Caller
-/// guarantees per job: `qlen ≥ 1`, `tlen ≥ 1`, `h0 ≥ 1`, and
-/// `h0 + qlen·match ≤ MAX_SCORE_16`.
+/// Portable-backend entry at const width `W` (8 = SSE-like,
+/// 16 = AVX2-like, 32 = AVX-512-like).
 pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
     params: &ScoreParams,
-    jobs: &[ExtendJob],
+    jobs: &[JobRef<'_>],
     out: &mut [ExtendResult],
     ph: &mut PH,
 ) {
+    extend_chunk_i16_v::<VecI16<W>, PH>(params, jobs, out, ph)
+}
+
+/// Extend ≤ `V::LANES` jobs simultaneously at 16-bit precision. Caller
+/// guarantees per job: `qlen ≥ 1`, `tlen ≥ 1`, `h0 ≥ 1`, and
+/// `h0 + qlen·match ≤ MAX_SCORE_16`.
+pub fn extend_chunk_i16_v<V: SimdI16, PH: PhaseSink>(
+    params: &ScoreParams,
+    jobs: &[JobRef<'_>],
+    out: &mut [ExtendResult],
+    ph: &mut PH,
+) {
+    let lanes = V::LANES;
     let n = jobs.len();
-    assert!(n <= W && n == out.len());
+    assert!(n <= lanes && n == out.len() && lanes <= MAX_LANES);
 
     ph.begin(Phase::Preproc);
     let mut q_soa = Vec::new();
     let mut t_soa = Vec::new();
-    let qmax = pack_queries::<W>(jobs, &mut q_soa);
-    let tmax = pack_targets::<W>(jobs, &mut t_soa);
+    let qmax = pack_queries(jobs, lanes, &mut q_soa);
+    let tmax = pack_targets(jobs, lanes, &mut t_soa);
 
-    let mut qlen = [0i32; W];
-    let mut tlen = [0i32; W];
-    let mut h0 = [0i32; W];
-    let mut w_lane = [0i32; W];
-    let mut beg = [0i32; W];
-    let mut end = [0i32; W];
-    let mut max = [0i32; W];
-    let mut max_i = [-1i32; W];
-    let mut max_j = [-1i32; W];
-    let mut max_ie = [-1i32; W];
-    let mut gscore = [-1i32; W];
-    let mut max_off = [0i32; W];
-    let mut dead = [true; W];
+    let mut qlen = [0i32; MAX_LANES];
+    let mut tlen = [0i32; MAX_LANES];
+    let mut h0 = [0i32; MAX_LANES];
+    let mut w_lane = [0i32; MAX_LANES];
+    let mut beg = [0i32; MAX_LANES];
+    let mut end = [0i32; MAX_LANES];
+    let mut max = [0i32; MAX_LANES];
+    let mut max_i = [-1i32; MAX_LANES];
+    let mut max_j = [-1i32; MAX_LANES];
+    let mut max_ie = [-1i32; MAX_LANES];
+    let mut gscore = [-1i32; MAX_LANES];
+    let mut max_off = [0i32; MAX_LANES];
+    let mut dead = [true; MAX_LANES];
     for (lane, job) in jobs.iter().enumerate() {
         let ql = job.query.len();
         debug_assert!(ql >= 1 && !job.target.is_empty());
@@ -61,41 +77,42 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
         dead[lane] = false;
     }
 
-    let mut h_buf: Vec<VecI16<W>> = vec![VecI16::zero(); qmax + 2];
-    let mut e_buf: Vec<VecI16<W>> = vec![VecI16::zero(); qmax + 2];
+    // DP rows, strided by lane (see simd8)
+    let mut h_buf = vec![0i16; (qmax + 2) * lanes];
+    let mut e_buf = vec![0i16; (qmax + 2) * lanes];
     let oe_ins = params.o_ins + params.e_ins;
     let oe_del = params.o_del + params.e_del;
     for lane in 0..n {
-        h_buf[0].0[lane] = h0[lane] as i16;
-        h_buf[1].0[lane] = if h0[lane] > oe_ins {
+        h_buf[lane] = h0[lane] as i16;
+        h_buf[lanes + lane] = if h0[lane] > oe_ins {
             (h0[lane] - oe_ins) as i16
         } else {
             0
         };
         let mut j = 2;
-        while j <= qlen[lane] as usize && h_buf[j - 1].0[lane] as i32 > params.e_ins {
-            h_buf[j].0[lane] = h_buf[j - 1].0[lane] - params.e_ins as i16;
+        while j <= qlen[lane] as usize && h_buf[(j - 1) * lanes + lane] as i32 > params.e_ins {
+            h_buf[j * lanes + lane] = h_buf[(j - 1) * lanes + lane] - params.e_ins as i16;
             j += 1;
         }
     }
     ph.end(Phase::Preproc);
 
-    let splat_match = VecI16::<W>::splat(params.a as i16);
-    let splat_mism = VecI16::<W>::splat(-(params.b as i16));
-    let splat_nscore = VecI16::<W>::splat(-1);
-    let splat_three = VecI16::<W>::splat(3);
-    let splat_edel = VecI16::<W>::splat(params.e_del as i16);
-    let splat_eins = VecI16::<W>::splat(params.e_ins as i16);
-    let splat_oedel = VecI16::<W>::splat(oe_del as i16);
-    let splat_oeins = VecI16::<W>::splat(oe_ins as i16);
-    let ones = VecI16::<W>::splat(-1);
-    let zero = VecI16::<W>::zero();
+    let splat_match = V::splat(params.a as i16);
+    let splat_mism = V::splat(-(params.b as i16));
+    let splat_nscore = V::splat(-1);
+    let splat_three = V::splat(3);
+    let splat_edel = V::splat(params.e_del as i16);
+    let splat_eins = V::splat(params.e_ins as i16);
+    let splat_oedel = V::splat(oe_del as i16);
+    let splat_oeins = V::splat(oe_ins as i16);
+    let ones = V::splat(-1);
+    let zero = V::zero();
 
     for i in 0..tmax as i32 {
         ph.begin(Phase::BandAdjustI);
-        let mut active = [false; W];
+        let mut active = [false; MAX_LANES];
         let mut any_active = false;
-        let mut h1_init = [0i16; W];
+        let mut h1_init = [0i16; MAX_LANES];
         let mut union_beg = i32::MAX;
         let mut union_end = 0i32;
         for lane in 0..n {
@@ -129,52 +146,45 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
         }
 
         ph.begin(Phase::Cells);
-        let mut act_v = VecI16::<W>::zero();
-        let mut beg_v = VecI16::<W>::zero();
-        let mut end_v = VecI16::<W>::zero();
-        for lane in 0..W {
+        let mut act_a = [0i16; MAX_LANES];
+        let mut beg_a = [i16::MAX; MAX_LANES];
+        let mut end_a = [i16::MAX - 1; MAX_LANES];
+        for lane in 0..n {
             if active[lane] && beg[lane] <= end[lane] {
-                act_v.0[lane] = -1;
-                beg_v.0[lane] = beg[lane] as i16;
-                end_v.0[lane] = end[lane] as i16;
-            } else {
-                beg_v.0[lane] = i16::MAX;
-                end_v.0[lane] = i16::MAX - 1;
+                act_a[lane] = -1;
+                beg_a[lane] = beg[lane] as i16;
+                end_a[lane] = end[lane] as i16;
             }
         }
-        let mut h1_v = VecI16(h1_init);
+        let act_v = V::load(&act_a[..lanes]);
+        let beg_v = V::load(&beg_a[..lanes]);
+        let end_v = V::load(&end_a[..lanes]);
+        let mut h1_v = V::load(&h1_init[..lanes]);
         let mut f_v = zero;
         let mut rowmax_v = zero;
         let mut mj_v = zero;
-        let mut t_lanes = [0i16; W];
-        for lane in 0..W {
-            t_lanes[lane] = t_soa[(i as usize) * W + lane] as i16;
-        }
-        let t_v = VecI16(t_lanes);
+        let t_v = V::load_from_u8(&t_soa[(i as usize) * lanes..]);
         let t_ambig = t_v.cmpgt(splat_three);
 
-        let n_live = active.iter().filter(|&&a| a).count() as u64;
+        let n_live = active[..n].iter().filter(|&&a| a).count() as u64;
         ph.on_row(
             n_live,
             n_live * (union_end - union_beg.min(union_end)).max(0) as u64,
         );
         for j in union_beg.max(0)..=union_end {
-            let j_v = VecI16::<W>::splat(j as i16);
+            let col = (j as usize) * lanes;
+            let j_v = V::splat(j as i16);
             let in_cell = j_v.cmpge(beg_v).and(end_v.cmpgt(j_v)).and(act_v);
             let at_end = j_v.cmpeq(end_v).and(act_v);
             let touched = in_cell.or(at_end);
             if touched.all_zero() {
                 continue;
             }
-            let ph_v = h_buf[j as usize];
-            let pe_v = e_buf[j as usize];
-            h_buf[j as usize] = h1_v.blend(ph_v, touched);
+            let ph_v = V::load(&h_buf[col..]);
+            let pe_v = V::load(&e_buf[col..]);
+            h1_v.blend(ph_v, touched).store(&mut h_buf[col..]);
 
-            let mut q_lanes = [0i16; W];
-            for lane in 0..W {
-                q_lanes[lane] = q_soa[(j as usize) * W + lane] as i16;
-            }
-            let q_v = VecI16(q_lanes);
+            let q_v = V::load_from_u8(&q_soa[col..]);
             let ambig = q_v.cmpgt(splat_three).or(t_ambig);
             let eq_ok = ambig.andnot(q_v.cmpeq(t_v));
             let mism = eq_ok.or(ambig).andnot(ones);
@@ -193,11 +203,17 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
             let e_new = pe_v.sub(splat_edel).max(t_del);
             let mut e_store = e_new.blend(pe_v, in_cell);
             e_store = zero.blend(e_store, at_end);
-            e_buf[j as usize] = e_store;
+            e_store.store(&mut e_buf[col..]);
             let t_ins = m_v.sub(splat_oeins).max(zero);
             let f_new = f_v.sub(splat_eins).max(t_ins);
             f_v = f_new.blend(f_v, in_cell);
         }
+        let mut h1_a = [0i16; MAX_LANES];
+        let mut rowmax_a = [0i16; MAX_LANES];
+        let mut mj_a = [0i16; MAX_LANES];
+        h1_v.store(&mut h1_a[..lanes]);
+        rowmax_v.store(&mut rowmax_a[..lanes]);
+        mj_v.store(&mut mj_a[..lanes]);
         ph.end(Phase::Cells);
 
         ph.begin(Phase::BandAdjustII);
@@ -205,13 +221,13 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
             if !active[lane] {
                 continue;
             }
-            let h1 = h1_v.0[lane] as i32;
+            let h1 = h1_a[lane] as i32;
             if beg[lane].max(end[lane]) == qlen[lane] && gscore[lane] <= h1 {
                 max_ie[lane] = i;
                 gscore[lane] = h1;
             }
-            let row_max = rowmax_v.0[lane] as i32;
-            let mj = mj_v.0[lane] as i32;
+            let row_max = rowmax_a[lane] as i32;
+            let mj = mj_a[lane] as i32;
             if row_max == 0 {
                 dead[lane] = true;
                 continue;
@@ -239,13 +255,17 @@ pub fn extend_chunk_i16<const W: usize, PH: PhaseSink>(
                 }
             }
             let mut j = beg[lane];
-            while j < end[lane] && h_buf[j as usize].0[lane] == 0 && e_buf[j as usize].0[lane] == 0
+            while j < end[lane]
+                && h_buf[j as usize * lanes + lane] == 0
+                && e_buf[j as usize * lanes + lane] == 0
             {
                 j += 1;
             }
             beg[lane] = j;
             let mut j = end[lane];
-            while j >= beg[lane] && h_buf[j as usize].0[lane] == 0 && e_buf[j as usize].0[lane] == 0
+            while j >= beg[lane]
+                && h_buf[j as usize * lanes + lane] == 0
+                && e_buf[j as usize * lanes + lane] == 0
             {
                 j -= 1;
             }
@@ -275,12 +295,14 @@ mod tests {
     use super::*;
     use crate::engine::NoPhase;
     use crate::scalar::extend_scalar;
+    use crate::types::ExtendJob;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
     fn run_i16<const W: usize>(params: &ScoreParams, jobs: &[ExtendJob]) -> Vec<ExtendResult> {
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
         let mut out = vec![ExtendResult::default(); jobs.len()];
-        for (chunk, o) in jobs.chunks(W).zip(out.chunks_mut(W)) {
+        for (chunk, o) in refs.chunks(W).zip(out.chunks_mut(W)) {
             extend_chunk_i16::<W, _>(params, chunk, o, &mut NoPhase);
         }
         out
@@ -341,6 +363,42 @@ mod tests {
         let got = run_i16::<16>(&params, &jobs);
         for (k, job) in jobs.iter().enumerate() {
             assert_eq!(got[k], extend_scalar(&params, job), "job {k}");
+        }
+    }
+
+    /// Every native i16 backend compiled into this binary matches scalar.
+    #[test]
+    fn native_backends_match_scalar() {
+        let params = ScoreParams::default();
+        let mut rng = StdRng::seed_from_u64(49);
+        let jobs: Vec<ExtendJob> = (0..120).map(|_| random_job(&mut rng, 400, 600)).collect();
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
+
+        fn run_v<V: SimdI16>(params: &ScoreParams, refs: &[JobRef<'_>]) -> Vec<ExtendResult> {
+            let mut out = vec![ExtendResult::default(); refs.len()];
+            for (chunk, o) in refs.chunks(V::LANES).zip(out.chunks_mut(V::LANES)) {
+                extend_chunk_i16_v::<V, _>(params, chunk, o, &mut NoPhase);
+            }
+            out
+        }
+
+        let mut runs: Vec<(&str, Vec<ExtendResult>)> = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        runs.push(("sse2", run_v::<mem2_simd::x86::I16x8Sse2>(&params, &refs)));
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+        runs.push((
+            "sse4.1",
+            run_v::<mem2_simd::x86::I16x8Sse41>(&params, &refs),
+        ));
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        runs.push(("avx2", run_v::<mem2_simd::x86::I16x16Avx>(&params, &refs)));
+        #[cfg(target_arch = "aarch64")]
+        runs.push(("neon", run_v::<mem2_simd::neon::I16x8Neon>(&params, &refs)));
+
+        for (name, got) in runs {
+            for (k, job) in jobs.iter().enumerate() {
+                assert_eq!(got[k], extend_scalar(&params, job), "{name} job {k}");
+            }
         }
     }
 }

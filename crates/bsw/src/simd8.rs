@@ -1,9 +1,18 @@
 //! Inter-task vectorized BSW at 8-bit precision (paper §5.3–§5.4).
 //!
-//! `W` different sequence pairs occupy the `W` byte lanes. The row loop is
-//! global; within a row, cells are computed for the **union** of all
-//! lanes' bands, and per-lane masks confine updates to each lane's own
-//! `[beg, end]` range — the paper's "wasteful cell computations".
+//! `LANES` different sequence pairs occupy the byte lanes of one vector.
+//! The row loop is global; within a row, cells are computed for the
+//! **union** of all lanes' bands, and per-lane masks confine updates to
+//! each lane's own `[beg, end]` range — the paper's "wasteful cell
+//! computations".
+//!
+//! The kernel is generic over [`SimdU8`], so the very same source
+//! instantiates the portable lane-emulated engine (any width) *and* the
+//! real SSE2/SSE4.1/AVX2/NEON register engines — the engine picks the
+//! instantiation at runtime via `mem2_simd::dispatch`. DP rows live in
+//! plain `Vec<u8>` buffers strided by the lane count, loaded and stored
+//! unaligned, so per-lane scalar bookkeeping indexes the same memory
+//! the vector ops stream through.
 //!
 //! Unsigned saturating arithmetic reproduces the scalar kernel's
 //! `max(…, 0)` clamps exactly (see the equivalence notes inline); the
@@ -12,11 +21,11 @@
 //! shrink) runs per lane in scalar registers — these are the paper's
 //! "band adjustment" phases of Table 8.
 
-use mem2_simd::VecU8;
+use mem2_simd::{SimdU8, VecU8, MAX_LANES};
 
 use crate::engine::{Phase, PhaseSink};
 use crate::soa::{pack_queries, pack_targets};
-use crate::types::{ExtendJob, ExtendResult, ScoreParams};
+use crate::types::{ExtendResult, JobRef, ScoreParams};
 
 /// Largest `h0 + qlen·match` the 8-bit engine accepts.
 pub const MAX_SCORE_8: i32 = 249;
@@ -34,39 +43,51 @@ pub(crate) fn clamp_band(params: &ScoreParams, qlen: usize, w: i32) -> i32 {
     w.min(max_del.max(1))
 }
 
-/// Extend ≤ `W` jobs simultaneously. Caller guarantees for every job:
-/// `qlen ≥ 1`, `tlen ≥ 1`, `qlen ≤ 249`, `h0 ≥ 1`, and
-/// `h0 + qlen·match ≤ MAX_SCORE_8`.
+/// Portable-backend entry at const width `W` (16 = SSE-like,
+/// 32 = AVX2-like, 64 = AVX-512-like).
 pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
     params: &ScoreParams,
-    jobs: &[ExtendJob],
+    jobs: &[JobRef<'_>],
     out: &mut [ExtendResult],
     ph: &mut PH,
 ) {
+    extend_chunk_u8_v::<VecU8<W>, PH>(params, jobs, out, ph)
+}
+
+/// Extend ≤ `V::LANES` jobs simultaneously. Caller guarantees for every
+/// job: `qlen ≥ 1`, `tlen ≥ 1`, `qlen ≤ 249`, `h0 ≥ 1`, and
+/// `h0 + qlen·match ≤ MAX_SCORE_8`.
+pub fn extend_chunk_u8_v<V: SimdU8, PH: PhaseSink>(
+    params: &ScoreParams,
+    jobs: &[JobRef<'_>],
+    out: &mut [ExtendResult],
+    ph: &mut PH,
+) {
+    let lanes = V::LANES;
     let n = jobs.len();
-    assert!(n <= W && n == out.len());
+    assert!(n <= lanes && n == out.len() && lanes <= MAX_LANES);
 
     ph.begin(Phase::Preproc);
     // --- AoS -> SoA ---
     let mut q_soa = Vec::new();
     let mut t_soa = Vec::new();
-    let qmax = pack_queries::<W>(jobs, &mut q_soa);
-    let tmax = pack_targets::<W>(jobs, &mut t_soa);
+    let qmax = pack_queries(jobs, lanes, &mut q_soa);
+    let tmax = pack_targets(jobs, lanes, &mut t_soa);
 
     // --- per-lane scalar state ---
-    let mut qlen = [0i32; W];
-    let mut tlen = [0i32; W];
-    let mut h0 = [0i32; W];
-    let mut w_lane = [0i32; W];
-    let mut beg = [0i32; W];
-    let mut end = [0i32; W];
-    let mut max = [0i32; W];
-    let mut max_i = [-1i32; W];
-    let mut max_j = [-1i32; W];
-    let mut max_ie = [-1i32; W];
-    let mut gscore = [-1i32; W];
-    let mut max_off = [0i32; W];
-    let mut dead = [true; W]; // lanes beyond `n` never run
+    let mut qlen = [0i32; MAX_LANES];
+    let mut tlen = [0i32; MAX_LANES];
+    let mut h0 = [0i32; MAX_LANES];
+    let mut w_lane = [0i32; MAX_LANES];
+    let mut beg = [0i32; MAX_LANES];
+    let mut end = [0i32; MAX_LANES];
+    let mut max = [0i32; MAX_LANES];
+    let mut max_i = [-1i32; MAX_LANES];
+    let mut max_j = [-1i32; MAX_LANES];
+    let mut max_ie = [-1i32; MAX_LANES];
+    let mut gscore = [-1i32; MAX_LANES];
+    let mut max_off = [0i32; MAX_LANES];
+    let mut dead = [true; MAX_LANES]; // lanes beyond `n` never run
     for (lane, job) in jobs.iter().enumerate() {
         let ql = job.query.len();
         debug_assert!(ql >= 1 && !job.target.is_empty());
@@ -81,46 +102,47 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
         dead[lane] = false;
     }
 
-    // --- vector buffers: h_buf[j] = H(i-1, j-1), e_buf[j] = E(i, j) ---
-    let mut h_buf: Vec<VecU8<W>> = vec![VecU8::zero(); qmax + 2];
-    let mut e_buf: Vec<VecU8<W>> = vec![VecU8::zero(); qmax + 2];
+    // --- DP rows, strided by lane: h_buf[j*lanes + lane] = H(i-1, j-1),
+    //     e_buf[j*lanes + lane] = E(i, j) ---
+    let mut h_buf = vec![0u8; (qmax + 2) * lanes];
+    let mut e_buf = vec![0u8; (qmax + 2) * lanes];
     let oe_ins = params.o_ins + params.e_ins;
     let oe_del = params.o_del + params.e_del;
     for lane in 0..n {
         // first row: gap chain away from the seed (scalar preamble)
-        h_buf[0].0[lane] = h0[lane] as u8;
+        h_buf[lane] = h0[lane] as u8;
         if qlen[lane] >= 1 {
-            h_buf[1].0[lane] = if h0[lane] > oe_ins {
+            h_buf[lanes + lane] = if h0[lane] > oe_ins {
                 (h0[lane] - oe_ins) as u8
             } else {
                 0
             };
         }
         let mut j = 2;
-        while j <= qlen[lane] as usize && h_buf[j - 1].0[lane] as i32 > params.e_ins {
-            h_buf[j].0[lane] = h_buf[j - 1].0[lane] - params.e_ins as u8;
+        while j <= qlen[lane] as usize && h_buf[(j - 1) * lanes + lane] as i32 > params.e_ins {
+            h_buf[j * lanes + lane] = h_buf[(j - 1) * lanes + lane] - params.e_ins as u8;
             j += 1;
         }
     }
     ph.end(Phase::Preproc);
 
-    let splat_a = VecU8::<W>::splat(params.a as u8);
-    let splat_b = VecU8::<W>::splat(params.b as u8);
-    let splat_one = VecU8::<W>::splat(1);
-    let splat_three = VecU8::<W>::splat(3);
-    let splat_edel = VecU8::<W>::splat(params.e_del as u8);
-    let splat_eins = VecU8::<W>::splat(params.e_ins as u8);
-    let splat_oedel = VecU8::<W>::splat(oe_del as u8);
-    let splat_oeins = VecU8::<W>::splat(oe_ins as u8);
-    let ones = VecU8::<W>::splat(0xFF);
-    let zero = VecU8::<W>::zero();
+    let splat_a = V::splat(params.a as u8);
+    let splat_b = V::splat(params.b as u8);
+    let splat_one = V::splat(1);
+    let splat_three = V::splat(3);
+    let splat_edel = V::splat(params.e_del as u8);
+    let splat_eins = V::splat(params.e_ins as u8);
+    let splat_oedel = V::splat(oe_del as u8);
+    let splat_oeins = V::splat(oe_ins as u8);
+    let ones = V::splat(0xFF);
+    let zero = V::zero();
 
     for i in 0..tmax as i32 {
         ph.begin(Phase::BandAdjustI);
         // --- per-lane band clamp + first-column init (scalar, per row) ---
-        let mut active = [false; W];
+        let mut active = [false; MAX_LANES];
         let mut any_active = false;
-        let mut h1_init = [0u8; W];
+        let mut h1_init = [0u8; MAX_LANES];
         let mut union_beg = i32::MAX;
         let mut union_end = 0i32; // inclusive of the eh[end] write
         for lane in 0..n {
@@ -155,49 +177,50 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
 
         ph.begin(Phase::Cells);
         // --- build row vectors ---
-        let mut act_v = VecU8::<W>::zero();
-        let mut beg_v = VecU8::<W>::zero();
-        let mut end_v = VecU8::<W>::zero();
-        for lane in 0..W {
+        let mut act_a = [0u8; MAX_LANES];
+        // park inactive lanes on an empty range past any real j
+        let mut beg_a = [0xFFu8; MAX_LANES];
+        let mut end_a = [0xFEu8; MAX_LANES];
+        for lane in 0..n {
             if active[lane] && beg[lane] <= end[lane] {
                 // beg <= end <= qlen <= 249, so the u8 casts are exact;
                 // collapsed bands (beg > end, where beg may exceed 255)
-                // are parked below and die in the row epilogue
-                act_v.0[lane] = 0xFF;
-                beg_v.0[lane] = beg[lane] as u8;
-                end_v.0[lane] = end[lane] as u8;
-            } else {
-                // park inactive lanes on an empty range past any real j
-                beg_v.0[lane] = 0xFF;
-                end_v.0[lane] = 0xFE;
+                // stay parked and die in the row epilogue
+                act_a[lane] = 0xFF;
+                beg_a[lane] = beg[lane] as u8;
+                end_a[lane] = end[lane] as u8;
             }
         }
-        let mut h1_v = VecU8(h1_init);
+        let act_v = V::load(&act_a[..lanes]);
+        let beg_v = V::load(&beg_a[..lanes]);
+        let end_v = V::load(&end_a[..lanes]);
+        let mut h1_v = V::load(&h1_init[..lanes]);
         let mut f_v = zero;
         let mut rowmax_v = zero;
         let mut mj_v = zero;
-        let t_v = VecU8::<W>::load(&t_soa[(i as usize) * W..]);
+        let t_v = V::load(&t_soa[(i as usize) * lanes..]);
         let t_ambig = t_v.cmpgt(splat_three);
 
-        let n_live = active.iter().filter(|&&a| a).count() as u64;
+        let n_live = active[..n].iter().filter(|&&a| a).count() as u64;
         ph.on_row(
             n_live,
             n_live * (union_end - union_beg.min(union_end)).max(0) as u64,
         );
         for j in union_beg.max(0)..=union_end {
-            let j_v = VecU8::<W>::splat(j as u8);
+            let col = (j as usize) * lanes;
+            let j_v = V::splat(j as u8);
             let in_cell = j_v.cmpge(beg_v).and(end_v.cmpgt(j_v)).and(act_v);
             let at_end = j_v.cmpeq(end_v).and(act_v);
             let touched = in_cell.or(at_end);
             if touched.all_zero() {
                 continue;
             }
-            let ph_v = h_buf[j as usize];
-            let pe_v = e_buf[j as usize];
+            let ph_v = V::load(&h_buf[col..]);
+            let pe_v = V::load(&e_buf[col..]);
             // store H(i, j-1) where this lane touches column j
-            h_buf[j as usize] = h1_v.blend(ph_v, touched);
+            h1_v.blend(ph_v, touched).store(&mut h_buf[col..]);
 
-            let q_v = VecU8::<W>::load(&q_soa[(j as usize) * W..]);
+            let q_v = V::load(&q_soa[col..]);
             // score selection: +a on match, -b on mismatch, -1 against N
             let ambig = q_v.cmpgt(splat_three).or(t_ambig);
             let eq_ok = ambig.andnot(q_v.cmpeq(t_v));
@@ -220,11 +243,17 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
             let e_new = pe_v.subs(splat_edel).max(t_del);
             let mut e_store = e_new.blend(pe_v, in_cell);
             e_store = zero.blend(e_store, at_end);
-            e_buf[j as usize] = e_store;
+            e_store.store(&mut e_buf[col..]);
             let t_ins = m_v.subs(splat_oeins);
             let f_new = f_v.subs(splat_eins).max(t_ins);
             f_v = f_new.blend(f_v, in_cell);
         }
+        let mut h1_a = [0u8; MAX_LANES];
+        let mut rowmax_a = [0u8; MAX_LANES];
+        let mut mj_a = [0u8; MAX_LANES];
+        h1_v.store(&mut h1_a[..lanes]);
+        rowmax_v.store(&mut rowmax_a[..lanes]);
+        mj_v.store(&mut mj_a[..lanes]);
         ph.end(Phase::Cells);
 
         ph.begin(Phase::BandAdjustII);
@@ -233,15 +262,15 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
             if !active[lane] {
                 continue;
             }
-            let h1 = h1_v.0[lane] as i32;
+            let h1 = h1_a[lane] as i32;
             // the scalar loop variable ends at max(beg, end): with a
             // collapsed band (beg >= end) the inner loop never runs
             if beg[lane].max(end[lane]) == qlen[lane] && gscore[lane] <= h1 {
                 max_ie[lane] = i;
                 gscore[lane] = h1;
             }
-            let row_max = rowmax_v.0[lane] as i32;
-            let mj = mj_v.0[lane] as i32;
+            let row_max = rowmax_a[lane] as i32;
+            let mj = mj_a[lane] as i32;
             if row_max == 0 {
                 dead[lane] = true;
                 continue;
@@ -270,13 +299,17 @@ pub fn extend_chunk_u8<const W: usize, PH: PhaseSink>(
             }
             // shrink the band: drop all-zero cells at both ends
             let mut j = beg[lane];
-            while j < end[lane] && h_buf[j as usize].0[lane] == 0 && e_buf[j as usize].0[lane] == 0
+            while j < end[lane]
+                && h_buf[j as usize * lanes + lane] == 0
+                && e_buf[j as usize * lanes + lane] == 0
             {
                 j += 1;
             }
             beg[lane] = j;
             let mut j = end[lane];
-            while j >= beg[lane] && h_buf[j as usize].0[lane] == 0 && e_buf[j as usize].0[lane] == 0
+            while j >= beg[lane]
+                && h_buf[j as usize * lanes + lane] == 0
+                && e_buf[j as usize * lanes + lane] == 0
             {
                 j -= 1;
             }
@@ -306,12 +339,14 @@ mod tests {
     use super::*;
     use crate::engine::NoPhase;
     use crate::scalar::extend_scalar;
+    use crate::types::ExtendJob;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
     fn run_u8<const W: usize>(params: &ScoreParams, jobs: &[ExtendJob]) -> Vec<ExtendResult> {
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
         let mut out = vec![ExtendResult::default(); jobs.len()];
-        for (chunk, o) in jobs.chunks(W).zip(out.chunks_mut(W)) {
+        for (chunk, o) in refs.chunks(W).zip(out.chunks_mut(W)) {
             extend_chunk_u8::<W, _>(params, chunk, o, &mut NoPhase);
         }
         out
@@ -404,6 +439,43 @@ mod tests {
         let got = run_u8::<64>(&params, &jobs);
         for (k, job) in jobs.iter().enumerate() {
             assert_eq!(got[k], extend_scalar(&params, job), "job {k}");
+        }
+    }
+
+    /// The same generic kernel instantiated with every native backend
+    /// compiled into this binary must match the scalar kernel too.
+    #[test]
+    fn native_backends_match_scalar() {
+        let params = ScoreParams::default();
+        let mut rng = StdRng::seed_from_u64(46);
+        let jobs: Vec<ExtendJob> = (0..150).map(|_| random_job(&mut rng, 150)).collect();
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
+
+        fn run_v<V: SimdU8>(params: &ScoreParams, refs: &[JobRef<'_>]) -> Vec<ExtendResult> {
+            let mut out = vec![ExtendResult::default(); refs.len()];
+            for (chunk, o) in refs.chunks(V::LANES).zip(out.chunks_mut(V::LANES)) {
+                extend_chunk_u8_v::<V, _>(params, chunk, o, &mut NoPhase);
+            }
+            out
+        }
+
+        let mut runs: Vec<(&str, Vec<ExtendResult>)> = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        runs.push(("sse2", run_v::<mem2_simd::x86::U8x16Sse2>(&params, &refs)));
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+        runs.push((
+            "sse4.1",
+            run_v::<mem2_simd::x86::U8x16Sse41>(&params, &refs),
+        ));
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        runs.push(("avx2", run_v::<mem2_simd::x86::U8x32Avx>(&params, &refs)));
+        #[cfg(target_arch = "aarch64")]
+        runs.push(("neon", run_v::<mem2_simd::neon::U8x16Neon>(&params, &refs)));
+
+        for (name, got) in runs {
+            for (k, job) in jobs.iter().enumerate() {
+                assert_eq!(got[k], extend_scalar(&params, job), "{name} job {k}");
+            }
         }
     }
 }

@@ -1,29 +1,29 @@
-//! AoS → SoA conversion (paper §5.3.3): bases of the W sequence pairs are
-//! interleaved so that column `j` of all lanes is one contiguous vector
-//! load instead of a gather.
+//! AoS → SoA conversion (paper §5.3.3): bases of the `lanes` sequence
+//! pairs are interleaved so that column `j` of all lanes is one
+//! contiguous vector load instead of a gather.
 
-use crate::types::ExtendJob;
+use crate::types::JobRef;
 
 /// Padding base written beyond each lane's own sequence; 4 (= N) can never
 /// satisfy the match compare and is masked out anyway.
 pub const PAD_BASE: u8 = 4;
 
-/// Pack the queries of ≤ `W` jobs column-major: `out[j*W + lane]`.
-/// Returns the padded buffer and the maximum query length.
-pub fn pack_queries<const W: usize>(jobs: &[ExtendJob], out: &mut Vec<u8>) -> usize {
-    pack(jobs, out, W, |job| &job.query)
+/// Pack the queries of ≤ `lanes` jobs column-major: `out[j*lanes + lane]`.
+/// Returns the maximum query length.
+pub fn pack_queries(jobs: &[JobRef<'_>], lanes: usize, out: &mut Vec<u8>) -> usize {
+    pack(jobs, out, lanes, |job| job.query)
 }
 
-/// Pack the targets of ≤ `W` jobs column-major.
-pub fn pack_targets<const W: usize>(jobs: &[ExtendJob], out: &mut Vec<u8>) -> usize {
-    pack(jobs, out, W, |job| &job.target)
+/// Pack the targets of ≤ `lanes` jobs column-major.
+pub fn pack_targets(jobs: &[JobRef<'_>], lanes: usize, out: &mut Vec<u8>) -> usize {
+    pack(jobs, out, lanes, |job| job.target)
 }
 
 fn pack<'a>(
-    jobs: &'a [ExtendJob],
+    jobs: &[JobRef<'a>],
     out: &mut Vec<u8>,
     w: usize,
-    get: impl Fn(&'a ExtendJob) -> &'a [u8],
+    get: impl Fn(&JobRef<'a>) -> &'a [u8],
 ) -> usize {
     assert!(jobs.len() <= w);
     let maxlen = jobs.iter().map(|j| get(j).len()).max().unwrap_or(0);
@@ -42,15 +42,17 @@ fn pack<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::ExtendJob;
 
     #[test]
     fn packs_column_major_with_padding() {
-        let jobs = vec![
+        let jobs = [
             ExtendJob::new(vec![0, 1, 2], vec![3], 1, 1),
             ExtendJob::new(vec![3], vec![2, 2], 1, 1),
         ];
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
         let mut buf = Vec::new();
-        let maxq = pack_queries::<4>(&jobs, &mut buf);
+        let maxq = pack_queries(&refs, 4, &mut buf);
         assert_eq!(maxq, 3);
         assert_eq!(buf.len(), 16); // 3 columns + 1 padding column
                                    // column 0: lane0=0, lane1=3, rest pad
@@ -58,7 +60,7 @@ mod tests {
         // column 1: lane0=1, lane1 pad
         assert_eq!(&buf[4..8], &[1, PAD_BASE, PAD_BASE, PAD_BASE]);
         assert_eq!(&buf[8..12], &[2, PAD_BASE, PAD_BASE, PAD_BASE]);
-        let maxt = pack_targets::<4>(&jobs, &mut buf);
+        let maxt = pack_targets(&refs, 4, &mut buf);
         assert_eq!(maxt, 2);
         assert_eq!(&buf[0..4], &[3, 2, PAD_BASE, PAD_BASE]);
     }
@@ -66,7 +68,7 @@ mod tests {
     #[test]
     fn empty_jobs_pack_to_padding_only() {
         let mut buf = vec![9; 8];
-        assert_eq!(pack_queries::<4>(&[], &mut buf), 0);
+        assert_eq!(pack_queries(&[], 4, &mut buf), 0);
         assert_eq!(buf, vec![PAD_BASE; 4]);
     }
 }

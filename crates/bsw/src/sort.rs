@@ -6,11 +6,11 @@
 //!
 //! Key = `tlen << 16 | qlen`, LSD radix over 11-bit digits (3 passes).
 
-use crate::types::ExtendJob;
+use crate::types::JobRef;
 
 /// Return the permutation that orders `jobs` by (tlen, qlen) ascending.
 /// `perm[rank] = original index`. Stable, linear time.
-pub fn sort_jobs_by_length(jobs: &[ExtendJob]) -> Vec<u32> {
+pub fn sort_jobs_by_length(jobs: &[JobRef<'_>]) -> Vec<u32> {
     let keys: Vec<u32> = jobs
         .iter()
         .map(|j| {
@@ -55,6 +55,7 @@ fn radix_argsort(keys: &[u32]) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::ExtendJob;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -64,8 +65,9 @@ mod tests {
 
     #[test]
     fn orders_by_target_then_query() {
-        let jobs = vec![job(5, 9), job(2, 3), job(9, 3), job(1, 3)];
-        let perm = sort_jobs_by_length(&jobs);
+        let jobs = [job(5, 9), job(2, 3), job(9, 3), job(1, 3)];
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
+        let perm = sort_jobs_by_length(&refs);
         let ordered: Vec<(usize, usize)> = perm
             .iter()
             .map(|&i| (jobs[i as usize].target.len(), jobs[i as usize].query.len()))
@@ -86,6 +88,7 @@ mod tests {
     #[test]
     fn empty_and_single() {
         assert!(sort_jobs_by_length(&[]).is_empty());
-        assert_eq!(sort_jobs_by_length(&[job(1, 1)]), vec![0]);
+        let single = job(1, 1);
+        assert_eq!(sort_jobs_by_length(&[JobRef::from(&single)]), vec![0]);
     }
 }

@@ -110,6 +110,41 @@ impl ExtendJob {
     }
 }
 
+/// A borrowed view of an extension task — what the engine and kernels
+/// actually consume. `Copy`, so batching layers (precision grouping,
+/// length sorting, lane chunking, the band-doubling retry) shuffle
+/// 4-word descriptors instead of cloning sequence buffers.
+#[derive(Clone, Copy, Debug)]
+pub struct JobRef<'a> {
+    /// Query base codes.
+    pub query: &'a [u8],
+    /// Target base codes.
+    pub target: &'a [u8],
+    /// Initial score.
+    pub h0: i32,
+    /// Band width for this job.
+    pub w: i32,
+}
+
+impl<'a> JobRef<'a> {
+    /// View `job` with its band replaced by `w` — the band-doubling
+    /// retry without cloning the sequences.
+    pub fn with_band(job: &'a ExtendJob, w: i32) -> Self {
+        JobRef {
+            query: &job.query,
+            target: &job.target,
+            h0: job.h0,
+            w,
+        }
+    }
+}
+
+impl<'a> From<&'a ExtendJob> for JobRef<'a> {
+    fn from(job: &'a ExtendJob) -> Self {
+        JobRef::with_band(job, job.w)
+    }
+}
+
 /// Extension outcome, field-for-field bwa's `ksw_extend2` outputs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExtendResult {

@@ -1,0 +1,175 @@
+//! Backend byte-identity property suite: random job batches through the
+//! scalar kernel, the portable lane emulation (every width), and every
+//! `core::arch` backend compiled into this binary must produce identical
+//! [`ExtendResult`]s — including batches engineered to straddle the
+//! 8-bit overflow boundary, where jobs split between the simd8 and
+//! simd16 kernels.
+
+use proptest::prelude::*;
+
+use mem2_bsw::simd16::extend_chunk_i16_v;
+use mem2_bsw::simd8::{extend_chunk_u8_v, MAX_SCORE_8};
+use mem2_bsw::{
+    extend_scalar, BswEngine, ExtendJob, ExtendResult, JobRef, NoPhase, ScoreParams, SimdChoice,
+};
+use mem2_simd::{Backend, SimdI16, SimdU8};
+
+/// Jobs whose `h0 + qlen·match` lands on both sides of [`MAX_SCORE_8`],
+/// so every batch exercises the 8-bit group, the 16-bit group, and the
+/// boundary between them.
+fn arb_boundary_job() -> impl Strategy<Value = ExtendJob> {
+    (
+        prop::collection::vec(0u8..5, 1..80),
+        prop::collection::vec(0u8..5, 1..100),
+        // default match score is 1: h0 + qlen spans ~[120, 340] around 249
+        120i32..260,
+        1i32..60,
+    )
+        .prop_map(|(q, t, h0, w)| ExtendJob::new(q, t, h0, w))
+}
+
+/// Every backend compiled into this binary (the portable emulation is
+/// always first).
+fn compiled_backends() -> Vec<Backend> {
+    let mut backends = vec![Backend::Portable];
+    #[cfg(target_arch = "x86_64")]
+    backends.push(Backend::Sse2);
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+    backends.push(Backend::Sse41);
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    backends.push(Backend::Avx2);
+    #[cfg(target_arch = "aarch64")]
+    backends.push(Backend::Neon);
+    backends
+}
+
+fn run_u8_chunks<V: SimdU8>(params: &ScoreParams, refs: &[JobRef<'_>]) -> Vec<ExtendResult> {
+    let mut out = vec![ExtendResult::default(); refs.len()];
+    for (chunk, o) in refs.chunks(V::LANES).zip(out.chunks_mut(V::LANES)) {
+        extend_chunk_u8_v::<V, _>(params, chunk, o, &mut NoPhase);
+    }
+    out
+}
+
+fn run_i16_chunks<V: SimdI16>(params: &ScoreParams, refs: &[JobRef<'_>]) -> Vec<ExtendResult> {
+    let mut out = vec![ExtendResult::default(); refs.len()];
+    for (chunk, o) in refs.chunks(V::LANES).zip(out.chunks_mut(V::LANES)) {
+        extend_chunk_i16_v::<V, _>(params, chunk, o, &mut NoPhase);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engine level: every compiled backend and every `--simd` choice
+    /// reproduces the scalar kernel bit for bit on batches straddling
+    /// the 8-bit → 16-bit precision boundary.
+    #[test]
+    fn engines_on_all_backends_match_scalar(
+        jobs in prop::collection::vec(arb_boundary_job(), 1..60),
+        sort in any::<bool>(),
+    ) {
+        let params = ScoreParams::default();
+        let scalar: Vec<_> = jobs.iter().map(|j| extend_scalar(&params, j)).collect();
+        for backend in compiled_backends() {
+            let mut engine = BswEngine::with_backend(params, backend);
+            engine.sort_by_length = sort;
+            prop_assert_eq!(
+                engine.extend_all(&jobs),
+                scalar.clone(),
+                "backend {:?} sort {}",
+                backend,
+                sort
+            );
+        }
+        for choice in [SimdChoice::Auto, SimdChoice::Scalar, SimdChoice::Portable, SimdChoice::Native] {
+            let engine = BswEngine::for_choice(params, choice);
+            prop_assert_eq!(engine.extend_all(&jobs), scalar.clone(), "choice {}", choice);
+        }
+    }
+
+    /// Kernel level, 8-bit: each compiled native chunk kernel vs the
+    /// portable one on 8-bit-safe jobs.
+    #[test]
+    fn simd8_chunks_native_vs_portable(
+        jobs in prop::collection::vec(arb_boundary_job(), 1..50),
+    ) {
+        let params = ScoreParams::default();
+        // keep only jobs the 8-bit kernel accepts
+        let safe: Vec<ExtendJob> = jobs
+            .into_iter()
+            .filter(|j| j.h0 + j.query.len() as i32 * params.max_score() <= MAX_SCORE_8)
+            .collect();
+        let refs: Vec<JobRef<'_>> = safe.iter().map(JobRef::from).collect();
+        let want = run_u8_chunks::<mem2_simd::VecU8<16>>(&params, &refs);
+        #[cfg(target_arch = "x86_64")]
+        prop_assert_eq!(
+            run_u8_chunks::<mem2_simd::x86::U8x16Sse2>(&params, &refs), want.clone(), "sse2");
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+        prop_assert_eq!(
+            run_u8_chunks::<mem2_simd::x86::U8x16Sse41>(&params, &refs), want.clone(), "sse4.1");
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        prop_assert_eq!(
+            run_u8_chunks::<mem2_simd::x86::U8x32Avx>(&params, &refs),
+            run_u8_chunks::<mem2_simd::VecU8<32>>(&params, &refs),
+            "avx2"
+        );
+        #[cfg(target_arch = "aarch64")]
+        prop_assert_eq!(
+            run_u8_chunks::<mem2_simd::neon::U8x16Neon>(&params, &refs), want.clone(), "neon");
+        let _ = want;
+    }
+
+    /// Kernel level, 16-bit: each compiled native chunk kernel vs the
+    /// portable one (any job is 16-bit-safe at these sizes).
+    #[test]
+    fn simd16_chunks_native_vs_portable(
+        jobs in prop::collection::vec(arb_boundary_job(), 1..50),
+    ) {
+        let params = ScoreParams::default();
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
+        let want = run_i16_chunks::<mem2_simd::VecI16<8>>(&params, &refs);
+        #[cfg(target_arch = "x86_64")]
+        prop_assert_eq!(
+            run_i16_chunks::<mem2_simd::x86::I16x8Sse2>(&params, &refs), want.clone(), "sse2");
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+        prop_assert_eq!(
+            run_i16_chunks::<mem2_simd::x86::I16x8Sse41>(&params, &refs), want.clone(), "sse4.1");
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        prop_assert_eq!(
+            run_i16_chunks::<mem2_simd::x86::I16x16Avx>(&params, &refs),
+            run_i16_chunks::<mem2_simd::VecI16<16>>(&params, &refs),
+            "avx2"
+        );
+        #[cfg(target_arch = "aarch64")]
+        prop_assert_eq!(
+            run_i16_chunks::<mem2_simd::neon::I16x8Neon>(&params, &refs), want.clone(), "neon");
+        let _ = want;
+    }
+
+    /// The no-clone band-doubling descriptor is equivalent to cloning
+    /// the job and editing its band.
+    #[test]
+    fn jobref_band_override_equals_cloned_job(
+        jobs in prop::collection::vec(arb_boundary_job(), 1..30),
+        factor in 2i32..4,
+    ) {
+        let params = ScoreParams::default();
+        let engine = BswEngine::optimized(params);
+        let cloned: Vec<ExtendJob> = jobs
+            .iter()
+            .map(|j| {
+                let mut c = j.clone();
+                c.w *= factor;
+                c
+            })
+            .collect();
+        let want = engine.extend_all(&cloned);
+        let refs: Vec<JobRef<'_>> =
+            jobs.iter().map(|j| JobRef::with_band(j, j.w * factor)).collect();
+        let mut got = vec![ExtendResult::default(); refs.len()];
+        engine.extend_jobs(&refs, &mut got, &mut NoPhase);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -46,6 +46,7 @@ proptest! {
         let engine = BswEngine {
             params,
             kind: EngineKind::Vector { width },
+            backend: mem2_simd::Backend::Portable,
             sort_by_length: sort,
             force_16bit: false,
         };
@@ -61,6 +62,7 @@ proptest! {
         let engine = BswEngine {
             params,
             kind: EngineKind::Vector { width: 64 },
+            backend: mem2_simd::Backend::Portable,
             sort_by_length: true,
             force_16bit: true,
         };

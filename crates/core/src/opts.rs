@@ -1,7 +1,7 @@
 //! Aligner options — the relevant subset of bwa's `mem_opt_t`, with the
 //! same defaults (`mem_opt_init`).
 
-use mem2_bsw::ScoreParams;
+use mem2_bsw::{ScoreParams, SimdChoice};
 use mem2_chain::ChainOpts;
 use mem2_fmindex::SmemOpts;
 
@@ -53,6 +53,10 @@ pub struct MemOpts {
     /// count, or the two-file vs interleaved layout). Default 32 768
     /// (~10 Mbp at 2×150 bp).
     pub batch_pairs: usize,
+    /// SIMD backend selection for the BSW engines (`--simd`, default
+    /// auto: widest detected native backend, portable fallback). SAM
+    /// bytes are invariant to this choice — only speed differs.
+    pub simd: SimdChoice,
 }
 
 impl Default for MemOpts {
@@ -76,6 +80,7 @@ impl Default for MemOpts {
             max_ins: 10_000,
             max_matesw: 50,
             batch_pairs: mem2_seqio::DEFAULT_BATCH_PAIRS,
+            simd: SimdChoice::Auto,
         }
     }
 }

@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use mem2_bsw::{BswEngine, ExtendJob, ExtendResult};
+use mem2_bsw::{BswEngine, ExtendJob, ExtendResult, JobRef, NoPhase as NoBswPhase};
 use mem2_chain::{chain_seeds, filter_chains, frac_rep, seeds_from_interval, Chain, SaMode, Seed};
 use mem2_fmindex::{collect_intv, BiInterval, FmIndex, SmemAux};
 use mem2_memsim::NoopSink;
@@ -43,9 +43,16 @@ pub struct PreparedRead {
 }
 
 impl PreparedRead {
-    /// Encode a FASTQ record.
+    /// Encode a borrowed FASTQ record: the three owned buffers are
+    /// copied exactly once each, straight into their final places — no
+    /// intermediate `FastqRecord` clone.
     pub fn from_fastq(rec: &FastqRecord) -> Self {
-        Self::from_fastq_owned(rec.clone())
+        PreparedRead {
+            name: rec.name.clone(),
+            codes: rec.seq.iter().map(|&b| encode_base(b)).collect(),
+            seq: rec.seq.clone(),
+            qual: rec.qual.clone(),
+        }
     }
 
     /// Encode an owned FASTQ record without cloning its buffers — the
@@ -99,7 +106,8 @@ pub struct Worker {
 
 impl Worker {
     /// Build a worker for the given options (engines carry the clip
-    /// penalties as extension end bonuses, like bwa).
+    /// penalties as extension end bonuses, like bwa; the SIMD backend
+    /// follows `opts.simd`).
     pub fn new(opts: &MemOpts) -> Self {
         let mut p5 = opts.score;
         p5.end_bonus = opts.pen_clip5;
@@ -111,8 +119,8 @@ impl Worker {
             jobs: Vec::new(),
             job_keys: Vec::new(),
             results: Vec::new(),
-            engine5: BswEngine::optimized(p5),
-            engine3: BswEngine::optimized(p3),
+            engine5: BswEngine::for_choice(p5, opts.simd),
+            engine3: BswEngine::for_choice(p3, opts.simd),
             times: StageTimes::default(),
         }
     }
@@ -378,7 +386,9 @@ pub fn align_batch(
 
 /// Execute the band-doubling protocol over a whole job list: round 0 at
 /// `w0` for everyone, round 1 at `2·w0` for the jobs that ask for it —
-/// exactly the per-seed retry loop, batched (MAX_BAND_TRY = 2).
+/// exactly the per-seed retry loop, batched (MAX_BAND_TRY = 2). Both
+/// rounds hand the engine borrowed [`JobRef`]s; the retry widens the
+/// band in the 4-word descriptor instead of cloning sequence buffers.
 fn run_rounds(
     engine: &BswEngine,
     w0: i32,
@@ -386,7 +396,9 @@ fn run_rounds(
     results: &mut Vec<(ExtendResult, i32)>,
 ) {
     results.clear();
-    let round0 = engine.extend_all(jobs);
+    let refs: Vec<JobRef<'_>> = jobs.iter().map(JobRef::from).collect();
+    let mut round0 = vec![ExtendResult::default(); jobs.len()];
+    engine.extend_jobs(&refs, &mut round0, &mut NoBswPhase);
     results.extend(round0.iter().map(|&r| (r, w0)));
     let retry_idx: Vec<usize> = results
         .iter()
@@ -397,15 +409,12 @@ fn run_rounds(
     if retry_idx.is_empty() {
         return;
     }
-    let retry_jobs: Vec<ExtendJob> = retry_idx
+    let retry_refs: Vec<JobRef<'_>> = retry_idx
         .iter()
-        .map(|&k| {
-            let mut j = jobs[k].clone();
-            j.w = w0 * 2;
-            j
-        })
+        .map(|&k| JobRef::with_band(&jobs[k], w0 * 2))
         .collect();
-    let round1 = engine.extend_all(&retry_jobs);
+    let mut round1 = vec![ExtendResult::default(); retry_refs.len()];
+    engine.extend_jobs(&retry_refs, &mut round1, &mut NoBswPhase);
     for (&k, r1) in retry_idx.iter().zip(round1) {
         // bwa's loop keeps the round-1 result unconditionally (i hits
         // MAX_BAND_TRY); aw records the widened band

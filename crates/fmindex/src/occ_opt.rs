@@ -3,11 +3,15 @@
 //!
 //! Each bucket stores four `u32` cumulative counts (16 B), 32 bases at one
 //! byte each (32 B), and 16 B of padding so buckets are cache-line
-//! aligned — the paper's exact layout. In-bucket counting is a byte
-//! compare + popcount ([`mem2_simd::count_eq_prefix`]), replacing the
-//! original's multi-word bit manipulation.
+//! aligned — the paper's exact layout. In-bucket counting is
+//! [`mem2_simd::counts4_in_prefix`] — a byte compare + popcount that
+//! dispatches to the widest available vector backend (on AVX2 literally
+//! the paper's `vpcmpeqb` + `vpmovmskb` + `popcnt` sequence, with an
+//! SSE2/NEON/SWAR fallback), replacing the original's multi-word bit
+//! manipulation.
 
 use mem2_memsim::PerfSink;
+use mem2_simd::counts4_in_prefix;
 use mem2_suffix::Bwt;
 
 use crate::occ::{BwtMeta, OccTable};
@@ -41,40 +45,6 @@ impl Default for CpBlock {
 pub struct OccOpt {
     blocks: Vec<CpBlock>,
     meta: BwtMeta,
-}
-
-/// Count each base among the first `y` bytes of a 32-byte bucket in one
-/// pass. This is the portable stand-in for the paper's AVX2
-/// byte-compare-plus-popcnt: each base code is 0..3, so bit0/bit1 of
-/// every byte identify it, and a SWAR mask + popcount counts all lanes
-/// at once. Padding bytes (0xFF) are never inside the prefix.
-#[inline(always)]
-fn counts4_in_prefix(bases: &[u8; 32], y: usize) -> [u32; 4] {
-    const ONES: u64 = 0x0101_0101_0101_0101;
-    debug_assert!(y <= 32);
-    let mut out = [0u32; 4];
-    let mut remaining = y;
-    let mut w = 0usize;
-    while remaining > 0 {
-        let take = remaining.min(8);
-        let word = u64::from_le_bytes(bases[w * 8..w * 8 + 8].try_into().expect("8 bytes"));
-        let mask: u64 = if take == 8 {
-            !0
-        } else {
-            (1u64 << (8 * take)) - 1
-        };
-        let t0 = word & ONES; // bit0 of each byte
-        let t1 = (word >> 1) & ONES; // bit1 of each byte
-        let n0 = t0 ^ ONES;
-        let n1 = t1 ^ ONES;
-        out[0] += (n1 & n0 & mask).count_ones(); // A = 00
-        out[1] += (n1 & t0 & mask).count_ones(); // C = 01
-        out[2] += (t1 & n0 & mask).count_ones(); // G = 10
-        out[3] += (t1 & t0 & mask).count_ones(); // T = 11
-        remaining -= take;
-        w += 1;
-    }
-    out
 }
 
 impl OccOpt {

@@ -3,34 +3,278 @@
 //! mask containing 1 for match and 0 for mismatch. Consequently, we use a
 //! 32-bit popcnt instruction on the mask to get the count."
 //!
-//! The portable formulation below compiles to `pcmpeqb` + `pmovmskb` +
-//! `popcnt` (or a `psadbw` reduction) with `-C target-cpu=native`.
+//! Every public function dispatches through [`crate::dispatch::selected`]:
+//! on x86_64 the AVX2 path is literally the paper's sequence
+//! (`vpcmpeqb` + `vpmovmskb` + `popcnt`), SSE2 does the same over two
+//! 128-bit halves, NEON counts mask lanes with `vaddv`. The `_portable`
+//! variants are the dispatch-free scalar/SWAR ground truth — byte tests
+//! pin every native path against them.
 
-/// Count occurrences of `needle` in the first `prefix_len` bytes of a
-/// fixed 32-byte bucket. `prefix_len` may be 0..=32.
+#[allow(unused_imports)] // Backend is only matched on SIMD-capable arches
+use crate::dispatch::{selected, Backend};
+
+/// Mask keeping the low `prefix_len` bits of a 32-bit compare mask.
 #[inline(always)]
-pub fn count_eq_prefix(bucket: &[u8; 32], needle: u8, prefix_len: usize) -> u32 {
+fn keep_mask(prefix_len: usize) -> u32 {
     debug_assert!(prefix_len <= 32);
+    if prefix_len >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << prefix_len) - 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// portable ground truth
+// ---------------------------------------------------------------------
+
+/// Portable [`count_eq_prefix`]: bit-mask build + `count_ones`.
+#[inline(always)]
+pub fn count_eq_prefix_portable(bucket: &[u8; 32], needle: u8, prefix_len: usize) -> u32 {
     let mut mask = 0u32;
     for (i, &b) in bucket.iter().enumerate() {
         mask |= ((b == needle) as u32) << i;
     }
-    let keep = if prefix_len >= 32 {
-        u32::MAX
-    } else {
-        (1u32 << prefix_len) - 1
-    };
-    (mask & keep).count_ones()
+    (mask & keep_mask(prefix_len)).count_ones()
 }
 
-/// Count occurrences of `needle` in an arbitrary byte slice.
+/// Portable [`count_eq`]: plain scalar loop.
 #[inline(always)]
-pub fn count_eq(hay: &[u8], needle: u8) -> u64 {
+pub fn count_eq_portable(hay: &[u8], needle: u8) -> u64 {
     let mut n = 0u64;
     for &b in hay {
         n += (b == needle) as u64;
     }
     n
+}
+
+/// Portable [`counts4_in_prefix`]: each base code is 0..3, so bit0/bit1
+/// of every byte identify it, and a SWAR mask + popcount counts eight
+/// lanes per 64-bit word. Padding bytes (0xFF) are never inside the
+/// prefix.
+#[inline(always)]
+pub fn counts4_in_prefix_portable(bases: &[u8; 32], y: usize) -> [u32; 4] {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    debug_assert!(y <= 32);
+    let mut out = [0u32; 4];
+    let mut remaining = y;
+    let mut w = 0usize;
+    while remaining > 0 {
+        let take = remaining.min(8);
+        let word = u64::from_le_bytes(bases[w * 8..w * 8 + 8].try_into().expect("8 bytes"));
+        let mask: u64 = if take == 8 {
+            !0
+        } else {
+            (1u64 << (8 * take)) - 1
+        };
+        let t0 = word & ONES; // bit0 of each byte
+        let t1 = (word >> 1) & ONES; // bit1 of each byte
+        let n0 = t0 ^ ONES;
+        let n1 = t1 ^ ONES;
+        out[0] += (n1 & n0 & mask).count_ones(); // A = 00
+        out[1] += (n1 & t0 & mask).count_ones(); // C = 01
+        out[2] += (t1 & n0 & mask).count_ones(); // G = 10
+        out[3] += (t1 & t0 & mask).count_ones(); // T = 11
+        remaining -= take;
+        w += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// x86_64 backends
+// ---------------------------------------------------------------------
+
+/// 32-bit equality mask of `bucket` against `needle` via two SSE2
+/// `pcmpeqb` + `pmovmskb` halves.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn eq_mask32_sse2(bucket: &[u8; 32], needle: u8) -> u32 {
+    // SAFETY: see the backend safety contract in the module docs.
+    unsafe {
+        use core::arch::x86_64::*;
+        let n = _mm_set1_epi8(needle as i8);
+        let lo = _mm_loadu_si128(bucket.as_ptr() as *const __m128i);
+        let hi = _mm_loadu_si128(bucket.as_ptr().add(16) as *const __m128i);
+        let lo_m = _mm_movemask_epi8(_mm_cmpeq_epi8(lo, n)) as u32;
+        let hi_m = _mm_movemask_epi8(_mm_cmpeq_epi8(hi, n)) as u32;
+        lo_m | (hi_m << 16)
+    }
+}
+
+/// 32-bit equality mask via one AVX2 `vpcmpeqb` + `vpmovmskb` — the
+/// paper's exact instruction sequence.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[inline(always)]
+fn eq_mask32_avx2(bucket: &[u8; 32], needle: u8) -> u32 {
+    // SAFETY: see the backend safety contract in the module docs.
+    unsafe {
+        use core::arch::x86_64::*;
+        let n = _mm256_set1_epi8(needle as i8);
+        let v = _mm256_loadu_si256(bucket.as_ptr() as *const __m256i);
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, n)) as u32
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn count_eq_sse2(hay: &[u8], needle: u8) -> u64 {
+    // SAFETY: see the backend safety contract in the module docs.
+    unsafe {
+        use core::arch::x86_64::*;
+        let n = _mm_set1_epi8(needle as i8);
+        let mut total = 0u64;
+        let mut chunks = hay.chunks_exact(16);
+        for c in &mut chunks {
+            let v = _mm_loadu_si128(c.as_ptr() as *const __m128i);
+            total += _mm_movemask_epi8(_mm_cmpeq_epi8(v, n)).count_ones() as u64;
+        }
+        total + count_eq_portable(chunks.remainder(), needle)
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[inline(always)]
+fn count_eq_avx2(hay: &[u8], needle: u8) -> u64 {
+    // SAFETY: see the backend safety contract in the module docs.
+    unsafe {
+        use core::arch::x86_64::*;
+        let n = _mm256_set1_epi8(needle as i8);
+        let mut total = 0u64;
+        let mut chunks = hay.chunks_exact(32);
+        for c in &mut chunks {
+            let v = _mm256_loadu_si256(c.as_ptr() as *const __m256i);
+            total += _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, n)).count_ones() as u64;
+        }
+        total + count_eq_portable(chunks.remainder(), needle)
+    }
+}
+
+// ---------------------------------------------------------------------
+// aarch64 backend
+// ---------------------------------------------------------------------
+
+/// Count `needle` among the first `prefix_len` bytes with NEON: compare,
+/// mask lanes below the prefix limit, reduce with `vaddv`.
+#[cfg(target_arch = "aarch64")]
+#[inline(always)]
+fn count_eq_prefix_neon(bucket: &[u8; 32], needle: u8, prefix_len: usize) -> u32 {
+    // SAFETY: see the backend safety contract in the module docs.
+    unsafe {
+        use core::arch::aarch64::*;
+        const IDX: [u8; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+        let n = vdupq_n_u8(needle);
+        let idx = vld1q_u8(IDX.as_ptr());
+        let one = vdupq_n_u8(1);
+        let mut total = 0u32;
+        for half in 0..2 {
+            let lim = prefix_len.saturating_sub(half * 16).min(16) as u8;
+            let v = vld1q_u8(bucket.as_ptr().add(half * 16));
+            let eq = vceqq_u8(v, n);
+            let inside = vcltq_u8(idx, vdupq_n_u8(lim));
+            total += vaddvq_u8(vandq_u8(vandq_u8(eq, inside), one)) as u32;
+        }
+        total
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[inline(always)]
+fn count_eq_neon(hay: &[u8], needle: u8) -> u64 {
+    // SAFETY: see the backend safety contract in the module docs.
+    unsafe {
+        use core::arch::aarch64::*;
+        let n = vdupq_n_u8(needle);
+        let one = vdupq_n_u8(1);
+        let mut total = 0u64;
+        let mut chunks = hay.chunks_exact(16);
+        for c in &mut chunks {
+            let v = vld1q_u8(c.as_ptr());
+            total += vaddvq_u8(vandq_u8(vceqq_u8(v, n), one)) as u64;
+        }
+        total + count_eq_portable(chunks.remainder(), needle)
+    }
+}
+
+// ---------------------------------------------------------------------
+// dispatched entry points
+// ---------------------------------------------------------------------
+
+/// Count occurrences of `needle` in the first `prefix_len` bytes of a
+/// fixed 32-byte bucket. `prefix_len` may be 0..=32.
+#[inline]
+pub fn count_eq_prefix(bucket: &[u8; 32], needle: u8, prefix_len: usize) -> u32 {
+    debug_assert!(prefix_len <= 32);
+    match selected() {
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        Backend::Avx2 => {
+            return (eq_mask32_avx2(bucket, needle) & keep_mask(prefix_len)).count_ones()
+        }
+        #[cfg(target_arch = "x86_64")]
+        b if b.is_native() => {
+            return (eq_mask32_sse2(bucket, needle) & keep_mask(prefix_len)).count_ones()
+        }
+        #[cfg(target_arch = "aarch64")]
+        b if b.is_native() => return count_eq_prefix_neon(bucket, needle, prefix_len),
+        _ => {}
+    }
+    count_eq_prefix_portable(bucket, needle, prefix_len)
+}
+
+/// Count occurrences of `needle` in an arbitrary byte slice.
+#[inline]
+pub fn count_eq(hay: &[u8], needle: u8) -> u64 {
+    match selected() {
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        Backend::Avx2 => return count_eq_avx2(hay, needle),
+        #[cfg(target_arch = "x86_64")]
+        b if b.is_native() => return count_eq_sse2(hay, needle),
+        #[cfg(target_arch = "aarch64")]
+        b if b.is_native() => return count_eq_neon(hay, needle),
+        _ => {}
+    }
+    count_eq_portable(hay, needle)
+}
+
+/// Count each base code (0..=3) among the first `y` bytes of a 32-byte
+/// occurrence bucket in one pass — the paper's in-bucket popcount,
+/// done once per base with a shared vector load.
+#[inline]
+pub fn counts4_in_prefix(bases: &[u8; 32], y: usize) -> [u32; 4] {
+    debug_assert!(y <= 32);
+    match selected() {
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        Backend::Avx2 => {
+            let keep = keep_mask(y);
+            return [
+                (eq_mask32_avx2(bases, 0) & keep).count_ones(),
+                (eq_mask32_avx2(bases, 1) & keep).count_ones(),
+                (eq_mask32_avx2(bases, 2) & keep).count_ones(),
+                (eq_mask32_avx2(bases, 3) & keep).count_ones(),
+            ];
+        }
+        #[cfg(target_arch = "x86_64")]
+        b if b.is_native() => {
+            let keep = keep_mask(y);
+            return [
+                (eq_mask32_sse2(bases, 0) & keep).count_ones(),
+                (eq_mask32_sse2(bases, 1) & keep).count_ones(),
+                (eq_mask32_sse2(bases, 2) & keep).count_ones(),
+                (eq_mask32_sse2(bases, 3) & keep).count_ones(),
+            ];
+        }
+        #[cfg(target_arch = "aarch64")]
+        b if b.is_native() => {
+            return [
+                count_eq_prefix_neon(bases, 0, y),
+                count_eq_prefix_neon(bases, 1, y),
+                count_eq_prefix_neon(bases, 2, y),
+                count_eq_prefix_neon(bases, 3, y),
+            ];
+        }
+        _ => {}
+    }
+    counts4_in_prefix_portable(bases, y)
 }
 
 #[cfg(test)]
@@ -55,5 +299,54 @@ mod tests {
     fn slice_counts() {
         assert_eq!(count_eq(&[], 1), 0);
         assert_eq!(count_eq(&[1, 1, 2, 1], 1), 3);
+        // long enough to exercise the vector chunks plus the tail
+        let hay: Vec<u8> = (0..137u32).map(|i| (i % 5) as u8).collect();
+        assert_eq!(count_eq(&hay, 3), count_eq_portable(&hay, 3));
+    }
+
+    #[test]
+    fn dispatched_counts_match_portable_on_patterned_buckets() {
+        for seed in 0..8u32 {
+            let mut bucket = [0u8; 32];
+            let mut codes = [0u8; 32]; // counts4's domain: base codes only
+            for i in 0..32 {
+                // mix of base codes and 0xFF padding-like bytes
+                let v = (i as u32).wrapping_mul(2654435761).wrapping_add(seed * 97) >> 13;
+                bucket[i] = if v.is_multiple_of(7) {
+                    0xFF
+                } else {
+                    (v % 4) as u8
+                };
+                codes[i] = (v % 4) as u8;
+            }
+            for y in 0..=32 {
+                for needle in 0..4u8 {
+                    assert_eq!(
+                        count_eq_prefix(&bucket, needle, y),
+                        count_eq_prefix_portable(&bucket, needle, y),
+                        "seed={seed} y={y} needle={needle}"
+                    );
+                }
+                // counts4's precondition: padding (0xFF) never sits inside
+                // the prefix — the SWAR form classifies by bit0/bit1 only
+                assert_eq!(
+                    counts4_in_prefix(&codes, y),
+                    counts4_in_prefix_portable(&codes, y),
+                    "seed={seed} y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts4_sums_to_prefix_len_on_pure_bases() {
+        let mut bucket = [0u8; 32];
+        for (i, b) in bucket.iter_mut().enumerate() {
+            *b = (i % 4) as u8;
+        }
+        for y in 0..=32 {
+            let c = counts4_in_prefix(&bucket, y);
+            assert_eq!(c.iter().sum::<u32>() as usize, y);
+        }
     }
 }

@@ -1,0 +1,178 @@
+//! Runtime backend selection.
+//!
+//! [`Backend::native`] picks the widest vector backend that is both
+//! **compiled in** (`cfg(target_feature)` — the backend types in
+//! [`crate::x86`] only exist when the build enables their ISA) and
+//! **present on the executing CPU** (`is_x86_feature_detected!`). The
+//! intersection matters in both directions: a binary built for the
+//! x86_64 baseline never *references* AVX2 code, and a binary built
+//! with `-C target-cpu=x86-64-v3` that lands on an older CPU never
+//! *selects* it. Detection runs once per process and is cached.
+//!
+//! [`force`] installs a process-wide override (the CLI's `--simd
+//! scalar|portable` maps to `Backend::Portable`) consulted by
+//! [`selected`], which is what the occurrence-count kernels and
+//! `BswEngine::optimized` use — one switch flips every dispatched
+//! kernel in the process.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A vector instruction set the kernels can run on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Scalar-lane emulation (`VecU8`/`VecI16`), any width; relies on
+    /// LLVM autovectorization. Always available; the ground truth.
+    Portable,
+    /// SSE2 128-bit vectors (x86_64 baseline).
+    Sse2,
+    /// SSE4.1: SSE2 plus `pblendvb`/`ptest`.
+    Sse41,
+    /// AVX2 256-bit vectors — the paper's primary ISA.
+    Avx2,
+    /// NEON 128-bit vectors (aarch64 baseline).
+    Neon,
+}
+
+impl Backend {
+    /// Detect the widest backend compiled into this binary and
+    /// supported by the executing CPU. Cached after the first call.
+    pub fn native() -> Backend {
+        static NATIVE: OnceLock<Backend> = OnceLock::new();
+        *NATIVE.get_or_init(Self::detect)
+    }
+
+    /// Uncached detection (exposed for tests and diagnostics).
+    pub fn detect() -> Backend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            #[cfg(target_feature = "avx2")]
+            if is_x86_feature_detected!("avx2") {
+                return Backend::Avx2;
+            }
+            #[cfg(target_feature = "sse4.1")]
+            if is_x86_feature_detected!("sse4.1") {
+                return Backend::Sse41;
+            }
+            Backend::Sse2
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            Backend::Neon
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            Backend::Portable
+        }
+    }
+
+    /// 8-bit lane count of this backend's BSW kernel (16-bit kernels
+    /// use half as many). The portable fallback runs the AVX-512-like
+    /// 64-lane configuration, the widest the emulation supports.
+    pub fn u8_lanes(self) -> usize {
+        match self {
+            Backend::Portable => 64,
+            Backend::Sse2 | Backend::Sse41 | Backend::Neon => 16,
+            Backend::Avx2 => 32,
+        }
+    }
+
+    /// True for real `core::arch` backends.
+    pub fn is_native(self) -> bool {
+        self != Backend::Portable
+    }
+
+    /// Stable lower-case name (bench labels, CLI logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Portable => "portable",
+            Backend::Sse2 => "sse2",
+            Backend::Sse41 => "sse4.1",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    fn to_code(self) -> u8 {
+        match self {
+            Backend::Portable => 1,
+            Backend::Sse2 => 2,
+            Backend::Sse41 => 3,
+            Backend::Avx2 => 4,
+            Backend::Neon => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Backend> {
+        Some(match code {
+            1 => Backend::Portable,
+            2 => Backend::Sse2,
+            3 => Backend::Sse41,
+            4 => Backend::Avx2,
+            5 => Backend::Neon,
+            _ => return None,
+        })
+    }
+}
+
+/// Process-wide override; 0 = none.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Force every subsequent [`selected`] call to return `backend`
+/// (`None` clears the override). Intended for process start-up (the
+/// `--simd` flag); kernels consult [`selected`] on every dispatch, so
+/// late changes take effect but race with in-flight work — results are
+/// identical across backends either way, only speed differs.
+pub fn force(backend: Option<Backend>) {
+    FORCED.store(backend.map_or(0, Backend::to_code), Ordering::Relaxed);
+}
+
+/// The backend dispatched kernels should use: the [`force`]d override
+/// if set, otherwise [`Backend::native`].
+#[inline]
+pub fn selected() -> Backend {
+    Backend::from_code(FORCED.load(Ordering::Relaxed)).unwrap_or_else(Backend::native)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_is_compiled_and_cached() {
+        let b = Backend::native();
+        assert_eq!(b, Backend::native());
+        // whatever was detected must be a backend this binary compiled
+        let compiled = match b {
+            Backend::Avx2 => cfg!(all(target_arch = "x86_64", target_feature = "avx2")),
+            Backend::Sse41 => cfg!(all(target_arch = "x86_64", target_feature = "sse4.1")),
+            Backend::Sse2 => cfg!(target_arch = "x86_64"),
+            Backend::Neon => cfg!(target_arch = "aarch64"),
+            Backend::Portable => cfg!(not(any(target_arch = "x86_64", target_arch = "aarch64"))),
+        };
+        assert!(compiled, "detected backend {b:?} is not compiled in");
+    }
+
+    #[test]
+    fn lane_widths() {
+        assert_eq!(Backend::Portable.u8_lanes(), 64);
+        assert_eq!(Backend::Sse2.u8_lanes(), 16);
+        assert_eq!(Backend::Sse41.u8_lanes(), 16);
+        assert_eq!(Backend::Avx2.u8_lanes(), 32);
+        assert_eq!(Backend::Neon.u8_lanes(), 16);
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for b in [
+            Backend::Portable,
+            Backend::Sse2,
+            Backend::Sse41,
+            Backend::Avx2,
+            Backend::Neon,
+        ] {
+            assert_eq!(Backend::from_code(b.to_code()), Some(b));
+        }
+        assert_eq!(Backend::from_code(0), None);
+    }
+}

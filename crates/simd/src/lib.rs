@@ -1,14 +1,19 @@
-//! Portable SIMD substrate for the mem2 workspace.
+//! SIMD substrate for the mem2 workspace.
 //!
-//! The paper's kernels use AVX2/AVX-512 intrinsics. Stable Rust has no
-//! `std::simd`, so this crate provides fixed-width lanewise vector types
-//! whose operations are written as straight-line element loops that LLVM
-//! reliably auto-vectorizes at `opt-level=3` (especially with
-//! `-C target-cpu=native`, which the workspace sets).
+//! Two layers over a shared lane API (the [`SimdU8`] / [`SimdI16`]
+//! traits in [`lanes`]):
 //!
-//! Widths are const-generic so the BSW engine can be instantiated at
-//! AVX-512-like widths (64×u8 / 32×i16), AVX2-like widths (32×u8 / 16×i16)
-//! or SSE-like widths (16×u8 / 8×i16) for the width-ablation benchmark.
+//! * **Portable emulation** ([`VecU8`] / [`VecI16`]): fixed-width
+//!   lanewise vector types whose operations are straight-line element
+//!   loops that LLVM reliably auto-vectorizes at `opt-level=3`. Widths
+//!   are const-generic (AVX-512-like 64×u8 / 32×i16 down to SSE-like
+//!   16×u8 / 8×i16) for the width-ablation benchmark. Always available,
+//!   and the ground truth every native backend is validated against.
+//! * **Native `core::arch` backends**: genuine vector registers and
+//!   intrinsics — SSE2/SSE4.1 and AVX2 in [`x86`], NEON in [`neon`] —
+//!   the instructions the paper's kernels are written in. [`dispatch`]
+//!   picks the widest backend compiled into the binary *and* present on
+//!   the executing CPU, once per process.
 //!
 //! Masks are represented as vectors of the same element type holding
 //! all-zeros (false) or all-ones (true) per lane, exactly like the x86
@@ -24,11 +29,22 @@
 #![allow(clippy::should_implement_trait)]
 
 pub mod count;
+pub mod dispatch;
+pub mod lanes;
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
 pub mod prefetch;
 pub mod vec_i16;
 pub mod vec_u8;
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
 
-pub use count::{count_eq, count_eq_prefix};
+pub use count::{
+    count_eq, count_eq_portable, count_eq_prefix, count_eq_prefix_portable, counts4_in_prefix,
+    counts4_in_prefix_portable,
+};
+pub use dispatch::Backend;
+pub use lanes::{SimdI16, SimdU8, MAX_LANES};
 pub use prefetch::prefetch_read;
 pub use vec_i16::VecI16;
 pub use vec_u8::VecU8;

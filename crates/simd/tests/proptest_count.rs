@@ -1,0 +1,51 @@
+//! Property suite for the occurrence-count kernels: the dispatched
+//! entry points (which pick the widest native backend at runtime) must
+//! agree with the portable ground truth on arbitrary buckets, prefix
+//! lengths and haystacks.
+
+use proptest::prelude::*;
+
+use mem2_simd::{
+    count_eq, count_eq_portable, count_eq_prefix, count_eq_prefix_portable, counts4_in_prefix,
+    counts4_in_prefix_portable,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn count_eq_prefix_matches_portable(
+        bytes in prop::collection::vec(any::<u8>(), 32..33),
+        needle in any::<u8>(),
+        y in 0usize..33,
+    ) {
+        let bucket: [u8; 32] = bytes.as_slice().try_into().unwrap();
+        prop_assert_eq!(
+            count_eq_prefix(&bucket, needle, y),
+            count_eq_prefix_portable(&bucket, needle, y)
+        );
+    }
+
+    #[test]
+    fn counts4_matches_portable_on_base_codes(
+        codes in prop::collection::vec(0u8..4, 32..33),
+        y in 0usize..33,
+    ) {
+        let bucket: [u8; 32] = codes.as_slice().try_into().unwrap();
+        let got = counts4_in_prefix(&bucket, y);
+        prop_assert_eq!(got, counts4_in_prefix_portable(&bucket, y));
+        prop_assert_eq!(got.iter().sum::<u32>() as usize, y);
+        // counts4 is four count_eq_prefix calls fused
+        for c in 0..4u8 {
+            prop_assert_eq!(got[c as usize], count_eq_prefix(&bucket, c, y));
+        }
+    }
+
+    #[test]
+    fn count_eq_matches_portable_on_any_length(
+        hay in prop::collection::vec(any::<u8>(), 0..200),
+        needle in any::<u8>(),
+    ) {
+        prop_assert_eq!(count_eq(&hay, needle), count_eq_portable(&hay, needle));
+    }
+}

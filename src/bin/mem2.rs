@@ -7,6 +7,9 @@
 //!     -p                first reads file is interleaved paired-end
 //!     -I MEAN[,STD]     fixed insert-size distribution (skip estimation)
 //!     --classic         use the original per-read workflow
+//!     --simd MODE       SIMD backend: auto|scalar|portable|native
+//!                       (default auto; SAM bytes are identical across
+//!                       modes — only speed differs)
 //!     --batch-bases N   bases per streamed single-end batch (default 10M)
 //!     --batch-pairs N   pairs per paired-end batch / pestat window
 //!                       (default 32768)
@@ -27,6 +30,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use mem2::bsw::SimdChoice;
 use mem2::core::bundle;
 use mem2::pairing::{align_pairs_stream, orient_name, PeStats};
 use mem2::prelude::*;
@@ -34,6 +38,7 @@ use mem2::seqio::{
     gzip_compress_stored, write_fasta, write_fastq, BatchReader, InterleavedBatchReader,
     PairedBatchReader, SeqIoError,
 };
+use mem2::simd::{dispatch, Backend};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,8 +50,9 @@ fn main() -> ExitCode {
             eprintln!("usage: mem2 <index|mem|simulate> ...\n");
             eprintln!("  mem2 index <ref.fasta> <out.idx>");
             eprintln!(
-                "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--batch-bases N] \
-                 [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]"
+                "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] \
+                 [--batch-bases N] [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> \
+                 [R2.fastq[.gz]]"
             );
             eprintln!(
                 "  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz] [--pairs] \
@@ -166,6 +172,11 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                 batch_pairs_set = true;
             }
             "--classic" => workflow = Workflow::Classic,
+            "--simd" => {
+                let v = it.next().ok_or("--simd needs a value")?;
+                opts.simd = SimdChoice::parse(v)
+                    .ok_or_else(|| format!("--simd must be one of {}", SimdChoice::VALUES))?;
+            }
             _ => positional.push(a),
         }
     }
@@ -174,8 +185,9 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         [r, q1, q2] => (r, q1, Some(q2)),
         _ => {
             return Err(
-                "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--batch-bases N] \
-                 [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]"
+                "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] \
+                 [--batch-bases N] [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> \
+                 [R2.fastq[.gz]]"
                     .into(),
             )
         }
@@ -199,6 +211,26 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                 .into(),
         );
     }
+
+    // resolve the SIMD backend once per process: scalar/portable force
+    // the dispatched kernels (occ counts included) onto the emulated
+    // paths; auto/native use the widest compiled+detected backend
+    match opts.simd {
+        SimdChoice::Scalar | SimdChoice::Portable => dispatch::force(Some(Backend::Portable)),
+        SimdChoice::Auto | SimdChoice::Native => dispatch::force(None),
+    }
+    let bsw_desc = match opts.simd {
+        SimdChoice::Scalar => "scalar kernel".to_string(),
+        SimdChoice::Portable => format!(
+            "portable emulation ({} u8 lanes)",
+            Backend::Portable.u8_lanes()
+        ),
+        SimdChoice::Auto | SimdChoice::Native => {
+            let b = Backend::native();
+            format!("{} ({} u8 lanes)", b.name(), b.u8_lanes())
+        }
+    };
+    eprintln!("[mem] SIMD: --simd {} -> BSW {}", opts.simd, bsw_desc);
 
     let (reference, index) = if ref_path.ends_with(".idx") {
         let bytes = read_file(ref_path)?;

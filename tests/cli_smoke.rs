@@ -277,6 +277,57 @@ fn paired_end_roundtrip_is_proper_and_deterministic() {
 }
 
 #[test]
+fn simd_backend_matrix_is_byte_identical() {
+    let dir = TempDir::new("simd");
+    let prefix = dir.path("sm");
+    let fasta = format!("{prefix}.fasta");
+    let fastq = format!("{prefix}.fastq");
+    let idx = dir.path("sm.idx");
+
+    mem2_ok(&["simulate", "0.1", "120", "101", &prefix]);
+    mem2_ok(&["index", &fasta, &idx]);
+
+    // single-end: scalar / portable / native / auto must emit the same bytes
+    let base = mem2_ok(&["mem", "-t", "2", "--simd", "scalar", &idx, &fastq]);
+    for mode in ["portable", "native", "auto"] {
+        let got = mem2_ok(&["mem", "-t", "2", "--simd", mode, &idx, &fastq]);
+        assert_eq!(
+            base.stdout, got.stdout,
+            "--simd {mode} changed the SE SAM bytes"
+        );
+        let stderr = String::from_utf8_lossy(&got.stderr);
+        assert!(
+            stderr.contains("SIMD") && stderr.contains(mode),
+            "stderr reports the requested mode: {stderr}"
+        );
+    }
+
+    // paired-end through the full PE stack (pestat, rescue, pairing)
+    let pe = dir.path("pe");
+    mem2_ok(&["simulate", "0.15", "200", "101", &pe, "--pairs"]);
+    let pe_idx = dir.path("pe.idx");
+    mem2_ok(&["index", &format!("{pe}.fasta"), &pe_idx]);
+    let r1 = format!("{pe}_R1.fastq");
+    let r2 = format!("{pe}_R2.fastq");
+    let pe_base = mem2_ok(&["mem", "-t", "2", "--simd", "scalar", &pe_idx, &r1, &r2]);
+    for mode in ["portable", "native"] {
+        let got = mem2_ok(&["mem", "-t", "2", "--simd", mode, &pe_idx, &r1, &r2]);
+        assert_eq!(
+            pe_base.stdout, got.stdout,
+            "--simd {mode} changed the PE SAM bytes"
+        );
+    }
+
+    // a bad mode is rejected with the accepted values
+    let out = mem2(&["mem", "--simd", "avx512", &idx, &fastq]);
+    assert!(!out.status.success(), "unknown --simd mode must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("auto|scalar|portable|native"),
+        "error lists accepted modes"
+    );
+}
+
+#[test]
 fn paired_end_input_errors_are_reported() {
     let dir = TempDir::new("pe-err");
     let prefix = dir.path("pe");
