@@ -6,12 +6,21 @@
 //! set through the scalar kernel, the portable lane emulation, and the
 //! detected native backend (`bsw_scalar`/`bsw_portable`/`bsw_native`),
 //! plus the occurrence-bucket count kernel both ways
-//! (`occ_portable`/`occ_native`). Writes a machine-readable JSON
-//! artifact:
+//! (`occ_portable`/`occ_native`), plus the latency-hiding seeding
+//! ablation: `smem_per_read` (one read at a time, prefetch inside its
+//! own dependency chain) vs `smem_interleaved` (the round-robin
+//! scheduler, prefetch one rotation ahead), and `sal_batched` (the
+//! sliding-prefetch-window suffix-array drain) vs plain `sal`.
+//!
+//! Every capture row carries the host CPU model and its detected SIMD
+//! feature flags, so the trend tooling can group runs by machine
+//! instead of comparing across heterogeneous CI runners. Writes a
+//! machine-readable JSON artifact:
 //!
 //! ```json
 //! [
-//!   {"commit": "<sha>", "bench": "smem", "median_ns": 123456,
+//!   {"commit": "<sha>", "cpu": "<model>", "simd": "sse2,avx2",
+//!    "bench": "smem", "median_ns": 123456,
 //!    "throughput": 7890.1, "throughput_unit": "queries/s"},
 //!   ...
 //! ]
@@ -28,11 +37,12 @@
 
 use std::time::Instant;
 
+use mem2_bench::sysinfo::SysInfo;
 use mem2_bench::{
     intercept_bsw_jobs, intercept_sal_rows, intercept_smem_queries, BenchEnv, EnvConfig,
 };
 use mem2_core::{Aligner, Workflow};
-use mem2_fmindex::{collect_intv, SmemAux};
+use mem2_fmindex::{collect_intv, SmemAux, SmemScheduler, DEFAULT_SEED_BATCH, SAL_PREFETCH_DIST};
 use mem2_memsim::NoopSink;
 
 struct Capture {
@@ -78,9 +88,23 @@ fn main() {
         .unwrap_or_else(|| "unknown".into());
     let (samples, n_reads) = if quick { (5, 400) } else { (15, 2_000) };
 
-    eprintln!("[bench_capture] building fixtures ({n_reads} reads)...");
+    // host identity: CI runners are heterogeneous, so every row carries
+    // the CPU model + detected feature flags for trend grouping
+    let sys = SysInfo::probe();
+    eprintln!(
+        "[bench_capture] cpu: {} ({} logical, flags: {})",
+        sys.model, sys.logical_cpus, sys.simd
+    );
+
+    // fixed 1 Mbp default so CI numbers stay comparable; MEM2_GENOME_MB
+    // overrides for local experiments at other cache-pressure points
+    let genome_mb = std::env::var("MEM2_GENOME_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    eprintln!("[bench_capture] building fixtures ({genome_mb} Mbp genome, {n_reads} reads)...");
     let env = BenchEnv::build(EnvConfig {
-        genome_mb: 1.0,
+        genome_mb,
         read_scale: 2000,
     });
     let reads = env.reads_n("D2", n_reads);
@@ -121,7 +145,91 @@ fn main() {
         unit: "queries/s",
     });
 
-    // SAL: flat suffix-array lookup
+    // Latency-hiding seeding ablation. The headline fixture's tables sit
+    // low in the cache hierarchy, where there is little latency to hide,
+    // so these four benches run on a dedicated ≥8 Mbp fixture (32 MB occ
+    // table, 64 MB flat SA) that pressures L2/LLC like a real genome:
+    // * `smem_per_read`     — `collect_intv`, prefetch inside one read's
+    //                          serially-dependent chain (the old path)
+    // * `smem_interleaved`  — the round-robin scheduler, prefetch issued
+    //                          one rotation of independent queries ahead
+    // * `sal_per_row`       — one dependent flat-SA load per row
+    // * `sal_batched`       — same rows through the sliding prefetch window
+    let seed_env = BenchEnv::build(EnvConfig {
+        genome_mb: genome_mb.max(8.0),
+        read_scale: 2000,
+    });
+    let seed_reads = seed_env.reads_n("D2", n_reads);
+    let seed_queries = intercept_smem_queries(&seed_reads);
+    let seed_rows = intercept_sal_rows(&seed_env.index, &seed_env.opts, &seed_queries);
+    let query_refs: Vec<&[u8]> = seed_queries.iter().map(|q| q.as_slice()).collect();
+    let ns = median_ns(samples, || {
+        for q in &seed_queries {
+            collect_intv(
+                seed_env.index.opt(),
+                &seed_env.opts.smem,
+                q,
+                &mut intervals,
+                &mut aux,
+                true,
+                &mut sink,
+            );
+            std::hint::black_box(&intervals);
+        }
+    });
+    captures.push(Capture {
+        bench: "smem_per_read",
+        median_ns: ns,
+        throughput: per_sec(seed_queries.len(), ns),
+        unit: "queries/s",
+    });
+    let mut sched = SmemScheduler::new();
+    let ns = median_ns(samples, || {
+        sched.seed_slab(
+            seed_env.index.opt(),
+            &seed_env.opts.smem,
+            &query_refs,
+            DEFAULT_SEED_BATCH,
+            true,
+            &mut sink,
+            |_, out| {
+                std::hint::black_box(&out);
+            },
+        );
+    });
+    captures.push(Capture {
+        bench: "smem_interleaved",
+        median_ns: ns,
+        throughput: per_sec(seed_queries.len(), ns),
+        unit: "queries/s",
+    });
+    let seed_flat = seed_env.index.sa_flat.as_ref().expect("flat SA built");
+    let mut rbegs: Vec<i64> = Vec::new();
+    let ns = median_ns(samples, || {
+        rbegs.clear();
+        for &r in &seed_rows {
+            rbegs.push(seed_flat.lookup(r, &mut sink));
+        }
+        std::hint::black_box(&rbegs);
+    });
+    captures.push(Capture {
+        bench: "sal_per_row",
+        median_ns: ns,
+        throughput: per_sec(seed_rows.len(), ns),
+        unit: "lookups/s",
+    });
+    let ns = median_ns(samples, || {
+        seed_flat.lookup_batch(&seed_rows, &mut rbegs, SAL_PREFETCH_DIST, &mut sink);
+        std::hint::black_box(&rbegs);
+    });
+    captures.push(Capture {
+        bench: "sal_batched",
+        median_ns: ns,
+        throughput: per_sec(seed_rows.len(), ns),
+        unit: "lookups/s",
+    });
+
+    // SAL: flat suffix-array lookup (legacy headline, small fixture)
     let flat = env.index.sa_flat.as_ref().expect("flat SA built");
     let ns = median_ns(samples, || {
         let mut acc = 0i64;
@@ -222,7 +330,7 @@ fn main() {
         unit: "reads/s",
     });
 
-    let json = render_json(&commit, &captures);
+    let json = render_json(&commit, &sys, &captures);
     for c in &captures {
         eprintln!(
             "[bench_capture] {:<12} median {:>12} ns   {:>12.1} {}",
@@ -245,15 +353,30 @@ fn per_sec(items: usize, ns: u128) -> f64 {
     items as f64 / (ns as f64 / 1e9)
 }
 
+/// Escape a string for a JSON value (CPU model strings can contain
+/// anything /proc reports).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 /// Hand-rolled JSON (no serde_json in the offline shim set): an array of
-/// flat objects, schema `{commit, bench, median_ns, throughput,
-/// throughput_unit}`.
-fn render_json(commit: &str, captures: &[Capture]) -> String {
+/// flat objects, schema `{commit, cpu, simd, bench, median_ns,
+/// throughput, throughput_unit}`.
+fn render_json(commit: &str, sys: &SysInfo, captures: &[Capture]) -> String {
     let mut s = String::from("[\n");
     for (i, c) in captures.iter().enumerate() {
         s.push_str(&format!(
-            "  {{\"commit\": \"{}\", \"bench\": \"{}\", \"median_ns\": {}, \"throughput\": {:.1}, \"throughput_unit\": \"{}\"}}{}\n",
+            "  {{\"commit\": \"{}\", \"cpu\": \"{}\", \"simd\": \"{}\", \"bench\": \"{}\", \"median_ns\": {}, \"throughput\": {:.1}, \"throughput_unit\": \"{}\"}}{}\n",
             commit,
+            json_escape(&sys.model),
+            json_escape(&sys.simd),
             c.bench,
             c.median_ns,
             c.throughput,

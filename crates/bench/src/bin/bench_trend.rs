@@ -14,9 +14,16 @@
 //! threshold (default 10%) is flagged `⚠`; with `--check` any flag makes
 //! the exit code 1, so CI can gate on it.
 //!
+//! Rows are **grouped by CPU model** (the `cpu` field `bench_capture`
+//! records; captures predating it group under `unknown`): CI runners
+//! are heterogeneous, and a commit landing on a slower stepping than its
+//! predecessor is not a regression. Comparisons — and the `--check`
+//! gate — only happen between consecutive captures on the same model.
+//!
 //! The JSON parser below handles exactly the flat schema `bench_capture`
-//! writes (`{commit, bench, median_ns, throughput, throughput_unit}`) —
-//! the offline shim set has no serde_json, and the format is ours.
+//! writes (`{commit, cpu, simd, bench, median_ns, throughput,
+//! throughput_unit}`) — the offline shim set has no serde_json, and the
+//! format is ours.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -25,6 +32,7 @@ use std::process::ExitCode;
 #[derive(Debug, Clone)]
 struct Row {
     commit: String,
+    cpu: String,
     bench: String,
     median_ns: u128,
     throughput: f64,
@@ -61,6 +69,8 @@ fn parse_captures(text: &str, origin: &Path) -> Result<Vec<Row>, String> {
             .map_err(|e| format!("{}: bad throughput: {e}", origin.display()))?;
         rows.push(Row {
             commit: get("commit")?,
+            // captures from before the cpu field group under "unknown"
+            cpu: get("cpu").unwrap_or_else(|_| "unknown".into()),
             bench: get("bench")?,
             median_ns: median,
             throughput,
@@ -108,19 +118,49 @@ fn short(commit: &str) -> &str {
     &commit[..commit.len().min(9)]
 }
 
-/// Render the trend table; returns (markdown, regression count).
+/// Render the trend for snapshots grouped by CPU model; returns
+/// (markdown, regression count). Consecutive-commit comparisons only
+/// happen within a group, so runner heterogeneity never flags.
 fn render(snapshots: &[Vec<Row>], threshold_pct: f64) -> (String, usize) {
-    let benches: BTreeSet<String> = snapshots
-        .iter()
-        .flatten()
-        .map(|r| r.bench.clone())
-        .collect();
+    // group in first-seen order, preserving chronology within a group
+    let mut groups: Vec<(String, Vec<&Vec<Row>>)> = Vec::new();
+    for snap in snapshots {
+        let cpu = snap
+            .first()
+            .map(|r| r.cpu.clone())
+            .unwrap_or_else(|| "unknown".into());
+        match groups.iter_mut().find(|(c, _)| *c == cpu) {
+            Some((_, v)) => v.push(snap),
+            None => groups.push((cpu, vec![snap])),
+        }
+    }
     let mut md = String::new();
     md.push_str(&format!(
-        "# Bench trend ({} commit(s), regression threshold {:.0}%)\n\n",
+        "# Bench trend ({} commit(s), {} CPU model(s), regression threshold {:.0}%)\n\n",
         snapshots.len(),
+        groups.len(),
         threshold_pct
     ));
+    let mut regressions = 0usize;
+    for (cpu, snaps) in &groups {
+        md.push_str(&format!("## {cpu}\n\n"));
+        regressions += render_group(&mut md, snaps, threshold_pct);
+    }
+    if regressions > 0 {
+        md.push_str(&format!(
+            "\n**{regressions} regression(s) above {threshold_pct:.0}% flagged.**\n"
+        ));
+    }
+    (md, regressions)
+}
+
+/// Render one CPU group's table; returns its regression count.
+fn render_group(md: &mut String, snapshots: &[&Vec<Row>], threshold_pct: f64) -> usize {
+    let benches: BTreeSet<String> = snapshots
+        .iter()
+        .flat_map(|s| s.iter())
+        .map(|r| r.bench.clone())
+        .collect();
     md.push_str("| commit |");
     for b in &benches {
         md.push_str(&format!(" {b} |"));
@@ -131,7 +171,7 @@ fn render(snapshots: &[Vec<Row>], threshold_pct: f64) -> (String, usize) {
 
     let mut regressions = 0usize;
     let mut prev: Option<&Vec<Row>> = None;
-    for snap in snapshots {
+    for &snap in snapshots {
         let commit = snap.first().map(|r| short(&r.commit)).unwrap_or("?");
         md.push_str(&format!("| `{commit}` |"));
         for b in &benches {
@@ -161,12 +201,8 @@ fn render(snapshots: &[Vec<Row>], threshold_pct: f64) -> (String, usize) {
         md.push('\n');
         prev = Some(snap);
     }
-    if regressions > 0 {
-        md.push_str(&format!(
-            "\n**{regressions} regression(s) above {threshold_pct:.0}% flagged.**\n"
-        ));
-    }
-    (md, regressions)
+    md.push('\n');
+    regressions
 }
 
 fn format_ns(ns: u128) -> String {
@@ -283,6 +319,50 @@ mod tests {
         // a generous threshold clears the flag
         let (_, none) = render(&[a, b], 25.0);
         assert_eq!(none, 0);
+    }
+
+    const SAMPLE_C: &str = r#"[
+  {"commit": "cccccccccccc", "cpu": "Xeon 8280", "simd": "sse2,avx2,avx512f", "bench": "smem", "median_ns": 1000000, "throughput": 5000.0, "throughput_unit": "queries/s"}
+]
+"#;
+    const SAMPLE_D: &str = r#"[
+  {"commit": "dddddddddddd", "cpu": "EPYC 7742", "simd": "sse2,avx2", "bench": "smem", "median_ns": 2000000, "throughput": 2500.0, "throughput_unit": "queries/s"}
+]
+"#;
+    const SAMPLE_E: &str = r#"[
+  {"commit": "eeeeeeeeeeee", "cpu": "Xeon 8280", "simd": "sse2,avx2,avx512f", "bench": "smem", "median_ns": 1010000, "throughput": 4950.0, "throughput_unit": "queries/s"}
+]
+"#;
+
+    #[test]
+    fn different_cpu_models_never_cross_compare() {
+        let a = parse_captures(SAMPLE_C, Path::new("c")).unwrap();
+        let b = parse_captures(SAMPLE_D, Path::new("d")).unwrap();
+        let c = parse_captures(SAMPLE_E, Path::new("e")).unwrap();
+        assert_eq!(a[0].cpu, "Xeon 8280");
+        // Xeon 1.0ms → EPYC 2.0ms → Xeon 1.01ms: the +100% jump is
+        // runner heterogeneity, not a regression; within-Xeon +1% is
+        // under threshold
+        let (md, regressions) = render(&[a.clone(), b.clone(), c], 10.0);
+        assert_eq!(regressions, 0, "{md}");
+        assert!(
+            md.contains("## Xeon 8280") && md.contains("## EPYC 7742"),
+            "{md}"
+        );
+        assert!(md.contains("2 CPU model(s)"), "{md}");
+        // a real within-model regression still flags
+        let slow_xeon =
+            parse_captures(&SAMPLE_E.replace("1010000", "1500000"), Path::new("e2")).unwrap();
+        let (md, regressions) = render(&[a, b, slow_xeon], 10.0);
+        assert_eq!(regressions, 1, "{md}");
+    }
+
+    #[test]
+    fn captures_without_cpu_group_under_unknown() {
+        let a = parse_captures(SAMPLE_A, Path::new("a")).unwrap();
+        assert_eq!(a[0].cpu, "unknown");
+        let (md, _) = render(&[a], 10.0);
+        assert!(md.contains("## unknown"), "{md}");
     }
 
     #[test]

@@ -12,4 +12,6 @@ pub mod seed;
 
 pub use builder::{chain_seeds, Chain, ChainOpts};
 pub use filter::{filter_chains, KEPT_PRIMARY, KEPT_SHADOWED_FIRST, KEPT_WITH_OVERLAP};
-pub use seed::{frac_rep, interval_rid, seeds_from_interval, SaMode, Seed};
+pub use seed::{
+    frac_rep, interval_occ_rows, interval_rid, seeds_from_interval, SaMode, SalBatch, Seed,
+};

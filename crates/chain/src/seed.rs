@@ -1,6 +1,6 @@
 //! Seeds: SMEM occurrences materialized through the suffix array.
 
-use mem2_fmindex::{BiInterval, FmIndex};
+use mem2_fmindex::{BiInterval, FlatSa, FmIndex};
 use mem2_memsim::PerfSink;
 use mem2_seqio::ContigSet;
 
@@ -61,6 +61,19 @@ pub enum SaMode {
     SampledOpt,
 }
 
+/// The suffix-array rows an interval's seeds resolve through, in bwa's
+/// strided order (`step = s / max_occ` when over-occurring, capped at
+/// `max_occ` rows). Shared by the per-row and batched SAL paths so both
+/// materialize the identical seed sequence.
+pub fn interval_occ_rows(iv: &BiInterval, max_occ: i64) -> impl Iterator<Item = i64> {
+    let step = if iv.s > max_occ { iv.s / max_occ } else { 1 };
+    let (k0, s) = (iv.k, iv.s);
+    (0i64..max_occ.max(0))
+        .map(move |c| c * step)
+        .take_while(move |&k| k < s)
+        .map(move |k| k0 + k)
+}
+
 /// Expand one SMEM interval into seeds: up to `max_occ` occurrences,
 /// strided like bwa (`step = s / max_occ` when over-occurring), each
 /// located via a suffix-array lookup (the SAL kernel) and tagged with its
@@ -75,11 +88,7 @@ pub fn seeds_from_interval<P: PerfSink>(
     sink: &mut P,
 ) {
     let slen = iv.len() as i32;
-    let step = if iv.s > max_occ { iv.s / max_occ } else { 1 };
-    let mut count = 0i64;
-    let mut k = 0i64;
-    while k < iv.s && count < max_occ {
-        let row = iv.k + k;
+    for row in interval_occ_rows(iv, max_occ) {
         let rbeg = match mode {
             SaMode::Flat => index
                 .sa_flat
@@ -106,8 +115,83 @@ pub fn seeds_from_interval<P: PerfSink>(
         if let Some(rid) = interval_rid(contigs, index.l_pac, rbeg, rbeg + slen as i64) {
             out.push((seed, rid));
         }
-        k += step;
-        count += 1;
+    }
+}
+
+/// Batched SAL over a slab of reads (§4.3 applied to the lookup kernel):
+/// instead of issuing each read's suffix-array loads one dependent
+/// lookup at a time, every `(interval, row)` of the slab is gathered
+/// first, drained through [`FlatSa::lookup_batch`]'s sliding prefetch
+/// window, and only then materialized into seeds — so each demand load
+/// has a window of independent loads covering its latency.
+///
+/// Protocol per slab: [`begin`](SalBatch::begin), then
+/// [`gather`](SalBatch::gather) once per read (slab order), one
+/// [`resolve`](SalBatch::resolve), then
+/// [`seeds_for_read`](SalBatch::seeds_for_read) once per read in the
+/// same order. Output is identical to per-row
+/// [`seeds_from_interval`] with [`SaMode::Flat`].
+#[derive(Debug, Default)]
+pub struct SalBatch {
+    rows: Vec<i64>,
+    rbegs: Vec<i64>,
+    cursor: usize,
+}
+
+impl SalBatch {
+    /// Fresh batch (buffers grow to the largest slab and are reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new slab: forget previous rows and results.
+    pub fn begin(&mut self) {
+        self.rows.clear();
+        self.rbegs.clear();
+        self.cursor = 0;
+    }
+
+    /// Append one read's suffix-array rows (its interval list, in order).
+    pub fn gather(&mut self, intervals: &[BiInterval], max_occ: i64) {
+        for iv in intervals {
+            self.rows.extend(interval_occ_rows(iv, max_occ));
+        }
+    }
+
+    /// Resolve every gathered row through the flat suffix array with a
+    /// sliding software-prefetch window of `dist` lookups.
+    pub fn resolve<P: PerfSink>(&mut self, flat: &FlatSa, dist: usize, sink: &mut P) {
+        flat.lookup_batch(&self.rows, &mut self.rbegs, dist, sink);
+        self.cursor = 0;
+    }
+
+    /// Materialize one read's seeds from the resolved lookups — same
+    /// values and order as the per-row path. Reads must be consumed in
+    /// gather order.
+    pub fn seeds_for_read(
+        &mut self,
+        l_pac: i64,
+        contigs: &ContigSet,
+        intervals: &[BiInterval],
+        max_occ: i64,
+        out: &mut Vec<(Seed, usize)>,
+    ) {
+        for iv in intervals {
+            let slen = iv.len() as i32;
+            for _ in interval_occ_rows(iv, max_occ) {
+                let rbeg = self.rbegs[self.cursor];
+                self.cursor += 1;
+                let seed = Seed {
+                    rbeg,
+                    qbeg: iv.start() as i32,
+                    len: slen,
+                    score: slen,
+                };
+                if let Some(rid) = interval_rid(contigs, l_pac, rbeg, rbeg + slen as i64) {
+                    out.push((seed, rid));
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,108 @@
+//! Property test pinning the batched-SAL invariant: gathering a slab's
+//! `(interval, row)` lookups, draining them through the sliding
+//! software-prefetch window, and materializing afterwards produces the
+//! **identical** seed list (values and order) as the per-row
+//! `seeds_from_interval` path — for real interval lists produced by the
+//! seeding kernel, every slab partition, and every prefetch distance.
+
+use proptest::prelude::*;
+
+use mem2_chain::{seeds_from_interval, SaMode, SalBatch, Seed};
+use mem2_fmindex::{collect_intv, BiInterval, BuildOpts, FmIndex, SmemAux, SmemOpts};
+use mem2_memsim::NoopSink;
+use mem2_seqio::Reference;
+
+fn intervals_for(idx: &FmIndex, reads: &[Vec<u8>]) -> Vec<Vec<BiInterval>> {
+    let opts = SmemOpts {
+        min_seed_len: 8, // short seeds so small references still yield work
+        ..SmemOpts::default()
+    };
+    let mut aux = SmemAux::default();
+    let mut sink = NoopSink;
+    reads
+        .iter()
+        .map(|q| {
+            let mut out = Vec::new();
+            collect_intv(idx.opt(), &opts, q, &mut out, &mut aux, false, &mut sink);
+            out
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_sal_matches_per_row_path(
+        text in prop::collection::vec(0u8..4, 40..400),
+        starts in prop::collection::vec((0usize..1000, 10usize..50), 1..8),
+        max_occ in 1i64..40,
+        dist in 1usize..40,
+    ) {
+        let reference = Reference::from_codes("p", &text);
+        let idx = FmIndex::build(&reference, &BuildOpts::default());
+        let reads: Vec<Vec<u8>> = starts
+            .iter()
+            .map(|&(s, l)| {
+                let s = s % text.len();
+                text.iter().cycle().skip(s).take(l).copied().collect()
+            })
+            .collect();
+        let per_read_intervals = intervals_for(&idx, &reads);
+        let mut sink = NoopSink;
+
+        // per-row reference path
+        let expected: Vec<Vec<(Seed, usize)>> = per_read_intervals
+            .iter()
+            .map(|ivs| {
+                let mut seeds = Vec::new();
+                for iv in ivs {
+                    seeds_from_interval(
+                        &idx,
+                        &reference.contigs,
+                        iv,
+                        max_occ,
+                        SaMode::Flat,
+                        &mut seeds,
+                        &mut sink,
+                    );
+                }
+                seeds
+            })
+            .collect();
+
+        // batched path: one slab over all reads
+        let flat = idx.sa_flat.as_ref().expect("flat SA");
+        let mut batch = SalBatch::new();
+        batch.begin();
+        for ivs in &per_read_intervals {
+            batch.gather(ivs, max_occ);
+        }
+        batch.resolve(flat, dist, &mut sink);
+        let got: Vec<Vec<(Seed, usize)>> = per_read_intervals
+            .iter()
+            .map(|ivs| {
+                let mut seeds = Vec::new();
+                batch.seeds_for_read(idx.l_pac, &reference.contigs, ivs, max_occ, &mut seeds);
+                seeds
+            })
+            .collect();
+        prop_assert_eq!(&got, &expected);
+
+        // reusing the same SalBatch for a second slab is clean
+        batch.begin();
+        for ivs in &per_read_intervals {
+            batch.gather(ivs, max_occ);
+        }
+        batch.resolve(flat, dist, &mut sink);
+        let again: Vec<Vec<(Seed, usize)>> = per_read_intervals
+            .iter()
+            .map(|ivs| {
+                let mut seeds = Vec::new();
+                batch.seeds_for_read(idx.l_pac, &reference.contigs, ivs, max_occ, &mut seeds);
+                seeds
+            })
+            .collect();
+        prop_assert_eq!(&again, &expected);
+    }
+}

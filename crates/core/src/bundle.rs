@@ -1,32 +1,45 @@
 //! Index persistence: a compact binary bundle holding the packed
-//! reference, contig table and suffix array. Loading rebuilds the
-//! occurrence tables in linear time (no suffix sorting), the same way
-//! `bwa-mem2 mem` reads its `.bwt.2bit.64` files rather than re-indexing.
+//! reference, contig table, suffix array and — since v3 — the CP-OCC
+//! occurrence blocks, the same way `bwa-mem2 mem` reads its
+//! `.bwt.2bit.64` files rather than re-indexing.
 //!
 //! Format (little-endian):
 //! ```text
-//! magic "MEM2IDX" + version byte (2 = u32 flat SA) | u64 l_pac | u32 n_contigs
+//! magic "MEM2IDX" + version byte (2 = u32 flat SA, 3 = + CP-OCC blocks)
+//! u64 l_pac | u32 n_contigs
 //! per contig: u32 name_len, name bytes, u64 offset, u64 len
 //! u32 n_holes | per hole: u64 offset, u64 len
 //! u64 pac_byte_len | pac bytes
 //! u64 sa_len | sa entries as u32
+//! v3 only — the optimized occurrence table (η=32 checkpoint blocks):
+//! BwtMeta: counts[4] u64, c_before[5] u64, u64 sentinel_row, u64 n_stored
+//! u64 n_blocks | per block: counts[4] u32, 32 BWT bases (48 bytes)
 //! ```
 //!
-//! Version 2 stores suffix-array entries as `u32`, which addresses
-//! doubled reference texts up to `u32::MAX` positions (~2 Gbp of
-//! reference). Larger references are rejected at save time with
-//! [`BundleError::TooLarge`] instead of silently truncating; a future
-//! version byte (3) is reserved for a u64 entry layout.
+//! Version 3 persists the CP-OCC blocks, so `mem2 mem`'s default
+//! (batched) profile assembles its index with one sequential read —
+//! no doubled-text reconstruction, no `bwt_from_sa` pass, no occurrence
+//! rebuild. Version 2 bundles still load through the legacy rebuild
+//! path, and profiles that need unpersisted components (the classic
+//! workflow's η=128 table) rebuild from the suffix array as before.
+//!
+//! Suffix-array entries are `u32`, which addresses doubled reference
+//! texts up to `u32::MAX` positions (~2 Gbp of reference). Larger
+//! references are rejected at save time with [`BundleError::TooLarge`]
+//! instead of silently truncating; a u64 entry layout remains reserved
+//! for a future version.
 
 use bytes::{Buf, BufMut};
 
-use mem2_fmindex::{BuildOpts, FmIndex};
+use mem2_fmindex::{BuildOpts, BwtMeta, CpBlock, FmIndex, OccOpt, OccTable};
 use mem2_seqio::refseq::{AmbHole, ContigAnn, ContigSet};
 use mem2_seqio::{PackedSeq, Reference};
 
 const MAGIC_PREFIX: &[u8; 7] = b"MEM2IDX";
-/// Current format version: u32 flat-SA layout.
-pub const BUNDLE_VERSION: u8 = 2;
+/// Current format version: u32 flat-SA layout + persisted CP-OCC blocks.
+pub const BUNDLE_VERSION: u8 = 3;
+/// Oldest version this build still reads (via the rebuild path).
+pub const BUNDLE_VERSION_MIN: u8 = 2;
 
 /// Errors raised while encoding or decoding a bundle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,8 +63,8 @@ impl std::fmt::Display for BundleError {
             BundleError::BadMagic => write!(f, "not a mem2 index bundle (bad magic)"),
             BundleError::UnsupportedVersion(v) => write!(
                 f,
-                "unsupported bundle version {v} (this build reads version {BUNDLE_VERSION}); \
-                 re-run `mem2 index`"
+                "unsupported bundle version {v} (this build reads versions \
+                 {BUNDLE_VERSION_MIN}-{BUNDLE_VERSION}); re-run `mem2 index`"
             ),
             BundleError::TooLarge(n) => write!(
                 f,
@@ -73,17 +86,8 @@ pub fn flat_sa_fits(l_pac: usize) -> bool {
     2 * l_pac < u32::MAX as usize
 }
 
-/// Serialize a reference plus the suffix array of its doubled text.
-/// Fails with [`BundleError::TooLarge`] when positions would not fit u32.
-pub fn save_bundle(reference: &Reference, sa: &[u32]) -> Result<Vec<u8>, BundleError> {
-    if !flat_sa_fits(reference.len()) {
-        return Err(BundleError::TooLarge(2 * reference.len() + 1));
-    }
-    let mut out = Vec::with_capacity(
-        8 + 64 * reference.contigs.contigs.len() + reference.pac.raw().len() + 4 * sa.len(),
-    );
-    out.put_slice(MAGIC_PREFIX);
-    out.put_slice(&[BUNDLE_VERSION]);
+/// Write the v2 body: reference, contigs, holes, pac, suffix array.
+fn encode_core(reference: &Reference, sa: &[u32], out: &mut Vec<u8>) {
     out.put_u64_le(reference.len() as u64);
     out.put_u32_le(reference.contigs.contigs.len() as u32);
     for c in &reference.contigs.contigs {
@@ -103,27 +107,98 @@ pub fn save_bundle(reference: &Reference, sa: &[u32]) -> Result<Vec<u8>, BundleE
     for &v in sa {
         out.put_u32_le(v);
     }
+}
+
+/// Serialize a reference, the suffix array of its doubled text, and the
+/// optimized occurrence table (current v3 layout). Fails with
+/// [`BundleError::TooLarge`] when positions would not fit u32.
+pub fn save_bundle(
+    reference: &Reference,
+    sa: &[u32],
+    occ: &OccOpt,
+) -> Result<Vec<u8>, BundleError> {
+    if !flat_sa_fits(reference.len()) {
+        return Err(BundleError::TooLarge(2 * reference.len() + 1));
+    }
+    let mut out = Vec::with_capacity(
+        8 + 64 * reference.contigs.contigs.len()
+            + reference.pac.raw().len()
+            + 4 * sa.len()
+            + 96
+            + 48 * occ.blocks().len(),
+    );
+    out.put_slice(MAGIC_PREFIX);
+    out.put_slice(&[BUNDLE_VERSION]);
+    encode_core(reference, sa, &mut out);
+    let meta = occ.meta();
+    for &c in &meta.counts {
+        out.put_u64_le(c as u64);
+    }
+    for &c in &meta.c_before {
+        out.put_u64_le(c as u64);
+    }
+    out.put_u64_le(meta.sentinel_row as u64);
+    out.put_u64_le(meta.n_stored as u64);
+    out.put_u64_le(occ.blocks().len() as u64);
+    for b in occ.blocks() {
+        for &c in &b.counts {
+            out.put_u32_le(c);
+        }
+        out.put_slice(&b.bases);
+    }
     Ok(out)
 }
 
-/// Build the bundle for a reference, computing the suffix array. Checks
-/// the size limit *before* the expensive suffix sort.
+/// Serialize the retired v2 layout (no occurrence section). Kept so
+/// tests can exercise the backward-compatible load path; `mem2 index`
+/// always writes the current version.
+pub fn save_bundle_v2(reference: &Reference, sa: &[u32]) -> Result<Vec<u8>, BundleError> {
+    if !flat_sa_fits(reference.len()) {
+        return Err(BundleError::TooLarge(2 * reference.len() + 1));
+    }
+    let mut out = Vec::with_capacity(
+        8 + 64 * reference.contigs.contigs.len() + reference.pac.raw().len() + 4 * sa.len(),
+    );
+    out.put_slice(MAGIC_PREFIX);
+    out.put_slice(&[2u8]);
+    encode_core(reference, sa, &mut out);
+    Ok(out)
+}
+
+/// Build the bundle for a reference, computing the suffix array and the
+/// CP-OCC blocks. Checks the size limit *before* the expensive suffix
+/// sort.
 pub fn build_bundle(reference: &Reference) -> Result<Vec<u8>, BundleError> {
     if !flat_sa_fits(reference.len()) {
         return Err(BundleError::TooLarge(2 * reference.len() + 1));
     }
     let s = FmIndex::doubled_text(reference);
     let sa = mem2_suffix::suffix_array(&s);
-    save_bundle(reference, &sa)
+    let bwt = mem2_suffix::bwt_from_sa(&s, &sa);
+    let occ = OccOpt::build(&bwt);
+    save_bundle(reference, &sa, &occ)
 }
 
-/// Decode a bundle back into the reference and suffix array.
-pub fn load_bundle(mut buf: &[u8]) -> Result<(Reference, Vec<u32>), BundleError> {
+/// A decoded bundle: the reference, the doubled text's suffix array,
+/// and (v3) the persisted optimized occurrence table.
+#[derive(Debug)]
+pub struct LoadedBundle {
+    /// Packed reference plus contig annotations.
+    pub reference: Reference,
+    /// Suffix array of the doubled text.
+    pub sa: Vec<u32>,
+    /// CP-OCC table, present when the bundle carries the v3 section.
+    pub occ: Option<OccOpt>,
+}
+
+/// Decode a bundle (current or any still-supported older version).
+pub fn load_bundle(mut buf: &[u8]) -> Result<LoadedBundle, BundleError> {
     if buf.len() < 8 || &buf[..7] != MAGIC_PREFIX {
         return Err(BundleError::BadMagic);
     }
-    if buf[7] != BUNDLE_VERSION {
-        return Err(BundleError::UnsupportedVersion(buf[7]));
+    let version = buf[7];
+    if !(BUNDLE_VERSION_MIN..=BUNDLE_VERSION).contains(&version) {
+        return Err(BundleError::UnsupportedVersion(version));
     }
     buf.advance(8);
     let need = |buf: &[u8], n: usize, what: &'static str| {
@@ -176,17 +251,66 @@ pub fn load_bundle(mut buf: &[u8]) -> Result<(Reference, Vec<u32>), BundleError>
     for _ in 0..sa_len {
         sa.push(buf.get_u32_le());
     }
+    let occ = if version >= 3 {
+        need(buf, 96, "occ meta")?;
+        let mut counts = [0i64; 4];
+        for c in counts.iter_mut() {
+            *c = buf.get_u64_le() as i64;
+        }
+        let mut c_before = [0i64; 5];
+        for c in c_before.iter_mut() {
+            *c = buf.get_u64_le() as i64;
+        }
+        let sentinel_row = buf.get_u64_le() as i64;
+        let n_stored = buf.get_u64_le() as i64;
+        let meta = BwtMeta {
+            counts,
+            c_before,
+            sentinel_row,
+            n_stored,
+        };
+        if n_stored != 2 * l_pac as i64 || c_before[4] != n_stored + 1 {
+            return Err(BundleError::Truncated("occ meta inconsistent with l_pac"));
+        }
+        let n_blocks = buf.get_u64_le() as usize;
+        if n_blocks as i64 != n_stored / OccOpt::rows_per_block() as i64 + 1 {
+            return Err(BundleError::Truncated("occ block count inconsistent"));
+        }
+        need(buf, 48 * n_blocks, "occ blocks")?;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let mut block_counts = [0u32; 4];
+            for c in block_counts.iter_mut() {
+                *c = buf.get_u32_le();
+            }
+            let mut bases = [0u8; 32];
+            bases.copy_from_slice(&buf[..32]);
+            buf.advance(32);
+            blocks.push(CpBlock::new(block_counts, bases));
+        }
+        Some(OccOpt::from_parts(meta, blocks))
+    } else {
+        None
+    };
     let reference = Reference {
         pac,
         contigs: ContigSet { contigs, holes },
     };
-    Ok((reference, sa))
+    Ok(LoadedBundle { reference, sa, occ })
 }
 
 /// Load a bundle and build the index components the workflow needs.
+/// With a v3 bundle and a profile that does not require the original
+/// occurrence layout (the default batched workflow), the persisted
+/// CP-OCC blocks are adopted directly — no doubled-text or BWT
+/// reconstruction; otherwise the components rebuild from the suffix
+/// array as before.
 pub fn load_index(buf: &[u8], opts: &BuildOpts) -> Result<(Reference, FmIndex), BundleError> {
-    let (reference, sa) = load_bundle(buf)?;
-    let index = FmIndex::build_from_sa(&reference, &sa, opts);
+    let LoadedBundle { reference, sa, occ } = load_bundle(buf)?;
+    let index = match occ {
+        Some(occ) if !opts.orig_occ => FmIndex::from_persisted_occ(&reference, sa, occ, opts),
+        _ => FmIndex::build_from_sa(&reference, sa, opts),
+    };
     Ok((reference, index))
 }
 
@@ -205,10 +329,17 @@ mod tests {
         let direct = FmIndex::build(&reference, &BuildOpts::default());
 
         let bytes = build_bundle(&reference).expect("within u32 limit");
-        let (ref2, sa) = load_bundle(&bytes).expect("roundtrip");
-        assert_eq!(ref2.pac, reference.pac);
-        assert_eq!(ref2.contigs, reference.contigs);
-        let rebuilt = FmIndex::build_from_sa(&ref2, &sa, &BuildOpts::default());
+        let loaded = load_bundle(&bytes).expect("roundtrip");
+        assert_eq!(loaded.reference.pac, reference.pac);
+        assert_eq!(loaded.reference.contigs, reference.contigs);
+        // the persisted CP-OCC table equals a from-scratch build
+        let occ = loaded.occ.as_ref().expect("v3 carries the occ table");
+        assert_eq!(occ.meta(), direct.opt().meta());
+        let mut sink = mem2_memsim::NoopSink;
+        for r in (-1..=2 * direct.l_pac).step_by(97) {
+            assert_eq!(occ.occ4(r, &mut sink), direct.opt().occ4(r, &mut sink));
+        }
+        let rebuilt = FmIndex::build_from_sa(&loaded.reference, loaded.sa, &BuildOpts::default());
         assert_eq!(rebuilt.meta, direct.meta);
         assert_eq!(rebuilt.l_pac, direct.l_pac);
         // spot-check SA storage equality
@@ -218,13 +349,69 @@ mod tests {
     }
 
     #[test]
+    fn persisted_occ_serves_the_batched_profile_without_rebuild() {
+        let genome = GenomeSpec {
+            len: 3_000,
+            ..GenomeSpec::default()
+        };
+        let reference = genome.generate_reference("chrY");
+        let direct = FmIndex::build(&reference, &BuildOpts::optimized_only());
+        let bytes = build_bundle(&reference).expect("within u32 limit");
+        let (_, loaded) = load_index(&bytes, &BuildOpts::optimized_only()).expect("load");
+        assert!(loaded.occ_orig.is_none());
+        assert_eq!(loaded.meta, direct.meta);
+        let mut sink = mem2_memsim::NoopSink;
+        for r in (-1..=2 * direct.l_pac).step_by(61) {
+            assert_eq!(
+                loaded.opt().occ4(r, &mut sink),
+                direct.opt().occ4(r, &mut sink)
+            );
+        }
+        for r in 0..=2 * direct.l_pac {
+            assert_eq!(
+                loaded.sa_lookup(r, &mut sink),
+                direct.sa_lookup(r, &mut sink)
+            );
+        }
+        // the classic profile needs the η=128 table: rebuild path
+        let (_, classic) = load_index(&bytes, &BuildOpts::original_only()).expect("load classic");
+        assert!(classic.occ_orig.is_some());
+        assert_eq!(classic.meta, direct.meta);
+    }
+
+    #[test]
+    fn v2_bundles_still_load_through_the_rebuild_path() {
+        let genome = GenomeSpec {
+            len: 1_500,
+            ..GenomeSpec::default()
+        };
+        let reference = genome.generate_reference("chrV");
+        let s = FmIndex::doubled_text(&reference);
+        let sa = mem2_suffix::suffix_array(&s);
+        let v2 = save_bundle_v2(&reference, &sa).expect("v2 encode");
+        assert_eq!(v2[7], 2);
+        let loaded = load_bundle(&v2).expect("v2 load");
+        assert!(loaded.occ.is_none(), "v2 has no occ section");
+        let (_, idx) = load_index(&v2, &BuildOpts::optimized_only()).expect("v2 index");
+        let direct = FmIndex::build(&reference, &BuildOpts::optimized_only());
+        assert_eq!(idx.meta, direct.meta);
+        let mut sink = mem2_memsim::NoopSink;
+        for r in (-1..=2 * direct.l_pac).step_by(43) {
+            assert_eq!(
+                idx.opt().occ4(r, &mut sink),
+                direct.opt().occ4(r, &mut sink)
+            );
+        }
+    }
+
+    #[test]
     fn bundle_preserves_holes_and_multiple_contigs() {
         let recs = mem2_seqio::parse_fasta(">a\nACGTNNNNACGT\n>b\nGGGG\n").expect("parse");
         let reference = Reference::from_fasta(&recs, 3);
         let bytes = build_bundle(&reference).expect("within u32 limit");
-        let (ref2, _) = load_bundle(&bytes).expect("roundtrip");
-        assert_eq!(ref2.contigs, reference.contigs);
-        assert_eq!(ref2.contigs.holes.len(), 1);
+        let loaded = load_bundle(&bytes).expect("roundtrip");
+        assert_eq!(loaded.reference.contigs, reference.contigs);
+        assert_eq!(loaded.reference.contigs.holes.len(), 1);
     }
 
     #[test]
@@ -256,9 +443,9 @@ mod tests {
         }
         .generate_reference("c");
         let bytes = build_bundle(&reference).expect("within u32 limit");
-        // the old v1 layout and a hypothetical future v3 both refuse to
-        // parse, with an error naming the version
-        for v in [1u8, 3] {
+        // the retired v1 layout and a hypothetical future v4 both refuse
+        // to parse, with an error naming the version
+        for v in [1u8, 4] {
             let mut other = bytes.clone();
             other[7] = v;
             let err = load_bundle(&other).expect_err("version must be rejected");

@@ -29,7 +29,8 @@ pub mod threads;
 
 pub use aligner::{Aligner, Workflow};
 pub use bundle::{
-    build_bundle, flat_sa_fits, load_bundle, load_index, save_bundle, BundleError, BUNDLE_VERSION,
+    build_bundle, flat_sa_fits, load_bundle, load_index, save_bundle, save_bundle_v2, BundleError,
+    LoadedBundle, BUNDLE_VERSION, BUNDLE_VERSION_MIN,
 };
 pub use mapq::approx_mapq_se;
 pub use opts::MemOpts;

@@ -29,6 +29,14 @@ pub struct MemOpts {
     pub mapq_coef_fac: f64,
     /// Reads per processing batch in the batched workflow (default 512).
     pub batch_reads: usize,
+    /// Reads whose seeding state machines one worker interleaves
+    /// (`--seed-batch`, default 16): each pending occurrence query's
+    /// software prefetch is issued one full rotation — `seed_batch − 1`
+    /// other reads' queries — before its demand load, and the slab's
+    /// suffix-array lookups drain through a sliding prefetch window.
+    /// SAM bytes are invariant to this value; only memory-level
+    /// parallelism changes.
+    pub seed_batch: usize,
     /// Reads per scheduling chunk handed to a worker (default 4096).
     pub chunk_reads: usize,
     /// Target bases per streamed ingestion batch (bwa's `-K` chunk size;
@@ -73,6 +81,7 @@ impl Default for MemOpts {
             mapq_coef_len: 50.0,
             mapq_coef_fac: (50.0f64).ln(),
             batch_reads: 512,
+            seed_batch: mem2_fmindex::DEFAULT_SEED_BATCH,
             chunk_reads: 4096,
             batch_bases: mem2_seqio::DEFAULT_BATCH_BASES,
             output_all: false,

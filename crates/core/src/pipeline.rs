@@ -8,15 +8,21 @@
 //! **Batched** (the paper): reads are processed in batches; each stage
 //! runs over the entire batch before the next begins, which lets the BSW
 //! stage collect *all* extension jobs of a batch and run them through the
-//! inter-task SIMD engine (with length sorting), and lets the SMEM stage
-//! issue software prefetches. Buffers live in the per-thread [`Worker`]
-//! and are reused across batches (paper §3.2).
+//! inter-task SIMD engine (with length sorting), and lets the SMEM/SAL
+//! stages hide memory latency: seeding interleaves `seed_batch` reads'
+//! resumable state machines round-robin (each occ prefetch is issued a
+//! full rotation before its demand load — see
+//! [`mem2_fmindex::smem_batch`]), and the slab's suffix-array lookups
+//! drain through a sliding prefetch window. Buffers live in the
+//! per-thread [`Worker`] and are reused across batches (paper §3.2).
 
 use std::time::Instant;
 
 use mem2_bsw::{BswEngine, ExtendJob, ExtendResult, JobRef, NoPhase as NoBswPhase};
-use mem2_chain::{chain_seeds, filter_chains, frac_rep, seeds_from_interval, Chain, SaMode, Seed};
-use mem2_fmindex::{collect_intv, BiInterval, FmIndex, SmemAux};
+use mem2_chain::{
+    chain_seeds, filter_chains, frac_rep, seeds_from_interval, Chain, SaMode, SalBatch, Seed,
+};
+use mem2_fmindex::{collect_intv, BiInterval, FmIndex, SmemAux, SmemScheduler, SAL_PREFETCH_DIST};
 use mem2_memsim::NoopSink;
 use mem2_seqio::{encode_base, FastqRecord, Reference};
 
@@ -94,6 +100,8 @@ struct ReadState {
 /// reuse them across batches".
 pub struct Worker {
     aux: SmemAux,
+    smem_sched: SmemScheduler,
+    sal: SalBatch,
     states: Vec<ReadState>,
     jobs: Vec<ExtendJob>,
     job_keys: Vec<(u32, u32, u32)>, // (read, chain, rank)
@@ -115,6 +123,8 @@ impl Worker {
         p3.end_bonus = opts.pen_clip3;
         Worker {
             aux: SmemAux::default(),
+            smem_sched: SmemScheduler::new(),
+            sal: SalBatch::new(),
             states: Vec::new(),
             jobs: Vec::new(),
             job_keys: Vec::new(),
@@ -230,38 +240,64 @@ pub fn align_batch(
         worker.states.push(ReadState::default());
     }
 
-    // ---- stage: SMEM over the whole batch (with software prefetch) ----
+    // ---- stage: SMEM over the whole batch — the interleaved seeding
+    // scheduler advances `seed_batch` reads' state machines round-robin,
+    // so each occ prefetch gets a full rotation of latency cover ----
     let t = Instant::now();
-    for (r, read) in reads.iter().enumerate() {
-        collect_intv(
-            occ,
-            &opts.smem,
-            &read.codes,
-            &mut worker.states[r].intervals,
-            &mut worker.aux,
-            true,
-            &mut sink,
-        );
+    let width = opts.seed_batch.max(1);
+    {
+        let Worker {
+            smem_sched, states, ..
+        } = worker;
+        let mut queries: Vec<&[u8]> = Vec::with_capacity(width.min(reads.len()));
+        for (slab_idx, slab) in reads.chunks(width).enumerate() {
+            let base = slab_idx * width;
+            queries.clear();
+            queries.extend(slab.iter().map(|r| r.codes.as_slice()));
+            smem_sched.seed_slab(
+                occ,
+                &opts.smem,
+                &queries,
+                width,
+                true,
+                &mut sink,
+                |i, out| {
+                    std::mem::swap(&mut states[base + i].intervals, out);
+                },
+            );
+        }
     }
     worker.times.add(Stage::Smem, t.elapsed());
 
-    // ---- stage: SAL over the whole batch (flat suffix array) ----
+    // ---- stage: SAL — the slab's flat-SA lookups drain through a
+    // sliding software-prefetch window before seed materialization ----
     let t = Instant::now();
-    for (r, read) in reads.iter().enumerate() {
-        let state = &mut worker.states[r];
-        state.seeds.clear();
-        for iv in &state.intervals {
-            seeds_from_interval(
-                ctx.index,
-                &ctx.reference.contigs,
-                iv,
-                opts.chain.max_occ,
-                SaMode::Flat,
-                &mut state.seeds,
-                &mut sink,
-            );
+    let flat = ctx.index.sa_flat.as_ref().expect("flat SA not built");
+    {
+        let Worker { sal, states, .. } = worker;
+        for (slab_idx, slab) in reads.chunks(width).enumerate() {
+            let base = slab_idx * width;
+            sal.begin();
+            for r in 0..slab.len() {
+                sal.gather(&states[base + r].intervals, opts.chain.max_occ);
+            }
+            sal.resolve(flat, SAL_PREFETCH_DIST, &mut sink);
+            for (r, read) in slab.iter().enumerate() {
+                let state = &mut states[base + r];
+                state.seeds.clear();
+                let ReadState {
+                    intervals, seeds, ..
+                } = state;
+                sal.seeds_for_read(
+                    ctx.index.l_pac,
+                    &ctx.reference.contigs,
+                    intervals,
+                    opts.chain.max_occ,
+                    seeds,
+                );
+                state.frac_rep = frac_rep(&state.intervals, opts.chain.max_occ, read.codes.len());
+            }
         }
-        state.frac_rep = frac_rep(&state.intervals, opts.chain.max_occ, read.codes.len());
     }
     worker.times.add(Stage::Sal, t.elapsed());
 

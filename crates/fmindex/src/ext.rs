@@ -57,6 +57,21 @@ pub fn forward_ext4<O: OccTable, P: PerfSink>(
     out
 }
 
+/// The two occurrence rows a backward extension of `ik` will query
+/// (`occ2x4(k−1, k+s−1)` in [`backward_ext4`]) — the rows a prefetch
+/// issued ahead of that extension should touch.
+#[inline]
+pub fn backward_ext_rows(ik: &BiInterval) -> (i64, i64) {
+    (ik.k - 1, ik.k + ik.s - 1)
+}
+
+/// The two occurrence rows a forward extension of `ik` will query — the
+/// backward rows of the swapped interval (see [`forward_ext4`]).
+#[inline]
+pub fn forward_ext_rows(ik: &BiInterval) -> (i64, i64) {
+    (ik.l - 1, ik.l + ik.s - 1)
+}
+
 /// Initial bi-interval of a single base `c`.
 #[inline]
 pub fn set_intv<O: OccTable>(occ: &O, c: u8) -> BiInterval {

@@ -5,7 +5,7 @@ use mem2_seqio::Reference;
 use mem2_suffix::{bwt_from_sa, suffix_array};
 
 use crate::interval::BiInterval;
-use crate::occ::BwtMeta;
+use crate::occ::{BwtMeta, OccTable};
 use crate::occ_opt::OccOpt;
 use crate::occ_orig::OccOrig;
 use crate::sal::{FlatSa, SampledSa};
@@ -78,17 +78,19 @@ impl FmIndex {
     pub fn build(reference: &Reference, opts: &BuildOpts) -> FmIndex {
         let s = Self::doubled_text(reference);
         let sa = suffix_array(&s);
-        Self::build_from_sa(reference, &sa, opts)
+        Self::build_from_sa(reference, sa, opts)
     }
 
     /// Build from a precomputed suffix array of the doubled text — the
     /// fast path when loading a persisted index (linear time, no suffix
-    /// sorting).
-    pub fn build_from_sa(reference: &Reference, sa: &[u32], opts: &BuildOpts) -> FmIndex {
+    /// sorting). Takes the suffix array by value: the flat-SA component
+    /// adopts the allocation instead of copying it, so peak memory stays
+    /// at one suffix array.
+    pub fn build_from_sa(reference: &Reference, sa: Vec<u32>, opts: &BuildOpts) -> FmIndex {
         let l = reference.len();
         assert_eq!(sa.len(), 2 * l + 1, "suffix array size mismatch");
         let s = Self::doubled_text(reference);
-        let bwt = bwt_from_sa(&s, sa);
+        let bwt = bwt_from_sa(&s, &sa);
         let meta = BwtMeta::from_bwt(&bwt);
         // S is reverse-complement symmetric, so base counts must pair up.
         debug_assert_eq!(meta.counts[0], meta.counts[3]);
@@ -98,8 +100,38 @@ impl FmIndex {
             meta,
             occ_orig: opts.orig_occ.then(|| OccOrig::build(&bwt)),
             occ_opt: opts.opt_occ.then(|| OccOpt::build(&bwt)),
+            sa_sampled: opts.sampled_sa.map(|q| SampledSa::build(&sa, q)),
             sa_flat: opts.flat_sa.then(|| FlatSa::build(sa)),
-            sa_sampled: opts.sampled_sa.map(|q| SampledSa::build(sa, q)),
+        }
+    }
+
+    /// Assemble an index from a persisted optimized occurrence table (the
+    /// v3 bundle's CP-OCC section) without touching the BWT: the blocks
+    /// stream in with a sequential read instead of being rebuilt from a
+    /// suffix-array pass. Only the optimized components can be served
+    /// this way — `opts.orig_occ` must be false (the classic profile
+    /// still takes the rebuild path).
+    pub fn from_persisted_occ(
+        reference: &Reference,
+        sa: Vec<u32>,
+        occ: OccOpt,
+        opts: &BuildOpts,
+    ) -> FmIndex {
+        assert!(
+            !opts.orig_occ,
+            "original occurrence table is not persisted; use build_from_sa"
+        );
+        let l = reference.len();
+        assert_eq!(sa.len(), 2 * l + 1, "suffix array size mismatch");
+        let meta = *occ.meta();
+        assert_eq!(meta.n_stored, 2 * l as i64, "occ table size mismatch");
+        FmIndex {
+            l_pac: l as i64,
+            meta,
+            occ_orig: None,
+            occ_opt: opts.opt_occ.then_some(occ),
+            sa_sampled: opts.sampled_sa.map(|q| SampledSa::build(&sa, q)),
+            sa_flat: opts.flat_sa.then(|| FlatSa::build(sa)),
         }
     }
 

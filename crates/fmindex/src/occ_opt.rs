@@ -32,9 +32,17 @@ pub struct CpBlock {
 
 impl Default for CpBlock {
     fn default() -> Self {
+        CpBlock::new([0; 4], [0xFF; 32])
+    }
+}
+
+impl CpBlock {
+    /// Assemble a block from its persisted payload (counts + bases; the
+    /// padding carries no information).
+    pub fn new(counts: [u32; 4], bases: [u8; 32]) -> Self {
         CpBlock {
-            counts: [0; 4],
-            bases: [0xFF; 32],
+            counts,
+            bases,
             _pad: [0; 16],
         }
     }
@@ -73,6 +81,25 @@ impl OccOpt {
             }
         }
         OccOpt { blocks, meta }
+    }
+
+    /// Reassemble a table from persisted parts (the index bundle's v3
+    /// CP-OCC section). The caller must supply blocks consistent with
+    /// `meta` — `n_stored / 32 + 1` of them, with cumulative counts —
+    /// as written by the bundle encoder.
+    pub fn from_parts(meta: BwtMeta, blocks: Vec<CpBlock>) -> Self {
+        debug_assert_eq!(blocks.len() as i64, meta.n_stored / ETA + 1);
+        OccOpt { blocks, meta }
+    }
+
+    /// The checkpoint blocks (for persistence).
+    pub fn blocks(&self) -> &[CpBlock] {
+        &self.blocks
+    }
+
+    /// Rows per block (the persistence layer's consistency check).
+    pub const fn rows_per_block() -> usize {
+        ETA as usize
     }
 
     /// Count of each base among the first `m` stored rows.

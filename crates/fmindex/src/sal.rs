@@ -22,10 +22,17 @@ pub struct FlatSa {
     vals: Vec<u32>,
 }
 
+/// Sliding software-prefetch distance for [`FlatSa::lookup_batch`]:
+/// the lookup issued now prefetches the row this many lookups ahead, so
+/// by the time the cursor gets there the line has landed. 16 independent
+/// 4-byte loads comfortably cover DRAM latency without washing out L1.
+pub const SAL_PREFETCH_DIST: usize = 16;
+
 impl FlatSa {
-    /// Keep the full suffix array.
-    pub fn build(sa: &[u32]) -> Self {
-        FlatSa { vals: sa.to_vec() }
+    /// Keep the full suffix array. Takes ownership — building from the
+    /// suffix sort's output must not double peak memory at index time.
+    pub fn build(sa: Vec<u32>) -> Self {
+        FlatSa { vals: sa }
     }
 
     /// `S[r]` — a single lookup.
@@ -35,6 +42,47 @@ impl FlatSa {
         sink.load(v as *const u32 as usize, 4);
         sink.ops(2);
         *v as i64
+    }
+
+    /// Software-prefetch the cache line holding `S[r]`. Out-of-range
+    /// rows are ignored (prefetch is advisory).
+    #[inline]
+    pub fn prefetch<P: PerfSink>(&self, r: i64, sink: &mut P) {
+        if r < 0 || r as usize >= self.vals.len() {
+            return;
+        }
+        let v = &self.vals[r as usize];
+        mem2_simd::prefetch_read(v);
+        sink.prefetch(v as *const u32 as usize);
+    }
+
+    /// Resolve a whole row list through a sliding prefetch window of
+    /// `dist` lookups (§4.3 applied to SAL): row `i + dist` is
+    /// prefetched before row `i` is read, so every demand load has
+    /// `dist` independent loads of latency cover. `out[i]` corresponds
+    /// to `rows[i]`; results are identical to calling [`lookup`] per
+    /// row, in order.
+    ///
+    /// [`lookup`]: FlatSa::lookup
+    pub fn lookup_batch<P: PerfSink>(
+        &self,
+        rows: &[i64],
+        out: &mut Vec<i64>,
+        dist: usize,
+        sink: &mut P,
+    ) {
+        out.clear();
+        out.reserve(rows.len());
+        let dist = dist.max(1);
+        for &r in rows.iter().take(dist) {
+            self.prefetch(r, sink);
+        }
+        for (i, &r) in rows.iter().enumerate() {
+            if let Some(&ahead) = rows.get(i + dist) {
+                self.prefetch(ahead, sink);
+            }
+            out.push(self.lookup(r, sink));
+        }
     }
 
     /// Table size in bytes.
@@ -121,11 +169,36 @@ mod tests {
     fn flat_lookup_is_identity() {
         let text = random_text(300, 1);
         let sa = suffix_array(&text);
-        let flat = FlatSa::build(&sa);
+        let flat = FlatSa::build(sa.clone());
         let mut sink = NoopSink;
         for r in 0..sa.len() as i64 {
             assert_eq!(flat.lookup(r, &mut sink), sa[r as usize] as i64);
         }
+    }
+
+    #[test]
+    fn batched_lookup_matches_per_row() {
+        let text = random_text(600, 9);
+        let sa = suffix_array(&text);
+        let flat = FlatSa::build(sa.clone());
+        let mut rng = StdRng::seed_from_u64(10);
+        let rows: Vec<i64> = (0..500)
+            .map(|_| rng.random_range(0..sa.len() as i64))
+            .collect();
+        let mut sink = NoopSink;
+        let expected: Vec<i64> = rows.iter().map(|&r| flat.lookup(r, &mut sink)).collect();
+        for dist in [1usize, 4, 16, 64, 1000] {
+            let mut got = Vec::new();
+            flat.lookup_batch(&rows, &mut got, dist, &mut sink);
+            assert_eq!(got, expected, "dist={dist}");
+        }
+        // empty row lists are fine
+        let mut got = Vec::new();
+        flat.lookup_batch(&[], &mut got, SAL_PREFETCH_DIST, &mut sink);
+        assert!(got.is_empty());
+        // prefetching out-of-range rows is harmless
+        flat.prefetch(-1, &mut sink);
+        flat.prefetch(sa.len() as i64 + 5, &mut sink);
     }
 
     #[test]
@@ -166,8 +239,8 @@ mod tests {
     fn sampled_is_q_times_smaller() {
         let text = random_text(4096, 4);
         let sa = suffix_array(&text);
-        let flat = FlatSa::build(&sa);
         let sampled = SampledSa::build(&sa, 32);
+        let flat = FlatSa::build(sa);
         assert!(flat.table_bytes() > 30 * sampled.table_bytes());
         assert_eq!(sampled.interval(), 32);
     }

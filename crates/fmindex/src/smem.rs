@@ -5,7 +5,14 @@
 //!
 //! The `prefetch` flag implements §4.3: whenever a new bi-interval is
 //! produced that will be used for a future occurrence query, the bucket(s)
-//! it will touch are software-prefetched.
+//! it will touch are software-prefetched. Within a single read those
+//! prefetches sit on the query's own dependency chain and hide little —
+//! the batched pipeline instead drives this algorithm through the
+//! interleaved scheduler in [`crate::smem_batch`], which rotates many
+//! reads' state machines so each prefetch gets a full rotation of
+//! independent work before its demand load. This module remains the
+//! reference implementation the scheduler is pinned against (and the
+//! classic workflow's path).
 
 use mem2_memsim::PerfSink;
 
@@ -120,9 +127,10 @@ pub fn smem1a<O: OccTable, P: PerfSink>(
             if prefetch {
                 // the next forward extension (or a future backward
                 // extension seeded from Curr) reads occ at l-1 / l+s-1
-                // of the swapped interval — i.e. rows l-1 and l+s-1
-                occ.prefetch_row(ik.l - 1, sink);
-                occ.prefetch_row(ik.l + ik.s - 1, sink);
+                // of the swapped interval
+                let (r1, r2) = crate::ext::forward_ext_rows(&ik);
+                occ.prefetch_row(r1, sink);
+                occ.prefetch_row(r2, sink);
             }
         } else {
             // ambiguous base: always terminate extension
@@ -180,8 +188,9 @@ pub fn smem1a<O: OccTable, P: PerfSink>(
                     if prefetch {
                         // o feeds a future backward extension reading
                         // occ at rows k-1 and k+s-1
-                        occ.prefetch_row(o.k - 1, sink);
-                        occ.prefetch_row(o.k + o.s - 1, sink);
+                        let (r1, r2) = crate::ext::backward_ext_rows(&o);
+                        occ.prefetch_row(r1, sink);
+                        occ.prefetch_row(r2, sink);
                     }
                 }
             }

@@ -1,0 +1,138 @@
+//! Property tests pinning the tentpole invariant of the interleaved
+//! seeding scheduler: for random references and random reads (including
+//! ambiguous bases), the batched round-robin state machines produce the
+//! **identical** interval list — same values, same order — as the
+//! per-read `collect_intv` path, for every slab width and prefetch
+//! setting, on both occurrence-table layouts.
+
+use proptest::prelude::*;
+
+use mem2_fmindex::{
+    collect_intv, BiInterval, BuildOpts, FmIndex, OccTable, SmemAux, SmemOpts, SmemScheduler,
+};
+use mem2_memsim::NoopSink;
+use mem2_seqio::Reference;
+
+fn per_read<O: OccTable>(occ: &O, opts: &SmemOpts, reads: &[Vec<u8>]) -> Vec<Vec<BiInterval>> {
+    let mut aux = SmemAux::default();
+    let mut sink = NoopSink;
+    reads
+        .iter()
+        .map(|q| {
+            let mut out = Vec::new();
+            collect_intv(occ, opts, q, &mut out, &mut aux, false, &mut sink);
+            out
+        })
+        .collect()
+}
+
+fn interleaved<O: OccTable>(
+    occ: &O,
+    opts: &SmemOpts,
+    reads: &[Vec<u8>],
+    width: usize,
+    prefetch: bool,
+) -> Vec<Vec<BiInterval>> {
+    let mut sched = SmemScheduler::new();
+    let mut sink = NoopSink;
+    let queries: Vec<&[u8]> = reads.iter().map(|q| q.as_slice()).collect();
+    let mut outs = vec![Vec::new(); reads.len()];
+    sched.seed_slab(occ, opts, &queries, width, prefetch, &mut sink, |i, out| {
+        std::mem::swap(&mut outs[i], out)
+    });
+    outs
+}
+
+/// Read generator: substrings of the reference text with mutations and
+/// occasional Ns, plus fully random sequences — the mix that exercises
+/// matches, mismatch breaks, and the ambiguous-base paths.
+fn read_strategy(text: Vec<u8>) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    let len = text.len();
+    prop::collection::vec(
+        (
+            0usize..len,
+            2usize..60,
+            prop::collection::vec(0u8..50, 0..6),
+            any::<bool>(),
+        ),
+        1..12,
+    )
+    .prop_map(move |specs| {
+        specs
+            .into_iter()
+            .map(|(start, rlen, muts, random)| {
+                let mut q: Vec<u8> = if random {
+                    // arbitrary bases incl. N-heavy stretches
+                    (0..rlen).map(|i| ((start + i * 7) % 5) as u8).collect()
+                } else {
+                    text.iter()
+                        .cycle()
+                        .skip(start)
+                        .take(rlen)
+                        .copied()
+                        .collect()
+                };
+                for (k, m) in muts.iter().enumerate() {
+                    let pos = (*m as usize + k * 13) % q.len();
+                    q[pos] = *m % 5; // 4 = N
+                }
+                q
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn interleaved_seeding_is_identical_to_per_read(
+        (text, reads) in prop::collection::vec(0u8..4, 30..400)
+            .prop_flat_map(|t| {
+                let reads = read_strategy(t.clone());
+                (Just(t), reads)
+            }),
+        width in 1usize..20,
+        prefetch in any::<bool>(),
+    ) {
+        let reference = Reference::from_codes("p", &text);
+        let idx = FmIndex::build(&reference, &BuildOpts::default());
+        let opts = SmemOpts::default();
+        let expected = per_read(idx.opt(), &opts, &reads);
+        let got = interleaved(idx.opt(), &opts, &reads, width, prefetch);
+        prop_assert_eq!(&got, &expected, "width {} prefetch {}", width, prefetch);
+        // both occurrence layouts drive the machine to the same seeds
+        let on_orig = interleaved(idx.orig(), &opts, &reads, width, prefetch);
+        prop_assert_eq!(&on_orig, &expected);
+    }
+
+    #[test]
+    fn interleaving_is_identical_under_nondefault_seeding_opts(
+        text in prop::collection::vec(0u8..4, 50..300),
+        min_seed_len in 5i32..25,
+        split_width in 1i64..30,
+        max_mem_intv in 0i64..40,
+    ) {
+        let reference = Reference::from_codes("p", &text);
+        let idx = FmIndex::build(&reference, &BuildOpts::optimized_only());
+        let opts = SmemOpts {
+            min_seed_len,
+            split_width,
+            max_mem_intv,
+            ..SmemOpts::default()
+        };
+        // reads straight off the text so re-seeding actually triggers
+        let reads: Vec<Vec<u8>> = (0..6)
+            .map(|i| {
+                let start = (i * 31) % (text.len() / 2);
+                let end = (start + 40 + i * 11).min(text.len());
+                text[start..end].to_vec()
+            })
+            .collect();
+        let expected = per_read(idx.opt(), &opts, &reads);
+        for width in [1usize, 3, 16] {
+            let got = interleaved(idx.opt(), &opts, &reads, width, true);
+            prop_assert_eq!(&got, &expected, "width {}", width);
+        }
+    }
+}

@@ -1,6 +1,10 @@
-//! Software prefetch (paper §4.3). On x86_64 this issues `prefetcht0`;
-//! elsewhere it is a no-op. Issuing a prefetch for any address is safe —
-//! the instruction cannot fault.
+//! Software prefetch (paper §4.3). On x86_64 this issues `prefetcht0`
+//! (`_mm_prefetch` with the T0 hint); on aarch64 it issues
+//! `prfm pldl1keep` via inline assembly (the NEON-era equivalent —
+//! load, all cache levels, keep). On every other architecture it is a
+//! no-op. Issuing a prefetch for any address is safe — the instruction
+//! cannot fault, which is what lets the seeding scheduler prefetch
+//! speculative rows freely.
 
 /// Hint the CPU to pull the cache line containing `r` into all cache levels.
 #[inline(always)]
@@ -12,7 +16,17 @@ pub fn prefetch_read<T>(r: &T) {
             core::arch::x86_64::_MM_HINT_T0,
         );
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        // PLD = prefetch for load, L1 = into the first level, KEEP =
+        // normal (temporal) allocation policy.
+        core::arch::asm!(
+            "prfm pldl1keep, [{ptr}]",
+            ptr = in(reg) (r as *const T),
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     {
         let _ = r;
     }

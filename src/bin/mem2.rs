@@ -10,6 +10,9 @@
 //!     --simd MODE       SIMD backend: auto|scalar|portable|native
 //!                       (default auto; SAM bytes are identical across
 //!                       modes — only speed differs)
+//!     --seed-batch N    reads interleaved per seeding slab (default 16,
+//!                       'auto' = default; SAM bytes are identical for
+//!                       every value — only prefetch cover differs)
 //!     --batch-bases N   bases per streamed single-end batch (default 10M)
 //!     --batch-pairs N   pairs per paired-end batch / pestat window
 //!                       (default 32768)
@@ -50,7 +53,7 @@ fn main() -> ExitCode {
             eprintln!("usage: mem2 <index|mem|simulate> ...\n");
             eprintln!("  mem2 index <ref.fasta> <out.idx>");
             eprintln!(
-                "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] \
+                "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] [--seed-batch N] \
                  [--batch-bases N] [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> \
                  [R2.fastq[.gz]]"
             );
@@ -171,6 +174,18 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                 }
                 batch_pairs_set = true;
             }
+            "--seed-batch" => {
+                let v = it.next().ok_or("--seed-batch needs a value")?;
+                opts.seed_batch = if v == "auto" {
+                    mem2::fmindex::DEFAULT_SEED_BATCH
+                } else {
+                    v.parse()
+                        .map_err(|_| "--seed-batch needs an integer or 'auto'")?
+                };
+                if opts.seed_batch == 0 {
+                    return Err("--seed-batch must be at least 1".into());
+                }
+            }
             "--classic" => workflow = Workflow::Classic,
             "--simd" => {
                 let v = it.next().ok_or("--simd needs a value")?;
@@ -185,7 +200,7 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         [r, q1, q2] => (r, q1, Some(q2)),
         _ => {
             return Err(
-                "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] \
+                "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] [--seed-batch N] \
                  [--batch-bases N] [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> \
                  [R2.fastq[.gz]]"
                     .into(),

@@ -328,6 +328,57 @@ fn simd_backend_matrix_is_byte_identical() {
 }
 
 #[test]
+fn seed_batch_matrix_is_byte_identical() {
+    let dir = TempDir::new("seedbatch");
+    let prefix = dir.path("sb");
+    let fasta = format!("{prefix}.fasta");
+    let fastq = format!("{prefix}.fastq");
+    let idx = dir.path("sb.idx");
+
+    mem2_ok(&["simulate", "0.1", "120", "101", &prefix]);
+    mem2_ok(&["index", &fasta, &idx]);
+
+    // single-end: the interleave width must never change the SAM bytes —
+    // width 1 degenerates to per-read order, 16 is the default rotation
+    let base = mem2_ok(&["mem", "-t", "2", "--seed-batch", "1", &idx, &fastq]);
+    for w in ["4", "16", "auto"] {
+        let got = mem2_ok(&["mem", "-t", "2", "--seed-batch", w, &idx, &fastq]);
+        assert_eq!(
+            base.stdout, got.stdout,
+            "--seed-batch {w} changed the SE SAM bytes"
+        );
+    }
+    // width composes with thread count and the classic baseline
+    let wide_t4 = mem2_ok(&["mem", "-t", "4", "--seed-batch", "16", &idx, &fastq]);
+    assert_eq!(base.stdout, wide_t4.stdout, "seed-batch × threads");
+    let classic = mem2_ok(&["mem", "-t", "2", "--classic", &idx, &fastq]);
+    assert_eq!(base.stdout, classic.stdout, "interleaved vs classic");
+
+    // paired-end through the full PE stack
+    let pe = dir.path("pe");
+    mem2_ok(&["simulate", "0.15", "150", "101", &pe, "--pairs"]);
+    let pe_idx = dir.path("pe.idx");
+    mem2_ok(&["index", &format!("{pe}.fasta"), &pe_idx]);
+    let r1 = format!("{pe}_R1.fastq");
+    let r2 = format!("{pe}_R2.fastq");
+    let pe_base = mem2_ok(&["mem", "-t", "2", "--seed-batch", "1", &pe_idx, &r1, &r2]);
+    for w in ["4", "16"] {
+        let got = mem2_ok(&["mem", "-t", "2", "--seed-batch", w, &pe_idx, &r1, &r2]);
+        assert_eq!(
+            pe_base.stdout, got.stdout,
+            "--seed-batch {w} changed the PE SAM bytes"
+        );
+    }
+
+    // invalid widths are rejected with an actionable message
+    let out = mem2(&["mem", "--seed-batch", "0", &idx, &fastq]);
+    assert!(!out.status.success(), "--seed-batch 0 must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 1"));
+    let out = mem2(&["mem", "--seed-batch", "many", &idx, &fastq]);
+    assert!(!out.status.success(), "non-numeric --seed-batch must fail");
+}
+
+#[test]
 fn paired_end_input_errors_are_reported() {
     let dir = TempDir::new("pe-err");
     let prefix = dir.path("pe");
