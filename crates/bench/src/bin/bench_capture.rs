@@ -10,7 +10,10 @@
 //! ablation: `smem_per_read` (one read at a time, prefetch inside its
 //! own dependency chain) vs `smem_interleaved` (the round-robin
 //! scheduler, prefetch one rotation ahead), and `sal_batched` (the
-//! sliding-prefetch-window suffix-array drain) vs plain `sal`.
+//! sliding-prefetch-window suffix-array drain) vs plain `sal`, plus the
+//! bundle-v4 load ablation: `index_load_read`/`index_load_mmap` (file →
+//! usable index, MB/s) with matching `index_rss_*` rows recording the
+//! resident-set cost of each load path.
 //!
 //! Every capture row carries the host CPU model and its detected SIMD
 //! feature flags, so the trend tooling can group runs by machine
@@ -41,6 +44,7 @@ use mem2_bench::sysinfo::SysInfo;
 use mem2_bench::{
     intercept_bsw_jobs, intercept_sal_rows, intercept_smem_queries, BenchEnv, EnvConfig,
 };
+use mem2_core::bundle::{self, LoadMode};
 use mem2_core::{Aligner, Workflow};
 use mem2_fmindex::{collect_intv, SmemAux, SmemScheduler, DEFAULT_SEED_BATCH, SAL_PREFETCH_DIST};
 use mem2_memsim::NoopSink;
@@ -318,6 +322,72 @@ fn main() {
         });
     }
 
+    // Index load: bundle v4 through the two load paths. `index_load_*`
+    // times file → usable FmIndex (throughput in bundle MB/s);
+    // `index_rss_*` records the resident-set growth (VmRSS delta, kB) of
+    // holding the loaded index after touching its hot tables — the mmap
+    // path serves the flat SA and occ blocks straight from the page
+    // cache instead of copying them, so its delta stays near the pages
+    // actually faulted in. (VmHWM is monotone across the process, so the
+    // per-mode deltas use VmRSS; the run-wide peak is logged at the end.)
+    let bundle_bytes =
+        bundle::build_bundle_with_width(&env.reference, None, None).expect("bundle build");
+    let bundle_path = std::env::temp_dir().join(format!("mem2_bench_{}.idx", std::process::id()));
+    std::fs::write(&bundle_path, &bundle_bytes).expect("write bench bundle");
+    let build_opts = Workflow::Batched.build_opts();
+    let bundle_mb = bundle_bytes.len() as f64 / (1 << 20) as f64;
+    for (name, rss_name, mode) in [
+        ("index_load_read", "index_rss_read", LoadMode::Read),
+        ("index_load_mmap", "index_rss_mmap", LoadMode::Mmap),
+    ] {
+        let mut loaded = None;
+        let rss_before = vm_rss_kb();
+        let ns = median_ns(samples, || {
+            loaded =
+                Some(bundle::load_index_file(&bundle_path, &build_opts, mode).expect("index load"));
+        });
+        let (_, index, report) = loaded.as_ref().expect("index loaded");
+        // touch the hot tables so mapped pages actually fault in before
+        // the RSS reading (a buffered load already paid this cost)
+        let mut acc = 0i64;
+        if let Some(flat) = index.sa_flat.as_ref() {
+            let mut r = 0i64;
+            while r < flat.len() as i64 {
+                acc ^= flat.lookup(r, &mut sink);
+                r += 1024;
+            }
+        }
+        std::hint::black_box(acc);
+        let rss_kb = match (rss_before, vm_rss_kb()) {
+            (Some(b), Some(a)) => a.saturating_sub(b),
+            _ => 0,
+        };
+        eprintln!(
+            "[bench_capture] {name}: v{} {}{}, rss delta {} kB",
+            report.version,
+            if report.file_mapped {
+                "mmap"
+            } else {
+                "buffered"
+            },
+            if report.zero_copy { " zero-copy" } else { "" },
+            rss_kb
+        );
+        captures.push(Capture {
+            bench: name,
+            median_ns: ns,
+            throughput: bundle_mb / (ns as f64 / 1e9),
+            unit: "MB/s",
+        });
+        captures.push(Capture {
+            bench: rss_name,
+            median_ns: ns,
+            throughput: rss_kb as f64,
+            unit: "kB_rss",
+        });
+    }
+    std::fs::remove_file(&bundle_path).ok();
+
     // End-to-end: batched single-thread pipeline (deterministic,
     // runner-core-count independent)
     let ns = median_ns(samples, || {
@@ -329,6 +399,9 @@ fn main() {
         throughput: per_sec(reads.len(), ns),
         unit: "reads/s",
     });
+    if let Some(hwm) = vm_hwm_kb() {
+        eprintln!("[bench_capture] peak RSS (VmHWM): {hwm} kB");
+    }
 
     let json = render_json(&commit, &sys, &captures);
     for c in &captures {
@@ -351,6 +424,23 @@ fn main() {
 
 fn per_sec(items: usize, ns: u128) -> f64 {
     items as f64 / (ns as f64 / 1e9)
+}
+
+/// A field from `/proc/self/status` in kB, if the platform exposes it.
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Current resident set (VmRSS), kB.
+fn vm_rss_kb() -> Option<u64> {
+    proc_status_kb("VmRSS:")
+}
+
+/// Process-lifetime peak resident set (VmHWM), kB.
+fn vm_hwm_kb() -> Option<u64> {
+    proc_status_kb("VmHWM:")
 }
 
 /// Escape a string for a JSON value (CPU model strings can contain

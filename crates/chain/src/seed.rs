@@ -1,4 +1,9 @@
 //! Seeds: SMEM occurrences materialized through the suffix array.
+//!
+//! Seed and batch coordinates (`rbeg`, SAL rows) are `i64`: this layer
+//! is agnostic to the suffix-array entry width, so 32-bit and 64-bit
+//! indexes (and mapped vs. owned storage) resolve through the same
+//! code and produce identical seeds.
 
 use mem2_fmindex::{BiInterval, FlatSa, FmIndex};
 use mem2_memsim::PerfSink;

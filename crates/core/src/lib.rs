@@ -20,6 +20,7 @@ pub mod aligner;
 pub mod bundle;
 pub mod extend;
 pub mod mapq;
+pub mod mmap;
 pub mod opts;
 pub mod pipeline;
 pub mod profile;
@@ -29,8 +30,9 @@ pub mod threads;
 
 pub use aligner::{Aligner, Workflow};
 pub use bundle::{
-    build_bundle, flat_sa_fits, load_bundle, load_index, save_bundle, save_bundle_v2, BundleError,
-    LoadedBundle, BUNDLE_VERSION, BUNDLE_VERSION_MIN,
+    build_bundle, build_bundle_with_width, choose_width, flat_sa_fits, load_bundle, load_index,
+    load_index_file, load_index_region, save_bundle, save_bundle_v2, save_bundle_v4, BundleError,
+    LoadMode, LoadReport, LoadedBundle, BUNDLE_VERSION, BUNDLE_VERSION_MIN,
 };
 pub use mapq::approx_mapq_se;
 pub use opts::MemOpts;

@@ -1,6 +1,11 @@
 //! Alignment regions (bwa's `mem_alnreg_t`) and their post-processing:
 //! dedup (`mem_sort_dedup_patch`, minus the rare split-merge patching —
 //! see DESIGN.md) and primary marking (`mem_mark_primary_se`).
+//!
+//! Reference coordinates (`rb`/`re`) are `i64` throughout — the region
+//! layer is position-width agnostic, so indexes built with either the
+//! 32-bit or the 64-bit suffix-array layout flow through unchanged and
+//! references past the u32 ceiling need no changes here.
 
 use crate::opts::MemOpts;
 

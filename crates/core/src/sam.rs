@@ -2,6 +2,11 @@
 //! (SAM-FORM stage). Soft clipping is used for all records (bwa's `-Y`
 //! behaviour), and the XA list is not emitted; both choices are uniform
 //! across workflows so identical-output comparisons hold.
+//!
+//! Positions are carried as `u64`/`i64` end to end (doubled-space math
+//! in `i64`, SAM `pos`/`pnext` in `u64`), so records are identical
+//! whichever suffix-array width (u32/u64) the index was built with —
+//! only CIGAR op lengths use `u32`, bounded by the read length.
 
 use mem2_bsw::global::{cigar_string, global_align, CigarOp};
 use mem2_bsw::ScoreParams;

@@ -2,7 +2,7 @@
 
 use mem2_memsim::PerfSink;
 use mem2_seqio::Reference;
-use mem2_suffix::{bwt_from_sa, suffix_array};
+use mem2_suffix::{bwt_from_savec, suffix_array_width, IndexWidth, SaVec};
 
 use crate::interval::BiInterval;
 use crate::occ::{BwtMeta, OccTable};
@@ -74,10 +74,20 @@ pub struct FmIndex {
 }
 
 impl FmIndex {
-    /// Build from a prepared reference (computes the suffix array).
+    /// Build from a prepared reference (computes the suffix array) with
+    /// the narrow (u32) position layout — valid for any reference whose
+    /// doubled text fits 4-byte entries.
     pub fn build(reference: &Reference, opts: &BuildOpts) -> FmIndex {
+        Self::build_with_width(reference, IndexWidth::W32, opts)
+    }
+
+    /// Build with an explicit position width. The wide (u64) layout is
+    /// required past the narrow ceiling (~2 Gbp forward reference) and
+    /// usable on any size for testing; alignments are byte-identical
+    /// across widths.
+    pub fn build_with_width(reference: &Reference, width: IndexWidth, opts: &BuildOpts) -> FmIndex {
         let s = Self::doubled_text(reference);
-        let sa = suffix_array(&s);
+        let sa = suffix_array_width(&s, width);
         Self::build_from_sa(reference, sa, opts)
     }
 
@@ -85,12 +95,14 @@ impl FmIndex {
     /// fast path when loading a persisted index (linear time, no suffix
     /// sorting). Takes the suffix array by value: the flat-SA component
     /// adopts the allocation instead of copying it, so peak memory stays
-    /// at one suffix array.
-    pub fn build_from_sa(reference: &Reference, sa: Vec<u32>, opts: &BuildOpts) -> FmIndex {
+    /// at one suffix array. The occurrence tables inherit the suffix
+    /// array's width.
+    pub fn build_from_sa(reference: &Reference, sa: impl Into<SaVec>, opts: &BuildOpts) -> FmIndex {
+        let sa: SaVec = sa.into();
         let l = reference.len();
         assert_eq!(sa.len(), 2 * l + 1, "suffix array size mismatch");
         let s = Self::doubled_text(reference);
-        let bwt = bwt_from_sa(&s, &sa);
+        let bwt = bwt_from_savec(&s, &sa);
         let meta = BwtMeta::from_bwt(&bwt);
         // S is reverse-complement symmetric, so base counts must pair up.
         debug_assert_eq!(meta.counts[0], meta.counts[3]);
@@ -99,7 +111,9 @@ impl FmIndex {
             l_pac: l as i64,
             meta,
             occ_orig: opts.orig_occ.then(|| OccOrig::build(&bwt)),
-            occ_opt: opts.opt_occ.then(|| OccOpt::build(&bwt)),
+            occ_opt: opts
+                .opt_occ
+                .then(|| OccOpt::build_with_width(&bwt, sa.width())),
             sa_sampled: opts.sampled_sa.map(|q| SampledSa::build(&sa, q)),
             sa_flat: opts.flat_sa.then(|| FlatSa::build(sa)),
         }
@@ -113,7 +127,7 @@ impl FmIndex {
     /// still takes the rebuild path).
     pub fn from_persisted_occ(
         reference: &Reference,
-        sa: Vec<u32>,
+        sa: impl Into<SaVec>,
         occ: OccOpt,
         opts: &BuildOpts,
     ) -> FmIndex {
@@ -121,6 +135,7 @@ impl FmIndex {
             !opts.orig_occ,
             "original occurrence table is not persisted; use build_from_sa"
         );
+        let sa: SaVec = sa.into();
         let l = reference.len();
         assert_eq!(sa.len(), 2 * l + 1, "suffix array size mismatch");
         let meta = *occ.meta();
@@ -132,6 +147,39 @@ impl FmIndex {
             occ_opt: opts.opt_occ.then_some(occ),
             sa_sampled: opts.sampled_sa.map(|q| SampledSa::build(&sa, q)),
             sa_flat: opts.flat_sa.then(|| FlatSa::build(sa)),
+        }
+    }
+
+    /// Assemble an index whose big components *borrow* a mapped v4
+    /// bundle — zero copies, zero rebuild work. The flat suffix array
+    /// stands in for sampled storage too (a sampled table, if the
+    /// profile asks for one, is derived by copying out of the mapped
+    /// entries); the original occurrence table is never persisted, so
+    /// `opts.orig_occ` must be false here.
+    pub fn from_mapped_parts(
+        reference: &Reference,
+        flat: FlatSa,
+        occ: OccOpt,
+        opts: &BuildOpts,
+    ) -> FmIndex {
+        assert!(
+            !opts.orig_occ,
+            "original occurrence table is not persisted; use build_from_sa"
+        );
+        let l = reference.len();
+        assert_eq!(flat.len(), 2 * l + 1, "suffix array size mismatch");
+        let meta = *occ.meta();
+        assert_eq!(meta.n_stored, 2 * l as i64, "occ table size mismatch");
+        let sa_sampled = opts
+            .sampled_sa
+            .map(|q| SampledSa::build(&flat.to_savec(), q));
+        FmIndex {
+            l_pac: l as i64,
+            meta,
+            occ_orig: None,
+            occ_opt: opts.opt_occ.then_some(occ),
+            sa_sampled,
+            sa_flat: Some(flat),
         }
     }
 

@@ -36,7 +36,7 @@ pub use ext::{backward_ext4, backward_ext_rows, forward_ext4, forward_ext_rows};
 pub use index::{BuildOpts, FmIndex};
 pub use interval::BiInterval;
 pub use occ::{BwtMeta, OccTable};
-pub use occ_opt::{CpBlock, OccOpt};
+pub use occ_opt::{CpBlock, CpBlockWide, OccOpt};
 pub use occ_orig::OccOrig;
 pub use sal::{FlatSa, SampledSa, SAL_PREFETCH_DIST};
 pub use smem::{collect_intv, seed_strategy1, smem1a, SmemAux, SmemOpts};

@@ -1,25 +1,41 @@
 //! The paper's optimized occurrence layout (§4.4): η = 32, one byte per
 //! base, one bucket per 64-byte cache line.
 //!
-//! Each bucket stores four `u32` cumulative counts (16 B), 32 bases at one
-//! byte each (32 B), and 16 B of padding so buckets are cache-line
-//! aligned — the paper's exact layout. In-bucket counting is
-//! [`mem2_simd::counts4_in_prefix`] — a byte compare + popcount that
-//! dispatches to the widest available vector backend (on AVX2 literally
-//! the paper's `vpcmpeqb` + `vpmovmskb` + `popcnt` sequence, with an
-//! SSE2/NEON/SWAR fallback), replacing the original's multi-word bit
-//! manipulation.
+//! Each bucket stores four cumulative counts, 32 bases at one byte each,
+//! and (in the narrow layout) padding so buckets stay cache-line
+//! aligned. In-bucket counting is [`mem2_simd::counts4_in_prefix`] — a
+//! byte compare + popcount that dispatches to the widest available
+//! vector backend (on AVX2 literally the paper's `vpcmpeqb` +
+//! `vpmovmskb` + `popcnt` sequence, with an SSE2/NEON/SWAR fallback),
+//! replacing the original's multi-word bit manipulation.
+//!
+//! Two bucket layouts exist, chosen by the index width:
+//!
+//! * [`CpBlock`] — 4-byte counts (16 B) + 32 bases + 16 B padding.
+//!   Counts saturate at `u32::MAX`, so this layout is only valid while
+//!   the doubled text has fewer than 4 G rows (&approx; 2 Gbp forward
+//!   reference). This is the paper's exact struct.
+//! * [`CpBlockWide`] — 8-byte counts (32 B) + 32 bases, still exactly
+//!   one 64-byte cache line with zero padding. Used past the narrow
+//!   ceiling (human-genome-scale references); the per-query access
+//!   pattern (one line per bucket) is unchanged.
+//!
+//! Either layout can live in owned memory or borrow a `mmap`ed v4
+//! bundle section in place ([`OccOpt::from_region`]) — blocks are stored
+//! on disk as raw 64-byte records at a page-aligned offset precisely so
+//! the mapped bytes *are* the runtime table.
 
 use mem2_memsim::PerfSink;
+use mem2_seqio::ByteRegion;
 use mem2_simd::counts4_in_prefix;
-use mem2_suffix::Bwt;
+use mem2_suffix::{Bwt, IndexWidth};
 
 use crate::occ::{BwtMeta, OccTable};
 
 /// Bucket size (rows per block).
 const ETA: i64 = 32;
 
-/// One 64-byte occurrence bucket.
+/// One 64-byte occurrence bucket, narrow (4-byte-count) layout.
 #[derive(Clone, Copy, Debug)]
 #[repr(C, align(64))]
 pub struct CpBlock {
@@ -48,53 +64,246 @@ impl CpBlock {
     }
 }
 
+/// One 64-byte occurrence bucket, wide (8-byte-count) layout: four
+/// `u64` cumulative counts fill the half-line the narrow layout pads,
+/// so the wide table costs no extra cache lines per query.
+#[derive(Clone, Copy, Debug)]
+#[repr(C, align(64))]
+pub struct CpBlockWide {
+    /// Cumulative per-base counts of all stored rows before this bucket.
+    pub counts: [u64; 4],
+    /// The bucket's 32 BWT bases, one byte each; padding rows are 0xFF.
+    pub bases: [u8; 32],
+}
+
+impl Default for CpBlockWide {
+    fn default() -> Self {
+        CpBlockWide {
+            counts: [0; 4],
+            bases: [0xFF; 32],
+        }
+    }
+}
+
+// Safety: repr(C), fully initialized fields (the narrow layout's `_pad`
+// is a real zero-filled field, not compiler padding), no invariants —
+// any byte pattern is a valid block, which is what lets a mapped v4
+// section be viewed as blocks in place.
+unsafe impl mem2_seqio::Pod for CpBlock {}
+unsafe impl mem2_seqio::Pod for CpBlockWide {}
+
+/// Width- and ownership-dispatched bucket storage for [`OccOpt`].
+#[derive(Clone, Debug)]
+enum BlockStore {
+    Narrow(Vec<CpBlock>),
+    Wide(Vec<CpBlockWide>),
+    /// Validated at construction: 64-byte aligned, length % 64 == 0.
+    MappedNarrow(ByteRegion),
+    MappedWide(ByteRegion),
+}
+
 /// Optimized-layout occurrence table.
 #[derive(Clone, Debug)]
 pub struct OccOpt {
-    blocks: Vec<CpBlock>,
+    blocks: BlockStore,
     meta: BwtMeta,
 }
 
+#[inline]
+fn mapped_narrow(region: &ByteRegion) -> &[CpBlock] {
+    region
+        .typed::<CpBlock>()
+        .expect("validated at construction")
+}
+
+#[inline]
+fn mapped_wide(region: &ByteRegion) -> &[CpBlockWide] {
+    region
+        .typed::<CpBlockWide>()
+        .expect("validated at construction")
+}
+
 impl OccOpt {
-    /// Build from a BWT. Asserts that per-block cumulative counts fit
-    /// `u32` (the paper's 4-byte counts; holds to 4 G rows ≈ 2 Gbp).
+    /// Build from a BWT, choosing the count width automatically: 4-byte
+    /// counts while the row count fits `u32`, 8-byte counts beyond.
     pub fn build(bwt: &Bwt) -> Self {
+        let width = if bwt.data.len() < u32::MAX as usize {
+            IndexWidth::W32
+        } else {
+            IndexWidth::W64
+        };
+        Self::build_with_width(bwt, width)
+    }
+
+    /// Build with an explicit count width. The narrow layout asserts
+    /// the row count fits its 4-byte counts; the wide layout works for
+    /// any size (tests use it on tiny texts to exercise the 64-bit
+    /// path without a 2 Gbp fixture).
+    pub fn build_with_width(bwt: &Bwt, width: IndexWidth) -> Self {
         let meta = BwtMeta::from_bwt(bwt);
-        assert!(
-            bwt.data.len() < u32::MAX as usize,
-            "optimized occurrence table requires < 4G rows (paper uses 4-byte counts)"
-        );
         let n = bwt.data.len();
         let n_blocks = n / ETA as usize + 1;
-        let mut blocks = vec![CpBlock::default(); n_blocks];
-        let mut running = [0u32; 4];
-        for b in 0..n_blocks {
-            blocks[b].counts = running;
-            for j in 0..ETA as usize {
-                let i = b * ETA as usize + j;
-                if i >= n {
-                    break;
+        let blocks = match width {
+            IndexWidth::W32 => {
+                assert!(
+                    n < u32::MAX as usize,
+                    "narrow occurrence table requires < 4G rows (4-byte counts)"
+                );
+                let mut blocks = vec![CpBlock::default(); n_blocks];
+                let mut running = [0u32; 4];
+                for (b, block) in blocks.iter_mut().enumerate() {
+                    block.counts = running;
+                    for j in 0..ETA as usize {
+                        let i = b * ETA as usize + j;
+                        if i >= n {
+                            break;
+                        }
+                        let c = bwt.data[i];
+                        block.bases[j] = c;
+                        running[c as usize] += 1;
+                    }
                 }
-                let c = bwt.data[i];
-                blocks[b].bases[j] = c;
-                running[c as usize] += 1;
+                BlockStore::Narrow(blocks)
             }
-        }
+            IndexWidth::W64 => {
+                let mut blocks = vec![CpBlockWide::default(); n_blocks];
+                let mut running = [0u64; 4];
+                for (b, block) in blocks.iter_mut().enumerate() {
+                    block.counts = running;
+                    for j in 0..ETA as usize {
+                        let i = b * ETA as usize + j;
+                        if i >= n {
+                            break;
+                        }
+                        let c = bwt.data[i];
+                        block.bases[j] = c;
+                        running[c as usize] += 1;
+                    }
+                }
+                BlockStore::Wide(blocks)
+            }
+        };
         OccOpt { blocks, meta }
     }
 
-    /// Reassemble a table from persisted parts (the index bundle's v3
-    /// CP-OCC section). The caller must supply blocks consistent with
-    /// `meta` — `n_stored / 32 + 1` of them, with cumulative counts —
-    /// as written by the bundle encoder.
+    /// Reassemble a table from persisted narrow parts (the index
+    /// bundle's v3 CP-OCC section). The caller must supply blocks
+    /// consistent with `meta` — `n_stored / 32 + 1` of them, with
+    /// cumulative counts — as written by the bundle encoder.
     pub fn from_parts(meta: BwtMeta, blocks: Vec<CpBlock>) -> Self {
         debug_assert_eq!(blocks.len() as i64, meta.n_stored / ETA + 1);
-        OccOpt { blocks, meta }
+        OccOpt {
+            blocks: BlockStore::Narrow(blocks),
+            meta,
+        }
     }
 
-    /// The checkpoint blocks (for persistence).
-    pub fn blocks(&self) -> &[CpBlock] {
-        &self.blocks
+    /// Reassemble a table from persisted wide parts (a 64-bit v4
+    /// bundle decoded into owned storage).
+    pub fn from_wide_parts(meta: BwtMeta, blocks: Vec<CpBlockWide>) -> Self {
+        debug_assert_eq!(blocks.len() as i64, meta.n_stored / ETA + 1);
+        OccOpt {
+            blocks: BlockStore::Wide(blocks),
+            meta,
+        }
+    }
+
+    /// Borrow the blocks from a shared loaded region (the `mmap`
+    /// zero-copy path): the mapped bytes are used as the block array in
+    /// place. Fails when the region cannot be viewed as blocks
+    /// (misaligned, wrong size, a big-endian host, or a block count
+    /// inconsistent with `meta`) — callers fall back to an owned decode.
+    pub fn from_region(
+        meta: BwtMeta,
+        region: ByteRegion,
+        width: IndexWidth,
+    ) -> Result<Self, &'static str> {
+        let expect_blocks = (meta.n_stored / ETA + 1) as usize;
+        let blocks = match width {
+            IndexWidth::W32 => {
+                let view = region
+                    .typed::<CpBlock>()
+                    .ok_or("CP-OCC region not viewable as narrow blocks in place")?;
+                if view.len() != expect_blocks {
+                    return Err("CP-OCC region block count disagrees with metadata");
+                }
+                BlockStore::MappedNarrow(region)
+            }
+            IndexWidth::W64 => {
+                let view = region
+                    .typed::<CpBlockWide>()
+                    .ok_or("CP-OCC region not viewable as wide blocks in place")?;
+                if view.len() != expect_blocks {
+                    return Err("CP-OCC region block count disagrees with metadata");
+                }
+                BlockStore::MappedWide(region)
+            }
+        };
+        Ok(OccOpt { blocks, meta })
+    }
+
+    /// Count width of this table's blocks.
+    pub fn width(&self) -> IndexWidth {
+        match &self.blocks {
+            BlockStore::Narrow(_) | BlockStore::MappedNarrow(_) => IndexWidth::W32,
+            BlockStore::Wide(_) | BlockStore::MappedWide(_) => IndexWidth::W64,
+        }
+    }
+
+    /// True when the blocks borrow a mapped region instead of owning
+    /// their memory.
+    pub fn is_mapped(&self) -> bool {
+        matches!(
+            &self.blocks,
+            BlockStore::MappedNarrow(_) | BlockStore::MappedWide(_)
+        )
+    }
+
+    /// Number of checkpoint blocks.
+    pub fn n_blocks(&self) -> usize {
+        match &self.blocks {
+            BlockStore::Narrow(v) => v.len(),
+            BlockStore::Wide(v) => v.len(),
+            BlockStore::MappedNarrow(m) => mapped_narrow(m).len(),
+            BlockStore::MappedWide(m) => mapped_wide(m).len(),
+        }
+    }
+
+    /// The narrow checkpoint blocks, when this is the 4-byte-count
+    /// layout (v3 persistence writes these).
+    pub fn narrow_blocks(&self) -> Option<&[CpBlock]> {
+        match &self.blocks {
+            BlockStore::Narrow(v) => Some(v),
+            BlockStore::MappedNarrow(m) => Some(mapped_narrow(m)),
+            _ => None,
+        }
+    }
+
+    /// The wide checkpoint blocks, when this is the 8-byte-count layout.
+    pub fn wide_blocks(&self) -> Option<&[CpBlockWide]> {
+        match &self.blocks {
+            BlockStore::Wide(v) => Some(v),
+            BlockStore::MappedWide(m) => Some(mapped_wide(m)),
+            _ => None,
+        }
+    }
+
+    /// The blocks as raw 64-byte little-endian records — exactly the v4
+    /// bundle's on-disk CP-OCC section payload.
+    pub fn blocks_bytes(&self) -> &[u8] {
+        match &self.blocks {
+            // Safety: CpBlock/CpBlockWide are Pod (repr(C), all fields
+            // initialized including the narrow `_pad`), so their bytes
+            // are readable; lengths are exact multiples of 64.
+            BlockStore::Narrow(v) => unsafe {
+                std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(&v[..]))
+            },
+            BlockStore::Wide(v) => unsafe {
+                std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(&v[..]))
+            },
+            BlockStore::MappedNarrow(m) => m.as_slice(),
+            BlockStore::MappedWide(m) => m.as_slice(),
+        }
     }
 
     /// Rows per block (the persistence layer's consistency check).
@@ -108,16 +317,82 @@ impl OccOpt {
         debug_assert!(m >= 0 && m <= self.meta.n_stored);
         let b = (m / ETA) as usize;
         let y = (m % ETA) as usize;
-        let block = &self.blocks[b];
-        sink.load(block as *const CpBlock as usize, 64);
         // instruction proxy: 4 header adds + per-base compare/popcnt (~3)
         sink.ops(4 + 4 * 3);
-        let inb = counts4_in_prefix(&block.bases, y);
         let mut out = [0i64; 4];
-        for c in 0..4 {
-            out[c] = block.counts[c] as i64 + inb[c] as i64;
+        match &self.blocks {
+            BlockStore::Narrow(v) => {
+                let block = &v[b];
+                sink.load(block as *const CpBlock as usize, 64);
+                let inb = counts4_in_prefix(&block.bases, y);
+                for c in 0..4 {
+                    out[c] = block.counts[c] as i64 + inb[c] as i64;
+                }
+            }
+            BlockStore::MappedNarrow(mr) => {
+                let block = &mapped_narrow(mr)[b];
+                sink.load(block as *const CpBlock as usize, 64);
+                let inb = counts4_in_prefix(&block.bases, y);
+                for c in 0..4 {
+                    out[c] = block.counts[c] as i64 + inb[c] as i64;
+                }
+            }
+            BlockStore::Wide(v) => {
+                let block = &v[b];
+                sink.load(block as *const CpBlockWide as usize, 64);
+                let inb = counts4_in_prefix(&block.bases, y);
+                for c in 0..4 {
+                    out[c] = block.counts[c] as i64 + inb[c] as i64;
+                }
+            }
+            BlockStore::MappedWide(mr) => {
+                let block = &mapped_wide(mr)[b];
+                sink.load(block as *const CpBlockWide as usize, 64);
+                let inb = counts4_in_prefix(&block.bases, y);
+                for c in 0..4 {
+                    out[c] = block.counts[c] as i64 + inb[c] as i64;
+                }
+            }
         }
         out
+    }
+
+    /// The bucket's bases at block `b`.
+    #[inline]
+    fn bases_of(&self, b: usize) -> &[u8; 32] {
+        match &self.blocks {
+            BlockStore::Narrow(v) => &v[b].bases,
+            BlockStore::Wide(v) => &v[b].bases,
+            BlockStore::MappedNarrow(m) => &mapped_narrow(m)[b].bases,
+            BlockStore::MappedWide(m) => &mapped_wide(m)[b].bases,
+        }
+    }
+
+    /// Address of block `b` (prefetch target).
+    #[inline]
+    fn block_addr(&self, b: usize) -> usize {
+        match &self.blocks {
+            BlockStore::Narrow(v) => {
+                let block = &v[b];
+                mem2_simd::prefetch_read(block);
+                block as *const CpBlock as usize
+            }
+            BlockStore::Wide(v) => {
+                let block = &v[b];
+                mem2_simd::prefetch_read(block);
+                block as *const CpBlockWide as usize
+            }
+            BlockStore::MappedNarrow(m) => {
+                let block = &mapped_narrow(m)[b];
+                mem2_simd::prefetch_read(block);
+                block as *const CpBlock as usize
+            }
+            BlockStore::MappedWide(m) => {
+                let block = &mapped_wide(m)[b];
+                mem2_simd::prefetch_read(block);
+                block as *const CpBlockWide as usize
+            }
+        }
     }
 }
 
@@ -146,7 +421,7 @@ impl OccTable for OccOpt {
 
     fn bwt_char(&self, r: i64) -> u8 {
         let i = self.meta.stored_index(r);
-        self.blocks[(i / ETA) as usize].bases[(i % ETA) as usize]
+        self.bases_of((i / ETA) as usize)[(i % ETA) as usize]
     }
 
     fn prefetch_row<P: PerfSink>(&self, r: i64, sink: &mut P) {
@@ -154,9 +429,7 @@ impl OccTable for OccOpt {
             return;
         }
         let m = self.meta.stored_prefix(r);
-        let block = &self.blocks[(m / ETA) as usize];
-        mem2_simd::prefetch_read(block);
-        sink.prefetch(block as *const CpBlock as usize);
+        sink.prefetch(self.block_addr((m / ETA) as usize));
     }
 
     fn bucket_size(&self) -> usize {
@@ -164,7 +437,7 @@ impl OccTable for OccOpt {
     }
 
     fn table_bytes(&self) -> usize {
-        self.blocks.len() * std::mem::size_of::<CpBlock>()
+        self.n_blocks() * 64
     }
 }
 
@@ -172,12 +445,16 @@ impl OccTable for OccOpt {
 mod tests {
     use super::*;
     use mem2_memsim::{CacheConfig, CountingSink, NoopSink};
+    use mem2_seqio::{AlignedBytes, RegionOwner};
     use mem2_suffix::build_bwt;
+    use std::sync::Arc;
 
     #[test]
-    fn block_is_one_cache_line() {
+    fn blocks_are_one_cache_line() {
         assert_eq!(std::mem::size_of::<CpBlock>(), 64);
         assert_eq!(std::mem::align_of::<CpBlock>(), 64);
+        assert_eq!(std::mem::size_of::<CpBlockWide>(), 64);
+        assert_eq!(std::mem::align_of::<CpBlockWide>(), 64);
     }
 
     #[test]
@@ -188,6 +465,7 @@ mod tests {
         let text: Vec<u8> = (0..777).map(|_| rng.random_range(0..4u8)).collect();
         let (bwt, _) = build_bwt(&text);
         let occ = OccOpt::build(&bwt);
+        assert_eq!(occ.width(), IndexWidth::W32);
         let mut sink = NoopSink;
         for r in -1..=text.len() as i64 {
             let mut naive = [0i64; 4];
@@ -200,6 +478,68 @@ mod tests {
             }
             assert_eq!(occ.occ4(r, &mut sink), naive, "r={r}");
         }
+    }
+
+    #[test]
+    fn wide_table_matches_narrow_everywhere() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let text: Vec<u8> = (0..1500).map(|_| rng.random_range(0..4u8)).collect();
+        let (bwt, _) = build_bwt(&text);
+        let narrow = OccOpt::build_with_width(&bwt, IndexWidth::W32);
+        let wide = OccOpt::build_with_width(&bwt, IndexWidth::W64);
+        assert_eq!(wide.width(), IndexWidth::W64);
+        assert!(narrow.wide_blocks().is_none());
+        assert!(wide.narrow_blocks().is_none());
+        assert_eq!(narrow.n_blocks(), wide.n_blocks());
+        assert_eq!(narrow.table_bytes(), wide.table_bytes());
+        let mut sink = NoopSink;
+        for r in -1..=text.len() as i64 {
+            assert_eq!(narrow.occ4(r, &mut sink), wide.occ4(r, &mut sink), "r={r}");
+        }
+        for r in 0..=text.len() as i64 {
+            if r != bwt.sentinel_row as i64 {
+                assert_eq!(narrow.bwt_char(r), wide.bwt_char(r), "r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_blocks_match_owned_in_both_widths() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let text: Vec<u8> = (0..900).map(|_| rng.random_range(0..4u8)).collect();
+        let (bwt, _) = build_bwt(&text);
+        for width in [IndexWidth::W32, IndexWidth::W64] {
+            let owned = OccOpt::build_with_width(&bwt, width);
+            let bytes = owned.blocks_bytes().to_vec();
+            assert_eq!(bytes.len(), owned.n_blocks() * 64);
+            let owner: RegionOwner = Arc::new(AlignedBytes::from_slice(&bytes));
+            let mapped = OccOpt::from_region(*owned.meta(), ByteRegion::whole(owner), width)
+                .expect("aligned");
+            assert!(mapped.is_mapped());
+            assert_eq!(mapped.width(), width);
+            assert_eq!(mapped.blocks_bytes(), &bytes[..]);
+            let mut sink = NoopSink;
+            for r in (-1..=text.len() as i64).step_by(3) {
+                assert_eq!(owned.occ4(r, &mut sink), mapped.occ4(r, &mut sink));
+            }
+            for r in 0..=text.len() as i64 {
+                if r != bwt.sentinel_row as i64 {
+                    assert_eq!(owned.bwt_char(r), mapped.bwt_char(r));
+                }
+            }
+            mapped.prefetch_row(5, &mut sink);
+        }
+        // a truncated region is rejected, not misread
+        let owned = OccOpt::build(&bwt);
+        let bytes = owned.blocks_bytes()[..owned.blocks_bytes().len() - 64].to_vec();
+        let owner: RegionOwner = Arc::new(AlignedBytes::from_slice(&bytes));
+        assert!(
+            OccOpt::from_region(*owned.meta(), ByteRegion::whole(owner), IndexWidth::W32).is_err()
+        );
     }
 
     #[test]
@@ -227,14 +567,16 @@ mod tests {
     fn same_bucket_pair_touches_one_line() {
         let text: Vec<u8> = (0..256).map(|i| (i % 4) as u8).collect();
         let (bwt, _) = build_bwt(&text);
-        let occ = OccOpt::build(&bwt);
-        let mut sink = CountingSink::new(CacheConfig::scaled_to(1 << 20));
-        // rows 40 and 50 map into the same η=32 bucket only if their
-        // stored prefixes share block 1; pick adjacent rows to be sure
-        let (_, _) = occ.occ2x4(40, 41, &mut sink);
-        assert_eq!(sink.counters.loads, 1);
-        let (_, _) = occ.occ2x4(10, 200, &mut sink);
-        assert_eq!(sink.counters.loads, 3);
+        for width in [IndexWidth::W32, IndexWidth::W64] {
+            let occ = OccOpt::build_with_width(&bwt, width);
+            let mut sink = CountingSink::new(CacheConfig::scaled_to(1 << 20));
+            // rows 40 and 50 map into the same η=32 bucket only if their
+            // stored prefixes share block 1; pick adjacent rows to be sure
+            let (_, _) = occ.occ2x4(40, 41, &mut sink);
+            assert_eq!(sink.counters.loads, 1);
+            let (_, _) = occ.occ2x4(10, 200, &mut sink);
+            assert_eq!(sink.counters.loads, 3);
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod gzip;
 pub mod pack;
 pub mod pairs;
 pub mod refseq;
+pub mod region;
 pub mod simulate;
 pub mod stream;
 
@@ -29,6 +30,7 @@ pub use pairs::{
     trim_pair_suffix, InterleavedBatchReader, PairedBatchReader, ReadPair, DEFAULT_BATCH_PAIRS,
 };
 pub use refseq::{ContigSet, Reference};
+pub use region::{AlignedBytes, ByteRegion, Pod, RegionOwner, PAGE_ALIGN};
 pub use simulate::{
     GenomeSpec, PairSim, PairSimSpec, PairTruth, ReadSim, ReadSimSpec, SimPair, SimRead, TruthInfo,
 };

@@ -7,16 +7,58 @@
 //! [`PackedSeq::fetch2`], which mirror positions `p >= L` onto the
 //! complement of `2L-1-p`, exactly like bwa's `_get_pac` on `p > l_pac`.
 
+use crate::region::ByteRegion;
+
+/// Backing storage for the packed bytes: owned by the sequence, or a
+/// window into a shared loaded region (the zero-copy bundle path).
+#[derive(Clone, Debug)]
+enum PackStore {
+    Owned(Vec<u8>),
+    Mapped(ByteRegion),
+}
+
+impl PackStore {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            PackStore::Owned(v) => v,
+            PackStore::Mapped(r) => r.as_slice(),
+        }
+    }
+}
+
 /// 2-bit packed DNA sequence (4 bases per byte, base 0 in the low bits).
 ///
 /// Ambiguous bases cannot be represented; callers must replace them with
 /// concrete bases first (see [`crate::refseq::Reference`], which does this
 /// with a seeded RNG like `bwa index`).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The packed bytes are either owned or borrowed from a shared mapped
+/// region ([`PackedSeq::from_region`]) — the zero-copy path a v4 index
+/// bundle loads through. Mutation ([`PackedSeq::push`]) transparently
+/// converts mapped storage to owned first.
+#[derive(Clone, Debug)]
 pub struct PackedSeq {
-    data: Vec<u8>,
+    data: PackStore,
     len: usize,
 }
+
+impl Default for PackedSeq {
+    fn default() -> Self {
+        PackedSeq {
+            data: PackStore::Owned(Vec::new()),
+            len: 0,
+        }
+    }
+}
+
+impl PartialEq for PackedSeq {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.data.as_slice() == other.data.as_slice()
+    }
+}
+
+impl Eq for PackedSeq {}
 
 impl PackedSeq {
     /// Create an empty packed sequence.
@@ -27,7 +69,7 @@ impl PackedSeq {
     /// Pack a slice of base codes (each must be < 4).
     pub fn from_codes(codes: &[u8]) -> Self {
         let mut p = PackedSeq {
-            data: vec![0u8; codes.len().div_ceil(4)],
+            data: PackStore::Owned(vec![0u8; codes.len().div_ceil(4)]),
             len: 0,
         };
         for &c in codes {
@@ -36,16 +78,23 @@ impl PackedSeq {
         p
     }
 
-    /// Append one base code (< 4).
+    /// Append one base code (< 4). Mapped storage is copied to owned
+    /// bytes on the first mutation.
     #[inline]
     pub fn push(&mut self, code: u8) {
         debug_assert!(code < 4, "PackedSeq cannot store ambiguous bases");
         let byte = self.len >> 2;
         let shift = (self.len & 3) << 1;
-        if byte == self.data.len() {
-            self.data.push(0);
+        if let PackStore::Mapped(r) = &self.data {
+            self.data = PackStore::Owned(r.as_slice().to_vec());
         }
-        self.data[byte] |= (code & 3) << shift;
+        let PackStore::Owned(data) = &mut self.data else {
+            unreachable!("mapped storage converted above")
+        };
+        if byte == data.len() {
+            data.push(0);
+        }
+        data[byte] |= (code & 3) << shift;
         self.len += 1;
     }
 
@@ -65,7 +114,7 @@ impl PackedSeq {
     #[inline]
     pub fn get(&self, i: usize) -> u8 {
         debug_assert!(i < self.len);
-        (self.data[i >> 2] >> ((i & 3) << 1)) & 3
+        (self.data.as_slice()[i >> 2] >> ((i & 3) << 1)) & 3
     }
 
     /// Base code at position `p` in the doubled (forward + reverse
@@ -101,13 +150,26 @@ impl PackedSeq {
 
     /// Raw packed bytes (for persistence).
     pub fn raw(&self) -> &[u8] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Rebuild from raw packed bytes plus the base count.
     pub fn from_raw(data: Vec<u8>, len: usize) -> Self {
         assert!(data.len() == len.div_ceil(4));
-        PackedSeq { data, len }
+        PackedSeq {
+            data: PackStore::Owned(data),
+            len,
+        }
+    }
+
+    /// Borrow the packed bytes from a shared loaded region — the
+    /// zero-copy path when attaching a `mmap`ed index bundle.
+    pub fn from_region(region: ByteRegion, len: usize) -> Self {
+        assert!(region.len() == len.div_ceil(4));
+        PackedSeq {
+            data: PackStore::Mapped(region),
+            len,
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! BWT construction in the sentinel-removed layout bwa uses.
 
+use crate::pos::{SaPos, SaVec};
 use crate::sais::suffix_array;
 
 /// Burrows-Wheeler transform of a base-code text, sentinel row removed.
@@ -44,17 +45,19 @@ pub fn build_bwt(text: &[u8]) -> (Bwt, Vec<u32>) {
     (bwt, sa)
 }
 
-/// Build the BWT of `text` given its `(n+1)`-row suffix array.
-pub fn bwt_from_sa(text: &[u8], sa: &[u32]) -> Bwt {
+/// Build the BWT of `text` given its `(n+1)`-row suffix array, in either
+/// entry width (generic over [`SaPos`]; `&[u32]` callers are unchanged).
+pub fn bwt_from_sa<P: SaPos>(text: &[u8], sa: &[P]) -> Bwt {
     assert_eq!(sa.len(), text.len() + 1);
     let mut data = Vec::with_capacity(text.len());
     let mut sentinel_row = usize::MAX;
     let mut counts = [0i64; 4];
     for (r, &p) in sa.iter().enumerate() {
+        let p = p.usize();
         if p == 0 {
             sentinel_row = r;
         } else {
-            let c = text[p as usize - 1];
+            let c = text[p - 1];
             data.push(c);
             counts[c as usize] += 1;
         }
@@ -73,6 +76,14 @@ pub fn bwt_from_sa(text: &[u8], sa: &[u32]) -> Bwt {
         sentinel_row,
         counts,
         c_before,
+    }
+}
+
+/// [`bwt_from_sa`] over a width-dispatched suffix array.
+pub fn bwt_from_savec(text: &[u8], sa: &SaVec) -> Bwt {
+    match sa {
+        SaVec::U32(v) => bwt_from_sa(text, v),
+        SaVec::U64(v) => bwt_from_sa(text, v),
     }
 }
 

@@ -16,8 +16,10 @@
 
 pub mod bwt;
 pub mod naive;
+pub mod pos;
 pub mod sais;
 
-pub use bwt::{build_bwt, bwt_from_sa, Bwt};
+pub use bwt::{build_bwt, bwt_from_sa, bwt_from_savec, Bwt};
 pub use naive::naive_suffix_array;
-pub use sais::suffix_array;
+pub use pos::{IndexWidth, SaPos, SaVec};
+pub use sais::{suffix_array, suffix_array_as, suffix_array_u64, suffix_array_width};

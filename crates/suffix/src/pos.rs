@@ -1,0 +1,245 @@
+//! Position-width abstraction: suffix-array entries as `u32` or `u64`.
+//!
+//! The paper stores 8-byte suffix-array entries (48 GB for a human
+//! genome); small references fit 4-byte entries at half the footprint.
+//! Everything downstream of the suffix sort is generic over [`SaPos`] —
+//! a sealed trait implemented for exactly `u32` and `u64` — or works on
+//! the enum-dispatched [`SaVec`], whose layout is chosen once at index
+//! time (see `flat_sa_fits` in `mem2-core`) and persists through the
+//! index bundle.
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// The two supported suffix-array entry layouts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexWidth {
+    /// 4-byte entries: doubled texts up to `u32::MAX` positions (~2 Gbp).
+    W32,
+    /// 8-byte entries: any reference a machine can hold (GRCh38 included).
+    W64,
+}
+
+impl IndexWidth {
+    /// Bytes per suffix-array entry.
+    pub const fn bytes(self) -> usize {
+        match self {
+            IndexWidth::W32 => 4,
+            IndexWidth::W64 => 8,
+        }
+    }
+
+    /// Human-readable bit width ("32"/"64").
+    pub const fn name(self) -> &'static str {
+        match self {
+            IndexWidth::W32 => "32",
+            IndexWidth::W64 => "64",
+        }
+    }
+
+    /// Inverse of [`bytes`](IndexWidth::bytes), for decoding persisted
+    /// headers.
+    pub const fn from_bytes(b: u8) -> Option<IndexWidth> {
+        match b {
+            4 => Some(IndexWidth::W32),
+            8 => Some(IndexWidth::W64),
+            _ => None,
+        }
+    }
+
+    /// Largest text length (positions, *including* the sentinel row)
+    /// this width can address.
+    pub const fn max_positions(self) -> usize {
+        match self {
+            IndexWidth::W32 => (u32::MAX - 2) as usize,
+            IndexWidth::W64 => usize::MAX - 2,
+        }
+    }
+}
+
+impl std::fmt::Display for IndexWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A suffix-array position: `u32` or `u64`, nothing else (sealed).
+///
+/// The SA-IS construction, BWT derivation and the flat/sampled lookup
+/// tables are generic over this trait; the `u32` instantiation is the
+/// unchanged fast path for references whose doubled text fits 4-byte
+/// entries.
+pub trait SaPos:
+    sealed::Sealed + Copy + Ord + Eq + std::fmt::Debug + std::hash::Hash + Send + Sync + 'static
+{
+    /// The "unfilled" sentinel used inside induced sorting (`MAX`).
+    const EMPTY: Self;
+    /// Which layout this type is.
+    const WIDTH: IndexWidth;
+
+    /// Widen-from-index (must fit; positions are produced from in-range
+    /// text offsets only).
+    fn from_usize(v: usize) -> Self;
+    /// Narrow-to-index.
+    fn usize(self) -> usize;
+}
+
+impl SaPos for u32 {
+    const EMPTY: u32 = u32::MAX;
+    const WIDTH: IndexWidth = IndexWidth::W32;
+
+    #[inline(always)]
+    fn from_usize(v: usize) -> u32 {
+        debug_assert!(v <= u32::MAX as usize);
+        v as u32
+    }
+
+    #[inline(always)]
+    fn usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl SaPos for u64 {
+    const EMPTY: u64 = u64::MAX;
+    const WIDTH: IndexWidth = IndexWidth::W64;
+
+    #[inline(always)]
+    fn from_usize(v: usize) -> u64 {
+        v as u64
+    }
+
+    #[inline(always)]
+    fn usize(self) -> usize {
+        self as usize
+    }
+}
+
+/// An owned suffix array in either entry layout, dispatched at runtime.
+///
+/// This is the currency between the suffix sort, the FM-index builders
+/// and the persistence layer: one allocation, width chosen at index
+/// time, no copies when handing ownership down the stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SaVec {
+    /// 4-byte entries.
+    U32(Vec<u32>),
+    /// 8-byte entries.
+    U64(Vec<u64>),
+}
+
+impl From<Vec<u32>> for SaVec {
+    fn from(v: Vec<u32>) -> SaVec {
+        SaVec::U32(v)
+    }
+}
+
+impl From<Vec<u64>> for SaVec {
+    fn from(v: Vec<u64>) -> SaVec {
+        SaVec::U64(v)
+    }
+}
+
+impl SaVec {
+    /// Entry layout of this array.
+    pub fn width(&self) -> IndexWidth {
+        match self {
+            SaVec::U32(_) => IndexWidth::W32,
+            SaVec::U64(_) => IndexWidth::W64,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            SaVec::U32(v) => v.len(),
+            SaVec::U64(v) => v.len(),
+        }
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry `i` as a text position.
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            SaVec::U32(v) => v[i] as usize,
+            SaVec::U64(v) => v[i] as usize,
+        }
+    }
+
+    /// Iterate entries as text positions.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            SaVec::U32(v) => Box::new(v.iter().map(|&x| x as usize)),
+            SaVec::U64(v) => Box::new(v.iter().map(|&x| x as usize)),
+        }
+    }
+
+    /// The `u32` entries, when this is the narrow layout.
+    pub fn as_u32(&self) -> Option<&[u32]> {
+        match self {
+            SaVec::U32(v) => Some(v),
+            SaVec::U64(_) => None,
+        }
+    }
+
+    /// The `u64` entries, when this is the wide layout.
+    pub fn as_u64(&self) -> Option<&[u64]> {
+        match self {
+            SaVec::U64(v) => Some(v),
+            SaVec::U32(_) => None,
+        }
+    }
+
+    /// Copy into the wide layout (test/migration helper).
+    pub fn to_u64(&self) -> Vec<u64> {
+        match self {
+            SaVec::U32(v) => v.iter().map(|&x| x as u64).collect(),
+            SaVec::U64(v) => v.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_properties() {
+        assert_eq!(IndexWidth::W32.bytes(), 4);
+        assert_eq!(IndexWidth::W64.bytes(), 8);
+        assert_eq!(IndexWidth::from_bytes(4), Some(IndexWidth::W32));
+        assert_eq!(IndexWidth::from_bytes(8), Some(IndexWidth::W64));
+        assert_eq!(IndexWidth::from_bytes(2), None);
+        assert_eq!(IndexWidth::W32.to_string(), "32");
+        assert!(IndexWidth::W64.max_positions() > IndexWidth::W32.max_positions());
+    }
+
+    #[test]
+    fn savec_dispatch() {
+        let narrow = SaVec::U32(vec![3, 1, 2]);
+        let wide = SaVec::U64(vec![3, 1, 2]);
+        assert_eq!(narrow.width(), IndexWidth::W32);
+        assert_eq!(wide.width(), IndexWidth::W64);
+        assert_eq!(narrow.len(), 3);
+        assert!(!narrow.is_empty());
+        for i in 0..3 {
+            assert_eq!(narrow.get(i), wide.get(i));
+        }
+        assert_eq!(narrow.iter().collect::<Vec<_>>(), vec![3, 1, 2]);
+        assert_eq!(wide.iter().collect::<Vec<_>>(), vec![3, 1, 2]);
+        assert_eq!(narrow.as_u32(), Some(&[3u32, 1, 2][..]));
+        assert!(narrow.as_u64().is_none());
+        assert_eq!(wide.as_u64(), Some(&[3u64, 1, 2][..]));
+        assert!(wide.as_u32().is_none());
+        assert_eq!(narrow.to_u64(), vec![3u64, 1, 2]);
+        assert_eq!(narrow.to_u64(), wide.to_u64());
+    }
+}

@@ -1,36 +1,65 @@
-//! SA-IS: linear-time suffix array by induced sorting.
+//! SA-IS: linear-time suffix array by induced sorting, generic over the
+//! position width ([`SaPos`]): the `u32` instantiation is the fast path
+//! for references whose doubled text fits 4-byte entries; the `u64`
+//! instantiation serves human-genome-scale references past the old
+//! `u32::MAX`-position ceiling.
 
-const EMPTY: u32 = u32::MAX;
+use crate::pos::{IndexWidth, SaPos, SaVec};
 
-/// Build the suffix array (with virtual sentinel) of a base-code text.
+/// Build the suffix array (with virtual sentinel) of a base-code text
+/// with `u32` entries — the small-reference fast path.
 ///
 /// Every element of `text` must be `< 4`. The result has length
 /// `text.len() + 1`; entry 0 is always `text.len()` (the sentinel suffix).
 pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    suffix_array_as::<u32>(text)
+}
+
+/// [`suffix_array`] with 8-byte entries, for texts past the `u32` limit
+/// (and for exercising the wide layout on small fixtures).
+pub fn suffix_array_u64(text: &[u8]) -> Vec<u64> {
+    suffix_array_as::<u64>(text)
+}
+
+/// Width-dispatched [`suffix_array`]: one entry layout chosen by the
+/// caller (index-time decision), one code path underneath.
+pub fn suffix_array_width(text: &[u8], width: IndexWidth) -> SaVec {
+    match width {
+        IndexWidth::W32 => SaVec::U32(suffix_array_as::<u32>(text)),
+        IndexWidth::W64 => SaVec::U64(suffix_array_as::<u64>(text)),
+    }
+}
+
+/// Generic core entry point: build the suffix array with `P` entries.
+pub fn suffix_array_as<P: SaPos>(text: &[u8]) -> Vec<P> {
     assert!(
-        text.len() < (u32::MAX - 2) as usize,
-        "text too long for u32 suffix array"
+        text.len() < P::WIDTH.max_positions(),
+        "text too long for u{} suffix array",
+        P::WIDTH
     );
     debug_assert!(text.iter().all(|&c| c < 4), "text must be 2-bit base codes");
     // Shift codes by +1 and append an explicit sentinel 0, then run SA-IS
     // over alphabet size 5.
-    let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
-    s.extend(text.iter().map(|&c| c as u32 + 1));
-    s.push(0);
+    let mut s: Vec<P> = Vec::with_capacity(text.len() + 1);
+    s.extend(text.iter().map(|&c| P::from_usize(c as usize + 1)));
+    s.push(P::from_usize(0));
     sais(&s, 5)
 }
 
-/// Core SA-IS over a u32 string whose last character is a unique smallest
-/// sentinel (value 0 appearing exactly once, at the end).
-fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
+/// Core SA-IS over a string of `P` symbols whose last character is a
+/// unique smallest sentinel (value 0 appearing exactly once, at the end).
+/// The recursion's reduced strings reuse the same width: LMS names are
+/// bounded by `n/2`, so whatever width holds the positions holds the
+/// names.
+fn sais<P: SaPos>(s: &[P], sigma: usize) -> Vec<P> {
     let n = s.len();
     debug_assert!(n >= 1);
     if n == 1 {
-        return vec![0];
+        return vec![P::from_usize(0)];
     }
     if n == 2 {
         // sentinel at the end is smallest
-        return vec![1, 0];
+        return vec![P::from_usize(1), P::from_usize(0)];
     }
 
     // --- type classification: stype[i] == true iff suffix i is S-type ---
@@ -42,39 +71,39 @@ fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
     let is_lms = |i: usize| i > 0 && stype[i] && !stype[i - 1];
 
     // --- bucket sizes ---
-    let mut bkt = vec![0u32; sigma];
+    let mut bkt = vec![P::from_usize(0); sigma];
     for &c in s {
-        bkt[c as usize] += 1;
+        bkt[c.usize()] = P::from_usize(bkt[c.usize()].usize() + 1);
     }
-    let bucket_starts = |bkt: &[u32]| {
-        let mut out = vec![0u32; bkt.len()];
-        let mut sum = 0u32;
+    let bucket_starts = |bkt: &[P]| {
+        let mut out = vec![P::from_usize(0); bkt.len()];
+        let mut sum = 0usize;
         for (o, &b) in out.iter_mut().zip(bkt) {
-            *o = sum;
-            sum += b;
+            *o = P::from_usize(sum);
+            sum += b.usize();
         }
         out
     };
-    let bucket_ends = |bkt: &[u32]| {
-        let mut out = vec![0u32; bkt.len()];
-        let mut sum = 0u32;
+    let bucket_ends = |bkt: &[P]| {
+        let mut out = vec![P::from_usize(0); bkt.len()];
+        let mut sum = 0usize;
         for (o, &b) in out.iter_mut().zip(bkt) {
-            sum += b;
-            *o = sum;
+            sum += b.usize();
+            *o = P::from_usize(sum);
         }
         out
     };
 
-    let mut sa = vec![EMPTY; n];
+    let mut sa = vec![P::EMPTY; n];
 
     // --- stage A: approximately sort LMS suffixes by induced sorting ---
     {
         let mut ends = bucket_ends(&bkt);
         for i in (1..n).rev() {
             if is_lms(i) {
-                let c = s[i] as usize;
-                ends[c] -= 1;
-                sa[ends[c] as usize] = i as u32;
+                let c = s[i].usize();
+                ends[c] = P::from_usize(ends[c].usize() - 1);
+                sa[ends[c].usize()] = P::from_usize(i);
             }
         }
         induce_l(s, &stype, &mut sa, &mut bucket_starts(&bkt));
@@ -82,56 +111,53 @@ fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
     }
 
     // --- collect LMS suffixes in their induced (substring-sorted) order ---
-    let mut lms_sorted: Vec<u32> = Vec::new();
+    let mut lms_sorted: Vec<P> = Vec::new();
     for &p in sa.iter() {
-        if p != EMPTY && is_lms(p as usize) {
+        if p != P::EMPTY && is_lms(p.usize()) {
             lms_sorted.push(p);
         }
     }
 
     // --- name LMS substrings ---
-    let mut names = vec![EMPTY; n / 2 + 1];
-    let mut name_count: u32 = 0;
+    let mut names = vec![P::EMPTY; n / 2 + 1];
+    let mut name_count: usize = 0;
     let mut prev: Option<usize> = None;
     for &p in &lms_sorted {
-        let p = p as usize;
+        let p = p.usize();
         if let Some(q) = prev {
             if !lms_substring_eq(s, &stype, q, p, &is_lms) {
                 name_count += 1;
             }
         }
-        names[p / 2] = name_count;
+        names[p / 2] = P::from_usize(name_count);
         prev = Some(p);
     }
     let distinct = name_count + 1;
 
     // --- reduced problem ---
-    let lms_in_order: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
-    let reduced: Vec<u32> = lms_in_order
-        .iter()
-        .map(|&p| names[p as usize / 2])
-        .collect();
+    let lms_in_order: Vec<P> = (1..n).filter(|&i| is_lms(i)).map(P::from_usize).collect();
+    let reduced: Vec<P> = lms_in_order.iter().map(|&p| names[p.usize() / 2]).collect();
 
-    let sa1: Vec<u32> = if distinct as usize == reduced.len() {
+    let sa1: Vec<P> = if distinct == reduced.len() {
         // all LMS substrings distinct: order follows directly
-        let mut sa1 = vec![0u32; reduced.len()];
+        let mut sa1 = vec![P::from_usize(0); reduced.len()];
         for (i, &r) in reduced.iter().enumerate() {
-            sa1[r as usize] = i as u32;
+            sa1[r.usize()] = P::from_usize(i);
         }
         sa1
     } else {
-        sais(&reduced, distinct as usize)
+        sais(&reduced, distinct)
     };
 
     // --- stage B: final induced sort with exactly-sorted LMS order ---
-    sa.fill(EMPTY);
+    sa.fill(P::EMPTY);
     {
         let mut ends = bucket_ends(&bkt);
         for &r in sa1.iter().rev() {
-            let p = lms_in_order[r as usize];
-            let c = s[p as usize] as usize;
-            ends[c] -= 1;
-            sa[ends[c] as usize] = p;
+            let p = lms_in_order[r.usize()];
+            let c = s[p.usize()].usize();
+            ends[c] = P::from_usize(ends[c].usize() - 1);
+            sa[ends[c].usize()] = p;
         }
         induce_l(s, &stype, &mut sa, &mut bucket_starts(&bkt));
         induce_s(s, &stype, &mut sa, &mut bucket_ends(&bkt));
@@ -141,15 +167,15 @@ fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
 
 /// Left-to-right pass placing L-type suffixes at bucket fronts.
 #[inline]
-fn induce_l(s: &[u32], stype: &[bool], sa: &mut [u32], starts: &mut [u32]) {
+fn induce_l<P: SaPos>(s: &[P], stype: &[bool], sa: &mut [P], starts: &mut [P]) {
     for i in 0..sa.len() {
         let p = sa[i];
-        if p != EMPTY && p > 0 {
-            let j = (p - 1) as usize;
+        if p != P::EMPTY && p.usize() > 0 {
+            let j = p.usize() - 1;
             if !stype[j] {
-                let c = s[j] as usize;
-                sa[starts[c] as usize] = j as u32;
-                starts[c] += 1;
+                let c = s[j].usize();
+                sa[starts[c].usize()] = P::from_usize(j);
+                starts[c] = P::from_usize(starts[c].usize() + 1);
             }
         }
     }
@@ -157,23 +183,23 @@ fn induce_l(s: &[u32], stype: &[bool], sa: &mut [u32], starts: &mut [u32]) {
 
 /// Right-to-left pass placing S-type suffixes at bucket backs.
 #[inline]
-fn induce_s(s: &[u32], stype: &[bool], sa: &mut [u32], ends: &mut [u32]) {
+fn induce_s<P: SaPos>(s: &[P], stype: &[bool], sa: &mut [P], ends: &mut [P]) {
     for i in (0..sa.len()).rev() {
         let p = sa[i];
-        if p != EMPTY && p > 0 {
-            let j = (p - 1) as usize;
+        if p != P::EMPTY && p.usize() > 0 {
+            let j = p.usize() - 1;
             if stype[j] {
-                let c = s[j] as usize;
-                ends[c] -= 1;
-                sa[ends[c] as usize] = j as u32;
+                let c = s[j].usize();
+                ends[c] = P::from_usize(ends[c].usize() - 1);
+                sa[ends[c].usize()] = P::from_usize(j);
             }
         }
     }
 }
 
 /// Compare the LMS substrings starting at `a` and `b` for equality.
-fn lms_substring_eq(
-    s: &[u32],
+fn lms_substring_eq<P: SaPos>(
+    s: &[P],
     stype: &[bool],
     a: usize,
     b: usize,
@@ -220,11 +246,13 @@ mod tests {
     #[test]
     fn empty_text() {
         assert_eq!(suffix_array(&[]), vec![0]);
+        assert_eq!(suffix_array_u64(&[]), vec![0]);
     }
 
     #[test]
     fn single_base() {
         assert_eq!(suffix_array(&enc(b"A")), vec![1, 0]);
+        assert_eq!(suffix_array_u64(&enc(b"A")), vec![1, 0]);
     }
 
     #[test]
@@ -269,6 +297,32 @@ mod tests {
                 suffix_array(&codes),
                 naive_suffix_array(&codes),
                 "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_entries_agree_with_narrow_everywhere() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [0usize, 1, 2, 3, 64, 513, 2048] {
+            let codes: Vec<u8> = (0..len).map(|_| rng.random_range(0..4u8)).collect();
+            let narrow = suffix_array(&codes);
+            let wide = suffix_array_u64(&codes);
+            assert_eq!(narrow.len(), wide.len(), "len {len}");
+            assert!(
+                narrow.iter().zip(&wide).all(|(&a, &b)| a as u64 == b),
+                "width changed the suffix order at len {len}"
+            );
+            // the width-dispatched front door returns the same arrays
+            assert_eq!(
+                suffix_array_width(&codes, IndexWidth::W32),
+                SaVec::U32(narrow)
+            );
+            assert_eq!(
+                suffix_array_width(&codes, IndexWidth::W64),
+                SaVec::U64(wide)
             );
         }
     }

@@ -1,7 +1,14 @@
 //! `mem2` — command-line front end, a minimal `bwa`-style interface.
 //!
 //! ```text
-//! mem2 index <ref.fasta> <out.idx>          build a persistent index
+//! mem2 index [opts] <ref.fasta> <out.idx>   build a persistent index
+//!     --index-width W   suffix-array entry width: auto|32|64
+//!                       (default auto: 32-bit while the doubled text
+//!                       fits u32, 64-bit beyond ~2 Gbp; SAM bytes are
+//!                       identical across widths — only footprint
+//!                       differs)
+//!     --width-limit N   test override: doubled-text position count
+//!                       above which 'auto' switches to 64-bit
 //! mem2 mem [opts] <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]
 //!     -t N              threads (default: all)
 //!     -p                first reads file is interleaved paired-end
@@ -16,6 +23,9 @@
 //!     --batch-bases N   bases per streamed single-end batch (default 10M)
 //!     --batch-pairs N   pairs per paired-end batch / pestat window
 //!                       (default 32768)
+//!     --load MODE       index file loading: auto|mmap|read (default
+//!                       auto = mmap when available; v4 bundles are
+//!                       then served zero-copy from the mapping)
 //! mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>
 //!                       [--gz] [--pairs] [--insert MEAN,STD]
 //!     single-end: writes <prefix>.fasta and <prefix>.fastq
@@ -34,7 +44,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use mem2::bsw::SimdChoice;
-use mem2::core::bundle;
+use mem2::core::bundle::{self, LoadMode};
 use mem2::pairing::{align_pairs_stream, orient_name, PeStats};
 use mem2::prelude::*;
 use mem2::seqio::{
@@ -42,6 +52,7 @@ use mem2::seqio::{
     PairedBatchReader, SeqIoError,
 };
 use mem2::simd::{dispatch, Backend};
+use mem2::suffix::IndexWidth;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,11 +62,13 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         _ => {
             eprintln!("usage: mem2 <index|mem|simulate> ...\n");
-            eprintln!("  mem2 index <ref.fasta> <out.idx>");
+            eprintln!(
+                "  mem2 index [--index-width auto|32|64] [--width-limit N] <ref.fasta> <out.idx>"
+            );
             eprintln!(
                 "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] [--seed-batch N] \
-                 [--batch-bases N] [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> \
-                 [R2.fastq[.gz]]"
+                 [--batch-bases N] [--batch-pairs N] [--load MODE] <ref.idx|ref.fasta> \
+                 <R1.fastq[.gz]> [R2.fastq[.gz]]"
             );
             eprintln!(
                 "  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz] [--pairs] \
@@ -97,18 +110,55 @@ fn load_reference(path: &str) -> Result<Reference, AnyError> {
 }
 
 fn cmd_index(args: &[String]) -> Result<(), AnyError> {
-    let [fasta, out] = args else {
-        return Err("usage: mem2 index <ref.fasta> <out.idx>".into());
+    const USAGE: &str =
+        "usage: mem2 index [--index-width auto|32|64] [--width-limit N] <ref.fasta> <out.idx>";
+    let mut width: Option<IndexWidth> = None;
+    let mut narrow_limit: Option<usize> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--index-width" => {
+                width = match it.next().ok_or("--index-width needs a value")?.as_str() {
+                    "auto" => None,
+                    "32" => Some(IndexWidth::W32),
+                    "64" => Some(IndexWidth::W64),
+                    other => {
+                        return Err(format!("--index-width must be auto|32|64, got {other}").into())
+                    }
+                };
+            }
+            "--width-limit" => {
+                narrow_limit = Some(
+                    it.next()
+                        .ok_or("--width-limit needs a value")?
+                        .parse()
+                        .map_err(|_| "--width-limit needs an integer")?,
+                );
+            }
+            _ => positional.push(a),
+        }
+    }
+    let [fasta, out] = positional[..] else {
+        return Err(USAGE.into());
     };
     let reference = load_reference(fasta)?;
+    let effective = width.unwrap_or_else(|| bundle::choose_width(reference.len(), narrow_limit));
     eprintln!(
-        "[index] {} contig(s), {} bp; building suffix array...",
+        "[index] {} contig(s), {} bp; {}-bit positions ({}); building suffix array...",
         reference.contigs.contigs.len(),
-        reference.len()
+        reference.len(),
+        effective,
+        if width.is_some() { "forced" } else { "auto" }
     );
-    let bytes = bundle::build_bundle(&reference)?;
-    std::fs::write(out, &bytes).map_err(|e| SeqIoError::io("write", &e).in_file(out.as_str()))?;
-    eprintln!("[index] wrote {} ({} MB)", out, bytes.len() / (1 << 20));
+    let bytes = bundle::build_bundle_with_width(&reference, width, narrow_limit)?;
+    std::fs::write(out, &bytes).map_err(|e| SeqIoError::io("write", &e).in_file(out))?;
+    eprintln!(
+        "[index] wrote {} ({} MB, bundle v{})",
+        out,
+        bytes.len() / (1 << 20),
+        bundle::BUNDLE_VERSION
+    );
     Ok(())
 }
 
@@ -140,6 +190,7 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     let mut batch_bases_set = false;
     let mut batch_pairs_set = false;
     let mut pes_override: Option<PeStats> = None;
+    let mut load_mode = LoadMode::Auto;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -187,6 +238,16 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                 }
             }
             "--classic" => workflow = Workflow::Classic,
+            "--load" => {
+                load_mode = match it.next().ok_or("--load needs a value")?.as_str() {
+                    "auto" => LoadMode::Auto,
+                    "mmap" => LoadMode::Mmap,
+                    "read" => LoadMode::Read,
+                    other => {
+                        return Err(format!("--load must be auto|mmap|read, got {other}").into())
+                    }
+                };
+            }
             "--simd" => {
                 let v = it.next().ok_or("--simd needs a value")?;
                 opts.simd = SimdChoice::parse(v)
@@ -201,8 +262,8 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         _ => {
             return Err(
                 "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] [--seed-batch N] \
-                 [--batch-bases N] [--batch-pairs N] <ref.idx|ref.fasta> <R1.fastq[.gz]> \
-                 [R2.fastq[.gz]]"
+                 [--batch-bases N] [--batch-pairs N] [--load MODE] <ref.idx|ref.fasta> \
+                 <R1.fastq[.gz]> [R2.fastq[.gz]]"
                     .into(),
             )
         }
@@ -248,9 +309,27 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     eprintln!("[mem] SIMD: --simd {} -> BSW {}", opts.simd, bsw_desc);
 
     let (reference, index) = if ref_path.ends_with(".idx") {
-        let bytes = read_file(ref_path)?;
-        bundle::load_index(&bytes, &workflow.build_opts())
-            .map_err(|e| format!("{ref_path}: {e}"))?
+        let t_load = std::time::Instant::now();
+        let (reference, index, report) = bundle::load_index_file(
+            std::path::Path::new(ref_path.as_str()),
+            &workflow.build_opts(),
+            load_mode,
+        )
+        .map_err(|e| format!("{ref_path}: {e}"))?;
+        eprintln!(
+            "[mem] index: bundle v{}, {}-bit positions, {} MB, {} load{} in {:.0} ms",
+            report.version,
+            report.sa_width,
+            report.bytes / (1 << 20),
+            if report.file_mapped {
+                "mmap"
+            } else {
+                "buffered"
+            },
+            if report.zero_copy { " (zero-copy)" } else { "" },
+            t_load.elapsed().as_secs_f64() * 1e3
+        );
+        (reference, index)
     } else {
         let reference = load_reference(ref_path)?;
         let index = FmIndex::build(&reference, &workflow.build_opts());

@@ -424,6 +424,102 @@ fn old_index_bundles_are_rejected_with_version_error() {
 }
 
 #[test]
+fn index_width_matrix_is_byte_identical() {
+    let dir = TempDir::new("width");
+    let prefix = dir.path("w");
+    let fasta = format!("{prefix}.fasta");
+    let fastq = format!("{prefix}.fastq");
+    mem2_ok(&["simulate", "0.1", "120", "101", &prefix]);
+
+    // build one index per width; auto on a tiny reference must pick 32
+    let idx32 = dir.path("w32.idx");
+    let idx64 = dir.path("w64.idx");
+    let auto = mem2_ok(&["index", &fasta, &idx32]);
+    assert!(
+        String::from_utf8_lossy(&auto.stderr).contains("32-bit positions (auto)"),
+        "auto picks 32-bit on a small reference"
+    );
+    let forced = mem2_ok(&["index", "--index-width", "64", &fasta, &idx64]);
+    assert!(
+        String::from_utf8_lossy(&forced.stderr).contains("64-bit positions (forced)"),
+        "forced width is reported"
+    );
+    // the wide bundle is larger (8-byte SA entries) but loads the same
+    let n32 = std::fs::metadata(&idx32).expect("idx32").len();
+    let n64 = std::fs::metadata(&idx64).expect("idx64").len();
+    assert!(n64 > n32, "wide bundle must be larger: {n64} vs {n32}");
+
+    // single-end: byte identity across widths and load modes
+    let base = mem2_ok(&["mem", "-t", "2", &idx32, &fastq]);
+    for (idx, load) in [
+        (&idx32, "read"),
+        (&idx32, "mmap"),
+        (&idx64, "auto"),
+        (&idx64, "read"),
+        (&idx64, "mmap"),
+    ] {
+        let got = mem2_ok(&["mem", "-t", "2", "--load", load, idx, &fastq]);
+        assert_eq!(
+            base.stdout, got.stdout,
+            "SE SAM differs for {idx} --load {load}"
+        );
+        let stderr = String::from_utf8_lossy(&got.stderr);
+        assert!(
+            stderr.contains("bundle v4"),
+            "load report names the version: {stderr}"
+        );
+    }
+
+    // the width-limit override flips auto to 64-bit on a tiny fixture
+    let idx_lim = dir.path("wlim.idx");
+    let lim = mem2_ok(&["index", "--width-limit", "1000", &fasta, &idx_lim]);
+    assert!(
+        String::from_utf8_lossy(&lim.stderr).contains("64-bit positions (auto)"),
+        "width-limit override switches auto to wide"
+    );
+    let from_lim = mem2_ok(&["mem", "-t", "2", &idx_lim, &fastq]);
+    assert_eq!(
+        base.stdout, from_lim.stdout,
+        "width-limit index SAM differs"
+    );
+
+    // paired-end through the full PE stack against the forced-64 index
+    let pe = dir.path("pe");
+    mem2_ok(&["simulate", "0.15", "150", "101", &pe, "--pairs"]);
+    let pe32 = dir.path("pe32.idx");
+    let pe64 = dir.path("pe64.idx");
+    mem2_ok(&["index", &format!("{pe}.fasta"), &pe32]);
+    mem2_ok(&[
+        "index",
+        "--index-width",
+        "64",
+        &format!("{pe}.fasta"),
+        &pe64,
+    ]);
+    let r1 = format!("{pe}_R1.fastq");
+    let r2 = format!("{pe}_R2.fastq");
+    let pe_base = mem2_ok(&["mem", "-t", "2", &pe32, &r1, &r2]);
+    for load in ["auto", "read"] {
+        let got = mem2_ok(&["mem", "-t", "2", "--load", load, &pe64, &r1, &r2]);
+        assert_eq!(
+            pe_base.stdout, got.stdout,
+            "PE SAM differs for 64-bit index --load {load}"
+        );
+    }
+    // the classic workflow also reproduces through a wide bundle
+    let classic = mem2_ok(&["mem", "-t", "2", "--classic", &idx64, &fastq]);
+    assert_eq!(base.stdout, classic.stdout, "classic over 64-bit index");
+
+    // invalid values are rejected with the accepted ones
+    let out = mem2(&["index", "--index-width", "48", &fasta, &dir.path("x.idx")]);
+    assert!(!out.status.success(), "bad --index-width must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("auto|32|64"));
+    let out = mem2(&["mem", "--load", "dma", &idx32, &fastq]);
+    assert!(!out.status.success(), "bad --load must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("auto|mmap|read"));
+}
+
+#[test]
 fn cli_reports_usage_errors() {
     let out = mem2(&[]);
     assert_eq!(
