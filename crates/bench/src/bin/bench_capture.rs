@@ -13,7 +13,10 @@
 //! sliding-prefetch-window suffix-array drain) vs plain `sal`, plus the
 //! bundle-v4 load ablation: `index_load_read`/`index_load_mmap` (file →
 //! usable index, MB/s) with matching `index_rss_*` rows recording the
-//! resident-set cost of each load path.
+//! resident-set cost of each load path, plus the daemon throughput rows:
+//! `serve_rps_{1,8,32}` (requests/s through an in-process `mem2 serve`
+//! on loopback TCP at 1/8/32 concurrent clients — the cross-connection
+//! micro-batching win).
 //!
 //! Every capture row carries the host CPU model and its detected SIMD
 //! feature flags, so the trend tooling can group runs by machine
@@ -399,6 +402,74 @@ fn main() {
         throughput: per_sec(reads.len(), ns),
         unit: "reads/s",
     });
+
+    // Serve throughput: a resident daemon on loopback TCP answering
+    // concurrent clients (`mem2 serve`). Each request is a small FASTQ
+    // payload — far below one slab — so requests/s at rising concurrency
+    // measures the cross-connection micro-batcher (strangers coalesced
+    // into shared slabs), not just socket overhead. One `serve_rps_N`
+    // row per client count.
+    let serve_aligner = Aligner::with_index(
+        env.index.clone(),
+        env.reference.clone(),
+        env.opts,
+        Workflow::Batched,
+    );
+    let handle = mem2_server::serve(
+        serve_aligner,
+        mem2_server::ServeConfig {
+            endpoint: mem2_server::Endpoint::Tcp("127.0.0.1:0".into()),
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .expect("serve bind");
+    let endpoint = handle.endpoint().clone();
+    let request_fastq: Vec<u8> = reads.iter().take(50).fold(Vec::new(), |mut s, r| {
+        s.push(b'@');
+        s.extend_from_slice(r.name.as_bytes());
+        s.push(b'\n');
+        s.extend_from_slice(&r.seq);
+        s.extend_from_slice(b"\n+\n");
+        s.extend_from_slice(&r.qual);
+        s.push(b'\n');
+        s
+    });
+    let serve_samples = if quick { 3 } else { 5 };
+    let requests_per_client = if quick { 3 } else { 6 };
+    for (bench_name, n_clients) in [
+        ("serve_rps_1", 1usize),
+        ("serve_rps_8", 8),
+        ("serve_rps_32", 32),
+    ] {
+        let ns = median_ns(serve_samples, || {
+            let workers: Vec<_> = (0..n_clients)
+                .map(|_| {
+                    let endpoint = endpoint.clone();
+                    let fastq = request_fastq.clone();
+                    std::thread::spawn(move || {
+                        let mut client =
+                            mem2_server::Client::connect(&endpoint).expect("client connect");
+                        for _ in 0..requests_per_client {
+                            client.align_with_retry(&fastq, 1000).expect("serve align");
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("client thread");
+            }
+        });
+        captures.push(Capture {
+            bench: bench_name,
+            median_ns: ns,
+            throughput: per_sec(n_clients * requests_per_client, ns),
+            unit: "requests/s",
+        });
+    }
+    handle.shutdown();
+    handle.join();
+
     if let Some(hwm) = vm_hwm_kb() {
         eprintln!("[bench_capture] peak RSS (VmHWM): {hwm} kB");
     }

@@ -22,6 +22,12 @@
 //!
 //! The crate-level invariant, enforced by property tests: **every engine
 //! returns bit-identical [`ExtendResult`]s to the scalar kernel.**
+//!
+//! Key types: [`ScoreParams`] (scoring + derived 5×5 matrix),
+//! [`ExtendJob`]/[`JobRef`]/[`ExtendResult`], and [`BswEngine`] (the
+//! inter-task SIMD batch engine with precision grouping and band-doubling
+//! retry). Introduced in PR 1; local SW for mate rescue in PR 3, native
+//! register backends + clone-free job descriptors in PR 4.
 
 pub mod engine;
 pub mod global;

@@ -5,6 +5,11 @@
 //! bwa's `mem_chain` (B-tree chaining with `test_and_merge`),
 //! `mem_chain_weight` and `mem_chain_flt` (mask-level / drop-ratio chain
 //! filtering), plus the repetitive-fraction bookkeeping that feeds MAPQ.
+//!
+//! Key types: [`Chain`] plus the [`chain_seeds`] / [`filter_chains`]
+//! entry points; [`seed::SalBatch`] adds the prefetch-batched
+//! suffix-array resolution stage. Introduced in PR 1; batched SAL in
+//! PR 5.
 
 pub mod builder;
 pub mod filter;

@@ -15,6 +15,16 @@
 //!
 //! Both workflows produce byte-identical SAM output — the paper's central
 //! requirement — which the integration tests enforce.
+//!
+//! Key types: [`Aligner`] (index + reference + options + workflow),
+//! [`MemOpts`], [`AlnReg`]/[`SamRecord`] (per-read results),
+//! [`pipeline::Worker`] (reusable per-thread arenas), [`StageTimes`]
+//! (Table-1 profiling), and the [`bundle`] persistent-index loader.
+//! Introduced in PR 1; batched streaming in PR 2, seeding interleave in
+//! PR 5, bundle v4 zero-copy mmap in PR 6, externally-owned batch entry
+//! points for the daemon in PR 7.
+
+#![deny(missing_docs)]
 
 pub mod aligner;
 pub mod bundle;

@@ -483,6 +483,30 @@ pub fn align_prepared(
     }
 }
 
+/// Align externally-owned prepared reads and format each read's SAM
+/// records — the resident-daemon entry point: the caller owns the
+/// batch (it may have been coalesced from many requests), nothing is
+/// written to any output stream, and each read's record list comes
+/// back in input order. Per-read output is a pure function of the read
+/// and `ctx.opts` — invariant to which other reads share the batch —
+/// so a server may slice the result along any request boundaries.
+pub fn align_to_records(
+    ctx: &PipelineContext<'_>,
+    worker: &mut Worker,
+    workflow: crate::aligner::Workflow,
+    reads: &[PreparedRead],
+) -> Vec<Vec<SamRecord>> {
+    let regs = align_prepared(ctx, worker, workflow, reads);
+    let mut times = std::mem::take(&mut worker.times);
+    let out = reads
+        .iter()
+        .zip(&regs)
+        .map(|(read, r)| read_to_sam(ctx, read, r, &mut times))
+        .collect();
+    worker.times = times;
+    out
+}
+
 /// Format one read's regions as SAM lines (shared by both workflows).
 pub fn read_to_sam(
     ctx: &PipelineContext<'_>,

@@ -21,6 +21,13 @@
 //! plus a virtual sentinel; conceptual rows number `2L+1`, the sentinel
 //! row is recorded, and occurrence tables store rows with the sentinel
 //! removed.
+//!
+//! Key types: [`FmIndex`], [`BiInterval`] (bidirectional SA interval),
+//! [`SmemOpts`], the [`smem_batch`] resumable seeding state machines,
+//! and the [`sal`] lookup structures. Introduced in PR 1; latency-hiding
+//! batched seeding in PR 5, width/mmap-generic storage in PR 6.
+
+#![deny(missing_docs)]
 
 pub mod ext;
 pub mod index;

@@ -17,6 +17,10 @@
 //! bit-for-bit. Absolute numbers are *proxies*; EXPERIMENTS.md compares
 //! shapes (ratios between configurations), which is what the paper's
 //! argument rests on.
+//!
+//! Key types: the [`PerfSink`] instrumentation trait (kernels are generic
+//! over it; [`NoopSink`] compiles to nothing), the [`CacheHierarchy`]
+//! counter model, and [`CounterReport`]. Introduced in PR 1.
 
 pub mod cache;
 pub mod hierarchy;

@@ -1,6 +1,7 @@
 //! Paired-end pipeline drivers.
 //!
-//! A PE batch ([`MemOpts::batch_pairs`] pairs) is the unit of everything:
+//! A PE batch ([`mem2_core::MemOpts::batch_pairs`] pairs) is the unit of
+//! everything:
 //! single-end alignment of all 2·N reads (through the existing classic or
 //! batched pipeline), per-batch insert-size estimation, mate rescue, pair
 //! selection, and SAM emission all happen within the batch, so the byte
@@ -11,11 +12,11 @@
 use std::io::Write;
 use std::time::Instant;
 
-use mem2_core::pipeline::{align_prepared, PreparedRead, Worker};
+use mem2_core::pipeline::{align_prepared, PipelineContext, PreparedRead, Worker};
 use mem2_core::sam::{ReadInfo, SamRecord};
 use mem2_core::threads::{stream_batches_parallel, StreamError, StreamSummary};
 use mem2_core::{profile::Stage, region::mark_primary};
-use mem2_core::{Aligner, AlnReg, StageTimes};
+use mem2_core::{Aligner, AlnReg, StageTimes, Workflow};
 use mem2_seqio::{FastqRecord, ReadPair, SeqIoError};
 
 use crate::pestat::{estimate_pe_stats, PeStats};
@@ -32,21 +33,43 @@ pub fn align_pairs_batch(
     pairs: Vec<ReadPair>,
     pes_override: Option<PeStats>,
 ) -> Vec<SamRecord> {
-    let ctx = aligner.context();
-    let opts = &aligner.opts;
-    let l_pac = aligner.index.l_pac;
+    align_pairs_ctx(
+        &aligner.context(),
+        aligner.workflow,
+        worker,
+        pairs,
+        pes_override,
+    )
+}
+
+/// [`align_pairs_batch`] against an externally-assembled
+/// [`PipelineContext`] — the resident-daemon entry point: the caller
+/// owns the options (which may be a per-request override), no
+/// [`Aligner`] needs to exist, and nothing is written to any output
+/// stream. One call is one pestat window, so the records are a pure
+/// function of `(pairs, ctx.opts, workflow, pes_override)` — invariant
+/// to whatever other traffic the server is carrying.
+pub fn align_pairs_ctx(
+    ctx: &PipelineContext<'_>,
+    workflow: Workflow,
+    worker: &mut Worker,
+    pairs: Vec<ReadPair>,
+    pes_override: Option<PeStats>,
+) -> Vec<SamRecord> {
+    let opts = ctx.opts;
+    let l_pac = ctx.index.l_pac;
 
     let prepared: Vec<PreparedRead> = pairs
         .into_iter()
         .flat_map(|p| [p.r1, p.r2])
         .map(PreparedRead::from_fastq_owned)
         .collect();
-    let mut regs = align_prepared(&ctx, worker, aligner.workflow, &prepared);
+    let mut regs = align_prepared(ctx, worker, workflow, &prepared);
 
     let t = Instant::now();
     let pes = pes_override.unwrap_or_else(|| estimate_pe_stats(opts, l_pac, &regs));
 
-    let mut out = Vec::with_capacity(prepared.len());
+    let mut out: Vec<SamRecord> = Vec::with_capacity(prepared.len());
     for (pair_reads, pair_regs) in prepared.chunks_exact(2).zip(regs.chunks_exact_mut(2)) {
         let (left, right) = pair_regs.split_at_mut(1);
         let mut ends = [std::mem::take(&mut left[0]), std::mem::take(&mut right[0])];

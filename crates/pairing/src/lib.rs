@@ -16,6 +16,11 @@
 //! byte stream is invariant to thread count, ingestion chunking, and the
 //! two-file vs interleaved input layout ([`driver`]).
 //!
+//! Key types: [`PeStats`] (per-orientation insert distribution),
+//! [`PairChoice`]/[`PairDecision`], and the [`driver`] batch/stream/ctx
+//! entry points. Introduced in PR 3; context-level `align_pairs_ctx` for
+//! the daemon in PR 7.
+//!
 //! [`MemOpts::batch_pairs`]: mem2_core::MemOpts
 
 pub mod driver;
@@ -24,7 +29,9 @@ pub mod pestat;
 pub mod rescue;
 pub mod sam_pe;
 
-pub use driver::{align_pairs, align_pairs_batch, align_pairs_stream, pairs_from_interleaved};
+pub use driver::{
+    align_pairs, align_pairs_batch, align_pairs_ctx, align_pairs_stream, pairs_from_interleaved,
+};
 pub use pair::{mem_pair, raw_mapq, PairChoice};
 pub use pestat::{estimate_pe_stats, infer_dir, orient_name, OrientStats, PeStats};
 pub use rescue::mate_rescue;

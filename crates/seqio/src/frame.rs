@@ -1,0 +1,182 @@
+//! Length-prefixed frame transport — the wire format of `mem2 serve`.
+//!
+//! One frame is a 5-byte header — a 1-byte frame *type* tag plus a
+//! little-endian `u32` payload length — followed by the payload bytes.
+//! The format is deliberately dumb: no compression, no checksum (the
+//! kernel's socket layer already guarantees integrity), no alignment.
+//! What the type tags *mean* is the caller's business (`mem2-server`
+//! defines the serve verbs); this module only moves sized byte blobs
+//! reliably in both directions and rejects absurd lengths before
+//! allocating.
+//!
+//! [`FrameReader`] / [`FrameWriter`] wrap blocking `Read`/`Write`
+//! streams. Callers that multiplex reads with timeouts (the daemon's
+//! connection loop) can instead consume the header codec —
+//! [`encode_frame_header`] / [`decode_frame_header`] — and do their own
+//! scheduling around the same format.
+
+use std::io::{self, Read, Write};
+
+/// Bytes in a frame header: type tag + little-endian payload length.
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// Upper bound on a single frame's payload (64 MiB). Both directions
+/// enforce it: a reader never allocates more than this off a length
+/// prefix, and a writer refuses to emit a frame its peer would reject.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// One decoded frame: a type tag and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Application-defined frame type tag.
+    pub ty: u8,
+    /// Payload bytes (possibly empty).
+    pub payload: Vec<u8>,
+}
+
+/// Encode a frame header, rejecting oversized payloads.
+pub fn encode_frame_header(ty: u8, len: usize) -> io::Result<[u8; FRAME_HEADER_LEN]> {
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap"),
+        ));
+    }
+    let l = (len as u32).to_le_bytes();
+    Ok([ty, l[0], l[1], l[2], l[3]])
+}
+
+/// Decode a frame header, rejecting oversized payload lengths (a
+/// corrupt or hostile length prefix must not drive allocation).
+pub fn decode_frame_header(h: [u8; FRAME_HEADER_LEN]) -> io::Result<(u8, usize)> {
+    let len = u32::from_le_bytes([h[1], h[2], h[3], h[4]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame claims a {len}-byte payload (cap {MAX_FRAME_PAYLOAD})"),
+        ));
+    }
+    Ok((h[0], len))
+}
+
+/// Reads frames off a blocking byte stream.
+pub struct FrameReader<R> {
+    inner: R,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a blocking reader.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner }
+    }
+
+    /// Read the next frame. `Ok(None)` is a clean end-of-stream (EOF
+    /// exactly at a frame boundary); EOF inside a frame is an
+    /// `UnexpectedEof` error — a truncated frame is never returned as
+    /// data.
+    pub fn read_frame(&mut self) -> io::Result<Option<Frame>> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        // first byte by hand so a boundary EOF is clean, not an error
+        let mut got = 0;
+        while got == 0 {
+            match self.inner.read(&mut header[..1]) {
+                Ok(0) => return Ok(None),
+                Ok(n) => got = n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.inner.read_exact(&mut header[1..])?;
+        let (ty, len) = decode_frame_header(header)?;
+        let mut payload = vec![0u8; len];
+        self.inner.read_exact(&mut payload)?;
+        Ok(Some(Frame { ty, payload }))
+    }
+
+    /// Access the wrapped reader.
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+/// Writes frames onto a blocking byte stream.
+pub struct FrameWriter<W> {
+    inner: W,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wrap a blocking writer.
+    pub fn new(inner: W) -> Self {
+        FrameWriter { inner }
+    }
+
+    /// Write one frame (header + payload) and flush it — frames are
+    /// protocol turns, so they must actually reach the peer.
+    pub fn write_frame(&mut self, ty: u8, payload: &[u8]) -> io::Result<()> {
+        let header = encode_frame_header(ty, payload.len())?;
+        self.inner.write_all(&header)?;
+        self.inner.write_all(payload)?;
+        self.inner.flush()
+    }
+
+    /// Access the wrapped writer.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_frames() {
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf);
+            w.write_frame(0x02, b"@r1\nACGT\n+\nIIII\n").unwrap();
+            w.write_frame(0x03, b"").unwrap();
+            w.write_frame(0x7f, &[0u8; 100_000]).unwrap();
+        }
+        let mut r = FrameReader::new(&buf[..]);
+        let f1 = r.read_frame().unwrap().unwrap();
+        assert_eq!(
+            (f1.ty, f1.payload.as_slice()),
+            (0x02, &b"@r1\nACGT\n+\nIIII\n"[..])
+        );
+        let f2 = r.read_frame().unwrap().unwrap();
+        assert_eq!((f2.ty, f2.payload.len()), (0x03, 0));
+        let f3 = r.read_frame().unwrap().unwrap();
+        assert_eq!((f3.ty, f3.payload.len()), (0x7f, 100_000));
+        assert!(r.read_frame().unwrap().is_none()); // clean EOF
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_both_ways() {
+        assert!(encode_frame_header(1, MAX_FRAME_PAYLOAD + 1).is_err());
+        assert!(encode_frame_header(1, MAX_FRAME_PAYLOAD).is_ok());
+        let bad = {
+            let l = (u32::MAX).to_le_bytes();
+            [9, l[0], l[1], l[2], l[3]]
+        };
+        assert!(decode_frame_header(bad).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_returning_data() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf)
+            .write_frame(0x02, b"payload")
+            .unwrap();
+        // cut inside the payload
+        let mut r = FrameReader::new(&buf[..buf.len() - 3]);
+        let err = r.read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // cut inside the header
+        let mut r = FrameReader::new(&buf[..3]);
+        assert_eq!(
+            r.read_frame().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

@@ -5,12 +5,20 @@
 //! equivalents (see DESIGN.md §5): a repeat-aware genome generator and a
 //! wgsim-like read simulator with embedded ground truth, plus ordinary
 //! FASTA/FASTQ parsing so real data can be used when available.
+//!
+//! Key types: [`Reference`] (packed 2-bit forward strand + contig map),
+//! [`FastqRecord`]/[`ReadPair`], the streaming [`FastqStream`] /
+//! [`BatchReader`] / [`AutoReader`] ingestion stack, [`GenomeSpec`] /
+//! [`ReadSim`] / [`PairSim`] simulators, and the [`frame`] length-prefixed
+//! socket transport. Introduced in PR 1; streaming + gzip in PR 2, pair
+//! readers in PR 3, mapped byte regions in PR 6, framing in PR 7.
 
 pub mod alphabet;
 pub mod datasets;
 pub mod error;
 pub mod fasta;
 pub mod fastq;
+pub mod frame;
 pub mod gzip;
 pub mod pack;
 pub mod pairs;
@@ -24,6 +32,10 @@ pub use datasets::{DatasetPreset, ReadSetSpec};
 pub use error::SeqIoError;
 pub use fasta::{parse_fasta, write_fasta, FastaRecord};
 pub use fastq::{parse_fastq, write_fastq, FastqRecord};
+pub use frame::{
+    decode_frame_header, encode_frame_header, Frame, FrameReader, FrameWriter, FRAME_HEADER_LEN,
+    MAX_FRAME_PAYLOAD,
+};
 pub use gzip::{gzip_compress_stored, gzip_decompress, GzipDecoder};
 pub use pack::PackedSeq;
 pub use pairs::{

@@ -1,0 +1,389 @@
+//! The cross-connection micro-batcher.
+//!
+//! Every connection thread turns a parsed request into a
+//! [`Submission`] and offers it to one shared bounded queue. Alignment
+//! worker threads pop the *oldest* submission and then greedily absorb
+//! every other queued single-end submission with the **same options
+//! fingerprint** until the slab's read budget is reached — so under
+//! many-small-client traffic one `align_batch` slab carries reads from
+//! many sockets, and the seeding/BSW superstages run as full as they
+//! would under one fat file. This is safe because per-read SAM output
+//! is a pure function of `(read, opts)` — invariant to slab-mates — the
+//! invariant the whole repo pins (batch size, thread count, workflow);
+//! the daemon's integration tests pin it again end to end.
+//!
+//! Backpressure is explicit: [`Batcher::try_submit`] never blocks —
+//! when the queue is at capacity the caller gets the submission back
+//! and answers its client with a RETRY frame (suggested backoff
+//! attached). Nothing is half-admitted: a request either queues whole
+//! or not at all. Paired-end submissions ride the same queue but are
+//! never coalesced across requests — each PE request is its own
+//! insert-size estimation window sequence, which keeps its bytes
+//! independent of other traffic.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use mem2_core::pipeline::{align_to_records, PipelineContext, PreparedRead, Worker};
+use mem2_core::{Aligner, SamRecord, StageTimes};
+use mem2_pairing::{align_pairs_ctx, PeStats};
+use mem2_seqio::ReadPair;
+
+/// A request's payload, already parsed out of its FASTQ bytes.
+pub enum Payload {
+    /// Single-end reads — eligible for cross-connection coalescing.
+    Single(Vec<PreparedRead>),
+    /// Interleaved pairs — aligned alone (per-request pestat windows).
+    Paired(Vec<ReadPair>),
+}
+
+impl Payload {
+    /// Reads carried (pairs count both ends).
+    pub fn n_reads(&self) -> usize {
+        match self {
+            Payload::Single(reads) => reads.len(),
+            Payload::Paired(pairs) => 2 * pairs.len(),
+        }
+    }
+}
+
+/// The aligned reply for one submission.
+pub struct Reply {
+    /// SAM records for the whole request, in read order.
+    pub records: Vec<SamRecord>,
+    /// Reads aligned.
+    pub reads: usize,
+}
+
+/// One admitted request, waiting in the shared queue.
+pub struct Submission {
+    /// Canonical option-override fingerprint ("" = server defaults);
+    /// only equal fingerprints may share a slab.
+    pub fingerprint: String,
+    /// Effective options (base + overrides).
+    pub opts: mem2_core::MemOpts,
+    /// Pinned insert distribution for PE requests (server `-I`), if any.
+    pub pes_override: Option<PeStats>,
+    /// The reads.
+    pub payload: Payload,
+    /// Where the aligned records go (the connection thread's channel).
+    pub reply: SyncSender<Reply>,
+    /// Admission timestamp, for queue-wait accounting.
+    pub enqueued: Instant,
+}
+
+/// Aggregate daemon counters, updated by workers and connections and
+/// snapshotted by the STATS verb.
+#[derive(Default)]
+pub struct Counters {
+    /// Requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// Requests rejected with RETRY (queue full).
+    pub rejected: AtomicU64,
+    /// Reads aligned (pairs count both ends).
+    pub reads: AtomicU64,
+    /// SAM records produced.
+    pub records: AtomicU64,
+    /// Alignment slabs executed.
+    pub slabs: AtomicU64,
+    /// Submissions coalesced into those slabs (occupancy numerator).
+    pub slab_submissions: AtomicU64,
+    /// Reads carried by those slabs.
+    pub slab_reads: AtomicU64,
+    /// Total µs submissions spent queued before a worker took them.
+    pub queue_wait_us: AtomicU64,
+    /// Total µs workers spent aligning slabs.
+    pub service_us: AtomicU64,
+    /// Connections currently open.
+    pub active_connections: AtomicUsize,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Submission>>,
+    /// Signals workers that the queue gained work (or drain started).
+    work: Condvar,
+    capacity: usize,
+    /// Reads per coalesced slab (the `align_batch` feed target).
+    slab_reads: usize,
+    draining: AtomicBool,
+    pub counters: Counters,
+    /// Per-stage CPU time across all workers (STATS latencies).
+    times: Mutex<StageTimes>,
+}
+
+/// The shared admission queue plus its worker pool.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Start `n_workers` alignment workers over `aligner` (index,
+    /// reference, base options, workflow). `capacity` bounds the
+    /// admission queue in requests; `slab_reads` is the coalescing
+    /// budget per alignment slab.
+    pub fn start(
+        aligner: Arc<Aligner>,
+        n_workers: usize,
+        capacity: usize,
+        slab_reads: usize,
+    ) -> Batcher {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            capacity: capacity.max(1),
+            slab_reads: slab_reads.max(1),
+            draining: AtomicBool::new(false),
+            counters: Counters::default(),
+            times: Mutex::new(StageTimes::default()),
+        });
+        let workers = (0..n_workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let aligner = Arc::clone(&aligner);
+                std::thread::spawn(move || worker_loop(&shared, &aligner))
+            })
+            .collect();
+        Batcher { shared, workers }
+    }
+
+    /// Offer a submission without blocking. `Err` hands it back: the
+    /// queue is full (or the daemon is draining) and the client should
+    /// be told to retry — the request was not admitted.
+    #[allow(clippy::result_large_err)] // Err returns the whole submission on rejection by design
+    pub fn try_submit(&self, sub: Submission) -> Result<(), Submission> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(sub);
+        }
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        if q.len() >= self.shared.capacity {
+            drop(q);
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(sub);
+        }
+        q.push_back(sub);
+        drop(q);
+        self.shared
+            .counters
+            .admitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Current queue depth (requests waiting, not yet taken by a
+    /// worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// Queue capacity in requests.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Aggregate counters (live; shared with workers).
+    pub fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+
+    /// Snapshot of per-stage CPU time accumulated across workers.
+    pub fn stage_times(&self) -> StageTimes {
+        *self.shared.times.lock().expect("times poisoned")
+    }
+
+    /// Drain: refuse new submissions, finish everything queued, then
+    /// join the worker pool. Idempotent.
+    pub fn drain(&mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// One alignment worker: pop the oldest submission, coalesce compatible
+/// queued single-end submissions into its slab, align, and ship each
+/// request's slice of the records back to its connection.
+fn worker_loop(shared: &Shared, aligner: &Aligner) {
+    // Worker arenas are keyed by options fingerprint: the BSW engines
+    // bake in scoring, so each distinct override set gets (and reuses)
+    // its own arena — the "allocate once, reuse across batches" design
+    // survives per-request options.
+    let mut arenas: HashMap<String, Worker> = HashMap::new();
+    loop {
+        let group = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(first) = q.pop_front() {
+                    break take_group(&mut q, first, shared.slab_reads);
+                }
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.work.wait(q).expect("queue poisoned");
+            }
+        };
+        align_group(shared, aligner, &mut arenas, group);
+    }
+}
+
+/// Pop every queued submission that may share `first`'s slab: single-end
+/// only, same fingerprint, until the slab's read budget fills. The rest
+/// of the queue keeps its order.
+fn take_group(
+    q: &mut VecDeque<Submission>,
+    first: Submission,
+    slab_reads: usize,
+) -> Vec<Submission> {
+    let mut group = vec![first];
+    if matches!(group[0].payload, Payload::Paired(_)) {
+        return group; // PE requests never coalesce
+    }
+    let mut budget = slab_reads.saturating_sub(group[0].payload.n_reads());
+    let mut i = 0;
+    while i < q.len() && budget > 0 {
+        let compatible = matches!(q[i].payload, Payload::Single(_))
+            && q[i].fingerprint == group[0].fingerprint
+            && q[i].payload.n_reads() <= budget;
+        if compatible {
+            let sub = q.remove(i).expect("index checked");
+            budget -= sub.payload.n_reads();
+            group.push(sub);
+        } else {
+            i += 1;
+        }
+    }
+    group
+}
+
+/// Align one coalesced group and distribute replies.
+fn align_group(
+    shared: &Shared,
+    aligner: &Aligner,
+    arenas: &mut HashMap<String, Worker>,
+    group: Vec<Submission>,
+) {
+    let t_service = Instant::now();
+    let opts = group[0].opts;
+    let ctx = PipelineContext {
+        opts: &opts,
+        index: &aligner.index,
+        reference: &aligner.reference,
+    };
+    let worker = arenas
+        .entry(group[0].fingerprint.clone())
+        .or_insert_with(|| Worker::new(&opts));
+    let n_subs = group.len() as u64;
+    let mut n_reads = 0u64;
+    for sub in &group {
+        n_reads += sub.payload.n_reads() as u64;
+        shared
+            .counters
+            .queue_wait_us
+            .fetch_add(sub.enqueued.elapsed().as_micros() as u64, Ordering::Relaxed);
+    }
+
+    match group[0].payload {
+        Payload::Single(_) => {
+            // one slab: all groups' reads concatenated in admission order
+            let mut reads: Vec<PreparedRead> = Vec::with_capacity(n_reads as usize);
+            let mut bounds = Vec::with_capacity(group.len());
+            let mut replies = Vec::with_capacity(group.len());
+            for sub in group {
+                let Payload::Single(r) = sub.payload else {
+                    unreachable!("take_group keeps SE groups pure");
+                };
+                bounds.push(r.len());
+                reads.extend(r);
+                replies.push(sub.reply);
+            }
+            let per_read = align_to_records(&ctx, worker, aligner.workflow, &reads);
+            let mut it = per_read.into_iter();
+            for (n, reply) in bounds.into_iter().zip(replies) {
+                let records: Vec<SamRecord> = it.by_ref().take(n).flatten().collect();
+                shared
+                    .counters
+                    .records
+                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                // a dead receiver just means the client hung up — the
+                // work is discarded, the daemon carries on
+                let _ = reply.send(Reply { records, reads: n });
+            }
+        }
+        Payload::Paired(_) => {
+            let sub = group.into_iter().next().expect("group is non-empty");
+            let Payload::Paired(pairs) = sub.payload else {
+                unreachable!("matched above");
+            };
+            let n = 2 * pairs.len();
+            // window into batch_pairs chunks exactly like `mem2 mem -p`
+            // on the same stream — the request is its own pestat scope
+            let mut records = Vec::new();
+            for window in chunk_pairs(pairs, opts.batch_pairs.max(1)) {
+                records.extend(align_pairs_ctx(
+                    &ctx,
+                    aligner.workflow,
+                    worker,
+                    window,
+                    sub.pes_override,
+                ));
+            }
+            shared
+                .counters
+                .records
+                .fetch_add(records.len() as u64, Ordering::Relaxed);
+            let _ = sub.reply.send(Reply { records, reads: n });
+        }
+    }
+
+    shared.counters.reads.fetch_add(n_reads, Ordering::Relaxed);
+    shared.counters.slabs.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .slab_submissions
+        .fetch_add(n_subs, Ordering::Relaxed);
+    shared
+        .counters
+        .slab_reads
+        .fetch_add(n_reads, Ordering::Relaxed);
+    shared
+        .counters
+        .service_us
+        .fetch_add(t_service.elapsed().as_micros() as u64, Ordering::Relaxed);
+    shared
+        .times
+        .lock()
+        .expect("times poisoned")
+        .merge(&std::mem::take(&mut worker.times));
+}
+
+/// Split a pair list into owned `batch_pairs`-sized windows.
+fn chunk_pairs(pairs: Vec<ReadPair>, window: usize) -> Vec<Vec<ReadPair>> {
+    let mut out = Vec::with_capacity(pairs.len().div_ceil(window.max(1)));
+    let mut it = pairs.into_iter();
+    loop {
+        let chunk: Vec<ReadPair> = it.by_ref().take(window).collect();
+        if chunk.is_empty() {
+            return out;
+        }
+        out.push(chunk);
+    }
+}

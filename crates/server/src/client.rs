@@ -1,0 +1,223 @@
+//! Client side of the serve protocol: handshake, request turns, retry
+//! loop. Used by `mem2 client`, the integration tests, and the bench
+//! harness — one implementation so they can't drift from the daemon.
+
+use std::io::{self, Read};
+use std::time::Duration;
+
+use mem2_seqio::{decode_frame_header, Frame, FrameWriter, FRAME_HEADER_LEN};
+
+use crate::endpoint::{Conn, Endpoint};
+use crate::proto::{self, CLIENT_MAGIC};
+
+/// Data-frame chunk size when streaming a request's FASTQ bytes.
+const DATA_CHUNK: usize = 256 << 10;
+
+/// Outcome of one alignment request.
+pub enum Response {
+    /// The request was aligned; SAM record lines (no header).
+    Aligned {
+        /// Concatenated SAM record lines, trailing newline included.
+        sam: String,
+        /// Reads aligned, from the DONE frame.
+        reads: u64,
+        /// Records emitted, from the DONE frame.
+        records: u64,
+    },
+    /// The request was rejected under backpressure: nothing was
+    /// aligned; resend after the suggested backoff.
+    Retry {
+        /// Server-suggested backoff.
+        after: Duration,
+    },
+}
+
+/// A connected client session.
+pub struct Client {
+    reader: Conn,
+    writer: FrameWriter<Conn>,
+    header: String,
+}
+
+impl Client {
+    /// Connect and handshake; returns a session ready for requests.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let conn = Conn::connect(endpoint)?;
+        let mut writer = FrameWriter::new(conn.try_clone()?);
+        use std::io::Write as _;
+        {
+            let raw = writer.get_mut();
+            raw.write_all(&CLIENT_MAGIC)?;
+            raw.flush()?;
+        }
+        let mut reader = conn;
+        let hello = read_frame(&mut reader)?;
+        let header = match hello.ty {
+            proto::HELLO => String::from_utf8(hello.payload)
+                .map_err(|_| io::Error::other("HELLO payload is not UTF-8"))?,
+            proto::ERR => return Err(server_err(&hello.payload)),
+            other => return Err(unexpected(other, "HELLO")),
+        };
+        Ok(Client {
+            reader,
+            writer,
+            header,
+        })
+    }
+
+    /// The daemon's SAM header (`@HD`/`@SQ`/`@PG` lines), captured at
+    /// handshake.
+    pub fn sam_header(&self) -> &str {
+        &self.header
+    }
+
+    /// Set sticky per-connection option overrides (`key=value` lines,
+    /// see [`crate::proto::OptsOverride`]). An empty string resets to
+    /// server defaults.
+    pub fn set_opts(&mut self, text: &str) -> io::Result<()> {
+        self.writer.write_frame(proto::OPTS, text.as_bytes())?;
+        let ack = read_frame(&mut self.reader)?;
+        match ack.ty {
+            proto::OK => Ok(()),
+            proto::ERR => Err(server_err(&ack.payload)),
+            other => Err(unexpected(other, "OK")),
+        }
+    }
+
+    /// Align one request's FASTQ bytes. Returns [`Response::Retry`]
+    /// verbatim when the daemon sheds load — see
+    /// [`align_with_retry`](Self::align_with_retry) for the looped
+    /// variant.
+    pub fn align(&mut self, fastq: &[u8]) -> io::Result<Response> {
+        for chunk in fastq.chunks(DATA_CHUNK) {
+            self.writer.write_frame(proto::DATA, chunk)?;
+        }
+        self.writer.write_frame(proto::END, b"")?;
+
+        let mut sam = String::new();
+        loop {
+            let frame = read_frame(&mut self.reader)?;
+            match frame.ty {
+                proto::SAM => {
+                    sam.push_str(
+                        std::str::from_utf8(&frame.payload)
+                            .map_err(|_| io::Error::other("SAM payload is not UTF-8"))?,
+                    );
+                }
+                proto::DONE => {
+                    let (reads, records) = parse_done(&frame.payload)?;
+                    return Ok(Response::Aligned {
+                        sam,
+                        reads,
+                        records,
+                    });
+                }
+                proto::RETRY => {
+                    let ms: u64 = std::str::from_utf8(&frame.payload)
+                        .ok()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| io::Error::other("bad RETRY payload"))?;
+                    return Ok(Response::Retry {
+                        after: Duration::from_millis(ms),
+                    });
+                }
+                proto::ERR => return Err(server_err(&frame.payload)),
+                other => return Err(unexpected(other, "SAM|DONE|RETRY")),
+            }
+        }
+    }
+
+    /// Align with a bounded retry loop: on RETRY, sleep the suggested
+    /// backoff and resend, up to `max_retries` times. This is the
+    /// "no request lost" client discipline the backpressure contract
+    /// assumes.
+    pub fn align_with_retry(
+        &mut self,
+        fastq: &[u8],
+        max_retries: usize,
+    ) -> io::Result<(String, u64, u64)> {
+        let mut retries = 0;
+        loop {
+            match self.align(fastq)? {
+                Response::Aligned {
+                    sam,
+                    reads,
+                    records,
+                } => return Ok((sam, reads, records)),
+                Response::Retry { after } => {
+                    if retries >= max_retries {
+                        return Err(io::Error::other(format!(
+                            "request still rejected after {max_retries} retries"
+                        )));
+                    }
+                    retries += 1;
+                    std::thread::sleep(after);
+                }
+            }
+        }
+    }
+
+    /// Fetch the daemon's JSON stats snapshot.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.writer.write_frame(proto::STATS, b"")?;
+        let frame = read_frame(&mut self.reader)?;
+        match frame.ty {
+            proto::STATS_OK => String::from_utf8(frame.payload)
+                .map_err(|_| io::Error::other("stats payload is not UTF-8")),
+            proto::ERR => Err(server_err(&frame.payload)),
+            other => Err(unexpected(other, "STATS_OK")),
+        }
+    }
+
+    /// Ask the daemon to drain and exit (acked before the drain).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.writer.write_frame(proto::SHUTDOWN, b"")?;
+        let ack = read_frame(&mut self.reader)?;
+        match ack.ty {
+            proto::OK => Ok(()),
+            proto::ERR => Err(server_err(&ack.payload)),
+            other => Err(unexpected(other, "OK")),
+        }
+    }
+}
+
+/// Blocking read of one whole frame (clients block; only the daemon
+/// needs timeout-aware reads).
+fn read_frame(conn: &mut Conn) -> io::Result<Frame> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    conn.read_exact(&mut header)?;
+    let (ty, len) = decode_frame_header(header)?;
+    let mut payload = vec![0u8; len];
+    conn.read_exact(&mut payload)?;
+    Ok(Frame { ty, payload })
+}
+
+fn parse_done(payload: &[u8]) -> io::Result<(u64, u64)> {
+    let text = std::str::from_utf8(payload).map_err(|_| io::Error::other("bad DONE payload"))?;
+    let mut reads = None;
+    let mut records = None;
+    for field in text.split('\t') {
+        if let Some(v) = field.strip_prefix("reads=") {
+            reads = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("records=") {
+            records = v.parse().ok();
+        }
+    }
+    match (reads, records) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(io::Error::other(format!("bad DONE payload {text:?}"))),
+    }
+}
+
+fn server_err(payload: &[u8]) -> io::Error {
+    io::Error::other(format!(
+        "server error: {}",
+        String::from_utf8_lossy(payload)
+    ))
+}
+
+fn unexpected(ty: u8, wanted: &str) -> io::Error {
+    io::Error::other(format!(
+        "unexpected frame type 0x{ty:02x} (wanted {wanted})"
+    ))
+}

@@ -1,0 +1,529 @@
+//! The resident daemon: accept loop, per-connection protocol driver,
+//! STATS snapshots, graceful drain.
+//!
+//! Thread model: one acceptor (polling, so it observes shutdown), one
+//! thread per connection (the protocol is strictly turn-based, so a
+//! connection never needs a reader/writer split), and the [`Batcher`]'s
+//! alignment worker pool shared by everyone. A connection thread does
+//! **no alignment work** — it parses FASTQ into a [`Submission`],
+//! offers it to the shared queue, and streams the reply frames back; a
+//! daemon with 32 idle connections costs 32 parked threads, not 32
+//! worker arenas.
+//!
+//! Drain (SIGTERM, ctrl-C, or a SHUTDOWN frame): stop accepting, let
+//! every connection finish its in-flight turn (idle connections are
+//! closed at their next tick), finish everything already admitted to
+//! the queue, then exit. New requests arriving mid-drain are refused
+//! with an ERR frame — not RETRY, because this server will not be back.
+
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mem2_core::pipeline::PreparedRead;
+use mem2_core::Aligner;
+use mem2_pairing::{pairs_from_interleaved, PeStats};
+use mem2_seqio::{decode_frame_header, FastqStream, Frame, FrameWriter, FRAME_HEADER_LEN};
+
+use crate::batcher::{Batcher, Payload, Submission};
+use crate::endpoint::{Conn, Endpoint, Listener};
+use crate::proto::{self, OptsOverride, RequestMode, CLIENT_MAGIC};
+
+/// Daemon configuration (execution-shape knobs; per-request scoring
+/// options arrive over the wire instead).
+pub struct ServeConfig {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Alignment worker threads.
+    pub threads: usize,
+    /// Admission queue capacity, in requests. Small bounds mean early,
+    /// honest backpressure instead of unbounded memory.
+    pub queue_cap: usize,
+    /// Coalescing budget: reads per cross-connection alignment slab.
+    pub slab_reads: usize,
+    /// Suggested client backoff carried by RETRY frames, milliseconds.
+    pub retry_ms: u64,
+    /// Pinned insert-size distribution for PE requests (the daemon
+    /// equivalent of `mem2 mem -I`).
+    pub pes_override: Option<PeStats>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            #[cfg(unix)]
+            endpoint: Endpoint::Unix(std::env::temp_dir().join("mem2.sock")),
+            #[cfg(not(unix))]
+            endpoint: Endpoint::Tcp("127.0.0.1:0".into()),
+            threads: 1,
+            queue_cap: 64,
+            slab_reads: 512,
+            retry_ms: 50,
+            pes_override: None,
+        }
+    }
+}
+
+/// Idle tick: how often blocked reads / the acceptor re-check the
+/// drain flag.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Mid-frame stall budget: a peer that starts a frame must finish it
+/// within this window or the connection is dropped (protects drain and
+/// worker threads from wedged clients).
+const MID_FRAME_DEADLINE: Duration = Duration::from_secs(30);
+
+/// SAM payload bytes per response frame (a full response streams as
+/// many frames).
+const SAM_CHUNK: usize = 256 << 10;
+
+/// A running daemon: handle for shutdown and join.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The concrete bound endpoint (TCP port 0 already resolved).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Request a graceful drain (what SIGTERM does).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// True once a drain has been requested — by this handle, by
+    /// SIGTERM handling in the CLI, or by a client's SHUTDOWN frame.
+    pub fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Block until the daemon has fully drained and exited.
+    pub fn join(mut self) {
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start serving `aligner` on `config.endpoint`. Returns once the
+/// socket is bound and the worker pool is up; the accept loop runs on
+/// background threads until [`ServerHandle::shutdown`] (or a SHUTDOWN
+/// frame / SIGTERM via the caller polling [`crate::signal`]).
+pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = Listener::bind(&config.endpoint)?;
+    let endpoint = listener.local_endpoint()?;
+    listener.set_nonblocking(true)?;
+    let aligner = Arc::new(aligner);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let batcher = Arc::new(BatcherCell::new(Batcher::start(
+        Arc::clone(&aligner),
+        config.threads,
+        config.queue_cap,
+        config.slab_reads,
+    )));
+    let started = Instant::now();
+    let ctx = Arc::new(ConnCtx {
+        aligner,
+        batcher: Arc::clone(&batcher),
+        shutdown: Arc::clone(&shutdown),
+        retry_ms: config.retry_ms,
+        pes_override: config.pes_override,
+        queue_cap: config.queue_cap,
+        started,
+    });
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let acceptor = std::thread::spawn(move || {
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if accept_shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match listener.accept() {
+                Ok(conn) => {
+                    let ctx = Arc::clone(&ctx);
+                    conns.push(std::thread::spawn(move || handle_connection(conn, &ctx)));
+                    conns.retain(|c| !c.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_TICK);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("[serve] accept failed: {e}; continuing");
+                    std::thread::sleep(POLL_TICK);
+                }
+            }
+        }
+        drop(listener); // stop new traffic, unlink the unix path
+        for c in conns {
+            let _ = c.join(); // connections observe the flag at their next tick
+        }
+        batcher.drain(); // finish everything admitted, stop workers
+    });
+
+    Ok(ServerHandle {
+        endpoint,
+        shutdown,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Shared per-connection context.
+struct ConnCtx {
+    aligner: Arc<Aligner>,
+    batcher: Arc<BatcherCell>,
+    shutdown: Arc<AtomicBool>,
+    retry_ms: u64,
+    pes_override: Option<PeStats>,
+    queue_cap: usize,
+    started: Instant,
+}
+
+/// The batcher behind a mutex only for `drain` (which needs `&mut`);
+/// the hot submit path takes the lock for nanoseconds.
+struct BatcherCell {
+    inner: std::sync::Mutex<Batcher>,
+}
+
+impl BatcherCell {
+    fn new(b: Batcher) -> Self {
+        BatcherCell {
+            inner: std::sync::Mutex::new(b),
+        }
+    }
+
+    #[allow(clippy::result_large_err)] // mirrors Batcher::try_submit: Err hands the submission back
+    fn try_submit(&self, sub: Submission) -> Result<(), Submission> {
+        self.inner.lock().expect("batcher poisoned").try_submit(sub)
+    }
+
+    fn drain(&self) {
+        self.inner.lock().expect("batcher poisoned").drain();
+    }
+
+    fn with<T>(&self, f: impl FnOnce(&Batcher) -> T) -> T {
+        f(&self.inner.lock().expect("batcher poisoned"))
+    }
+}
+
+/// RAII active-connection gauge.
+struct ConnGauge<'a>(&'a ConnCtx);
+
+impl<'a> ConnGauge<'a> {
+    fn new(ctx: &'a ConnCtx) -> Self {
+        ctx.batcher.with(|b| {
+            b.counters()
+                .active_connections
+                .fetch_add(1, Ordering::Relaxed)
+        });
+        ConnGauge(ctx)
+    }
+}
+
+impl Drop for ConnGauge<'_> {
+    fn drop(&mut self) {
+        self.0.batcher.with(|b| {
+            b.counters()
+                .active_connections
+                .fetch_sub(1, Ordering::Relaxed)
+        });
+    }
+}
+
+/// Drive one connection through the protocol until EOF, error, or
+/// drain. Errors are reported to the peer as ERR frames where the
+/// socket still works; either way the connection ends quietly — a bad
+/// client must never take the daemon down.
+fn handle_connection(conn: Conn, ctx: &ConnCtx) {
+    let _gauge = ConnGauge::new(ctx);
+    if let Err(e) = run_connection(conn, ctx) {
+        // connection-level I/O failures are ordinary churn (client
+        // killed mid-frame, network reset); log at debug volume only
+        if e.kind() != io::ErrorKind::UnexpectedEof {
+            eprintln!("[serve] connection ended: {e}");
+        }
+    }
+}
+
+fn run_connection(conn: Conn, ctx: &ConnCtx) -> io::Result<()> {
+    conn.set_read_timeout(Some(POLL_TICK))?;
+    let mut reader = conn;
+    let mut writer = FrameWriter::new(reader.try_clone()?);
+
+    // -- handshake --
+    let mut magic = [0u8; CLIENT_MAGIC.len()];
+    if !read_exact_idle(&mut reader, &mut magic, &ctx.shutdown)? {
+        return Ok(()); // closed or drained before speaking
+    }
+    if magic != CLIENT_MAGIC {
+        writer.write_frame(proto::ERR, b"bad magic (expected M2SV v1)")?;
+        return Ok(());
+    }
+    writer.write_frame(proto::HELLO, ctx.aligner.sam_header().as_bytes())?;
+
+    // -- request turns --
+    let mut overrides = OptsOverride::default();
+    let mut opts = ctx.aligner.opts;
+    let mut data: Vec<u8> = Vec::new();
+    loop {
+        let Some(frame) = read_frame_idle(&mut reader, &ctx.shutdown)? else {
+            return Ok(()); // clean EOF or drain while idle
+        };
+        match frame.ty {
+            proto::OPTS => match std::str::from_utf8(&frame.payload)
+                .map_err(|_| "OPTS payload is not UTF-8".to_string())
+                .and_then(OptsOverride::parse)
+            {
+                Ok(o) => {
+                    opts = o.apply(&ctx.aligner.opts);
+                    overrides = o;
+                    writer.write_frame(proto::OK, b"")?;
+                }
+                Err(msg) => {
+                    writer.write_frame(proto::ERR, msg.as_bytes())?;
+                    return Ok(());
+                }
+            },
+            proto::DATA => {
+                data.extend_from_slice(&frame.payload);
+            }
+            proto::END => {
+                let outcome = finish_request(ctx, &overrides, &opts, &mut data, &mut writer);
+                match outcome {
+                    Ok(true) => {}
+                    Ok(false) => return Ok(()), // protocol error already reported
+                    Err(e) => return Err(e),
+                }
+            }
+            proto::STATS => {
+                let json = render_stats(ctx);
+                writer.write_frame(proto::STATS_OK, json.as_bytes())?;
+            }
+            proto::SHUTDOWN => {
+                writer.write_frame(proto::OK, b"draining")?;
+                ctx.shutdown.store(true, Ordering::Release);
+                return Ok(());
+            }
+            other => {
+                let msg = format!("unknown frame type 0x{other:02x}");
+                writer.write_frame(proto::ERR, msg.as_bytes())?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Process one END: parse, admit (or RETRY), stream the reply. Returns
+/// `Ok(false)` when the connection should close (request-level failure
+/// already reported to the peer).
+fn finish_request(
+    ctx: &ConnCtx,
+    overrides: &OptsOverride,
+    opts: &mem2_core::MemOpts,
+    data: &mut Vec<u8>,
+    writer: &mut FrameWriter<Conn>,
+) -> io::Result<bool> {
+    let bytes = std::mem::take(data);
+    if ctx.shutdown.load(Ordering::Acquire) {
+        writer.write_frame(proto::ERR, b"server draining")?;
+        return Ok(false);
+    }
+
+    // parse the request's FASTQ (any DATA chunking; records may have
+    // split anywhere)
+    let mut records = Vec::new();
+    for rec in FastqStream::new(&bytes[..]) {
+        match rec {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                let msg = format!("bad FASTQ in request: {e}");
+                writer.write_frame(proto::ERR, msg.as_bytes())?;
+                return Ok(false);
+            }
+        }
+    }
+    if records.is_empty() {
+        writer.write_frame(proto::DONE, b"reads=0\trecords=0")?;
+        return Ok(true);
+    }
+
+    let payload = match overrides.mode {
+        RequestMode::Single => Payload::Single(
+            records
+                .into_iter()
+                .map(PreparedRead::from_fastq_owned)
+                .collect(),
+        ),
+        RequestMode::Paired => {
+            if !records.len().is_multiple_of(2) {
+                let msg = format!(
+                    "mode=pe needs interleaved pairs: got {} reads (odd)",
+                    records.len()
+                );
+                writer.write_frame(proto::ERR, msg.as_bytes())?;
+                return Ok(false);
+            }
+            Payload::Paired(pairs_from_interleaved(records))
+        }
+    };
+
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let sub = Submission {
+        fingerprint: overrides.fingerprint(),
+        opts: *opts,
+        pes_override: ctx.pes_override,
+        payload,
+        reply: reply_tx,
+        enqueued: Instant::now(),
+    };
+    if ctx.batcher.try_submit(sub).is_err() {
+        // explicit backpressure: nothing was admitted, client retries
+        writer.write_frame(proto::RETRY, ctx.retry_ms.to_string().as_bytes())?;
+        return Ok(true);
+    }
+
+    // the worker pool owns the request now; recv blocks until our slab
+    // ran (drain still completes admitted work, so this always ends)
+    let reply = reply_rx
+        .recv()
+        .map_err(|_| io::Error::other("alignment worker dropped the request"))?;
+
+    // stream the records out in bounded frames
+    let mut chunk = String::with_capacity(SAM_CHUNK + 1024);
+    for rec in &reply.records {
+        chunk.push_str(&rec.to_line());
+        chunk.push('\n');
+        if chunk.len() >= SAM_CHUNK {
+            writer.write_frame(proto::SAM, chunk.as_bytes())?;
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        writer.write_frame(proto::SAM, chunk.as_bytes())?;
+    }
+    let done = format!("reads={}\trecords={}", reply.reads, reply.records.len());
+    writer.write_frame(proto::DONE, done.as_bytes())?;
+    Ok(true)
+}
+
+/// The STATS snapshot: queue state, traffic counters, batch occupancy,
+/// and per-stage latencies. Hand-rolled JSON (no serde in the offline
+/// shim set), flat enough for `grep`/`jq` alike.
+fn render_stats(ctx: &ConnCtx) -> String {
+    ctx.batcher.with(|b| {
+        let c = b.counters();
+        let slabs = c.slabs.load(Ordering::Relaxed);
+        let slab_subs = c.slab_submissions.load(Ordering::Relaxed);
+        let slab_reads = c.slab_reads.load(Ordering::Relaxed);
+        let admitted = c.admitted.load(Ordering::Relaxed);
+        let times = b.stage_times();
+        let stage_ms: Vec<String> = mem2_core::profile::STAGE_NAMES
+            .iter()
+            .zip(times.totals.iter())
+            .map(|(name, d)| format!("\"{}\": {:.3}", name, d.as_secs_f64() * 1e3))
+            .collect();
+        format!(
+            concat!(
+                "{{\"uptime_ms\": {}, \"queue_depth\": {}, \"queue_cap\": {}, ",
+                "\"active_connections\": {}, \"requests_admitted\": {}, ",
+                "\"requests_rejected\": {}, \"reads\": {}, \"records\": {}, ",
+                "\"slabs\": {}, \"avg_requests_per_slab\": {:.3}, ",
+                "\"avg_reads_per_slab\": {:.3}, \"avg_queue_wait_ms\": {:.3}, ",
+                "\"avg_service_ms\": {:.3}, \"stage_ms\": {{{}}}}}"
+            ),
+            ctx.started.elapsed().as_millis(),
+            b.queue_depth(),
+            ctx.queue_cap,
+            c.active_connections.load(Ordering::Relaxed),
+            admitted,
+            c.rejected.load(Ordering::Relaxed),
+            c.reads.load(Ordering::Relaxed),
+            c.records.load(Ordering::Relaxed),
+            slabs,
+            ratio(slab_subs, slabs),
+            ratio(slab_reads, slabs),
+            ratio(c.queue_wait_us.load(Ordering::Relaxed), admitted) / 1e3,
+            ratio(c.service_us.load(Ordering::Relaxed), slabs) / 1e3,
+            stage_ms.join(", "),
+        )
+    })
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// timeout-aware frame reading
+// ---------------------------------------------------------------------
+
+/// Read exactly `buf` while the socket's read timeout ticks: timeouts
+/// *before the first byte* poll the drain flag (returning `false` to
+/// close idle connections on drain, and on EOF); once a frame has
+/// started, timeouts keep retrying up to [`MID_FRAME_DEADLINE`].
+fn read_exact_idle(conn: &mut Conn, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    let mut started: Option<Instant> = None;
+    while filled < buf.len() {
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                }
+            }
+            Ok(n) => {
+                filled += n;
+                started.get_or_insert_with(Instant::now);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                match started {
+                    None => {
+                        if shutdown.load(Ordering::Acquire) {
+                            return Ok(false);
+                        }
+                    }
+                    Some(t) if t.elapsed() > MID_FRAME_DEADLINE => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer stalled mid-frame",
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame with idle-aware timeouts; `None` = clean close (EOF
+/// at a boundary, or drain while idle).
+fn read_frame_idle(conn: &mut Conn, shutdown: &AtomicBool) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_idle(conn, &mut header, shutdown)? {
+        return Ok(None);
+    }
+    let (ty, len) = decode_frame_header(header)?;
+    let mut payload = vec![0u8; len];
+    if len > 0 && !read_exact_idle(conn, &mut payload, shutdown)? {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    Ok(Some(Frame { ty, payload }))
+}

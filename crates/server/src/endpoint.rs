@@ -1,0 +1,171 @@
+//! Socket endpoints: one abstraction over Unix-domain and TCP
+//! listeners/streams so the daemon, client library and CLI speak both.
+//!
+//! Unix sockets are the deployment default (same-host pipelines, no
+//! port management, file-permission access control); TCP serves
+//! cross-host traffic and platforms without `AF_UNIX`.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// Where a server listens / a client connects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP address (`host:port`; port 0 asks the OS for a free one).
+    Tcp(String),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// A listening socket of either family.
+pub enum Listener {
+    /// Unix-domain listener (unlinks its path on drop).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Bind the endpoint. A Unix path that already exists is an error
+    /// (a live daemon may own it); remove stale sockets explicitly.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let l = UnixListener::bind(path)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+        }
+    }
+
+    /// The concrete endpoint (TCP port 0 resolved to the bound port).
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(Endpoint::Unix(path.clone())),
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+        }
+    }
+
+    /// Switch the listener into non-blocking accept mode (the acceptor
+    /// polls so it can observe shutdown between connections).
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accept one connection (non-blocking errors pass through).
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                // alignment responses are latency-sensitive small frames
+                s.set_nodelay(true).ok();
+                Ok(Conn::Tcp(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected stream of either family.
+pub enum Conn {
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    /// Connect to a serving endpoint.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
+        match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true).ok();
+                Ok(Conn::Tcp(s))
+            }
+        }
+    }
+
+    /// Bound read timeout (the daemon's idle tick; `None` = blocking).
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// A second handle onto the same socket (reader/writer split).
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `mem2-server`: the resident alignment daemon behind `mem2 serve`
+//! (introduced in PR 7).
+//!
+//! Index construction dominates short-job latency: loading even a
+//! memory-mapped bundle, faulting the FM-index hot path, and warming
+//! worker arenas costs far more than aligning a few thousand reads.
+//! This crate keeps one loaded [`mem2_core::Aligner`] resident and
+//! amortizes it across many clients over a Unix or TCP socket, using
+//! the length-prefixed framing of [`mem2_seqio::frame`].
+//!
+//! The core is the cross-connection micro-batcher ([`batcher`]): small
+//! requests from many sockets coalesce into the same alignment slabs
+//! the CLI uses, so the seeding/BSW superstages of the paper's design
+//! stay full even when every individual client sends only a handful of
+//! reads. Coalescing is byte-safe because per-read SAM output is a
+//! pure function of `(read, options)` — the determinism invariant the
+//! repo pins everywhere — and only requests with identical canonical
+//! option fingerprints ([`proto::OptsOverride`]) share a slab.
+//!
+//! Key types: [`ServeConfig`]/[`serve`]/[`ServerHandle`] (daemon),
+//! [`Client`]/[`Response`] (client side), [`Endpoint`] (unix/tcp
+//! addressing), [`batcher::Batcher`] (admission queue + worker pool),
+//! and the wire verbs in [`proto`]. Backpressure is explicit
+//! (bounded queue, RETRY-with-backoff, nothing half-admitted) and
+//! shutdown is a drain: SIGTERM or a SHUTDOWN frame stops admission,
+//! finishes every admitted request, then exits ([`signal`]).
+
+#![deny(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod daemon;
+pub mod endpoint;
+pub mod proto;
+pub mod signal;
+
+pub use client::{Client, Response};
+pub use daemon::{serve, ServeConfig, ServerHandle};
+pub use endpoint::{Conn, Endpoint, Listener};
+pub use proto::{OptsOverride, RequestMode};

@@ -1,0 +1,59 @@
+//! SIGTERM/SIGINT → graceful-drain flag.
+//!
+//! The offline build environment has no `libc` crate, so (like
+//! `mem2-core`'s mmap loader) the one syscall wrapper needed —
+//! `signal(2)` — is declared directly against the platform C library.
+//! The handler only stores to an `AtomicBool`, which is
+//! async-signal-safe; the daemon's acceptor polls the flag between
+//! accepts and runs the same drain path a SHUTDOWN control frame
+//! triggers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::*;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        // store-only: async-signal-safe
+        TERMINATION_REQUESTED.store(true, Ordering::Release);
+    }
+
+    /// Route SIGTERM and SIGINT to the drain flag.
+    pub fn install_termination_handler() {
+        // Safety: installing a handler that only performs an atomic
+        // store; `signal` never dereferences anything of ours.
+        let handler = on_terminate as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use sys::install_termination_handler;
+
+/// Non-unix stub: no signals to install; drain happens via the
+/// SHUTDOWN control frame only.
+#[cfg(not(unix))]
+pub fn install_termination_handler() {}
+
+/// Has SIGTERM/SIGINT been received since the handler was installed?
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::Acquire)
+}
+
+/// Test hook: simulate a termination signal.
+pub fn request_termination() {
+    TERMINATION_REQUESTED.store(true, Ordering::Release);
+}

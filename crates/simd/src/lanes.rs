@@ -3,8 +3,8 @@
 //! The BSW kernels in `mem2-bsw` are written once, generically over these
 //! traits, and instantiated per backend: the portable [`crate::VecU8`] /
 //! [`crate::VecI16`] emulation (any width, always available, the ground
-//! truth), and the real `core::arch` types in [`crate::x86`] /
-//! [`crate::neon`]. Every operation mirrors an x86 vector instruction;
+//! truth), and the real `core::arch` types in the per-ISA modules
+//! (`x86`, `neon`). Every operation mirrors an x86 vector instruction;
 //! masks are all-zeros / all-ones per lane, exactly what the hardware
 //! compares produce, so a mask is just another vector.
 //!

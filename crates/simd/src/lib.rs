@@ -10,7 +10,7 @@
 //!   16×u8 / 8×i16) for the width-ablation benchmark. Always available,
 //!   and the ground truth every native backend is validated against.
 //! * **Native `core::arch` backends**: genuine vector registers and
-//!   intrinsics — SSE2/SSE4.1 and AVX2 in [`x86`], NEON in [`neon`] —
+//!   intrinsics — SSE2/SSE4.1 and AVX2 in `x86`, NEON in `neon` —
 //!   the instructions the paper's kernels are written in. [`dispatch`]
 //!   picks the widest backend compiled into the binary *and* present on
 //!   the executing CPU, once per process.
@@ -18,6 +18,11 @@
 //! Masks are represented as vectors of the same element type holding
 //! all-zeros (false) or all-ones (true) per lane, exactly like the x86
 //! compare instructions the paper uses, so `blend` is `(a & m) | (b & !m)`.
+//!
+//! Key types: the [`SimdU8`]/[`SimdI16`] lane traits, [`dispatch`]
+//! (runtime backend selection), the dispatched byte-count kernels in
+//! [`count`], and [`prefetch_read`]. Introduced in PR 1; real
+//! `core::arch` backends + dispatch in PR 4, aarch64 prefetch in PR 5.
 
 // The explicit `for i in 0..W { o[i] = f(a[i], b[i]) }` loops this crate is
 // built on (fixed trip count + direct array indexing, the pattern LLVM's

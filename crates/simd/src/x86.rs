@@ -5,9 +5,9 @@
 //!
 //! * **SSE2** ([`U8x16Sse2`] / [`I16x8Sse2`]) — part of the x86_64
 //!   baseline, so always compiled and always sound to run.
-//! * **SSE4.1** ([`U8x16Sse41`] / [`I16x8Sse41`]) — adds `pblendvb` and
+//! * **SSE4.1** (`U8x16Sse41` / `I16x8Sse41`) — adds `pblendvb` and
 //!   `ptest`; compiled only when the build enables `sse4.1`.
-//! * **AVX2** ([`U8x32Avx`] / [`I16x16Avx`]) — 32 byte lanes, the
+//! * **AVX2** (`U8x32Avx` / `I16x16Avx`) — 32 byte lanes, the
 //!   paper's primary ISA; compiled only when the build enables `avx2`
 //!   (the workspace builds with `-C target-cpu=native`, CI with
 //!   `x86-64-v3`, so this is the common case).

@@ -13,6 +13,10 @@
 //! * the BWT is returned with the sentinel row *removed* and its position
 //!   recorded (`sentinel_row`), exactly the layout bwa's occurrence
 //!   counting assumes (`k -= (k >= bwt->primary)`).
+//!
+//! Key types: [`suffix_array`]/[`bwt_from_sa`] construction entry points
+//! and the width-dispatched [`SaVec`]/[`IndexWidth`] position storage.
+//! Introduced in PR 1; generalized over 32/64-bit positions in PR 6.
 
 pub mod bwt;
 pub mod naive;

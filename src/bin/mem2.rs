@@ -31,6 +31,24 @@
 //!     single-end: writes <prefix>.fasta and <prefix>.fastq
 //!     --pairs: writes <prefix>.fasta, <prefix>_R1/_R2.fastq and the
 //!     interleaved <prefix>_il.fastq (n_reads counts pairs)
+//! mem2 serve [opts] <ref.idx|ref.fasta>
+//!     --socket PATH     listen on a Unix socket (default /tmp/mem2.sock)
+//!     --tcp ADDR        listen on a TCP address instead
+//!     -t N              alignment worker threads (default: all)
+//!     --queue N         admission queue bound, requests (default 64)
+//!     --slab-reads N    cross-connection coalescing budget (default:
+//!                       the CLI slab size; SAM bytes are identical
+//!                       for every value)
+//!     --retry-ms N      backoff suggested by RETRY frames (default 50)
+//!     -I MEAN[,STD]     pinned insert distribution for mode=pe requests
+//!     --classic / --simd MODE / --load MODE   as for `mem2 mem`
+//! mem2 client [opts] [reads.fastq[.gz]]
+//!     --socket PATH | --tcp ADDR   where the daemon listens
+//!     --opts K=V[,K=V...]          per-request overrides (see README)
+//!     -p                interleaved paired-end request (mode=pe)
+//!     --retries N       RETRY backoff attempts (default 10)
+//!     --stats           print the daemon's JSON stats snapshot
+//!     --shutdown        ask the daemon to drain and exit
 //! ```
 //!
 //! Reads are **streamed** in bounded batches (decode of the next batch
@@ -51,6 +69,7 @@ use mem2::seqio::{
     gzip_compress_stored, write_fasta, write_fastq, BatchReader, InterleavedBatchReader,
     PairedBatchReader, SeqIoError,
 };
+use mem2::server::Endpoint;
 use mem2::simd::{dispatch, Backend};
 use mem2::suffix::IndexWidth;
 
@@ -60,8 +79,10 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&args[1..]),
         Some("mem") => cmd_mem(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => {
-            eprintln!("usage: mem2 <index|mem|simulate> ...\n");
+            eprintln!("usage: mem2 <index|mem|simulate|serve|client> ...\n");
             eprintln!(
                 "  mem2 index [--index-width auto|32|64] [--width-limit N] <ref.fasta> <out.idx>"
             );
@@ -73,6 +94,15 @@ fn main() -> ExitCode {
             eprintln!(
                 "  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz] [--pairs] \
                  [--insert MEAN,STD]"
+            );
+            eprintln!(
+                "  mem2 serve [--socket PATH|--tcp ADDR] [-t N] [--queue N] [--slab-reads N] \
+                 [--retry-ms N] [-I MEAN[,STD]] [--classic] [--simd MODE] [--load MODE] \
+                 <ref.idx|ref.fasta>"
+            );
+            eprintln!(
+                "  mem2 client [--socket PATH|--tcp ADDR] [--opts K=V[,K=V...]] [-p] [--retries N] \
+                 [--stats] [--shutdown] [reads.fastq[.gz]]"
             );
             return ExitCode::from(2);
         }
@@ -291,50 +321,13 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     // resolve the SIMD backend once per process: scalar/portable force
     // the dispatched kernels (occ counts included) onto the emulated
     // paths; auto/native use the widest compiled+detected backend
-    match opts.simd {
-        SimdChoice::Scalar | SimdChoice::Portable => dispatch::force(Some(Backend::Portable)),
-        SimdChoice::Auto | SimdChoice::Native => dispatch::force(None),
-    }
-    let bsw_desc = match opts.simd {
-        SimdChoice::Scalar => "scalar kernel".to_string(),
-        SimdChoice::Portable => format!(
-            "portable emulation ({} u8 lanes)",
-            Backend::Portable.u8_lanes()
-        ),
-        SimdChoice::Auto | SimdChoice::Native => {
-            let b = Backend::native();
-            format!("{} ({} u8 lanes)", b.name(), b.u8_lanes())
-        }
-    };
-    eprintln!("[mem] SIMD: --simd {} -> BSW {}", opts.simd, bsw_desc);
+    eprintln!(
+        "[mem] SIMD: --simd {} -> BSW {}",
+        opts.simd,
+        resolve_simd(opts.simd)
+    );
 
-    let (reference, index) = if ref_path.ends_with(".idx") {
-        let t_load = std::time::Instant::now();
-        let (reference, index, report) = bundle::load_index_file(
-            std::path::Path::new(ref_path.as_str()),
-            &workflow.build_opts(),
-            load_mode,
-        )
-        .map_err(|e| format!("{ref_path}: {e}"))?;
-        eprintln!(
-            "[mem] index: bundle v{}, {}-bit positions, {} MB, {} load{} in {:.0} ms",
-            report.version,
-            report.sa_width,
-            report.bytes / (1 << 20),
-            if report.file_mapped {
-                "mmap"
-            } else {
-                "buffered"
-            },
-            if report.zero_copy { " (zero-copy)" } else { "" },
-            t_load.elapsed().as_secs_f64() * 1e3
-        );
-        (reference, index)
-    } else {
-        let reference = load_reference(ref_path)?;
-        let index = FmIndex::build(&reference, &workflow.build_opts());
-        (reference, index)
-    };
+    let (reference, index) = load_ref_index(ref_path, workflow, load_mode, "mem")?;
     let aligner = Aligner::with_index(index, reference, opts, workflow);
 
     let stdout = std::io::stdout();
@@ -412,6 +405,289 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         summary.reads as f64 / wall.as_secs_f64()
     );
     eprint!("{}", times.render("[mem] stage CPU time"));
+    Ok(())
+}
+
+/// Load (or build) the reference + FM-index behind `<ref.idx|ref.fasta>`
+/// — shared by `mem` and `serve`.
+fn load_ref_index(
+    ref_path: &str,
+    workflow: Workflow,
+    load_mode: LoadMode,
+    tag: &str,
+) -> Result<(Reference, FmIndex), AnyError> {
+    if ref_path.ends_with(".idx") {
+        let t_load = std::time::Instant::now();
+        let (reference, index, report) = bundle::load_index_file(
+            std::path::Path::new(ref_path),
+            &workflow.build_opts(),
+            load_mode,
+        )
+        .map_err(|e| format!("{ref_path}: {e}"))?;
+        eprintln!(
+            "[{tag}] index: bundle v{}, {}-bit positions, {} MB, {} load{} in {:.0} ms",
+            report.version,
+            report.sa_width,
+            report.bytes / (1 << 20),
+            if report.file_mapped {
+                "mmap"
+            } else {
+                "buffered"
+            },
+            if report.zero_copy { " (zero-copy)" } else { "" },
+            t_load.elapsed().as_secs_f64() * 1e3
+        );
+        Ok((reference, index))
+    } else {
+        let reference = load_reference(ref_path)?;
+        let index = FmIndex::build(&reference, &workflow.build_opts());
+        Ok((reference, index))
+    }
+}
+
+/// Resolve the process-wide SIMD backend from `--simd` (shared by `mem`
+/// and `serve`); returns a human-readable BSW backend description.
+fn resolve_simd(choice: SimdChoice) -> String {
+    match choice {
+        SimdChoice::Scalar | SimdChoice::Portable => dispatch::force(Some(Backend::Portable)),
+        SimdChoice::Auto | SimdChoice::Native => dispatch::force(None),
+    }
+    match choice {
+        SimdChoice::Scalar => "scalar kernel".to_string(),
+        SimdChoice::Portable => format!(
+            "portable emulation ({} u8 lanes)",
+            Backend::Portable.u8_lanes()
+        ),
+        SimdChoice::Auto | SimdChoice::Native => {
+            let b = Backend::native();
+            format!("{} ({} u8 lanes)", b.name(), b.u8_lanes())
+        }
+    }
+}
+
+/// Parse `--socket PATH` / `--tcp ADDR` into an [`Endpoint`].
+fn parse_endpoint(socket: Option<&String>, tcp: Option<&String>) -> Result<Endpoint, AnyError> {
+    match (socket, tcp) {
+        (Some(_), Some(_)) => Err("--socket and --tcp are mutually exclusive".into()),
+        (None, Some(addr)) => Ok(Endpoint::Tcp(addr.clone())),
+        #[cfg(unix)]
+        (Some(path), None) => Ok(Endpoint::Unix(std::path::PathBuf::from(path))),
+        #[cfg(unix)]
+        (None, None) => Ok(Endpoint::Unix(std::env::temp_dir().join("mem2.sock"))),
+        #[cfg(not(unix))]
+        (Some(_), None) => Err("--socket needs Unix sockets; use --tcp on this platform".into()),
+        #[cfg(not(unix))]
+        (None, None) => Err("this platform has no Unix sockets; pass --tcp ADDR".into()),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    const USAGE: &str = "usage: mem2 serve [--socket PATH|--tcp ADDR] [-t N] [--queue N] \
+         [--slab-reads N] [--retry-ms N] [-I MEAN[,STD]] [--classic] [--simd MODE] [--load MODE] \
+         <ref.idx|ref.fasta>";
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut workflow = Workflow::Batched;
+    let mut opts = MemOpts::default();
+    let mut load_mode = LoadMode::Auto;
+    let mut socket: Option<&String> = None;
+    let mut tcp: Option<&String> = None;
+    let mut queue_cap = 64usize;
+    let mut slab_reads: Option<usize> = None;
+    let mut retry_ms = 50u64;
+    let mut pes_override: Option<PeStats> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?),
+            "--tcp" => tcp = Some(it.next().ok_or("--tcp needs an address")?),
+            "-t" => {
+                threads = it
+                    .next()
+                    .ok_or("-t needs a value")?
+                    .parse()
+                    .map_err(|_| "-t needs an integer")?;
+            }
+            "--queue" => {
+                queue_cap = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|_| "--queue needs an integer")?;
+                if queue_cap == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--slab-reads" => {
+                let v: usize = it
+                    .next()
+                    .ok_or("--slab-reads needs a value")?
+                    .parse()
+                    .map_err(|_| "--slab-reads needs an integer")?;
+                if v == 0 {
+                    return Err("--slab-reads must be at least 1".into());
+                }
+                slab_reads = Some(v);
+            }
+            "--retry-ms" => {
+                retry_ms = it
+                    .next()
+                    .ok_or("--retry-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--retry-ms needs an integer")?;
+            }
+            "-I" => {
+                pes_override = Some(parse_insert_override(it.next().ok_or("-I needs a value")?)?);
+            }
+            "--classic" => workflow = Workflow::Classic,
+            "--load" => {
+                load_mode = match it.next().ok_or("--load needs a value")?.as_str() {
+                    "auto" => LoadMode::Auto,
+                    "mmap" => LoadMode::Mmap,
+                    "read" => LoadMode::Read,
+                    other => {
+                        return Err(format!("--load must be auto|mmap|read, got {other}").into())
+                    }
+                };
+            }
+            "--simd" => {
+                let v = it.next().ok_or("--simd needs a value")?;
+                opts.simd = SimdChoice::parse(v)
+                    .ok_or_else(|| format!("--simd must be one of {}", SimdChoice::VALUES))?;
+            }
+            _ => positional.push(a),
+        }
+    }
+    let [ref_path] = positional[..] else {
+        return Err(USAGE.into());
+    };
+    let endpoint = parse_endpoint(socket, tcp)?;
+
+    eprintln!(
+        "[serve] SIMD: --simd {} -> BSW {}",
+        opts.simd,
+        resolve_simd(opts.simd)
+    );
+    let (reference, index) = load_ref_index(ref_path, workflow, load_mode, "serve")?;
+    let aligner = Aligner::with_index(index, reference, opts, workflow);
+
+    mem2::server::signal::install_termination_handler();
+    let handle = mem2::server::serve(
+        aligner,
+        mem2::server::ServeConfig {
+            endpoint,
+            threads,
+            queue_cap,
+            slab_reads: slab_reads.unwrap_or(opts.batch_reads),
+            retry_ms,
+            pes_override,
+        },
+    )?;
+    eprintln!(
+        "[serve] listening on {} ({} worker(s), queue {} request(s), {} reads/slab)",
+        handle.endpoint(),
+        threads,
+        queue_cap,
+        slab_reads.unwrap_or(opts.batch_reads),
+    );
+    // main thread: wait for SIGTERM/SIGINT or a client SHUTDOWN frame,
+    // then drain gracefully (finish admitted requests, refuse new ones)
+    while !handle.draining() {
+        if mem2::server::signal::termination_requested() {
+            eprintln!("[serve] termination signal received; draining");
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.join();
+    eprintln!("[serve] drained; bye");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), AnyError> {
+    const USAGE: &str = "usage: mem2 client [--socket PATH|--tcp ADDR] [--opts K=V[,K=V...]] \
+         [-p] [--retries N] [--stats] [--shutdown] [reads.fastq[.gz]]";
+    let mut socket: Option<&String> = None;
+    let mut tcp: Option<&String> = None;
+    let mut override_lines: Vec<String> = Vec::new();
+    let mut paired = false;
+    let mut retries = 10usize;
+    let mut want_stats = false;
+    let mut want_shutdown = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?),
+            "--tcp" => tcp = Some(it.next().ok_or("--tcp needs an address")?),
+            "--opts" => {
+                let v = it.next().ok_or("--opts needs K=V[,K=V...]")?;
+                override_lines.extend(v.split([',', ';']).map(|s| s.trim().to_string()));
+            }
+            "-p" => paired = true,
+            "--retries" => {
+                retries = it
+                    .next()
+                    .ok_or("--retries needs a value")?
+                    .parse()
+                    .map_err(|_| "--retries needs an integer")?;
+            }
+            "--stats" => want_stats = true,
+            "--shutdown" => want_shutdown = true,
+            _ => positional.push(a),
+        }
+    }
+    let reads = match positional[..] {
+        [] => None,
+        [r] => Some(r),
+        _ => return Err(USAGE.into()),
+    };
+    if reads.is_none() && !want_stats && !want_shutdown {
+        return Err(format!("nothing to do\n{USAGE}").into());
+    }
+    if paired {
+        override_lines.push("mode=pe".into());
+    }
+    let endpoint = parse_endpoint(socket, tcp)?;
+    let mut client = mem2::server::Client::connect(&endpoint)
+        .map_err(|e| format!("{endpoint}: {e} (is `mem2 serve` running?)"))?;
+    if !override_lines.is_empty() {
+        client.set_opts(&override_lines.join("\n"))?;
+    }
+
+    if let Some(reads_path) = reads {
+        use std::io::Read as _;
+        // decompress locally (magic-byte sniff) so the daemon always
+        // sees plain FASTQ bytes
+        let mut input = mem2::seqio::open_reads(reads_path)?;
+        let mut fastq = Vec::new();
+        input
+            .read_to_end(&mut fastq)
+            .map_err(|e| format!("{reads_path}: {e}"))?;
+        let t = std::time::Instant::now();
+        let (sam, n_reads, n_records) = client.align_with_retry(&fastq, retries)?;
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        out.write_all(client.sam_header().as_bytes())?;
+        out.write_all(sam.as_bytes())?;
+        out.flush()?;
+        eprintln!(
+            "[client] {} reads -> {} records in {:.3}s",
+            n_reads,
+            n_records,
+            t.elapsed().as_secs_f64()
+        );
+    }
+    if want_stats {
+        println!("{}", client.stats()?);
+    }
+    if want_shutdown {
+        client.shutdown()?;
+        eprintln!("[client] daemon acknowledged shutdown; draining");
+    }
     Ok(())
 }
 

@@ -42,6 +42,7 @@
 //! | [`bsw`] | banded Smith-Waterman: scalar + inter-task SIMD engines |
 //! | [`core`] | the aligner: pipelines, SAM output, worker pool |
 //! | [`pairing`] | paired-end: insert-size estimation, pair selection, mate rescue |
+//! | [`server`] | `mem2 serve`: resident daemon, cross-connection micro-batching |
 //! | [`simd`] | portable fixed-width vector substrate |
 //! | [`memsim`] | cache-hierarchy model / performance-counter proxies |
 
@@ -52,6 +53,7 @@ pub use mem2_fmindex as fmindex;
 pub use mem2_memsim as memsim;
 pub use mem2_pairing as pairing;
 pub use mem2_seqio as seqio;
+pub use mem2_server as server;
 pub use mem2_simd as simd;
 pub use mem2_suffix as suffix;
 

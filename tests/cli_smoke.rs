@@ -519,6 +519,83 @@ fn index_width_matrix_is_byte_identical() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("auto|mmap|read"));
 }
 
+/// `mem2 serve` + `mem2 client` end to end as real processes: the
+/// served bytes must equal an offline `mem2 mem` run, STATS must
+/// answer, and `--shutdown` must drain the daemon to a clean exit.
+#[cfg(unix)]
+#[test]
+fn serve_and_client_roundtrip_matches_offline_mem() {
+    use std::process::Stdio;
+    use std::time::{Duration, Instant};
+
+    let dir = TempDir::new("serve");
+    let prefix = dir.path("srv");
+    let fasta = format!("{prefix}.fasta");
+    let fastq = format!("{prefix}.fastq");
+    let idx = dir.path("srv.idx");
+    let sock = dir.path("mem2.sock");
+
+    mem2_ok(&["simulate", "0.05", "40", "101", &prefix]);
+    mem2_ok(&["index", &fasta, &idx]);
+    let offline = mem2_ok(&["mem", "-t", "1", &idx, &fastq]);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_mem2"))
+        .args(["serve", "--socket", &sock, "-t", "2", &idx])
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+
+    // wait for the socket to exist (index load happens first)
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !std::path::Path::new(&sock).exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {sock}");
+        assert!(
+            daemon.try_wait().expect("poll daemon").is_none(),
+            "daemon exited before binding"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let served = mem2_ok(&["client", "--socket", &sock, &fastq]);
+    assert_eq!(
+        served.stdout, offline.stdout,
+        "served SAM must be byte-identical to offline `mem2 mem`"
+    );
+
+    let stats = mem2_ok(&["client", "--socket", &sock, "--stats"]);
+    let stats_text = String::from_utf8_lossy(&stats.stdout);
+    assert!(
+        stats_text.contains("\"queue_depth\"") && stats_text.contains("\"requests_admitted\""),
+        "STATS answers with the snapshot fields: {stats_text}"
+    );
+
+    mem2_ok(&["client", "--socket", &sock, "--shutdown"]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = daemon.try_wait().expect("poll daemon") {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not drain after shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(status.success(), "drained daemon exits 0: {status:?}");
+    assert!(
+        !std::path::Path::new(&sock).exists(),
+        "daemon unlinks its socket on exit"
+    );
+
+    // a client against the gone daemon fails with an actionable error
+    let out = mem2(&["client", "--socket", &sock, &fastq]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("mem2 serve"),
+        "error suggests starting the daemon"
+    );
+}
+
 #[test]
 fn cli_reports_usage_errors() {
     let out = mem2(&[]);
