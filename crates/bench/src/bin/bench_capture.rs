@@ -16,7 +16,9 @@
 //! resident-set cost of each load path, plus the daemon throughput rows:
 //! `serve_rps_{1,8,32}` (requests/s through an in-process `mem2 serve`
 //! on loopback TCP at 1/8/32 concurrent clients — the cross-connection
-//! micro-batching win).
+//! micro-batching win), plus `obs_overhead` (end-to-end with stage
+//! histogram recording on vs the process-wide no-op recorder, reported
+//! as percent overhead — the PR 8 instrumentation budget is < 1%).
 //!
 //! Every capture row carries the host CPU model and its detected SIMD
 //! feature flags, so the trend tooling can group runs by machine
@@ -401,6 +403,27 @@ fn main() {
         median_ns: ns,
         throughput: per_sec(reads.len(), ns),
         unit: "reads/s",
+    });
+
+    // Observability overhead: the identical end-to-end fixture with
+    // stage-histogram recording enabled (the default) vs the process-wide
+    // no-op recorder. `throughput` carries the overhead in percent
+    // (negative = in the noise); the PR 8 budget is < 1%.
+    let ns_on = ns;
+    mem2_obs::set_recording(false);
+    let ns_off = median_ns(samples, || {
+        std::hint::black_box(aligner.align_reads(&reads));
+    });
+    mem2_obs::set_recording(true);
+    let overhead_pct = (ns_on as f64 / ns_off as f64 - 1.0) * 100.0;
+    eprintln!(
+        "[bench_capture] obs_overhead: recording on {ns_on} ns vs off {ns_off} ns ({overhead_pct:+.2}%)"
+    );
+    captures.push(Capture {
+        bench: "obs_overhead",
+        median_ns: ns_on,
+        throughput: overhead_pct,
+        unit: "pct_vs_noop",
     });
 
     // Serve throughput: a resident daemon on loopback TCP answering

@@ -1,6 +1,15 @@
 //! Per-stage wall-time accounting (Table 1 of the paper).
+//!
+//! Each accumulator carries both summed totals (Table 1's averages) and
+//! a log-linear latency histogram per stage, so end-of-run reports and
+//! the daemon's STATS/metrics can surface tail percentiles (p50/p90/p99
+//! and exact max), not just means. Recording an observation is one
+//! `Duration` add plus a few relaxed atomic increments — cheap enough to
+//! stay on in production.
 
 use std::time::Duration;
+
+use mem2_obs::{Hist, HistSnapshot};
 
 /// Pipeline stages as profiled in Table 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,24 +34,38 @@ pub enum Stage {
 /// Stage labels in display order.
 pub const STAGE_NAMES: [&str; 7] = ["SMEM", "SAL", "CHAIN", "BSW-pre", "BSW", "SAM-FORM", "Misc"];
 
-/// Accumulated per-stage durations.
-#[derive(Clone, Copy, Debug, Default)]
+/// Accumulated per-stage durations plus per-stage latency histograms
+/// (microsecond observations, one per `add` call).
+///
+/// No longer `Copy` (histograms are shared-by-clone `Arc`s): `clone()`
+/// aliases the same histogram buckets, which is what the take/merge
+/// worker discipline wants. Use `StageTimes::default()` for a fresh
+/// independent accumulator.
+#[derive(Clone, Debug, Default)]
 pub struct StageTimes {
     /// Total time per stage, indexed by `Stage as usize`.
     pub totals: [Duration; 7],
+    /// Per-observation latency histogram per stage (values in us).
+    pub hists: [Hist; 7],
 }
 
 impl StageTimes {
-    /// Add a duration to a stage.
+    /// Add a duration to a stage: bumps the stage total and records the
+    /// observation (in whole microseconds) in the stage histogram.
     #[inline]
     pub fn add(&mut self, stage: Stage, d: Duration) {
         self.totals[stage as usize] += d;
+        self.hists[stage as usize].record(d.as_micros() as u64);
     }
 
-    /// Merge another accumulator into this one.
+    /// Merge another accumulator into this one (totals added,
+    /// histograms summed bucket-wise — exact).
     pub fn merge(&mut self, other: &StageTimes) {
         for (a, b) in self.totals.iter_mut().zip(&other.totals) {
             *a += *b;
+        }
+        for (a, b) in self.hists.iter().zip(&other.hists) {
+            a.merge_from(b);
         }
     }
 
@@ -61,6 +84,11 @@ impl StageTimes {
             }
         }
         out
+    }
+
+    /// Point-in-time copy of every stage histogram, in display order.
+    pub fn snapshots(&self) -> [HistSnapshot; 7] {
+        std::array::from_fn(|i| self.hists[i].snapshot())
     }
 
     /// Render as an aligned two-column table.
@@ -82,6 +110,93 @@ impl StageTimes {
         ));
         s
     }
+
+    /// Render totals plus per-observation latency percentiles, one row
+    /// per stage (the `--profile` report). Stages with no observations
+    /// show `-`.
+    pub fn render_percentiles(&self, title: &str) -> String {
+        let mut s = format!("{title}\n");
+        s.push_str(&format!(
+            "  {:<9} {:>9} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "stage", "total_s", "%", "calls", "p50_us", "p90_us", "p99_us", "max_us"
+        ));
+        let pct = self.percentages();
+        for i in 0..7 {
+            let snap = self.hists[i].snapshot();
+            let q = |p: f64| match snap.quantile(p) {
+                Some(v) => v.to_string(),
+                None => "-".into(),
+            };
+            s.push_str(&format!(
+                "  {:<9} {:>9.3} {:>6.1} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                STAGE_NAMES[i],
+                self.totals[i].as_secs_f64(),
+                pct[i],
+                snap.count,
+                q(0.50),
+                q(0.90),
+                q(0.99),
+                if snap.count == 0 {
+                    "-".into()
+                } else {
+                    snap.max.to_string()
+                },
+            ));
+        }
+        s.push_str(&format!(
+            "  {:<9} {:>9.3}\n",
+            "Total",
+            self.total().as_secs_f64()
+        ));
+        s
+    }
+
+    /// Render as a JSON object (the `--profile=json` report): per-stage
+    /// totals in ms plus percentile summaries; `null` where a stage has
+    /// no observations.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\"stages\":{");
+        for i in 0..7 {
+            if i > 0 {
+                s.push(',');
+            }
+            let snap = self.hists[i].snapshot();
+            s.push_str(&format!(
+                "\"{}\":{{\"total_ms\":{:.3},\"calls\":{},{}}}",
+                STAGE_NAMES[i],
+                self.totals[i].as_secs_f64() * 1e3,
+                snap.count,
+                percentile_fields_us(&snap),
+            ));
+        }
+        s.push_str(&format!(
+            "}},\"total_ms\":{:.3}}}",
+            self.total().as_secs_f64() * 1e3
+        ));
+        s
+    }
+}
+
+/// Render the shared percentile summary fields from a histogram of
+/// microsecond observations: `"p50_us":N,...` with `null` when empty.
+/// Used by both the `--profile=json` report and the daemon's STATS so
+/// the schema stays in one place.
+pub fn percentile_fields_us(snap: &HistSnapshot) -> String {
+    let q = |p: f64| match snap.quantile(p) {
+        Some(v) => v.to_string(),
+        None => "null".into(),
+    };
+    format!(
+        "\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}",
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        if snap.count == 0 {
+            "null".into()
+        } else {
+            snap.max.to_string()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -109,5 +224,45 @@ mod tests {
     fn empty_times_render_zero() {
         let t = StageTimes::default();
         assert_eq!(t.percentages(), [0.0; 7]);
+    }
+
+    #[test]
+    fn histograms_track_observations() {
+        let mut t = StageTimes::default();
+        t.add(Stage::Smem, Duration::from_micros(100));
+        t.add(Stage::Smem, Duration::from_micros(300));
+        let snap = t.hists[Stage::Smem as usize].snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, 300);
+        // p50 estimate bounds the true median (100us) within 1/16.
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!((100..=107).contains(&p50), "p50={p50}");
+
+        let mut other = StageTimes::default();
+        other.add(Stage::Smem, Duration::from_micros(50));
+        t.merge(&other);
+        assert_eq!(t.hists[Stage::Smem as usize].count(), 3);
+    }
+
+    #[test]
+    fn clone_aliases_histograms_but_default_is_fresh() {
+        let mut t = StageTimes::default();
+        let alias = t.clone();
+        t.add(Stage::Bsw, Duration::from_micros(10));
+        assert_eq!(alias.hists[Stage::Bsw as usize].count(), 1);
+        assert_eq!(StageTimes::default().hists[Stage::Bsw as usize].count(), 0);
+    }
+
+    #[test]
+    fn percentile_reports() {
+        let mut t = StageTimes::default();
+        t.add(Stage::Chain, Duration::from_micros(400));
+        let text = t.render_percentiles("profile");
+        assert!(text.contains("p99_us"));
+        assert!(text.contains("CHAIN"));
+        let json = t.render_json();
+        assert!(json.contains("\"CHAIN\":{\"total_ms\":0.400"));
+        // untouched stages must render null percentiles, not 0
+        assert!(json.contains("\"SMEM\":{\"total_ms\":0.000,\"calls\":0,\"p50_us\":null"));
     }
 }

@@ -1,0 +1,417 @@
+//! Lock-free log-linear histogram.
+//!
+//! Values (typically latencies in microseconds) are bucketed HDR-style:
+//! each power-of-two octave is split into [`SUBBUCKETS`] linear
+//! sub-buckets, so every bucket's width is at most `1/SUBBUCKETS` of its
+//! lower bound. Any quantile read back from the histogram is therefore
+//! within a relative error of `1/SUBBUCKETS` (6.25%) of the true sample
+//! quantile, while recording stays a single relaxed atomic increment —
+//! cheap enough to leave on in the alignment hot path.
+//!
+//! Histograms are mergeable: per-worker shards record independently and
+//! are summed bucket-wise ([`Hist::merge_from`]), which is exact —
+//! merging never loses precision, only the original bucketing does.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Linear sub-buckets per power-of-two octave. Must be a power of two.
+pub const SUBBUCKETS: usize = 16;
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+
+/// Number of octaves above the linear range covered before saturating.
+/// 60 octaves of u64 range minus the linear prefix: everything fits.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+
+/// Total bucket count: a linear prefix of `SUBBUCKETS` one-wide buckets
+/// for values `< SUBBUCKETS`, then `SUBBUCKETS` buckets per octave.
+pub const N_BUCKETS: usize = SUBBUCKETS + OCTAVES * SUBBUCKETS;
+
+/// Maximum relative overestimate of a quantile: bucket width over bucket
+/// lower bound, i.e. `1/SUBBUCKETS`.
+pub const REL_ERROR: f64 = 1.0 / SUBBUCKETS as f64;
+
+/// Global recording switch. When off, [`Hist::record`] is a single
+/// relaxed load and a branch — the "no-op recorder" used to measure
+/// instrumentation overhead and to hard-disable telemetry.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable all histogram recording process-wide.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether histogram recording is currently enabled.
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Map a value to its bucket index. Total order preserving: monotone in
+/// `v`, and exact (width-1 buckets) for `v < SUBBUCKETS`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBBUCKETS as u64 {
+        return v as usize;
+    }
+    // Highest set bit h >= SUB_BITS; the octave's sub-bucket is the
+    // SUB_BITS bits right below it.
+    let h = 63 - v.leading_zeros();
+    let shift = h - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUBBUCKETS - 1);
+    let octave = shift as usize; // 0-based octave above the linear range
+    SUBBUCKETS + octave * SUBBUCKETS + sub
+}
+
+/// Inclusive lower bound of bucket `idx`.
+#[inline]
+pub fn bucket_lo(idx: usize) -> u64 {
+    if idx < SUBBUCKETS {
+        return idx as u64;
+    }
+    let rel = idx - SUBBUCKETS;
+    let octave = rel / SUBBUCKETS;
+    let sub = rel % SUBBUCKETS;
+    ((SUBBUCKETS + sub) as u64) << octave
+}
+
+/// Inclusive upper bound of bucket `idx` (the largest value mapping to it).
+#[inline]
+pub fn bucket_hi(idx: usize) -> u64 {
+    if idx < SUBBUCKETS {
+        return idx as u64;
+    }
+    let rel = idx - SUBBUCKETS;
+    let octave = rel / SUBBUCKETS;
+    let sub = rel % SUBBUCKETS;
+    let width = 1u64 << octave;
+    (((SUBBUCKETS + sub) as u64) << octave) + (width - 1)
+}
+
+struct HistCore {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCore {
+    fn new() -> Self {
+        // AtomicU64 is not Copy; build the array through the const-fn
+        // initializer trick.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        HistCore {
+            buckets: [ZERO; N_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A shareable, lock-free histogram handle. Cloning is cheap (Arc) and
+/// clones record into the same underlying buckets; use [`Hist::snapshot`]
+/// for a point-in-time copy and [`Hist::fresh`] for an independent one.
+pub struct Hist {
+    core: Arc<HistCore>,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+impl Clone for Hist {
+    fn clone(&self) -> Self {
+        Hist {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist {
+            core: Arc::new(HistCore::new()),
+        }
+    }
+
+    /// A new histogram that does NOT share buckets with `self` (unlike
+    /// `clone`, which aliases). Used when a worker needs its own shard.
+    pub fn fresh(&self) -> Self {
+        Hist::new()
+    }
+
+    /// Record one observation. One relaxed atomic add per field; safe to
+    /// call concurrently from any number of threads.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !RECORDING.load(Ordering::Relaxed) {
+            return;
+        }
+        let c = &*self.core;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Add every observation of `other` into `self` (bucket-wise sum;
+    /// exact). `other` is unchanged.
+    pub fn merge_from(&self, other: &Hist) {
+        let a = &*self.core;
+        let b = &*other.core;
+        for i in 0..N_BUCKETS {
+            let n = b.buckets[i].load(Ordering::Relaxed);
+            if n != 0 {
+                a.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        a.count
+            .fetch_add(b.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.sum
+            .fetch_add(b.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.max
+            .fetch_max(b.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Reset all buckets and summary fields to zero.
+    pub fn clear(&self) {
+        let c = &*self.core;
+        for b in &c.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        c.count.store(0, Ordering::Relaxed);
+        c.sum.store(0, Ordering::Relaxed);
+        c.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (buckets are read one at a
+    /// time; concurrent recording may straddle the reads, which only
+    /// matters for sub-observation precision, never for monotonicity).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let c = &*self.core;
+        let mut buckets = vec![0u64; N_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = c.buckets[i].load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimate quantile `q` in `[0, 1]`. Returns `None` when empty.
+    /// The estimate is the bucket upper bound of the sample at rank
+    /// `ceil(q * count)`: never below the true sample quantile and at
+    /// most `REL_ERROR` above it.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// Owned point-in-time histogram state, for rendering and analysis off
+/// the hot path.
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts, indexed by [`bucket_index`].
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Exact maximum observed value.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Estimate quantile `q` in `[0, 1]`; `None` when empty. Same bound
+    /// guarantee as [`Hist::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q=0 maps to the first.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // For the final bucket the true max is known exactly.
+                return Some(bucket_hi(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of observed values; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Cumulative counts at each power-of-two boundary up through the
+    /// first boundary `>= max`, as `(upper_bound_inclusive, cumulative)`
+    /// pairs. Because power-of-two boundaries are exact bucket edges,
+    /// the cumulative counts are exact, making this the natural bound
+    /// set for Prometheus `le` buckets.
+    pub fn cumulative_pow2(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        let mut next_edge = 1u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            // Emit edges that fall at or before this bucket's low bound.
+            while bucket_lo(i) >= next_edge {
+                out.push((next_edge - 1, cum));
+                if next_edge > self.max {
+                    return out;
+                }
+                next_edge = next_edge.saturating_mul(2);
+            }
+            cum += n;
+        }
+        out.push((next_edge - 1, cum));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_prefix_is_exact() {
+        for v in 0..SUBBUCKETS as u64 {
+            let i = bucket_index(v);
+            assert_eq!(bucket_lo(i), v);
+            assert_eq!(bucket_hi(i), v);
+        }
+    }
+
+    #[test]
+    fn index_bounds_round_trip() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < N_BUCKETS, "v={v} idx={i}");
+            assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "v={v} idx={i}");
+            // Relative width bound: width <= lo / SUBBUCKETS for v >= 16.
+            if v >= SUBBUCKETS as u64 {
+                let w = bucket_hi(i) - bucket_lo(i) + 1;
+                assert!(
+                    (w - 1) as f64 <= bucket_lo(i) as f64 * REL_ERROR,
+                    "v={v} width={w} lo={}",
+                    bucket_lo(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_monotone_and_contiguous() {
+        let mut prev = bucket_index(0);
+        for v in 1..100_000u64 {
+            let i = bucket_index(v);
+            assert!(i == prev || i == prev + 1, "gap at v={v}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_truth() {
+        let h = Hist::new();
+        let mut vals: Vec<u64> = (0..1000).map(|i| i * i % 7919 + 1).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let truth = vals[rank - 1];
+            assert!(est >= truth, "q={q} est={est} truth={truth}");
+            assert!(
+                est as f64 <= truth as f64 * (1.0 + REL_ERROR) + 1.0,
+                "q={q} est={est} truth={truth}"
+            );
+        }
+        assert_eq!(h.max(), *vals.last().unwrap());
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let h = Hist::new();
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.snapshot().mean().is_none());
+    }
+
+    #[test]
+    fn cumulative_pow2_is_exact() {
+        let h = Hist::new();
+        for v in [1u64, 2, 3, 5, 8, 100, 1000] {
+            h.record(v);
+        }
+        let cum = h.snapshot().cumulative_pow2();
+        // Edges are 2^k - 1 (all values < 2^k); counts must be exact.
+        for &(le, c) in &cum {
+            let truth = [1u64, 2, 3, 5, 8, 100, 1000]
+                .iter()
+                .filter(|&&v| v <= le)
+                .count() as u64;
+            assert_eq!(c, truth, "le={le}");
+        }
+        assert_eq!(cum.last().unwrap().1, 7);
+    }
+}

@@ -1,0 +1,187 @@
+//! Minimal HTTP/1.1 exposition endpoint: a background thread serving
+//! `GET /metrics` (Prometheus text format) from a [`Registry`].
+//!
+//! This is deliberately tiny — one request per connection, no
+//! keep-alive, no TLS — just enough for a scraper or `curl`. It is also
+//! the first brick of an HTTP front end: the listener/shutdown pattern
+//! mirrors the daemon's own accept loop.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// How often the accept loop wakes to observe the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// A running metrics endpoint. Dropping the handle does not stop the
+/// server; call [`MetricsServer::shutdown`] (or flip the shared flag
+/// passed at construction) and then [`MetricsServer::join`].
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9100`, port 0 for ephemeral) and
+    /// serve `registry` until `shutdown` becomes true.
+    pub fn start(
+        addr: &str,
+        registry: Arc<Registry>,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("mem2-metrics".into())
+            .spawn(move || accept_loop(listener, registry, flag))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr: local,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown (idempotent; shared flag, so a daemon-wide flag
+    /// stops this server too).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the accept loop to exit. Call after [`shutdown`].
+    ///
+    /// [`shutdown`]: MetricsServer::shutdown
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are rare and the render is fast: handle inline
+                // rather than spawning per connection.
+                let _ = handle(stream, &registry);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+
+    // Read until the end of the request head (or a sane cap).
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, ctype, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render(),
+        ),
+        ("GET", "/") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "mem2 metrics endpoint; scrape /metrics\n".to_string(),
+        ),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        ),
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(resp.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("test_requests_total", "test counter", &[]);
+        c.add(3);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let srv =
+            MetricsServer::start("127.0.0.1:0", Arc::clone(&reg), Arc::clone(&shutdown)).unwrap();
+        let addr = srv.addr();
+
+        let resp = get(addr, "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(
+            resp.contains("# TYPE test_requests_total counter"),
+            "{resp}"
+        );
+        assert!(resp.contains("test_requests_total 3"), "{resp}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        srv.shutdown();
+        srv.join();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may briefly accept then reset; a second connect
+                // after the listener is closed must fail.
+                std::thread::sleep(Duration::from_millis(100));
+                TcpStream::connect(addr).is_err()
+            }
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Observability for the mem2 workspace: a zero-dependency metrics
+//! registry (atomic counters, gauges, mergeable log-linear histograms),
+//! a leveled structured logger, process self-stats, and a minimal
+//! HTTP/1.1 Prometheus exposition endpoint.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot paths record with one relaxed atomic op.** [`Hist::record`]
+//!    is a branch plus four relaxed adds; [`Counter::inc`] is one. No
+//!    locks, no allocation, no syscalls on the recording path.
+//! 2. **Shard and merge, don't share.** Pipeline workers record into
+//!    private histogram shards and merge them ([`Hist::merge_from`],
+//!    exact) into the shared view at slab boundaries — the same
+//!    take/merge discipline the stage timers already use.
+//! 3. **Readers pay the cost.** Rendering ([`Registry::render`])
+//!    snapshots atomics and formats text at scrape time; collectors for
+//!    scrape-time data (queue depth, `/proc` gauges) run then too.
+//!
+//! Everything here is plain `std`: offline-buildable, no external
+//! crates, matching the workspace's from-scratch style.
+
+#![deny(missing_docs)]
+
+pub mod hist;
+pub mod http;
+pub mod log;
+pub mod proc;
+pub mod registry;
+pub mod render;
+
+pub use hist::{recording, set_recording, Hist, HistSnapshot, N_BUCKETS, REL_ERROR, SUBBUCKETS};
+pub use http::MetricsServer;
+pub use log::{Level, RateLimited};
+pub use registry::{Counter, Gauge, Registry};

@@ -1,0 +1,318 @@
+//! Leveled structured logging to stderr: text or JSON lines, each with
+//! timestamp, level, target, message, and typed key/value fields.
+//!
+//! Zero-dependency and global: configuration is two atomics, emitting a
+//! record is one `format!` + one locked stderr write, and nothing is
+//! logged at all when the record's level is below the configured one
+//! (one relaxed load). Configure via [`init_from_env`]/[`set_level`]/[`set_json`]
+//! or the `MEM2_LOG` environment variable (`LEVEL[,json]`, e.g.
+//! `MEM2_LOG=debug,json`).
+
+use std::fmt::Display;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed; human attention likely required.
+    Error = 0,
+    /// Something unexpected, but the system continues.
+    Warn = 1,
+    /// Lifecycle and notable events (default level).
+    Info = 2,
+    /// Per-request/per-slab detail.
+    Debug = 3,
+    /// Everything, including hot-loop events.
+    Trace = 4,
+}
+
+impl Level {
+    /// Parse a level name, case-insensitive. Accepts the usual five
+    /// names plus `off` (which maps to suppressing everything).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static JSON: AtomicBool = AtomicBool::new(false);
+
+/// Set the maximum emitted level (records above it are dropped).
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current maximum emitted level.
+pub fn level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Emit JSON lines instead of human-readable text.
+pub fn set_json(json: bool) {
+    JSON.store(json, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would be emitted — guard expensive field
+/// construction with this.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Initialise from the `MEM2_LOG` environment variable if set:
+/// `LEVEL[,json]` (e.g. `info`, `debug,json`). Unknown values are
+/// ignored. CLI flags should be applied after this, overriding it.
+pub fn init_from_env() {
+    if let Ok(spec) = std::env::var("MEM2_LOG") {
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.eq_ignore_ascii_case("json") {
+                set_json(true);
+            } else if part.eq_ignore_ascii_case("text") {
+                set_json(false);
+            } else if let Some(l) = Level::parse(part) {
+                set_level(l);
+            }
+        }
+    }
+}
+
+/// A typed log field: name plus a displayable value.
+pub type Field<'a> = (&'a str, &'a dyn Display);
+
+/// Emit a record. Prefer the level helpers ([`error`], [`warn`],
+/// [`info`], [`debug`], [`trace`]).
+pub fn log(level: Level, target: &str, msg: &str, fields: &[Field<'_>]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts = Timestamp::now();
+    let mut line = String::with_capacity(96);
+    if JSON.load(Ordering::Relaxed) {
+        line.push_str("{\"ts\":\"");
+        ts.render(&mut line);
+        line.push_str("\",\"level\":\"");
+        line.push_str(level.as_str());
+        line.push_str("\",\"target\":\"");
+        json_escape_into(&mut line, target);
+        line.push_str("\",\"msg\":\"");
+        json_escape_into(&mut line, msg);
+        line.push('"');
+        for (k, v) in fields {
+            line.push_str(",\"");
+            json_escape_into(&mut line, k);
+            line.push_str("\":\"");
+            json_escape_into(&mut line, &v.to_string());
+            line.push('"');
+        }
+        line.push('}');
+    } else {
+        ts.render(&mut line);
+        line.push(' ');
+        line.push_str(level.as_str());
+        line.push(' ');
+        line.push('[');
+        line.push_str(target);
+        line.push_str("] ");
+        line.push_str(msg);
+        for (k, v) in fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&v.to_string());
+        }
+    }
+    line.push('\n');
+    // One locked write per record keeps lines whole across threads.
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
+/// Log at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[Field<'_>]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// Log at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[Field<'_>]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// Log at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[Field<'_>]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// Log at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[Field<'_>]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// Log at [`Level::Trace`].
+pub fn trace(target: &str, msg: &str, fields: &[Field<'_>]) {
+    log(Level::Trace, target, msg, fields);
+}
+
+/// Rate limiter for repetitive failure logs: at most one emission per
+/// interval, reporting how many events were suppressed in between.
+pub struct RateLimited {
+    interval: Duration,
+    state: Mutex<RateState>,
+}
+
+struct RateState {
+    last: Option<Instant>,
+    suppressed: u64,
+}
+
+impl RateLimited {
+    /// At most one emission per `interval`.
+    pub fn new(interval: Duration) -> Self {
+        RateLimited {
+            interval,
+            state: Mutex::new(RateState {
+                last: None,
+                suppressed: 0,
+            }),
+        }
+    }
+
+    /// Record one event. Returns `Some(suppressed_since_last)` when the
+    /// caller should emit a log line now, `None` when it should stay
+    /// quiet.
+    pub fn check(&self) -> Option<u64> {
+        let mut st = self.state.lock().unwrap();
+        let now = Instant::now();
+        match st.last {
+            Some(prev) if now.duration_since(prev) < self.interval => {
+                st.suppressed += 1;
+                None
+            }
+            _ => {
+                st.last = Some(now);
+                let n = st.suppressed;
+                st.suppressed = 0;
+                Some(n)
+            }
+        }
+    }
+}
+
+/// Process-wide source of unique connection/request ids for log fields.
+pub fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+struct Timestamp {
+    secs: u64,
+    millis: u32,
+}
+
+impl Timestamp {
+    fn now() -> Self {
+        let d = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default();
+        Timestamp {
+            secs: d.as_secs(),
+            millis: d.subsec_millis(),
+        }
+    }
+
+    /// ISO 8601 UTC, millisecond precision: `2026-08-08T12:34:56.789Z`.
+    fn render(&self, out: &mut String) {
+        let days = (self.secs / 86_400) as i64;
+        let rem = self.secs % 86_400;
+        let (y, m, d) = civil_from_days(days);
+        let (hh, mm, ss) = (rem / 3600, (rem / 60) % 60, rem % 60);
+        out.push_str(&format!(
+            "{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}.{:03}Z",
+            self.millis
+        ));
+    }
+}
+
+/// Days-since-epoch to (year, month, day), Howard Hinnant's algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // 2024-01-01
+                                                           // leap day
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+    }
+
+    #[test]
+    fn level_order_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn rate_limiter_suppresses() {
+        let rl = RateLimited::new(Duration::from_secs(3600));
+        assert_eq!(rl.check(), Some(0)); // first always emits
+        assert_eq!(rl.check(), None);
+        assert_eq!(rl.check(), None);
+        let rl0 = RateLimited::new(Duration::from_secs(0));
+        assert_eq!(rl0.check(), Some(0));
+        assert_eq!(rl0.check(), Some(0)); // zero interval never suppresses
+    }
+}

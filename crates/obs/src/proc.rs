@@ -1,0 +1,64 @@
+//! Process self-statistics from `/proc` (Linux). On other platforms all
+//! readings return `None` and the gauges simply don't render.
+
+/// A point-in-time snapshot of process health gauges.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProcStats {
+    /// Resident set size in bytes (`VmRSS`).
+    pub rss_bytes: Option<u64>,
+    /// Peak resident set size in bytes (`VmHWM`).
+    pub rss_peak_bytes: Option<u64>,
+    /// Minor page faults since process start.
+    pub minor_faults: Option<u64>,
+    /// Major page faults since process start.
+    pub major_faults: Option<u64>,
+    /// Kernel thread count.
+    pub threads: Option<u64>,
+}
+
+/// Read the current process stats. Each field is independently
+/// best-effort; on non-Linux everything is `None`.
+pub fn read() -> ProcStats {
+    let mut s = ProcStats::default();
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        s.rss_bytes = status_kb(&status, "VmRSS:").map(|kb| kb * 1024);
+        s.rss_peak_bytes = status_kb(&status, "VmHWM:").map(|kb| kb * 1024);
+    }
+    if let Ok(stat) = std::fs::read_to_string("/proc/self/stat") {
+        // Fields after the parenthesised comm (which may itself contain
+        // spaces and parens): state is field 3, so index from the last
+        // ')'. minflt=10, majflt=12, num_threads=20 (1-based).
+        if let Some(close) = stat.rfind(')') {
+            let rest: Vec<&str> = stat[close + 1..].split_whitespace().collect();
+            // rest[0] is field 3 ("state"); field N is rest[N - 3].
+            s.minor_faults = rest.get(10 - 3).and_then(|v| v.parse().ok());
+            s.major_faults = rest.get(12 - 3).and_then(|v| v.parse().ok());
+            s.threads = rest.get(20 - 3).and_then(|v| v.parse().ok());
+        }
+    }
+    s
+}
+
+fn status_kb(status: &str, key: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with(key))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reads_something() {
+        let s = read();
+        assert!(s.rss_bytes.unwrap_or(0) > 0, "{s:?}");
+        assert!(s.threads.unwrap_or(0) >= 1, "{s:?}");
+        assert!(s.minor_faults.is_some(), "{s:?}");
+    }
+}

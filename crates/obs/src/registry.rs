@@ -1,0 +1,223 @@
+//! Metrics registry: named counters, gauges, and histograms plus
+//! scrape-time collectors, rendered to Prometheus text format.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Hist`]) are cheap Arc clones; the
+//! hot path keeps a handle and records with one relaxed atomic op. The
+//! registry itself is only locked at registration and render time —
+//! never on the recording path.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Hist;
+use crate::render;
+
+/// Monotonically increasing counter. Clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A new counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed gauge that can go up and down. Clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A new gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Constant labels attached to a metric, as `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+enum Metric {
+    Counter {
+        counter: Counter,
+        labels: Labels,
+    },
+    Gauge {
+        gauge: Gauge,
+        labels: Labels,
+    },
+    /// Histogram of microsecond values, exposed in seconds.
+    HistUs {
+        hist: Hist,
+        labels: Labels,
+    },
+}
+
+struct Family {
+    name: String,
+    help: String,
+    metrics: Vec<Metric>,
+}
+
+type Collector = Box<dyn Fn(&mut String) + Send>;
+
+/// A set of named metric families rendered together at scrape time.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+    collectors: Mutex<Vec<Collector>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn family<'a>(families: &'a mut Vec<Family>, name: &str, help: &str) -> &'a mut Family {
+        if let Some(i) = families.iter().position(|f| f.name == name) {
+            return &mut families[i];
+        }
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            metrics: Vec::new(),
+        });
+        families.last_mut().unwrap()
+    }
+
+    /// Register and return a counter under `name` with optional labels.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let c = Counter::new();
+        let mut fams = self.families.lock().unwrap();
+        Registry::family(&mut fams, name, help)
+            .metrics
+            .push(Metric::Counter {
+                counter: c.clone(),
+                labels: own(labels),
+            });
+        c
+    }
+
+    /// Register and return a gauge under `name` with optional labels.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let g = Gauge::new();
+        let mut fams = self.families.lock().unwrap();
+        Registry::family(&mut fams, name, help)
+            .metrics
+            .push(Metric::Gauge {
+                gauge: g.clone(),
+                labels: own(labels),
+            });
+        g
+    }
+
+    /// Register and return a histogram of **microsecond** observations
+    /// under `name`; it renders as a Prometheus histogram in seconds.
+    pub fn histogram_us(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Hist {
+        let h = Hist::new();
+        self.register_histogram_us(name, help, labels, h.clone());
+        h
+    }
+
+    /// Register an existing histogram handle (e.g. one shared with the
+    /// pipeline) under `name`.
+    pub fn register_histogram_us(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: Hist,
+    ) {
+        let mut fams = self.families.lock().unwrap();
+        Registry::family(&mut fams, name, help)
+            .metrics
+            .push(Metric::HistUs {
+                hist,
+                labels: own(labels),
+            });
+    }
+
+    /// Register a collector closure run at every render, after the
+    /// static families. Use for scrape-time data (process stats, queue
+    /// snapshots) that has no long-lived atomic cell.
+    pub fn collect_with(&self, f: impl Fn(&mut String) + Send + 'static) {
+        self.collectors.lock().unwrap().push(Box::new(f));
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        {
+            let fams = self.families.lock().unwrap();
+            for fam in fams.iter() {
+                let kind = match fam.metrics.first() {
+                    Some(Metric::Counter { .. }) => "counter",
+                    Some(Metric::Gauge { .. }) => "gauge",
+                    Some(Metric::HistUs { .. }) => "histogram",
+                    None => continue,
+                };
+                render::family_header(&mut out, &fam.name, &fam.help, kind);
+                for m in &fam.metrics {
+                    match m {
+                        Metric::Counter { counter, labels } => {
+                            render::sample_u64(&mut out, &fam.name, labels, counter.get());
+                        }
+                        Metric::Gauge { gauge, labels } => {
+                            render::sample_i64(&mut out, &fam.name, labels, gauge.get());
+                        }
+                        Metric::HistUs { hist, labels } => {
+                            render::histogram_us(&mut out, &fam.name, labels, &hist.snapshot());
+                        }
+                    }
+                }
+            }
+        }
+        let collectors = self.collectors.lock().unwrap();
+        for c in collectors.iter() {
+            c(&mut out);
+        }
+        out
+    }
+}
+
+fn own(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}

@@ -1,0 +1,158 @@
+//! Prometheus text exposition format (version 0.0.4) rendering helpers.
+//!
+//! Shared by the registry and by ad-hoc collectors so escaping and
+//! histogram bound selection are implemented (and golden-tested) once.
+
+use crate::hist::HistSnapshot;
+use crate::registry::Labels;
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be escaped.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a HELP string: backslash and newline only (quotes are fine).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append `# HELP` and `# TYPE` lines for a family.
+pub fn family_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&escape_help(help));
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Render `{k1="v1",k2="v2"}`, or nothing when `labels` is empty.
+fn label_block(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Append one `name{labels} value` sample line (u64 value).
+pub fn sample_u64(out: &mut String, name: &str, labels: &Labels, v: u64) {
+    out.push_str(name);
+    label_block(out, labels, None);
+    out.push(' ');
+    out.push_str(&v.to_string());
+    out.push('\n');
+}
+
+/// Append one `name{labels} value` sample line (i64 value).
+pub fn sample_i64(out: &mut String, name: &str, labels: &Labels, v: i64) {
+    out.push_str(name);
+    label_block(out, labels, None);
+    out.push(' ');
+    out.push_str(&v.to_string());
+    out.push('\n');
+}
+
+/// Append one `name{labels} value` sample line (f64 value).
+pub fn sample_f64(out: &mut String, name: &str, labels: &Labels, v: f64) {
+    out.push_str(name);
+    label_block(out, labels, None);
+    out.push(' ');
+    push_f64(out, v);
+    out.push('\n');
+}
+
+/// Render a histogram of microsecond observations as a Prometheus
+/// histogram in **seconds**: cumulative `_bucket{le="..."}` lines at
+/// power-of-two-microsecond bounds (exact cumulative counts, since those
+/// bounds are exact bucket edges), then `le="+Inf"`, `_sum`, `_count`.
+pub fn histogram_us(out: &mut String, name: &str, labels: &Labels, snap: &HistSnapshot) {
+    for (le_us, cum) in snap.cumulative_pow2() {
+        out.push_str(name);
+        out.push_str("_bucket");
+        // Prometheus `le` is inclusive; our pairs are (inclusive upper
+        // bound in whole us, count of values <= bound), so the seconds
+        // bound is exact — no off-by-one at the bucket edge.
+        let le_s = le_us as f64 / 1e6;
+        let mut le = String::new();
+        push_f64(&mut le, le_s);
+        label_block(out, labels, Some(("le", &le)));
+        out.push(' ');
+        out.push_str(&cum.to_string());
+        out.push('\n');
+    }
+    out.push_str(name);
+    out.push_str("_bucket");
+    label_block(out, labels, Some(("le", "+Inf")));
+    out.push(' ');
+    out.push_str(&snap.count.to_string());
+    out.push('\n');
+
+    out.push_str(name);
+    out.push_str("_sum");
+    label_block(out, labels, None);
+    out.push(' ');
+    push_f64(out, snap.sum as f64 / 1e6);
+    out.push('\n');
+
+    out.push_str(name);
+    out.push_str("_count");
+    label_block(out, labels, None);
+    out.push(' ');
+    out.push_str(&snap.count.to_string());
+    out.push('\n');
+}
+
+/// Format a float the exposition format accepts: plain decimal, no
+/// exponent for the magnitudes we emit, trailing zeros trimmed.
+fn push_f64(out: &mut String, v: f64) {
+    if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{}", v as i64));
+        return;
+    }
+    let s = format!("{v:.9}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    out.push_str(s);
+}

@@ -1,0 +1,142 @@
+//! Golden tests for the Prometheus text exposition format: family
+//! headers, label escaping, histogram bucket/sum/count lines, and basic
+//! parseability of a full registry render.
+
+use std::collections::HashMap;
+
+use mem2_obs::render;
+use mem2_obs::{Hist, Registry};
+
+#[test]
+fn counter_and_gauge_golden() {
+    let reg = Registry::new();
+    let c = reg.counter("mem2_requests_total", "Total requests.", &[]);
+    c.add(42);
+    let g = reg.gauge("mem2_queue_depth", "Submissions queued.", &[]);
+    g.set(-3);
+
+    let text = reg.render();
+    let want = "\
+# HELP mem2_requests_total Total requests.
+# TYPE mem2_requests_total counter
+mem2_requests_total 42
+# HELP mem2_queue_depth Submissions queued.
+# TYPE mem2_queue_depth gauge
+mem2_queue_depth -3
+";
+    assert_eq!(text, want);
+}
+
+#[test]
+fn labels_and_escaping_golden() {
+    let reg = Registry::new();
+    let c = reg.counter(
+        "mem2_stage_ops_total",
+        "Ops per stage.\nSecond line with \\ backslash.",
+        &[("stage", "BSW-pre"), ("quote", "say \"hi\"\n\\done")],
+    );
+    c.inc();
+
+    let text = reg.render();
+    let want = "\
+# HELP mem2_stage_ops_total Ops per stage.\\nSecond line with \\\\ backslash.
+# TYPE mem2_stage_ops_total counter
+mem2_stage_ops_total{stage=\"BSW-pre\",quote=\"say \\\"hi\\\"\\n\\\\done\"} 1
+";
+    assert_eq!(text, want);
+}
+
+#[test]
+fn histogram_golden() {
+    let h = Hist::new();
+    // Values in us: 1, 2, 3, 1000. Power-of-two-us edges.
+    for v in [1u64, 2, 3, 1000] {
+        h.record(v);
+    }
+    let mut out = String::new();
+    render::histogram_us(
+        &mut out,
+        "mem2_stage_duration_seconds",
+        &vec![("stage".to_string(), "SMEM".to_string())],
+        &h.snapshot(),
+    );
+    let want = "\
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0\"} 0
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000001\"} 1
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000003\"} 3
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000007\"} 3
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000015\"} 3
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000031\"} 3
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000063\"} 3
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000127\"} 3
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000255\"} 3
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.000511\"} 3
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"0.001023\"} 4
+mem2_stage_duration_seconds_bucket{stage=\"SMEM\",le=\"+Inf\"} 4
+mem2_stage_duration_seconds_sum{stage=\"SMEM\"} 0.001006
+mem2_stage_duration_seconds_count{stage=\"SMEM\"} 4
+";
+    assert_eq!(out, want);
+}
+
+/// Every non-comment line of a full render must parse as
+/// `name{labels} value` with a finite numeric value, histogram bucket
+/// counts must be monotone in `le`, and `_count` must equal the `+Inf`
+/// bucket — i.e. the output is consumable by a real scraper.
+#[test]
+fn full_render_parses() {
+    let reg = Registry::new();
+    reg.counter("a_total", "a", &[]).add(7);
+    reg.gauge("b_depth", "b", &[]).set(123);
+    let h = reg.histogram_us("c_seconds", "c", &[("k", "v")]);
+    for v in [5u64, 50, 500, 5_000, 50_000] {
+        h.record(v);
+    }
+    reg.collect_with(|out| {
+        render::family_header(out, "d_custom", "collector family", "gauge");
+        render::sample_u64(out, "d_custom", &Vec::new(), 9);
+    });
+
+    let text = reg.render();
+    let mut last_bucket: HashMap<String, (f64, u64)> = HashMap::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut infs: HashMap<String, u64> = HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            let mut f = line.split_whitespace();
+            assert!(matches!(f.next(), Some("#")));
+            assert!(matches!(f.next(), Some("HELP") | Some("TYPE")), "{line}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let v: f64 = value.parse().unwrap_or_else(|_| panic!("value in {line}"));
+        assert!(v.is_finite(), "{line}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "metric name {name}"
+        );
+        if let Some(rest) = series
+            .strip_suffix("\"}")
+            .and_then(|s| s.split_once("le=\""))
+        {
+            let base = name.strip_suffix("_bucket").expect("le only on _bucket");
+            let le = rest.1;
+            if le == "+Inf" {
+                infs.insert(base.to_string(), v as u64);
+            } else {
+                let le: f64 = le.parse().expect("finite le");
+                let prev = last_bucket.entry(base.to_string()).or_insert((-1.0, 0));
+                assert!(le > prev.0, "le must increase: {line}");
+                assert!(v as u64 >= prev.1, "cumulative counts: {line}");
+                *prev = (le, v as u64);
+            }
+        }
+        if let Some(base) = name.strip_suffix("_count") {
+            counts.insert(base.to_string(), v as u64);
+        }
+    }
+    assert_eq!(counts.get("c_seconds"), infs.get("c_seconds"));
+    assert_eq!(counts.get("c_seconds"), Some(&5));
+    assert!(text.contains("d_custom 9\n"), "collector output present");
+}

@@ -1,0 +1,151 @@
+//! Property tests for the log-linear histogram: quantile estimates must
+//! bound true sample quantiles within the documented relative error,
+//! merge must be commutative (and exact), and concurrent recording must
+//! lose nothing.
+
+use proptest::prelude::*;
+
+use mem2_obs::hist::{bucket_hi, bucket_index, bucket_lo};
+use mem2_obs::{Hist, N_BUCKETS, REL_ERROR};
+
+/// True sample quantile matching the histogram's definition: the value
+/// at 1-based rank `ceil(q * n)` (clamped to at least 1) in sorted order.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value maps into a bucket that contains it, and the bucket's
+    /// width respects the relative-error contract.
+    #[test]
+    fn bucket_contains_value(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        prop_assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "v={v} i={i}");
+        let width = bucket_hi(i) - bucket_lo(i);
+        prop_assert!(
+            width as f64 <= bucket_lo(i) as f64 * REL_ERROR,
+            "v={v} width={width} lo={}",
+            bucket_lo(i)
+        );
+    }
+
+    /// est >= truth and est <= truth * (1 + REL_ERROR): the histogram
+    /// never under-reports a quantile and over-reports by at most the
+    /// bucket's relative width.
+    #[test]
+    fn quantile_bounds_truth(
+        mut vals in prop::collection::vec(0u64..50_000_000, 1..500),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Hist::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let truth = true_quantile(&vals, q);
+        let est = h.quantile(q).expect("non-empty");
+        prop_assert!(est >= truth, "q={q} est={est} truth={truth}");
+        prop_assert!(
+            est as f64 <= truth as f64 * (1.0 + REL_ERROR) + 1.0,
+            "q={q} est={est} truth={truth}"
+        );
+    }
+
+    /// merge(a, b) == merge(b, a), exactly: same buckets, same count,
+    /// sum, max, and therefore identical quantiles.
+    #[test]
+    fn merge_commutes(
+        a_vals in prop::collection::vec(0u64..1_000_000, 0..200),
+        b_vals in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let (a1, b1) = (Hist::new(), Hist::new());
+        let (a2, b2) = (Hist::new(), Hist::new());
+        for &v in &a_vals {
+            a1.record(v);
+            a2.record(v);
+        }
+        for &v in &b_vals {
+            b1.record(v);
+            b2.record(v);
+        }
+        let ab = Hist::new();
+        ab.merge_from(&a1);
+        ab.merge_from(&b1);
+        let ba = Hist::new();
+        ba.merge_from(&b2);
+        ba.merge_from(&a2);
+
+        let (sab, sba) = (ab.snapshot(), ba.snapshot());
+        prop_assert_eq!(sab.buckets, sba.buckets);
+        prop_assert_eq!(sab.count, sba.count);
+        prop_assert_eq!(sab.sum, sba.sum);
+        prop_assert_eq!(sab.max, sba.max);
+        prop_assert_eq!(sab.count, (a_vals.len() + b_vals.len()) as u64);
+    }
+}
+
+/// N threads hammering one histogram concurrently: the final count, sum,
+/// and bucket total must equal the arithmetic truth — no lost updates.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Hist::new();
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let h = h.clone();
+        joins.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                // Deterministic spread over several octaves.
+                h.record((t * PER_THREAD + i) % 100_003);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|x| x % 100_003).sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    assert_eq!(snap.max, 100_002);
+}
+
+/// Concurrent shard-and-merge (the pipeline's discipline): per-thread
+/// private histograms merged at the end must equal direct recording.
+#[test]
+fn sharded_merge_equals_direct() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let direct = Hist::new();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            direct.record((t * 31 + i * 7) % 65_537);
+        }
+    }
+    let merged = Hist::new();
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let merged = merged.clone();
+        joins.push(std::thread::spawn(move || {
+            let shard = Hist::new();
+            for i in 0..PER_THREAD {
+                shard.record((t * 31 + i * 7) % 65_537);
+            }
+            merged.merge_from(&shard);
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let (d, m) = (direct.snapshot(), merged.snapshot());
+    assert_eq!(d.buckets, m.buckets);
+    assert_eq!(d.count, m.count);
+    assert_eq!(d.sum, m.sum);
+    assert_eq!(d.max, m.max);
+}

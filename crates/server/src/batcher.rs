@@ -28,7 +28,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use mem2_core::pipeline::{align_to_records, PipelineContext, PreparedRead, Worker};
+use mem2_core::profile::STAGE_NAMES;
 use mem2_core::{Aligner, SamRecord, StageTimes};
+use mem2_obs::Hist;
 use mem2_pairing::{align_pairs_ctx, PeStats};
 use mem2_seqio::ReadPair;
 
@@ -99,6 +101,10 @@ pub struct Counters {
     pub service_us: AtomicU64,
     /// Connections currently open.
     pub active_connections: AtomicUsize,
+    /// Per-submission queue-wait latency distribution (µs).
+    pub queue_wait_hist: Hist,
+    /// Per-slab service latency distribution (µs).
+    pub service_hist: Hist,
 }
 
 struct Shared {
@@ -112,6 +118,9 @@ struct Shared {
     pub counters: Counters,
     /// Per-stage CPU time across all workers (STATS latencies).
     times: Mutex<StageTimes>,
+    /// Slabs whose service time reaches this are logged with their
+    /// per-stage breakdown; 0 disables the slow-slab log.
+    slow_us: u64,
 }
 
 /// The shared admission queue plus its worker pool.
@@ -124,12 +133,14 @@ impl Batcher {
     /// Start `n_workers` alignment workers over `aligner` (index,
     /// reference, base options, workflow). `capacity` bounds the
     /// admission queue in requests; `slab_reads` is the coalescing
-    /// budget per alignment slab.
+    /// budget per alignment slab; slabs serviced in `slow_us` µs or more
+    /// are logged with their per-stage breakdown (0 disables).
     pub fn start(
         aligner: Arc<Aligner>,
         n_workers: usize,
         capacity: usize,
         slab_reads: usize,
+        slow_us: u64,
     ) -> Batcher {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -139,6 +150,7 @@ impl Batcher {
             draining: AtomicBool::new(false),
             counters: Counters::default(),
             times: Mutex::new(StageTimes::default()),
+            slow_us,
         });
         let workers = (0..n_workers.max(1))
             .map(|_| {
@@ -197,9 +209,11 @@ impl Batcher {
         &self.shared.counters
     }
 
-    /// Snapshot of per-stage CPU time accumulated across workers.
+    /// Snapshot of per-stage CPU time accumulated across workers. The
+    /// clone aliases the live histograms (Arc), so percentile reads see
+    /// ongoing traffic; totals are copied at call time.
     pub fn stage_times(&self) -> StageTimes {
-        *self.shared.times.lock().expect("times poisoned")
+        self.shared.times.lock().expect("times poisoned").clone()
     }
 
     /// Drain: refuse new submissions, finish everything queued, then
@@ -295,11 +309,14 @@ fn align_group(
     let mut n_reads = 0u64;
     for sub in &group {
         n_reads += sub.payload.n_reads() as u64;
+        let waited_us = sub.enqueued.elapsed().as_micros() as u64;
         shared
             .counters
             .queue_wait_us
-            .fetch_add(sub.enqueued.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .fetch_add(waited_us, Ordering::Relaxed);
+        shared.counters.queue_wait_hist.record(waited_us);
     }
+    let fingerprint = group[0].fingerprint.clone();
 
     match group[0].payload {
         Payload::Single(_) => {
@@ -364,15 +381,57 @@ fn align_group(
         .counters
         .slab_reads
         .fetch_add(n_reads, Ordering::Relaxed);
+    let service_us = t_service.elapsed().as_micros() as u64;
     shared
         .counters
         .service_us
-        .fetch_add(t_service.elapsed().as_micros() as u64, Ordering::Relaxed);
+        .fetch_add(service_us, Ordering::Relaxed);
+    shared.counters.service_hist.record(service_us);
+    // `worker.times` was reset at the previous slab boundary, so the
+    // take is exactly this slab's per-stage breakdown.
+    let slab_times = std::mem::take(&mut worker.times);
+    if shared.slow_us > 0 && service_us >= shared.slow_us {
+        log_slow_slab(&fingerprint, n_subs, n_reads, service_us, &slab_times);
+    }
     shared
         .times
         .lock()
         .expect("times poisoned")
-        .merge(&std::mem::take(&mut worker.times));
+        .merge(&slab_times);
+}
+
+/// Emit the slow-request log line: one WARN with the slab's fingerprint,
+/// occupancy, and per-stage millisecond breakdown, so an operator can
+/// attribute an outlier to a stage without re-running with profiling.
+fn log_slow_slab(
+    fingerprint: &str,
+    n_subs: u64,
+    n_reads: u64,
+    service_us: u64,
+    times: &StageTimes,
+) {
+    let service_ms = format!("{:.3}", service_us as f64 / 1e3);
+    let stage_ms: Vec<(String, f64)> = STAGE_NAMES
+        .iter()
+        .zip(&times.totals)
+        .map(|(name, d)| (format!("{}_ms", name.to_lowercase()), d.as_secs_f64() * 1e3))
+        .collect();
+    let fp = if fingerprint.is_empty() {
+        "default"
+    } else {
+        fingerprint
+    };
+    let mut fields: Vec<(&str, &dyn std::fmt::Display)> = vec![
+        ("fingerprint", &fp),
+        ("requests", &n_subs),
+        ("reads", &n_reads),
+        ("service_ms", &service_ms),
+    ];
+    let rendered: Vec<String> = stage_ms.iter().map(|(_, v)| format!("{v:.3}")).collect();
+    for ((name, _), val) in stage_ms.iter().zip(&rendered) {
+        fields.push((name.as_str(), val));
+    }
+    mem2_obs::log::warn("serve", "slow slab", &fields);
 }
 
 /// Split a pair list into owned `batch_pairs`-sized windows.

@@ -23,12 +23,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mem2_core::pipeline::PreparedRead;
+use mem2_core::profile::percentile_fields_us;
 use mem2_core::Aligner;
+use mem2_obs::log as olog;
+use mem2_obs::{MetricsServer, RateLimited, Registry};
 use mem2_pairing::{pairs_from_interleaved, PeStats};
 use mem2_seqio::{decode_frame_header, FastqStream, Frame, FrameWriter, FRAME_HEADER_LEN};
 
 use crate::batcher::{Batcher, Payload, Submission};
 use crate::endpoint::{Conn, Endpoint, Listener};
+use crate::metrics::{render_daemon_metrics, render_process_metrics};
 use crate::proto::{self, OptsOverride, RequestMode, CLIENT_MAGIC};
 
 /// Daemon configuration (execution-shape knobs; per-request scoring
@@ -48,6 +52,12 @@ pub struct ServeConfig {
     /// Pinned insert-size distribution for PE requests (the daemon
     /// equivalent of `mem2 mem -I`).
     pub pes_override: Option<PeStats>,
+    /// Bind an HTTP `/metrics` exposition endpoint here (e.g.
+    /// `127.0.0.1:9100`; port 0 for ephemeral). `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// Slabs serviced in at least this many milliseconds are logged
+    /// (WARN) with their per-stage breakdown. 0 disables.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +72,8 @@ impl Default for ServeConfig {
             slab_reads: 512,
             retry_ms: 50,
             pes_override: None,
+            metrics_addr: None,
+            slow_ms: 0,
         }
     }
 }
@@ -84,12 +96,19 @@ pub struct ServerHandle {
     endpoint: Endpoint,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    metrics: Option<MetricsServer>,
 }
 
 impl ServerHandle {
     /// The concrete bound endpoint (TCP port 0 already resolved).
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// The bound `/metrics` address when `metrics_addr` was configured
+    /// (port 0 already resolved).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics.as_ref().map(|m| m.addr())
     }
 
     /// Request a graceful drain (what SIGTERM does).
@@ -107,6 +126,11 @@ impl ServerHandle {
     pub fn join(mut self) {
         if let Some(t) = self.acceptor.take() {
             let _ = t.join();
+        }
+        if let Some(m) = self.metrics.take() {
+            // shares the daemon's shutdown flag, so the drain that ended
+            // the acceptor also ends the metrics accept loop
+            m.join();
         }
     }
 }
@@ -126,6 +150,7 @@ pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> 
         config.threads,
         config.queue_cap,
         config.slab_reads,
+        config.slow_ms.saturating_mul(1000),
     )));
     let started = Instant::now();
     let ctx = Arc::new(ConnCtx {
@@ -138,9 +163,36 @@ pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> 
         started,
     });
 
+    // Optional Prometheus exposition endpoint, sharing the daemon's
+    // shutdown flag so a drain stops it too. The registry is entirely
+    // collector-driven: every scrape reads the live counters and
+    // histogram snapshots, nothing is cached.
+    let metrics = match &config.metrics_addr {
+        Some(addr) => {
+            let registry = Arc::new(Registry::new());
+            let mb = Arc::clone(&batcher);
+            let queue_cap = config.queue_cap;
+            registry.collect_with(move |out| {
+                mb.with(|b| render_daemon_metrics(out, b, started.elapsed(), queue_cap));
+                render_process_metrics(out);
+            });
+            let srv = MetricsServer::start(addr, registry, Arc::clone(&shutdown))?;
+            olog::info(
+                "serve",
+                "metrics endpoint up",
+                &[("addr", &srv.addr()), ("path", &"/metrics")],
+            );
+            Some(srv)
+        }
+        None => None,
+    };
+
     let accept_shutdown = Arc::clone(&shutdown);
     let acceptor = std::thread::spawn(move || {
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // A bad socket must not flood stderr: accept failures emit at
+        // most one line per window, carrying the suppressed count.
+        let accept_failures = RateLimited::new(Duration::from_secs(5));
         loop {
             if accept_shutdown.load(Ordering::Acquire) {
                 break;
@@ -156,7 +208,13 @@ pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> 
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => {
-                    eprintln!("[serve] accept failed: {e}; continuing");
+                    if let Some(suppressed) = accept_failures.check() {
+                        olog::warn(
+                            "serve",
+                            "accept failed; continuing",
+                            &[("error", &e), ("suppressed", &suppressed)],
+                        );
+                    }
                     std::thread::sleep(POLL_TICK);
                 }
             }
@@ -172,6 +230,7 @@ pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> 
         endpoint,
         shutdown,
         acceptor: Some(acceptor),
+        metrics,
     })
 }
 
@@ -243,11 +302,20 @@ impl Drop for ConnGauge<'_> {
 /// client must never take the daemon down.
 fn handle_connection(conn: Conn, ctx: &ConnCtx) {
     let _gauge = ConnGauge::new(ctx);
-    if let Err(e) = run_connection(conn, ctx) {
-        // connection-level I/O failures are ordinary churn (client
-        // killed mid-frame, network reset); log at debug volume only
-        if e.kind() != io::ErrorKind::UnexpectedEof {
-            eprintln!("[serve] connection ended: {e}");
+    let conn_id = olog::next_id();
+    olog::debug("serve", "connection open", &[("conn", &conn_id)]);
+    match run_connection(conn, ctx) {
+        Ok(()) => olog::debug("serve", "connection closed", &[("conn", &conn_id)]),
+        Err(e) => {
+            // connection-level I/O failures are ordinary churn (client
+            // killed mid-frame, network reset): WARN only for real
+            // errors, debug volume for plain EOF
+            let fields: [(&str, &dyn std::fmt::Display); 2] = [("conn", &conn_id), ("error", &e)];
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                olog::debug("serve", "connection ended mid-frame", &fields);
+            } else {
+                olog::warn("serve", "connection ended", &fields);
+            }
         }
     }
 }
@@ -414,8 +482,15 @@ fn finish_request(
 }
 
 /// The STATS snapshot: queue state, traffic counters, batch occupancy,
-/// and per-stage latencies. Hand-rolled JSON (no serde in the offline
-/// shim set), flat enough for `grep`/`jq` alike.
+/// and per-stage latency distributions. Hand-rolled JSON (no serde in
+/// the offline shim set), flat enough for `grep`/`jq` alike.
+///
+/// Schema v2: `queue_wait`, `service`, and `stages` carry mean plus
+/// p50/p90/p99/max summaries whose fields are `null` when nothing has
+/// been observed — distinct from a true measured 0. The flat `avg_*`
+/// and `stage_ms` keys are the v1 schema, kept one release for
+/// compatibility (their 0-on-empty behavior included); new consumers
+/// should read the structured keys.
 fn render_stats(ctx: &ConnCtx) -> String {
     ctx.batcher.with(|b| {
         let c = b.counters();
@@ -429,12 +504,28 @@ fn render_stats(ctx: &ConnCtx) -> String {
             .zip(times.totals.iter())
             .map(|(name, d)| format!("\"{}\": {:.3}", name, d.as_secs_f64() * 1e3))
             .collect();
+        let stages: Vec<String> = mem2_core::profile::STAGE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let snap = times.hists[i].snapshot();
+                format!(
+                    "\"{}\": {{\"total_ms\": {:.3}, \"calls\": {}, {}}}",
+                    name,
+                    times.totals[i].as_secs_f64() * 1e3,
+                    snap.count,
+                    percentile_fields_us(&snap).replace("\":", "\": "),
+                )
+            })
+            .collect();
         format!(
             concat!(
                 "{{\"uptime_ms\": {}, \"queue_depth\": {}, \"queue_cap\": {}, ",
                 "\"active_connections\": {}, \"requests_admitted\": {}, ",
                 "\"requests_rejected\": {}, \"reads\": {}, \"records\": {}, ",
-                "\"slabs\": {}, \"avg_requests_per_slab\": {:.3}, ",
+                "\"slabs\": {}, ",
+                "\"queue_wait\": {}, \"service\": {}, \"stages\": {{{}}}, ",
+                "\"avg_requests_per_slab\": {:.3}, ",
                 "\"avg_reads_per_slab\": {:.3}, \"avg_queue_wait_ms\": {:.3}, ",
                 "\"avg_service_ms\": {:.3}, \"stage_ms\": {{{}}}}}"
             ),
@@ -447,6 +538,9 @@ fn render_stats(ctx: &ConnCtx) -> String {
             c.reads.load(Ordering::Relaxed),
             c.records.load(Ordering::Relaxed),
             slabs,
+            latency_summary(&c.queue_wait_hist.snapshot()),
+            latency_summary(&c.service_hist.snapshot()),
+            stages.join(", "),
             ratio(slab_subs, slabs),
             ratio(slab_reads, slabs),
             ratio(c.queue_wait_us.load(Ordering::Relaxed), admitted) / 1e3,
@@ -456,6 +550,23 @@ fn render_stats(ctx: &ConnCtx) -> String {
     })
 }
 
+/// One latency distribution as JSON: mean plus percentile fields, all
+/// `null` when the distribution is empty ("no data" is not "0 ms").
+fn latency_summary(snap: &mem2_obs::HistSnapshot) -> String {
+    let mean_ms = match snap.mean() {
+        Some(us) => format!("{:.3}", us / 1e3),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"count\": {}, \"mean_ms\": {}, {}}}",
+        snap.count,
+        mean_ms,
+        percentile_fields_us(snap).replace("\":", "\": "),
+    )
+}
+
+/// v1-schema average helper: silently 0 on an empty denominator (kept
+/// for the deprecated `avg_*` keys; v2 uses `null` instead).
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0

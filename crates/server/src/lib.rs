@@ -24,6 +24,14 @@
 //! (bounded queue, RETRY-with-backoff, nothing half-admitted) and
 //! shutdown is a drain: SIGTERM or a SHUTDOWN frame stops admission,
 //! finishes every admitted request, then exits ([`signal`]).
+//!
+//! Observability (PR 8): the daemon carries per-submission queue-wait,
+//! per-slab service, and per-stage latency histograms (lock-free,
+//! `mem2_obs`), surfaces them through the STATS verb and the optional
+//! HTTP `/metrics` Prometheus endpoint ([`metrics`],
+//! `ServeConfig::metrics_addr`), logs through the structured
+//! `mem2_obs::log` logger, and flags outlier slabs via
+//! `ServeConfig::slow_ms`.
 
 #![deny(missing_docs)]
 
@@ -31,6 +39,7 @@ pub mod batcher;
 pub mod client;
 pub mod daemon;
 pub mod endpoint;
+pub mod metrics;
 pub mod proto;
 pub mod signal;
 

@@ -257,3 +257,132 @@ fn backpressure_rejects_whole_requests_then_recovers() {
     client.shutdown().expect("shutdown");
     handle.join();
 }
+
+/// Minimal HTTP/1.1 GET against the metrics endpoint; returns the full
+/// response (status line + headers + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect metrics");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: mem2\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// `--metrics-addr` serves live Prometheus text: traffic counters,
+/// per-stage latency histograms (p99 derivable from cumulative
+/// buckets), and an RSS gauge — and STATS v2 distinguishes "no data"
+/// (null) from a measured zero.
+#[test]
+fn metrics_endpoint_reflects_traffic() {
+    let reference = test_reference();
+    let (handle, endpoint) = start_test_server(|c| {
+        c.metrics_addr = Some("127.0.0.1:0".into());
+    });
+    let addr = handle.metrics_addr().expect("metrics listener bound");
+
+    // before any traffic: latency summaries must be null, not 0 ms
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let stats0 = client.stats().expect("stats");
+    assert!(
+        stats0.contains("\"queue_wait\": {\"count\": 0, \"mean_ms\": null"),
+        "empty daemon must report null latencies, not zeros: {stats0}"
+    );
+    assert!(stats0.contains("\"p99_us\": null"), "{stats0}");
+
+    let reads = sim_reads(&reference, 40, 31);
+    let fastq = write_fastq(&reads);
+    let (_, n_reads, _) = client
+        .align_with_retry(fastq.as_bytes(), 50)
+        .expect("align");
+    assert_eq!(n_reads, 40);
+
+    let response = http_get(addr, "/metrics");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK\r\n"),
+        "bad status: {response}"
+    );
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "bad content type: {response}"
+    );
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("header/body split")
+        .1;
+
+    // counters reflect the 40-read request
+    assert!(body.contains("mem2_requests_admitted_total 1"), "{body}");
+    assert!(body.contains("mem2_reads_total 40"), "{body}");
+
+    // stage histograms: every stage series present, with the cumulative
+    // buckets + count + sum a scraper needs to derive p99
+    for stage in ["SMEM", "CHAIN", "BSW", "SAM-FORM"] {
+        assert!(
+            body.contains(&format!(
+                "mem2_stage_duration_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}}"
+            )),
+            "missing +Inf bucket for {stage}: {body}"
+        );
+        assert!(
+            body.contains(&format!(
+                "mem2_stage_duration_seconds_count{{stage=\"{stage}\"}}"
+            )),
+            "missing count for {stage}: {body}"
+        );
+    }
+    // queue-wait and service histograms recorded the one submission
+    assert!(
+        body.contains("mem2_queue_wait_seconds_count 1"),
+        "queue wait histogram must count the submission: {body}"
+    );
+    assert!(body.contains("mem2_slab_service_seconds_count 1"), "{body}");
+    // process gauges come from /proc on Linux
+    if cfg!(target_os = "linux") {
+        assert!(
+            body.contains("mem2_process_resident_memory_bytes "),
+            "missing RSS gauge: {body}"
+        );
+    }
+
+    // unknown paths 404 without killing the endpoint
+    let response = http_get(addr, "/nope");
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    assert!(
+        http_get(addr, "/metrics").contains("mem2_reads_total"),
+        "endpoint must survive a 404"
+    );
+
+    // STATS v2 now carries real percentiles alongside the deprecated
+    // v1 averages
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("\"service\": {\"count\": 1, \"mean_ms\": "),
+        "{stats}"
+    );
+    assert!(
+        stats.contains("\"stages\": {\"SMEM\": {\"total_ms\": "),
+        "{stats}"
+    );
+    assert!(
+        stats.contains("\"avg_reads_per_slab\""),
+        "v1 keys stay one release: {stats}"
+    );
+    assert!(
+        !stats.contains("\"mean_ms\": null, \"p50_us\": null}}, \"service\""),
+        "queue_wait must have data after traffic: {stats}"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    // the shared shutdown flag tears the metrics listener down too
+    assert!(
+        std::net::TcpStream::connect(addr).is_err(),
+        "metrics endpoint must close on drain"
+    );
+}

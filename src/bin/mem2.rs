@@ -1,6 +1,11 @@
 //! `mem2` — command-line front end, a minimal `bwa`-style interface.
 //!
 //! ```text
+//! global flags (any subcommand; also via MEM2_LOG=LEVEL[,json]):
+//!     --log-level L     stderr log level: error|warn|info|debug|trace
+//!                       (default info; SAM bytes are identical across
+//!                       levels — stdout carries alignment output only)
+//!     --log-json        structured JSON log lines instead of text
 //! mem2 index [opts] <ref.fasta> <out.idx>   build a persistent index
 //!     --index-width W   suffix-array entry width: auto|32|64
 //!                       (default auto: 32-bit while the doubled text
@@ -26,6 +31,9 @@
 //!     --load MODE       index file loading: auto|mmap|read (default
 //!                       auto = mmap when available; v4 bundles are
 //!                       then served zero-copy from the mapping)
+//!     --profile[=json]  end-of-run per-stage latency report on stderr:
+//!                       totals plus p50/p90/p99/max (json: one machine-
+//!                       readable object)
 //! mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix>
 //!                       [--gz] [--pairs] [--insert MEAN,STD]
 //!     single-end: writes <prefix>.fasta and <prefix>.fastq
@@ -40,6 +48,10 @@
 //!                       the CLI slab size; SAM bytes are identical
 //!                       for every value)
 //!     --retry-ms N      backoff suggested by RETRY frames (default 50)
+//!     --metrics-addr A  serve Prometheus text at http://A/metrics
+//!                       (e.g. 127.0.0.1:9100; off by default)
+//!     --slow-ms N       log slabs serviced in >= N ms with their
+//!                       per-stage breakdown (default off)
 //!     -I MEAN[,STD]     pinned insert distribution for mode=pe requests
 //!     --classic / --simd MODE / --load MODE   as for `mem2 mem`
 //! mem2 client [opts] [reads.fastq[.gz]]
@@ -63,6 +75,7 @@ use std::process::ExitCode;
 
 use mem2::bsw::SimdChoice;
 use mem2::core::bundle::{self, LoadMode};
+use mem2::obs::log as olog;
 use mem2::pairing::{align_pairs_stream, orient_name, PeStats};
 use mem2::prelude::*;
 use mem2::seqio::{
@@ -74,7 +87,12 @@ use mem2::simd::{dispatch, Backend};
 use mem2::suffix::IndexWidth;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    olog::init_from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = apply_log_flags(&mut args) {
+        eprintln!("mem2: {e}");
+        return ExitCode::from(2);
+    }
     let result = match args.first().map(|s| s.as_str()) {
         Some("index") => cmd_index(&args[1..]),
         Some("mem") => cmd_mem(&args[1..]),
@@ -88,8 +106,8 @@ fn main() -> ExitCode {
             );
             eprintln!(
                 "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] [--seed-batch N] \
-                 [--batch-bases N] [--batch-pairs N] [--load MODE] <ref.idx|ref.fasta> \
-                 <R1.fastq[.gz]> [R2.fastq[.gz]]"
+                 [--batch-bases N] [--batch-pairs N] [--load MODE] [--profile[=json]] \
+                 <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]"
             );
             eprintln!(
                 "  mem2 simulate <genome_mb> <n_reads> <read_len> <out_prefix> [--gz] [--pairs] \
@@ -97,12 +115,15 @@ fn main() -> ExitCode {
             );
             eprintln!(
                 "  mem2 serve [--socket PATH|--tcp ADDR] [-t N] [--queue N] [--slab-reads N] \
-                 [--retry-ms N] [-I MEAN[,STD]] [--classic] [--simd MODE] [--load MODE] \
-                 <ref.idx|ref.fasta>"
+                 [--retry-ms N] [--metrics-addr ADDR] [--slow-ms N] [-I MEAN[,STD]] [--classic] \
+                 [--simd MODE] [--load MODE] <ref.idx|ref.fasta>"
             );
             eprintln!(
                 "  mem2 client [--socket PATH|--tcp ADDR] [--opts K=V[,K=V...]] [-p] [--retries N] \
                  [--stats] [--shutdown] [reads.fastq[.gz]]"
+            );
+            eprintln!(
+                "  global: --log-level error|warn|info|debug|trace, --log-json (or MEM2_LOG)"
             );
             return ExitCode::from(2);
         }
@@ -117,6 +138,34 @@ fn main() -> ExitCode {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Strip and apply the global logging flags (`--log-level LEVEL`,
+/// `--log-level=LEVEL`, `--log-json`), valid on every subcommand and
+/// overriding `MEM2_LOG`. They only shape stderr: SAM output on stdout
+/// is byte-identical at every level (CI pins this).
+fn apply_log_flags(args: &mut Vec<String>) -> Result<(), String> {
+    const LEVELS: &str = "--log-level must be error|warn|info|debug|trace";
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        if arg == "--log-level" {
+            let v = args.get(i + 1).cloned().ok_or(LEVELS)?;
+            let level = mem2::obs::Level::parse(&v).ok_or_else(|| format!("{LEVELS}, got {v}"))?;
+            olog::set_level(level);
+            args.drain(i..i + 2);
+        } else if let Some(v) = arg.strip_prefix("--log-level=") {
+            let level = mem2::obs::Level::parse(v).ok_or_else(|| format!("{LEVELS}, got {v}"))?;
+            olog::set_level(level);
+            args.remove(i);
+        } else if arg == "--log-json" {
+            olog::set_json(true);
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
+}
 
 /// Read a whole file, annotating any I/O error with its path.
 fn read_file(path: &str) -> Result<Vec<u8>, SeqIoError> {
@@ -174,20 +223,24 @@ fn cmd_index(args: &[String]) -> Result<(), AnyError> {
     };
     let reference = load_reference(fasta)?;
     let effective = width.unwrap_or_else(|| bundle::choose_width(reference.len(), narrow_limit));
-    eprintln!(
-        "[index] {} contig(s), {} bp; {}-bit positions ({}); building suffix array...",
-        reference.contigs.contigs.len(),
-        reference.len(),
-        effective,
-        if width.is_some() { "forced" } else { "auto" }
+    olog::info(
+        "index",
+        &format!(
+            "{}-bit positions ({}); building suffix array",
+            effective,
+            if width.is_some() { "forced" } else { "auto" }
+        ),
+        &[
+            ("contigs", &reference.contigs.contigs.len()),
+            ("bp", &reference.len()),
+        ],
     );
     let bytes = bundle::build_bundle_with_width(&reference, width, narrow_limit)?;
     std::fs::write(out, &bytes).map_err(|e| SeqIoError::io("write", &e).in_file(out))?;
-    eprintln!(
-        "[index] wrote {} ({} MB, bundle v{})",
-        out,
-        bytes.len() / (1 << 20),
-        bundle::BUNDLE_VERSION
+    olog::info(
+        "index",
+        &format!("wrote {} (bundle v{})", out, bundle::BUNDLE_VERSION),
+        &[("mb", &(bytes.len() / (1 << 20)))],
     );
     Ok(())
 }
@@ -221,6 +274,7 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     let mut batch_pairs_set = false;
     let mut pes_override: Option<PeStats> = None;
     let mut load_mode = LoadMode::Auto;
+    let mut profile: Option<ProfileFormat> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -232,6 +286,8 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                     .parse()
                     .map_err(|_| "-t needs an integer")?;
             }
+            "--profile" => profile = Some(ProfileFormat::Text),
+            "--profile=json" => profile = Some(ProfileFormat::Json),
             "-p" => interleaved = true,
             "-I" => {
                 pes_override = Some(parse_insert_override(it.next().ok_or("-I needs a value")?)?);
@@ -292,8 +348,8 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         _ => {
             return Err(
                 "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] [--seed-batch N] \
-                 [--batch-bases N] [--batch-pairs N] [--load MODE] <ref.idx|ref.fasta> \
-                 <R1.fastq[.gz]> [R2.fastq[.gz]]"
+                 [--batch-bases N] [--batch-pairs N] [--load MODE] [--profile[=json]] \
+                 <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]"
                     .into(),
             )
         }
@@ -321,10 +377,14 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     // resolve the SIMD backend once per process: scalar/portable force
     // the dispatched kernels (occ counts included) onto the emulated
     // paths; auto/native use the widest compiled+detected backend
-    eprintln!(
-        "[mem] SIMD: --simd {} -> BSW {}",
-        opts.simd,
-        resolve_simd(opts.simd)
+    olog::info(
+        "mem",
+        &format!(
+            "SIMD: --simd {} -> BSW {}",
+            opts.simd,
+            resolve_simd(opts.simd)
+        ),
+        &[],
     );
 
     let (reference, index) = load_ref_index(ref_path, workflow, load_mode, "mem")?;
@@ -338,42 +398,54 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         match &pes_override {
             Some(pes) => {
                 let fr = &pes.dirs[1];
-                eprintln!(
-                    "[mem] paired-end, fixed {} insert distribution: mean {:.1}, std {:.1}, bounds [{}, {}]",
-                    orient_name(1),
-                    fr.avg,
-                    fr.std,
-                    fr.low,
-                    fr.high
+                olog::info(
+                    "mem",
+                    &format!(
+                        "paired-end, fixed {} insert distribution: mean {:.1}, std {:.1}, bounds [{}, {}]",
+                        orient_name(1),
+                        fr.avg,
+                        fr.std,
+                        fr.low,
+                        fr.high
+                    ),
+                    &[],
                 );
             }
-            None => eprintln!(
-                "[mem] paired-end, per-batch insert estimation over {} pairs/batch",
-                aligner.opts.batch_pairs
+            None => olog::info(
+                "mem",
+                "paired-end, per-batch insert estimation",
+                &[("pairs_per_batch", &aligner.opts.batch_pairs)],
             ),
         }
         if let Some(reads2) = reads2 {
             let in1 = mem2::seqio::open_reads(reads1)?;
             let in2 = mem2::seqio::open_reads(reads2)?;
-            eprintln!(
-                "[mem] streaming {:?}+{:?} two-file input against {} bp reference, {} thread(s), {:?} workflow",
-                in1.format(),
-                in2.format(),
-                aligner.reference.len(),
-                threads,
-                workflow
+            olog::info(
+                "mem",
+                &format!(
+                    "streaming {:?}+{:?} two-file input",
+                    in1.format(),
+                    in2.format()
+                ),
+                &[
+                    ("ref_bp", &aligner.reference.len()),
+                    ("threads", &threads),
+                    ("workflow", &format_args!("{workflow:?}")),
+                ],
             );
             let batches =
                 PairedBatchReader::new(in1, in2, reads1, reads2, aligner.opts.batch_pairs);
             align_pairs_stream(&aligner, pes_override, batches, threads, &mut out)?
         } else {
             let input = mem2::seqio::open_reads(reads1)?;
-            eprintln!(
-                "[mem] streaming {:?} interleaved input against {} bp reference, {} thread(s), {:?} workflow",
-                input.format(),
-                aligner.reference.len(),
-                threads,
-                workflow
+            olog::info(
+                "mem",
+                &format!("streaming {:?} interleaved input", input.format()),
+                &[
+                    ("ref_bp", &aligner.reference.len()),
+                    ("threads", &threads),
+                    ("workflow", &format_args!("{workflow:?}")),
+                ],
             );
             let batches = InterleavedBatchReader::new(input, reads1, aligner.opts.batch_pairs);
             align_pairs_stream(&aligner, pes_override, batches, threads, &mut out)?
@@ -384,28 +456,51 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         let format = input.format();
         let batches = BatchReader::new(input, aligner.opts.batch_bases)
             .map(|b| b.map_err(|e| e.in_file(reads1)));
-        eprintln!(
-            "[mem] streaming {:?} input against {} bp reference, {} thread(s), {:?} workflow, {} bases/batch",
-            format,
-            aligner.reference.len(),
-            threads,
-            workflow,
-            aligner.opts.batch_bases
+        olog::info(
+            "mem",
+            &format!("streaming {format:?} input"),
+            &[
+                ("ref_bp", &aligner.reference.len()),
+                ("threads", &threads),
+                ("workflow", &format_args!("{workflow:?}")),
+                ("bases_per_batch", &aligner.opts.batch_bases),
+            ],
         );
         aligner.align_fastq_stream(batches, threads, &mut out)?
     };
     out.flush()?;
     let wall = t.elapsed();
-    eprintln!(
-        "[mem] {} reads -> {} records in {} batch(es), {:.2}s ({:.0} reads/s)",
-        summary.reads,
-        summary.records,
-        summary.batches,
-        wall.as_secs_f64(),
-        summary.reads as f64 / wall.as_secs_f64()
+    olog::info(
+        "mem",
+        &format!(
+            "{} reads -> {} records in {} batch(es), {:.2}s ({:.0} reads/s)",
+            summary.reads,
+            summary.records,
+            summary.batches,
+            wall.as_secs_f64(),
+            summary.reads as f64 / wall.as_secs_f64()
+        ),
+        &[],
     );
     eprint!("{}", times.render("[mem] stage CPU time"));
+    match profile {
+        Some(ProfileFormat::Text) => {
+            eprint!(
+                "{}",
+                times.render_percentiles("[mem] stage latency profile")
+            );
+        }
+        Some(ProfileFormat::Json) => eprintln!("{}", times.render_json()),
+        None => {}
+    }
     Ok(())
+}
+
+/// Output format for `mem --profile[=json]`.
+#[derive(Clone, Copy)]
+enum ProfileFormat {
+    Text,
+    Json,
 }
 
 /// Load (or build) the reference + FM-index behind `<ref.idx|ref.fasta>`
@@ -424,18 +519,22 @@ fn load_ref_index(
             load_mode,
         )
         .map_err(|e| format!("{ref_path}: {e}"))?;
-        eprintln!(
-            "[{tag}] index: bundle v{}, {}-bit positions, {} MB, {} load{} in {:.0} ms",
-            report.version,
-            report.sa_width,
-            report.bytes / (1 << 20),
-            if report.file_mapped {
-                "mmap"
-            } else {
-                "buffered"
-            },
-            if report.zero_copy { " (zero-copy)" } else { "" },
-            t_load.elapsed().as_secs_f64() * 1e3
+        olog::info(
+            tag,
+            &format!(
+                "index: bundle v{}, {}-bit positions, {} MB, {} load{} in {:.0} ms",
+                report.version,
+                report.sa_width,
+                report.bytes / (1 << 20),
+                if report.file_mapped {
+                    "mmap"
+                } else {
+                    "buffered"
+                },
+                if report.zero_copy { " (zero-copy)" } else { "" },
+                t_load.elapsed().as_secs_f64() * 1e3
+            ),
+            &[],
         );
         Ok((reference, index))
     } else {
@@ -483,8 +582,8 @@ fn parse_endpoint(socket: Option<&String>, tcp: Option<&String>) -> Result<Endpo
 
 fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     const USAGE: &str = "usage: mem2 serve [--socket PATH|--tcp ADDR] [-t N] [--queue N] \
-         [--slab-reads N] [--retry-ms N] [-I MEAN[,STD]] [--classic] [--simd MODE] [--load MODE] \
-         <ref.idx|ref.fasta>";
+         [--slab-reads N] [--retry-ms N] [--metrics-addr ADDR] [--slow-ms N] [-I MEAN[,STD]] \
+         [--classic] [--simd MODE] [--load MODE] <ref.idx|ref.fasta>";
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -496,6 +595,8 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     let mut queue_cap = 64usize;
     let mut slab_reads: Option<usize> = None;
     let mut retry_ms = 50u64;
+    let mut metrics_addr: Option<String> = None;
+    let mut slow_ms = 0u64;
     let mut pes_override: Option<PeStats> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -503,6 +604,16 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         match a.as_str() {
             "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?),
             "--tcp" => tcp = Some(it.next().ok_or("--tcp needs an address")?),
+            "--metrics-addr" => {
+                metrics_addr = Some(it.next().ok_or("--metrics-addr needs an address")?.clone());
+            }
+            "--slow-ms" => {
+                slow_ms = it
+                    .next()
+                    .ok_or("--slow-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--slow-ms needs an integer")?;
+            }
             "-t" => {
                 threads = it
                     .next()
@@ -565,10 +676,14 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     };
     let endpoint = parse_endpoint(socket, tcp)?;
 
-    eprintln!(
-        "[serve] SIMD: --simd {} -> BSW {}",
-        opts.simd,
-        resolve_simd(opts.simd)
+    olog::info(
+        "serve",
+        &format!(
+            "SIMD: --simd {} -> BSW {}",
+            opts.simd,
+            resolve_simd(opts.simd)
+        ),
+        &[],
     );
     let (reference, index) = load_ref_index(ref_path, workflow, load_mode, "serve")?;
     let aligner = Aligner::with_index(index, reference, opts, workflow);
@@ -583,27 +698,33 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             slab_reads: slab_reads.unwrap_or(opts.batch_reads),
             retry_ms,
             pes_override,
+            metrics_addr,
+            slow_ms,
         },
     )?;
-    eprintln!(
-        "[serve] listening on {} ({} worker(s), queue {} request(s), {} reads/slab)",
-        handle.endpoint(),
-        threads,
-        queue_cap,
-        slab_reads.unwrap_or(opts.batch_reads),
+    olog::info(
+        "serve",
+        "listening",
+        &[
+            ("endpoint", &handle.endpoint()),
+            ("workers", &threads),
+            ("queue", &queue_cap),
+            ("slab_reads", &slab_reads.unwrap_or(opts.batch_reads)),
+        ],
     );
+    // (the daemon itself logs the resolved metrics address, if any)
     // main thread: wait for SIGTERM/SIGINT or a client SHUTDOWN frame,
     // then drain gracefully (finish admitted requests, refuse new ones)
     while !handle.draining() {
         if mem2::server::signal::termination_requested() {
-            eprintln!("[serve] termination signal received; draining");
+            olog::info("serve", "termination signal received; draining", &[]);
             handle.shutdown();
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     handle.join();
-    eprintln!("[serve] drained; bye");
+    olog::info("serve", "drained; bye", &[]);
     Ok(())
 }
 
@@ -674,11 +795,15 @@ fn cmd_client(args: &[String]) -> Result<(), AnyError> {
         out.write_all(client.sam_header().as_bytes())?;
         out.write_all(sam.as_bytes())?;
         out.flush()?;
-        eprintln!(
-            "[client] {} reads -> {} records in {:.3}s",
-            n_reads,
-            n_records,
-            t.elapsed().as_secs_f64()
+        olog::info(
+            "client",
+            &format!(
+                "{} reads -> {} records in {:.3}s",
+                n_reads,
+                n_records,
+                t.elapsed().as_secs_f64()
+            ),
+            &[],
         );
     }
     if want_stats {
@@ -686,7 +811,7 @@ fn cmd_client(args: &[String]) -> Result<(), AnyError> {
     }
     if want_shutdown {
         client.shutdown()?;
-        eprintln!("[client] daemon acknowledged shutdown; draining");
+        olog::info("client", "daemon acknowledged shutdown; draining", &[]);
     }
     Ok(())
 }
@@ -797,10 +922,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
                 )?;
             }
         }
-        eprintln!(
-            "[simulate] wrote {prefix}.fasta ({genome_len} bp) and {prefix}_R1/_R2/_il.fastq{} \
-             ({n_reads} pairs x {read_len} bp, insert {insert_mean}±{insert_std})",
-            if gz { " (+ .fastq.gz)" } else { "" }
+        olog::info(
+            "simulate",
+            &format!(
+                "wrote {prefix}.fasta ({genome_len} bp) and {prefix}_R1/_R2/_il.fastq{} \
+                 ({n_reads} pairs x {read_len} bp, insert {insert_mean}±{insert_std})",
+                if gz { " (+ .fastq.gz)" } else { "" }
+            ),
+            &[],
         );
         return Ok(());
     }
@@ -823,9 +952,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
             gzip_compress_stored(fastq.as_bytes()),
         )?;
     }
-    eprintln!(
-        "[simulate] wrote {prefix}.fasta ({genome_len} bp) and {prefix}.fastq{} ({n_reads} x {read_len} bp)",
-        if gz { " (+ .fastq.gz)" } else { "" }
+    olog::info(
+        "simulate",
+        &format!(
+            "wrote {prefix}.fasta ({genome_len} bp) and {prefix}.fastq{} ({n_reads} x {read_len} bp)",
+            if gz { " (+ .fastq.gz)" } else { "" }
+        ),
+        &[],
     );
     Ok(())
 }

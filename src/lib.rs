@@ -43,6 +43,7 @@
 //! | [`core`] | the aligner: pipelines, SAM output, worker pool |
 //! | [`pairing`] | paired-end: insert-size estimation, pair selection, mate rescue |
 //! | [`server`] | `mem2 serve`: resident daemon, cross-connection micro-batching |
+//! | [`obs`] | observability: metrics registry, histograms, structured logging, /metrics |
 //! | [`simd`] | portable fixed-width vector substrate |
 //! | [`memsim`] | cache-hierarchy model / performance-counter proxies |
 
@@ -51,6 +52,7 @@ pub use mem2_chain as chain;
 pub use mem2_core as core;
 pub use mem2_fmindex as fmindex;
 pub use mem2_memsim as memsim;
+pub use mem2_obs as obs;
 pub use mem2_pairing as pairing;
 pub use mem2_seqio as seqio;
 pub use mem2_server as server;
