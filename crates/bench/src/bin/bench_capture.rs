@@ -348,8 +348,10 @@ fn main() {
         let mut loaded = None;
         let rss_before = vm_rss_kb();
         let ns = median_ns(samples, || {
-            loaded =
-                Some(bundle::load_index_file(&bundle_path, &build_opts, mode).expect("index load"));
+            loaded = Some(
+                bundle::load_index_file(&bundle_path, &build_opts, mode, bundle::VerifyMode::Eager)
+                    .expect("index load"),
+            );
         });
         let (_, index, report) = loaded.as_ref().expect("index loaded");
         // touch the hot tables so mapped pages actually fault in before

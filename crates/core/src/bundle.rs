@@ -10,13 +10,24 @@
 //! * **v3** — v2 plus the η=32 CP-OCC blocks as 48-byte (counts+bases)
 //!   records, still stream-encoded. The batched profile adopts the
 //!   blocks without a rebuild.
-//! * **v4** (current) — a table-of-contents format with *page-aligned
-//!   sections*, generalized over the position width:
+//! * **v4** — a table-of-contents format with *page-aligned sections*,
+//!   generalized over the position width.
+//! * **v5** (current) — v4 geometry plus integrity checksums: each TOC
+//!   entry's previously-reserved `u32` now carries the section's CRC32
+//!   (the same IEEE polynomial gzip uses, [`mem2_seqio::gzip::crc32`]),
+//!   and four of the previously-reserved header bytes carry a CRC32 of
+//!   the header+TOC itself (computed with that field zeroed). Padding
+//!   between sections must be zero and the file must end exactly at the
+//!   last section, so a flipped byte *anywhere* in a v5 bundle is
+//!   rejected at load with the failing section named. v2–v4 bundles
+//!   still load, with a "no checksums" warning.
 //!
 //! ```text
-//! magic "MEM2IDX" + version byte (4)
-//! u8 sa_width_bytes (4|8) | u8 occ_width_bytes (4|8) | 6 reserved bytes
-//! u32 n_sections | per section: u32 id, u32 reserved, u64 offset, u64 len
+//! magic "MEM2IDX" + version byte (5)
+//! u8 sa_width_bytes (4|8) | u8 occ_width_bytes (4|8)
+//! u32 header_crc32 (v5; zero in v4) | 2 reserved bytes
+//! u32 n_sections | per section: u32 id, u32 crc32 (v5; zero in v4),
+//!                                u64 offset, u64 len
 //! META  (id 1, unaligned): u64 l_pac, contigs, holes, BwtMeta,
 //!                          u64 sa_len, u64 n_blocks
 //! PAC   (id 2, 4096-aligned): packed reference bytes
@@ -44,15 +55,23 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut};
 
 use mem2_fmindex::{BuildOpts, BwtMeta, CpBlock, CpBlockWide, FlatSa, FmIndex, OccOpt, OccTable};
+use mem2_obs::log as olog;
+use mem2_seqio::gzip::crc32;
 use mem2_seqio::refseq::{AmbHole, ContigAnn, ContigSet};
 use mem2_seqio::{AlignedBytes, ByteRegion, PackedSeq, Reference, RegionOwner, PAGE_ALIGN};
 use mem2_suffix::{IndexWidth, SaVec};
 
 const MAGIC_PREFIX: &[u8; 7] = b"MEM2IDX";
-/// Current format version: TOC + page-aligned sections, width-generic.
-pub const BUNDLE_VERSION: u8 = 4;
+/// Current format version: v4 TOC geometry + per-section CRC32s.
+pub const BUNDLE_VERSION: u8 = 5;
 /// Oldest version this build still reads (via the rebuild path).
 pub const BUNDLE_VERSION_MIN: u8 = 2;
+/// First version carrying integrity checksums.
+const BUNDLE_VERSION_CRC: u8 = 5;
+/// Byte offset of the header CRC32 field (zeroed while computing it).
+const HEADER_CRC_OFF: usize = 10;
+/// Fixed v4/v5 header length: magic+version, widths+reserved, count, TOC.
+const TOC_HEADER_LEN: usize = 8 + 8 + 4 + 4 * 24;
 
 /// v4 section ids.
 const SEC_META: u32 = 1;
@@ -73,6 +92,17 @@ pub enum BundleError {
     TooLarge(usize),
     /// Input ended early or a length field is inconsistent.
     Truncated(&'static str),
+    /// A v5 section's bytes do not match its stored CRC32 — the file is
+    /// corrupt (bit flip, torn write, bad medium). Names the section.
+    ChecksumMismatch {
+        /// Which part failed: `header`, `META`, `PAC`, `SA`, `OCC`, or
+        /// `padding`.
+        section: &'static str,
+        /// CRC32 recorded in the TOC.
+        stored: u32,
+        /// CRC32 computed over the on-disk bytes.
+        computed: u32,
+    },
     /// A string field was not UTF-8.
     BadString,
     /// Reading or mapping the index file failed.
@@ -95,6 +125,16 @@ impl std::fmt::Display for BundleError {
                 u32::MAX
             ),
             BundleError::Truncated(what) => write!(f, "bundle truncated while reading {what}"),
+            BundleError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "bundle section {section} failed CRC32 verification \
+                 (stored {stored:#010x}, computed {computed:#010x}); the file is \
+                 corrupt — re-run `mem2 index`"
+            ),
             BundleError::BadString => write!(f, "bundle contains a non-UTF-8 name"),
             BundleError::Io(e) => write!(f, "index file I/O failed: {e}"),
         }
@@ -218,13 +258,34 @@ fn pad_to_page(out: &mut Vec<u8>) {
     }
 }
 
-/// Serialize the current (v4) layout: TOC header, then META, then the
-/// PAC / SA / OCC sections at page-aligned offsets. The suffix array
-/// and occurrence table keep whatever width they were built with.
+/// Serialize the retired v4 layout: v5 geometry with the checksum
+/// fields left zero. Kept so tests can exercise the backward-compatible
+/// "no checksums" load path and the v4 → v5 migration.
 pub fn save_bundle_v4(
     reference: &Reference,
     sa: &SaVec,
     occ: &OccOpt,
+) -> Result<Vec<u8>, BundleError> {
+    save_bundle_toc(reference, sa, occ, 4)
+}
+
+/// Serialize the current (v5) layout: checksummed TOC header, then
+/// META, then the PAC / SA / OCC sections at page-aligned offsets. The
+/// suffix array and occurrence table keep whatever width they were
+/// built with.
+pub fn save_bundle_v5(
+    reference: &Reference,
+    sa: &SaVec,
+    occ: &OccOpt,
+) -> Result<Vec<u8>, BundleError> {
+    save_bundle_toc(reference, sa, occ, BUNDLE_VERSION)
+}
+
+fn save_bundle_toc(
+    reference: &Reference,
+    sa: &SaVec,
+    occ: &OccOpt,
+    version: u8,
 ) -> Result<Vec<u8>, BundleError> {
     let mut meta_payload = Vec::new();
     meta_payload.put_u64_le(reference.len() as u64);
@@ -233,7 +294,7 @@ pub fn save_bundle_v4(
     meta_payload.put_u64_le(sa.len() as u64);
     meta_payload.put_u64_le(occ.n_blocks() as u64);
 
-    let header_len = 8 + 8 + 4 + 4 * 24;
+    let header_len = TOC_HEADER_LEN;
     let meta_off = header_len;
     let occ_bytes = occ.blocks_bytes();
     let pac_off = (meta_off + meta_payload.len()).next_multiple_of(PAGE_ALIGN);
@@ -242,18 +303,19 @@ pub fn save_bundle_v4(
     let sa_len_bytes = sa.len() * sa.width().bytes();
     let occ_off = (sa_off + sa_len_bytes).next_multiple_of(PAGE_ALIGN);
 
-    let mut out = Vec::with_capacity(occ_off + occ_bytes.len());
-    out.put_slice(MAGIC_PREFIX);
-    out.put_slice(&[BUNDLE_VERSION]);
-    out.put_slice(&[sa.width().bytes() as u8, occ.width().bytes() as u8]);
-    out.put_slice(&[0u8; 6]);
-    out.put_u32_le(4);
-    for (id, off, len) in [
+    let sections = [
         (SEC_META, meta_off, meta_payload.len()),
         (SEC_PAC, pac_off, pac_len),
         (SEC_SA, sa_off, sa_len_bytes),
         (SEC_OCC, occ_off, occ_bytes.len()),
-    ] {
+    ];
+    let mut out = Vec::with_capacity(occ_off + occ_bytes.len());
+    out.put_slice(MAGIC_PREFIX);
+    out.put_slice(&[version]);
+    out.put_slice(&[sa.width().bytes() as u8, occ.width().bytes() as u8]);
+    out.put_slice(&[0u8; 6]);
+    out.put_u32_le(4);
+    for (id, off, len) in sections {
         out.put_u32_le(id);
         out.put_u32_le(0);
         out.put_u64_le(off as u64);
@@ -281,7 +343,51 @@ pub fn save_bundle_v4(
     pad_to_page(&mut out);
     debug_assert_eq!(out.len(), occ_off);
     out.put_slice(occ_bytes);
+    if version >= BUNDLE_VERSION_CRC {
+        // patch each section's CRC32 into its TOC entry's reserved
+        // field, then stamp the header CRC (its own field zeroed)
+        for (i, (_, off, len)) in sections.iter().enumerate() {
+            let c = crc32(&out[*off..*off + *len]).to_le_bytes();
+            let field = 20 + 24 * i + 4;
+            out[field..field + 4].copy_from_slice(&c);
+        }
+        let h = crc32(&out[..TOC_HEADER_LEN]).to_le_bytes();
+        out[HEADER_CRC_OFF..HEADER_CRC_OFF + 4].copy_from_slice(&h);
+    }
     Ok(out)
+}
+
+/// Write a bundle crash-safely: the bytes go to a temp file in the same
+/// directory, are fsynced, and are atomically renamed over `path` (the
+/// directory is then fsynced too). A process killed at any point leaves
+/// either the old file or none — never a torn bundle.
+pub fn write_bundle_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), BundleError> {
+    use std::io::Write;
+    let io = |e: std::io::Error| BundleError::Io(format!("{}: {e}", path.display()));
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("bundle");
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        if let Ok(d) = std::fs::File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(io)
 }
 
 /// Build the current-version bundle for a reference, choosing the
@@ -312,7 +418,7 @@ pub fn build_bundle_with_width(
     let sa = mem2_suffix::suffix_array_width(&s, width);
     let bwt = mem2_suffix::bwt_from_savec(&s, &sa);
     let occ = OccOpt::build_with_width(&bwt, width);
-    save_bundle_v4(reference, &sa, &occ)
+    save_bundle_v5(reference, &sa, &occ)
 }
 
 /// A decoded bundle with owned storage: the reference, the doubled
@@ -328,9 +434,11 @@ pub struct LoadedBundle {
     pub occ: Option<OccOpt>,
 }
 
-/// Parsed v4 geometry: decoded metadata plus the byte extents of the
-/// big sections, shared by the owned and zero-copy loaders.
+/// Parsed v4/v5 geometry: decoded metadata plus the byte extents of the
+/// big sections, shared by the owned and zero-copy loaders. For v5 the
+/// per-section CRC32s ride along so loaders can verify lazily.
 struct V4Layout {
+    version: u8,
     sa_width: IndexWidth,
     occ_width: IndexWidth,
     l_pac: usize,
@@ -339,6 +447,53 @@ struct V4Layout {
     pac: (usize, usize),
     sa: (usize, usize),
     occ: (usize, usize),
+    /// Stored section CRC32s, indexed by section id − 1 (zeros for v4).
+    crcs: [u32; 4],
+}
+
+impl V4Layout {
+    /// Does this bundle carry checksums at all?
+    fn checksummed(&self) -> bool {
+        self.version >= BUNDLE_VERSION_CRC
+    }
+
+    /// Verify one section's bytes against its stored CRC32 (no-op for
+    /// checksum-less v4 bundles).
+    fn verify_section(
+        &self,
+        full: &[u8],
+        id: u32,
+        extent: (usize, usize),
+    ) -> Result<(), BundleError> {
+        if !self.checksummed() {
+            return Ok(());
+        }
+        let section = match id {
+            SEC_META => "META",
+            SEC_PAC => "PAC",
+            SEC_SA => "SA",
+            _ => "OCC",
+        };
+        let stored = self.crcs[(id - 1) as usize];
+        let computed = crc32(&full[extent.0..extent.0 + extent.1]);
+        if computed != stored {
+            return Err(BundleError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Verify every big section eagerly (v5; no-op for v4). META is
+    /// always verified during parsing, before it is decoded.
+    fn verify_all(&self, full: &[u8]) -> Result<(), BundleError> {
+        for (id, extent) in [(SEC_PAC, self.pac), (SEC_SA, self.sa), (SEC_OCC, self.occ)] {
+            self.verify_section(full, id, extent)?;
+        }
+        Ok(())
+    }
 }
 
 fn need(buf: &[u8], n: usize, what: &'static str) -> Result<(), BundleError> {
@@ -397,11 +552,36 @@ fn decode_bwt_meta(buf: &mut &[u8]) -> Result<BwtMeta, BundleError> {
     })
 }
 
-/// Parse a v4 bundle's header, TOC and META section; validate every
-/// cross-field length before any section is touched.
+/// Parse a v4/v5 bundle's header, TOC and META section; validate every
+/// cross-field length before any section is touched. For v5 this also
+/// verifies the header CRC (so a flipped TOC byte is caught before any
+/// offset is trusted), the META CRC (before decoding), and that the
+/// inter-section padding is zero with nothing after the last section.
 fn parse_v4(full: &[u8]) -> Result<V4Layout, BundleError> {
+    let version = full[7];
+    let checksummed = version >= BUNDLE_VERSION_CRC;
     let mut buf = &full[8..];
     need(buf, 12, "v4 header")?;
+    if checksummed {
+        need(&full[8..], TOC_HEADER_LEN - 8, "v5 header")?;
+        let stored = u32::from_le_bytes([
+            full[HEADER_CRC_OFF],
+            full[HEADER_CRC_OFF + 1],
+            full[HEADER_CRC_OFF + 2],
+            full[HEADER_CRC_OFF + 3],
+        ]);
+        let mut head = [0u8; TOC_HEADER_LEN];
+        head.copy_from_slice(&full[..TOC_HEADER_LEN]);
+        head[HEADER_CRC_OFF..HEADER_CRC_OFF + 4].fill(0);
+        let computed = crc32(&head);
+        if computed != stored {
+            return Err(BundleError::ChecksumMismatch {
+                section: "header",
+                stored,
+                computed,
+            });
+        }
+    }
     let sa_width = IndexWidth::from_bytes(buf[0]).ok_or(BundleError::Truncated("sa width byte"))?;
     let occ_width =
         IndexWidth::from_bytes(buf[1]).ok_or(BundleError::Truncated("occ width byte"))?;
@@ -411,10 +591,11 @@ fn parse_v4(full: &[u8]) -> Result<V4Layout, BundleError> {
         return Err(BundleError::Truncated("section count"));
     }
     let mut sections = [(0usize, 0usize); 5];
+    let mut crcs = [0u32; 4];
     for _ in 0..n_sections {
         need(buf, 24, "toc entry")?;
         let id = buf.get_u32_le();
-        buf.advance(4);
+        let crc = buf.get_u32_le();
         let off = buf.get_u64_le() as usize;
         let len = buf.get_u64_le() as usize;
         if !(1..=4).contains(&id) {
@@ -424,8 +605,23 @@ fn parse_v4(full: &[u8]) -> Result<V4Layout, BundleError> {
             return Err(BundleError::Truncated("section extent"));
         }
         sections[id as usize] = (off, len);
+        crcs[(id - 1) as usize] = crc;
+    }
+    if checksummed {
+        verify_padding(full, &sections)?;
     }
     let (meta_off, meta_len) = sections[SEC_META as usize];
+    if checksummed {
+        let computed = crc32(&full[meta_off..meta_off + meta_len]);
+        let stored = crcs[(SEC_META - 1) as usize];
+        if computed != stored {
+            return Err(BundleError::ChecksumMismatch {
+                section: "META",
+                stored,
+                computed,
+            });
+        }
+    }
     let mut meta_buf = &full[meta_off..meta_off + meta_len];
     need(meta_buf, 8, "l_pac")?;
     let l_pac = meta_buf.get_u64_le() as usize;
@@ -453,6 +649,7 @@ fn parse_v4(full: &[u8]) -> Result<V4Layout, BundleError> {
         return Err(BundleError::Truncated("occ block count inconsistent"));
     }
     Ok(V4Layout {
+        version,
         sa_width,
         occ_width,
         l_pac,
@@ -461,7 +658,38 @@ fn parse_v4(full: &[u8]) -> Result<V4Layout, BundleError> {
         pac,
         sa,
         occ,
+        crcs,
     })
+}
+
+/// Check that every byte outside the header and the four sections is
+/// zero padding, and that the file ends exactly at the last section —
+/// so no byte of a v5 bundle escapes verification.
+fn verify_padding(full: &[u8], sections: &[(usize, usize); 5]) -> Result<(), BundleError> {
+    let mut extents: Vec<(usize, usize)> = sections[1..]
+        .iter()
+        .map(|&(off, len)| (off, off + len))
+        .collect();
+    extents.sort_unstable();
+    let mut end = TOC_HEADER_LEN;
+    for (start, sec_end) in extents {
+        if start < end {
+            return Err(BundleError::Truncated("overlapping sections"));
+        }
+        let gap = &full[end..start];
+        if gap.iter().any(|&b| b != 0) {
+            return Err(BundleError::ChecksumMismatch {
+                section: "padding",
+                stored: crc32(&vec![0u8; gap.len()]),
+                computed: crc32(gap),
+            });
+        }
+        end = sec_end;
+    }
+    if end != full.len() {
+        return Err(BundleError::Truncated("trailing bytes after last section"));
+    }
+    Ok(())
 }
 
 /// Decode a SA section's bytes into owned width-dispatched entries.
@@ -522,11 +750,13 @@ fn decode_occ_owned(bytes: &[u8], width: IndexWidth, meta: BwtMeta) -> OccOpt {
     }
 }
 
-/// Decode a bundle of any supported version into owned storage.
+/// Decode a bundle of any supported version into owned storage. v5
+/// checksums are verified eagerly.
 pub fn load_bundle(buf: &[u8]) -> Result<LoadedBundle, BundleError> {
     let version = check_magic(buf)?;
-    if version == 4 {
+    if version >= 4 {
         let layout = parse_v4(buf)?;
+        layout.verify_all(buf)?;
         let pac = PackedSeq::from_raw(
             buf[layout.pac.0..layout.pac.0 + layout.pac.1].to_vec(),
             layout.l_pac,
@@ -587,6 +817,8 @@ fn load_bundle_legacy(buf: &[u8], version: u8) -> Result<LoadedBundle, BundleErr
     for _ in 0..sa_len {
         sa.push(buf.get_u32_le());
     }
+    let sa = SaVec::U32(sa);
+    validate_sa_permutation(&sa)?;
     let occ = if version >= 3 {
         let meta = decode_bwt_meta(&mut buf)?;
         if meta.n_stored != 2 * l_pac as i64 || meta.c_before[4] != meta.n_stored + 1 {
@@ -614,11 +846,45 @@ fn load_bundle_legacy(buf: &[u8], version: u8) -> Result<LoadedBundle, BundleErr
         None
     };
     let reference = Reference { pac, contigs };
-    Ok(LoadedBundle {
-        reference,
-        sa: SaVec::U32(sa),
-        occ,
-    })
+    Ok(LoadedBundle { reference, sa, occ })
+}
+
+/// Defense for checksum-less (pre-v5) bundles: SA entries must form a
+/// permutation of `0..n` or the downstream BWT rebuild indexes out of
+/// bounds. A single damaged entry breaks the range check or the
+/// arithmetic sum; deeper corruption in these legacy formats is a
+/// documented gap (they load with a "predates checksums" warning).
+fn validate_sa_permutation(sa: &SaVec) -> Result<(), BundleError> {
+    let n = sa.len() as u64;
+    let mut sum = 0u64;
+    for i in 0..sa.len() {
+        let x = sa.get(i) as u64;
+        if x >= n {
+            return Err(BundleError::Truncated("sa entry out of range"));
+        }
+        sum += x;
+    }
+    if sum != n * (n - 1) / 2 {
+        return Err(BundleError::Truncated("sa entries are not a permutation"));
+    }
+    Ok(())
+}
+
+/// When to verify a checksummed (v5) bundle's section CRCs.
+///
+/// Legacy v2–v4 bundles carry no checksums, so the mode is moot there —
+/// they load with a warning either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Verify every section up front, before the index is assembled.
+    /// Forced for buffered ([`LoadMode::Read`]) loads, which touch
+    /// every byte anyway.
+    #[default]
+    Eager,
+    /// Verify each section when the loader first consumes it; sections
+    /// the selected profile never reads (the classic profile's OCC) are
+    /// skipped. The header and META are always verified during parsing.
+    FirstTouch,
 }
 
 /// How zero-copy the assembled index ended up, for logging and the
@@ -632,9 +898,12 @@ pub struct LoadReport {
     /// The file itself was memory-mapped (vs. buffered into the heap).
     pub file_mapped: bool,
     /// The big arrays are served from the loaded region in place (no
-    /// per-component copies) — true only for v4 + a profile that needs
-    /// no rebuilt components.
+    /// per-component copies) — true only for v4+ and a profile that
+    /// needs no rebuilt components.
     pub zero_copy: bool,
+    /// The bundle carries CRC32 checksums (v5+) and every section this
+    /// load consumed was verified against them.
+    pub checksummed: bool,
     /// Total bundle size in bytes.
     pub bytes: usize,
 }
@@ -647,6 +916,7 @@ pub fn load_index_region(
     region: ByteRegion,
     opts: &BuildOpts,
     file_mapped: bool,
+    verify: VerifyMode,
 ) -> Result<(Reference, FmIndex, LoadReport), BundleError> {
     let bytes = region.as_slice();
     let version = check_magic(bytes)?;
@@ -655,10 +925,31 @@ pub fn load_index_region(
         sa_width: IndexWidth::W32,
         file_mapped,
         zero_copy: false,
+        checksummed: version >= BUNDLE_VERSION_CRC,
         bytes: region.len(),
     };
-    if version == 4 {
+    if version < BUNDLE_VERSION_CRC {
+        olog::warn(
+            "bundle",
+            "bundle predates checksums; integrity not verified",
+            &[("version", &version)],
+        );
+    }
+    if version >= 4 {
         let layout = parse_v4(bytes)?;
+        match verify {
+            VerifyMode::Eager => layout.verify_all(bytes)?,
+            VerifyMode::FirstTouch => {
+                // PAC and SA are consumed by every profile; OCC only by
+                // profiles adopting the persisted table — the classic
+                // profile rebuilds its η=128 table and never reads it.
+                layout.verify_section(bytes, SEC_PAC, layout.pac)?;
+                layout.verify_section(bytes, SEC_SA, layout.sa)?;
+                if !opts.orig_occ {
+                    layout.verify_section(bytes, SEC_OCC, layout.occ)?;
+                }
+            }
+        }
         report.sa_width = layout.sa_width;
         let pac_region = region.slice(layout.pac.0, layout.pac.1);
         let reference = Reference {
@@ -685,6 +976,12 @@ pub fn load_index_region(
         // classic profile: the η=128 table is not persisted — rebuild
         // from an owned copy of the suffix array
         let sa = decode_sa_owned(sa_region.as_slice(), layout.sa_width);
+        if sa.len() != 2 * layout.l_pac + 1 {
+            return Err(BundleError::Truncated("sa size inconsistent with l_pac"));
+        }
+        if layout.version < BUNDLE_VERSION_CRC {
+            validate_sa_permutation(&sa)?;
+        }
         let index = FmIndex::build_from_sa(&reference, sa, opts);
         return Ok((reference, index, report));
     }
@@ -697,13 +994,15 @@ pub fn load_index_region(
 }
 
 /// Load a bundle from a byte buffer and build the index components the
-/// workflow needs. v4 buffers are staged into page-aligned storage so
+/// workflow needs. v4+ buffers are staged into page-aligned storage so
 /// the in-place views apply; [`load_index_file`] avoids even that copy.
+/// Verification is always eager — the buffer is fully resident.
 pub fn load_index(buf: &[u8], opts: &BuildOpts) -> Result<(Reference, FmIndex), BundleError> {
     let version = check_magic(buf)?;
-    if version == 4 {
+    if version >= 4 {
         let owner: RegionOwner = Arc::new(AlignedBytes::from_slice(buf));
-        let (reference, index, _) = load_index_region(ByteRegion::whole(owner), opts, false)?;
+        let (reference, index, _) =
+            load_index_region(ByteRegion::whole(owner), opts, false, VerifyMode::Eager)?;
         return Ok((reference, index));
     }
     let LoadedBundle { reference, sa, occ } = load_bundle_legacy(buf, version)?;
@@ -743,14 +1042,24 @@ fn open_region(path: &std::path::Path, mode: LoadMode) -> Result<(ByteRegion, bo
 }
 
 /// Open an index bundle file and assemble the index, memory-mapping it
-/// when possible (v4 bundles then serve their big arrays zero-copy).
+/// when possible (v4+ bundles then serve their big arrays zero-copy).
+///
+/// `verify` picks the v5 checksum policy for mapped loads; buffered
+/// ([`LoadMode::Read`]) loads always verify eagerly — every byte is
+/// read regardless, so the scan is free.
 pub fn load_index_file(
     path: &std::path::Path,
     opts: &BuildOpts,
     mode: LoadMode,
+    verify: VerifyMode,
 ) -> Result<(Reference, FmIndex, LoadReport), BundleError> {
     let (region, file_mapped) = open_region(path, mode)?;
-    load_index_region(region, opts, file_mapped)
+    let verify = if file_mapped {
+        verify
+    } else {
+        VerifyMode::Eager
+    };
+    load_index_region(region, opts, file_mapped, verify)
 }
 
 #[cfg(test)]
@@ -885,10 +1194,12 @@ mod tests {
                 ByteRegion::whole(owner),
                 &BuildOpts::optimized_only(),
                 false,
+                VerifyMode::Eager,
             )
             .expect("load");
             assert!(report.zero_copy, "width {width}");
             assert_eq!(report.version, BUNDLE_VERSION);
+            assert!(report.checksummed, "v5 loads are verified");
             assert_eq!(report.sa_width, width);
             assert_eq!(refer.contigs, reference.contigs);
             assert_eq!(refer.pac, reference.pac);
@@ -922,7 +1233,8 @@ mod tests {
         let mut reports = Vec::new();
         for mode in [LoadMode::Auto, LoadMode::Mmap, LoadMode::Read] {
             let (_, idx, report) =
-                load_index_file(&path, &BuildOpts::optimized_only(), mode).expect("load");
+                load_index_file(&path, &BuildOpts::optimized_only(), mode, VerifyMode::Eager)
+                    .expect("load");
             assert!(report.zero_copy);
             assert_eq!(report.bytes, bytes.len());
             let mut sink = mem2_memsim::NoopSink;
@@ -941,7 +1253,8 @@ mod tests {
             load_index_file(
                 &dir.join("mem2_definitely_missing.idx"),
                 &BuildOpts::optimized_only(),
-                LoadMode::Auto
+                LoadMode::Auto,
+                VerifyMode::Eager,
             ),
             Err(BundleError::Io(_))
         ));
@@ -1064,21 +1377,172 @@ mod tests {
             load_bundle(&bytes[..bytes.len() / 2]),
             Err(BundleError::Truncated(_))
         ));
-        // a TOC entry pointing past the file is caught before any read
+        // a TOC entry pointing past the file is caught by the header
+        // CRC before the bogus offset is ever trusted
         let mut toc_bad = bytes.clone();
         let off_pos = 20 + 8; // first entry's offset field
         toc_bad[off_pos..off_pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(
             load_bundle(&toc_bad),
-            Err(BundleError::Truncated(_))
+            Err(BundleError::ChecksumMismatch {
+                section: "header",
+                ..
+            })
         ));
-        // an invalid width byte is rejected
+        // an invalid width byte likewise trips the header CRC first
         let mut width_bad = bytes.clone();
         width_bad[8] = 2;
         assert!(matches!(
             load_bundle(&width_bad),
+            Err(BundleError::ChecksumMismatch {
+                section: "header",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn v5_flipped_bytes_name_the_failing_section() {
+        let genome = GenomeSpec {
+            len: 1_000,
+            ..GenomeSpec::default()
+        };
+        let reference = genome.generate_reference("chrC");
+        let bytes = build_bundle(&reference).expect("encode");
+        assert_eq!(bytes[7], BUNDLE_VERSION);
+        let layout = parse_v4(&bytes).expect("parse");
+        let pokes = [
+            (TOC_HEADER_LEN + 4, "META"),
+            (layout.pac.0 + layout.pac.1 / 2, "PAC"),
+            (layout.sa.0 + layout.sa.1 / 2, "SA"),
+            (layout.occ.0 + layout.occ.1 / 2, "OCC"),
+            (layout.pac.0 - 1, "padding"),
+        ];
+        for (pos, want) in pokes {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            let err = load_bundle(&bad).expect_err("corruption must be rejected");
+            match err {
+                BundleError::ChecksumMismatch { section, .. } => {
+                    assert_eq!(section, want, "flip at byte {pos}");
+                }
+                other => panic!("flip at byte {pos}: expected checksum error, got {other:?}"),
+            }
+            // the zero-copy file loader rejects it too
+            let owner: RegionOwner = Arc::new(AlignedBytes::from_slice(&bad));
+            assert!(load_index_region(
+                ByteRegion::whole(owner),
+                &BuildOpts::optimized_only(),
+                false,
+                VerifyMode::Eager,
+            )
+            .is_err());
+        }
+        // appended trailing garbage is rejected as well
+        let mut grown = bytes.clone();
+        grown.push(0xAB);
+        assert!(matches!(
+            load_bundle(&grown),
             Err(BundleError::Truncated(_))
         ));
+    }
+
+    #[test]
+    fn first_touch_skips_sections_the_profile_never_reads() {
+        let genome = GenomeSpec {
+            len: 900,
+            ..GenomeSpec::default()
+        };
+        let reference = genome.generate_reference("chrT");
+        let bytes = build_bundle(&reference).expect("encode");
+        let layout = parse_v4(&bytes).expect("parse");
+        let mut bad = bytes.clone();
+        bad[layout.occ.0 + 7] ^= 0x01;
+        // eager: the OCC flip fails any profile
+        let owner: RegionOwner = Arc::new(AlignedBytes::from_slice(&bad));
+        assert!(matches!(
+            load_index_region(
+                ByteRegion::whole(owner),
+                &BuildOpts::original_only(),
+                false,
+                VerifyMode::Eager,
+            ),
+            Err(BundleError::ChecksumMismatch { section: "OCC", .. })
+        ));
+        // first-touch: the classic profile rebuilds its own table and
+        // never consumes OCC, so the flip goes unnoticed…
+        let owner: RegionOwner = Arc::new(AlignedBytes::from_slice(&bad));
+        assert!(load_index_region(
+            ByteRegion::whole(owner),
+            &BuildOpts::original_only(),
+            false,
+            VerifyMode::FirstTouch,
+        )
+        .is_ok());
+        // …while the batched profile, which adopts OCC, still rejects
+        let owner: RegionOwner = Arc::new(AlignedBytes::from_slice(&bad));
+        assert!(matches!(
+            load_index_region(
+                ByteRegion::whole(owner),
+                &BuildOpts::optimized_only(),
+                false,
+                VerifyMode::FirstTouch,
+            ),
+            Err(BundleError::ChecksumMismatch { section: "OCC", .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_bundles_report_unchecksummed() {
+        let genome = GenomeSpec {
+            len: 700,
+            ..GenomeSpec::default()
+        };
+        let reference = genome.generate_reference("chrL4");
+        let loaded = load_bundle(&build_bundle(&reference).unwrap()).unwrap();
+        let v4 = save_bundle_v4(&loaded.reference, &loaded.sa, loaded.occ.as_ref().unwrap())
+            .expect("v4 encode");
+        assert_eq!(v4[7], 4);
+        let owner: RegionOwner = Arc::new(AlignedBytes::from_slice(&v4));
+        let (_, _, report) = load_index_region(
+            ByteRegion::whole(owner),
+            &BuildOpts::optimized_only(),
+            false,
+            VerifyMode::Eager,
+        )
+        .expect("v4 load");
+        assert_eq!(report.version, 4);
+        assert!(!report.checksummed);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let genome = GenomeSpec {
+            len: 400,
+            ..GenomeSpec::default()
+        };
+        let reference = genome.generate_reference("chrAW");
+        let bytes = build_bundle(&reference).expect("encode");
+        let dir = std::env::temp_dir().join(format!("mem2_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ref.idx");
+        std::fs::write(&path, b"old garbage").unwrap();
+        write_bundle_atomic(&path, &bytes).expect("atomic write");
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers.len(), 1, "temp file left behind: {leftovers:?}");
+        // and the result loads clean
+        assert!(load_index_file(
+            &path,
+            &BuildOpts::optimized_only(),
+            LoadMode::Auto,
+            VerifyMode::Eager
+        )
+        .is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1089,9 +1553,9 @@ mod tests {
         }
         .generate_reference("c");
         let bytes = build_bundle(&reference).expect("encode");
-        // the retired v1 layout and a hypothetical future v5 both refuse
+        // the retired v1 layout and a hypothetical future v6 both refuse
         // to parse, with an error naming the version
-        for v in [1u8, 5] {
+        for v in [1u8, 6] {
             let mut other = bytes.clone();
             other[7] = v;
             let err = load_bundle(&other).expect_err("version must be rejected");

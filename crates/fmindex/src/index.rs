@@ -104,9 +104,11 @@ impl FmIndex {
         let s = Self::doubled_text(reference);
         let bwt = bwt_from_savec(&s, &sa);
         let meta = BwtMeta::from_bwt(&bwt);
-        // S is reverse-complement symmetric, so base counts must pair up.
-        debug_assert_eq!(meta.counts[0], meta.counts[3]);
-        debug_assert_eq!(meta.counts[1], meta.counts[2]);
+        // S is reverse-complement symmetric, so for well-formed input
+        // base counts pair up (A==T, C==G). Not asserted: this path
+        // also rebuilds from persisted pre-checksum (v2/v3) bundles,
+        // where a corrupt pac/SA may break the pairing — that must
+        // degrade, not abort.
         FmIndex {
             l_pac: l as i64,
             meta,

@@ -25,14 +25,17 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mem2_core::pipeline::{align_to_records, PipelineContext, PreparedRead, Worker};
 use mem2_core::profile::STAGE_NAMES;
-use mem2_core::{Aligner, SamRecord, StageTimes};
+use mem2_core::{SamRecord, StageTimes};
 use mem2_obs::Hist;
 use mem2_pairing::{align_pairs_ctx, PeStats};
 use mem2_seqio::ReadPair;
+
+use crate::faultsim;
+use crate::swap::{IndexSlot, PinnedIndex};
 
 /// A request's payload, already parsed out of its FASTQ bytes.
 pub enum Payload {
@@ -54,10 +57,17 @@ impl Payload {
 
 /// The aligned reply for one submission.
 pub struct Reply {
-    /// SAM records for the whole request, in read order.
+    /// SAM records for the whole request, in read order (empty when
+    /// `error` is set).
     pub records: Vec<SamRecord>,
     /// Reads aligned.
     pub reads: usize,
+    /// Index epoch that served this request (see [`crate::swap`]).
+    pub epoch: u64,
+    /// Set when the slab aligning this request panicked: the panic
+    /// message, to be relayed as an ERR frame. The daemon itself
+    /// survives — isolation is per-slab.
+    pub error: Option<String>,
 }
 
 /// One admitted request, waiting in the shared queue.
@@ -101,6 +111,12 @@ pub struct Counters {
     pub service_us: AtomicU64,
     /// Connections currently open.
     pub active_connections: AtomicUsize,
+    /// Alignment slabs that panicked (each answers its requests with
+    /// ERR; the daemon survives).
+    pub slab_panics: AtomicU64,
+    /// Requests dropped because their `--request-timeout` deadline
+    /// expired before a reply arrived.
+    pub deadlines_expired: AtomicU64,
     /// Per-submission queue-wait latency distribution (µs).
     pub queue_wait_hist: Hist,
     /// Per-slab service latency distribution (µs).
@@ -126,17 +142,19 @@ struct Shared {
 /// The shared admission queue plus its worker pool.
 pub struct Batcher {
     shared: Arc<Shared>,
+    slot: Arc<IndexSlot>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Batcher {
-    /// Start `n_workers` alignment workers over `aligner` (index,
-    /// reference, base options, workflow). `capacity` bounds the
-    /// admission queue in requests; `slab_reads` is the coalescing
-    /// budget per alignment slab; slabs serviced in `slow_us` µs or more
-    /// are logged with their per-stage breakdown (0 disables).
+    /// Start `n_workers` alignment workers over the hot-swappable index
+    /// `slot` (each slab pins the slot's current epoch before it runs).
+    /// `capacity` bounds the admission queue in requests; `slab_reads`
+    /// is the coalescing budget per alignment slab; slabs serviced in
+    /// `slow_us` µs or more are logged with their per-stage breakdown
+    /// (0 disables).
     pub fn start(
-        aligner: Arc<Aligner>,
+        slot: Arc<IndexSlot>,
         n_workers: usize,
         capacity: usize,
         slab_reads: usize,
@@ -155,11 +173,20 @@ impl Batcher {
         let workers = (0..n_workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let aligner = Arc::clone(&aligner);
-                std::thread::spawn(move || worker_loop(&shared, &aligner))
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || worker_loop(&shared, &slot))
             })
             .collect();
-        Batcher { shared, workers }
+        Batcher {
+            shared,
+            slot,
+            workers,
+        }
+    }
+
+    /// The hot-swappable index slot the workers align against.
+    pub fn slot(&self) -> &IndexSlot {
+        &self.slot
     }
 
     /// Offer a submission without blocking. `Err` hands it back: the
@@ -234,13 +261,15 @@ impl Drop for Batcher {
 }
 
 /// One alignment worker: pop the oldest submission, coalesce compatible
-/// queued single-end submissions into its slab, align, and ship each
-/// request's slice of the records back to its connection.
-fn worker_loop(shared: &Shared, aligner: &Aligner) {
+/// queued single-end submissions into its slab, pin the current index
+/// epoch, align, and ship each request's slice of the records back to
+/// its connection.
+fn worker_loop(shared: &Shared, slot: &IndexSlot) {
     // Worker arenas are keyed by options fingerprint: the BSW engines
     // bake in scoring, so each distinct override set gets (and reuses)
     // its own arena — the "allocate once, reuse across batches" design
-    // survives per-request options.
+    // survives per-request options. Arenas depend only on options, not
+    // on the index, so they also survive hot-swaps.
     let mut arenas: HashMap<String, Worker> = HashMap::new();
     loop {
         let group = {
@@ -255,7 +284,11 @@ fn worker_loop(shared: &Shared, aligner: &Aligner) {
                 q = shared.work.wait(q).expect("queue poisoned");
             }
         };
-        align_group(shared, aligner, &mut arenas, group);
+        // Pin one index generation for the whole slab: every read in it
+        // (and therefore every request) is answered by exactly one
+        // epoch, even if a RELOAD lands mid-flight.
+        let pinned = slot.current();
+        align_group(shared, &pinned, &mut arenas, group);
     }
 }
 
@@ -288,23 +321,34 @@ fn take_group(
     group
 }
 
-/// Align one coalesced group and distribute replies.
+/// What one slab will compute, split from its reply routing so a panic
+/// mid-alignment still leaves the reply channels reachable.
+enum Work {
+    /// One slab: all requests' reads concatenated in admission order.
+    Single(Vec<PreparedRead>),
+    /// One PE request's pairs plus its pinned insert distribution.
+    Paired(Vec<ReadPair>, Option<PeStats>),
+}
+
+/// Align one coalesced group and distribute replies. Alignment runs
+/// under `catch_unwind`: a panic answers every request in the slab with
+/// an error reply (relayed as ERR) and drops the worker arena — other
+/// slabs, connections, and the daemon itself are unaffected.
 fn align_group(
     shared: &Shared,
-    aligner: &Aligner,
+    pinned: &PinnedIndex,
     arenas: &mut HashMap<String, Worker>,
     group: Vec<Submission>,
 ) {
     let t_service = Instant::now();
+    let aligner = &*pinned.aligner;
+    let epoch = pinned.epoch;
     let opts = group[0].opts;
     let ctx = PipelineContext {
         opts: &opts,
         index: &aligner.index,
         reference: &aligner.reference,
     };
-    let worker = arenas
-        .entry(group[0].fingerprint.clone())
-        .or_insert_with(|| Worker::new(&opts));
     let n_subs = group.len() as u64;
     let mut n_reads = 0u64;
     for sub in &group {
@@ -317,58 +361,111 @@ fn align_group(
         shared.counters.queue_wait_hist.record(waited_us);
     }
     let fingerprint = group[0].fingerprint.clone();
+    // Take the arena *out* of the map: if the slab panics the arena may
+    // hold torn state, so it must not be reused — it is reinserted only
+    // on the success path.
+    let mut worker = arenas
+        .remove(&fingerprint)
+        .unwrap_or_else(|| Worker::new(&opts));
 
-    match group[0].payload {
+    // Peel reply routing off the submissions before the unwind
+    // boundary; `routes[i]` is (reply channel, reads) per request.
+    let mut routes: Vec<(SyncSender<Reply>, usize)> = Vec::with_capacity(group.len());
+    let work = match group[0].payload {
         Payload::Single(_) => {
-            // one slab: all groups' reads concatenated in admission order
             let mut reads: Vec<PreparedRead> = Vec::with_capacity(n_reads as usize);
-            let mut bounds = Vec::with_capacity(group.len());
-            let mut replies = Vec::with_capacity(group.len());
             for sub in group {
                 let Payload::Single(r) = sub.payload else {
                     unreachable!("take_group keeps SE groups pure");
                 };
-                bounds.push(r.len());
+                routes.push((sub.reply, r.len()));
                 reads.extend(r);
-                replies.push(sub.reply);
             }
-            let per_read = align_to_records(&ctx, worker, aligner.workflow, &reads);
-            let mut it = per_read.into_iter();
-            for (n, reply) in bounds.into_iter().zip(replies) {
-                let records: Vec<SamRecord> = it.by_ref().take(n).flatten().collect();
-                shared
-                    .counters
-                    .records
-                    .fetch_add(records.len() as u64, Ordering::Relaxed);
-                // a dead receiver just means the client hung up — the
-                // work is discarded, the daemon carries on
-                let _ = reply.send(Reply { records, reads: n });
-            }
+            Work::Single(reads)
         }
         Payload::Paired(_) => {
             let sub = group.into_iter().next().expect("group is non-empty");
             let Payload::Paired(pairs) = sub.payload else {
                 unreachable!("matched above");
             };
-            let n = 2 * pairs.len();
-            // window into batch_pairs chunks exactly like `mem2 mem -p`
-            // on the same stream — the request is its own pestat scope
-            let mut records = Vec::new();
-            for window in chunk_pairs(pairs, opts.batch_pairs.max(1)) {
-                records.extend(align_pairs_ctx(
-                    &ctx,
-                    aligner.workflow,
-                    worker,
-                    window,
-                    sub.pes_override,
-                ));
-            }
-            shared
-                .counters
-                .records
-                .fetch_add(records.len() as u64, Ordering::Relaxed);
-            let _ = sub.reply.send(Reply { records, reads: n });
+            routes.push((sub.reply, 2 * pairs.len()));
+            Work::Paired(pairs, sub.pes_override)
         }
+    };
+
+    // AssertUnwindSafe: on panic the worker arena is dropped and the
+    // per-request outputs discarded, so no torn state escapes the slab.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(ms) = faultsim::fire(faultsim::SLAB_DELAY_MS) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if faultsim::fire(faultsim::SLAB_PANIC).is_some() {
+            panic!("injected slab panic (faultsim)");
+        }
+        match work {
+            Work::Single(reads) => {
+                let per_read = align_to_records(&ctx, &mut worker, aligner.workflow, &reads);
+                let mut it = per_read.into_iter();
+                routes
+                    .iter()
+                    .map(|(_, n)| it.by_ref().take(*n).flatten().collect())
+                    .collect::<Vec<Vec<SamRecord>>>()
+            }
+            Work::Paired(pairs, pes) => {
+                // window into batch_pairs chunks exactly like
+                // `mem2 mem -p` on the same stream — the request is its
+                // own pestat scope
+                let mut records = Vec::new();
+                for window in chunk_pairs(pairs, opts.batch_pairs.max(1)) {
+                    records.extend(align_pairs_ctx(
+                        &ctx,
+                        aligner.workflow,
+                        &mut worker,
+                        window,
+                        pes,
+                    ));
+                }
+                vec![records]
+            }
+        }
+    }));
+
+    let per_sub = match outcome {
+        Ok(per_sub) => per_sub,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            shared.counters.slab_panics.fetch_add(1, Ordering::Relaxed);
+            mem2_obs::log::error(
+                "serve",
+                "alignment slab panicked; requests answered with ERR, worker arena dropped",
+                &[("panic", &msg), ("requests", &n_subs), ("reads", &n_reads)],
+            );
+            for (reply, n) in routes {
+                let _ = reply.send(Reply {
+                    records: Vec::new(),
+                    reads: n,
+                    epoch,
+                    error: Some(msg.clone()),
+                });
+            }
+            return; // worker dropped here — never reinserted
+        }
+    };
+
+    for ((reply, n), records) in routes.into_iter().zip(per_sub) {
+        shared
+            .counters
+            .records
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+        // a dead receiver just means the client hung up (or its
+        // deadline expired) — the work is discarded, the daemon
+        // carries on
+        let _ = reply.send(Reply {
+            records,
+            reads: n,
+            epoch,
+            error: None,
+        });
     }
 
     shared.counters.reads.fetch_add(n_reads, Ordering::Relaxed);
@@ -398,6 +495,18 @@ fn align_group(
         .lock()
         .expect("times poisoned")
         .merge(&slab_times);
+    arenas.insert(fingerprint, worker);
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
 }
 
 /// Emit the slow-request log line: one WARN with the slab's fingerprint,

@@ -13,7 +13,13 @@ use crate::proto::{self, CLIENT_MAGIC};
 /// Data-frame chunk size when streaming a request's FASTQ bytes.
 const DATA_CHUNK: usize = 256 << 10;
 
+/// Longest backoff a well-behaved client honors from a RETRY hint: the
+/// hint is advisory, and a buggy or hostile server must not be able to
+/// park clients for minutes.
+pub const MAX_HONORED_BACKOFF: Duration = Duration::from_secs(2);
+
 /// Outcome of one alignment request.
+#[derive(Debug)]
 pub enum Response {
     /// The request was aligned; SAM record lines (no header).
     Aligned {
@@ -23,6 +29,9 @@ pub enum Response {
         reads: u64,
         /// Records emitted, from the DONE frame.
         records: u64,
+        /// Index epoch that served the request (0 from pre-epoch
+        /// servers whose DONE has no `epoch=` field).
+        epoch: u64,
     },
     /// The request was rejected under backpressure: nothing was
     /// aligned; resend after the suggested backoff.
@@ -105,11 +114,12 @@ impl Client {
                     );
                 }
                 proto::DONE => {
-                    let (reads, records) = parse_done(&frame.payload)?;
+                    let (reads, records, epoch) = parse_done(&frame.payload)?;
                     return Ok(Response::Aligned {
                         sam,
                         reads,
                         records,
+                        epoch,
                     });
                 }
                 proto::RETRY => {
@@ -128,9 +138,10 @@ impl Client {
     }
 
     /// Align with a bounded retry loop: on RETRY, sleep the suggested
-    /// backoff and resend, up to `max_retries` times. This is the
-    /// "no request lost" client discipline the backpressure contract
-    /// assumes.
+    /// backoff (capped at [`MAX_HONORED_BACKOFF`] — the server's hint
+    /// is advisory, not a remote sleep primitive) and resend, up to
+    /// `max_retries` times. This is the "no request lost" client
+    /// discipline the backpressure contract assumes.
     pub fn align_with_retry(
         &mut self,
         fastq: &[u8],
@@ -143,6 +154,7 @@ impl Client {
                     sam,
                     reads,
                     records,
+                    ..
                 } => return Ok((sam, reads, records)),
                 Response::Retry { after } => {
                     if retries >= max_retries {
@@ -151,9 +163,29 @@ impl Client {
                         )));
                     }
                     retries += 1;
-                    std::thread::sleep(after);
+                    std::thread::sleep(after.min(MAX_HONORED_BACKOFF));
                 }
             }
+        }
+    }
+
+    /// Hot-swap the daemon's serving index to the bundle at `path`
+    /// (which must be visible to the *daemon's* filesystem). Returns
+    /// the new epoch. On failure the daemon keeps its current index and
+    /// this connection closes (ERR contract).
+    pub fn reload(&mut self, path: &str) -> io::Result<u64> {
+        self.writer.write_frame(proto::RELOAD, path.as_bytes())?;
+        let ack = read_frame(&mut self.reader)?;
+        match ack.ty {
+            proto::OK => {
+                let text = std::str::from_utf8(&ack.payload)
+                    .map_err(|_| io::Error::other("bad RELOAD ack"))?;
+                text.strip_prefix("epoch=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| io::Error::other(format!("bad RELOAD ack {text:?}")))
+            }
+            proto::ERR => Err(server_err(&ack.payload)),
+            other => Err(unexpected(other, "OK")),
         }
     }
 
@@ -192,19 +224,22 @@ fn read_frame(conn: &mut Conn) -> io::Result<Frame> {
     Ok(Frame { ty, payload })
 }
 
-fn parse_done(payload: &[u8]) -> io::Result<(u64, u64)> {
+fn parse_done(payload: &[u8]) -> io::Result<(u64, u64, u64)> {
     let text = std::str::from_utf8(payload).map_err(|_| io::Error::other("bad DONE payload"))?;
     let mut reads = None;
     let mut records = None;
+    let mut epoch = 0; // pre-epoch servers omit the field
     for field in text.split('\t') {
         if let Some(v) = field.strip_prefix("reads=") {
             reads = v.parse().ok();
         } else if let Some(v) = field.strip_prefix("records=") {
             records = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("epoch=") {
+            epoch = v.parse().unwrap_or(0);
         }
     }
     match (reads, records) {
-        (Some(a), Some(b)) => Ok((a, b)),
+        (Some(a), Some(b)) => Ok((a, b, epoch)),
         _ => Err(io::Error::other(format!("bad DONE payload {text:?}"))),
     }
 }

@@ -15,25 +15,42 @@
 //! closed at their next tick), finish everything already admitted to
 //! the queue, then exit. New requests arriving mid-drain are refused
 //! with an ERR frame — not RETRY, because this server will not be back.
+//!
+//! Fault tolerance (PR 9): the serving index lives in a hot-swappable
+//! [`IndexSlot`] — a RELOAD frame (or SIGHUP via
+//! [`ServerHandle::reload`]) loads and CRC-verifies a new bundle, then
+//! atomically bumps the epoch while in-flight slabs finish on the old
+//! one. Requests carry an optional hard deadline
+//! ([`ServeConfig::request_timeout`]), mid-frame stalls are bounded by
+//! [`ServeConfig::conn_stall`] in both directions, and RETRY backoff is
+//! decorrelated-jittered per connection so synchronized clients spread
+//! out.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::sync_channel;
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
+use mem2_core::bundle::{self, LoadMode, VerifyMode};
 use mem2_core::pipeline::PreparedRead;
 use mem2_core::profile::percentile_fields_us;
-use mem2_core::Aligner;
+use mem2_core::{Aligner, MemOpts, Workflow};
 use mem2_obs::log as olog;
 use mem2_obs::{MetricsServer, RateLimited, Registry};
 use mem2_pairing::{pairs_from_interleaved, PeStats};
-use mem2_seqio::{decode_frame_header, FastqStream, Frame, FrameWriter, FRAME_HEADER_LEN};
+use mem2_seqio::{
+    decode_frame_header, encode_frame_header, FastqStream, Frame, FrameWriter, FRAME_HEADER_LEN,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::batcher::{Batcher, Payload, Submission};
 use crate::endpoint::{Conn, Endpoint, Listener};
+use crate::faultsim;
 use crate::metrics::{render_daemon_metrics, render_process_metrics};
 use crate::proto::{self, OptsOverride, RequestMode, CLIENT_MAGIC};
+use crate::swap::IndexSlot;
 
 /// Daemon configuration (execution-shape knobs; per-request scoring
 /// options arrive over the wire instead).
@@ -58,6 +75,32 @@ pub struct ServeConfig {
     /// Slabs serviced in at least this many milliseconds are logged
     /// (WARN) with their per-stage breakdown. 0 disables.
     pub slow_ms: u64,
+    /// Hard per-request deadline: a request whose reply has not arrived
+    /// within this window answers ERR and frees its connection slot.
+    /// `None` waits indefinitely (drain still completes admitted work).
+    pub request_timeout: Option<Duration>,
+    /// Mid-frame stall budget, both directions: a peer that starts a
+    /// frame must finish it (and keep draining our writes) within this
+    /// window or the connection is dropped.
+    pub conn_stall: Duration,
+    /// How to load replacement bundles for RELOAD / SIGHUP hot-swaps.
+    /// `None` (e.g. the index was built in-process from a FASTA)
+    /// answers RELOAD with ERR.
+    pub reload: Option<ReloadSpec>,
+}
+
+/// Everything needed to load a replacement index bundle for a hot-swap
+/// exactly like the startup load (same workflow profile, same load
+/// mode). Verification is always eager on reload — a swap must never
+/// install bytes it has not checked.
+#[derive(Clone, Copy)]
+pub struct ReloadSpec {
+    /// Base alignment options the new [`Aligner`] is built with.
+    pub opts: MemOpts,
+    /// Workflow profile (decides which index components are needed).
+    pub workflow: Workflow,
+    /// Buffered read vs. mmap, matching the startup `--load` choice.
+    pub load_mode: LoadMode,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +117,9 @@ impl Default for ServeConfig {
             pes_override: None,
             metrics_addr: None,
             slow_ms: 0,
+            request_timeout: None,
+            conn_stall: Duration::from_secs(30),
+            reload: None,
         }
     }
 }
@@ -82,19 +128,15 @@ impl Default for ServeConfig {
 /// drain flag.
 const POLL_TICK: Duration = Duration::from_millis(25);
 
-/// Mid-frame stall budget: a peer that starts a frame must finish it
-/// within this window or the connection is dropped (protects drain and
-/// worker threads from wedged clients).
-const MID_FRAME_DEADLINE: Duration = Duration::from_secs(30);
-
 /// SAM payload bytes per response frame (a full response streams as
 /// many frames).
 const SAM_CHUNK: usize = 256 << 10;
 
-/// A running daemon: handle for shutdown and join.
+/// A running daemon: handle for shutdown, hot-swap, and join.
 pub struct ServerHandle {
     endpoint: Endpoint,
     shutdown: Arc<AtomicBool>,
+    ctx: Arc<ConnCtx>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     metrics: Option<MetricsServer>,
 }
@@ -103,6 +145,19 @@ impl ServerHandle {
     /// The concrete bound endpoint (TCP port 0 already resolved).
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// Hot-swap the serving index to the bundle at `path` (what SIGHUP
+    /// does in the CLI): load + eagerly CRC-verify off the serving
+    /// path, then atomically switch the slot. Returns the new epoch;
+    /// on any failure the old index stays in service untouched.
+    pub fn reload(&self, path: &str) -> Result<u64, String> {
+        reload_index(&self.ctx, path)
+    }
+
+    /// The index epoch currently answering new requests.
+    pub fn epoch(&self) -> u64 {
+        self.ctx.slot.epoch()
     }
 
     /// The bound `/metrics` address when `metrics_addr` was configured
@@ -140,13 +195,15 @@ impl ServerHandle {
 /// background threads until [`ServerHandle::shutdown`] (or a SHUTDOWN
 /// frame / SIGTERM via the caller polling [`crate::signal`]).
 pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> {
+    faultsim::init_from_env();
     let listener = Listener::bind(&config.endpoint)?;
     let endpoint = listener.local_endpoint()?;
     listener.set_nonblocking(true)?;
-    let aligner = Arc::new(aligner);
+    let base_opts = aligner.opts;
+    let slot = Arc::new(IndexSlot::new(Arc::new(aligner)));
     let shutdown = Arc::new(AtomicBool::new(false));
     let batcher = Arc::new(BatcherCell::new(Batcher::start(
-        Arc::clone(&aligner),
+        Arc::clone(&slot),
         config.threads,
         config.queue_cap,
         config.slab_reads,
@@ -154,13 +211,17 @@ pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> 
     )));
     let started = Instant::now();
     let ctx = Arc::new(ConnCtx {
-        aligner,
+        slot,
+        base_opts,
         batcher: Arc::clone(&batcher),
         shutdown: Arc::clone(&shutdown),
         retry_ms: config.retry_ms,
         pes_override: config.pes_override,
         queue_cap: config.queue_cap,
         started,
+        request_timeout: config.request_timeout,
+        conn_stall: config.conn_stall,
+        reload: config.reload,
     });
 
     // Optional Prometheus exposition endpoint, sharing the daemon's
@@ -188,6 +249,7 @@ pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> 
     };
 
     let accept_shutdown = Arc::clone(&shutdown);
+    let handle_ctx = Arc::clone(&ctx);
     let acceptor = std::thread::spawn(move || {
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         // A bad socket must not flood stderr: accept failures emit at
@@ -196,6 +258,9 @@ pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> 
         loop {
             if accept_shutdown.load(Ordering::Acquire) {
                 break;
+            }
+            if let Some(ms) = faultsim::fire(faultsim::ACCEPT_DELAY_MS) {
+                std::thread::sleep(Duration::from_millis(ms));
             }
             match listener.accept() {
                 Ok(conn) => {
@@ -229,20 +294,77 @@ pub fn serve(aligner: Aligner, config: ServeConfig) -> io::Result<ServerHandle> 
     Ok(ServerHandle {
         endpoint,
         shutdown,
+        ctx: handle_ctx,
         acceptor: Some(acceptor),
         metrics,
     })
 }
 
+/// Load + verify the bundle at `path` and atomically install it as the
+/// new serving epoch. Any failure leaves the old index in service.
+fn reload_index(ctx: &ConnCtx, path: &str) -> Result<u64, String> {
+    let Some(spec) = ctx.reload else {
+        return Err("reload unavailable: daemon was not started from an index bundle".into());
+    };
+    if !path.ends_with(".idx") {
+        return Err(format!(
+            "reload path must be an index bundle (.idx): {path}"
+        ));
+    }
+    let t_load = Instant::now();
+    // Always eager: every checksummed section is verified before the
+    // swap, so a corrupt bundle is rejected here and never serves.
+    let loaded = bundle::load_index_file(
+        std::path::Path::new(path),
+        &spec.workflow.build_opts(),
+        spec.load_mode,
+        VerifyMode::Eager,
+    );
+    let (reference, index, report) = match loaded {
+        Ok(parts) => parts,
+        Err(e) => {
+            ctx.slot.record_failure();
+            olog::warn(
+                "serve",
+                "reload rejected; keeping current index",
+                &[("path", &path), ("error", &e)],
+            );
+            return Err(format!("reload rejected: {path}: {e}"));
+        }
+    };
+    let aligner = Aligner::with_index(index, reference, ctx.base_opts, spec.workflow);
+    let epoch = ctx.slot.swap(Arc::new(aligner));
+    let ms = format!("{:.0}", t_load.elapsed().as_secs_f64() * 1e3);
+    olog::info(
+        "serve",
+        "index hot-swapped",
+        &[
+            ("path", &path),
+            ("epoch", &epoch),
+            ("bundle_version", &report.version),
+            ("verified", &report.checksummed),
+            ("load_ms", &ms),
+        ],
+    );
+    Ok(epoch)
+}
+
 /// Shared per-connection context.
 struct ConnCtx {
-    aligner: Arc<Aligner>,
+    /// Hot-swappable serving index (shared with the worker pool).
+    slot: Arc<IndexSlot>,
+    /// Server-side base options; per-request OPTS overrides apply on
+    /// top of these (they survive hot-swaps unchanged).
+    base_opts: MemOpts,
     batcher: Arc<BatcherCell>,
     shutdown: Arc<AtomicBool>,
     retry_ms: u64,
     pes_override: Option<PeStats>,
     queue_cap: usize,
     started: Instant,
+    request_timeout: Option<Duration>,
+    conn_stall: Duration,
+    reload: Option<ReloadSpec>,
 }
 
 /// The batcher behind a mutex only for `drain` (which needs `&mut`);
@@ -322,26 +444,32 @@ fn handle_connection(conn: Conn, ctx: &ConnCtx) {
 
 fn run_connection(conn: Conn, ctx: &ConnCtx) -> io::Result<()> {
     conn.set_read_timeout(Some(POLL_TICK))?;
+    // a peer that stops draining our writes is dropped, not waited on
+    conn.set_write_timeout(Some(ctx.conn_stall))?;
     let mut reader = conn;
     let mut writer = FrameWriter::new(reader.try_clone()?);
 
     // -- handshake --
     let mut magic = [0u8; CLIENT_MAGIC.len()];
-    if !read_exact_idle(&mut reader, &mut magic, &ctx.shutdown)? {
+    if !read_exact_idle(&mut reader, &mut magic, &ctx.shutdown, ctx.conn_stall)? {
         return Ok(()); // closed or drained before speaking
     }
     if magic != CLIENT_MAGIC {
         writer.write_frame(proto::ERR, b"bad magic (expected M2SV v1)")?;
         return Ok(());
     }
-    writer.write_frame(proto::HELLO, ctx.aligner.sam_header().as_bytes())?;
+    writer.write_frame(
+        proto::HELLO,
+        ctx.slot.current().aligner.sam_header().as_bytes(),
+    )?;
 
     // -- request turns --
     let mut overrides = OptsOverride::default();
-    let mut opts = ctx.aligner.opts;
+    let mut opts = ctx.base_opts;
     let mut data: Vec<u8> = Vec::new();
+    let mut backoff = Backoff::new(ctx.retry_ms);
     loop {
-        let Some(frame) = read_frame_idle(&mut reader, &ctx.shutdown)? else {
+        let Some(frame) = read_frame_idle(&mut reader, &ctx.shutdown, ctx.conn_stall)? else {
             return Ok(()); // clean EOF or drain while idle
         };
         match frame.ty {
@@ -350,7 +478,7 @@ fn run_connection(conn: Conn, ctx: &ConnCtx) -> io::Result<()> {
                 .and_then(OptsOverride::parse)
             {
                 Ok(o) => {
-                    opts = o.apply(&ctx.aligner.opts);
+                    opts = o.apply(&ctx.base_opts);
                     overrides = o;
                     writer.write_frame(proto::OK, b"")?;
                 }
@@ -363,7 +491,8 @@ fn run_connection(conn: Conn, ctx: &ConnCtx) -> io::Result<()> {
                 data.extend_from_slice(&frame.payload);
             }
             proto::END => {
-                let outcome = finish_request(ctx, &overrides, &opts, &mut data, &mut writer);
+                let outcome =
+                    finish_request(ctx, &overrides, &opts, &mut data, &mut writer, &mut backoff);
                 match outcome {
                     Ok(true) => {}
                     Ok(false) => return Ok(()), // protocol error already reported
@@ -373,6 +502,25 @@ fn run_connection(conn: Conn, ctx: &ConnCtx) -> io::Result<()> {
             proto::STATS => {
                 let json = render_stats(ctx);
                 writer.write_frame(proto::STATS_OK, json.as_bytes())?;
+            }
+            proto::RELOAD => {
+                let path = match std::str::from_utf8(&frame.payload) {
+                    Ok(p) => p.trim().to_string(),
+                    Err(_) => {
+                        writer.write_frame(proto::ERR, b"RELOAD payload is not UTF-8")?;
+                        return Ok(());
+                    }
+                };
+                match reload_index(ctx, &path) {
+                    Ok(epoch) => {
+                        let msg = format!("epoch={epoch}");
+                        writer.write_frame(proto::OK, msg.as_bytes())?;
+                    }
+                    Err(msg) => {
+                        writer.write_frame(proto::ERR, msg.as_bytes())?;
+                        return Ok(());
+                    }
+                }
             }
             proto::SHUTDOWN => {
                 writer.write_frame(proto::OK, b"draining")?;
@@ -388,15 +536,56 @@ fn run_connection(conn: Conn, ctx: &ConnCtx) -> io::Result<()> {
     }
 }
 
+/// Per-connection decorrelated-jitter backoff for RETRY hints
+/// (`next = clamp(base, uniform(base, prev*3), cap)`): a thundering
+/// herd of identical clients gets spread-out retry times instead of a
+/// synchronized second stampede. Admitting a request resets the state.
+/// Retry timing is operational, not part of SAM byte determinism, so a
+/// wall-clock-seeded RNG is fine here.
+struct Backoff {
+    base: u64,
+    cap: u64,
+    prev: u64,
+    rng: StdRng,
+}
+
+impl Backoff {
+    fn new(base_ms: u64) -> Backoff {
+        let base = base_ms.max(1);
+        let seed = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9e37_79b9);
+        Backoff {
+            base,
+            cap: base.saturating_mul(32).min(10_000).max(base),
+            prev: base,
+            rng: StdRng::seed_from_u64(seed ^ olog::next_id()),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let hi = self.prev.saturating_mul(3).max(self.base + 1);
+        let drawn = self.rng.random_range(self.base..hi);
+        self.prev = drawn.clamp(self.base, self.cap);
+        self.prev
+    }
+
+    fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
 /// Process one END: parse, admit (or RETRY), stream the reply. Returns
 /// `Ok(false)` when the connection should close (request-level failure
 /// already reported to the peer).
 fn finish_request(
     ctx: &ConnCtx,
     overrides: &OptsOverride,
-    opts: &mem2_core::MemOpts,
+    opts: &MemOpts,
     data: &mut Vec<u8>,
     writer: &mut FrameWriter<Conn>,
+    backoff: &mut Backoff,
 ) -> io::Result<bool> {
     let bytes = std::mem::take(data);
     if ctx.shutdown.load(Ordering::Acquire) {
@@ -418,7 +607,8 @@ fn finish_request(
         }
     }
     if records.is_empty() {
-        writer.write_frame(proto::DONE, b"reads=0\trecords=0")?;
+        let done = format!("reads=0\trecords=0\tepoch={}", ctx.slot.epoch());
+        writer.write_frame(proto::DONE, done.as_bytes())?;
         return Ok(true);
     }
 
@@ -453,15 +643,66 @@ fn finish_request(
     };
     if ctx.batcher.try_submit(sub).is_err() {
         // explicit backpressure: nothing was admitted, client retries
-        writer.write_frame(proto::RETRY, ctx.retry_ms.to_string().as_bytes())?;
+        // after a decorrelated-jittered hint so herds spread out
+        let hint = backoff.next();
+        writer.write_frame(proto::RETRY, hint.to_string().as_bytes())?;
         return Ok(true);
     }
+    backoff.reset();
 
     // the worker pool owns the request now; recv blocks until our slab
-    // ran (drain still completes admitted work, so this always ends)
-    let reply = reply_rx
-        .recv()
-        .map_err(|_| io::Error::other("alignment worker dropped the request"))?;
+    // ran (drain still completes admitted work, so this always ends) or
+    // the request's hard deadline expires
+    let reply = match ctx.request_timeout {
+        Some(deadline) => match reply_rx.recv_timeout(deadline) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                // dropping reply_rx makes the worker's eventual send a
+                // harmless no-op; the slot is freed now
+                ctx.batcher.with(|b| {
+                    b.counters()
+                        .deadlines_expired
+                        .fetch_add(1, Ordering::Relaxed)
+                });
+                olog::warn(
+                    "serve",
+                    "request deadline exceeded; answering ERR",
+                    &[("deadline_ms", &deadline.as_millis())],
+                );
+                writer.write_frame(proto::ERR, b"request deadline exceeded")?;
+                return Ok(false);
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(io::Error::other("alignment worker dropped the request"))
+            }
+        },
+        None => reply_rx
+            .recv()
+            .map_err(|_| io::Error::other("alignment worker dropped the request"))?,
+    };
+
+    // a slab panic answers this request with ERR; the daemon (and this
+    // connection's peer protocol state) is already safe to continue,
+    // but ERR closes the turn-based connection by contract
+    if let Some(msg) = reply.error {
+        let msg = format!("alignment failed: {msg}");
+        writer.write_frame(proto::ERR, msg.as_bytes())?;
+        return Ok(false);
+    }
+
+    if faultsim::fire(faultsim::WRITE_TEAR).is_some() {
+        // promise a frame, deliver a fragment, drop the connection —
+        // the client-visible shape of a daemon crash mid-response
+        let header = encode_frame_header(proto::SAM, 4096)?;
+        let raw = writer.get_mut();
+        raw.write_all(&header)?;
+        raw.write_all(&[b'@'; 100])?;
+        raw.flush()?;
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "injected torn frame (faultsim)",
+        ));
+    }
 
     // stream the records out in bounded frames
     let mut chunk = String::with_capacity(SAM_CHUNK + 1024);
@@ -476,7 +717,12 @@ fn finish_request(
     if !chunk.is_empty() {
         writer.write_frame(proto::SAM, chunk.as_bytes())?;
     }
-    let done = format!("reads={}\trecords={}", reply.reads, reply.records.len());
+    let done = format!(
+        "reads={}\trecords={}\tepoch={}",
+        reply.reads,
+        reply.records.len(),
+        reply.epoch
+    );
     writer.write_frame(proto::DONE, done.as_bytes())?;
     Ok(true)
 }
@@ -523,7 +769,8 @@ fn render_stats(ctx: &ConnCtx) -> String {
                 "{{\"uptime_ms\": {}, \"queue_depth\": {}, \"queue_cap\": {}, ",
                 "\"active_connections\": {}, \"requests_admitted\": {}, ",
                 "\"requests_rejected\": {}, \"reads\": {}, \"records\": {}, ",
-                "\"slabs\": {}, ",
+                "\"slabs\": {}, \"slab_panics\": {}, \"deadlines_expired\": {}, ",
+                "\"epoch\": {}, \"swaps\": {}, \"swap_failures\": {}, ",
                 "\"queue_wait\": {}, \"service\": {}, \"stages\": {{{}}}, ",
                 "\"avg_requests_per_slab\": {:.3}, ",
                 "\"avg_reads_per_slab\": {:.3}, \"avg_queue_wait_ms\": {:.3}, ",
@@ -538,6 +785,11 @@ fn render_stats(ctx: &ConnCtx) -> String {
             c.reads.load(Ordering::Relaxed),
             c.records.load(Ordering::Relaxed),
             slabs,
+            c.slab_panics.load(Ordering::Relaxed),
+            c.deadlines_expired.load(Ordering::Relaxed),
+            b.slot().epoch(),
+            b.slot().swaps(),
+            b.slot().swap_failures(),
             latency_summary(&c.queue_wait_hist.snapshot()),
             latency_summary(&c.service_hist.snapshot()),
             stages.join(", "),
@@ -582,12 +834,24 @@ fn ratio(num: u64, den: u64) -> f64 {
 /// Read exactly `buf` while the socket's read timeout ticks: timeouts
 /// *before the first byte* poll the drain flag (returning `false` to
 /// close idle connections on drain, and on EOF); once a frame has
-/// started, timeouts keep retrying up to [`MID_FRAME_DEADLINE`].
-fn read_exact_idle(conn: &mut Conn, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<bool> {
+/// started, timeouts keep retrying up to the connection's `stall`
+/// budget ([`ServeConfig::conn_stall`]).
+fn read_exact_idle(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    stall: Duration,
+) -> io::Result<bool> {
     let mut filled = 0;
     let mut started: Option<Instant> = None;
     while filled < buf.len() {
-        match conn.read(&mut buf[filled..]) {
+        // faultsim: cap each read() so frames arrive in tiny fragments
+        // and the reassembly path actually runs under test
+        let end = match faultsim::fire(faultsim::SHORT_READ) {
+            Some(cap) => (filled + (cap.max(1) as usize)).min(buf.len()),
+            None => buf.len(),
+        };
+        match conn.read(&mut buf[filled..end]) {
             Ok(0) => {
                 return if filled == 0 {
                     Ok(false)
@@ -608,7 +872,7 @@ fn read_exact_idle(conn: &mut Conn, buf: &mut [u8], shutdown: &AtomicBool) -> io
                             return Ok(false);
                         }
                     }
-                    Some(t) if t.elapsed() > MID_FRAME_DEADLINE => {
+                    Some(t) if t.elapsed() > stall => {
                         return Err(io::Error::new(
                             io::ErrorKind::TimedOut,
                             "peer stalled mid-frame",
@@ -626,14 +890,18 @@ fn read_exact_idle(conn: &mut Conn, buf: &mut [u8], shutdown: &AtomicBool) -> io
 
 /// Read one frame with idle-aware timeouts; `None` = clean close (EOF
 /// at a boundary, or drain while idle).
-fn read_frame_idle(conn: &mut Conn, shutdown: &AtomicBool) -> io::Result<Option<Frame>> {
+fn read_frame_idle(
+    conn: &mut Conn,
+    shutdown: &AtomicBool,
+    stall: Duration,
+) -> io::Result<Option<Frame>> {
     let mut header = [0u8; FRAME_HEADER_LEN];
-    if !read_exact_idle(conn, &mut header, shutdown)? {
+    if !read_exact_idle(conn, &mut header, shutdown, stall)? {
         return Ok(None);
     }
     let (ty, len) = decode_frame_header(header)?;
     let mut payload = vec![0u8; len];
-    if len > 0 && !read_exact_idle(conn, &mut payload, shutdown)? {
+    if len > 0 && !read_exact_idle(conn, &mut payload, shutdown, stall)? {
         return Err(io::ErrorKind::UnexpectedEof.into());
     }
     Ok(Some(Frame { ty, payload }))

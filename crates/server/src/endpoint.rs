@@ -44,12 +44,17 @@ pub enum Listener {
 }
 
 impl Listener {
-    /// Bind the endpoint. A Unix path that already exists is an error
-    /// (a live daemon may own it); remove stale sockets explicitly.
+    /// Bind the endpoint. A Unix path left behind by a killed daemon
+    /// (`kill -9` never unlinks) is reclaimed: if the path is a socket
+    /// and nothing answers a connect probe it is unlinked and re-bound.
+    /// A path with a live daemon behind it — or a non-socket file —
+    /// stays an error, so two daemons never fight over one address and
+    /// an unrelated file is never deleted.
     pub fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
         match endpoint {
             #[cfg(unix)]
             Endpoint::Unix(path) => {
+                reclaim_stale_socket(path)?;
                 let l = UnixListener::bind(path)?;
                 Ok(Listener::Unix(l, path.clone()))
             }
@@ -100,6 +105,34 @@ impl Drop for Listener {
     }
 }
 
+/// If `path` exists and is a Unix socket nobody answers, unlink it so a
+/// restart after `kill -9` can rebind. A live listener (connect probe
+/// succeeds) maps to `AddrInUse`; a non-socket file is left untouched
+/// (bind will fail with its own error rather than us deleting data).
+#[cfg(unix)]
+fn reclaim_stale_socket(path: &std::path::Path) -> io::Result<()> {
+    use std::os::unix::fs::FileTypeExt;
+    let meta = match std::fs::symlink_metadata(path) {
+        Ok(m) => m,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if !meta.file_type().is_socket() {
+        return Ok(()); // not ours to unlink; bind reports the conflict
+    }
+    match UnixStream::connect(path) {
+        Ok(_) => Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!("{} is in use by a live daemon", path.display()),
+        )),
+        Err(_) => {
+            // nobody home: a previous daemon died without unlinking
+            std::fs::remove_file(path)?;
+            Ok(())
+        }
+    }
+}
+
 /// A connected stream of either family.
 pub enum Conn {
     /// Unix-domain stream.
@@ -129,6 +162,16 @@ impl Conn {
             #[cfg(unix)]
             Conn::Unix(s) => s.set_read_timeout(d),
             Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// Bound write timeout: a peer that stops draining our writes makes
+    /// them fail instead of wedging the thread (`None` = blocking).
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(d),
+            Conn::Tcp(s) => s.set_write_timeout(d),
         }
     }
 

@@ -32,6 +32,17 @@
 //! `ServeConfig::metrics_addr`), logs through the structured
 //! `mem2_obs::log` logger, and flags outlier slabs via
 //! `ServeConfig::slow_ms`.
+//!
+//! Fault tolerance (PR 9): worker panics are isolated per-slab
+//! (`catch_unwind`; the poisoned request answers ERR, the daemon
+//! survives), requests and connections carry enforceable deadlines
+//! (`ServeConfig::request_timeout`, `ServeConfig::conn_stall`), RETRY
+//! backoff is decorrelated-jittered server-side and capped client-side,
+//! and the serving index can be hot-swapped under load — the RELOAD
+//! verb or SIGHUP loads and CRC-verifies a new bundle off-thread, then
+//! atomically switches the [`swap::IndexSlot`] while in-flight slabs
+//! finish on their pinned epoch. The [`faultsim`] module provides the
+//! injection points the chaos test suite drives.
 
 #![deny(missing_docs)]
 
@@ -39,11 +50,14 @@ pub mod batcher;
 pub mod client;
 pub mod daemon;
 pub mod endpoint;
+pub mod faultsim;
 pub mod metrics;
 pub mod proto;
 pub mod signal;
+pub mod swap;
 
-pub use client::{Client, Response};
-pub use daemon::{serve, ServeConfig, ServerHandle};
+pub use client::{Client, Response, MAX_HONORED_BACKOFF};
+pub use daemon::{serve, ReloadSpec, ServeConfig, ServerHandle};
 pub use endpoint::{Conn, Endpoint, Listener};
 pub use proto::{OptsOverride, RequestMode};
+pub use swap::{IndexSlot, PinnedIndex};

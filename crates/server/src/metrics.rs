@@ -26,7 +26,7 @@ pub fn render_daemon_metrics(
     let c = batcher.counters();
     let no_labels = Vec::new();
 
-    let counters: [(&str, &str, u64); 6] = [
+    let counters: [(&str, &str, u64); 10] = [
         (
             "mem2_requests_admitted_total",
             "Requests admitted to the queue.",
@@ -57,13 +57,38 @@ pub fn render_daemon_metrics(
             "Requests coalesced into slabs (occupancy numerator).",
             c.slab_submissions.load(Ordering::Relaxed),
         ),
+        (
+            "mem2_slab_panics_total",
+            "Alignment slabs that panicked (requests answered ERR; daemon survived).",
+            c.slab_panics.load(Ordering::Relaxed),
+        ),
+        (
+            "mem2_request_deadlines_total",
+            "Requests dropped because their deadline expired before a reply.",
+            c.deadlines_expired.load(Ordering::Relaxed),
+        ),
+        (
+            "mem2_index_swaps_total",
+            "Successful index hot-swaps (RELOAD/SIGHUP).",
+            batcher.slot().swaps(),
+        ),
+        (
+            "mem2_index_swap_failures_total",
+            "Rejected reloads (load or CRC verification failed; old index kept).",
+            batcher.slot().swap_failures(),
+        ),
     ];
     for (name, help, v) in counters {
         render::family_header(out, name, help, "counter");
         render::sample_u64(out, name, &no_labels, v);
     }
 
-    let gauges: [(&str, &str, i64); 3] = [
+    let gauges: [(&str, &str, i64); 4] = [
+        (
+            "mem2_index_epoch",
+            "Index generation currently answering new requests (starts at 1).",
+            batcher.slot().epoch() as i64,
+        ),
         (
             "mem2_active_connections",
             "Connections currently open.",
@@ -204,7 +229,8 @@ mod tests {
             MemOpts::default(),
             Workflow::Batched,
         ));
-        let batcher = Batcher::start(aligner, 1, 4, 64, 0);
+        let slot = Arc::new(crate::swap::IndexSlot::new(aligner));
+        let batcher = Batcher::start(slot, 1, 4, 64, 0);
 
         let mut out = String::new();
         render_daemon_metrics(&mut out, &batcher, Duration::from_secs(2), 4);
@@ -221,6 +247,11 @@ mod tests {
             "mem2_slab_service_seconds",
             "mem2_stage_duration_seconds",
             "mem2_process_resident_memory_bytes",
+            "mem2_slab_panics_total",
+            "mem2_request_deadlines_total",
+            "mem2_index_swaps_total",
+            "mem2_index_swap_failures_total",
+            "mem2_index_epoch",
         ] {
             assert!(
                 out.contains(&format!("# TYPE {family} ")),

@@ -25,9 +25,12 @@
 //! and must be resent in full; nothing was partially aligned. [`STATS`]
 //! returns a JSON snapshot of queue depth, batch occupancy and
 //! per-stage latencies; [`SHUTDOWN`] asks the daemon to drain and exit
-//! (the same path SIGTERM takes). Any protocol violation or alignment
-//! failure produces an [`ERR`] frame, after which the server closes the
-//! connection.
+//! (the same path SIGTERM takes); [`RELOAD`] hot-swaps the serving
+//! index to a new bundle (the same path SIGHUP takes). Any protocol
+//! violation or alignment failure produces an [`ERR`] frame, after
+//! which the server closes the connection. `DONE` payloads also carry
+//! `epoch=N` — the index generation that answered the request — which
+//! pre-epoch clients simply ignore (unknown `DONE` fields are skipped).
 
 use mem2_bsw::ScoreParams;
 use mem2_core::MemOpts;
@@ -47,6 +50,11 @@ pub const END: u8 = 0x03;
 pub const STATS: u8 = 0x04;
 /// Ask the daemon to drain and exit (acked with [`OK`]).
 pub const SHUTDOWN: u8 = 0x05;
+/// Hot-swap the serving index; payload = bundle path (UTF-8). The
+/// daemon loads and CRC-verifies the bundle off the serving path, then
+/// atomically switches epochs — acked with [`OK`] `epoch=N`, or [`ERR`]
+/// (old index stays in service) on any load/verify failure.
+pub const RELOAD: u8 = 0x06;
 
 // -- server → client frame types --
 

@@ -1,21 +1,24 @@
-//! SIGTERM/SIGINT → graceful-drain flag.
+//! SIGTERM/SIGINT → graceful-drain flag; SIGHUP → hot-reload flag.
 //!
 //! The offline build environment has no `libc` crate, so (like
 //! `mem2-core`'s mmap loader) the one syscall wrapper needed —
 //! `signal(2)` — is declared directly against the platform C library.
-//! The handler only stores to an `AtomicBool`, which is
-//! async-signal-safe; the daemon's acceptor polls the flag between
-//! accepts and runs the same drain path a SHUTDOWN control frame
-//! triggers.
+//! The handlers only store to `AtomicBool`s, which is
+//! async-signal-safe; the daemon's acceptor polls the drain flag
+//! between accepts and runs the same drain path a SHUTDOWN control
+//! frame triggers, while the CLI's serve loop polls the reload flag and
+//! runs the same hot-swap a RELOAD control frame triggers.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod sys {
     use super::*;
 
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
@@ -28,14 +31,22 @@ mod sys {
         TERMINATION_REQUESTED.store(true, Ordering::Release);
     }
 
-    /// Route SIGTERM and SIGINT to the drain flag.
+    extern "C" fn on_reload(_signum: i32) {
+        // store-only: async-signal-safe
+        RELOAD_REQUESTED.store(true, Ordering::Release);
+    }
+
+    /// Route SIGTERM and SIGINT to the drain flag and SIGHUP to the
+    /// reload flag.
     pub fn install_termination_handler() {
-        // Safety: installing a handler that only performs an atomic
+        // Safety: installing handlers that only perform an atomic
         // store; `signal` never dereferences anything of ours.
         let handler = on_terminate as *const () as usize;
+        let reload = on_reload as *const () as usize;
         unsafe {
             signal(SIGTERM, handler);
             signal(SIGINT, handler);
+            signal(SIGHUP, reload);
         }
     }
 }
@@ -56,4 +67,15 @@ pub fn termination_requested() -> bool {
 /// Test hook: simulate a termination signal.
 pub fn request_termination() {
     TERMINATION_REQUESTED.store(true, Ordering::Release);
+}
+
+/// Consume a pending SIGHUP: true at most once per signal, so the serve
+/// loop triggers exactly one hot-swap per HUP.
+pub fn reload_requested_take() -> bool {
+    RELOAD_REQUESTED.swap(false, Ordering::AcqRel)
+}
+
+/// Test hook: simulate a SIGHUP.
+pub fn request_reload() {
+    RELOAD_REQUESTED.store(true, Ordering::Release);
 }

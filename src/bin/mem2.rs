@@ -29,8 +29,12 @@
 //!     --batch-pairs N   pairs per paired-end batch / pestat window
 //!                       (default 32768)
 //!     --load MODE       index file loading: auto|mmap|read (default
-//!                       auto = mmap when available; v4 bundles are
+//!                       auto = mmap when available; v4+ bundles are
 //!                       then served zero-copy from the mapping)
+//!     --verify MODE     v5 bundle checksum policy: eager|first-touch
+//!                       (default eager; `read` loads always verify
+//!                       eagerly; first-touch skips sections the
+//!                       profile never reads)
 //!     --profile[=json]  end-of-run per-stage latency report on stderr:
 //!                       totals plus p50/p90/p99/max (json: one machine-
 //!                       readable object)
@@ -74,7 +78,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use mem2::bsw::SimdChoice;
-use mem2::core::bundle::{self, LoadMode};
+use mem2::core::bundle::{self, LoadMode, VerifyMode};
 use mem2::obs::log as olog;
 use mem2::pairing::{align_pairs_stream, orient_name, PeStats};
 use mem2::prelude::*;
@@ -236,7 +240,9 @@ fn cmd_index(args: &[String]) -> Result<(), AnyError> {
         ],
     );
     let bytes = bundle::build_bundle_with_width(&reference, width, narrow_limit)?;
-    std::fs::write(out, &bytes).map_err(|e| SeqIoError::io("write", &e).in_file(out))?;
+    // crash-safe: temp + fsync + atomic rename, so a kill mid-write
+    // leaves the previous bundle (or none), never a torn file
+    bundle::write_bundle_atomic(std::path::Path::new(out), &bytes)?;
     olog::info(
         "index",
         &format!("wrote {} (bundle v{})", out, bundle::BUNDLE_VERSION),
@@ -274,6 +280,7 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     let mut batch_pairs_set = false;
     let mut pes_override: Option<PeStats> = None;
     let mut load_mode = LoadMode::Auto;
+    let mut verify = VerifyMode::Eager;
     let mut profile: Option<ProfileFormat> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -286,6 +293,7 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                     .parse()
                     .map_err(|_| "-t needs an integer")?;
             }
+            "--verify" => verify = parse_verify_mode(it.next().ok_or("--verify needs a value")?)?,
             "--profile" => profile = Some(ProfileFormat::Text),
             "--profile=json" => profile = Some(ProfileFormat::Json),
             "-p" => interleaved = true,
@@ -387,7 +395,7 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
         &[],
     );
 
-    let (reference, index) = load_ref_index(ref_path, workflow, load_mode, "mem")?;
+    let (reference, index) = load_ref_index(ref_path, workflow, load_mode, verify, "mem")?;
     let aligner = Aligner::with_index(index, reference, opts, workflow);
 
     let stdout = std::io::stdout();
@@ -509,6 +517,7 @@ fn load_ref_index(
     ref_path: &str,
     workflow: Workflow,
     load_mode: LoadMode,
+    verify: VerifyMode,
     tag: &str,
 ) -> Result<(Reference, FmIndex), AnyError> {
     if ref_path.ends_with(".idx") {
@@ -517,12 +526,13 @@ fn load_ref_index(
             std::path::Path::new(ref_path),
             &workflow.build_opts(),
             load_mode,
+            verify,
         )
         .map_err(|e| format!("{ref_path}: {e}"))?;
         olog::info(
             tag,
             &format!(
-                "index: bundle v{}, {}-bit positions, {} MB, {} load{} in {:.0} ms",
+                "index: bundle v{}, {}-bit positions, {} MB, {} load{}{} in {:.0} ms",
                 report.version,
                 report.sa_width,
                 report.bytes / (1 << 20),
@@ -532,6 +542,11 @@ fn load_ref_index(
                     "buffered"
                 },
                 if report.zero_copy { " (zero-copy)" } else { "" },
+                if report.checksummed {
+                    " (verified)"
+                } else {
+                    " (no checksums)"
+                },
                 t_load.elapsed().as_secs_f64() * 1e3
             ),
             &[],
@@ -541,6 +556,15 @@ fn load_ref_index(
         let reference = load_reference(ref_path)?;
         let index = FmIndex::build(&reference, &workflow.build_opts());
         Ok((reference, index))
+    }
+}
+
+/// Parse `--verify eager|first-touch` (shared by `mem` and `serve`).
+fn parse_verify_mode(s: &str) -> Result<VerifyMode, AnyError> {
+    match s {
+        "eager" => Ok(VerifyMode::Eager),
+        "first-touch" => Ok(VerifyMode::FirstTouch),
+        other => Err(format!("--verify must be eager|first-touch, got {other}").into()),
     }
 }
 
@@ -583,13 +607,15 @@ fn parse_endpoint(socket: Option<&String>, tcp: Option<&String>) -> Result<Endpo
 fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     const USAGE: &str = "usage: mem2 serve [--socket PATH|--tcp ADDR] [-t N] [--queue N] \
          [--slab-reads N] [--retry-ms N] [--metrics-addr ADDR] [--slow-ms N] [-I MEAN[,STD]] \
-         [--classic] [--simd MODE] [--load MODE] <ref.idx|ref.fasta>";
+         [--classic] [--simd MODE] [--load MODE] [--verify MODE] [--request-timeout MS] \
+         [--conn-timeout MS] <ref.idx|ref.fasta>";
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut workflow = Workflow::Batched;
     let mut opts = MemOpts::default();
     let mut load_mode = LoadMode::Auto;
+    let mut verify = VerifyMode::Eager;
     let mut socket: Option<&String> = None;
     let mut tcp: Option<&String> = None;
     let mut queue_cap = 64usize;
@@ -597,6 +623,8 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     let mut retry_ms = 50u64;
     let mut metrics_addr: Option<String> = None;
     let mut slow_ms = 0u64;
+    let mut request_timeout_ms = 0u64;
+    let mut conn_timeout_ms = 30_000u64;
     let mut pes_override: Option<PeStats> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -649,6 +677,23 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                     .parse()
                     .map_err(|_| "--retry-ms needs an integer")?;
             }
+            "--request-timeout" => {
+                request_timeout_ms = it
+                    .next()
+                    .ok_or("--request-timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--request-timeout needs an integer (ms; 0 disables)")?;
+            }
+            "--conn-timeout" => {
+                conn_timeout_ms = it
+                    .next()
+                    .ok_or("--conn-timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--conn-timeout needs an integer (ms)")?;
+                if conn_timeout_ms == 0 {
+                    return Err("--conn-timeout must be at least 1 ms".into());
+                }
+            }
             "-I" => {
                 pes_override = Some(parse_insert_override(it.next().ok_or("-I needs a value")?)?);
             }
@@ -668,6 +713,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                 opts.simd = SimdChoice::parse(v)
                     .ok_or_else(|| format!("--simd must be one of {}", SimdChoice::VALUES))?;
             }
+            "--verify" => verify = parse_verify_mode(it.next().ok_or("--verify needs a value")?)?,
             _ => positional.push(a),
         }
     }
@@ -685,8 +731,18 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         ),
         &[],
     );
-    let (reference, index) = load_ref_index(ref_path, workflow, load_mode, "serve")?;
+    let (reference, index) = load_ref_index(ref_path, workflow, load_mode, verify, "serve")?;
     let aligner = Aligner::with_index(index, reference, opts, workflow);
+
+    // hot-swap (RELOAD / SIGHUP) only makes sense when the daemon was
+    // started from a bundle: swaps reuse the same workflow + load mode
+    let reload = ref_path
+        .ends_with(".idx")
+        .then_some(mem2::server::ReloadSpec {
+            opts,
+            workflow,
+            load_mode,
+        });
 
     mem2::server::signal::install_termination_handler();
     let handle = mem2::server::serve(
@@ -700,6 +756,10 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             pes_override,
             metrics_addr,
             slow_ms,
+            request_timeout: (request_timeout_ms > 0)
+                .then(|| std::time::Duration::from_millis(request_timeout_ms)),
+            conn_stall: std::time::Duration::from_millis(conn_timeout_ms),
+            reload,
         },
     )?;
     olog::info(
@@ -714,12 +774,23 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     );
     // (the daemon itself logs the resolved metrics address, if any)
     // main thread: wait for SIGTERM/SIGINT or a client SHUTDOWN frame,
-    // then drain gracefully (finish admitted requests, refuse new ones)
+    // then drain gracefully (finish admitted requests, refuse new ones);
+    // SIGHUP hot-swaps the index from the same bundle path in place
     while !handle.draining() {
         if mem2::server::signal::termination_requested() {
             olog::info("serve", "termination signal received; draining", &[]);
             handle.shutdown();
             break;
+        }
+        if mem2::server::signal::reload_requested_take() {
+            match handle.reload(ref_path) {
+                Ok(epoch) => olog::info(
+                    "serve",
+                    "SIGHUP: index reloaded",
+                    &[("path", &ref_path), ("epoch", &epoch)],
+                ),
+                Err(e) => olog::warn("serve", "SIGHUP reload failed", &[("error", &e)]),
+            }
         }
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
@@ -730,7 +801,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
 
 fn cmd_client(args: &[String]) -> Result<(), AnyError> {
     const USAGE: &str = "usage: mem2 client [--socket PATH|--tcp ADDR] [--opts K=V[,K=V...]] \
-         [-p] [--retries N] [--stats] [--shutdown] [reads.fastq[.gz]]";
+         [-p] [--retries N] [--stats] [--reload BUNDLE.idx] [--shutdown] [reads.fastq[.gz]]";
     let mut socket: Option<&String> = None;
     let mut tcp: Option<&String> = None;
     let mut override_lines: Vec<String> = Vec::new();
@@ -738,6 +809,7 @@ fn cmd_client(args: &[String]) -> Result<(), AnyError> {
     let mut retries = 10usize;
     let mut want_stats = false;
     let mut want_shutdown = false;
+    let mut reload_path: Option<&String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -758,6 +830,7 @@ fn cmd_client(args: &[String]) -> Result<(), AnyError> {
             }
             "--stats" => want_stats = true,
             "--shutdown" => want_shutdown = true,
+            "--reload" => reload_path = Some(it.next().ok_or("--reload needs a bundle path")?),
             _ => positional.push(a),
         }
     }
@@ -766,7 +839,7 @@ fn cmd_client(args: &[String]) -> Result<(), AnyError> {
         [r] => Some(r),
         _ => return Err(USAGE.into()),
     };
-    if reads.is_none() && !want_stats && !want_shutdown {
+    if reads.is_none() && !want_stats && !want_shutdown && reload_path.is_none() {
         return Err(format!("nothing to do\n{USAGE}").into());
     }
     if paired {
@@ -777,6 +850,19 @@ fn cmd_client(args: &[String]) -> Result<(), AnyError> {
         .map_err(|e| format!("{endpoint}: {e} (is `mem2 serve` running?)"))?;
     if !override_lines.is_empty() {
         client.set_opts(&override_lines.join("\n"))?;
+    }
+
+    if let Some(bundle_path) = reload_path {
+        // path is resolved on the daemon's side of the socket
+        let full = std::fs::canonicalize(bundle_path)
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|_| bundle_path.to_string());
+        let epoch = client.reload(&full)?;
+        olog::info(
+            "client",
+            "daemon hot-swapped its index",
+            &[("path", &full), ("epoch", &epoch)],
+        );
     }
 
     if let Some(reads_path) = reads {
