@@ -378,6 +378,7 @@ pub fn write_bundle_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), B
         f.write_all(bytes)?;
         f.sync_all()?;
         drop(f);
+        crate::checkpoint::kill_point(crate::checkpoint::KP_RENAME);
         std::fs::rename(&tmp, path)?;
         if let Ok(d) = std::fs::File::open(&dir) {
             let _ = d.sync_all();

@@ -28,6 +28,7 @@
 
 pub mod aligner;
 pub mod bundle;
+pub mod checkpoint;
 pub mod extend;
 pub mod mapq;
 pub mod mmap;
@@ -35,6 +36,7 @@ pub mod opts;
 pub mod pipeline;
 pub mod profile;
 pub mod region;
+pub mod robust;
 pub mod sam;
 pub mod threads;
 
@@ -45,12 +47,16 @@ pub use bundle::{
     save_bundle_v5, write_bundle_atomic, BundleError, LoadMode, LoadReport, LoadedBundle,
     VerifyMode, BUNDLE_VERSION, BUNDLE_VERSION_MIN,
 };
+pub use checkpoint::{
+    kill_point, CkptMark, Fingerprint, Journal, MarkLog, MarkedBatches, ResumeError,
+};
 pub use mapq::approx_mapq_se;
 pub use opts::MemOpts;
 pub use profile::{Stage, StageTimes};
 pub use region::AlnReg;
+pub use robust::{is_broken_pipe, is_no_space, RobustWriter};
 pub use sam::SamRecord;
 pub use threads::{
-    align_reads_parallel, align_stream_parallel, stream_batches_parallel, StreamError,
-    StreamSummary,
+    align_reads_parallel, align_stream_parallel, align_stream_parallel_flush,
+    stream_batches_parallel, stream_batches_parallel_flush, FlushHook, StreamError, StreamSummary,
 };

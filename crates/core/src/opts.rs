@@ -108,6 +108,58 @@ impl MemOpts {
         l.min(self.chain.w * 2)
     }
 
+    /// Output-affecting options as `key → value` entries for the
+    /// checkpoint fingerprint (`--resume` refuses to continue a run whose
+    /// options drifted). Deliberately *excludes* the knobs the pipeline
+    /// is byte-invariant to — `simd`, `seed_batch`, `chunk_reads`,
+    /// `batch_reads`, `batch_bases`, and the thread count — so a resumed
+    /// run may use different hardware or batching without breaking byte
+    /// identity. `batch_pairs` is *included*: it defines the PE pestat
+    /// window and therefore the PE byte stream.
+    pub fn fingerprint_fields(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        let mut f = |k: &str, v: String| out.push((format!("opt.{k}"), v));
+        f("score.a", self.score.a.to_string());
+        f("score.b", self.score.b.to_string());
+        f("score.o_del", self.score.o_del.to_string());
+        f("score.e_del", self.score.e_del.to_string());
+        f("score.o_ins", self.score.o_ins.to_string());
+        f("score.e_ins", self.score.e_ins.to_string());
+        f("score.zdrop", self.score.zdrop.to_string());
+        f("score.end_bonus", self.score.end_bonus.to_string());
+        let mat: Vec<String> = self.score.mat.iter().map(|v| v.to_string()).collect();
+        f("score.mat", mat.join(","));
+        f("smem.min_seed_len", self.smem.min_seed_len.to_string());
+        f("smem.split_factor", format!("{}", self.smem.split_factor));
+        f("smem.split_width", self.smem.split_width.to_string());
+        f("smem.max_mem_intv", self.smem.max_mem_intv.to_string());
+        f("chain.w", self.chain.w.to_string());
+        f("chain.max_chain_gap", self.chain.max_chain_gap.to_string());
+        f("chain.max_occ", self.chain.max_occ.to_string());
+        f("chain.mask_level", format!("{}", self.chain.mask_level));
+        f("chain.drop_ratio", format!("{}", self.chain.drop_ratio));
+        f(
+            "chain.min_chain_weight",
+            self.chain.min_chain_weight.to_string(),
+        );
+        f("chain.min_seed_len", self.chain.min_seed_len.to_string());
+        f(
+            "chain.max_chain_extend",
+            self.chain.max_chain_extend.to_string(),
+        );
+        f("pen_clip5", self.pen_clip5.to_string());
+        f("pen_clip3", self.pen_clip3.to_string());
+        f("t_min_score", self.t_min_score.to_string());
+        f("mask_level_redun", format!("{}", self.mask_level_redun));
+        f("mapq_coef_len", format!("{}", self.mapq_coef_len));
+        f("output_all", self.output_all.to_string());
+        f("pen_unpaired", self.pen_unpaired.to_string());
+        f("max_ins", self.max_ins.to_string());
+        f("max_matesw", self.max_matesw.to_string());
+        f("batch_pairs", self.batch_pairs.to_string());
+        out
+    }
+
     /// bwa's `infer_bw` for CIGAR generation.
     pub fn infer_bw(l1: i32, l2: i32, score: i32, a: i32, q: i32, r: i32) -> i32 {
         if l1 == l2 && l1 * a - score < (q + r - a) * 2 {

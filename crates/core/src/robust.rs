@@ -1,0 +1,111 @@
+//! Hardened output-path plumbing for long batch runs.
+//!
+//! [`RobustWriter`] wraps the SAM sink and counts bytes actually handed
+//! to the OS, so after a flush+fsync the count is a *durable* output
+//! offset — the coordinate the checkpoint journal records and the
+//! `--resume` path truncates back to. The classification helpers
+//! ([`is_broken_pipe`], [`is_no_space`]) let the CLI turn the two
+//! overwhelmingly common output failures — a reader that went away
+//! (`mem2 mem | head`) and a full disk — into clean diagnostics instead
+//! of panics.
+
+use std::io::{self, Write};
+
+/// A byte-counting pass-through writer. `written()` is the number of
+/// bytes accepted by the inner writer; combined with an fsync it is the
+/// durable length of the output file.
+pub struct RobustWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> RobustWriter<W> {
+    /// Wrap `inner`, starting the byte count at `base` (the checkpointed
+    /// durable offset on resume, 0 on a fresh run).
+    pub fn with_base(inner: W, base: u64) -> Self {
+        RobustWriter {
+            inner,
+            written: base,
+        }
+    }
+
+    /// Wrap `inner` with a zero base.
+    pub fn new(inner: W) -> Self {
+        Self::with_base(inner, 0)
+    }
+
+    /// Total bytes accepted by the inner writer (including the resume
+    /// base).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Access the wrapped writer (e.g. to `sync_data` a `File`).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for RobustWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The reader side of a pipe went away (`EPIPE`): `mem2 mem | head`.
+/// Not a failure of the run — the convention is to exit 0 quietly.
+pub fn is_broken_pipe(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::BrokenPipe
+}
+
+/// The filesystem is out of space (`ENOSPC`) or the process hit its file
+/// size limit (`EFBIG`). The run cannot continue, but everything up to
+/// the last checkpoint is durable and resumable.
+pub fn is_no_space(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::StorageFull | io::ErrorKind::QuotaExceeded | io::ErrorKind::FileTooLarge
+    ) || matches!(
+        e.raw_os_error(),
+        Some(28) /* ENOSPC */ | Some(122) /* EDQUOT */
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_bytes_through_partial_writes() {
+        struct Dribble(Vec<u8>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = RobustWriter::with_base(Dribble(Vec::new()), 100);
+        w.write_all(b"hello world").unwrap();
+        assert_eq!(w.written(), 111);
+        assert_eq!(&w.get_ref().0, b"hello world");
+    }
+
+    #[test]
+    fn classifies_errno() {
+        assert!(is_broken_pipe(&io::Error::from(io::ErrorKind::BrokenPipe)));
+        assert!(!is_broken_pipe(&io::Error::from(io::ErrorKind::Other)));
+        assert!(is_no_space(&io::Error::from_raw_os_error(28)));
+        assert!(is_no_space(&io::Error::from(io::ErrorKind::StorageFull)));
+        assert!(!is_no_space(&io::Error::from(io::ErrorKind::BrokenPipe)));
+    }
+}

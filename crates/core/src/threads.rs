@@ -163,6 +163,15 @@ pub struct StreamSummary {
     pub batches: usize,
 }
 
+/// Post-flush callback run on the *writer* thread each time the in-order
+/// cursor advances (i.e. after one or more whole batches hit `out`).
+/// The checkpoint journal hooks in here: flush/fsync the sink, then
+/// persist the batch sequence number from the [`StreamSummary`]. An
+/// `Err` aborts the run as a [`StreamError::Output`]. Workers are
+/// already unblocked (the reorder gate advances first), so a slow fsync
+/// costs pipeline depth, not worker stalls.
+pub type FlushHook<'a, W> = &'a mut dyn FnMut(&mut W, &StreamSummary) -> std::io::Result<()>;
+
 /// Align a stream of read batches with `n_threads` workers, writing SAM
 /// records to `out` in input order.
 ///
@@ -187,11 +196,29 @@ where
     I::IntoIter: Send,
     W: Write,
 {
-    stream_batches_parallel(
+    align_stream_parallel_flush(aligner, batches, n_threads, out, None)
+}
+
+/// [`align_stream_parallel`] with a checkpoint [`FlushHook`] (the
+/// `--checkpoint` path of `mem2 mem`).
+pub fn align_stream_parallel_flush<I, W>(
+    aligner: &Aligner,
+    batches: I,
+    n_threads: usize,
+    out: &mut W,
+    on_flush: Option<FlushHook<'_, W>>,
+) -> Result<(StreamSummary, StageTimes), StreamError>
+where
+    I: IntoIterator<Item = Result<Vec<FastqRecord>, SeqIoError>>,
+    I::IntoIter: Send,
+    W: Write,
+{
+    stream_batches_parallel_flush(
         &aligner.opts,
         batches,
         n_threads,
         out,
+        on_flush,
         |batch: &Vec<FastqRecord>| batch.len(),
         |worker, records| {
             let ctx = aligner.context();
@@ -224,6 +251,30 @@ pub fn stream_batches_parallel<T, I, W, C, P>(
     batches: I,
     n_threads: usize,
     out: &mut W,
+    count_reads: C,
+    process: P,
+) -> Result<(StreamSummary, StageTimes), StreamError>
+where
+    T: Send,
+    I: IntoIterator<Item = Result<T, SeqIoError>>,
+    I::IntoIter: Send,
+    W: Write,
+    C: Fn(&T) -> usize + Sync,
+    P: Fn(&mut Worker, T) -> Vec<SamRecord> + Sync,
+{
+    stream_batches_parallel_flush(opts, batches, n_threads, out, None, count_reads, process)
+}
+
+/// [`stream_batches_parallel`] with an optional [`FlushHook`] invoked on
+/// the writer thread after each in-order flush — the checkpoint journal's
+/// attachment point. The hook runs on the calling thread (the crossbeam
+/// scope's closure executes there), so it may borrow non-`Send` state.
+pub fn stream_batches_parallel_flush<T, I, W, C, P>(
+    opts: &crate::opts::MemOpts,
+    batches: I,
+    n_threads: usize,
+    out: &mut W,
+    on_flush: Option<FlushHook<'_, W>>,
     count_reads: C,
     process: P,
 ) -> Result<(StreamSummary, StageTimes), StreamError>
@@ -306,7 +357,7 @@ where
         drop(res_tx); // writer's recv ends once all workers finish
 
         // -- writer (this thread): reorder by batch index, emit in order --
-        result = write_in_order(res_rx, out, &gate, &mut summary);
+        result = write_in_order(res_rx, out, &gate, &mut summary, on_flush);
         if result.is_err() {
             // tear down: stop the producer, let gated workers through
             // (their sends fail, ending them), and drain the batch queue
@@ -338,11 +389,13 @@ fn write_in_order<W: Write>(
     out: &mut W,
     gate: &OrderGate,
     summary: &mut StreamSummary,
+    mut on_flush: Option<FlushHook<'_, W>>,
 ) -> Result<(), StreamError> {
     let mut pending: BTreeMap<usize, Vec<SamRecord>> = BTreeMap::new();
     let mut next = 0usize;
     while let Ok((idx, recs)) = res_rx.recv() {
         pending.insert(idx, recs);
+        let before = next;
         while let Some(recs) = pending.remove(&next) {
             next += 1;
             for rec in &recs {
@@ -351,7 +404,13 @@ fn write_in_order<W: Write>(
             summary.records += recs.len();
             summary.batches += 1;
         }
+        // unblock gated workers before any checkpoint fsync below
         gate.advance(next);
+        if next > before {
+            if let Some(hook) = on_flush.as_mut() {
+                hook(out, summary).map_err(StreamError::Output)?;
+            }
+        }
     }
     Ok(())
 }

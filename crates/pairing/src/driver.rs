@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use mem2_core::pipeline::{align_prepared, PipelineContext, PreparedRead, Worker};
 use mem2_core::sam::{ReadInfo, SamRecord};
-use mem2_core::threads::{stream_batches_parallel, StreamError, StreamSummary};
+use mem2_core::threads::{stream_batches_parallel_flush, FlushHook, StreamError, StreamSummary};
 use mem2_core::{profile::Stage, region::mark_primary};
 use mem2_core::{Aligner, AlnReg, StageTimes, Workflow};
 use mem2_seqio::{FastqRecord, ReadPair, SeqIoError};
@@ -181,11 +181,32 @@ where
     I::IntoIter: Send,
     W: Write,
 {
-    stream_batches_parallel(
+    align_pairs_stream_flush(aligner, pes_override, batches, n_threads, out, None)
+}
+
+/// [`align_pairs_stream`] with a checkpoint [`FlushHook`] (the
+/// `--checkpoint` path of `mem2 mem -p` / two-file PE). Checkpoints land
+/// on `batch_pairs` boundaries, so a resumed run re-estimates insert
+/// sizes over exactly the same windows — the PE byte stream is preserved.
+pub fn align_pairs_stream_flush<I, W>(
+    aligner: &Aligner,
+    pes_override: Option<PeStats>,
+    batches: I,
+    n_threads: usize,
+    out: &mut W,
+    on_flush: Option<FlushHook<'_, W>>,
+) -> Result<(StreamSummary, StageTimes), StreamError>
+where
+    I: IntoIterator<Item = Result<Vec<ReadPair>, SeqIoError>>,
+    I::IntoIter: Send,
+    W: Write,
+{
+    stream_batches_parallel_flush(
         &aligner.opts,
         batches,
         n_threads,
         out,
+        on_flush,
         |batch: &Vec<ReadPair>| 2 * batch.len(),
         |worker, batch| align_pairs_batch(aligner, worker, batch, pes_override),
     )

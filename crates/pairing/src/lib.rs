@@ -30,7 +30,8 @@ pub mod rescue;
 pub mod sam_pe;
 
 pub use driver::{
-    align_pairs, align_pairs_batch, align_pairs_ctx, align_pairs_stream, pairs_from_interleaved,
+    align_pairs, align_pairs_batch, align_pairs_ctx, align_pairs_stream, align_pairs_stream_flush,
+    pairs_from_interleaved,
 };
 pub use pair::{mem_pair, raw_mapq, PairChoice};
 pub use pestat::{estimate_pe_stats, infer_dir, orient_name, OrientStats, PeStats};

@@ -47,5 +47,6 @@ pub use simulate::{
     GenomeSpec, PairSim, PairSimSpec, PairTruth, ReadSim, ReadSimSpec, SimPair, SimRead, TruthInfo,
 };
 pub use stream::{
-    open_reads, AutoReader, BatchReader, FastqStream, InputFormat, DEFAULT_BATCH_BASES,
+    open_reads, open_reads_at, AutoReader, BatchReader, FastqStream, InputFormat, StreamOffsets,
+    StreamPos, DEFAULT_BATCH_BASES,
 };

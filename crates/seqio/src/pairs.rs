@@ -16,7 +16,7 @@ use std::io::Read;
 
 use crate::error::SeqIoError;
 use crate::fastq::FastqRecord;
-use crate::stream::FastqStream;
+use crate::stream::{FastqStream, StreamOffsets, StreamPos};
 
 /// Default pairs per PE batch (~10 Mbp at 2×150 bp — the same resident
 /// footprint as the single-end base budget).
@@ -61,9 +61,32 @@ impl<A: Read, B: Read> PairedBatchReader<A, B> {
     /// Batch two readers; `label1`/`label2` annotate errors with the
     /// originating file (pass the paths).
     pub fn new(r1: A, r2: B, label1: &str, label2: &str, batch_pairs: usize) -> Self {
+        Self::with_positions(
+            r1,
+            r2,
+            label1,
+            label2,
+            batch_pairs,
+            StreamPos::default(),
+            StreamPos::default(),
+        )
+    }
+
+    /// Resume batching from readers already fast-forwarded to `pos1` /
+    /// `pos2` (see [`crate::stream::open_reads_at`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_positions(
+        r1: A,
+        r2: B,
+        label1: &str,
+        label2: &str,
+        batch_pairs: usize,
+        pos1: StreamPos,
+        pos2: StreamPos,
+    ) -> Self {
         PairedBatchReader {
-            s1: FastqStream::new(r1),
-            s2: FastqStream::new(r2),
+            s1: FastqStream::with_position(r1, pos1),
+            s2: FastqStream::with_position(r2, pos2),
             label1: label1.to_string(),
             label2: label2.to_string(),
             batch_pairs: batch_pairs.max(1),
@@ -97,6 +120,12 @@ impl<A: Read, B: Read> PairedBatchReader<A, B> {
                 file: self.label2.clone(),
             }),
         }
+    }
+}
+
+impl<A: Read, B: Read> StreamOffsets for PairedBatchReader<A, B> {
+    fn offsets(&self) -> (StreamPos, Option<StreamPos>) {
+        (self.s1.position(), Some(self.s2.position()))
     }
 }
 
@@ -147,8 +176,13 @@ pub struct InterleavedBatchReader<R: Read> {
 impl<R: Read> InterleavedBatchReader<R> {
     /// Batch an interleaved reader; `label` annotates errors (the path).
     pub fn new(src: R, label: &str, batch_pairs: usize) -> Self {
+        Self::with_position(src, label, batch_pairs, StreamPos::default())
+    }
+
+    /// Resume batching from a reader already fast-forwarded to `pos`.
+    pub fn with_position(src: R, label: &str, batch_pairs: usize, pos: StreamPos) -> Self {
         InterleavedBatchReader {
-            stream: FastqStream::new(src),
+            stream: FastqStream::with_position(src, pos),
             label: label.to_string(),
             batch_pairs: batch_pairs.max(1),
             done: false,
@@ -172,6 +206,12 @@ impl<R: Read> InterleavedBatchReader<R> {
             })),
             Some(Err(e)) => Err(e.in_file(self.label.clone())),
         }
+    }
+}
+
+impl<R: Read> StreamOffsets for InterleavedBatchReader<R> {
+    fn offsets(&self) -> (StreamPos, Option<StreamPos>) {
+        (self.stream.position(), None)
     }
 }
 
@@ -284,6 +324,30 @@ mod tests {
             .expect("item")
             .expect_err("truncated");
         assert!(err.to_string().contains("R2.fq"), "got: {err}");
+    }
+
+    #[test]
+    fn paired_resume_from_offsets_matches_fresh() {
+        let r1 = fq(&[("a/1", "AC"), ("b/1", "ACGT"), ("c/1", "AC"), ("d/1", "GG")]);
+        let r2 = fq(&[("a/2", "GT"), ("b/2", "TTAA"), ("c/2", "GT"), ("d/2", "CC")]);
+        let mut fresh = PairedBatchReader::new(r1.as_bytes(), r2.as_bytes(), "1", "2", 2);
+        let _first = fresh.next().unwrap().unwrap();
+        let (p1, p2) = fresh.offsets();
+        let p2 = p2.expect("two inputs");
+        let rest: Vec<Vec<ReadPair>> = fresh.collect::<Result<_, _>>().expect("tail");
+        let resumed: Vec<Vec<ReadPair>> = PairedBatchReader::with_positions(
+            &r1.as_bytes()[p1.bytes as usize..],
+            &r2.as_bytes()[p2.bytes as usize..],
+            "1",
+            "2",
+            2,
+            p1,
+            p2,
+        )
+        .collect::<Result<_, _>>()
+        .expect("resumed tail");
+        assert_eq!(rest, resumed);
+        assert_eq!(resumed[0][0].r1.name, "c");
     }
 
     #[test]

@@ -29,6 +29,26 @@ use crate::gzip::{GzipDecoder, GZIP_MAGIC};
 /// 100k short reads per batch, a few tens of MB resident.
 pub const DEFAULT_BATCH_BASES: usize = 10_000_000;
 
+/// A position in a (decompressed) input stream: bytes and physical lines
+/// fully consumed by the parser. For gzip inputs these are *decompressed*
+/// coordinates — resume re-decodes and discards up to `bytes`; for plain
+/// files they are file offsets and resume seeks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamPos {
+    /// Decompressed bytes consumed (terminators included).
+    pub bytes: u64,
+    /// Physical lines consumed (1-based count; 0 = nothing read).
+    pub lines: u64,
+}
+
+/// Batch sources that can report how far into their input(s) they have
+/// consumed — sampled at batch boundaries by the checkpoint journal. The
+/// second position is `None` for single-input sources.
+pub trait StreamOffsets {
+    /// Position of the primary input (and the mate input, if any).
+    fn offsets(&self) -> (StreamPos, Option<StreamPos>);
+}
+
 // ---------------------------------------------------------------------
 // Input format auto-detection
 // ---------------------------------------------------------------------
@@ -127,6 +147,75 @@ pub fn open_reads(path: impl AsRef<Path>) -> Result<AutoReader<File>, SeqIoError
     AutoReader::new(file).map_err(|e| SeqIoError::io("read", &e).in_file(ctx()))
 }
 
+/// Open a FASTQ file and fast-forward it to `offset` *decompressed*
+/// bytes, the resume path of the checkpoint journal. Plain files seek
+/// (O(1)); gzip streams re-decode and discard (no random access in
+/// RFC-1952), which is still far cheaper than re-aligning. Reaching EOF
+/// before `offset` means the file shrank since the checkpoint was taken
+/// and is an error.
+pub fn open_reads_at(path: impl AsRef<Path>, offset: u64) -> Result<AutoReader<File>, SeqIoError> {
+    let path = path.as_ref();
+    let ctx = || path.display().to_string();
+    let mut auto = open_reads(path)?;
+    match &mut auto {
+        AutoReader::Plain(pre) => {
+            // Skip the replayed sniff bytes first, then seek the file for
+            // the rest: the prefix buffer holds offsets 0 and 1.
+            use std::io::Seek;
+            let in_prefix = (pre.len as u64).min(offset);
+            pre.pos = in_prefix as u8;
+            if offset > pre.len as u64 {
+                let flen = pre
+                    .inner
+                    .metadata()
+                    .map_err(|e| SeqIoError::io("stat", &e).in_file(ctx()))?
+                    .len();
+                if offset > flen {
+                    return Err(SeqIoError::io(
+                        "resume fast-forward",
+                        &io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("input shorter than checkpoint offset {offset} (len {flen})"),
+                        ),
+                    )
+                    .in_file(ctx()));
+                }
+                pre.inner
+                    .seek(io::SeekFrom::Start(offset))
+                    .map_err(|e| SeqIoError::io("resume seek", &e).in_file(ctx()))?;
+            }
+        }
+        AutoReader::Gzip(dec) => {
+            let mut left = offset;
+            let mut sink = [0u8; 16 * 1024];
+            while left > 0 {
+                let want = sink.len().min(left as usize);
+                match dec.read(&mut sink[..want]) {
+                    Ok(0) => {
+                        return Err(SeqIoError::io(
+                            "resume fast-forward",
+                            &io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                format!(
+                                    "gzip stream ended {left} bytes before checkpoint \
+                                     offset {offset}"
+                                ),
+                            ),
+                        )
+                        .in_file(ctx()));
+                    }
+                    Ok(n) => left -= n as u64,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        return Err(SeqIoError::io("resume fast-forward", &e).in_file(ctx()));
+                    }
+                }
+            }
+        }
+    }
+    Ok(auto)
+}
+
 // ---------------------------------------------------------------------
 // Streaming FASTQ parser
 // ---------------------------------------------------------------------
@@ -140,6 +229,11 @@ pub struct FastqStream<R: Read> {
     line: Vec<u8>,
     /// 1-based number of the last physical line read.
     lineno: usize,
+    /// Bytes of the (decompressed) input consumed by the parser —
+    /// terminators included, so after a record this is the exact stream
+    /// offset of the next unread byte (the checkpoint journal's
+    /// fast-forward coordinate).
+    consumed: u64,
     /// Set after an error or EOF; the iterator is fused.
     done: bool,
 }
@@ -147,11 +241,31 @@ pub struct FastqStream<R: Read> {
 impl<R: Read> FastqStream<R> {
     /// Wrap a reader of FASTQ text.
     pub fn new(src: R) -> Self {
+        FastqStream::with_position(src, StreamPos::default())
+    }
+
+    /// Wrap a reader whose head has already been consumed up to `pos`
+    /// (a checkpoint resume): byte/line counters continue from there, so
+    /// offsets stay absolute and error messages report true line
+    /// numbers. The reader must already be positioned at `pos.bytes`
+    /// (see [`open_reads_at`]).
+    pub fn with_position(src: R, pos: StreamPos) -> Self {
         FastqStream {
             src: BufReader::with_capacity(64 * 1024, src),
             line: Vec::new(),
-            lineno: 0,
+            lineno: pos.lines as usize,
+            consumed: pos.bytes,
             done: false,
+        }
+    }
+
+    /// The parser's current position: bytes and physical lines of the
+    /// (decompressed) input fully consumed so far. Sampled at batch
+    /// boundaries by the checkpoint journal.
+    pub fn position(&self) -> StreamPos {
+        StreamPos {
+            bytes: self.consumed,
+            lines: self.lineno as u64,
         }
     }
 
@@ -168,6 +282,7 @@ impl<R: Read> FastqStream<R> {
                 return Ok(false);
             }
             self.lineno += 1;
+            self.consumed += n as u64;
             if self.line.last() == Some(&b'\n') {
                 self.line.pop();
             }
@@ -280,8 +395,14 @@ impl<R: Read> BatchReader<R> {
     /// Batch `src` with the given base budget (0 means one read per
     /// batch).
     pub fn new(src: R, batch_bases: usize) -> Self {
+        BatchReader::with_position(src, batch_bases, StreamPos::default())
+    }
+
+    /// Resume batching from a source already fast-forwarded to `pos`
+    /// (see [`open_reads_at`]); counters continue from the checkpoint.
+    pub fn with_position(src: R, batch_bases: usize, pos: StreamPos) -> Self {
         BatchReader {
-            stream: FastqStream::new(src),
+            stream: FastqStream::with_position(src, pos),
             batch_bases,
             done: false,
         }
@@ -290,6 +411,17 @@ impl<R: Read> BatchReader<R> {
     /// The configured base budget.
     pub fn batch_bases(&self) -> usize {
         self.batch_bases
+    }
+
+    /// Position of the underlying stream after the last yielded batch.
+    pub fn position(&self) -> StreamPos {
+        self.stream.position()
+    }
+}
+
+impl<R: Read> StreamOffsets for BatchReader<R> {
+    fn offsets(&self) -> (StreamPos, Option<StreamPos>) {
+        (self.position(), None)
     }
 }
 
@@ -422,6 +554,121 @@ mod tests {
             .collect::<Result<_, _>>()
             .expect("parse");
         assert_eq!(recs, recs2);
+    }
+
+    #[test]
+    fn position_counts_bytes_and_lines() {
+        let txt = "@a\r\nAC\r\n+\r\nII\r\n\r\n@b\nGG\n+\nJJ\n";
+        let mut s = FastqStream::new(txt.as_bytes());
+        assert_eq!(s.position(), StreamPos::default());
+        s.next().expect("rec a").expect("ok");
+        // record a = "@a\r\n" + "AC\r\n" + "+\r\n" + "II\r\n" = 4+4+3+4
+        assert_eq!(
+            s.position(),
+            StreamPos {
+                bytes: 15,
+                lines: 4
+            }
+        );
+        s.next().expect("rec b").expect("ok");
+        assert_eq!(
+            s.position(),
+            StreamPos {
+                bytes: txt.len() as u64,
+                lines: 9
+            }
+        );
+        assert!(s.next().is_none());
+        assert_eq!(s.position().bytes, txt.len() as u64);
+    }
+
+    #[test]
+    fn resume_mid_stream_matches_fresh_parse() {
+        let mut txt = String::new();
+        for i in 0..8 {
+            txt.push_str(&format!("@r{i}\nACGTACGTAC\n+\nIIIIIIIIII\n"));
+        }
+        // Consume 3 records, note the position, then resume a new parser
+        // from a slice at that byte offset: the tail must match.
+        let mut s = FastqStream::new(txt.as_bytes());
+        for _ in 0..3 {
+            s.next().expect("rec").expect("ok");
+        }
+        let pos = s.position();
+        let rest: Vec<FastqRecord> = s.collect::<Result<_, _>>().expect("tail");
+        let resumed: Vec<FastqRecord> =
+            FastqStream::with_position(&txt.as_bytes()[pos.bytes as usize..], pos)
+                .collect::<Result<_, _>>()
+                .expect("resumed tail");
+        assert_eq!(rest, resumed);
+        assert_eq!(resumed[0].name, "r3");
+    }
+
+    #[test]
+    fn open_reads_at_plain_and_gzip_agree() {
+        let mut txt = String::new();
+        for i in 0..6 {
+            txt.push_str(&format!("@r{i}\nACGTACGT\n+\nIIIIIIII\n"));
+        }
+        let dir = std::env::temp_dir().join(format!("mem2_seek_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let plain = dir.join("reads.fq");
+        let gz = dir.join("reads.fq.gz");
+        std::fs::write(&plain, txt.as_bytes()).expect("write plain");
+        std::fs::write(&gz, crate::gzip::gzip_compress_stored(txt.as_bytes())).expect("write gz");
+
+        // Position after two records (each record = 4 lines, 24 bytes).
+        let mut s = FastqStream::new(txt.as_bytes());
+        s.next().unwrap().unwrap();
+        s.next().unwrap().unwrap();
+        let pos = s.position();
+        let want: Vec<FastqRecord> = s.collect::<Result<_, _>>().expect("tail");
+
+        for path in [&plain, &gz] {
+            let src = open_reads_at(path, pos.bytes).expect("fast-forward");
+            let got: Vec<FastqRecord> = FastqStream::with_position(src, pos)
+                .collect::<Result<_, _>>()
+                .expect("resumed");
+            assert_eq!(got, want, "mismatch for {}", path.display());
+        }
+
+        // Offset 0 behaves like a fresh open (exercises the sniffed-
+        // prefix replay path), and an over-long offset is a clean error.
+        let src = open_reads_at(&plain, 0).expect("open at 0");
+        assert_eq!(FastqStream::new(src).count(), 6);
+        let src = open_reads_at(&gz, 0).expect("open gz at 0");
+        assert_eq!(FastqStream::new(src).count(), 6);
+        // Plain seek path also works for offsets inside the 2-byte sniff
+        // prefix.
+        let src = open_reads_at(&plain, 1).expect("open at 1");
+        let mut one = [0u8; 1];
+        let mut src = src;
+        src.read_exact(&mut one).expect("read");
+        assert_eq!(one[0], b'r');
+        assert!(open_reads_at(&plain, txt.len() as u64 + 5).is_err());
+        assert!(open_reads_at(&gz, txt.len() as u64 + 5).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_reader_resume_is_byte_identical() {
+        let mut txt = String::new();
+        for i in 0..10 {
+            txt.push_str(&format!("@r{i}\nACGTACGTAC\n+\nIIIIIIIIII\n"));
+        }
+        // Take two batches from a fresh reader, then resume a second
+        // reader at the recorded position: remaining batches must match.
+        let mut fresh = BatchReader::new(txt.as_bytes(), 25);
+        fresh.next().unwrap().unwrap();
+        fresh.next().unwrap().unwrap();
+        let pos = fresh.position();
+        let rest: Vec<Vec<FastqRecord>> = fresh.map(|b| b.expect("batch")).collect();
+        let resumed: Vec<Vec<FastqRecord>> =
+            BatchReader::with_position(&txt.as_bytes()[pos.bytes as usize..], 25, pos)
+                .map(|b| b.expect("batch"))
+                .collect();
+        assert_eq!(rest, resumed);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Never-panic fuzz pass over the read-ingestion parsers: FASTQ (string
+//! and streaming), FASTA, interleaved pairing, and the gzip-wrapped
+//! paths. Every case feeds hostile bytes — random garbage, or a valid
+//! fixture with mutations/truncations applied — and asserts the parser
+//! returns a clean `SeqIoError` (or records), never panics, and never
+//! fabricates data past a corruption point it claims to have detected.
+
+use proptest::prelude::*;
+
+use mem2_seqio::{
+    gzip_compress_stored, parse_fasta, parse_fastq, write_fastq, BatchReader, FastqRecord,
+    FastqStream, GzipDecoder, InterleavedBatchReader, SeqIoError,
+};
+
+/// Drain a fallible record iterator, counting successes until the first
+/// error. The act of draining IS the test — any panic fails the case.
+fn drain<I, T>(it: I) -> (usize, Option<SeqIoError>)
+where
+    I: Iterator<Item = Result<T, SeqIoError>>,
+{
+    let mut n = 0;
+    for item in it {
+        match item {
+            Ok(_) => n += 1,
+            Err(e) => return (n, Some(e)),
+        }
+    }
+    (n, None)
+}
+
+/// A valid FASTQ fixture: `n` records with varied name/sequence/quality
+/// shapes (non-ACGT letters included — the dialect accepts them).
+/// Sequences are non-empty: the dialect skips empty lines, so an empty
+/// sequence line does not survive a serialize→parse round trip.
+fn arb_fastq_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        (
+            "[A-Za-z0-9_.:-]{1,12}",
+            prop::collection::vec(prop::sample::select(b"ACGTNacgtn".to_vec()), 1..80),
+        ),
+        1..12,
+    )
+    .prop_map(|recs| {
+        let records: Vec<FastqRecord> = recs
+            .into_iter()
+            .map(|(name, seq)| FastqRecord {
+                name,
+                qual: vec![b'I'; seq.len()],
+                seq,
+            })
+            .collect();
+        write_fastq(&records)
+    })
+}
+
+/// Mutation plan: byte positions to flip (xor) and a truncation point,
+/// expressed as fractions so they stay in range for any fixture. A
+/// truncation fraction above 1.0 means "don't truncate".
+fn arb_mutation() -> impl Strategy<Value = (Vec<(f64, u8)>, f64)> {
+    (
+        prop::collection::vec((0.0f64..1.0, 1u8..=255), 0..4),
+        0.0f64..1.5,
+    )
+}
+
+fn apply_mutation(mut bytes: Vec<u8>, plan: &(Vec<(f64, u8)>, f64)) -> Vec<u8> {
+    for &(frac, flip) in &plan.0 {
+        if !bytes.is_empty() {
+            let pos = (frac * (bytes.len() - 1) as f64) as usize;
+            bytes[pos] ^= flip;
+        }
+    }
+    if plan.1 <= 1.0 {
+        let cut = (plan.1 * bytes.len() as f64) as usize;
+        bytes.truncate(cut);
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fastq_parsers_never_panic_on_random_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2_000),
+    ) {
+        // string parser (lossy text view of the garbage)
+        let _ = parse_fastq(&String::from_utf8_lossy(&bytes));
+        // streaming parser over the raw bytes
+        drain(FastqStream::new(&bytes[..]));
+        // batched streaming parser with a small batch to force refills
+        drain(BatchReader::new(&bytes[..], 64));
+        // interleaved pairing over the same garbage
+        drain(InterleavedBatchReader::new(&bytes[..], "fuzz", 4));
+    }
+
+    #[test]
+    fn fasta_parser_never_panics_on_random_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2_000),
+    ) {
+        let _ = parse_fasta(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn mutated_fastq_errors_cleanly(
+        text in arb_fastq_text(),
+        plan in arb_mutation(),
+    ) {
+        let bytes = apply_mutation(text.into_bytes(), &plan);
+        // both parsers must agree that the input is records-then-maybe-
+        // one-clean-error; the streaming error must carry a message
+        let _ = parse_fastq(&String::from_utf8_lossy(&bytes));
+        let (_, err) = drain(FastqStream::new(&bytes[..]));
+        if let Some(e) = err {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn mutated_gzip_fastq_errors_cleanly(
+        text in arb_fastq_text(),
+        plan in arb_mutation(),
+    ) {
+        let gz = apply_mutation(gzip_compress_stored(text.as_bytes()), &plan);
+        let (_, err) = drain(FastqStream::new(GzipDecoder::new(&gz[..])));
+        if let Some(e) = err {
+            // corruption in the compressed layer surfaces as a clean
+            // SeqIoError (io variant), not a panic
+            prop_assert!(!e.to_string().is_empty());
+        }
+        drain(BatchReader::new(GzipDecoder::new(&gz[..]), 64));
+    }
+
+    #[test]
+    fn truncated_fastq_never_yields_partial_record(
+        text in arb_fastq_text(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // cutting a 4-line record mid-way must produce TruncatedRecord
+        // (or a clean earlier error) — never a short/garbage record
+        let bytes = text.as_bytes();
+        let cut = (cut_frac * bytes.len() as f64) as usize;
+        let (n, err) = drain(FastqStream::new(&bytes[..cut]));
+        let (total, none) = drain(FastqStream::new(bytes));
+        prop_assert!(none.is_none(), "fixture must parse clean");
+        prop_assert!(n <= total);
+        // records before the cut still parse; the tail either ends the
+        // stream cleanly at a record boundary or errors
+        if n < total && err.is_none() {
+            // a clean EOF with fewer records is only legal at a
+            // record boundary; re-parse the prefix to confirm
+            let again = parse_fastq(&String::from_utf8_lossy(&bytes[..cut]));
+            prop_assert!(again.is_ok());
+        }
+    }
+}

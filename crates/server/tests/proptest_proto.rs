@@ -1,0 +1,113 @@
+//! Never-panic fuzz pass over the serve wire surface: frame headers,
+//! frame streams, and `OPTS` overrides are parsed from untrusted socket
+//! bytes, so every code path must answer garbage with a clean error
+//! (the daemon turns it into an `ERR` frame) — never a panic, and never
+//! an allocation driven by a hostile length prefix.
+
+use proptest::prelude::*;
+
+use mem2_seqio::{decode_frame_header, FrameReader, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+use mem2_server::proto::OptsOverride;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_header_decode_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), FRAME_HEADER_LEN..=FRAME_HEADER_LEN),
+    ) {
+        let mut h = [0u8; FRAME_HEADER_LEN];
+        h.copy_from_slice(&bytes);
+        match decode_frame_header(h) {
+            // an accepted header can never drive an oversized allocation
+            Ok((_, len)) => prop_assert!(len <= MAX_FRAME_PAYLOAD),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    #[test]
+    fn frame_stream_on_random_bytes_errors_cleanly(
+        bytes in prop::collection::vec(any::<u8>(), 0..4_000),
+    ) {
+        // read frames off arbitrary bytes until clean EOF or error; the
+        // loop must terminate (every Ok frame consumes >= 5 bytes)
+        let mut r = FrameReader::new(&bytes[..]);
+        let mut frames = 0usize;
+        loop {
+            match r.read_frame() {
+                Ok(None) => break,
+                Ok(Some(f)) => {
+                    prop_assert!(f.payload.len() <= MAX_FRAME_PAYLOAD);
+                    frames += 1;
+                    prop_assert!(frames <= bytes.len() / FRAME_HEADER_LEN + 1);
+                }
+                Err(e) => {
+                    prop_assert!(!e.to_string().is_empty());
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_valid_frame_is_an_error_not_data(
+        payload in prop::collection::vec(any::<u8>(), 1..600),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        mem2_seqio::FrameWriter::new(&mut wire)
+            .write_frame(0x02, &payload)
+            .unwrap();
+        let cut = 1 + (cut_frac * (wire.len() - 2) as f64) as usize;
+        let mut r = FrameReader::new(&wire[..cut]);
+        match r.read_frame() {
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+            Ok(f) => prop_assert!(f.is_none() || cut >= wire.len()),
+        }
+    }
+
+    #[test]
+    fn opts_parse_never_panics_on_random_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        // OPTS payloads arrive as raw socket bytes; the daemon decodes
+        // them lossily before parsing — mirror that path
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(msg) = OptsOverride::parse(&text) {
+            prop_assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn opts_parse_never_panics_on_keyish_lines(
+        lines in prop::collection::vec(
+            (
+                prop::sample::select(vec![
+                    "mode", "match", "mismatch", "min_score", "min_seed_len",
+                    "output_all", "batch_pairs", "max_ins", "zdrop", "bogus",
+                ]),
+                prop::collection::vec(any::<u8>(), 0..8),
+            ),
+            0..6,
+        ),
+    ) {
+        // adversarial near-miss inputs: real keys with garbage values
+        let text = lines
+            .iter()
+            .map(|(k, v)| format!("{k}={}", String::from_utf8_lossy(v)))
+            .collect::<Vec<_>>()
+            .join("\n");
+        match OptsOverride::parse(&text) {
+            Err(msg) => prop_assert!(!msg.is_empty()),
+            Ok(o) => {
+                // a parse that succeeds must canonicalize stably:
+                // fingerprint -> parse -> fingerprint is a fixed point,
+                // and apply() on the defaults must not panic
+                let fp = o.fingerprint();
+                let o2 = OptsOverride::parse(&fp).expect("canonical form reparses");
+                prop_assert_eq!(fp, o2.fingerprint());
+                let _ = o.apply(&mem2_core::MemOpts::default());
+            }
+        }
+    }
+}

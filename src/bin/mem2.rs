@@ -18,6 +18,14 @@
 //!     -t N              threads (default: all)
 //!     -p                first reads file is interleaved paired-end
 //!     -I MEAN[,STD]     fixed insert-size distribution (skip estimation)
+//!     -o FILE           write SAM to FILE instead of stdout
+//!     --checkpoint P    with -o: maintain a crash-safe journal at P,
+//!                       fsynced after every in-order batch flush
+//!     --resume          with --checkpoint: continue an interrupted run
+//!                       (validates the journal fingerprint, truncates
+//!                       the output's torn tail, fast-forwards the
+//!                       inputs); output bytes are identical to an
+//!                       uninterrupted run
 //!     --classic         use the original per-read workflow
 //!     --simd MODE       SIMD backend: auto|scalar|portable|native
 //!                       (default auto; SAM bytes are identical across
@@ -76,15 +84,19 @@
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mem2::bsw::SimdChoice;
 use mem2::core::bundle::{self, LoadMode, VerifyMode};
+use mem2::core::checkpoint::{self, Fingerprint, Journal, MarkLog, MarkedBatches};
+use mem2::core::robust::{is_broken_pipe, is_no_space, RobustWriter};
+use mem2::core::threads::{align_stream_parallel_flush, FlushHook, StreamError, StreamSummary};
 use mem2::obs::log as olog;
-use mem2::pairing::{align_pairs_stream, orient_name, PeStats};
+use mem2::pairing::{align_pairs_stream_flush, orient_name, PeStats};
 use mem2::prelude::*;
 use mem2::seqio::{
-    gzip_compress_stored, write_fasta, write_fastq, BatchReader, InterleavedBatchReader,
-    PairedBatchReader, SeqIoError,
+    gzip_compress_stored, open_reads_at, write_fasta, write_fastq, BatchReader,
+    InterleavedBatchReader, PairedBatchReader, SeqIoError, StreamPos,
 };
 use mem2::server::Endpoint;
 use mem2::simd::{dispatch, Backend};
@@ -109,7 +121,8 @@ fn main() -> ExitCode {
                 "  mem2 index [--index-width auto|32|64] [--width-limit N] <ref.fasta> <out.idx>"
             );
             eprintln!(
-                "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] [--seed-batch N] \
+                "  mem2 mem [-t N] [-p] [-I MEAN[,STD]] [-o FILE] [--checkpoint P [--resume]] \
+                 [--classic] [--simd MODE] [--seed-batch N] \
                  [--batch-bases N] [--batch-pairs N] [--load MODE] [--profile[=json]] \
                  <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]"
             );
@@ -282,6 +295,9 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     let mut load_mode = LoadMode::Auto;
     let mut verify = VerifyMode::Eager;
     let mut profile: Option<ProfileFormat> = None;
+    let mut out_path: Option<String> = None;
+    let mut ckpt_path: Option<String> = None;
+    let mut resume = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -296,6 +312,11 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
             "--verify" => verify = parse_verify_mode(it.next().ok_or("--verify needs a value")?)?,
             "--profile" => profile = Some(ProfileFormat::Text),
             "--profile=json" => profile = Some(ProfileFormat::Json),
+            "-o" => out_path = Some(it.next().ok_or("-o needs a file path")?.clone()),
+            "--checkpoint" => {
+                ckpt_path = Some(it.next().ok_or("--checkpoint needs a file path")?.clone());
+            }
+            "--resume" => resume = true,
             "-p" => interleaved = true,
             "-I" => {
                 pes_override = Some(parse_insert_override(it.next().ok_or("-I needs a value")?)?);
@@ -353,14 +374,13 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     let (ref_path, reads1, reads2) = match positional[..] {
         [r, q1] => (r, q1, None),
         [r, q1, q2] => (r, q1, Some(q2)),
-        _ => {
-            return Err(
-                "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [--classic] [--simd MODE] [--seed-batch N] \
+        _ => return Err(
+            "usage: mem2 mem [-t N] [-p] [-I MEAN[,STD]] [-o FILE] [--checkpoint P [--resume]] \
+                 [--classic] [--simd MODE] [--seed-batch N] \
                  [--batch-bases N] [--batch-pairs N] [--load MODE] [--profile[=json]] \
                  <ref.idx|ref.fasta> <R1.fastq[.gz]> [R2.fastq[.gz]]"
-                    .into(),
-            )
-        }
+                .into(),
+        ),
     };
     if interleaved && reads2.is_some() {
         return Err("-p (interleaved) takes a single reads file".into());
@@ -381,6 +401,15 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
                 .into(),
         );
     }
+    if ckpt_path.is_some() && out_path.is_none() {
+        return Err(
+            "--checkpoint needs -o FILE: durable offsets require a real output file, not a pipe"
+                .into(),
+        );
+    }
+    if resume && ckpt_path.is_none() {
+        return Err("--resume needs --checkpoint PATH".into());
+    }
 
     // resolve the SIMD backend once per process: scalar/portable force
     // the dispatched kernels (occ counts included) onto the emulated
@@ -398,85 +427,267 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
     let (reference, index) = load_ref_index(ref_path, workflow, load_mode, verify, "mem")?;
     let aligner = Aligner::with_index(index, reference, opts, workflow);
 
-    let stdout = std::io::stdout();
-    let mut out = std::io::BufWriter::new(stdout.lock());
-    out.write_all(aligner.sam_header().as_bytes())?;
+    // -- checkpoint state: fingerprint, and (on resume) the journal --
+    let mut base_batch = 0u64;
+    let mut base_reads = 0u64;
+    let mut base_out = 0u64;
+    let mut pos1 = StreamPos::default();
+    let mut pos2 = StreamPos::default();
+    let mut resumed = false;
+    let fingerprint = match &ckpt_path {
+        Some(_) => Some(mem_fingerprint(
+            &opts,
+            ref_path,
+            reads1,
+            reads2.map(|s| s.as_str()),
+            interleaved,
+            &pes_override,
+        )?),
+        None => None,
+    };
+    if let (Some(cp), Some(fp)) = (&ckpt_path, &fingerprint) {
+        let cp = std::path::Path::new(cp);
+        if resume {
+            match Journal::load(cp)? {
+                Some(j) => {
+                    j.validate(fp)?;
+                    let op = out_path.as_deref().expect("--checkpoint implies -o");
+                    checkpoint::truncate_output(std::path::Path::new(op), j.out_bytes)?;
+                    base_batch = j.batch;
+                    base_reads = j.reads;
+                    base_out = j.out_bytes;
+                    pos1 = j.in1;
+                    pos2 = j.in2.unwrap_or_default();
+                    resumed = true;
+                    olog::info(
+                        "mem",
+                        "resuming from checkpoint",
+                        &[
+                            ("batch", &j.batch),
+                            ("reads", &j.reads),
+                            ("durable_bytes", &j.out_bytes),
+                        ],
+                    );
+                }
+                None => olog::warn(
+                    "mem",
+                    "--resume: no checkpoint journal found; starting fresh",
+                    &[("path", &cp.display())],
+                ),
+            }
+        } else {
+            // a stale journal from an earlier run must not survive next
+            // to a fresh output it no longer describes
+            let _ = std::fs::remove_file(cp);
+        }
+        // graceful SIGINT/SIGTERM: finish the in-flight flush, persist
+        // the journal, then exit with a resume hint
+        mem2::server::signal::install_termination_handler();
+    }
+
+    // -- output sink: stdout, or -o FILE with durable byte accounting --
+    let mut out = match &out_path {
+        None => SamSink::Stdout(std::io::BufWriter::new(std::io::stdout().lock())),
+        Some(p) => {
+            let file = if resumed {
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(p)
+                    .map_err(|e| format!("{p}: {e}"))?
+            } else {
+                std::fs::File::create(p).map_err(|e| format!("{p}: {e}"))?
+            };
+            SamSink::File(std::io::BufWriter::new(RobustWriter::with_base(
+                file, base_out,
+            )))
+        }
+    };
+    if !resumed {
+        // a resumed output already holds the header in its durable prefix
+        if let Err(e) = out.write_all(aligner.sam_header().as_bytes()) {
+            return mem_failure(e.into(), out_path.as_deref(), ckpt_path.as_deref());
+        }
+    }
+
+    // -- flush hook: fsync output, persist journal, honor signals --
+    let mark_log = Arc::new(MarkLog::new());
+    let mut hook_fn = {
+        let mark_log = Arc::clone(&mark_log);
+        let ck = ckpt_path.as_ref().map(|p| {
+            (
+                std::path::PathBuf::from(p),
+                fingerprint.clone().unwrap_or_default(),
+            )
+        });
+        move |w: &mut SamSink, s: &StreamSummary| -> std::io::Result<()> {
+            let Some((cpath, fp)) = ck.as_ref() else {
+                return Ok(());
+            };
+            checkpoint::kill_point(checkpoint::KP_OUT_FLUSH);
+            w.flush()?;
+            let SamSink::File(buf) = w else { return Ok(()) };
+            let rw = buf.get_ref();
+            rw.get_ref().sync_data()?;
+            checkpoint::kill_point(checkpoint::KP_OUT_SYNCED);
+            let mark = mark_log
+                .get(s.batches - 1)
+                .ok_or_else(|| std::io::Error::other("checkpoint mark missing"))?;
+            Journal {
+                batch: base_batch + s.batches as u64,
+                reads: mark.reads,
+                out_bytes: rw.written(),
+                in1: mark.in1,
+                in2: mark.in2,
+                fingerprint: fp.clone(),
+            }
+            .save(cpath)?;
+            if mem2::server::signal::termination_requested() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "termination signal",
+                ));
+            }
+            Ok(())
+        }
+    };
+    let hook_opt: Option<FlushHook<'_, SamSink>> = if ckpt_path.is_some() {
+        Some(&mut hook_fn)
+    } else {
+        None
+    };
+
     let t = std::time::Instant::now();
-    let (summary, times) = if paired {
-        match &pes_override {
-            Some(pes) => {
-                let fr = &pes.dirs[1];
+    let run = |out: &mut SamSink,
+               hook: Option<FlushHook<'_, SamSink>>|
+     -> Result<(StreamSummary, mem2::core::StageTimes), AnyError> {
+        if paired {
+            match &pes_override {
+                Some(pes) => {
+                    let fr = &pes.dirs[1];
+                    olog::info(
+                        "mem",
+                        &format!(
+                            "paired-end, fixed {} insert distribution: mean {:.1}, std {:.1}, bounds [{}, {}]",
+                            orient_name(1),
+                            fr.avg,
+                            fr.std,
+                            fr.low,
+                            fr.high
+                        ),
+                        &[],
+                    );
+                }
+                None => olog::info(
+                    "mem",
+                    "paired-end, per-batch insert estimation",
+                    &[("pairs_per_batch", &aligner.opts.batch_pairs)],
+                ),
+            }
+            if let Some(reads2) = reads2 {
+                let in1 = open_reads_at(reads1, pos1.bytes)?;
+                let in2 = open_reads_at(reads2, pos2.bytes)?;
                 olog::info(
                     "mem",
                     &format!(
-                        "paired-end, fixed {} insert distribution: mean {:.1}, std {:.1}, bounds [{}, {}]",
-                        orient_name(1),
-                        fr.avg,
-                        fr.std,
-                        fr.low,
-                        fr.high
+                        "streaming {:?}+{:?} two-file input",
+                        in1.format(),
+                        in2.format()
                     ),
-                    &[],
+                    &[
+                        ("ref_bp", &aligner.reference.len()),
+                        ("threads", &threads),
+                        ("workflow", &format_args!("{workflow:?}")),
+                    ],
                 );
+                let raw = PairedBatchReader::with_positions(
+                    in1,
+                    in2,
+                    reads1,
+                    reads2,
+                    aligner.opts.batch_pairs,
+                    pos1,
+                    pos2,
+                );
+                let batches = MarkedBatches::new(
+                    raw,
+                    |b: &Vec<ReadPair>| 2 * b.len(),
+                    Arc::clone(&mark_log),
+                    base_reads,
+                );
+                Ok(align_pairs_stream_flush(
+                    &aligner,
+                    pes_override,
+                    batches,
+                    threads,
+                    out,
+                    hook,
+                )?)
+            } else {
+                let input = open_reads_at(reads1, pos1.bytes)?;
+                olog::info(
+                    "mem",
+                    &format!("streaming {:?} interleaved input", input.format()),
+                    &[
+                        ("ref_bp", &aligner.reference.len()),
+                        ("threads", &threads),
+                        ("workflow", &format_args!("{workflow:?}")),
+                    ],
+                );
+                let raw = InterleavedBatchReader::with_position(
+                    input,
+                    reads1,
+                    aligner.opts.batch_pairs,
+                    pos1,
+                );
+                let batches = MarkedBatches::new(
+                    raw,
+                    |b: &Vec<ReadPair>| 2 * b.len(),
+                    Arc::clone(&mark_log),
+                    base_reads,
+                );
+                Ok(align_pairs_stream_flush(
+                    &aligner,
+                    pes_override,
+                    batches,
+                    threads,
+                    out,
+                    hook,
+                )?)
             }
-            None => olog::info(
-                "mem",
-                "paired-end, per-batch insert estimation",
-                &[("pairs_per_batch", &aligner.opts.batch_pairs)],
-            ),
-        }
-        if let Some(reads2) = reads2 {
-            let in1 = mem2::seqio::open_reads(reads1)?;
-            let in2 = mem2::seqio::open_reads(reads2)?;
-            olog::info(
-                "mem",
-                &format!(
-                    "streaming {:?}+{:?} two-file input",
-                    in1.format(),
-                    in2.format()
-                ),
-                &[
-                    ("ref_bp", &aligner.reference.len()),
-                    ("threads", &threads),
-                    ("workflow", &format_args!("{workflow:?}")),
-                ],
-            );
-            let batches =
-                PairedBatchReader::new(in1, in2, reads1, reads2, aligner.opts.batch_pairs);
-            align_pairs_stream(&aligner, pes_override, batches, threads, &mut out)?
         } else {
-            let input = mem2::seqio::open_reads(reads1)?;
+            // stream the reads: gzip by magic bytes, batches bounded in bases
+            let input = open_reads_at(reads1, pos1.bytes)?;
+            let format = input.format();
+            let raw = BatchReader::with_position(input, aligner.opts.batch_bases, pos1);
+            let marked = MarkedBatches::new(
+                raw,
+                |b: &Vec<FastqRecord>| b.len(),
+                Arc::clone(&mark_log),
+                base_reads,
+            );
+            let batches = marked.map(|b| b.map_err(|e| e.in_file(reads1)));
             olog::info(
                 "mem",
-                &format!("streaming {:?} interleaved input", input.format()),
+                &format!("streaming {format:?} input"),
                 &[
                     ("ref_bp", &aligner.reference.len()),
                     ("threads", &threads),
                     ("workflow", &format_args!("{workflow:?}")),
+                    ("bases_per_batch", &aligner.opts.batch_bases),
                 ],
             );
-            let batches = InterleavedBatchReader::new(input, reads1, aligner.opts.batch_pairs);
-            align_pairs_stream(&aligner, pes_override, batches, threads, &mut out)?
+            Ok(align_stream_parallel_flush(
+                &aligner, batches, threads, out, hook,
+            )?)
         }
-    } else {
-        // stream the reads: gzip by magic bytes, batches bounded in bases
-        let input = mem2::seqio::open_reads(reads1)?;
-        let format = input.format();
-        let batches = BatchReader::new(input, aligner.opts.batch_bases)
-            .map(|b| b.map_err(|e| e.in_file(reads1)));
-        olog::info(
-            "mem",
-            &format!("streaming {format:?} input"),
-            &[
-                ("ref_bp", &aligner.reference.len()),
-                ("threads", &threads),
-                ("workflow", &format_args!("{workflow:?}")),
-                ("bases_per_batch", &aligner.opts.batch_bases),
-            ],
-        );
-        aligner.align_fastq_stream(batches, threads, &mut out)?
     };
-    out.flush()?;
+    let (summary, times) = match run(&mut out, hook_opt) {
+        Ok(v) => v,
+        Err(e) => return mem_failure(e, out_path.as_deref(), ckpt_path.as_deref()),
+    };
+    if let Err(e) = out.flush() {
+        return mem_failure(e.into(), out_path.as_deref(), ckpt_path.as_deref());
+    }
     let wall = t.elapsed();
     olog::info(
         "mem",
@@ -509,6 +720,117 @@ fn cmd_mem(args: &[String]) -> Result<(), AnyError> {
 enum ProfileFormat {
     Text,
     Json,
+}
+
+/// Where `mem2 mem` writes SAM: stdout (default) or `-o FILE`. The file
+/// variant counts durable bytes through [`RobustWriter`] so the
+/// checkpoint journal can record exact resumable offsets.
+enum SamSink {
+    /// Buffered stdout (pipe-friendly; EPIPE means the reader left).
+    Stdout(std::io::BufWriter<std::io::StdoutLock<'static>>),
+    /// Buffered `-o` file with byte accounting for checkpoints.
+    File(std::io::BufWriter<RobustWriter<std::fs::File>>),
+}
+
+impl Write for SamSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            SamSink::Stdout(w) => w.write(buf),
+            SamSink::File(w) => w.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            SamSink::Stdout(w) => w.flush(),
+            SamSink::File(w) => w.flush(),
+        }
+    }
+}
+
+/// Build the run fingerprint for the checkpoint journal: input/index
+/// content identities plus every output-affecting option. Resume refuses
+/// to continue when any entry drifted.
+fn mem_fingerprint(
+    opts: &MemOpts,
+    ref_path: &str,
+    reads1: &str,
+    reads2: Option<&str>,
+    interleaved: bool,
+    pes_override: &Option<PeStats>,
+) -> Result<Fingerprint, AnyError> {
+    let ident = |p: &str| {
+        checkpoint::file_identity(p).map_err(|e| -> AnyError { format!("{p}: {e}").into() })
+    };
+    let mut fp = Fingerprint::new();
+    fp.push(
+        "mode",
+        if interleaved {
+            "pe-interleaved"
+        } else if reads2.is_some() {
+            "pe"
+        } else {
+            "se"
+        },
+    );
+    fp.push("ref", ident(ref_path)?);
+    fp.push("in1", ident(reads1)?);
+    if let Some(r2) = reads2 {
+        fp.push("in2", ident(r2)?);
+    }
+    fp.push(
+        "insert",
+        match pes_override {
+            Some(pes) => {
+                let fr = &pes.dirs[1];
+                format!("fixed:{},{}", fr.avg, fr.std)
+            }
+            None => "estimated".to_string(),
+        },
+    );
+    for (k, v) in opts.fingerprint_fields() {
+        fp.push(k, v);
+    }
+    Ok(fp)
+}
+
+/// Map a failed `mem2 mem` run to its exit behavior. A broken pipe
+/// (`mem2 mem | head`) is a quiet success; ENOSPC and SIGINT/SIGTERM
+/// become diagnostics naming the output path, the durable offset from
+/// the journal, and the `--resume` hint. Everything else propagates.
+fn mem_failure(e: AnyError, out_path: Option<&str>, ckpt: Option<&str>) -> Result<(), AnyError> {
+    let io_err: Option<&std::io::Error> = match e.downcast_ref::<StreamError>() {
+        Some(StreamError::Output(io)) => Some(io),
+        Some(StreamError::Input(_)) => None,
+        None => e.downcast_ref::<std::io::Error>(),
+    };
+    let Some(io) = io_err else { return Err(e) };
+    if is_broken_pipe(io) {
+        // the reader went away; nothing is wrong with the run
+        olog::debug("mem", "output pipe closed by reader; exiting", &[]);
+        return Ok(());
+    }
+    // the durable state, if a checkpoint journal exists
+    let journal = ckpt
+        .and_then(|p| Journal::load(std::path::Path::new(p)).ok())
+        .flatten();
+    let durable = journal
+        .as_ref()
+        .map(|j| {
+            format!(
+                "; {} bytes ({} reads, {} batches) are durable — rerun with --resume to continue",
+                j.out_bytes, j.reads, j.batch
+            )
+        })
+        .unwrap_or_default();
+    if io.kind() == std::io::ErrorKind::Interrupted {
+        return Err(format!("interrupted by signal{durable}").into());
+    }
+    if is_no_space(io) {
+        let path = out_path.unwrap_or("<stdout>");
+        return Err(format!("no space left writing {path}{durable}").into());
+    }
+    Err(e)
 }
 
 /// Load (or build) the reference + FM-index behind `<ref.idx|ref.fasta>`
@@ -893,7 +1215,15 @@ fn cmd_client(args: &[String]) -> Result<(), AnyError> {
         );
     }
     if want_stats {
-        println!("{}", client.stats()?);
+        // write, don't println!: a closed pipe (`mem2 client --stats |
+        // head -c 10`) must not panic
+        let stats = client.stats()?;
+        let mut so = std::io::stdout().lock();
+        if let Err(e) = writeln!(so, "{stats}") {
+            if !is_broken_pipe(&e) {
+                return Err(e.into());
+            }
+        }
     }
     if want_shutdown {
         client.shutdown()?;

@@ -750,3 +750,58 @@ fn index_killed_midway_leaves_old_or_no_bundle() {
         assert_eq!(out.stdout, baseline.stdout, "fresh bundle must be whole");
     }
 }
+
+#[test]
+fn broken_pipe_exits_zero_and_quiet() {
+    use std::io::Read;
+    use std::process::Stdio;
+
+    // `mem2 mem ... | head -1`: the reader hangs up after one line; the
+    // aligner must treat EPIPE as a clean early exit — status 0, no
+    // error spew — instead of a panic or a scary diagnostic
+    let dir = TempDir::new("epipe");
+    let prefix = dir.path("p");
+    mem2_ok(&["simulate", "0.06", "200", "101", &prefix]);
+    let idx = dir.path("p.idx");
+    mem2_ok(&["index", &format!("{prefix}.fasta"), &idx]);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mem2"))
+        .args([
+            "mem",
+            "--log-level",
+            "error",
+            "--batch-bases",
+            "4000",
+            &idx,
+            &format!("{prefix}.fastq"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mem2");
+
+    // read a little, then hang up like `head` does
+    let mut stdout = child.stdout.take().expect("stdout");
+    let mut first = [0u8; 64];
+    let mut got = 0;
+    while got < first.len() {
+        match stdout.read(&mut first[got..]).expect("read head") {
+            0 => break,
+            n => got += n,
+        }
+    }
+    assert!(got > 0, "no output before hangup");
+    drop(stdout); // close our end -> EPIPE in the child
+
+    let out = child.wait_with_output().expect("reap mem2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "broken pipe must exit 0, got {:?}:\n{stderr}",
+        out.status
+    );
+    assert!(
+        !stderr.to_lowercase().contains("panic") && !stderr.to_lowercase().contains("error"),
+        "broken pipe must be quiet, got:\n{stderr}"
+    );
+}

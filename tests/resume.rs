@@ -1,0 +1,436 @@
+//! Crash/resume integration matrix for `mem2 mem --checkpoint`.
+//!
+//! Every case runs the real binary, kills it with SIGKILL at an
+//! instrumented point (`MEM2_KILL=<point>:<hit>`), resumes with
+//! `--resume`, and requires the final SAM file to be **byte-identical**
+//! to an uninterrupted run — across single-end and paired-end inputs,
+//! plain and gzip compression, and 1 vs 4 threads. Also pins the
+//! stale-checkpoint refusal (mutated input, drifted options) and the
+//! resume-after-completion no-op.
+
+#![cfg(unix)]
+
+use std::os::unix::process::ExitStatusExt;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// The instrumented kill points, mirrored from
+/// `mem2_core::checkpoint::KILL_POINTS` (spelled out here so the test
+/// fails loudly if a point is renamed without updating the matrix).
+const KILL_POINTS: [&str; 4] = ["out_flush", "out_synced", "atomic_rename", "journal_done"];
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("mem2-resume-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().expect("utf-8 path").to_string()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn mem2(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mem2"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn mem2")
+}
+
+fn mem2_ok(args: &[&str]) -> Output {
+    let out = mem2(args, &[]);
+    assert!(
+        out.status.success(),
+        "mem2 {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// One input configuration of the matrix: how to invoke `mem` (minus
+/// the -o/--checkpoint plumbing, which the harness adds).
+struct Config {
+    name: &'static str,
+    threads: &'static str,
+    /// Arguments after the index path: batching knobs + read files.
+    tail: Vec<String>,
+}
+
+/// Build the shared fixture set once: one small genome, SE + PE reads,
+/// plain + gzip, and a prebuilt index. Returns the matrix configs.
+fn build_fixtures(dir: &TempDir) -> (String, Vec<Config>) {
+    let se = dir.path("se");
+    let pe = dir.path("pe");
+    // SE: ~300 reads over 0.06 Mbp; PE: 240 pairs (insert 400±50)
+    mem2_ok(&["simulate", "0.06", "300", "101", &se, "--gz"]);
+    mem2_ok(&["simulate", "0.06", "240", "101", &pe, "--pairs", "--gz"]);
+    let idx = dir.path("se.idx");
+    mem2_ok(&["index", &format!("{se}.fasta"), &idx]);
+
+    // small batches so every run spans many reorder-window flushes
+    let configs = vec![
+        Config {
+            name: "se-plain-t1",
+            threads: "1",
+            tail: vec!["--batch-bases".into(), "4000".into(), format!("{se}.fastq")],
+        },
+        Config {
+            name: "se-gz-t4",
+            threads: "4",
+            tail: vec![
+                "--batch-bases".into(),
+                "4000".into(),
+                format!("{se}.fastq.gz"),
+            ],
+        },
+        Config {
+            name: "pe-plain-t4",
+            threads: "4",
+            tail: vec![
+                "--batch-pairs".into(),
+                "48".into(),
+                format!("{pe}_R1.fastq"),
+                format!("{pe}_R2.fastq"),
+            ],
+        },
+        Config {
+            name: "pe-il-gz-t1",
+            threads: "1",
+            tail: vec![
+                "--batch-pairs".into(),
+                "48".into(),
+                "-p".into(),
+                format!("{pe}_il.fastq.gz"),
+            ],
+        },
+    ];
+    (idx, configs)
+}
+
+/// Run a config to completion with no checkpoint: the byte reference.
+fn baseline(dir: &TempDir, idx: &str, cfg: &Config) -> Vec<u8> {
+    let out_path = dir.path(&format!("{}.base.sam", cfg.name));
+    let mut args: Vec<&str> = vec![
+        "mem",
+        "--log-level",
+        "error",
+        "-t",
+        cfg.threads,
+        "-o",
+        &out_path,
+        idx,
+    ];
+    args.extend(cfg.tail.iter().map(|s| s.as_str()));
+    let out = mem2(&args, &[]);
+    assert!(
+        out.status.success(),
+        "baseline {} failed:\n{}",
+        cfg.name,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read(&out_path).expect("baseline SAM")
+}
+
+/// Kill a checkpointed run at `kill` (a `MEM2_KILL` spec, or None for a
+/// clean run), then resume (repeatedly if asked) and compare bytes.
+fn kill_and_resume(dir: &TempDir, idx: &str, cfg: &Config, tag: &str, kills: &[&str]) -> Vec<u8> {
+    let out_path = dir.path(&format!("{}.{tag}.sam", cfg.name));
+    let ckpt = dir.path(&format!("{}.{tag}.ckpt", cfg.name));
+    let mut base_args: Vec<String> = vec![
+        "mem".into(),
+        "--log-level".into(),
+        "error".into(),
+        "-t".into(),
+        cfg.threads.into(),
+        "-o".into(),
+        out_path.clone(),
+        "--checkpoint".into(),
+        ckpt.clone(),
+        idx.into(),
+    ];
+    base_args.extend(cfg.tail.iter().cloned());
+
+    let mut first = true;
+    for spec in kills {
+        let mut args: Vec<String> = base_args.clone();
+        if !first {
+            args.push("--resume".into());
+        }
+        let argv: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        let out = mem2(&argv, &[("MEM2_KILL", spec)]);
+        // hit 1 of any point always fires; later hits may land past the
+        // end of a short run, in which case the run simply completes
+        let killed = out.status.signal() == Some(9);
+        let done = out.status.success();
+        assert!(
+            killed || done,
+            "{}/{tag} kill={spec} neither killed nor clean (status {:?}):\n{}",
+            cfg.name,
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        if spec.ends_with(":1") {
+            assert!(killed, "{}/{tag} kill={spec} should have fired", cfg.name);
+        }
+        first = false;
+    }
+    // final resume with the kill switch off must complete
+    let mut args = base_args;
+    if !first {
+        args.push("--resume".into());
+    }
+    let argv: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let out = mem2(&argv, &[]);
+    assert!(
+        out.status.success(),
+        "{}/{tag} final resume failed:\n{}",
+        cfg.name,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read(&out_path).expect("resumed SAM")
+}
+
+#[test]
+fn kill_at_every_instrumented_point_then_resume_is_byte_identical() {
+    let dir = TempDir::new("matrix");
+    let (idx, configs) = build_fixtures(&dir);
+    for cfg in &configs {
+        let expect = baseline(&dir, &idx, cfg);
+        assert!(!expect.is_empty(), "{} baseline is empty", cfg.name);
+        for point in KILL_POINTS {
+            let spec = format!("{point}:1");
+            let got = kill_and_resume(&dir, &idx, cfg, &format!("kp-{point}"), &[&spec]);
+            assert!(
+                got == expect,
+                "{} resume after {spec} diverged ({} vs {} bytes)",
+                cfg.name,
+                got.len(),
+                expect.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_at_random_points_then_resume_is_byte_identical() {
+    let dir = TempDir::new("random");
+    let (idx, configs) = build_fixtures(&dir);
+    // fixed-seed LCG: reproducible "random" (point, hit) picks
+    let mut state: u64 = 0x5DEECE66D;
+    let mut next = |bound: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    for round in 0..6u32 {
+        let cfg = &configs[next(configs.len() as u64) as usize];
+        let point = KILL_POINTS[next(KILL_POINTS.len() as u64) as usize];
+        let hit = 1 + next(5);
+        let spec = format!("{point}:{hit}");
+        let expect = baseline(&dir, &idx, cfg);
+        let got = kill_and_resume(&dir, &idx, cfg, &format!("rnd{round}"), &[&spec]);
+        assert!(
+            got == expect,
+            "{} resume after random {spec} diverged",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn repeated_crashes_across_one_run_still_converge() {
+    let dir = TempDir::new("repeat");
+    let (idx, configs) = build_fixtures(&dir);
+    let cfg = &configs[0]; // se-plain-t1: deterministic flush-per-batch
+    let expect = baseline(&dir, &idx, cfg);
+    // crash the fresh run, crash the first resume, crash the second
+    // resume at a different point, then finish: one logical run that
+    // dies three times must still produce the exact bytes
+    let got = kill_and_resume(
+        &dir,
+        &idx,
+        cfg,
+        "chain",
+        &["out_flush:2", "atomic_rename:1", "journal_done:2"],
+    );
+    assert!(got == expect, "chained-crash resume diverged");
+}
+
+#[test]
+fn stale_checkpoint_is_refused_and_names_the_field() {
+    let dir = TempDir::new("stale");
+    let pe = dir.path("pe");
+    mem2_ok(&["simulate", "0.06", "120", "101", &pe, "--pairs"]);
+    let idx = dir.path("pe.idx");
+    mem2_ok(&["index", &format!("{pe}.fasta"), &idx]);
+    let r1 = format!("{pe}_R1.fastq");
+    let r2 = format!("{pe}_R2.fastq");
+    let out_path = dir.path("out.sam");
+    let ckpt = dir.path("out.ckpt");
+
+    let base = [
+        "mem",
+        "--log-level",
+        "error",
+        "--batch-pairs",
+        "24",
+        "-o",
+        &out_path,
+        "--checkpoint",
+        &ckpt,
+        &idx,
+        &r1,
+        &r2,
+    ];
+    // run to completion so a journal exists, then tamper
+    let out = mem2(&base, &[("MEM2_KILL", "journal_done:2")]);
+    assert_eq!(out.status.signal(), Some(9));
+    let done_bytes = std::fs::read(&out_path).expect("partial SAM");
+    assert!(!done_bytes.is_empty());
+
+    // 1) mutated input → refusal naming `in1`, output untouched
+    let orig = std::fs::read(&r1).unwrap();
+    let mut tampered = orig.clone();
+    tampered[1] ^= 0x20; // flip case of the first read-name byte
+    std::fs::write(&r1, &tampered).unwrap();
+    let mut args: Vec<&str> = base.to_vec();
+    args.push("--resume");
+    let out = mem2(&args, &[]);
+    assert!(!out.status.success(), "stale resume must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("refusing to resume") && err.contains("`in1`"),
+        "refusal must name the mismatched field, got:\n{err}"
+    );
+    std::fs::write(&r1, &orig).unwrap();
+
+    // 2) drifted output-affecting option → refusal naming it
+    // (batch_pairs defines the PE pestat window, so it is part of the
+    // fingerprint even though execution-shape knobs are not)
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--batch-pairs", "100", "--resume"]);
+    let out = mem2(&args, &[]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success() && err.contains("refusing to resume") && err.contains("batch_pairs"),
+        "option drift must be refused by name, got:\n{err}"
+    );
+
+    // 3) untampered resume completes; bytes match an uninterrupted run
+    let mut args: Vec<&str> = base.to_vec();
+    args.push("--resume");
+    let out = mem2(&args, &[]);
+    assert!(
+        out.status.success(),
+        "clean resume failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let resumed = std::fs::read(&out_path).unwrap();
+    let fresh_path = dir.path("fresh.sam");
+    mem2_ok(&[
+        "mem",
+        "--log-level",
+        "error",
+        "--batch-pairs",
+        "24",
+        "-o",
+        &fresh_path,
+        &idx,
+        &r1,
+        &r2,
+    ]);
+    assert_eq!(resumed, std::fs::read(&fresh_path).unwrap());
+
+    // 4) resume after completion is a clean no-op, bytes unchanged
+    let mut args: Vec<&str> = base.to_vec();
+    args.push("--resume");
+    let out = mem2(&args, &[]);
+    assert!(out.status.success(), "post-completion resume failed");
+    assert_eq!(resumed, std::fs::read(&out_path).unwrap());
+}
+
+#[test]
+fn resume_is_invariant_to_execution_shape() {
+    // a run killed under t4/large batches and resumed under t1/small
+    // batches must still match: the journal pins only output-affecting
+    // state, and the byte stream is invariant to execution shape
+    let dir = TempDir::new("shape");
+    let se = dir.path("se");
+    mem2_ok(&["simulate", "0.06", "200", "101", &se]);
+    let idx = dir.path("se.idx");
+    mem2_ok(&["index", &format!("{se}.fasta"), &idx]);
+    let fastq = format!("{se}.fastq");
+    let out_path = dir.path("out.sam");
+    let ckpt = dir.path("out.ckpt");
+    let fresh_path = dir.path("fresh.sam");
+
+    mem2_ok(&[
+        "mem",
+        "--log-level",
+        "error",
+        "-o",
+        &fresh_path,
+        &idx,
+        &fastq,
+    ]);
+    let out = mem2(
+        &[
+            "mem",
+            "--log-level",
+            "error",
+            "-t",
+            "4",
+            "--batch-bases",
+            "4000",
+            "-o",
+            &out_path,
+            "--checkpoint",
+            &ckpt,
+            &idx,
+            &fastq,
+        ],
+        &[("MEM2_KILL", "out_synced:2")],
+    );
+    assert_eq!(out.status.signal(), Some(9));
+    let out = mem2(
+        &[
+            "mem",
+            "--log-level",
+            "error",
+            "-t",
+            "1",
+            "--batch-bases",
+            "9000",
+            "-o",
+            &out_path,
+            "--checkpoint",
+            &ckpt,
+            "--resume",
+            &idx,
+            &fastq,
+        ],
+        &[],
+    );
+    assert!(
+        out.status.success(),
+        "shape-shifted resume failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&out_path).unwrap(),
+        std::fs::read(&fresh_path).unwrap()
+    );
+}
